@@ -1,0 +1,85 @@
+// Ablation: assumption 4 (blocked sources) removed on both sides.
+// Open-loop injection against the uncorrected Jackson model (kNone):
+// below saturation the two agree and the blocked-source machinery is
+// irrelevant; past saturation the open system has no steady state — its
+// measured latency keeps growing with the sample count — while the
+// closed system self-throttles. This is the raison d'etre of eqs. (6)-(7).
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/sim/multicluster_sim.hpp"
+#include "hmcs/util/cli.hpp"
+#include "hmcs/util/string_util.hpp"
+#include "hmcs/util/table.hpp"
+#include "hmcs/util/units.hpp"
+
+namespace {
+
+using namespace hmcs;
+using namespace hmcs::analytic;
+
+double simulate_ms(const SystemConfig& config, bool closed,
+                   std::uint64_t messages, std::uint64_t seed) {
+  sim::SimOptions options;
+  options.measured_messages = messages;
+  options.warmup_messages = messages / 5;
+  options.seed = seed;
+  options.closed_loop = closed;
+  sim::MultiClusterSim simulator(config, options);
+  return units::us_to_ms(simulator.run().mean_latency_us);
+}
+
+std::string model_cell(const SystemConfig& config, SourceThrottling method) {
+  ModelOptions options;
+  options.fixed_point.method = method;
+  const double latency = predict_latency(config, options).mean_latency_us;
+  if (!std::isfinite(latency)) return "unstable";
+  return format_fixed(units::us_to_ms(latency), 3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("ablation_closed_loop",
+                "assumption 4 on/off: closed vs open sources");
+  cli.add_option("messages", "measured deliveries per point", "10000");
+  try {
+    if (!cli.parse(argc, argv)) {
+      std::cout << cli.help_text();
+      return 0;
+    }
+    const auto messages = static_cast<std::uint64_t>(cli.get_int("messages"));
+
+    std::cout << "== Ablation: blocked sources (Case 1, non-blocking, C=4, "
+                 "N=32, M=1024) ==\n";
+    Table table({"lambda (msg/s)", "Jackson kNone (ms)", "open-loop sim (ms)",
+                 "open-loop sim, 4x longer", "closed-loop sim (ms)",
+                 "closed model MVA (ms)"});
+    for (const double per_s : {50.0, 100.0, 200.0, 400.0}) {
+      const SystemConfig config = paper_scenario(
+          HeterogeneityCase::kCase1, 4, NetworkArchitecture::kNonBlocking,
+          1024.0, 32, units::per_s_to_per_us(per_s));
+      table.add_row(
+          {format_compact(per_s, 4),
+           model_cell(config, SourceThrottling::kNone),
+           format_fixed(simulate_ms(config, false, messages, 31), 3),
+           format_fixed(simulate_ms(config, false, 4 * messages, 32), 3),
+           format_fixed(simulate_ms(config, true, messages, 33), 3),
+           model_cell(config, SourceThrottling::kExactMva)});
+    }
+    std::cout << table;
+    std::cout
+        << "(where kNone says 'unstable' the open-loop sample mean keeps\n"
+           " growing with the run length — compare the two open-loop\n"
+           " columns — while closed-loop latency stays put: assumption 4\n"
+           " is what gives the saturated system a steady state at all.)\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,100 @@
+// Workload-level study: does co-allocation (spanning jobs across
+// clusters) pay off? The question of the paper's reference [5] (Bucur &
+// Epema), answered with this paper's latency model supplying the
+// communication prices. Spanning starts jobs sooner (less fragmentation)
+// but every remote task pair pays the ECN1/ICN2 path; the balance
+// depends on load and on which side of the Table 1 heterogeneity the
+// backbone falls.
+
+#include <cstdio>
+#include <iostream>
+
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/jobs/job_workload.hpp"
+#include "hmcs/jobs/scheduler.hpp"
+#include "hmcs/util/cli.hpp"
+#include "hmcs/util/string_util.hpp"
+#include "hmcs/util/table.hpp"
+#include "hmcs/util/units.hpp"
+
+namespace {
+
+using namespace hmcs;
+using namespace hmcs::jobs;
+
+WorkloadSpec workload(double mean_interarrival_us, std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.mean_interarrival_us = mean_interarrival_us;
+  spec.min_tasks = 4;
+  spec.max_tasks = 64;
+  spec.mean_work_us = 300e3;  // 0.3 s of compute per task
+  spec.messages_per_task = 500.0;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("coallocation_study",
+                "single-cluster vs co-allocation scheduling, priced by the "
+                "latency model");
+  cli.add_option("jobs", "jobs per run", "2000");
+  cli.add_option("clusters", "cluster count (divides 256)", "8");
+  try {
+    if (!cli.parse(argc, argv)) {
+      std::cout << cli.help_text();
+      return 0;
+    }
+    const auto job_count = static_cast<std::uint64_t>(cli.get_int("jobs"));
+    const auto clusters = static_cast<std::uint32_t>(cli.get_int("clusters"));
+
+    for (const auto hetero : {analytic::HeterogeneityCase::kCase1,
+                              analytic::HeterogeneityCase::kCase2}) {
+      // Light background traffic: message prices reflect the network
+      // technologies, not a saturated backbone.
+      const analytic::SystemConfig system = analytic::paper_scenario(
+          hetero, clusters, analytic::NetworkArchitecture::kNonBlocking,
+          1024.0, 256, units::per_s_to_per_us(10.0));
+      std::cout << "== " << analytic::to_string(hetero) << ", C=" << clusters
+                << " x " << system.nodes_per_cluster << " nodes ==\n";
+
+      Table table({"load", "policy", "mean wait (s)", "mean slowdown",
+                   "utilization", "spanning", "comm share", "rejected"});
+      for (const double interarrival_us : {60e3, 35e3, 25e3}) {
+        for (const auto policy : {PlacementPolicy::kSingleCluster,
+                                  PlacementPolicy::kSingleClusterFirst,
+                                  PlacementPolicy::kCoAllocation}) {
+          SchedulerOptions options;
+          options.policy = policy;
+          options.backfill = true;
+          MultiClusterScheduler scheduler(system, options);
+          const auto jobs_list = generate_jobs(
+              workload(interarrival_us, 42), job_count);
+          const ScheduleResult result = scheduler.run(jobs_list);
+          table.add_row(
+              {format_compact(60e3 / interarrival_us, 3) + "x",
+               to_string(policy),
+               format_fixed(units::us_to_s(result.metrics.mean_wait_us), 2),
+               format_fixed(result.metrics.mean_bounded_slowdown, 2),
+               format_fixed(result.metrics.utilization, 3),
+               format_fixed(result.metrics.spanning_fraction, 3),
+               format_fixed(result.metrics.mean_comm_share, 3),
+               std::to_string(result.metrics.rejected)});
+        }
+      }
+      std::cout << table << "\n";
+    }
+    std::cout
+        << "(single-cluster placement REJECTS jobs wider than one cluster —\n"
+           " its low waits come with the rejected column's lost work; pure\n"
+           " co-allocation runs everything but spanning jobs pay remote\n"
+           " latency; single-cluster-first is the usual compromise. The gap\n"
+           " between Case 1 and Case 2 shows how the backbone technology\n"
+           " decides how expensive co-allocation is.)\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

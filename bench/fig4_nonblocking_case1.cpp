@@ -1,0 +1,11 @@
+// Reproduces Figure 4: average message latency vs number of clusters for
+// the non-blocking (fat-tree) network in Case 1 (ICN1 = Gigabit Ethernet,
+// ECN1/ICN2 = Fast Ethernet), N = 256, M in {1024, 512} bytes, analysis
+// and simulation series.
+
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return hmcs::experiment::figure_main(argc, argv,
+                                       hmcs::experiment::figure4_spec());
+}

@@ -1,0 +1,10 @@
+// Reproduces Figure 7: average message latency vs number of clusters for
+// the blocking (linear switch array) network in Case 2 (ICN1 = Fast
+// Ethernet, ECN1/ICN2 = Gigabit Ethernet), N = 256, M in {1024, 512} bytes.
+
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return hmcs::experiment::figure_main(argc, argv,
+                                       hmcs::experiment::figure7_spec());
+}

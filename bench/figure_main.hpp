@@ -1,0 +1,74 @@
+#pragma once
+
+/// Shared main() body for the four figure harnesses: runs one figure
+/// sweep with optional CLI overrides and prints the paper-style report.
+///
+/// Options:
+///   --seed N          base simulation seed (default 1)
+///   --messages N      measured deliveries per point (default 10000)
+///   --warmup N        warm-up deliveries per point (default 2000)
+///   --lambda R        per-node rate in msg/s (default 250, see DESIGN.md)
+///   --csv-dir DIR     also write <dir>/<figure>.csv
+///   --no-sim          analysis only (fast sanity sweeps)
+
+#include <cstdio>
+#include <iostream>
+
+#include "hmcs/experiment/figure_experiment.hpp"
+#include "hmcs/util/cli.hpp"
+#include "hmcs/util/units.hpp"
+
+namespace hmcs::experiment {
+
+inline int figure_main(int argc, const char* const* argv, FigureSpec spec) {
+  CliParser cli(spec.id, spec.title);
+  cli.add_option("seed", "base simulation seed", "1");
+  cli.add_option("messages", "measured deliveries per point", "10000");
+  cli.add_option("warmup", "warm-up deliveries per point", "2000");
+  cli.add_option("replications", "independent simulation replications", "1");
+  cli.add_option("lambda", "per-node generation rate in msg/s", "250");
+  cli.add_option("csv-dir", "directory for CSV series", "");
+  cli.add_option("json-dir", "directory for JSON records", "");
+  cli.add_option("model", "throttling model: bisection|picard|mva|none",
+                 "bisection");
+  cli.add_flag("no-sim", "skip the simulation series");
+
+  try {
+    if (!cli.parse(argc, argv)) {
+      std::cout << cli.help_text();
+      return 0;
+    }
+    spec.sim_options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    spec.sim_options.measured_messages =
+        static_cast<std::uint64_t>(cli.get_int("messages"));
+    spec.sim_options.warmup_messages =
+        static_cast<std::uint64_t>(cli.get_int("warmup"));
+    spec.replications = static_cast<std::uint32_t>(cli.get_int("replications"));
+    spec.rate_per_us = units::per_s_to_per_us(cli.get_double("lambda"));
+    spec.run_simulation = !cli.get_flag("no-sim");
+
+    const std::string model = cli.get_string("model");
+    auto& method = spec.model_options.fixed_point.method;
+    if (model == "bisection") {
+      method = analytic::SourceThrottling::kBisection;
+    } else if (model == "picard") {
+      method = analytic::SourceThrottling::kPicard;
+    } else if (model == "mva") {
+      method = analytic::SourceThrottling::kExactMva;
+    } else if (model == "none") {
+      method = analytic::SourceThrottling::kNone;
+    } else {
+      require(false, "unknown --model value: " + model);
+    }
+
+    const FigureResult result = run_figure(spec);
+    print_figure_report(std::cout, result, cli.get_string("csv-dir"),
+                        cli.get_string("json-dir"));
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
+
+}  // namespace hmcs::experiment

@@ -1,0 +1,160 @@
+// Switch-level validation of the Section 5 closed forms. The paper's
+// model treats each network as ONE service centre with the eq. (11) /
+// eq. (21) mean service time; this harness simulates the same fabrics
+// switch by switch on their actual wiring and reports:
+//
+//  1. no-load latency: eq. (11) (cut-through assumption) vs measured
+//     cut-through and store-and-forward latencies on the fat-tree;
+//  2. saturation throughput per endpoint: the chain's measured capacity
+//     vs the fat-tree's, next to eq. (21)'s implied (N/2)-fold penalty —
+//     the bisection bottleneck measured, not assumed;
+//  3. the ECMP-vs-deterministic routing ablation on the fat-tree.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "hmcs/analytic/network_tech.hpp"
+#include "hmcs/analytic/service_time.hpp"
+#include "hmcs/netsim/switch_fabric_sim.hpp"
+#include "hmcs/topology/fat_tree.hpp"
+#include "hmcs/topology/linear_array.hpp"
+#include "hmcs/topology/torus.hpp"
+#include "hmcs/util/cli.hpp"
+#include "hmcs/util/string_util.hpp"
+#include "hmcs/util/table.hpp"
+
+namespace {
+
+using namespace hmcs;
+using netsim::FabricSimOptions;
+using netsim::FabricSimResult;
+using netsim::SwitchFabricSim;
+
+FabricSimResult run_fabric(const topology::Graph& graph,
+                           FabricSimOptions options) {
+  SwitchFabricSim sim(graph, options);
+  return sim.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("netsim_fabric_validation",
+                "switch-level check of the Section 5 network abstractions");
+  cli.add_option("nodes", "endpoints per fabric", "48");
+  cli.add_option("ports", "switch radix", "8");
+  cli.add_option("bytes", "message size in bytes", "1024");
+  cli.add_option("messages", "measured deliveries per run", "8000");
+  try {
+    if (!cli.parse(argc, argv)) {
+      std::cout << cli.help_text();
+      return 0;
+    }
+    const auto nodes = static_cast<std::uint64_t>(cli.get_int("nodes"));
+    const auto ports = static_cast<std::uint32_t>(cli.get_int("ports"));
+    const double bytes = cli.get_double("bytes");
+    const auto messages = static_cast<std::uint64_t>(cli.get_int("messages"));
+
+    const topology::FatTree tree(nodes, ports);
+    const topology::LinearArray chain(nodes, ports);
+    const analytic::SwitchParams switch_params{ports, 10.0};
+
+    FabricSimOptions base;
+    base.technology = analytic::fast_ethernet();
+    base.message_bytes = bytes;
+    base.switch_latency_us = switch_params.latency_us;
+    base.measured_messages = messages;
+    base.warmup_messages = messages / 4;
+    base.seed = 11;
+
+    // ---- 1. no-load latency vs eq. (11) -------------------------------
+    std::printf("== switch-level vs eq. (11): no-load latency, fat-tree "
+                "N=%llu Pr=%u, M=%.0fB ==\n",
+                static_cast<unsigned long long>(nodes), ports, bytes);
+    const analytic::ServiceTimeBreakdown eq11 = analytic::network_service_time(
+        base.technology, nodes, switch_params,
+        analytic::NetworkArchitecture::kNonBlocking, bytes);
+
+    FabricSimOptions quiet = base;
+    quiet.rate_per_us = 1e-6;
+    FabricSimOptions quiet_ct = quiet;
+    quiet_ct.mode = netsim::SwitchingMode::kCutThrough;
+    const FabricSimResult snf = run_fabric(tree.build_graph(), quiet);
+    const FabricSimResult ct = run_fabric(tree.build_graph(), quiet_ct);
+
+    Table latency_table({"model", "mean latency (us)", "mean hops"});
+    latency_table.add_row({"eq. (11) worst-case 2d-1, one serialisation",
+                           format_fixed(eq11.total_us(), 1),
+                           std::to_string(tree.worst_case_traversals())});
+    latency_table.add_row({"switch-level, cut-through",
+                           format_fixed(ct.mean_latency_us, 1),
+                           format_fixed(ct.mean_switch_hops, 2)});
+    latency_table.add_row({"switch-level, store-and-forward",
+                           format_fixed(snf.mean_latency_us, 1),
+                           format_fixed(snf.mean_switch_hops, 2)});
+    std::cout << latency_table;
+    std::printf(
+        "eq. (11) assumes cut-through (one M*beta) at worst-case hops: it\n"
+        "upper-bounds the measured cut-through mean and undercounts the\n"
+        "per-hop serialisation of a true store-and-forward Ethernet.\n\n");
+
+    // ---- 2. saturation throughput: the bisection penalty --------------
+    std::printf("== emergent bisection bottleneck: saturation throughput ==\n");
+    Table throughput_table({"fabric", "offered (msg/us/node)",
+                            "delivered (msg/us/node)", "busiest switch util",
+                            "mean latency (us)"});
+    FabricSimOptions saturating = base;
+    saturating.rate_per_us = 1e-3;
+    // A 4-ary 2-cube torus with 3 endpoints per switch matches the 48
+    // endpoints: bisection 8 — between the chain's 1 and the tree's 24.
+    const topology::Torus torus(
+        4, 2, static_cast<std::uint32_t>(std::max<std::uint64_t>(1, nodes / 16)));
+    for (const auto& [label, graph] :
+         {std::pair<const char*, topology::Graph>{"fat-tree (ECMP)",
+                                                  tree.build_graph()},
+          std::pair<const char*, topology::Graph>{"4-ary 2-cube torus",
+                                                  torus.build_graph()},
+          std::pair<const char*, topology::Graph>{"linear chain",
+                                                  chain.build_graph()}}) {
+      const FabricSimResult result = run_fabric(graph, saturating);
+      throughput_table.add_row(
+          {label, format_compact(saturating.rate_per_us, 3),
+           format_compact(result.delivered_rate_per_us, 3),
+           format_fixed(result.max_switch_utilization, 3),
+           format_fixed(result.mean_latency_us, 1)});
+    }
+    std::cout << throughput_table;
+    const double snf_service =
+        switch_params.latency_us + bytes * base.technology.byte_time_us();
+    std::printf(
+        "chain capacity is pinned by its middle switch (~1/(%.1f us) total,\n"
+        "~half of which crosses the bisection) — the structural fact that\n"
+        "eq. (21) encodes as the (N/2)M*beta penalty.\n\n",
+        snf_service);
+
+    // ---- 3. routing ablation -------------------------------------------
+    std::printf("== routing ablation on the fat-tree ==\n");
+    Table routing_table({"routing", "delivered (msg/us/node)",
+                         "mean latency (us)"});
+    for (const auto policy : {netsim::RoutingPolicy::kRandomMinimal,
+                              netsim::RoutingPolicy::kDeterministic}) {
+      FabricSimOptions options = saturating;
+      options.routing = policy;
+      const FabricSimResult result = run_fabric(tree.build_graph(), options);
+      routing_table.add_row(
+          {policy == netsim::RoutingPolicy::kRandomMinimal
+               ? "random minimal (ECMP)"
+               : "deterministic lowest-id",
+           format_compact(result.delivered_rate_per_us, 3),
+           format_fixed(result.mean_latency_us, 1)});
+    }
+    std::cout << routing_table;
+    std::printf("Theorem 1 is a wiring property; realising it needs\n"
+                "multipath routing — single-path routing wastes the tree.\n");
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

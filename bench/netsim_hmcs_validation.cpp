@@ -1,0 +1,95 @@
+// Whole-system switch-level validation: the paper models each network as
+// ONE M/M/1 server. Here the entire HMSCS (per-cluster ICN1 and ECN1
+// fabrics, gateways, ICN2) runs at switch granularity, and its measured
+// latency is compared against the centre-level analytical model and the
+// centre-level simulator across the cluster sweep.
+//
+// Where the networks collapse to single switches (N0, C <= Pr) the two
+// levels agree almost exactly; with multi-stage fabrics the centre-level
+// abstraction folds the whole fabric into one server with the eq. (11)
+// service time, and this bench quantifies what that abstraction costs.
+
+#include <cstdio>
+#include <iostream>
+
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/netsim/hmcs_fabric.hpp"
+#include "hmcs/sim/multicluster_sim.hpp"
+#include "hmcs/util/cli.hpp"
+#include "hmcs/util/string_util.hpp"
+#include "hmcs/util/table.hpp"
+#include "hmcs/util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hmcs;
+  using namespace hmcs::analytic;
+
+  CliParser cli("netsim_hmcs_validation",
+                "whole-system switch-level vs centre-level abstraction");
+  cli.add_option("messages", "measured deliveries per point", "8000");
+  cli.add_option("lambda", "per-node rate in msg/s", "250");
+  try {
+    if (!cli.parse(argc, argv)) {
+      std::cout << cli.help_text();
+      return 0;
+    }
+    const auto messages = static_cast<std::uint64_t>(cli.get_int("messages"));
+    const double rate = units::per_s_to_per_us(cli.get_double("lambda"));
+
+    ModelOptions mva;
+    mva.fixed_point.method = SourceThrottling::kExactMva;
+
+    std::cout << "== Whole-system switch-level validation (Case 1, "
+                 "non-blocking, N=256, M=1024) ==\n";
+    Table table({"Clusters", "model (ms)", "centre-level sim (ms)",
+                 "switch-level sim (ms)", "switch hops", "switches"});
+    for (const std::uint32_t clusters : {4u, 16u, 64u}) {
+      const SystemConfig config = paper_scenario(
+          HeterogeneityCase::kCase1, clusters,
+          NetworkArchitecture::kNonBlocking, 1024.0, kPaperTotalNodes, rate);
+
+      const double model_ms =
+          units::us_to_ms(predict_latency(config, mva).mean_latency_us);
+
+      sim::SimOptions center_options;
+      center_options.measured_messages = messages;
+      center_options.warmup_messages = messages / 4;
+      center_options.seed = 100 + clusters;
+      sim::MultiClusterSim center_sim(config, center_options);
+      const double center_ms =
+          units::us_to_ms(center_sim.run().mean_latency_us);
+
+      const netsim::HmcsFabric fabric(config);
+      netsim::FabricSimOptions switch_options = fabric.make_sim_options();
+      switch_options.measured_messages = messages;
+      switch_options.warmup_messages = messages / 4;
+      switch_options.seed = 200 + clusters;
+      netsim::SwitchFabricSim switch_sim(fabric.graph(), switch_options);
+      const netsim::FabricSimResult switch_result = switch_sim.run();
+
+      table.add_row(
+          {std::to_string(clusters), format_fixed(model_ms, 2),
+           format_fixed(center_ms, 2),
+           format_fixed(units::us_to_ms(switch_result.mean_latency_us), 2),
+           format_fixed(switch_result.mean_switch_hops, 2),
+           std::to_string(fabric.graph().count_nodes(
+               topology::NodeKind::kSwitch))});
+    }
+    std::cout << table;
+    std::cout
+        << "(the centre-level abstraction is exact at low load — see the\n"
+           " HmcsFabric.LowLoadLatencyMatchesCenterLevelModel test — but\n"
+           " CONSERVATIVE under saturation, for two structural reasons:\n"
+           " eq. (11) books the link latency alpha as server occupancy,\n"
+           " shaving ~1/3 off a single-switch network's capacity, and a\n"
+           " multi-stage fabric's internal parallelism [e.g. C=64: 22 ECN1\n"
+           " switches per cluster] is folded into one server. The paper's\n"
+           " model therefore over-predicts latency whenever its networks\n"
+           " saturate — safe for capacity planning, loose as a forecast.)\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,99 @@
+// Section 6's comparative claim: "the average message latency of blocking
+// network is larger, something between 1.4 to 3.1 times" (the figure axes
+// suggest a larger spread at the extremes). This harness computes the
+// measured blocking/non-blocking latency ratio per cluster count for both
+// scenarios, from both the analytical model and the simulator.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/sim/multicluster_sim.hpp"
+#include "hmcs/util/cli.hpp"
+#include "hmcs/util/string_util.hpp"
+#include "hmcs/util/table.hpp"
+#include "hmcs/util/units.hpp"
+
+namespace {
+
+using namespace hmcs;
+using namespace hmcs::analytic;
+
+double simulate_ms(const SystemConfig& config, std::uint64_t seed,
+                   std::uint64_t messages) {
+  sim::SimOptions options;
+  options.measured_messages = messages;
+  options.warmup_messages = messages / 5;
+  options.seed = seed;
+  sim::MultiClusterSim simulator(config, options);
+  return units::us_to_ms(simulator.run().mean_latency_us);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("ratio_blocking_vs_nonblocking",
+                "blocking/non-blocking latency ratio per cluster count");
+  cli.add_option("messages", "measured deliveries per point", "10000");
+  cli.add_option("lambda", "per-node rate in msg/s", "250");
+  cli.add_option("bytes", "message size in bytes", "1024");
+  try {
+    if (!cli.parse(argc, argv)) {
+      std::cout << cli.help_text();
+      return 0;
+    }
+    const auto messages = static_cast<std::uint64_t>(cli.get_int("messages"));
+    const double rate = units::per_s_to_per_us(cli.get_double("lambda"));
+    const double bytes = cli.get_double("bytes");
+
+    ModelOptions mva;
+    mva.fixed_point.method = SourceThrottling::kExactMva;
+
+    for (const auto hetero :
+         {HeterogeneityCase::kCase1, HeterogeneityCase::kCase2}) {
+      std::cout << "== " << to_string(hetero) << ", M=" << bytes
+                << " bytes ==\n";
+      Table table({"Clusters", "non-blocking (ms)", "blocking (ms)",
+                   "ratio (analysis)", "ratio (simulation)"});
+      double min_ratio = 1e300;
+      double max_ratio = 0.0;
+      std::size_t count = 0;
+      const std::uint32_t* sweep = paper_cluster_sweep(&count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::uint32_t clusters = sweep[i];
+        const SystemConfig nonblocking =
+            paper_scenario(hetero, clusters,
+                           NetworkArchitecture::kNonBlocking, bytes,
+                           kPaperTotalNodes, rate);
+        const SystemConfig blocking = paper_scenario(
+            hetero, clusters, NetworkArchitecture::kBlocking, bytes,
+            kPaperTotalNodes, rate);
+
+        const double nb_ms = units::us_to_ms(
+            predict_latency(nonblocking, mva).mean_latency_us);
+        const double b_ms =
+            units::us_to_ms(predict_latency(blocking, mva).mean_latency_us);
+        const double sim_ratio =
+            simulate_ms(blocking, 31 + clusters, messages) /
+            simulate_ms(nonblocking, 47 + clusters, messages);
+
+        const double ratio = b_ms / nb_ms;
+        min_ratio = std::min(min_ratio, ratio);
+        max_ratio = std::max(max_ratio, ratio);
+        table.add_row({std::to_string(clusters), format_fixed(nb_ms, 2),
+                       format_fixed(b_ms, 2), format_fixed(ratio, 2),
+                       format_fixed(sim_ratio, 2)});
+      }
+      std::cout << table;
+      std::printf("ratio range across the sweep: %.2f .. %.2f"
+                  " (paper text: 1.4 .. 3.1; figure axes: up to ~8)\n\n",
+                  min_ratio, max_ratio);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,60 @@
+// Reproduces Table 2 (model parameters) together with the derived
+// quantities the model actually consumes, and documents the lambda unit
+// reconciliation (DESIGN.md note 4).
+
+#include <cstdio>
+#include <iostream>
+
+#include "hmcs/analytic/network_tech.hpp"
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/util/string_util.hpp"
+#include "hmcs/util/table.hpp"
+#include "hmcs/util/units.hpp"
+
+int main() {
+  using namespace hmcs;
+  using namespace hmcs::analytic;
+
+  try {
+    std::cout << "== Table 2: model parameters ==\n";
+    Table table({"Item", "Quantity", "Unit"});
+    const NetworkTechnology ge = gigabit_ethernet();
+    const NetworkTechnology fe = fast_ethernet();
+    table.add_row({"GE Latency", format_fixed(ge.latency_us, 0), "us"});
+    table.add_row({"GE Bandwidth", format_fixed(ge.bandwidth_bytes_per_us, 0),
+                   "MB/s"});
+    table.add_row({"FE Latency", format_fixed(fe.latency_us, 0), "us"});
+    table.add_row({"FE Bandwidth", format_fixed(fe.bandwidth_bytes_per_us, 1),
+                   "MB/s"});
+    table.add_row({"# of Ports in Switch Fabric (Pr)",
+                   std::to_string(kPaperSwitchPorts), "Port"});
+    table.add_row({"Switch Latency", format_fixed(kPaperSwitchLatencyUs, 0),
+                   "us"});
+    table.add_row({"Msg. Generation rate (lambda)", "0.25", "/ms  (see note)"});
+    std::cout << table << "\n";
+
+    std::cout << "Derived per-technology quantities:\n";
+    Table derived({"Technology", "beta (us/byte)", "T(512B) eq.10 (us)",
+                   "T(1024B) eq.10 (us)"});
+    for (const auto& tech : {ge, fe, myrinet(), infiniband()}) {
+      derived.add_row({tech.name, format_fixed(tech.byte_time_us(), 4),
+                       format_fixed(tech.transmission_time_us(512.0), 1),
+                       format_fixed(tech.transmission_time_us(1024.0), 1)});
+    }
+    std::cout << derived << "\n";
+
+    std::printf(
+        "note on lambda: the paper's Table 2 prints '0.25 /s'. At that rate\n"
+        "the busiest centre is ~0.01%% utilised and every latency curve is\n"
+        "flat at the no-load service time (~0.1-0.2 ms) — the figures'\n"
+        "2-34 ms (non-blocking) / 15-225 ms (blocking) dynamics cannot\n"
+        "arise. Interpreted as 0.25 msg/ms (%.0f msg/s) the model lands\n"
+        "exactly on the figures' scale; bench/ablation_lambda sweeps both\n"
+        "readings. All harnesses accept --lambda <msg/s>.\n",
+        units::per_us_to_per_s(kPaperRatePerUs));
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

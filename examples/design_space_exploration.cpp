@@ -1,0 +1,165 @@
+// Design-space exploration — the paper's motivating use case: "a
+// performance model is a useful tool for exploring the design space and
+// examining various parameters" (§1). Given a node budget and a latency
+// target, sweep cluster counts, network technologies, and architectures;
+// price each design with a simple cost model; and report the cheapest
+// configurations that meet the target. The analytical model makes this
+// a millisecond-scale sweep — the whole point of having it.
+//
+//   $ ./design_space_exploration [--nodes 256] [--target-ms 5]
+//                                [--lambda 100] [--bytes 1024]
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/topology/fat_tree.hpp"
+#include "hmcs/topology/linear_array.hpp"
+#include "hmcs/util/cli.hpp"
+#include "hmcs/util/string_util.hpp"
+#include "hmcs/util/table.hpp"
+#include "hmcs/util/units.hpp"
+
+namespace {
+
+using namespace hmcs;
+using namespace hmcs::analytic;
+
+// Rough 2005-era street prices, per NIC and per switch (USD). Only the
+// relative order matters for the example.
+struct TechCost {
+  NetworkTechnology tech;
+  double nic_usd;
+  double switch_usd;
+};
+
+double fabric_switches(std::uint64_t endpoints, std::uint32_t ports,
+                       NetworkArchitecture arch) {
+  if (endpoints <= 1) return 0.0;
+  if (arch == NetworkArchitecture::kNonBlocking) {
+    return static_cast<double>(topology::FatTree(endpoints, ports).num_switches());
+  }
+  return static_cast<double>(
+      topology::LinearArray(endpoints, ports).num_switches());
+}
+
+double system_cost(const SystemConfig& config, const TechCost& icn1,
+                   const TechCost& ecn, NetworkArchitecture arch) {
+  const double nodes = static_cast<double>(config.total_nodes());
+  const double clusters = config.clusters;
+  // Each node has one ICN1 NIC and one ECN1 NIC (Figure 1: processors
+  // reach the ECN directly).
+  double cost = nodes * (icn1.nic_usd + ecn.nic_usd);
+  cost += clusters * fabric_switches(config.nodes_per_cluster,
+                                     config.switch_params.ports, arch) *
+          icn1.switch_usd;
+  cost += clusters * fabric_switches(config.nodes_per_cluster,
+                                     config.switch_params.ports, arch) *
+          ecn.switch_usd;
+  cost += fabric_switches(config.clusters, config.switch_params.ports, arch) *
+          ecn.switch_usd;
+  return cost;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("design_space_exploration",
+                "find the cheapest multi-cluster design meeting a latency "
+                "target");
+  cli.add_option("nodes", "total processor count", "256");
+  cli.add_option("target-ms", "mean message latency target (ms)", "5");
+  cli.add_option("lambda", "per-node rate in msg/s", "100");
+  cli.add_option("bytes", "message size in bytes", "1024");
+  try {
+    if (!cli.parse(argc, argv)) {
+      std::cout << cli.help_text();
+      return 0;
+    }
+    const auto nodes = static_cast<std::uint32_t>(cli.get_int("nodes"));
+    const double target_ms = cli.get_double("target-ms");
+    const double rate = units::per_s_to_per_us(cli.get_double("lambda"));
+    const double bytes = cli.get_double("bytes");
+
+    const TechCost costs[] = {
+        {fast_ethernet(), 15.0, 700.0},
+        {gigabit_ethernet(), 90.0, 3200.0},
+        {myrinet(), 500.0, 12000.0},
+    };
+
+    ModelOptions mva;
+    mva.fixed_point.method = SourceThrottling::kExactMva;
+
+    struct Design {
+      std::string description;
+      double latency_ms;
+      double cost_usd;
+      bool meets_target;
+    };
+    std::vector<Design> designs;
+
+    for (std::uint32_t clusters = 1; clusters <= nodes; clusters *= 2) {
+      if (nodes % clusters != 0) continue;
+      for (const auto& icn1 : costs) {
+        for (const auto& ecn : costs) {
+          for (const auto arch : {NetworkArchitecture::kNonBlocking,
+                                  NetworkArchitecture::kBlocking}) {
+            SystemConfig config;
+            config.clusters = clusters;
+            config.nodes_per_cluster = nodes / clusters;
+            config.icn1 = icn1.tech;
+            config.ecn1 = ecn.tech;
+            config.icn2 = ecn.tech;
+            config.switch_params = {24, 10.0};
+            config.architecture = arch;
+            config.message_bytes = bytes;
+            config.generation_rate_per_us = rate;
+
+            const LatencyPrediction prediction =
+                predict_latency(config, mva);
+            const double latency_ms =
+                units::us_to_ms(prediction.mean_latency_us);
+            designs.push_back(Design{
+                "C=" + std::to_string(clusters) + " " + icn1.tech.name +
+                    "/" + ecn.tech.name + " " +
+                    (arch == NetworkArchitecture::kNonBlocking ? "fat-tree"
+                                                               : "chain"),
+                latency_ms, system_cost(config, icn1, ecn, arch),
+                latency_ms <= target_ms});
+          }
+        }
+      }
+    }
+
+    std::sort(designs.begin(), designs.end(),
+              [](const Design& a, const Design& b) {
+                if (a.meets_target != b.meets_target) return a.meets_target;
+                return a.cost_usd < b.cost_usd;
+              });
+
+    std::printf("evaluated %zu designs for N=%u, target %.1f ms, "
+                "lambda=%.0f msg/s\n\n",
+                designs.size(), nodes, target_ms,
+                units::per_us_to_per_s(rate));
+    Table table({"design", "latency (ms)", "est. cost ($)", "meets target"});
+    std::size_t shown = 0;
+    for (const Design& design : designs) {
+      table.add_row({design.description, format_fixed(design.latency_ms, 2),
+                     format_fixed(design.cost_usd, 0),
+                     design.meets_target ? "yes" : "no"});
+      if (++shown == 12) break;
+    }
+    std::cout << table;
+    std::cout << "\n(12 cheapest feasible designs first; the analytical\n"
+                 "model evaluated the full space in milliseconds — the\n"
+                 "paper's argument for analytical modelling over\n"
+                 "simulation-only studies)\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,70 @@
+// Quickstart: describe a heterogeneous multi-cluster system, predict its
+// mean message latency with the analytical model, and cross-check the
+// prediction with the discrete-event simulator.
+//
+//   $ ./quickstart
+//
+// This is the 60-second tour of the public API; see the other examples
+// for design-space exploration and capacity planning.
+
+#include <cstdio>
+#include <iostream>
+
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/sim/multicluster_sim.hpp"
+#include "hmcs/util/units.hpp"
+
+int main() {
+  using namespace hmcs;
+  try {
+    // 1. Describe the system: 8 clusters of 32 nodes; fast intra-cluster
+    //    network (Gigabit Ethernet), slower egress/backbone (Fast
+    //    Ethernet); non-blocking fat-tree fabrics of 24-port switches.
+    analytic::SystemConfig config;
+    config.clusters = 8;
+    config.nodes_per_cluster = 32;
+    config.icn1 = analytic::gigabit_ethernet();
+    config.ecn1 = analytic::fast_ethernet();
+    config.icn2 = analytic::fast_ethernet();
+    config.switch_params = {24, 10.0};
+    config.architecture = analytic::NetworkArchitecture::kNonBlocking;
+    config.message_bytes = 1024.0;
+    config.generation_rate_per_us = units::per_s_to_per_us(250.0);
+
+    // 2. Analytical prediction (microseconds in, microseconds out).
+    const analytic::LatencyPrediction prediction =
+        analytic::predict_latency(config);
+    std::printf("analytical model\n");
+    std::printf("  inter-cluster probability P  : %.4f\n",
+                prediction.inter_cluster_probability);
+    std::printf("  effective rate (msg/s/node)  : %.1f of %.1f offered\n",
+                units::per_us_to_per_s(prediction.lambda_effective),
+                units::per_us_to_per_s(prediction.lambda_offered));
+    std::printf("  ICN1/ECN1/ICN2 utilization   : %.2f / %.2f / %.2f\n",
+                prediction.icn1.utilization, prediction.ecn1.utilization,
+                prediction.icn2.utilization);
+    std::printf("  mean message latency         : %.3f ms\n",
+                units::us_to_ms(prediction.mean_latency_us));
+
+    // 3. Validate by simulation (the paper gathers 10,000 messages).
+    sim::SimOptions options;
+    options.measured_messages = 10000;
+    options.warmup_messages = 2000;
+    options.seed = 42;
+    sim::MultiClusterSim simulator(config, options);
+    const sim::SimResult result = simulator.run();
+    std::printf("simulation\n");
+    std::printf("  mean message latency         : %.3f ms  (95%% CI ±%.3f)\n",
+                units::us_to_ms(result.mean_latency_us),
+                units::us_to_ms(result.latency_ci.half_width));
+    std::printf("  remote message fraction      : %.3f\n",
+                result.remote_fraction);
+    std::printf("  model vs simulation          : %+.1f%%\n",
+                100.0 * (prediction.mean_latency_us - result.mean_latency_us) /
+                    result.mean_latency_us);
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

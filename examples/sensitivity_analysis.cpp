@@ -1,0 +1,123 @@
+// Sensitivity analysis (tornado table): perturb each model parameter by
+// ±20% around a base configuration and rank them by latency impact —
+// the "examining various parameters" use case of the paper's abstract,
+// exercised through the exact-MVA solver so saturated regimes are
+// handled correctly.
+//
+//   $ ./sensitivity_analysis [--clusters 8] [--lambda 100]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/util/cli.hpp"
+#include "hmcs/util/string_util.hpp"
+#include "hmcs/util/table.hpp"
+#include "hmcs/util/units.hpp"
+
+namespace {
+
+using namespace hmcs;
+using namespace hmcs::analytic;
+
+double latency_ms(const SystemConfig& config) {
+  ModelOptions mva;
+  mva.fixed_point.method = SourceThrottling::kExactMva;
+  return units::us_to_ms(predict_latency(config, mva).mean_latency_us);
+}
+
+struct Knob {
+  const char* name;
+  std::function<void(SystemConfig&, double factor)> apply;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("sensitivity_analysis",
+                "tornado table: ±20% parameter perturbations");
+  cli.add_option("clusters", "cluster count (divides 256)", "8");
+  cli.add_option("lambda", "per-node rate in msg/s", "100");
+  try {
+    if (!cli.parse(argc, argv)) {
+      std::cout << cli.help_text();
+      return 0;
+    }
+    const auto clusters = static_cast<std::uint32_t>(cli.get_int("clusters"));
+    const double rate = units::per_s_to_per_us(cli.get_double("lambda"));
+
+    const SystemConfig base = paper_scenario(
+        HeterogeneityCase::kCase1, clusters,
+        NetworkArchitecture::kNonBlocking, 1024.0, kPaperTotalNodes, rate);
+    const double base_ms = latency_ms(base);
+
+    const std::vector<Knob> knobs{
+        {"ICN1 bandwidth",
+         [](SystemConfig& c, double f) { c.icn1.bandwidth_bytes_per_us *= f; }},
+        {"ECN1/ICN2 bandwidth",
+         [](SystemConfig& c, double f) {
+           c.ecn1.bandwidth_bytes_per_us *= f;
+           c.icn2.bandwidth_bytes_per_us *= f;
+         }},
+        {"ICN1 latency",
+         [](SystemConfig& c, double f) { c.icn1.latency_us *= f; }},
+        {"ECN1/ICN2 latency",
+         [](SystemConfig& c, double f) {
+           c.ecn1.latency_us *= f;
+           c.icn2.latency_us *= f;
+         }},
+        {"switch latency",
+         [](SystemConfig& c, double f) { c.switch_params.latency_us *= f; }},
+        {"message size",
+         [](SystemConfig& c, double f) { c.message_bytes *= f; }},
+        {"generation rate",
+         [](SystemConfig& c, double f) { c.generation_rate_per_us *= f; }},
+    };
+
+    struct Row {
+      const char* name;
+      double low_ms;
+      double high_ms;
+      double swing;
+    };
+    std::vector<Row> rows;
+    for (const Knob& knob : knobs) {
+      SystemConfig low = base;
+      knob.apply(low, 0.8);
+      SystemConfig high = base;
+      knob.apply(high, 1.2);
+      const double low_ms = latency_ms(low);
+      const double high_ms = latency_ms(high);
+      rows.push_back(
+          {knob.name, low_ms, high_ms, std::fabs(high_ms - low_ms)});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.swing > b.swing; });
+
+    std::printf("base: Case 1 non-blocking, C=%u, M=1024B, lambda=%.0f "
+                "msg/s -> %.3f ms\n\n",
+                clusters, units::per_us_to_per_s(rate), base_ms);
+    Table table({"parameter (±20%)", "-20% (ms)", "+20% (ms)", "swing (ms)",
+                 "swing / base"});
+    for (const Row& row : rows) {
+      table.add_row({row.name, format_fixed(row.low_ms, 3),
+                     format_fixed(row.high_ms, 3), format_fixed(row.swing, 3),
+                     format_fixed(row.swing / base_ms * 100.0, 1) + "%"});
+    }
+    std::cout << table;
+    std::cout << "\n(rows sorted by impact — the tornado's spine. Under a\n"
+                 " saturated FE backbone the egress/backbone bandwidth and\n"
+                 " the offered rate dominate; switch latency barely moves\n"
+                 " the needle. Exactly the design guidance the paper's\n"
+                 " abstract promises from an analytical model.)\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,113 @@
+// Topology explorer: inspect the interconnect structures of Section 5
+// for your own size and switch radix — stages, switch counts, bisection
+// width (closed form and measured by max-flow on the wired instance),
+// and hop statistics.
+//
+//   $ ./topology_explorer --nodes 64 --ports 8
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "hmcs/topology/bisection.hpp"
+#include "hmcs/topology/fat_tree.hpp"
+#include "hmcs/topology/linear_array.hpp"
+#include "hmcs/topology/switch_tree.hpp"
+#include "hmcs/topology/torus.hpp"
+#include "hmcs/util/cli.hpp"
+#include "hmcs/util/string_util.hpp"
+#include "hmcs/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hmcs;
+  using topology::FatTree;
+  using topology::LinearArray;
+  using topology::SwitchTree;
+
+  CliParser cli("topology_explorer", "inspect Section 5 interconnects");
+  cli.add_option("nodes", "endpoint count", "64");
+  cli.add_option("ports", "switch radix Pr", "8");
+  try {
+    if (!cli.parse(argc, argv)) {
+      std::cout << cli.help_text();
+      return 0;
+    }
+    const auto nodes = static_cast<std::uint64_t>(cli.get_int("nodes"));
+    const auto ports = static_cast<std::uint32_t>(cli.get_int("ports"));
+
+    const FatTree tree(nodes, ports);
+    const LinearArray chain(nodes, ports);
+
+    std::printf("N=%llu endpoints, Pr=%u-port switches\n\n",
+                static_cast<unsigned long long>(nodes), ports);
+
+    Table table({"topology", "stages", "switches", "bisection (closed form)",
+                 "bisection (measured)", "avg hops", "worst hops",
+                 "full bisection"});
+
+    auto measured = [](const auto& topo) {
+      const auto graph = topo.build_graph();
+      return std::to_string(topology::measured_bisection_cables(graph));
+    };
+
+    table.add_row({"multi-stage fat-tree", std::to_string(tree.num_stages()),
+                   std::to_string(tree.num_switches()),
+                   std::to_string(tree.bisection_width()),
+                   tree.is_uniform() ? measured(tree) : "(ragged wiring)",
+                   format_fixed(tree.average_traversals(), 2),
+                   std::to_string(tree.worst_case_traversals()),
+                   "yes (Theorem 1)"});
+    table.add_row({"linear switch array", "1",
+                   std::to_string(chain.num_switches()),
+                   std::to_string(chain.bisection_width()), measured(chain),
+                   format_fixed(chain.average_traversals(), 2),
+                   std::to_string(chain.num_switches()),
+                   chain.is_full_bisection() ? "yes (single switch)" : "no"});
+
+    // A 2D torus with a comparable endpoint count: the middle of the
+    // bisection spectrum (paper's reference [20] family).
+    std::uint32_t arity = 2;
+    while (static_cast<std::uint64_t>(arity + 1) * (arity + 1) * 2 <= nodes &&
+           arity < 64) {
+      ++arity;
+    }
+    const topology::Torus torus(
+        arity, 2,
+        static_cast<std::uint32_t>(
+            std::max<std::uint64_t>(1, nodes / (static_cast<std::uint64_t>(arity) * arity))));
+    table.add_row(
+        {std::to_string(arity) + "-ary 2-cube torus", "-",
+         std::to_string(torus.num_switches()),
+         std::to_string(torus.bisection_width()),
+         std::to_string(
+             topology::measured_bisection_cables(torus.build_graph())),
+         format_fixed(torus.average_traversals(), 2),
+         std::to_string(2ULL * (arity / 2) + 1),  // Lee diameter + 1
+         "no"});
+    std::cout << table;
+
+    std::printf("\nfat-tree per-stage switch counts:");
+    for (std::uint32_t s = 1; s <= tree.num_stages(); ++s) {
+      std::printf(" stage %u: %llu", s,
+                  static_cast<unsigned long long>(tree.switches_in_stage(s)));
+    }
+    std::printf("\n");
+
+    // A reference binary switch tree at comparable leaf count, to echo
+    // the paper's Section 5.1 example of a width-1 topology.
+    std::uint32_t levels = 1;
+    while ((1ULL << (levels - 1)) * ports < nodes && levels < 20) ++levels;
+    const SwitchTree binary(levels, ports);
+    std::printf(
+        "\nreference binary switch tree (%u levels, %u endpoints/leaf): "
+        "%llu endpoints, bisection width %llu\n",
+        levels, ports, static_cast<unsigned long long>(binary.num_endpoints()),
+        static_cast<unsigned long long>(binary.bisection_width()));
+    std::printf(
+        "(the paper, Section 5.1: 'the bisection width of a tree is 1')\n");
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file arrival_rates.hpp
+/// Jackson-network arrival rates at the three service centres,
+/// eqs. (1)-(5). All rates are aggregate per centre (one ICN1 and one
+/// ECN1 per cluster; a single ICN2), in messages per microsecond.
+
+#include <cstdint>
+
+namespace hmcs::analytic {
+
+struct ArrivalRates {
+  double icn1;          ///< eq. (1):  N0 (1-P) lambda
+  double ecn1_forward;  ///< eq. (2):  N0 P lambda
+  double ecn1_return;   ///< eq. (4):  lambda_I2 / C = N0 P lambda
+  double ecn1;          ///< eq. (5):  2 N0 P lambda
+  double icn2;          ///< eq. (3):  C N0 P lambda
+};
+
+/// `lambda` is the per-processor generation rate (effective rate when the
+/// blocked-source fixed point is active); `p` is eq. (8)'s inter-cluster
+/// probability.
+ArrivalRates compute_arrival_rates(std::uint32_t clusters,
+                                   std::uint32_t nodes_per_cluster, double p,
+                                   double lambda);
+
+}  // namespace hmcs::analytic

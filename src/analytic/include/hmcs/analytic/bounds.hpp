@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file bounds.hpp
+/// Operational asymptotic bounds for the closed HMSCS network (Denning &
+/// Buzen): cheap sanity envelopes around any solver's output.
+///
+/// With per-station demands D_i = v_i / mu_i, total demand D = sum D_i,
+/// bottleneck demand D_max = max D_i, think time Z and population N:
+///
+///   throughput  X(N) <= min( N / (D + Z),  1 / D_max )
+///   latency     R(N) >= max( D,  N * D_max - Z )
+///
+/// The model's predictions (and the simulator's measurements) must lie
+/// inside these envelopes; the property tests enforce exactly that, and
+/// capacity_planning uses the bottleneck bound as a free upper estimate.
+
+#include <cstdint>
+
+#include "hmcs/analytic/service_time.hpp"
+#include "hmcs/analytic/system_config.hpp"
+
+namespace hmcs::analytic {
+
+struct AsymptoticBounds {
+  /// Sum of visit-weighted service demands over the message path (us).
+  double total_demand_us = 0.0;
+  /// The bottleneck station's demand (us).
+  double bottleneck_demand_us = 0.0;
+  /// Index label of the bottleneck: "ICN1", "ECN1", or "ICN2".
+  const char* bottleneck = "";
+  /// Upper bound on per-processor throughput (messages/us).
+  double throughput_upper_per_us = 0.0;
+  /// Lower bound on mean message latency (us).
+  double latency_lower_us = 0.0;
+};
+
+/// Bounds for a Super-Cluster configuration. The per-station demands use
+/// the same visit ratios as the MVA layout: (1-P)/C per ICN1, 2P/C per
+/// ECN1, P at ICN2 — all multiplied by N customers when forming the
+/// per-station saturation condition.
+AsymptoticBounds compute_bounds(const SystemConfig& config);
+
+/// Same, from precomputed service times (avoids recomputation in loops).
+AsymptoticBounds compute_bounds(const SystemConfig& config,
+                                const CenterServiceTimes& service);
+
+}  // namespace hmcs::analytic

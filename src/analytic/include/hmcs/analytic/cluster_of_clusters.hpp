@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file cluster_of_clusters.hpp
+/// Heterogeneous Cluster-of-Clusters model — the generalisation the paper
+/// names as future work ("propose a similar model to another class of
+/// multi-cluster systems, Cluster-of-Clusters"). Clusters may differ in
+/// size, network technology, and per-processor generation rate.
+///
+/// Derivation (uniform destinations over all other nodes, assumption 3):
+///   P_i        = (N - N_i) / (N - 1)                 per-cluster eq. (8)
+///   lambda_I1i = N_i (1 - P_i) lam_i                 local traffic
+///   out_i      = N_i P_i lam_i                       egress of cluster i
+///   in_i       = sum_{j != i} N_j lam_j N_i/(N-1)    ingress of cluster i
+///   lambda_E1i = out_i + in_i
+///   lambda_I2  = sum_i out_i
+/// A message from cluster j to cluster i costs W_E1j + W_I2 + W_E1i; a
+/// local one costs W_I1j. The blocked-source fixed point scales every
+/// cluster's rate by a common factor phi = (N - L)/N (eq. 7 with the
+/// consistent ECN1 queue-length accounting — each centre counted once).
+///
+/// With identical clusters this model reduces exactly to the
+/// Super-Cluster model (QueueLengthRule::kConsistent); the test suite
+/// pins that reduction.
+
+#include <cstdint>
+#include <vector>
+
+#include "hmcs/analytic/network_tech.hpp"
+#include "hmcs/analytic/system_config.hpp"
+
+namespace hmcs::analytic {
+
+struct ClusterSpec {
+  std::uint32_t nodes = 1;         ///< N_i
+  NetworkTechnology icn1;          ///< intra-cluster network of cluster i
+  NetworkTechnology ecn1;          ///< egress network of cluster i
+  /// Per-processor generation rate of this cluster's processors
+  /// (heterogeneous processors generate at different rates).
+  double generation_rate_per_us = 0.25e-3;
+};
+
+struct ClusterOfClustersConfig {
+  std::vector<ClusterSpec> clusters;
+  NetworkTechnology icn2;
+  SwitchParams switch_params;
+  NetworkArchitecture architecture = NetworkArchitecture::kNonBlocking;
+  double message_bytes = 1024.0;
+
+  std::uint64_t total_nodes() const;
+  void validate() const;
+
+  /// A homogeneous instance mirroring `config` (for reduction tests).
+  static ClusterOfClustersConfig from_super_cluster(const SystemConfig& config);
+};
+
+/// How the heterogeneous prediction handles the blocked-source effect.
+enum class HeteroSolver {
+  /// Open Jackson centres + the eq. (7)-style throttle factor — the
+  /// direct generalisation of the paper's method.
+  kOpenFixedPoint,
+  /// Multi-class Bard-Schweitzer approximate MVA of the closed network:
+  /// one class per cluster (own population, think time, visit ratios).
+  /// More accurate near saturation, like kExactMva is for the
+  /// homogeneous model (exact multi-class MVA is intractable: its state
+  /// space is the product of class populations).
+  kApproxMva,
+};
+
+struct HeteroCenterState {
+  double arrival_rate;
+  double service_rate;
+  double utilization;
+  double response_time_us;
+  double queue_length;
+};
+
+struct HeteroLatencyPrediction {
+  /// Generation-weighted mean latency over all source clusters.
+  double mean_latency_us;
+  /// Mean latency of messages originating in each cluster.
+  std::vector<double> per_cluster_latency_us;
+  /// Common throttle factor phi applied to every cluster's rate.
+  double effective_rate_scale;
+  double total_queue_length;
+  bool fixed_point_converged;
+  std::uint32_t fixed_point_iterations;
+
+  std::vector<HeteroCenterState> icn1;  ///< one per cluster
+  std::vector<HeteroCenterState> ecn1;  ///< one per cluster
+  HeteroCenterState icn2;
+};
+
+HeteroLatencyPrediction predict_cluster_of_clusters(
+    const ClusterOfClustersConfig& config,
+    HeteroSolver solver = HeteroSolver::kOpenFixedPoint);
+
+}  // namespace hmcs::analytic

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file fixed_point.hpp
+/// The blocked-source correction, eqs. (6)-(7). Assumption 4 says a
+/// processor with a request in flight generates nothing, so the offered
+/// rate lambda must be deflated by the fraction of processors currently
+/// waiting:
+///
+///     L        = C (2 L_E1 + L_I1) + L_I2          (eq. 6)
+///     lambda'  = lambda (N - L) / N                (eq. 7)
+///
+/// iterated to a fixed point. The paper iterates eq. (7) directly
+/// (Picard); that recurrence oscillates once any centre saturates (L
+/// snaps between ~0 and ~N), so we also provide a bisection solver on
+/// the monotone root function
+///
+///     g(x) = lambda (N - L(x))/N - x,
+///
+/// which always converges: g(0+) > 0, g(lambda) <= 0, and L(x) is
+/// non-decreasing. kPicard reproduces the paper's procedure (with
+/// optional damping); kBisection is the library default; kNone disables
+/// the correction entirely (for the ablation bench).
+
+#include <cstdint>
+
+#include "hmcs/analytic/service_time.hpp"
+#include "hmcs/analytic/system_config.hpp"
+
+namespace hmcs::analytic {
+
+enum class SourceThrottling {
+  kNone,       ///< no blocked-source correction (ablation baseline)
+  kPicard,     ///< the paper's eq. (7) iteration (with optional damping)
+  kBisection,  ///< robust root solve of the same fixed point (default)
+  /// Exact Mean Value Analysis of the underlying closed network — more
+  /// accurate than the paper's open-network approximation near
+  /// saturation; see mva.hpp.
+  kExactMva,
+};
+
+/// How eq. (6) counts the two ECN1 visits; see DESIGN.md note 1.
+enum class QueueLengthRule {
+  kPaperEq6,    ///< literal eq. (6): L = C (2 L_E1 + L_I1) + L_I2
+  kConsistent,  ///< L_E1 already covers both visits: C (L_E1 + L_I1) + L_I2
+};
+
+struct FixedPointOptions {
+  SourceThrottling method = SourceThrottling::kBisection;
+  QueueLengthRule queue_rule = QueueLengthRule::kPaperEq6;
+  /// Squared coefficient of variation of the centres' service times
+  /// (Pollaczek-Khinchine): 1 = exponential (the paper's assumption),
+  /// 0 = deterministic. Honoured by the open-network solvers; the MVA
+  /// solver requires exponential service (product form) and rejects
+  /// other values.
+  double service_cv2 = 1.0;
+  /// Convergence tolerance on lambda_eff, relative to lambda.
+  double tolerance = 1e-12;
+  std::uint32_t max_iterations = 200;
+  /// Picard damping: next = damping*candidate + (1-damping)*previous.
+  /// 1.0 is the paper's undamped recurrence.
+  double picard_damping = 0.5;
+};
+
+struct FixedPointResult {
+  /// The self-consistent effective per-processor rate.
+  double lambda_effective;
+  /// L at lambda_effective, capped at N (all processors blocked).
+  double total_queue_length;
+  std::uint32_t iterations;
+  bool converged;
+};
+
+/// Total waiting-processor count L(lambda_eff) per the chosen rule,
+/// capped at N; N when any centre is saturated at that rate.
+/// `service_cv2` selects the Pollaczek-Khinchine queue length (1 =
+/// exponential = the paper's eq. 16 behaviour).
+double total_queue_length(const SystemConfig& config,
+                          const CenterServiceTimes& service,
+                          double lambda_effective, QueueLengthRule rule,
+                          double service_cv2 = 1.0);
+
+FixedPointResult solve_effective_rate(const SystemConfig& config,
+                                      const CenterServiceTimes& service,
+                                      const FixedPointOptions& options = {});
+
+}  // namespace hmcs::analytic

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file latency_distribution.hpp
+/// Beyond the mean: the full message-latency distribution.
+///
+/// An M/M/1 FCFS sojourn time is exactly Exp(mu - lambda). A local
+/// message's latency is therefore exponential; a remote one is the sum
+/// ECN1 + ICN2 + ECN1 — hypoexponential with rates
+/// (r_E1, r_I2, r_E1) — and the overall latency is the P-weighted
+/// mixture. This module evaluates that mixture's CDF in closed form
+/// (partial fractions, including the repeated-pole ECN1 case) and
+/// extracts percentiles by bisection.
+///
+/// Approximation notes:
+///  * Sojourn times of consecutive centres on a customer's path are
+///    treated as independent — exact for tandem M/M/1 queues fed by
+///    Poisson arrivals (Burke/Reich), a standard approximation here.
+///  * The Exp(1/W) sojourn shape holds for open M/M/1 centres, i.e. at
+///    light-to-moderate load. In a deeply saturated *closed* system the
+///    latency distribution concentrates (nearly all N sources queue at
+///    the bottleneck and drain deterministically), so these percentiles
+///    overstate the spread there. Check `reliable()` — it flags
+///    predictions whose busiest traversed centre exceeds 90%
+///    utilisation. The integration test pins the model against the
+///    simulator's percentiles in the regime where it is reliable.
+
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/system_config.hpp"
+
+namespace hmcs::analytic {
+
+struct LatencyDistribution {
+  /// P(latency <= t_us). t < 0 yields 0.
+  double cdf(double t_us) const;
+
+  /// Inverse CDF by bisection; q in (0, 1).
+  double quantile(double q) const;
+
+  /// Convenience percentiles.
+  double p50_us() const { return quantile(0.50); }
+  double p95_us() const { return quantile(0.95); }
+  double p99_us() const { return quantile(0.99); }
+
+  /// Mean of the mixture (equals eq. (15) by construction).
+  double mean_us() const;
+
+  /// False when the prediction came from a near-saturated centre (> 90%
+  /// utilisation), where the exponential-sojourn shape no longer holds
+  /// for the closed system (see the header note).
+  bool reliable = true;
+
+  // --- mixture parameters (exposed for tests) -----------------------------
+  double local_weight = 0.0;   ///< 1 - P
+  double local_rate = 0.0;     ///< mu_I1 - lambda_I1
+  double remote_weight = 0.0;  ///< P
+  double ecn1_rate = 0.0;      ///< mu_E1 - lambda_E1 (two visits)
+  double icn2_rate = 0.0;      ///< mu_I2 - lambda_I2
+};
+
+/// Builds the distribution from a solved prediction (use any solver;
+/// rates come from the prediction's per-centre response times). Requires
+/// every traversed centre to be stable at the solution.
+LatencyDistribution latency_distribution(const LatencyPrediction& prediction);
+
+/// One-call helper: solve (exact MVA by default — its per-centre waits
+/// are the closed network's) and build the distribution.
+LatencyDistribution predict_latency_distribution(
+    const SystemConfig& config,
+    SourceThrottling method = SourceThrottling::kExactMva);
+
+}  // namespace hmcs::analytic

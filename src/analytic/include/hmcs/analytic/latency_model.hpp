@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file latency_model.hpp
+/// The end-to-end analytical model (Section 4): combines the routing
+/// probability (eq. 8), Jackson arrival rates (eqs. 1-5), per-network
+/// service times (Section 5), the blocked-source fixed point (eqs. 6-7),
+/// and eq. (15)
+///
+///     T_W = (1-P) W_I1 + P (W_I2 + 2 W_E1)
+///
+/// into a mean-message-latency prediction with full per-centre
+/// diagnostics. This is the paper's primary deliverable.
+
+#include <cstdint>
+
+#include "hmcs/analytic/arrival_rates.hpp"
+#include "hmcs/analytic/fixed_point.hpp"
+#include "hmcs/analytic/service_time.hpp"
+#include "hmcs/analytic/system_config.hpp"
+
+namespace hmcs::analytic {
+
+struct ModelOptions {
+  FixedPointOptions fixed_point;
+};
+
+/// Per-service-centre view of the solved network.
+struct CenterPrediction {
+  double arrival_rate;      ///< messages/us at lambda_effective
+  double service_rate;      ///< mu = 1/T
+  double utilization;       ///< rho
+  double response_time_us;  ///< W = 1/(mu - lambda), eq. (16)
+  double queue_length;      ///< L = rho/(1-rho)
+};
+
+struct LatencyPrediction {
+  /// eq. (15) evaluated at the effective rate: the headline number.
+  double mean_latency_us;
+
+  double inter_cluster_probability;  ///< eq. (8)
+  double lambda_offered;             ///< configured per-processor rate
+  double lambda_effective;           ///< eq. (7) fixed point
+  double total_queue_length;         ///< eq. (6) at the fixed point
+  bool fixed_point_converged;
+  std::uint32_t fixed_point_iterations;
+
+  CenterPrediction icn1;
+  CenterPrediction ecn1;
+  CenterPrediction icn2;
+  CenterServiceTimes service_times;
+};
+
+/// Solves the model for one configuration. Throws hmcs::ConfigError for
+/// invalid configurations; a saturated system is *not* an error — the
+/// fixed point throttles lambda_effective below saturation, exactly the
+/// behaviour assumption 4 models.
+LatencyPrediction predict_latency(const SystemConfig& config,
+                                  const ModelOptions& options = {});
+
+}  // namespace hmcs::analytic

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file mm1.hpp
+/// M/M/1 service-centre formulas used by the Jackson-network model. The
+/// paper models every communication network as an exponential
+/// single-server queue; eq. (16) is the response time W = 1/(mu-lambda).
+
+#include <cmath>
+#include <limits>
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::analytic::mm1 {
+
+/// Offered load rho = lambda/mu. Requires mu > 0, lambda >= 0.
+inline double utilization(double lambda, double mu) {
+  require(mu > 0.0, "mm1: service rate must be > 0");
+  require(lambda >= 0.0, "mm1: arrival rate must be >= 0");
+  return lambda / mu;
+}
+
+inline bool is_stable(double lambda, double mu) {
+  return utilization(lambda, mu) < 1.0;
+}
+
+/// eq. (16): mean response time (wait + service). Infinite when the
+/// centre is saturated (lambda >= mu) — callers that iterate the
+/// effective-rate fixed point rely on this growing without bound rather
+/// than throwing.
+inline double response_time(double lambda, double mu) {
+  if (!is_stable(lambda, mu)) return std::numeric_limits<double>::infinity();
+  return 1.0 / (mu - lambda);
+}
+
+/// Mean waiting time in queue only: W - 1/mu.
+inline double waiting_time(double lambda, double mu) {
+  const double w = response_time(lambda, mu);
+  return std::isinf(w) ? w : w - 1.0 / mu;
+}
+
+/// Mean number in system L = rho/(1-rho) (Little: L = lambda * W).
+inline double number_in_system(double lambda, double mu) {
+  const double rho = utilization(lambda, mu);
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  return rho / (1.0 - rho);
+}
+
+/// Mean number waiting in queue Lq = rho^2/(1-rho).
+inline double number_in_queue(double lambda, double mu) {
+  const double rho = utilization(lambda, mu);
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  return rho * rho / (1.0 - rho);
+}
+
+}  // namespace hmcs::analytic::mm1
+
+/// M/G/1 generalisation via Pollaczek-Khinchine: the service time has
+/// squared coefficient of variation cv2 (1 = exponential, recovering
+/// M/M/1; 0 = deterministic, M/D/1, halving the queueing term). The
+/// paper assumes exponential service; this is the knob behind the
+/// service-distribution ablation's analytical column.
+namespace hmcs::analytic::mg1 {
+
+/// Mean response time W = S + rho*S*(1+cv2) / (2(1-rho)).
+inline double response_time(double lambda, double mu, double cv2) {
+  require(cv2 >= 0.0, "mg1: cv^2 must be >= 0");
+  const double rho = mm1::utilization(lambda, mu);
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  const double service = 1.0 / mu;
+  return service + rho * service * (1.0 + cv2) / (2.0 * (1.0 - rho));
+}
+
+/// Mean number in system by Little's law.
+inline double number_in_system(double lambda, double mu, double cv2) {
+  const double w = response_time(lambda, mu, cv2);
+  return std::isinf(w) ? w : lambda * w;
+}
+
+}  // namespace hmcs::analytic::mg1

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file mva.hpp
+/// Exact Mean Value Analysis for single-class closed product-form
+/// queueing networks (Reiser & Lavenberg). The simulated system *is*
+/// such a network: N processors cycle through an exponential think stage
+/// (mean 1/lambda) and FCFS exponential service centres, so MVA computes
+/// its exact steady-state means.
+///
+/// The paper instead approximates the closed behaviour with the
+/// open-network eqs. (6)-(7); SourceThrottling::kExactMva lets the
+/// latency model use this solver, and the ablation bench quantifies how
+/// much accuracy the paper's approximation gives away (it is substantial
+/// near saturation, e.g. the C=2 point of Figure 4).
+
+#include <cstdint>
+#include <vector>
+
+namespace hmcs::analytic {
+
+struct MvaStation {
+  /// Expected visits per customer cycle (may be 0 for unused centres).
+  double visit_ratio = 0.0;
+  /// Service rate mu in messages per microsecond.
+  double service_rate = 0.0;
+};
+
+struct MvaResult {
+  /// System throughput X(N): completed cycles per microsecond.
+  double throughput = 0.0;
+  /// Per-station mean response time per visit (W_i), microseconds.
+  std::vector<double> response_time_us;
+  /// Per-station mean number in system (L_i).
+  std::vector<double> queue_length;
+  /// Mean time per cycle spent in queueing stations:
+  /// sum_i v_i W_i = N/X - Z.
+  double total_residence_us = 0.0;
+};
+
+/// Runs the exact MVA recursion for `population` customers over the
+/// given stations plus one delay (think) stage of `think_time_us`.
+/// Requires population >= 1, think_time_us >= 0, every service_rate > 0,
+/// every visit_ratio >= 0.
+MvaResult solve_closed_mva(const std::vector<MvaStation>& stations,
+                           double think_time_us, std::uint64_t population);
+
+// --- Multi-class approximate MVA --------------------------------------------
+
+/// One customer class: a cluster's processors in the heterogeneous
+/// model. All classes share the stations (service rates are per-station)
+/// but differ in population, think time, and visit ratios.
+struct MvaClass {
+  std::uint64_t population = 0;
+  double think_time_us = 0.0;
+  /// Visits per cycle at each station; size must match the station list.
+  std::vector<double> visit_ratios;
+};
+
+struct MultiClassMvaResult {
+  /// Per-class throughput X_c (cycles per microsecond).
+  std::vector<double> throughput;
+  /// response_time_us[c][i]: class-c mean response per visit at station i.
+  std::vector<std::vector<double>> response_time_us;
+  /// queue_length[i]: total customers at station i (all classes).
+  std::vector<double> queue_length;
+  std::uint32_t iterations = 0;
+  bool converged = false;
+};
+
+/// Bard-Schweitzer approximate MVA for multi-class closed networks:
+/// fixed-point iteration on L with the (N_c-1)/N_c self-exclusion
+/// correction. Typical accuracy is within a few percent of exact MVA,
+/// whose multi-class recursion costs prod_c (N_c+1) states and is
+/// infeasible beyond toy populations. Service rates must be > 0;
+/// classes with zero population are rejected.
+MultiClassMvaResult solve_multiclass_amva(
+    const std::vector<double>& station_service_rates,
+    const std::vector<MvaClass>& classes, double tolerance = 1e-10,
+    std::uint32_t max_iterations = 10000);
+
+// --- HMSCS-shaped network ---------------------------------------------------
+
+struct SystemConfig;   // system_config.hpp
+struct CenterServiceTimes;  // service_time.hpp
+
+/// Station layout of the HMSCS closed network: C ICN1 stations (visit
+/// ratio (1-P)/C each), C ECN1 stations (2P/C each, covering the source
+/// and destination ECN1 visits of a remote message), one ICN2 (P).
+struct HmcsMvaLayout {
+  std::vector<MvaStation> stations;
+  std::size_t icn1_index = 0;  ///< first ICN1 station
+  std::size_t ecn1_index = 0;  ///< first ECN1 station
+  std::size_t icn2_index = 0;
+};
+
+HmcsMvaLayout build_hmcs_mva_layout(const SystemConfig& config,
+                                    const CenterServiceTimes& service);
+
+}  // namespace hmcs::analytic

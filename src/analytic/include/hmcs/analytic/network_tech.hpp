@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file network_tech.hpp
+/// Network technology descriptions: per-link latency (alpha) and
+/// bandwidth (1/beta), the heterogeneity knobs of the model (eq. 10:
+/// T_ij = alpha_ij + M * beta_ij). Presets carry the paper's Table 2
+/// values; Myrinet and Infiniband figures (from the same era's published
+/// measurements) are included for design-space exploration beyond the
+/// paper's two technologies.
+
+#include <string>
+
+namespace hmcs::analytic {
+
+struct NetworkTechnology {
+  std::string name;
+  /// alpha: per-message latency in microseconds.
+  double latency_us = 0.0;
+  /// 1/beta: bandwidth in bytes per microsecond (numerically MB/s).
+  double bandwidth_bytes_per_us = 0.0;
+
+  /// beta: time to move one byte, in microseconds.
+  double byte_time_us() const { return 1.0 / bandwidth_bytes_per_us; }
+
+  /// eq. (10): raw link transmission time for an M-byte message.
+  double transmission_time_us(double message_bytes) const {
+    return latency_us + message_bytes * byte_time_us();
+  }
+};
+
+/// Table 2: Gigabit Ethernet — 80 us latency, 94 MB/s.
+NetworkTechnology gigabit_ethernet();
+
+/// Table 2: Fast Ethernet — 50 us latency, 10.5 MB/s.
+NetworkTechnology fast_ethernet();
+
+/// Myrinet 2000 (Lobosco et al. 2002 measurements): ~9 us, ~230 MB/s.
+NetworkTechnology myrinet();
+
+/// Infiniband 4x SDR era figures: ~6 us, ~700 MB/s.
+NetworkTechnology infiniband();
+
+/// Validates a custom technology (positive bandwidth, non-negative
+/// latency); throws hmcs::ConfigError with the technology name otherwise.
+void validate(const NetworkTechnology& tech);
+
+}  // namespace hmcs::analytic

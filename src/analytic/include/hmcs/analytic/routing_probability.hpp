@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file routing_probability.hpp
+/// eq. (8): the probability P that a processor's uniformly chosen
+/// destination lies outside its own cluster,
+///
+///     P = (C-1) * N0 / (C * N0 - 1)
+///
+/// i.e. (nodes outside my cluster) / (all nodes but me), per assumption 3.
+
+#include <cstdint>
+
+namespace hmcs::analytic {
+
+/// Requires C >= 1, N0 >= 1, and C*N0 >= 2 unless the system is a single
+/// node (C=1, N0=1), where P is defined as 0 (no destinations exist).
+double inter_cluster_probability(std::uint32_t clusters,
+                                 std::uint32_t nodes_per_cluster);
+
+}  // namespace hmcs::analytic

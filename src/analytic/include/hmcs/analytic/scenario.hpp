@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file scenario.hpp
+/// The paper's validation scenarios (Tables 1 and 2): a 256-node system,
+/// 24-port/10 us switches, and two network-heterogeneity cases —
+///
+///   Case 1: ICN1 = Gigabit Ethernet, ECN1 & ICN2 = Fast Ethernet
+///   Case 2: ICN1 = Fast Ethernet,    ECN1 & ICN2 = Gigabit Ethernet
+///
+/// See DESIGN.md note 4 on the generation-rate unit: the headline
+/// experiments run at 0.25 msg/ms; kPaperLiteralRate gives the text's
+/// 0.25 msg/s for the low-load ablation.
+
+#include <cstdint>
+
+#include "hmcs/analytic/system_config.hpp"
+
+namespace hmcs::analytic {
+
+enum class HeterogeneityCase { kCase1, kCase2 };
+
+const char* to_string(HeterogeneityCase c);
+
+/// Table 2 constants.
+inline constexpr std::uint32_t kPaperTotalNodes = 256;
+inline constexpr std::uint32_t kPaperSwitchPorts = 24;
+inline constexpr double kPaperSwitchLatencyUs = 10.0;
+/// Headline rate: 0.25 msg/ms = 2.5e-4 msg/us.
+inline constexpr double kPaperRatePerUs = 0.25e-3;
+/// The literal Table 2 reading: 0.25 msg/s.
+inline constexpr double kPaperLiteralRatePerUs = 0.25e-6;
+
+/// Builds the paper configuration for a given cluster count. `clusters`
+/// must divide `total_nodes` (assumption 5: equal cluster sizes).
+SystemConfig paper_scenario(HeterogeneityCase hetero, std::uint32_t clusters,
+                            NetworkArchitecture architecture,
+                            double message_bytes,
+                            std::uint32_t total_nodes = kPaperTotalNodes,
+                            double rate_per_us = kPaperRatePerUs);
+
+/// The cluster-count sweep of Figures 4-7: 1, 2, 4, ..., 256.
+const std::uint32_t* paper_cluster_sweep(std::size_t* count);
+
+}  // namespace hmcs::analytic

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file serialize.hpp
+/// JSON serialisation of configurations and predictions, for downstream
+/// tooling (plotting the figure series, archiving experiment records).
+/// Output is stable: keys in declaration order, units spelled out in
+/// key names.
+
+#include <string>
+
+#include "hmcs/analytic/cluster_of_clusters.hpp"
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/system_config.hpp"
+#include "hmcs/util/json.hpp"
+
+namespace hmcs::analytic {
+
+/// Appends the technology as a JSON object to an open writer position.
+void write_json(JsonWriter& json, const NetworkTechnology& tech);
+
+void write_json(JsonWriter& json, const SystemConfig& config);
+void write_json(JsonWriter& json, const CenterPrediction& center);
+void write_json(JsonWriter& json, const LatencyPrediction& prediction);
+void write_json(JsonWriter& json, const ClusterOfClustersConfig& config);
+void write_json(JsonWriter& json, const HeteroLatencyPrediction& prediction);
+
+/// Convenience: a standalone document.
+std::string to_json(const SystemConfig& config);
+std::string to_json(const LatencyPrediction& prediction);
+std::string to_json(const ClusterOfClustersConfig& config);
+std::string to_json(const HeteroLatencyPrediction& prediction);
+
+}  // namespace hmcs::analytic

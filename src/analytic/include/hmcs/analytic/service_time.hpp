@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file service_time.hpp
+/// Mean service time of one communication network, Section 5:
+///
+///   non-blocking fat-tree, eq. (11):
+///       T = alpha + (2d-1) alpha_sw + M beta,        T_B = 0
+///   blocking linear array, eqs. (19)-(21):
+///       T = alpha + ((k+1)/3) alpha_sw + (N/2) M beta
+///       (the (N/2-1) M beta blocking term of eq. (20) folded into the
+///        M beta transmission term)
+///
+/// `endpoints` is the number of devices attached to *that* network: N0
+/// for a cluster's ICN1/ECN1, C for the second-stage ICN2 (DESIGN.md
+/// note 3). The returned breakdown keeps the terms separate so tests and
+/// documentation can reference each physical contribution.
+
+#include <cstdint>
+
+#include "hmcs/analytic/network_tech.hpp"
+#include "hmcs/analytic/system_config.hpp"
+
+namespace hmcs::analytic {
+
+struct ServiceTimeBreakdown {
+  double link_latency_us;     ///< alpha
+  double switch_latency_us;   ///< (2d-1) alpha_sw  or  ((k+1)/3) alpha_sw
+  double transmission_us;     ///< M beta
+  double blocking_us;         ///< eq. (20); 0 for non-blocking networks
+
+  double total_us() const {
+    return link_latency_us + switch_latency_us + transmission_us + blocking_us;
+  }
+  /// Service rate mu = 1/T in messages per microsecond.
+  double service_rate() const { return 1.0 / total_us(); }
+};
+
+/// Computes the mean service time of a network with `endpoints` attached
+/// devices. A single-endpoint network never carries traffic; it is given
+/// a pure link time (alpha + M beta) so its service rate stays finite.
+ServiceTimeBreakdown network_service_time(const NetworkTechnology& tech,
+                                          std::uint64_t endpoints,
+                                          const SwitchParams& sw,
+                                          NetworkArchitecture architecture,
+                                          double message_bytes);
+
+/// All three centres of a SystemConfig at once.
+struct CenterServiceTimes {
+  ServiceTimeBreakdown icn1;
+  ServiceTimeBreakdown ecn1;
+  ServiceTimeBreakdown icn2;
+};
+
+CenterServiceTimes center_service_times(const SystemConfig& config);
+
+}  // namespace hmcs::analytic

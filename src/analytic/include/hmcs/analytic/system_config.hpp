@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file system_config.hpp
+/// The HMSCS system description shared by the analytical model and the
+/// validation simulator: C clusters of N0 nodes, three network roles
+/// (ICN1 within a cluster, ECN1 out of a cluster, ICN2 between clusters),
+/// the switch fabric parameters, and the workload (fixed message size M,
+/// per-processor Poisson generation rate lambda).
+
+#include <cstdint>
+
+#include "hmcs/analytic/network_tech.hpp"
+
+namespace hmcs::analytic {
+
+/// Section 5's two interconnect architectures.
+enum class NetworkArchitecture {
+  kNonBlocking,  ///< multi-stage fat-tree, full bisection, T_B = 0
+  kBlocking,     ///< linear switch array, bisection 1, T_B = (N/2-1)M*beta
+};
+
+const char* to_string(NetworkArchitecture arch);
+
+/// Table 2's switch fabric: Pr ports, 10 us traversal latency.
+struct SwitchParams {
+  std::uint32_t ports = 24;
+  double latency_us = 10.0;
+};
+
+struct SystemConfig {
+  /// C: number of clusters (>= 1).
+  std::uint32_t clusters = 1;
+  /// N0: processors per cluster (>= 1); assumption 5 makes them equal.
+  std::uint32_t nodes_per_cluster = 1;
+
+  NetworkTechnology icn1;  ///< intra-cluster network
+  NetworkTechnology ecn1;  ///< cluster egress network
+  NetworkTechnology icn2;  ///< second-stage inter-cluster network
+
+  SwitchParams switch_params;
+  NetworkArchitecture architecture = NetworkArchitecture::kNonBlocking;
+
+  /// M: fixed message length in bytes (assumption 6).
+  double message_bytes = 1024.0;
+
+  /// lambda: per-processor Poisson message generation rate, in messages
+  /// per microsecond (assumption 1). See DESIGN.md on the paper's
+  /// "0.25 msg/sec" unit reconciliation.
+  double generation_rate_per_us = 0.25e-3;
+
+  /// N = C * N0.
+  std::uint64_t total_nodes() const {
+    return static_cast<std::uint64_t>(clusters) * nodes_per_cluster;
+  }
+
+  /// Throws hmcs::ConfigError when any field is out of domain.
+  void validate() const;
+};
+
+}  // namespace hmcs::analytic

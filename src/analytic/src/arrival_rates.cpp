@@ -1,0 +1,27 @@
+#include "hmcs/analytic/arrival_rates.hpp"
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::analytic {
+
+ArrivalRates compute_arrival_rates(std::uint32_t clusters,
+                                   std::uint32_t nodes_per_cluster, double p,
+                                   double lambda) {
+  require(clusters >= 1, "arrival_rates: C must be >= 1");
+  require(nodes_per_cluster >= 1, "arrival_rates: N0 must be >= 1");
+  require(p >= 0.0 && p <= 1.0, "arrival_rates: P must be in [0, 1]");
+  require(lambda >= 0.0, "arrival_rates: lambda must be >= 0");
+
+  const double n0 = static_cast<double>(nodes_per_cluster);
+  const double c = static_cast<double>(clusters);
+
+  ArrivalRates rates{};
+  rates.icn1 = n0 * (1.0 - p) * lambda;          // eq. (1)
+  rates.ecn1_forward = n0 * p * lambda;          // eq. (2)
+  rates.icn2 = c * n0 * p * lambda;              // eq. (3)
+  rates.ecn1_return = rates.icn2 / c;            // eq. (4)
+  rates.ecn1 = rates.ecn1_forward + rates.ecn1_return;  // eq. (5)
+  return rates;
+}
+
+}  // namespace hmcs::analytic

@@ -1,0 +1,59 @@
+#include "hmcs/analytic/bounds.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "hmcs/analytic/routing_probability.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::analytic {
+
+AsymptoticBounds compute_bounds(const SystemConfig& config) {
+  return compute_bounds(config, center_service_times(config));
+}
+
+AsymptoticBounds compute_bounds(const SystemConfig& config,
+                                const CenterServiceTimes& service) {
+  config.validate();
+  const double p =
+      inter_cluster_probability(config.clusters, config.nodes_per_cluster);
+  const double c = static_cast<double>(config.clusters);
+  const double n = static_cast<double>(config.total_nodes());
+  const double z = 1.0 / config.generation_rate_per_us;
+
+  // Per-station demands (visit ratio x mean service time).
+  const double icn1_station = (1.0 - p) / c * service.icn1.total_us();
+  const double ecn1_station = 2.0 * p / c * service.ecn1.total_us();
+  const double icn2_station = p * service.icn2.total_us();
+
+  AsymptoticBounds bounds;
+  bounds.total_demand_us =
+      c * icn1_station + c * ecn1_station + icn2_station;
+
+  bounds.bottleneck_demand_us = icn1_station;
+  bounds.bottleneck = "ICN1";
+  if (ecn1_station > bounds.bottleneck_demand_us) {
+    bounds.bottleneck_demand_us = ecn1_station;
+    bounds.bottleneck = "ECN1";
+  }
+  if (icn2_station > bounds.bottleneck_demand_us) {
+    bounds.bottleneck_demand_us = icn2_station;
+    bounds.bottleneck = "ICN2";
+  }
+
+  // System throughput bound, then per processor.
+  const double x_population = n / (bounds.total_demand_us + z);
+  const double x_bottleneck =
+      bounds.bottleneck_demand_us > 0.0
+          ? 1.0 / bounds.bottleneck_demand_us
+          : std::numeric_limits<double>::infinity();
+  bounds.throughput_upper_per_us =
+      std::min(x_population, x_bottleneck) / n;
+
+  bounds.latency_lower_us =
+      std::max(bounds.total_demand_us,
+               n * bounds.bottleneck_demand_us - z);
+  return bounds;
+}
+
+}  // namespace hmcs::analytic

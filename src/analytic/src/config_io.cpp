@@ -1,0 +1,80 @@
+#include "hmcs/analytic/config_io.hpp"
+
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/string_util.hpp"
+#include "hmcs/util/units.hpp"
+
+namespace hmcs::analytic {
+
+NetworkTechnology parse_technology(const std::string& spec) {
+  const std::string trimmed = trim(spec);
+  if (trimmed == "gigabit-ethernet") return gigabit_ethernet();
+  if (trimmed == "fast-ethernet") return fast_ethernet();
+  if (trimmed == "myrinet") return myrinet();
+  if (trimmed == "infiniband") return infiniband();
+  if (starts_with(trimmed, "custom:")) {
+    const auto fields = split(trimmed.substr(7), ',');
+    require(fields.size() == 3,
+            "technology '" + spec +
+                "': custom needs <name>,<latency_us>,<bandwidth MB/s>");
+    NetworkTechnology tech;
+    tech.name = trim(fields[0]);
+    tech.latency_us = parse_double(fields[1]);
+    tech.bandwidth_bytes_per_us =
+        units::mbps_to_bytes_per_us(parse_double(fields[2]));
+    validate(tech);
+    return tech;
+  }
+  detail::throw_config_error(
+      "unknown technology '" + spec +
+          "' (presets: gigabit-ethernet, fast-ethernet, myrinet, "
+          "infiniband; or custom:<name>,<latency_us>,<MB/s>)",
+      std::source_location::current());
+}
+
+SystemConfig system_config_from(const KeyValueFile& file) {
+  const std::vector<std::string> known{
+      "clusters",      "nodes_per_cluster", "architecture",
+      "icn1",          "ecn1",              "icn2",
+      "message_bytes", "generation_rate_per_s", "switch_ports",
+      "switch_latency_us"};
+  const auto unknown = file.unknown_keys(known);
+  require(unknown.empty(),
+          "config: unknown key '" + (unknown.empty() ? "" : unknown[0]) + "'");
+
+  SystemConfig config;
+  config.clusters = static_cast<std::uint32_t>(file.get_int("clusters"));
+  config.nodes_per_cluster =
+      static_cast<std::uint32_t>(file.get_int("nodes_per_cluster"));
+
+  const std::string arch = file.get("architecture");
+  if (arch == "non-blocking" || arch == "fat-tree") {
+    config.architecture = NetworkArchitecture::kNonBlocking;
+  } else if (arch == "blocking" || arch == "chain") {
+    config.architecture = NetworkArchitecture::kBlocking;
+  } else {
+    detail::throw_config_error(
+        "config: architecture must be non-blocking|blocking, got '" + arch +
+            "'",
+        std::source_location::current());
+  }
+
+  config.icn1 = parse_technology(file.get("icn1"));
+  config.ecn1 = parse_technology(file.get("ecn1"));
+  config.icn2 = parse_technology(file.get("icn2"));
+  config.message_bytes = file.get_double("message_bytes");
+  config.generation_rate_per_us =
+      units::per_s_to_per_us(file.get_double("generation_rate_per_s"));
+  config.switch_params.ports =
+      static_cast<std::uint32_t>(parse_int(file.get_or("switch_ports", "24")));
+  config.switch_params.latency_us =
+      parse_double(file.get_or("switch_latency_us", "10"));
+  config.validate();
+  return config;
+}
+
+SystemConfig load_system_config(const std::string& path) {
+  return system_config_from(KeyValueFile::load(path));
+}
+
+}  // namespace hmcs::analytic

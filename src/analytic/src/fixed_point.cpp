@@ -1,0 +1,159 @@
+#include "hmcs/analytic/fixed_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hmcs/analytic/arrival_rates.hpp"
+#include "hmcs/analytic/mm1.hpp"
+#include "hmcs/analytic/mva.hpp"
+#include "hmcs/analytic/routing_probability.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::analytic {
+
+double total_queue_length(const SystemConfig& config,
+                          const CenterServiceTimes& service,
+                          double lambda_effective, QueueLengthRule rule,
+                          double service_cv2) {
+  require(lambda_effective >= 0.0, "total_queue_length: rate must be >= 0");
+  const double n = static_cast<double>(config.total_nodes());
+  const double p =
+      inter_cluster_probability(config.clusters, config.nodes_per_cluster);
+  const ArrivalRates rates = compute_arrival_rates(
+      config.clusters, config.nodes_per_cluster, p, lambda_effective);
+
+  const double l_icn1 = mg1::number_in_system(
+      rates.icn1, service.icn1.service_rate(), service_cv2);
+  const double l_ecn1 = mg1::number_in_system(
+      rates.ecn1, service.ecn1.service_rate(), service_cv2);
+  const double l_icn2 = mg1::number_in_system(
+      rates.icn2, service.icn2.service_rate(), service_cv2);
+  if (std::isinf(l_icn1) || std::isinf(l_ecn1) || std::isinf(l_icn2)) {
+    return n;  // a saturated centre eventually blocks every source
+  }
+
+  const double c = static_cast<double>(config.clusters);
+  const double ecn1_weight = (rule == QueueLengthRule::kPaperEq6) ? 2.0 : 1.0;
+  const double total = c * (ecn1_weight * l_ecn1 + l_icn1) + l_icn2;
+  return std::min(total, n);
+}
+
+namespace {
+
+FixedPointResult solve_none(const SystemConfig& config,
+                            const CenterServiceTimes& service,
+                            const FixedPointOptions& options) {
+  return FixedPointResult{
+      config.generation_rate_per_us,
+      total_queue_length(config, service, config.generation_rate_per_us,
+                         options.queue_rule, options.service_cv2),
+      0, true};
+}
+
+FixedPointResult solve_picard(const SystemConfig& config,
+                              const CenterServiceTimes& service,
+                              const FixedPointOptions& options) {
+  const double lambda = config.generation_rate_per_us;
+  const double n = static_cast<double>(config.total_nodes());
+  double current = lambda;
+  double queue = 0.0;
+  for (std::uint32_t i = 1; i <= options.max_iterations; ++i) {
+    queue = total_queue_length(config, service, current, options.queue_rule, options.service_cv2);
+    const double candidate = lambda * (n - queue) / n;
+    const double next = options.picard_damping * candidate +
+                        (1.0 - options.picard_damping) * current;
+    if (std::fabs(next - current) <= options.tolerance * lambda) {
+      return FixedPointResult{next,
+                              total_queue_length(config, service, next,
+                                                 options.queue_rule, options.service_cv2),
+                              i, true};
+    }
+    current = next;
+  }
+  return FixedPointResult{current, queue, options.max_iterations, false};
+}
+
+FixedPointResult solve_bisection(const SystemConfig& config,
+                                 const CenterServiceTimes& service,
+                                 const FixedPointOptions& options) {
+  const double lambda = config.generation_rate_per_us;
+  const double n = static_cast<double>(config.total_nodes());
+  auto g = [&](double x) {
+    return lambda * (n - total_queue_length(config, service, x,
+                                            options.queue_rule, options.service_cv2)) /
+               n -
+           x;
+  };
+
+  // g(lambda) <= 0 always; if g(lambda) == 0 the system is load-free.
+  if (g(lambda) >= 0.0) {
+    return FixedPointResult{
+        lambda,
+        total_queue_length(config, service, lambda, options.queue_rule, options.service_cv2), 1,
+        true};
+  }
+
+  double lo = 0.0;  // g(0+) = lambda > 0
+  double hi = lambda;
+  std::uint32_t iterations = 0;
+  while (iterations < options.max_iterations &&
+         (hi - lo) > options.tolerance * lambda) {
+    ++iterations;
+    const double mid = 0.5 * (lo + hi);
+    if (g(mid) > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  // Report the stable side of the bracket (queue length finite).
+  const double solution = lo;
+  return FixedPointResult{
+      solution,
+      total_queue_length(config, service, solution, options.queue_rule, options.service_cv2),
+      iterations, (hi - lo) <= options.tolerance * lambda};
+}
+
+FixedPointResult solve_mva(const SystemConfig& config,
+                           const CenterServiceTimes& service) {
+  const HmcsMvaLayout layout = build_hmcs_mva_layout(config, service);
+  const double think = 1.0 / config.generation_rate_per_us;
+  const MvaResult mva =
+      solve_closed_mva(layout.stations, think, config.total_nodes());
+  double total_queue = 0.0;
+  for (const double l : mva.queue_length) total_queue += l;
+  return FixedPointResult{
+      mva.throughput / static_cast<double>(config.total_nodes()), total_queue,
+      static_cast<std::uint32_t>(config.total_nodes()), true};
+}
+
+}  // namespace
+
+FixedPointResult solve_effective_rate(const SystemConfig& config,
+                                      const CenterServiceTimes& service,
+                                      const FixedPointOptions& options) {
+  config.validate();
+  require(options.tolerance > 0.0, "fixed_point: tolerance must be > 0");
+  require(options.max_iterations >= 1, "fixed_point: needs >= 1 iteration");
+  require(options.picard_damping > 0.0 && options.picard_damping <= 1.0,
+          "fixed_point: damping must be in (0, 1]");
+  require(options.service_cv2 >= 0.0, "fixed_point: cv^2 must be >= 0");
+  require(options.method != SourceThrottling::kExactMva ||
+              options.service_cv2 == 1.0,
+          "fixed_point: exact MVA requires exponential service (cv^2 = 1)");
+
+  switch (options.method) {
+    case SourceThrottling::kNone:
+      return solve_none(config, service, options);
+    case SourceThrottling::kPicard:
+      return solve_picard(config, service, options);
+    case SourceThrottling::kBisection:
+      return solve_bisection(config, service, options);
+    case SourceThrottling::kExactMva:
+      return solve_mva(config, service);
+  }
+  ensure(false, "fixed_point: unknown method");
+  return {};
+}
+
+}  // namespace hmcs::analytic

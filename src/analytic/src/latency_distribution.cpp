@@ -1,0 +1,115 @@
+#include "hmcs/analytic/latency_distribution.hpp"
+
+#include <cmath>
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::analytic {
+
+namespace {
+
+/// CDF of Erlang-2(a) + Exp(b) at t, for a != b, via partial fractions
+/// of a^2 b / ((s+a)^2 (s+b)):
+///   f(t) = A e^{-at} + B t e^{-at} + C e^{-bt}
+///   A = -a^2 b/(b-a)^2,  B = a^2 b/(b-a),  C = a^2 b/(a-b)^2.
+double erlang2_plus_exp_cdf(double a, double b, double t) {
+  if (t <= 0.0) return 0.0;
+  // Repeated-pole degeneracy: nudge b (documented approximation; the
+  // perturbation is far below every other error source here).
+  if (std::fabs(a - b) < 1e-9 * a) b = a * (1.0 + 1e-6);
+  const double d = b - a;
+  const double common = a * a * b;
+  const double coeff_a = -common / (d * d);
+  const double coeff_b = common / d;
+  const double coeff_c = common / (d * d);
+  const double eat = std::exp(-a * t);
+  const double ebt = std::exp(-b * t);
+  const double cdf = coeff_a * (1.0 - eat) / a +
+                     coeff_b * (1.0 - eat * (1.0 + a * t)) / (a * a) +
+                     coeff_c * (1.0 - ebt) / b;
+  // Clamp tiny numerical excursions.
+  return std::fmin(1.0, std::fmax(0.0, cdf));
+}
+
+}  // namespace
+
+double LatencyDistribution::cdf(double t_us) const {
+  if (t_us <= 0.0) return 0.0;
+  double value = 0.0;
+  if (local_weight > 0.0) {
+    value += local_weight * (1.0 - std::exp(-local_rate * t_us));
+  }
+  if (remote_weight > 0.0) {
+    value += remote_weight * erlang2_plus_exp_cdf(ecn1_rate, icn2_rate, t_us);
+  }
+  return value;
+}
+
+double LatencyDistribution::quantile(double q) const {
+  require(q > 0.0 && q < 1.0, "LatencyDistribution: q must be in (0, 1)");
+  double hi = mean_us();
+  require(hi > 0.0, "LatencyDistribution: degenerate distribution");
+  while (cdf(hi) < q) hi *= 2.0;
+  double lo = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double LatencyDistribution::mean_us() const {
+  double mean = 0.0;
+  if (local_weight > 0.0) mean += local_weight / local_rate;
+  if (remote_weight > 0.0) {
+    mean += remote_weight * (2.0 / ecn1_rate + 1.0 / icn2_rate);
+  }
+  return mean;
+}
+
+LatencyDistribution latency_distribution(const LatencyPrediction& prediction) {
+  LatencyDistribution dist;
+  const double p = prediction.inter_cluster_probability;
+  dist.local_weight = 1.0 - p;
+  dist.remote_weight = p;
+  // Each centre's sojourn is approximated Exp(1/W); W comes from
+  // whichever solver produced the prediction.
+  if (dist.local_weight > 0.0) {
+    require(std::isfinite(prediction.icn1.response_time_us) &&
+                prediction.icn1.response_time_us > 0.0,
+            "latency_distribution: ICN1 is saturated");
+    dist.local_rate = 1.0 / prediction.icn1.response_time_us;
+  }
+  if (dist.remote_weight > 0.0) {
+    require(std::isfinite(prediction.ecn1.response_time_us) &&
+                std::isfinite(prediction.icn2.response_time_us) &&
+                prediction.ecn1.response_time_us > 0.0 &&
+                prediction.icn2.response_time_us > 0.0,
+            "latency_distribution: a remote-path centre is saturated");
+    dist.ecn1_rate = 1.0 / prediction.ecn1.response_time_us;
+    dist.icn2_rate = 1.0 / prediction.icn2.response_time_us;
+  }
+  double busiest = 0.0;
+  if (dist.local_weight > 0.0) {
+    busiest = std::fmax(busiest, prediction.icn1.utilization);
+  }
+  if (dist.remote_weight > 0.0) {
+    busiest = std::fmax(busiest, prediction.ecn1.utilization);
+    busiest = std::fmax(busiest, prediction.icn2.utilization);
+  }
+  dist.reliable = busiest <= 0.9;
+  return dist;
+}
+
+LatencyDistribution predict_latency_distribution(const SystemConfig& config,
+                                                 SourceThrottling method) {
+  ModelOptions options;
+  options.fixed_point.method = method;
+  return latency_distribution(predict_latency(config, options));
+}
+
+}  // namespace hmcs::analytic

@@ -1,0 +1,165 @@
+#include "hmcs/analytic/mva.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hmcs/analytic/routing_probability.hpp"
+#include "hmcs/analytic/service_time.hpp"
+#include "hmcs/analytic/system_config.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::analytic {
+
+MvaResult solve_closed_mva(const std::vector<MvaStation>& stations,
+                           double think_time_us, std::uint64_t population) {
+  require(population >= 1, "mva: population must be >= 1");
+  require(std::isfinite(think_time_us) && think_time_us >= 0.0,
+          "mva: think time must be >= 0");
+  for (const MvaStation& station : stations) {
+    require(std::isfinite(station.visit_ratio) && station.visit_ratio >= 0.0,
+            "mva: visit ratios must be >= 0");
+    require(std::isfinite(station.service_rate) && station.service_rate > 0.0,
+            "mva: service rates must be > 0");
+  }
+
+  const std::size_t m = stations.size();
+  MvaResult result;
+  result.response_time_us.assign(m, 0.0);
+  result.queue_length.assign(m, 0.0);
+
+  // Exact recursion: W_i(n) = (1 + L_i(n-1)) / mu_i;
+  // X(n) = n / (Z + sum_i v_i W_i(n)); L_i(n) = X(n) v_i W_i(n).
+  for (std::uint64_t n = 1; n <= population; ++n) {
+    double cycle = think_time_us;
+    for (std::size_t i = 0; i < m; ++i) {
+      result.response_time_us[i] =
+          (1.0 + result.queue_length[i]) / stations[i].service_rate;
+      cycle += stations[i].visit_ratio * result.response_time_us[i];
+    }
+    ensure(cycle > 0.0, "mva: degenerate zero cycle time");
+    result.throughput = static_cast<double>(n) / cycle;
+    for (std::size_t i = 0; i < m; ++i) {
+      result.queue_length[i] = result.throughput * stations[i].visit_ratio *
+                               result.response_time_us[i];
+    }
+  }
+
+  result.total_residence_us = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    result.total_residence_us +=
+        stations[i].visit_ratio * result.response_time_us[i];
+  }
+  return result;
+}
+
+MultiClassMvaResult solve_multiclass_amva(
+    const std::vector<double>& station_service_rates,
+    const std::vector<MvaClass>& classes, double tolerance,
+    std::uint32_t max_iterations) {
+  const std::size_t m = station_service_rates.size();
+  const std::size_t k = classes.size();
+  require(m >= 1, "amva: needs at least one station");
+  require(k >= 1, "amva: needs at least one class");
+  require(tolerance > 0.0, "amva: tolerance must be > 0");
+  require(max_iterations >= 1, "amva: needs >= 1 iteration");
+  for (const double mu : station_service_rates) {
+    require(std::isfinite(mu) && mu > 0.0, "amva: service rates must be > 0");
+  }
+  for (const MvaClass& cls : classes) {
+    require(cls.population >= 1, "amva: class populations must be >= 1");
+    require(std::isfinite(cls.think_time_us) && cls.think_time_us >= 0.0,
+            "amva: think times must be >= 0");
+    require(cls.visit_ratios.size() == m,
+            "amva: visit-ratio vector must match station count");
+    for (const double v : cls.visit_ratios) {
+      require(std::isfinite(v) && v >= 0.0, "amva: visit ratios must be >= 0");
+    }
+  }
+
+  MultiClassMvaResult result;
+  result.throughput.assign(k, 0.0);
+  result.response_time_us.assign(k, std::vector<double>(m, 0.0));
+  result.queue_length.assign(m, 0.0);
+
+  // Per-class per-station queue lengths, seeded with the class spread
+  // evenly over its visited stations (the standard Schweitzer start).
+  std::vector<std::vector<double>> l(k, std::vector<double>(m, 0.0));
+  for (std::size_t c = 0; c < k; ++c) {
+    double visited = 0.0;
+    for (const double v : classes[c].visit_ratios) visited += (v > 0.0);
+    if (visited == 0.0) continue;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (classes[c].visit_ratios[i] > 0.0) {
+        l[c][i] = static_cast<double>(classes[c].population) / visited;
+      }
+    }
+  }
+
+  std::uint32_t iteration = 0;
+  for (; iteration < max_iterations; ++iteration) {
+    // Schweitzer estimate of the queue a class-c arrival sees at i:
+    // everyone else's queue plus (N_c-1)/N_c of its own class's.
+    double delta = 0.0;
+    std::vector<std::vector<double>> next(k, std::vector<double>(m, 0.0));
+    for (std::size_t c = 0; c < k; ++c) {
+      const double population = static_cast<double>(classes[c].population);
+      const double self_factor = (population - 1.0) / population;
+      double cycle = classes[c].think_time_us;
+      for (std::size_t i = 0; i < m; ++i) {
+        double seen = self_factor * l[c][i];
+        for (std::size_t other = 0; other < k; ++other) {
+          if (other != c) seen += l[other][i];
+        }
+        result.response_time_us[c][i] =
+            (1.0 + seen) / station_service_rates[i];
+        cycle += classes[c].visit_ratios[i] * result.response_time_us[c][i];
+      }
+      ensure(cycle > 0.0, "amva: degenerate zero cycle time");
+      result.throughput[c] = population / cycle;
+      for (std::size_t i = 0; i < m; ++i) {
+        next[c][i] = result.throughput[c] * classes[c].visit_ratios[i] *
+                     result.response_time_us[c][i];
+        delta = std::max(delta, std::fabs(next[c][i] - l[c][i]));
+      }
+    }
+    l.swap(next);
+    if (delta <= tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.iterations = iteration + 1;
+
+  for (std::size_t i = 0; i < m; ++i) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < k; ++c) total += l[c][i];
+    result.queue_length[i] = total;
+  }
+  return result;
+}
+
+HmcsMvaLayout build_hmcs_mva_layout(const SystemConfig& config,
+                                    const CenterServiceTimes& service) {
+  config.validate();
+  const double p =
+      inter_cluster_probability(config.clusters, config.nodes_per_cluster);
+  const double c = static_cast<double>(config.clusters);
+
+  HmcsMvaLayout layout;
+  layout.stations.reserve(2 * config.clusters + 1);
+  layout.icn1_index = 0;
+  for (std::uint32_t i = 0; i < config.clusters; ++i) {
+    layout.stations.push_back(
+        MvaStation{(1.0 - p) / c, service.icn1.service_rate()});
+  }
+  layout.ecn1_index = layout.stations.size();
+  for (std::uint32_t i = 0; i < config.clusters; ++i) {
+    layout.stations.push_back(
+        MvaStation{2.0 * p / c, service.ecn1.service_rate()});
+  }
+  layout.icn2_index = layout.stations.size();
+  layout.stations.push_back(MvaStation{p, service.icn2.service_rate()});
+  return layout;
+}
+
+}  // namespace hmcs::analytic

@@ -1,0 +1,19 @@
+#include "hmcs/analytic/routing_probability.hpp"
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::analytic {
+
+double inter_cluster_probability(std::uint32_t clusters,
+                                 std::uint32_t nodes_per_cluster) {
+  require(clusters >= 1, "inter_cluster_probability: C must be >= 1");
+  require(nodes_per_cluster >= 1, "inter_cluster_probability: N0 must be >= 1");
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(clusters) * nodes_per_cluster;
+  if (total <= 1) return 0.0;
+  const double remote = static_cast<double>(
+      static_cast<std::uint64_t>(clusters - 1) * nodes_per_cluster);
+  return remote / static_cast<double>(total - 1);
+}
+
+}  // namespace hmcs::analytic

@@ -1,0 +1,52 @@
+#include "hmcs/analytic/scenario.hpp"
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::analytic {
+
+const char* to_string(HeterogeneityCase c) {
+  switch (c) {
+    case HeterogeneityCase::kCase1:
+      return "Case 1 (ICN1=GE, ECN1/ICN2=FE)";
+    case HeterogeneityCase::kCase2:
+      return "Case 2 (ICN1=FE, ECN1/ICN2=GE)";
+  }
+  return "unknown";
+}
+
+SystemConfig paper_scenario(HeterogeneityCase hetero, std::uint32_t clusters,
+                            NetworkArchitecture architecture,
+                            double message_bytes, std::uint32_t total_nodes,
+                            double rate_per_us) {
+  require(clusters >= 1, "paper_scenario: clusters must be >= 1");
+  require(total_nodes >= 1 && total_nodes % clusters == 0,
+          "paper_scenario: clusters must divide the total node count "
+          "(assumption 5: equal-size clusters)");
+
+  SystemConfig config;
+  config.clusters = clusters;
+  config.nodes_per_cluster = total_nodes / clusters;
+  if (hetero == HeterogeneityCase::kCase1) {
+    config.icn1 = gigabit_ethernet();
+    config.ecn1 = fast_ethernet();
+    config.icn2 = fast_ethernet();
+  } else {
+    config.icn1 = fast_ethernet();
+    config.ecn1 = gigabit_ethernet();
+    config.icn2 = gigabit_ethernet();
+  }
+  config.switch_params = SwitchParams{kPaperSwitchPorts, kPaperSwitchLatencyUs};
+  config.architecture = architecture;
+  config.message_bytes = message_bytes;
+  config.generation_rate_per_us = rate_per_us;
+  config.validate();
+  return config;
+}
+
+const std::uint32_t* paper_cluster_sweep(std::size_t* count) {
+  static constexpr std::uint32_t kSweep[] = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  if (count != nullptr) *count = sizeof(kSweep) / sizeof(kSweep[0]);
+  return kSweep;
+}
+
+}  // namespace hmcs::analytic

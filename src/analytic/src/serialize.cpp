@@ -1,0 +1,140 @@
+#include "hmcs/analytic/serialize.hpp"
+
+namespace hmcs::analytic {
+
+void write_json(JsonWriter& json, const NetworkTechnology& tech) {
+  json.begin_object();
+  json.key("name").value(tech.name);
+  json.key("latency_us").value(tech.latency_us);
+  json.key("bandwidth_mb_per_s").value(tech.bandwidth_bytes_per_us);
+  json.end_object();
+}
+
+void write_json(JsonWriter& json, const SystemConfig& config) {
+  json.begin_object();
+  json.key("clusters").value(config.clusters);
+  json.key("nodes_per_cluster").value(config.nodes_per_cluster);
+  json.key("icn1");
+  write_json(json, config.icn1);
+  json.key("ecn1");
+  write_json(json, config.ecn1);
+  json.key("icn2");
+  write_json(json, config.icn2);
+  json.key("switch_ports").value(config.switch_params.ports);
+  json.key("switch_latency_us").value(config.switch_params.latency_us);
+  json.key("architecture").value(to_string(config.architecture));
+  json.key("message_bytes").value(config.message_bytes);
+  json.key("generation_rate_per_us").value(config.generation_rate_per_us);
+  json.end_object();
+}
+
+void write_json(JsonWriter& json, const CenterPrediction& center) {
+  json.begin_object();
+  json.key("arrival_rate_per_us").value(center.arrival_rate);
+  json.key("service_rate_per_us").value(center.service_rate);
+  json.key("utilization").value(center.utilization);
+  json.key("response_time_us").value(center.response_time_us);
+  json.key("queue_length").value(center.queue_length);
+  json.end_object();
+}
+
+void write_json(JsonWriter& json, const LatencyPrediction& prediction) {
+  json.begin_object();
+  json.key("mean_latency_us").value(prediction.mean_latency_us);
+  json.key("inter_cluster_probability")
+      .value(prediction.inter_cluster_probability);
+  json.key("lambda_offered_per_us").value(prediction.lambda_offered);
+  json.key("lambda_effective_per_us").value(prediction.lambda_effective);
+  json.key("total_queue_length").value(prediction.total_queue_length);
+  json.key("fixed_point_converged").value(prediction.fixed_point_converged);
+  json.key("fixed_point_iterations").value(prediction.fixed_point_iterations);
+  json.key("icn1");
+  write_json(json, prediction.icn1);
+  json.key("ecn1");
+  write_json(json, prediction.ecn1);
+  json.key("icn2");
+  write_json(json, prediction.icn2);
+  json.end_object();
+}
+
+void write_json(JsonWriter& json, const ClusterOfClustersConfig& config) {
+  json.begin_object();
+  json.key("clusters").begin_array();
+  for (const ClusterSpec& cluster : config.clusters) {
+    json.begin_object();
+    json.key("nodes").value(cluster.nodes);
+    json.key("icn1");
+    write_json(json, cluster.icn1);
+    json.key("ecn1");
+    write_json(json, cluster.ecn1);
+    json.key("generation_rate_per_us").value(cluster.generation_rate_per_us);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("icn2");
+  write_json(json, config.icn2);
+  json.key("switch_ports").value(config.switch_params.ports);
+  json.key("switch_latency_us").value(config.switch_params.latency_us);
+  json.key("architecture").value(to_string(config.architecture));
+  json.key("message_bytes").value(config.message_bytes);
+  json.end_object();
+}
+
+namespace {
+
+void write_hetero_center(JsonWriter& json, const HeteroCenterState& center) {
+  json.begin_object();
+  json.key("arrival_rate_per_us").value(center.arrival_rate);
+  json.key("utilization").value(center.utilization);
+  json.key("response_time_us").value(center.response_time_us);
+  json.key("queue_length").value(center.queue_length);
+  json.end_object();
+}
+
+}  // namespace
+
+void write_json(JsonWriter& json, const HeteroLatencyPrediction& prediction) {
+  json.begin_object();
+  json.key("mean_latency_us").value(prediction.mean_latency_us);
+  json.key("per_cluster_latency_us").begin_array();
+  for (const double latency : prediction.per_cluster_latency_us) {
+    json.value(latency);
+  }
+  json.end_array();
+  json.key("effective_rate_scale").value(prediction.effective_rate_scale);
+  json.key("total_queue_length").value(prediction.total_queue_length);
+  json.key("converged").value(prediction.fixed_point_converged);
+  json.key("icn1").begin_array();
+  for (const auto& center : prediction.icn1) write_hetero_center(json, center);
+  json.end_array();
+  json.key("ecn1").begin_array();
+  for (const auto& center : prediction.ecn1) write_hetero_center(json, center);
+  json.end_array();
+  json.key("icn2");
+  write_hetero_center(json, prediction.icn2);
+  json.end_object();
+}
+
+namespace {
+
+template <typename T>
+std::string document(const T& value) {
+  JsonWriter json;
+  write_json(json, value);
+  return json.str();
+}
+
+}  // namespace
+
+std::string to_json(const SystemConfig& config) { return document(config); }
+std::string to_json(const LatencyPrediction& prediction) {
+  return document(prediction);
+}
+std::string to_json(const ClusterOfClustersConfig& config) {
+  return document(config);
+}
+std::string to_json(const HeteroLatencyPrediction& prediction) {
+  return document(prediction);
+}
+
+}  // namespace hmcs::analytic

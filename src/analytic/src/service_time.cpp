@@ -1,0 +1,64 @@
+#include "hmcs/analytic/service_time.hpp"
+
+#include "hmcs/topology/fat_tree.hpp"
+#include "hmcs/topology/linear_array.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::analytic {
+
+ServiceTimeBreakdown network_service_time(const NetworkTechnology& tech,
+                                          std::uint64_t endpoints,
+                                          const SwitchParams& sw,
+                                          NetworkArchitecture architecture,
+                                          double message_bytes) {
+  validate(tech);
+  require(endpoints >= 1, "network_service_time: endpoints must be >= 1");
+  require(message_bytes > 0.0, "network_service_time: message size must be > 0");
+
+  ServiceTimeBreakdown out{};
+  out.link_latency_us = tech.latency_us;
+  out.transmission_us = message_bytes * tech.byte_time_us();
+
+  if (endpoints == 1) {
+    // Degenerate network (e.g. ECN1 of a one-node cluster): no switching
+    // fabric and no contention; arrival rate at such a centre is also 0.
+    return out;
+  }
+
+  switch (architecture) {
+    case NetworkArchitecture::kNonBlocking: {
+      const topology::FatTree tree(endpoints, sw.ports);
+      const double stages = static_cast<double>(tree.num_stages());
+      out.switch_latency_us = (2.0 * stages - 1.0) * sw.latency_us;  // eq. (11)
+      break;
+    }
+    case NetworkArchitecture::kBlocking: {
+      const topology::LinearArray chain(endpoints, sw.ports);
+      const double k = static_cast<double>(chain.num_switches());
+      out.switch_latency_us = (k + 1.0) / 3.0 * sw.latency_us;  // eq. (19)
+      const double n = static_cast<double>(endpoints);
+      // eq. (20): (N/2 - 1) further message times while the single
+      // bisection link drains the other contenders.
+      out.blocking_us = (n / 2.0 - 1.0) * out.transmission_us;
+      break;
+    }
+  }
+  return out;
+}
+
+CenterServiceTimes center_service_times(const SystemConfig& config) {
+  config.validate();
+  CenterServiceTimes out{};
+  out.icn1 = network_service_time(config.icn1, config.nodes_per_cluster,
+                                  config.switch_params, config.architecture,
+                                  config.message_bytes);
+  out.ecn1 = network_service_time(config.ecn1, config.nodes_per_cluster,
+                                  config.switch_params, config.architecture,
+                                  config.message_bytes);
+  out.icn2 = network_service_time(config.icn2, config.clusters,
+                                  config.switch_params, config.architecture,
+                                  config.message_bytes);
+  return out;
+}
+
+}  // namespace hmcs::analytic

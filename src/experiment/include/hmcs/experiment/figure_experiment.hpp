@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file figure_experiment.hpp
+/// The figure-regeneration harness. Each of the paper's Figures 4-7 is a
+/// sweep over the cluster count (1..256 by powers of two) at two message
+/// sizes, plotting analytical vs simulated mean message latency. This
+/// module runs one such sweep and renders it as a paper-style table plus
+/// a CSV series, and reports analysis/simulation agreement — the paper's
+/// validation claim.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/sim/multicluster_sim.hpp"
+#include "hmcs/util/csv.hpp"
+
+namespace hmcs::experiment {
+
+struct FigureSpec {
+  std::string id;     ///< e.g. "fig4"
+  std::string title;  ///< printed heading
+  analytic::HeterogeneityCase hetero = analytic::HeterogeneityCase::kCase1;
+  analytic::NetworkArchitecture architecture =
+      analytic::NetworkArchitecture::kNonBlocking;
+  /// Plotted series, largest first to match the paper's legend order.
+  std::vector<double> message_sizes = {1024.0, 512.0};
+  std::vector<std::uint32_t> cluster_counts;  ///< empty = paper sweep
+  std::uint32_t total_nodes = analytic::kPaperTotalNodes;
+  double rate_per_us = analytic::kPaperRatePerUs;
+  analytic::ModelOptions model_options;
+  sim::SimOptions sim_options;
+  bool run_simulation = true;
+  /// >1 switches the simulation series to independent replications with
+  /// CIs across replication means (see replication.hpp).
+  std::uint32_t replications = 1;
+};
+
+/// The paper's four validation figures.
+FigureSpec figure4_spec();  ///< non-blocking, Case 1
+FigureSpec figure5_spec();  ///< non-blocking, Case 2
+FigureSpec figure6_spec();  ///< blocking, Case 1
+FigureSpec figure7_spec();  ///< blocking, Case 2
+
+struct FigurePoint {
+  std::uint32_t clusters = 0;
+  double message_bytes = 0.0;
+  double analysis_ms = 0.0;
+  double simulation_ms = 0.0;
+  double simulation_ci_half_ms = 0.0;
+  /// |simulation - analysis| / simulation (the paper's accuracy notion).
+  double relative_error = 0.0;
+};
+
+struct FigureResult {
+  FigureSpec spec;
+  std::vector<FigurePoint> points;
+  double mean_relative_error = 0.0;
+  double max_relative_error = 0.0;
+};
+
+FigureResult run_figure(const FigureSpec& spec);
+
+/// Paper-style table: one row per cluster count, analysis & simulation
+/// columns per message size.
+std::string render_figure_table(const FigureResult& result);
+
+CsvWriter figure_csv(const FigureResult& result);
+
+/// Machine-readable record of the sweep (spec echo + all points).
+std::string figure_json(const FigureResult& result);
+
+/// Renders the table, the agreement summary, and (when the directories
+/// are non-empty) writes `<csv_dir>/<id>.csv` / `<json_dir>/<id>.json`.
+void print_figure_report(std::ostream& os, const FigureResult& result,
+                         const std::string& csv_dir = "",
+                         const std::string& json_dir = "");
+
+}  // namespace hmcs::experiment

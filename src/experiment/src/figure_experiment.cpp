@@ -1,0 +1,282 @@
+#include "hmcs/experiment/figure_experiment.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <future>
+#include <ostream>
+#include <thread>
+
+#include "hmcs/experiment/replication.hpp"
+#include "hmcs/util/ascii_chart.hpp"
+#include "hmcs/util/json.hpp"
+
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/math_util.hpp"
+#include "hmcs/util/string_util.hpp"
+#include "hmcs/util/table.hpp"
+#include "hmcs/util/units.hpp"
+
+namespace hmcs::experiment {
+
+namespace {
+
+FigureSpec base_spec(std::string id, std::string title,
+                     analytic::HeterogeneityCase hetero,
+                     analytic::NetworkArchitecture arch) {
+  FigureSpec spec;
+  spec.id = std::move(id);
+  spec.title = std::move(title);
+  spec.hetero = hetero;
+  spec.architecture = arch;
+  return spec;
+}
+
+}  // namespace
+
+FigureSpec figure4_spec() {
+  return base_spec("fig4",
+                   "Figure 4: latency vs clusters, non-blocking, Case-1",
+                   analytic::HeterogeneityCase::kCase1,
+                   analytic::NetworkArchitecture::kNonBlocking);
+}
+
+FigureSpec figure5_spec() {
+  return base_spec("fig5",
+                   "Figure 5: latency vs clusters, non-blocking, Case-2",
+                   analytic::HeterogeneityCase::kCase2,
+                   analytic::NetworkArchitecture::kNonBlocking);
+}
+
+FigureSpec figure6_spec() {
+  return base_spec("fig6", "Figure 6: latency vs clusters, blocking, Case-1",
+                   analytic::HeterogeneityCase::kCase1,
+                   analytic::NetworkArchitecture::kBlocking);
+}
+
+FigureSpec figure7_spec() {
+  return base_spec("fig7", "Figure 7: latency vs clusters, blocking, Case-2",
+                   analytic::HeterogeneityCase::kCase2,
+                   analytic::NetworkArchitecture::kBlocking);
+}
+
+FigureResult run_figure(const FigureSpec& spec) {
+  require(!spec.message_sizes.empty(), "run_figure: needs message sizes");
+  FigureResult result;
+  result.spec = spec;
+
+  std::vector<std::uint32_t> sweep = spec.cluster_counts;
+  if (sweep.empty()) {
+    std::size_t count = 0;
+    const std::uint32_t* values = analytic::paper_cluster_sweep(&count);
+    sweep.assign(values, values + count);
+  }
+
+  // Materialise the sweep so the points can run concurrently (they are
+  // fully independent: the model is pure and every simulator instance
+  // is thread-confined; seeds are fixed per point, so the output is
+  // identical to a serial run).
+  struct Task {
+    std::uint32_t clusters;
+    double bytes;
+  };
+  std::vector<Task> tasks;
+  for (const std::uint32_t clusters : sweep) {
+    for (const double bytes : spec.message_sizes) {
+      tasks.push_back(Task{clusters, bytes});
+    }
+  }
+  result.points.resize(tasks.size());
+
+  auto run_point = [&](std::size_t index) {
+    const Task& task = tasks[index];
+    const analytic::SystemConfig config = analytic::paper_scenario(
+        spec.hetero, task.clusters, spec.architecture, task.bytes,
+        spec.total_nodes, spec.rate_per_us);
+
+    FigurePoint point;
+    point.clusters = task.clusters;
+    point.message_bytes = task.bytes;
+
+    const analytic::LatencyPrediction prediction =
+        analytic::predict_latency(config, spec.model_options);
+    point.analysis_ms = units::us_to_ms(prediction.mean_latency_us);
+
+    if (spec.run_simulation) {
+      sim::SimOptions sim_options = spec.sim_options;
+      // Decorrelate runs across sweep points while keeping the whole
+      // figure reproducible from one base seed.
+      sim_options.seed = sim_options.seed * 1000003ULL +
+                         task.clusters * 17ULL +
+                         static_cast<std::uint64_t>(task.bytes);
+      // Replications stay serial inside a point: the points themselves
+      // already use the machine.
+      const ReplicationResult sim_result = run_replications(
+          config, sim_options, std::max<std::uint32_t>(1, spec.replications),
+          1);
+      point.simulation_ms = units::us_to_ms(sim_result.mean_latency_us);
+      point.simulation_ci_half_ms =
+          units::us_to_ms(sim_result.latency_ci.half_width);
+      point.relative_error =
+          relative_error(point.analysis_ms, point.simulation_ms);
+    }
+    result.points[index] = point;
+  };
+
+  const std::size_t workers = std::min<std::size_t>(
+      tasks.size(),
+      std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) run_point(i);
+  } else {
+    std::vector<std::future<void>> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.push_back(std::async(std::launch::async, [&, w] {
+        for (std::size_t i = w; i < tasks.size(); i += workers) run_point(i);
+      }));
+    }
+    for (auto& worker : pool) worker.get();
+  }
+
+  if (spec.run_simulation) {
+    double error_sum = 0.0;
+    for (const FigurePoint& point : result.points) {
+      error_sum += point.relative_error;
+      result.max_relative_error =
+          std::max(result.max_relative_error, point.relative_error);
+    }
+    result.mean_relative_error =
+        error_sum / static_cast<double>(result.points.size());
+  }
+  return result;
+}
+
+std::string render_figure_table(const FigureResult& result) {
+  std::vector<std::string> headers{"Clusters"};
+  for (const double bytes : result.spec.message_sizes) {
+    const std::string m = format_compact(bytes, 6);
+    headers.push_back("Analysis M=" + m + " (ms)");
+    if (result.spec.run_simulation) {
+      headers.push_back("Simulation M=" + m + " (ms)");
+      headers.push_back("RelErr M=" + m);
+    }
+  }
+  Table table(headers);
+
+  // Points are ordered cluster-major, size-minor by construction.
+  const std::size_t sizes = result.spec.message_sizes.size();
+  for (std::size_t i = 0; i < result.points.size(); i += sizes) {
+    std::vector<std::string> row{std::to_string(result.points[i].clusters)};
+    for (std::size_t s = 0; s < sizes; ++s) {
+      const FigurePoint& point = result.points[i + s];
+      row.push_back(format_fixed(point.analysis_ms, 3));
+      if (result.spec.run_simulation) {
+        row.push_back(format_fixed(point.simulation_ms, 3) + " ±" +
+                      format_fixed(point.simulation_ci_half_ms, 3));
+        row.push_back(format_fixed(point.relative_error * 100.0, 1) + "%");
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+CsvWriter figure_csv(const FigureResult& result) {
+  CsvWriter csv({"clusters", "message_bytes", "analysis_ms", "simulation_ms",
+                 "simulation_ci_half_ms", "relative_error"});
+  for (const FigurePoint& point : result.points) {
+    csv.add_numeric_row({static_cast<double>(point.clusters),
+                         point.message_bytes, point.analysis_ms,
+                         point.simulation_ms, point.simulation_ci_half_ms,
+                         point.relative_error});
+  }
+  return csv;
+}
+
+std::string figure_json(const FigureResult& result) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("id").value(result.spec.id);
+  json.key("title").value(result.spec.title);
+  json.key("scenario").value(analytic::to_string(result.spec.hetero));
+  json.key("architecture")
+      .value(analytic::to_string(result.spec.architecture));
+  json.key("total_nodes").value(result.spec.total_nodes);
+  json.key("rate_per_s")
+      .value(units::per_us_to_per_s(result.spec.rate_per_us));
+  json.key("replications").value(result.spec.replications);
+  json.key("mean_relative_error").value(result.mean_relative_error);
+  json.key("max_relative_error").value(result.max_relative_error);
+  json.key("points").begin_array();
+  for (const FigurePoint& point : result.points) {
+    json.begin_object();
+    json.key("clusters").value(point.clusters);
+    json.key("message_bytes").value(point.message_bytes);
+    json.key("analysis_ms").value(point.analysis_ms);
+    json.key("simulation_ms").value(point.simulation_ms);
+    json.key("simulation_ci_half_ms").value(point.simulation_ci_half_ms);
+    json.key("relative_error").value(point.relative_error);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+void print_figure_report(std::ostream& os, const FigureResult& result,
+                         const std::string& csv_dir,
+                         const std::string& json_dir) {
+  os << "== " << result.spec.title << " ==\n";
+  os << "architecture: " << analytic::to_string(result.spec.architecture)
+     << ", scenario: " << analytic::to_string(result.spec.hetero)
+     << ", N=" << result.spec.total_nodes << ", lambda="
+     << format_compact(units::per_us_to_per_s(result.spec.rate_per_us))
+     << " msg/s/node\n\n";
+  os << render_figure_table(result);
+
+  // Echo the paper's plot: one chart per message size, analysis vs
+  // simulation series over the cluster sweep.
+  const std::size_t sizes = result.spec.message_sizes.size();
+  const std::size_t sweep_points = result.points.size() / sizes;
+  std::vector<std::string> x_labels;
+  for (std::size_t i = 0; i < result.points.size(); i += sizes) {
+    x_labels.push_back(std::to_string(result.points[i].clusters));
+  }
+  for (std::size_t s = 0; s < sizes; ++s) {
+    std::vector<double> analysis(sweep_points);
+    std::vector<double> simulation(sweep_points);
+    for (std::size_t i = 0; i < sweep_points; ++i) {
+      analysis[i] = result.points[i * sizes + s].analysis_ms;
+      simulation[i] = result.points[i * sizes + s].simulation_ms;
+    }
+    AsciiChart chart(64, 14);
+    chart.add_series("analysis", std::move(analysis), '*');
+    if (result.spec.run_simulation) {
+      chart.add_series("simulation", std::move(simulation), 'o');
+    }
+    os << "\nM = " << format_compact(result.spec.message_sizes[s], 6)
+       << " bytes:\n"
+       << chart.render(x_labels, "latency ms");
+  }
+
+  if (result.spec.run_simulation) {
+    os << "\nanalysis vs simulation: mean relative error "
+       << format_fixed(result.mean_relative_error * 100.0, 1) << "%, max "
+       << format_fixed(result.max_relative_error * 100.0, 1) << "%\n";
+  }
+  if (!csv_dir.empty()) {
+    const std::string path = csv_dir + "/" + result.spec.id + ".csv";
+    figure_csv(result).write_file(path);
+    os << "series written to " << path << "\n";
+  }
+  if (!json_dir.empty()) {
+    const std::string path = json_dir + "/" + result.spec.id + ".json";
+    std::ofstream out(path);
+    require(out.good(), "print_figure_report: cannot write '" + path + "'");
+    out << figure_json(result) << "\n";
+    os << "record written to " << path << "\n";
+  }
+  os << "\n";
+}
+
+}  // namespace hmcs::experiment

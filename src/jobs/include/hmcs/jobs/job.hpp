@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file job.hpp
+/// Parallel jobs for the multi-cluster scheduling layer. The paper's
+/// context is systems hosting parallel applications (its companion work
+/// [4, 21] schedules jobs on multi-clusters; [5] studies co-allocation);
+/// this layer connects that workload view to the paper's latency model:
+/// a job's communication time depends on whether its tasks share one
+/// cluster or span several.
+
+#include <cstdint>
+#include <vector>
+
+namespace hmcs::jobs {
+
+struct Job {
+  std::uint64_t id = 0;
+  /// Arrival time at the scheduler (microseconds).
+  double arrival_us = 0.0;
+  /// Number of processors the job needs for its whole lifetime.
+  std::uint32_t tasks = 1;
+  /// Pure computation time per task (us), excluding communication.
+  double work_us = 0.0;
+  /// Messages each task exchanges with uniformly random peers over the
+  /// job's lifetime; the latency model prices them by placement.
+  double messages_per_task = 0.0;
+};
+
+/// Where a job's tasks landed: processor counts per cluster (zero
+/// entries allowed; sums to the job's task count).
+struct Placement {
+  std::vector<std::uint32_t> tasks_per_cluster;
+
+  std::uint32_t total() const {
+    std::uint32_t sum = 0;
+    for (const std::uint32_t t : tasks_per_cluster) sum += t;
+    return sum;
+  }
+
+  /// Number of clusters actually used.
+  std::uint32_t clusters_used() const {
+    std::uint32_t used = 0;
+    for (const std::uint32_t t : tasks_per_cluster) used += (t > 0);
+    return used;
+  }
+
+  /// Probability that a random ordered pair of the job's tasks lies in
+  /// different clusters — the job-local analogue of eq. (8).
+  double remote_pair_fraction() const;
+};
+
+/// Completed-job record.
+struct JobOutcome {
+  Job job;
+  Placement placement;
+  double start_us = 0.0;
+  double finish_us = 0.0;
+  double runtime_us = 0.0;        ///< work + communication
+  double communication_us = 0.0;  ///< the placement-dependent part
+
+  double wait_us() const { return start_us - job.arrival_us; }
+  double response_us() const { return finish_us - job.arrival_us; }
+  /// Bounded slowdown with a 1 ms floor on runtime (standard metric).
+  double bounded_slowdown() const;
+};
+
+}  // namespace hmcs::jobs

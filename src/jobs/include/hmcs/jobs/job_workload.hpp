@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file job_workload.hpp
+/// Synthetic parallel-job workload generator: Poisson arrivals,
+/// power-of-two task counts (the classic supercomputer-log shape), and
+/// exponential work with a configurable communication intensity.
+
+#include <cstdint>
+#include <vector>
+
+#include "hmcs/jobs/job.hpp"
+#include "hmcs/simcore/rng.hpp"
+
+namespace hmcs::jobs {
+
+struct WorkloadSpec {
+  /// Mean job inter-arrival time (us).
+  double mean_interarrival_us = 50e3;
+  /// Task counts drawn uniformly from {min_tasks, 2*min_tasks, ...,
+  /// max_tasks}; both must be powers of two with min <= max.
+  std::uint32_t min_tasks = 1;
+  std::uint32_t max_tasks = 64;
+  /// Mean per-task compute time (exponential, us).
+  double mean_work_us = 200e3;
+  /// Messages per task over the job's lifetime (fixed).
+  double messages_per_task = 500.0;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+/// Generates `count` jobs with ids 0..count-1 in arrival order.
+std::vector<Job> generate_jobs(const WorkloadSpec& spec, std::uint64_t count);
+
+}  // namespace hmcs::jobs

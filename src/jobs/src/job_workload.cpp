@@ -1,0 +1,66 @@
+#include "hmcs/jobs/job_workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/math_util.hpp"
+
+namespace hmcs::jobs {
+
+double Placement::remote_pair_fraction() const {
+  const double total_tasks = static_cast<double>(total());
+  if (total_tasks < 2.0) return 0.0;
+  double same = 0.0;
+  for (const std::uint32_t t : tasks_per_cluster) {
+    const double ft = static_cast<double>(t);
+    same += ft * (ft - 1.0);
+  }
+  return 1.0 - same / (total_tasks * (total_tasks - 1.0));
+}
+
+double JobOutcome::bounded_slowdown() const {
+  constexpr double kFloorUs = 1000.0;
+  return response_us() / std::max(runtime_us, kFloorUs);
+}
+
+void WorkloadSpec::validate() const {
+  require(mean_interarrival_us > 0.0,
+          "WorkloadSpec: inter-arrival time must be > 0");
+  require(min_tasks >= 1 && is_power_of_two(min_tasks),
+          "WorkloadSpec: min_tasks must be a power of two");
+  require(is_power_of_two(max_tasks) && max_tasks >= min_tasks,
+          "WorkloadSpec: max_tasks must be a power of two >= min_tasks");
+  require(mean_work_us > 0.0, "WorkloadSpec: mean work must be > 0");
+  require(messages_per_task >= 0.0,
+          "WorkloadSpec: messages_per_task must be >= 0");
+}
+
+std::vector<Job> generate_jobs(const WorkloadSpec& spec, std::uint64_t count) {
+  spec.validate();
+  simcore::Rng rng(spec.seed);
+
+  // Enumerate the allowed power-of-two sizes once.
+  std::vector<std::uint32_t> sizes;
+  for (std::uint32_t s = spec.min_tasks; s <= spec.max_tasks; s *= 2) {
+    sizes.push_back(s);
+    if (s > spec.max_tasks / 2) break;  // avoid overflow on s *= 2
+  }
+
+  std::vector<Job> jobs;
+  jobs.reserve(count);
+  double clock = 0.0;
+  for (std::uint64_t id = 0; id < count; ++id) {
+    clock += rng.exponential(spec.mean_interarrival_us);
+    Job job;
+    job.id = id;
+    job.arrival_us = clock;
+    job.tasks = sizes[rng.uniform_below(sizes.size())];
+    job.work_us = rng.exponential(spec.mean_work_us);
+    job.messages_per_task = spec.messages_per_task;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+}  // namespace hmcs::jobs

@@ -1,0 +1,225 @@
+#include "hmcs/jobs/scheduler.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "hmcs/simcore/simulation.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::jobs {
+
+const char* to_string(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kSingleCluster:
+      return "single-cluster";
+    case PlacementPolicy::kCoAllocation:
+      return "co-allocation";
+    case PlacementPolicy::kSingleClusterFirst:
+      return "single-cluster-first";
+  }
+  return "unknown";
+}
+
+MultiClusterScheduler::MultiClusterScheduler(
+    const analytic::SystemConfig& system, SchedulerOptions options)
+    : clusters_(system.clusters),
+      nodes_per_cluster_(system.nodes_per_cluster),
+      options_(options),
+      free_(system.clusters, system.nodes_per_cluster) {
+  system.validate();
+  // Price intra- and cross-cluster messages once, at the configured
+  // background intensity, with the exact closed-network solver.
+  analytic::ModelOptions model;
+  model.fixed_point.method = analytic::SourceThrottling::kExactMva;
+  const analytic::LatencyPrediction prediction =
+      analytic::predict_latency(system, model);
+  intra_latency_us_ = prediction.icn1.response_time_us;
+  remote_latency_us_ = prediction.icn2.response_time_us +
+                       2.0 * prediction.ecn1.response_time_us;
+}
+
+bool MultiClusterScheduler::try_place(std::uint32_t tasks,
+                                      Placement* placement) const {
+  placement->tasks_per_cluster.assign(clusters_, 0);
+
+  auto place_single = [&]() -> bool {
+    for (std::uint32_t c = 0; c < clusters_; ++c) {
+      if (free_[c] >= tasks) {
+        placement->tasks_per_cluster[c] = tasks;
+        return true;
+      }
+    }
+    return false;
+  };
+  auto place_spanning = [&]() -> bool {
+    std::uint64_t total_free = 0;
+    for (const std::uint32_t f : free_) total_free += f;
+    if (total_free < tasks) return false;
+    // Greedy most-free-first keeps the span (and thus the remote-pair
+    // fraction) low.
+    std::uint32_t remaining = tasks;
+    std::vector<std::uint32_t> order(clusters_);
+    for (std::uint32_t c = 0; c < clusters_; ++c) order[c] = c;
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (free_[a] != free_[b]) return free_[a] > free_[b];
+                return a < b;
+              });
+    for (const std::uint32_t c : order) {
+      const std::uint32_t take = std::min(free_[c], remaining);
+      placement->tasks_per_cluster[c] = take;
+      remaining -= take;
+      if (remaining == 0) return true;
+    }
+    return false;
+  };
+
+  switch (options_.policy) {
+    case PlacementPolicy::kSingleCluster:
+      return place_single();
+    case PlacementPolicy::kCoAllocation:
+      return place_spanning();
+    case PlacementPolicy::kSingleClusterFirst:
+      return place_single() || place_spanning();
+  }
+  ensure(false, "scheduler: unknown policy");
+  return false;
+}
+
+double MultiClusterScheduler::communication_time(
+    const Job& job, const Placement& placement) const {
+  if (job.messages_per_task <= 0.0 || job.tasks < 2) return 0.0;
+  const double f = placement.remote_pair_fraction();
+  const double per_message =
+      (1.0 - f) * intra_latency_us_ + f * remote_latency_us_;
+  return job.messages_per_task * per_message;
+}
+
+ScheduleResult MultiClusterScheduler::run(const std::vector<Job>& jobs) {
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    require(jobs[i - 1].arrival_us <= jobs[i].arrival_us,
+            "scheduler: jobs must be sorted by arrival time");
+  }
+  const std::uint64_t capacity =
+      static_cast<std::uint64_t>(clusters_) * nodes_per_cluster_;
+
+  simcore::Simulator sim;
+  std::deque<const Job*> queue;
+  ScheduleResult result;
+  result.outcomes.reserve(jobs.size());
+
+  auto start_job = [&](const Job& job, const Placement& placement) {
+    for (std::uint32_t c = 0; c < clusters_; ++c) {
+      ensure(free_[c] >= placement.tasks_per_cluster[c],
+             "scheduler: placement exceeds free capacity");
+      free_[c] -= placement.tasks_per_cluster[c];
+    }
+    JobOutcome outcome;
+    outcome.job = job;
+    outcome.placement = placement;
+    outcome.start_us = sim.now();
+    outcome.communication_us = communication_time(job, placement);
+    outcome.runtime_us = job.work_us + outcome.communication_us;
+    outcome.finish_us = outcome.start_us + outcome.runtime_us;
+    result.outcomes.push_back(outcome);
+
+    const Placement freed = placement;
+    sim.schedule_after(outcome.runtime_us, [&, freed] {
+      for (std::uint32_t c = 0; c < clusters_; ++c) {
+        free_[c] += freed.tasks_per_cluster[c];
+      }
+    });
+  };
+
+  // Drains the queue as far as the policy allows. Declared as a
+  // std::function so completion events can re-enter it.
+  auto drain = [&] {
+    while (!queue.empty()) {
+      Placement placement;
+      if (try_place(queue.front()->tasks, &placement)) {
+        start_job(*queue.front(), placement);
+        queue.pop_front();
+        continue;
+      }
+      if (!options_.backfill) return;
+      // Aggressive backfill: let any fitting later job overtake.
+      bool started_any = false;
+      for (auto it = std::next(queue.begin()); it != queue.end();) {
+        Placement fill;
+        if (try_place((*it)->tasks, &fill)) {
+          start_job(**it, fill);
+          it = queue.erase(it);
+          started_any = true;
+        } else {
+          ++it;
+        }
+      }
+      if (!started_any) return;
+      // A backfill start never frees capacity, so the head still cannot
+      // run; stop here and wait for a completion.
+      return;
+    }
+  };
+
+  for (const Job& job : jobs) {
+    if (job.tasks > capacity ||
+        (options_.policy == PlacementPolicy::kSingleCluster &&
+         job.tasks > nodes_per_cluster_)) {
+      ++result.metrics.rejected;
+      continue;
+    }
+    sim.schedule_at(job.arrival_us, [&, job_ptr = &job] {
+      queue.push_back(job_ptr);
+      drain();
+    });
+  }
+
+  // Drive the event loop manually: after every event (arrival or
+  // capacity release), schedule one drain at each newly started job's
+  // finish time, *after* its release event (FIFO among equal
+  // timestamps guarantees the release runs first).
+  std::uint64_t chained = 0;
+  while (sim.step()) {
+    for (; chained < result.outcomes.size(); ++chained) {
+      sim.schedule_at(result.outcomes[chained].finish_us, [&] { drain(); });
+    }
+  }
+
+  ensure(queue.empty(), "scheduler: jobs left queued after drain");
+
+  // ---- aggregates ---------------------------------------------------------
+  ScheduleMetrics& metrics = result.metrics;
+  metrics.completed = result.outcomes.size();
+  if (metrics.completed == 0) return result;
+
+  double busy_area = 0.0;
+  double wait_sum = 0.0;
+  double response_sum = 0.0;
+  double slowdown_sum = 0.0;
+  double comm_share_sum = 0.0;
+  std::uint64_t spanning = 0;
+  for (const JobOutcome& outcome : result.outcomes) {
+    metrics.makespan_us = std::max(metrics.makespan_us, outcome.finish_us);
+    busy_area += static_cast<double>(outcome.job.tasks) * outcome.runtime_us;
+    wait_sum += outcome.wait_us();
+    response_sum += outcome.response_us();
+    slowdown_sum += outcome.bounded_slowdown();
+    if (outcome.runtime_us > 0.0) {
+      comm_share_sum += outcome.communication_us / outcome.runtime_us;
+    }
+    if (outcome.placement.clusters_used() > 1) ++spanning;
+  }
+  const double n = static_cast<double>(metrics.completed);
+  metrics.mean_wait_us = wait_sum / n;
+  metrics.mean_response_us = response_sum / n;
+  metrics.mean_bounded_slowdown = slowdown_sum / n;
+  metrics.mean_comm_share = comm_share_sum / n;
+  metrics.spanning_fraction = static_cast<double>(spanning) / n;
+  if (metrics.makespan_us > 0.0) {
+    metrics.utilization = busy_area / (static_cast<double>(capacity) *
+                                       metrics.makespan_us);
+  }
+  return result;
+}
+
+}  // namespace hmcs::jobs

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file routing.hpp
+/// Minimal-hop routing over a concrete interconnect Graph.
+///
+/// The table stores per-destination BFS distances, so any neighbour one
+/// step closer to the destination is a legal next hop. Two policies:
+///
+///  * kDeterministic — always the lowest-id minimal neighbour. Simple,
+///    but on a fat-tree it funnels every flow of a switch through the
+///    same up-link and throws away the topology's path diversity.
+///  * kRandomMinimal — ECMP-style: each hop picks uniformly among the
+///    minimal next hops. This is what makes a fat-tree actually deliver
+///    its full bisection bandwidth (Theorem 1 is a statement about the
+///    wiring; the routing has to spread load to realise it). The
+///    netsim_fabric_validation bench quantifies the difference.
+///
+/// On a chain the two coincide (paths are unique).
+
+#include <cstdint>
+#include <vector>
+
+#include "hmcs/simcore/rng.hpp"
+#include "hmcs/topology/graph.hpp"
+
+namespace hmcs::netsim {
+
+enum class RoutingPolicy {
+  kDeterministic,
+  kRandomMinimal,
+};
+
+class RoutingTable {
+ public:
+  /// Builds distance tables for all destinations. The graph must be
+  /// connected (throws ConfigError otherwise).
+  explicit RoutingTable(const topology::Graph& graph);
+
+  /// Ordered switch ids crossed travelling src -> dst under the
+  /// deterministic policy. Empty when src == dst.
+  std::vector<topology::NodeId> switch_path(topology::NodeId src,
+                                            topology::NodeId dst) const;
+
+  /// Same, picking uniformly among minimal next hops with `rng`.
+  std::vector<topology::NodeId> random_switch_path(topology::NodeId src,
+                                                   topology::NodeId dst,
+                                                   simcore::Rng& rng) const;
+
+  /// Number of switches crossed on any minimal route (policy-independent).
+  std::uint32_t switch_hops(topology::NodeId src, topology::NodeId dst) const;
+
+  std::size_t num_nodes() const { return num_nodes_; }
+
+ private:
+  std::uint16_t distance(topology::NodeId from, topology::NodeId dst) const {
+    return distance_[static_cast<std::size_t>(dst) * num_nodes_ + from];
+  }
+
+  template <typename PickNext>
+  std::vector<topology::NodeId> walk(topology::NodeId src,
+                                     topology::NodeId dst,
+                                     PickNext&& pick_next) const;
+
+  std::size_t num_nodes_;
+  std::vector<std::vector<topology::NodeId>> adjacency_;
+  /// distance_[dst * num_nodes_ + node] = BFS hops from node to dst.
+  std::vector<std::uint16_t> distance_;
+};
+
+}  // namespace hmcs::netsim

@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file switch_fabric_sim.hpp
+/// Switch-level discrete-event simulation of one interconnect fabric.
+///
+/// The paper's model (and its §6 simulator) abstracts each network to a
+/// single service centre whose rate is given by the closed forms of
+/// Section 5 — eq. (11) for the fat-tree, eq. (21) with the (N/2)M*beta
+/// bisection penalty for the chain. This simulator removes that
+/// abstraction: messages traverse the *wired* topology switch by switch,
+/// each switch a FIFO queue, so contention and the bisection bottleneck
+/// emerge from the structure instead of being assumed. It is the second
+/// member of the paper's "set of simulators" and the tool behind the
+/// netsim_fabric_validation bench, which checks how well the Section 5
+/// closed forms track switch-level reality.
+///
+/// Timing model (store-and-forward, as the paper assumes for
+/// Ethernet-based networks): a message of M bytes occupies each switch
+/// on its path for alpha_sw + M*beta (full reception then forwarding);
+/// kCutThrough serialises only at the first switch and adds alpha_sw at
+/// the rest — this is the assumption embedded in eq. (11). The
+/// technology's link latency alpha is added once end to end (eq. 10).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hmcs/analytic/network_tech.hpp"
+#include "hmcs/netsim/routing.hpp"
+#include "hmcs/simcore/tally.hpp"
+#include "hmcs/topology/graph.hpp"
+
+namespace hmcs::netsim {
+
+enum class SwitchingMode {
+  kStoreAndForward,  ///< serialise the message at every switch
+  kCutThrough,       ///< serialise once; later hops cost alpha_sw only
+};
+
+/// A fully resolved route: the switches to traverse plus the fixed
+/// end-to-end link latency for this particular path (heterogeneous
+/// multi-fabric systems cross several technologies, so alpha is
+/// path-dependent).
+struct RoutedPath {
+  std::vector<topology::NodeId> switches;
+  double extra_latency_us = 0.0;
+};
+
+/// Custom router: source/destination are *endpoint indices* (not node
+/// ids). When set it replaces the built-in BFS routing entirely — used
+/// by HmcsFabric to enforce the ICN1-local / ECN1-ICN2-ECN1-remote rule.
+using PathProvider = std::function<RoutedPath(
+    std::uint64_t source, std::uint64_t destination, simcore::Rng& rng)>;
+
+struct FabricSimOptions {
+  SwitchingMode mode = SwitchingMode::kStoreAndForward;
+  /// kRandomMinimal (ECMP) by default: the spread over equal-cost paths
+  /// is what lets a fat-tree realise its Theorem 1 bandwidth.
+  RoutingPolicy routing = RoutingPolicy::kRandomMinimal;
+  /// Per-endpoint Poisson injection rate, messages per microsecond.
+  double rate_per_us = 1e-4;
+  double message_bytes = 1024.0;
+  analytic::NetworkTechnology technology;
+  double switch_latency_us = 10.0;
+  /// Per-stage bandwidth multipliers (index 0 = stage 1, nearest the
+  /// endpoints); stages beyond the vector use 1.0. Implements the
+  /// paper's future-work item "modeling of communication networks with
+  /// technology heterogeneity": e.g. {1.0, 2.0} gives a fat-tree with
+  /// double-speed upper-stage links, a common real deployment.
+  std::vector<double> stage_bandwidth_scale;
+  /// Per-node bandwidth multipliers indexed by graph node id (empty =
+  /// all 1.0); composes with stage_bandwidth_scale. Lets one simulation
+  /// mix fabrics of different technologies (HmcsFabric).
+  std::vector<double> node_bandwidth_scale;
+  /// Optional custom router (see PathProvider). When set, the path's
+  /// extra_latency_us replaces the flat technology.latency_us term.
+  PathProvider path_provider;
+  /// Number of injecting endpoints; 0 = all graph endpoints. Composite
+  /// fabrics append relay endpoints (gateways) that must not inject.
+  std::uint64_t active_endpoints = 0;
+  /// Closed loop blocks a source until its message is delivered
+  /// (assumption 4); open loop injects regardless.
+  bool closed_loop = true;
+  std::uint64_t measured_messages = 10000;
+  std::uint64_t warmup_messages = 2000;
+  std::uint64_t seed = 1;
+  std::uint64_t max_events = 200'000'000;
+};
+
+struct FabricSimResult {
+  std::uint64_t messages_measured = 0;
+  double mean_latency_us = 0.0;
+  simcore::ConfidenceInterval latency_ci{0.0, 0.0, 0.0};
+  double p95_latency_us = 0.0;
+  double mean_switch_hops = 0.0;
+  /// Delivered messages per endpoint per microsecond over the window —
+  /// the fabric's achieved per-node throughput.
+  double delivered_rate_per_us = 0.0;
+  /// Busiest switch's busy fraction, and its index — identifies the
+  /// chain's bisection bottleneck.
+  double max_switch_utilization = 0.0;
+  std::size_t busiest_switch = 0;
+  std::vector<double> switch_utilization;
+  double window_duration_us = 0.0;
+};
+
+class SwitchFabricSim {
+ public:
+  /// The graph must contain >= 2 endpoints; destinations are uniform
+  /// over the other endpoints (assumption 3).
+  SwitchFabricSim(const topology::Graph& graph, FabricSimOptions options);
+  ~SwitchFabricSim();
+
+  SwitchFabricSim(const SwitchFabricSim&) = delete;
+  SwitchFabricSim& operator=(const SwitchFabricSim&) = delete;
+
+  /// Executes one run; single-shot per instance.
+  FabricSimResult run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hmcs::netsim

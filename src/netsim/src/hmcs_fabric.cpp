@@ -1,0 +1,171 @@
+#include "hmcs/netsim/hmcs_fabric.hpp"
+
+#include <utility>
+
+#include "hmcs/topology/fat_tree.hpp"
+#include "hmcs/topology/linear_array.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::netsim {
+
+using topology::Graph;
+using topology::NodeId;
+
+namespace {
+
+Graph build_local_fabric(analytic::NetworkArchitecture architecture,
+                         std::uint64_t endpoints, std::uint32_t ports) {
+  if (architecture == analytic::NetworkArchitecture::kNonBlocking) {
+    return topology::FatTree(endpoints, ports).build_graph();
+  }
+  return topology::LinearArray(endpoints, ports).build_graph();
+}
+
+}  // namespace
+
+HmcsFabric::HmcsFabric(const analytic::SystemConfig& config)
+    : config_(config), num_processors_(config.total_nodes()) {
+  config.validate();
+  require(num_processors_ >= 2, "HmcsFabric: needs >= 2 processors");
+
+  // Processors first, then gateway relays (one per cluster when the
+  // system is multi-cluster).
+  for (std::uint64_t p = 0; p < num_processors_; ++p) {
+    graph_.add_node(topology::NodeKind::kEndpoint, 0,
+                    static_cast<std::uint32_t>(p));
+  }
+  const bool multi_cluster = config.clusters > 1;
+  if (multi_cluster) {
+    for (std::uint32_t c = 0; c < config.clusters; ++c) {
+      gateway_nodes_.push_back(graph_.add_node(
+          topology::NodeKind::kEndpoint, 0,
+          static_cast<std::uint32_t>(num_processors_ + c)));
+    }
+  }
+  node_bandwidth_scale_.assign(graph_.num_nodes(), 1.0);
+
+  const std::uint32_t n0 = config.nodes_per_cluster;
+  const double reference_bandwidth = config.icn2.bandwidth_bytes_per_us;
+
+  // ICN1 fabrics (skipped for one-node clusters: no local traffic).
+  if (n0 >= 2) {
+    for (std::uint32_t c = 0; c < config.clusters; ++c) {
+      std::vector<NodeId> locals(n0);
+      for (std::uint32_t i = 0; i < n0; ++i) {
+        locals[i] = static_cast<NodeId>(c * n0 + i);
+      }
+      icn1_.push_back(graft(
+          config.icn1, n0, locals,
+          config.icn1.bandwidth_bytes_per_us / reference_bandwidth));
+    }
+  }
+
+  if (multi_cluster) {
+    // ECN1 fabrics: the cluster's processors plus its gateway.
+    for (std::uint32_t c = 0; c < config.clusters; ++c) {
+      std::vector<NodeId> locals(n0 + 1);
+      for (std::uint32_t i = 0; i < n0; ++i) {
+        locals[i] = static_cast<NodeId>(c * n0 + i);
+      }
+      locals[n0] = gateway_nodes_[c];
+      ecn1_.push_back(graft(
+          config.ecn1, n0 + 1, locals,
+          config.ecn1.bandwidth_bytes_per_us / reference_bandwidth));
+    }
+    // ICN2: the gateways.
+    icn2_.push_back(graft(config.icn2, config.clusters, gateway_nodes_, 1.0));
+  }
+}
+
+HmcsFabric::SubFabric HmcsFabric::graft(
+    const analytic::NetworkTechnology& tech, std::uint64_t endpoints,
+    const std::vector<NodeId>& local_endpoint_globals,
+    double bandwidth_scale) {
+  require(local_endpoint_globals.size() == endpoints,
+          "HmcsFabric: endpoint mapping size mismatch");
+  Graph local = build_local_fabric(config_.architecture, endpoints,
+                                   config_.switch_params.ports);
+
+  // Local node ids: endpoints 0..E-1 first, switches after — the
+  // documented layout of every build_graph() in hmcs::topology.
+  std::vector<NodeId> node_map(local.num_nodes());
+  for (NodeId id = 0; id < local.num_nodes(); ++id) {
+    const topology::Node& node = local.node(id);
+    if (node.kind == topology::NodeKind::kEndpoint) {
+      node_map[id] = local_endpoint_globals[id];
+    } else {
+      node_map[id] = graph_.add_node(topology::NodeKind::kSwitch, node.stage,
+                                     node.index);
+      node_bandwidth_scale_.push_back(bandwidth_scale);
+    }
+  }
+  for (const topology::Link& link : local.links()) {
+    graph_.add_link(node_map[link.a], node_map[link.b], link.multiplicity);
+  }
+  ensure(node_bandwidth_scale_.size() == graph_.num_nodes(),
+         "HmcsFabric: bandwidth scale bookkeeping out of sync");
+  return SubFabric(std::move(local), std::move(node_map), tech.latency_us);
+}
+
+std::vector<NodeId> HmcsFabric::map_path(const SubFabric& fabric,
+                                         NodeId local_src, NodeId local_dst,
+                                         simcore::Rng& rng) const {
+  std::vector<NodeId> path =
+      fabric.routes.random_switch_path(local_src, local_dst, rng);
+  for (NodeId& node : path) node = fabric.node_map[node];
+  return path;
+}
+
+RoutedPath HmcsFabric::route(std::uint64_t src, std::uint64_t dst,
+                             simcore::Rng& rng) const {
+  require(src < num_processors_ && dst < num_processors_ && src != dst,
+          "HmcsFabric: route needs two distinct processors");
+  const std::uint32_t n0 = config_.nodes_per_cluster;
+  const auto src_cluster = static_cast<std::uint32_t>(src / n0);
+  const auto dst_cluster = static_cast<std::uint32_t>(dst / n0);
+
+  RoutedPath routed;
+  if (src_cluster == dst_cluster) {
+    ensure(!icn1_.empty(), "HmcsFabric: local route in one-node clusters");
+    const SubFabric& fabric = icn1_[src_cluster];
+    routed.switches =
+        map_path(fabric, static_cast<NodeId>(src % n0),
+                 static_cast<NodeId>(dst % n0), rng);
+    routed.extra_latency_us = fabric.latency_us;
+    return routed;
+  }
+
+  const SubFabric& egress = ecn1_[src_cluster];
+  const SubFabric& backbone = icn2_.front();
+  const SubFabric& ingress = ecn1_[dst_cluster];
+  routed.switches = map_path(egress, static_cast<NodeId>(src % n0),
+                             static_cast<NodeId>(n0), rng);
+  for (const NodeId node :
+       map_path(backbone, src_cluster, dst_cluster, rng)) {
+    routed.switches.push_back(node);
+  }
+  for (const NodeId node : map_path(ingress, static_cast<NodeId>(n0),
+                                    static_cast<NodeId>(dst % n0), rng)) {
+    routed.switches.push_back(node);
+  }
+  routed.extra_latency_us =
+      egress.latency_us + backbone.latency_us + ingress.latency_us;
+  return routed;
+}
+
+FabricSimOptions HmcsFabric::make_sim_options() const {
+  FabricSimOptions options;
+  options.technology = config_.icn2;  // the reference beta
+  options.switch_latency_us = config_.switch_params.latency_us;
+  options.message_bytes = config_.message_bytes;
+  options.rate_per_us = config_.generation_rate_per_us;
+  options.node_bandwidth_scale = node_bandwidth_scale_;
+  options.active_endpoints = num_processors_;
+  options.path_provider = [this](std::uint64_t src, std::uint64_t dst,
+                                 simcore::Rng& rng) {
+    return route(src, dst, rng);
+  };
+  return options;
+}
+
+}  // namespace hmcs::netsim

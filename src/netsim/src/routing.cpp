@@ -1,0 +1,115 @@
+#include "hmcs/netsim/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::netsim {
+
+using topology::NodeId;
+
+namespace {
+constexpr std::uint16_t kUnreached = std::numeric_limits<std::uint16_t>::max();
+}  // namespace
+
+RoutingTable::RoutingTable(const topology::Graph& graph)
+    : num_nodes_(graph.num_nodes()), adjacency_(graph.num_nodes()) {
+  require(num_nodes_ >= 2, "RoutingTable: graph needs >= 2 nodes");
+  require(num_nodes_ < kUnreached, "RoutingTable: graph too large");
+
+  // Neighbours sorted ascending so the deterministic policy is stable.
+  for (const topology::Link& link : graph.links()) {
+    adjacency_[link.a].push_back(link.b);
+    adjacency_[link.b].push_back(link.a);
+  }
+  for (auto& neighbours : adjacency_) {
+    std::sort(neighbours.begin(), neighbours.end());
+  }
+
+  distance_.assign(num_nodes_ * num_nodes_, kUnreached);
+  for (NodeId dst = 0; dst < num_nodes_; ++dst) {
+    std::uint16_t* row = &distance_[static_cast<std::size_t>(dst) * num_nodes_];
+    row[dst] = 0;
+    std::queue<NodeId> frontier;
+    frontier.push(dst);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (const NodeId neighbour : adjacency_[v]) {
+        if (row[neighbour] != kUnreached) continue;
+        row[neighbour] = static_cast<std::uint16_t>(row[v] + 1);
+        frontier.push(neighbour);
+      }
+    }
+    for (NodeId v = 0; v < num_nodes_; ++v) {
+      require(row[v] != kUnreached, "RoutingTable: graph is disconnected");
+    }
+  }
+}
+
+template <typename PickNext>
+std::vector<NodeId> RoutingTable::walk(NodeId src, NodeId dst,
+                                       PickNext&& pick_next) const {
+  require(src < num_nodes_ && dst < num_nodes_,
+          "RoutingTable: node out of range");
+  std::vector<NodeId> path;
+  if (src == dst) return path;
+  NodeId cursor = src;
+  while (true) {
+    const std::uint16_t remaining = distance(cursor, dst);
+    bool found = false;
+    const NodeId chosen = pick_next(cursor, dst, remaining, found);
+    ensure(found, "RoutingTable: no minimal next hop");
+    if (chosen == dst) return path;
+    path.push_back(chosen);
+    ensure(path.size() <= num_nodes_, "RoutingTable: routing loop");
+    cursor = chosen;
+  }
+}
+
+std::vector<NodeId> RoutingTable::switch_path(NodeId src, NodeId dst) const {
+  return walk(src, dst,
+              [this](NodeId cursor, NodeId target, std::uint16_t remaining,
+                     bool& found) {
+                for (const NodeId neighbour : adjacency_[cursor]) {
+                  if (distance(neighbour, target) + 1 == remaining) {
+                    found = true;
+                    return neighbour;
+                  }
+                }
+                found = false;
+                return cursor;
+              });
+}
+
+std::vector<NodeId> RoutingTable::random_switch_path(NodeId src, NodeId dst,
+                                                     simcore::Rng& rng) const {
+  return walk(src, dst,
+              [this, &rng](NodeId cursor, NodeId target,
+                           std::uint16_t remaining, bool& found) {
+                // Reservoir-sample uniformly among minimal next hops.
+                NodeId chosen = cursor;
+                std::uint64_t seen = 0;
+                for (const NodeId neighbour : adjacency_[cursor]) {
+                  if (distance(neighbour, target) + 1 == remaining) {
+                    ++seen;
+                    if (rng.uniform_below(seen) == 0) chosen = neighbour;
+                  }
+                }
+                found = seen > 0;
+                return chosen;
+              });
+}
+
+std::uint32_t RoutingTable::switch_hops(NodeId src, NodeId dst) const {
+  require(src < num_nodes_ && dst < num_nodes_,
+          "RoutingTable: node out of range");
+  if (src == dst) return 0;
+  // Endpoint-to-endpoint distance counts both endpoint links; the
+  // switches in between number distance - 1.
+  return static_cast<std::uint32_t>(distance(src, dst)) - 1;
+}
+
+}  // namespace hmcs::netsim

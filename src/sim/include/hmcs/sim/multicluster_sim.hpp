@@ -1,0 +1,148 @@
+#pragma once
+
+/// \file multicluster_sim.hpp
+/// The validation simulator (Section 6): a discrete-event model of the
+/// HMSCS with closed-loop processors. Each processor thinks for an
+/// exponential interval (mean 1/lambda), generates a message to a
+/// destination drawn from the traffic pattern, and stays blocked until
+/// the message is delivered (assumption 4). Messages traverse
+///
+///   local:   ICN1(cluster)
+///   remote:  ECN1(source cluster) -> ICN2 -> ECN1(destination cluster)
+///
+/// with each network a FIFO service centre whose mean service time comes
+/// from the same Section 5 formulas the analytical model uses (that is
+/// the paper's validation setup: same parameters, stochastic execution).
+/// Every message is time-stamped at generation and its latency recorded
+/// in a sink when delivered; the run measures a fixed number of
+/// post-warm-up deliveries (the paper gathers 10,000 messages).
+///
+/// The simulator accepts both the Super-Cluster SystemConfig and the
+/// heterogeneous ClusterOfClustersConfig, so it validates the extension
+/// model too.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hmcs/analytic/cluster_of_clusters.hpp"
+#include "hmcs/analytic/service_time.hpp"
+#include "hmcs/analytic/system_config.hpp"
+#include "hmcs/simcore/fifo_station.hpp"
+#include "hmcs/simcore/histogram.hpp"
+#include "hmcs/simcore/rng.hpp"
+#include "hmcs/sim/trace.hpp"
+#include "hmcs/simcore/simulation.hpp"
+#include "hmcs/simcore/tally.hpp"
+#include "hmcs/workload/message_size.hpp"
+#include "hmcs/workload/traffic_pattern.hpp"
+
+namespace hmcs::sim {
+
+enum class ServiceDistribution {
+  kExponential,    ///< the paper's assumption for the M/M/1 centres
+  kDeterministic,  ///< fixed service time (M/D/1-like ablation)
+};
+
+struct SimOptions {
+  /// Deliveries measured after warm-up; the paper's runs use 10,000.
+  /// When target_relative_ci is set this becomes the *minimum* sample.
+  std::uint64_t measured_messages = 10000;
+  /// Deliveries discarded before statistics start.
+  std::uint64_t warmup_messages = 2000;
+  /// Precision-driven stopping: keep measuring past measured_messages
+  /// until the batch-means 95% CI half-width falls below this fraction
+  /// of the mean (e.g. 0.01 = ±1%), or message_cap is reached.
+  /// 0 disables the rule (the paper's fixed-count protocol).
+  double target_relative_ci = 0.0;
+  /// Hard ceiling on measured deliveries under the precision rule.
+  std::uint64_t message_cap = 400000;
+  std::uint64_t seed = 1;
+  ServiceDistribution service_distribution = ServiceDistribution::kExponential;
+  /// Assumption 4 ablation: true (default) blocks a source while its
+  /// message is in flight; false injects as an open Poisson stream.
+  /// Open-loop runs match the SourceThrottling::kNone analytical model
+  /// when every centre is stable, and diverge (growing queues) when the
+  /// raw rates saturate a centre — which is exactly why the paper needs
+  /// the eq. (7) correction.
+  bool closed_loop = true;
+  /// Destination selection; null = the paper's uniform pattern.
+  std::shared_ptr<const workload::TrafficPattern> traffic;
+  /// Message sizes; null = fixed at the config's message_bytes.
+  std::shared_ptr<const workload::MessageSizeDistribution> message_size;
+  /// Safety valve against configuration mistakes (0 = no limit).
+  std::uint64_t max_events = 200'000'000;
+  /// Optional message-lifecycle trace (see trace.hpp); null = off.
+  std::shared_ptr<TraceRecorder> trace;
+};
+
+/// Aggregated observations for one service-centre role (ICN1/ECN1
+/// aggregate over their per-cluster stations).
+struct CenterStats {
+  double mean_wait_us = 0.0;
+  double mean_service_us = 0.0;
+  double mean_response_us = 0.0;
+  /// Mean over the role's stations of per-station busy fraction.
+  double utilization = 0.0;
+  /// Mean over the role's stations of time-averaged number in system.
+  double avg_queue_length = 0.0;
+  std::uint64_t departures = 0;
+};
+
+struct SimResult {
+  std::uint64_t messages_measured = 0;
+  double mean_latency_us = 0.0;
+  simcore::ConfidenceInterval latency_ci{0.0, 0.0, 0.0};
+  double min_latency_us = 0.0;
+  double max_latency_us = 0.0;
+  /// Exact order statistics over the measured window.
+  double p50_latency_us = 0.0;
+  double p95_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+
+  /// Split by message kind (0 when a kind never occurred).
+  double mean_local_latency_us = 0.0;
+  double mean_remote_latency_us = 0.0;
+  double remote_fraction = 0.0;
+
+  /// Measured per-processor delivery rate over the window — the
+  /// simulated counterpart of the model's lambda_effective.
+  double effective_rate_per_us = 0.0;
+  /// Time-averaged total customers over all stations — counterpart of
+  /// the fixed point's L.
+  double total_avg_queue_length = 0.0;
+
+  double window_duration_us = 0.0;
+  std::uint64_t events_executed = 0;
+
+  CenterStats icn1;
+  CenterStats ecn1;
+  CenterStats icn2;
+};
+
+class MultiClusterSim {
+ public:
+  MultiClusterSim(const analytic::SystemConfig& config, SimOptions options);
+  MultiClusterSim(const analytic::ClusterOfClustersConfig& config,
+                  SimOptions options);
+  ~MultiClusterSim();
+
+  MultiClusterSim(const MultiClusterSim&) = delete;
+  MultiClusterSim& operator=(const MultiClusterSim&) = delete;
+
+  /// Executes one complete run. May be called once per instance.
+  SimResult run();
+
+  /// Latency histogram over the measured window (valid after run()).
+  const simcore::Histogram& latency_histogram() const;
+
+  /// Raw measured latencies in delivery order (valid after run()) — the
+  /// input for external analyses such as simcore::mser_warmup.
+  const std::vector<double>& measured_latencies() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hmcs::sim

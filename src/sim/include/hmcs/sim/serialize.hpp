@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file serialize.hpp
+/// JSON serialisation of simulation results, mirroring
+/// hmcs/analytic/serialize.hpp so experiment records can pair a config,
+/// its predictions, and the measured run in one document.
+
+#include <string>
+
+#include "hmcs/sim/multicluster_sim.hpp"
+#include "hmcs/util/json.hpp"
+
+namespace hmcs::sim {
+
+void write_json(JsonWriter& json, const CenterStats& stats);
+void write_json(JsonWriter& json, const SimResult& result);
+
+std::string to_json(const SimResult& result);
+
+}  // namespace hmcs::sim

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file trace.hpp
+/// Message-lifecycle tracing for the multi-cluster simulator. When a
+/// TraceRecorder is attached through SimOptions, every message event
+/// (generation, entry into a service centre, departure, delivery) is
+/// recorded with its timestamp, giving a causally ordered record for
+/// debugging and for teaching material. Bounded by `capacity` so an
+/// accidental attach to a long run cannot exhaust memory.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hmcs::sim {
+
+enum class TraceEventKind : std::uint8_t {
+  kGenerated,  ///< source picked a destination and injected the message
+  kEnqueued,   ///< message joined a service centre's queue
+  kDeparted,   ///< message finished service at a centre
+  kDelivered,  ///< message reached its destination; source unblocked
+};
+
+const char* to_string(TraceEventKind kind);
+
+struct TraceEvent {
+  double time_us = 0.0;
+  TraceEventKind kind = TraceEventKind::kGenerated;
+  std::uint64_t message_id = 0;  ///< pool slot; unique among in-flight
+  std::uint64_t source = 0;
+  std::uint64_t destination = 0;
+  /// Centre label ("ICN1[3]", "ECN1[0]", "ICN2"); empty for
+  /// generation/delivery events.
+  std::string center;
+};
+
+class TraceRecorder {
+ public:
+  /// Records at most `capacity` events, then silently stops (the
+  /// `truncated()` flag reports it).
+  explicit TraceRecorder(std::size_t capacity = 100000);
+
+  void record(TraceEvent event);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool truncated() const { return truncated_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// CSV rendering: time_us,kind,message,source,destination,center.
+  std::string to_csv() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  bool truncated_ = false;
+};
+
+}  // namespace hmcs::sim

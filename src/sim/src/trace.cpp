@@ -1,0 +1,49 @@
+#include "hmcs/sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/string_util.hpp"
+
+namespace hmcs::sim {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kGenerated:
+      return "generated";
+    case TraceEventKind::kEnqueued:
+      return "enqueued";
+    case TraceEventKind::kDeparted:
+      return "departed";
+    case TraceEventKind::kDelivered:
+      return "delivered";
+  }
+  return "unknown";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
+  require(capacity >= 1, "TraceRecorder: capacity must be >= 1");
+  events_.reserve(std::min<std::size_t>(capacity, 4096));
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  if (events_.size() >= capacity_) {
+    truncated_ = true;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::string TraceRecorder::to_csv() const {
+  std::ostringstream os;
+  os << "time_us,kind,message,source,destination,center\n";
+  for (const TraceEvent& event : events_) {
+    os << format_compact(event.time_us, 12) << ',' << to_string(event.kind)
+       << ',' << event.message_id << ',' << event.source << ','
+       << event.destination << ',' << event.center << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hmcs::sim

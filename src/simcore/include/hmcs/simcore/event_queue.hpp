@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// The pending-event set of the discrete-event engine: a binary min-heap
+/// ordered by (time, sequence number). The sequence number makes
+/// same-time events fire in scheduling order, which keeps runs exactly
+/// reproducible regardless of heap internals.
+///
+/// Cancellation is lazy: cancel(id) marks the id and pop_next() discards
+/// marked events when they surface. This is O(1) per cancel and keeps the
+/// heap free of tombstone compaction logic.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "hmcs/simcore/time.hpp"
+
+namespace hmcs::simcore {
+
+using EventId = std::uint64_t;
+using EventAction = std::function<void()>;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  /// Not copyable (actions may own resources); movable.
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+  EventQueue(EventQueue&&) = default;
+  EventQueue& operator=(EventQueue&&) = default;
+
+  /// Inserts an event; returns an id usable with cancel().
+  EventId push(SimTime time, EventAction action);
+
+  /// Marks an event as cancelled. Returns false if the id was already
+  /// executed, cancelled, or never existed (harmless either way).
+  bool cancel(EventId id);
+
+  /// Time of the earliest live event, or nullopt if empty.
+  std::optional<SimTime> peek_time();
+
+  struct Event {
+    SimTime time;
+    EventId id;
+    EventAction action;
+  };
+
+  /// Removes and returns the earliest live event; nullopt if empty.
+  std::optional<Event> pop_next();
+
+  /// Number of live (non-cancelled) events.
+  std::size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+
+  /// Total events ever pushed (diagnostic).
+  std::uint64_t total_pushed() const { return next_id_; }
+
+ private:
+  struct HeapEntry {
+    SimTime time;
+    EventId id;
+  };
+  struct HeapOrder {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among equal times
+    }
+  };
+
+  void drop_dead_head();
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapOrder> heap_;
+  std::unordered_set<EventId> cancelled_;
+  // Actions are stored separately so cancel() can release resources
+  // immediately rather than when the tombstone surfaces.
+  std::unordered_map<EventId, EventAction> actions_;
+  EventId next_id_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace hmcs::simcore

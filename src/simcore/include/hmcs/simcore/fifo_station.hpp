@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file fifo_station.hpp
+/// A FIFO single-server service station living inside a Simulator — the
+/// building block for the paper's queueing-network simulators, where each
+/// communication network (ICN1, ECN1, ICN2) is one such centre.
+///
+/// Jobs carry an opaque payload (std::uint64_t id chosen by the client);
+/// when a job finishes service the station invokes the departure callback
+/// with the job and its measured waiting/service times. Service times are
+/// drawn per job from a caller-supplied sampler so exponential
+/// (paper assumption), deterministic, or arbitrary distributions plug in
+/// without the station knowing.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "hmcs/simcore/simulation.hpp"
+#include "hmcs/simcore/tally.hpp"
+#include "hmcs/simcore/time_weighted.hpp"
+
+namespace hmcs::simcore {
+
+class FifoStation {
+ public:
+  struct Job {
+    std::uint64_t id = 0;
+    SimTime arrival_time = 0.0;
+  };
+
+  struct Departure {
+    Job job;
+    SimTime wait_time;     ///< time spent queued before service
+    SimTime service_time;  ///< sampled service duration
+    SimTime response_time; ///< wait + service
+  };
+
+  /// Draws the service duration for a job about to enter service; the
+  /// job is passed so samplers can depend on per-message attributes
+  /// (e.g. message size looked up by id).
+  using ServiceSampler = std::function<SimTime(const Job&)>;
+  using DepartureCallback = std::function<void(const Departure&)>;
+
+  /// `name` labels the station in statistics reports.
+  FifoStation(Simulator& sim, std::string name, ServiceSampler sampler);
+
+  void set_departure_callback(DepartureCallback cb) { on_departure_ = std::move(cb); }
+
+  /// Enqueues a job at the current simulation time.
+  void arrive(std::uint64_t job_id);
+
+  const std::string& name() const { return name_; }
+  std::size_t queue_length() const { return queue_.size() + (busy_ ? 1u : 0u); }
+  bool busy() const { return busy_; }
+
+  /// Observation statistics.
+  const Tally& wait_times() const { return wait_times_; }
+  const Tally& service_times() const { return service_times_; }
+  const Tally& response_times() const { return response_times_; }
+  std::uint64_t arrivals() const { return arrivals_; }
+  std::uint64_t departures() const { return departures_; }
+
+  /// Time-averaged number in system (queue + in service) and fraction of
+  /// time the server was busy, both over the observation window.
+  double average_number_in_system() const { return number_in_system_.average(sim_.now()); }
+  double utilization() const { return busy_signal_.average(sim_.now()); }
+
+  /// Drops all accumulated statistics (warm-up handling); jobs in flight
+  /// are unaffected.
+  void reset_statistics();
+
+ private:
+  void begin_service();
+  void complete_service(Job job, SimTime wait, SimTime service);
+
+  Simulator& sim_;
+  std::string name_;
+  ServiceSampler sampler_;
+  DepartureCallback on_departure_;
+
+  std::deque<Job> queue_;
+  bool busy_ = false;
+
+  Tally wait_times_;
+  Tally service_times_;
+  Tally response_times_;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t departures_ = 0;
+  TimeWeighted number_in_system_;
+  TimeWeighted busy_signal_;
+};
+
+}  // namespace hmcs::simcore

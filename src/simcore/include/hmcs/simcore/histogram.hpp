@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Fixed-width histogram with under/overflow bins and linear-interpolated
+/// quantile estimation. Used to inspect latency distributions beyond the
+/// mean the paper reports (tail behaviour of blocking networks).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hmcs::simcore {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) into `num_bins` equal-width buckets; samples below lo
+  /// or at/above hi land in dedicated underflow/overflow counters.
+  Histogram(double lo, double hi, std::size_t num_bins);
+
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::size_t num_bins() const { return bins_.size(); }
+  std::uint64_t bin_count(std::size_t i) const { return bins_.at(i); }
+  double bin_lower(std::size_t i) const;
+  double bin_upper(std::size_t i) const;
+
+  /// Estimated quantile q in [0, 1] by linear interpolation within the
+  /// containing bin. Underflow clamps to lo, overflow to hi.
+  double quantile(double q) const;
+
+  /// Compact textual rendering (one line per non-empty bin with a bar).
+  std::string render(std::size_t bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace hmcs::simcore

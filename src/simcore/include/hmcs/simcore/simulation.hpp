@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file simulation.hpp
+/// The discrete-event simulation executive: a virtual clock plus the
+/// pending-event set. Components schedule callbacks at absolute times or
+/// after delays; run() executes events in time order until a stop
+/// condition is met.
+///
+/// The executive is deliberately single-threaded: discrete-event
+/// simulations of queueing networks are causality-ordered, and the runs
+/// in this repo each take milliseconds. Parallelism in the experiment
+/// layer comes from running independent replications on independent
+/// Simulator instances.
+
+#include <cstdint>
+
+#include "hmcs/simcore/event_queue.hpp"
+#include "hmcs/simcore/time.hpp"
+
+namespace hmcs::simcore {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  /// Current simulation time (microseconds).
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` to run after `delay` (>= 0) time units.
+  EventId schedule_after(SimTime delay, EventAction action);
+
+  /// Schedules `action` at absolute time `at` (>= now()).
+  EventId schedule_at(SimTime at, EventAction action);
+
+  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Executes the next event. Returns false if the queue was empty.
+  bool step();
+
+  /// Runs until the queue drains or stop() is called.
+  /// Returns the number of events executed.
+  std::uint64_t run();
+
+  /// Runs until the clock would pass `deadline` (events at exactly
+  /// `deadline` are executed), the queue drains, or stop() is called.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace hmcs::simcore

@@ -1,0 +1,15 @@
+#pragma once
+
+/// \file time.hpp
+/// Simulation time. hmcs uses a double measured in microseconds (see
+/// hmcs/util/units.hpp for the unit system). A dedicated alias keeps
+/// signatures self-documenting.
+
+namespace hmcs::simcore {
+
+using SimTime = double;
+
+/// Sentinel for "no deadline" in run_until().
+inline constexpr SimTime kTimeInfinity = 1e300;
+
+}  // namespace hmcs::simcore

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file warmup.hpp
+/// MSER (Marginal Standard Error Rule) warm-up truncation: given the raw
+/// output series of a steady-state simulation, find the truncation point
+/// that minimises the standard error of the remaining mean. The paper
+/// (like much of its era) discards a fixed warm-up count; MSER gives a
+/// data-driven check that the chosen count was enough — the simulator
+/// tests use it to validate the default warm-up of the §6 protocol.
+///
+/// Implementation follows White's MSER-m: the series is averaged into
+/// batches of m (MSER-5 uses m = 5) and the truncation point d minimises
+///
+///     MSER(d) = S²(d) / (n - d)²
+///
+/// over the first half of the batched series, where S²(d) is the sample
+/// variance of batches d..n-1.
+
+#include <cstdint>
+#include <vector>
+
+namespace hmcs::simcore {
+
+struct WarmupAnalysis {
+  /// Batches to discard (multiply by batch_size for raw samples).
+  std::size_t truncation_batches = 0;
+  std::size_t truncation_samples = 0;
+  /// Mean over the retained batches.
+  double truncated_mean = 0.0;
+  /// The minimised MSER statistic.
+  double mser_statistic = 0.0;
+  std::size_t batch_size = 1;
+  std::size_t num_batches = 0;
+};
+
+/// Runs MSER-m on `samples`. Requires at least 4 complete batches.
+/// Candidate truncation points cover the first half of the batch series
+/// (the standard guard against degenerate all-but-tail truncation).
+WarmupAnalysis mser_warmup(const std::vector<double>& samples,
+                           std::size_t batch_size = 5);
+
+}  // namespace hmcs::simcore

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file welford.hpp
+/// Welford's online algorithm for mean and variance. Numerically stable
+/// for long simulation runs (summing 10^7 latencies naively loses digits
+/// once the running sum dwarfs individual samples).
+
+#include <cmath>
+#include <cstdint>
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::simcore {
+
+class Welford {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  /// Merges another accumulator (Chan et al. parallel combination).
+  void merge(const Welford& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+  }
+
+  std::uint64_t count() const { return count_; }
+
+  double mean() const {
+    require(count_ > 0, "Welford::mean: no samples");
+    return mean_;
+  }
+
+  /// Population variance (divides by n).
+  double variance_population() const {
+    require(count_ > 0, "Welford::variance: no samples");
+    return m2_ / static_cast<double>(count_);
+  }
+
+  /// Sample variance (divides by n-1).
+  double variance_sample() const {
+    require(count_ > 1, "Welford::variance_sample: needs >= 2 samples");
+    return m2_ / static_cast<double>(count_ - 1);
+  }
+
+  double stddev_sample() const { return std::sqrt(variance_sample()); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace hmcs::simcore

@@ -1,0 +1,55 @@
+#include "hmcs/simcore/batch_means.hpp"
+
+#include <cmath>
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::simcore {
+
+BatchMeans::BatchMeans(std::uint64_t batch_size) : batch_size_(batch_size) {
+  require(batch_size >= 1, "BatchMeans: batch_size must be >= 1");
+}
+
+void BatchMeans::add(double x) {
+  ++count_;
+  current_sum_ += x;
+  if (++current_count_ == batch_size_) {
+    batch_means_.push_back(current_sum_ / static_cast<double>(batch_size_));
+    current_sum_ = 0.0;
+    current_count_ = 0;
+  }
+}
+
+double BatchMeans::mean() const {
+  require(!batch_means_.empty(), "BatchMeans::mean: no complete batches");
+  double sum = 0.0;
+  for (const double m : batch_means_) sum += m;
+  return sum / static_cast<double>(batch_means_.size());
+}
+
+ConfidenceInterval BatchMeans::confidence_interval(double confidence) const {
+  require(batch_means_.size() >= 2,
+          "BatchMeans: needs >= 2 complete batches for an interval");
+  Tally tally;
+  for (const double m : batch_means_) tally.add(m);
+  return tally.confidence_interval(confidence);
+}
+
+double BatchMeans::lag1_autocorrelation() const {
+  require(batch_means_.size() >= 3,
+          "BatchMeans: needs >= 3 batches for autocorrelation");
+  const double grand = mean();
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < batch_means_.size(); ++i) {
+    const double di = batch_means_[i] - grand;
+    den += di * di;
+    if (i + 1 < batch_means_.size()) {
+      num += di * (batch_means_[i + 1] - grand);
+    }
+  }
+  ensure(den > 0.0 || num == 0.0, "BatchMeans: degenerate variance");
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+}  // namespace hmcs::simcore

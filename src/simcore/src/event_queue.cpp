@@ -1,0 +1,53 @@
+#include "hmcs/simcore/event_queue.hpp"
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::simcore {
+
+EventId EventQueue::push(SimTime time, EventAction action) {
+  require(static_cast<bool>(action), "EventQueue: action must be callable");
+  const EventId id = next_id_++;
+  heap_.push(HeapEntry{time, id});
+  actions_.emplace(id, std::move(action));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = actions_.find(id);
+  if (it == actions_.end()) return false;
+  actions_.erase(it);
+  cancelled_.insert(id);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_dead_head() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+std::optional<SimTime> EventQueue::peek_time() {
+  drop_dead_head();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().time;
+}
+
+std::optional<EventQueue::Event> EventQueue::pop_next() {
+  drop_dead_head();
+  if (heap_.empty()) return std::nullopt;
+  const HeapEntry entry = heap_.top();
+  heap_.pop();
+  const auto it = actions_.find(entry.id);
+  ensure(it != actions_.end(), "EventQueue: live event without action");
+  Event event{entry.time, entry.id, std::move(it->second)};
+  actions_.erase(it);
+  --live_count_;
+  return event;
+}
+
+}  // namespace hmcs::simcore

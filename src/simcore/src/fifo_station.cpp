@@ -1,0 +1,63 @@
+#include "hmcs/simcore/fifo_station.hpp"
+
+#include <utility>
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::simcore {
+
+FifoStation::FifoStation(Simulator& sim, std::string name, ServiceSampler sampler)
+    : sim_(sim), name_(std::move(name)), sampler_(std::move(sampler)) {
+  require(static_cast<bool>(sampler_), "FifoStation: sampler must be callable");
+}
+
+void FifoStation::arrive(std::uint64_t job_id) {
+  ++arrivals_;
+  number_in_system_.add(sim_.now(), 1.0);
+  queue_.push_back(Job{job_id, sim_.now()});
+  if (!busy_) begin_service();
+}
+
+void FifoStation::begin_service() {
+  ensure(!queue_.empty(), "FifoStation: begin_service with empty queue");
+  ensure(!busy_, "FifoStation: begin_service while busy");
+  Job job = queue_.front();
+  queue_.pop_front();
+  busy_ = true;
+  busy_signal_.update(sim_.now(), 1.0);
+
+  const SimTime wait = sim_.now() - job.arrival_time;
+  const SimTime service = sampler_(job);
+  require(service >= 0.0, "FifoStation: sampled negative service time");
+  sim_.schedule_after(service, [this, job, wait, service] {
+    complete_service(job, wait, service);
+  });
+}
+
+void FifoStation::complete_service(Job job, SimTime wait, SimTime service) {
+  busy_ = false;
+  busy_signal_.update(sim_.now(), 0.0);
+  number_in_system_.add(sim_.now(), -1.0);
+  ++departures_;
+  wait_times_.add(wait);
+  service_times_.add(service);
+  response_times_.add(wait + service);
+
+  if (!queue_.empty()) begin_service();
+
+  if (on_departure_) {
+    on_departure_(Departure{job, wait, service, wait + service});
+  }
+}
+
+void FifoStation::reset_statistics() {
+  wait_times_ = Tally{};
+  service_times_ = Tally{};
+  response_times_ = Tally{};
+  arrivals_ = 0;
+  departures_ = 0;
+  number_in_system_.reset_window(sim_.now());
+  busy_signal_.reset_window(sim_.now());
+}
+
+}  // namespace hmcs::simcore

@@ -1,0 +1,80 @@
+#include "hmcs/simcore/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/string_util.hpp"
+
+namespace hmcs::simcore {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins)
+    : lo_(lo), hi_(hi), bins_(num_bins, 0) {
+  require(num_bins > 0, "Histogram: needs at least one bin");
+  require(std::isfinite(lo) && std::isfinite(hi) && lo < hi,
+          "Histogram: requires finite lo < hi");
+  bin_width_ = (hi - lo) / static_cast<double>(num_bins);
+}
+
+void Histogram::add(double x) {
+  ++count_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / bin_width_);
+  idx = std::min(idx, bins_.size() - 1);  // guard x just below hi_
+  ++bins_[idx];
+}
+
+double Histogram::bin_lower(std::size_t i) const {
+  require(i < bins_.size(), "Histogram: bin index out of range");
+  return lo_ + static_cast<double>(i) * bin_width_;
+}
+
+double Histogram::bin_upper(std::size_t i) const {
+  return bin_lower(i) + bin_width_;
+}
+
+double Histogram::quantile(double q) const {
+  require(q >= 0.0 && q <= 1.0, "Histogram::quantile: q must be in [0, 1]");
+  require(count_ > 0, "Histogram::quantile: no samples");
+  const double target = q * static_cast<double>(count_);
+  double cumulative = static_cast<double>(underflow_);
+  if (target <= cumulative) return lo_;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double in_bin = static_cast<double>(bins_[i]);
+    if (cumulative + in_bin >= target && in_bin > 0.0) {
+      const double fraction = (target - cumulative) / in_bin;
+      return bin_lower(i) + fraction * bin_width_;
+    }
+    cumulative += in_bin;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : bins_) peak = std::max(peak, c);
+  std::ostringstream os;
+  if (underflow_ > 0) os << "  < " << format_compact(lo_) << ": " << underflow_ << "\n";
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(bins_[i]) / static_cast<double>(peak) *
+        static_cast<double>(bar_width));
+    os << "  [" << pad_left(format_compact(bin_lower(i), 4), 10) << ", "
+       << pad_left(format_compact(bin_upper(i), 4), 10) << ") "
+       << pad_left(std::to_string(bins_[i]), 8) << " "
+       << std::string(std::max<std::size_t>(bar, 1), '#') << "\n";
+  }
+  if (overflow_ > 0) os << "  >= " << format_compact(hi_) << ": " << overflow_ << "\n";
+  return os.str();
+}
+
+}  // namespace hmcs::simcore

@@ -1,0 +1,54 @@
+#include "hmcs/simcore/warmup.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::simcore {
+
+WarmupAnalysis mser_warmup(const std::vector<double>& samples,
+                           std::size_t batch_size) {
+  require(batch_size >= 1, "mser_warmup: batch size must be >= 1");
+  const std::size_t num_batches = samples.size() / batch_size;
+  require(num_batches >= 4, "mser_warmup: needs >= 4 complete batches");
+
+  std::vector<double> batches(num_batches);
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      sum += samples[b * batch_size + i];
+    }
+    batches[b] = sum / static_cast<double>(batch_size);
+  }
+
+  // Suffix sums for O(1) mean/variance of batches d..n-1.
+  std::vector<double> suffix_sum(num_batches + 1, 0.0);
+  std::vector<double> suffix_sq(num_batches + 1, 0.0);
+  for (std::size_t b = num_batches; b-- > 0;) {
+    suffix_sum[b] = suffix_sum[b + 1] + batches[b];
+    suffix_sq[b] = suffix_sq[b + 1] + batches[b] * batches[b];
+  }
+
+  WarmupAnalysis analysis;
+  analysis.batch_size = batch_size;
+  analysis.num_batches = num_batches;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t d = 0; d <= num_batches / 2; ++d) {
+    const double n = static_cast<double>(num_batches - d);
+    const double mean = suffix_sum[d] / n;
+    const double variance =
+        std::fmax(0.0, suffix_sq[d] / n - mean * mean);
+    const double mser = variance / (n * n);
+    if (mser < best) {
+      best = mser;
+      analysis.truncation_batches = d;
+      analysis.truncated_mean = mean;
+      analysis.mser_statistic = mser;
+    }
+  }
+  analysis.truncation_samples = analysis.truncation_batches * batch_size;
+  return analysis;
+}
+
+}  // namespace hmcs::simcore

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file bisection.hpp
+/// Measured bisection analysis: computes, on a concrete Graph instance,
+/// the minimum number of cables separating the first half of the
+/// endpoints from the second half (max-flow/min-cut). This is how the
+/// test suite verifies Theorem 1 ("a multi-stage fat-tree is a network
+/// with full bisection bandwidth") and the linear array's width of 1 on
+/// the actual wiring rather than on the closed forms alone.
+
+#include <cstdint>
+
+#include "hmcs/topology/graph.hpp"
+
+namespace hmcs::topology {
+
+/// Minimum cable cut separating endpoints [0, N/2) from [N/2, N) in the
+/// canonical index split — the split used in the paper's Theorem 1 proof.
+/// Requires at least two endpoints.
+std::uint64_t measured_bisection_cables(const Graph& graph);
+
+/// Definition 1: full bisection bandwidth means the halves are joined by
+/// at least N/2 single-link bandwidths.
+bool has_full_bisection(const Graph& graph);
+
+}  // namespace hmcs::topology

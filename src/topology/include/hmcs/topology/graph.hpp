@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file graph.hpp
+/// An undirected multigraph describing a concrete interconnect instance:
+/// endpoint nodes (processors) and switch nodes joined by links. Parallel
+/// links are first-class because fat-tree wirings routinely run several
+/// cables between the same pair of switches.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hmcs::topology {
+
+enum class NodeKind : std::uint8_t { kEndpoint, kSwitch };
+
+using NodeId = std::uint32_t;
+
+struct Node {
+  NodeKind kind;
+  /// Stage number for switches (1 = closest to endpoints); 0 for endpoints.
+  std::uint32_t stage;
+  /// Index within its kind/stage (diagnostic).
+  std::uint32_t index;
+};
+
+struct Link {
+  NodeId a;
+  NodeId b;
+  /// Number of parallel cables aggregated in this record.
+  std::uint32_t multiplicity;
+};
+
+class Graph {
+ public:
+  NodeId add_node(NodeKind kind, std::uint32_t stage, std::uint32_t index);
+
+  /// Adds `multiplicity` parallel links between a and b (merging into an
+  /// existing record when one exists).
+  void add_link(NodeId a, NodeId b, std::uint32_t multiplicity = 1);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_links() const { return links_.size(); }
+  const Node& node(NodeId id) const;
+  const std::vector<Link>& links() const { return links_; }
+
+  std::size_t count_nodes(NodeKind kind) const;
+
+  /// Total cable count (sum of multiplicities).
+  std::uint64_t total_cables() const;
+
+  /// Degree of a node counting multiplicities.
+  std::uint64_t degree(NodeId id) const;
+
+  /// Endpoint ids in creation order.
+  std::vector<NodeId> endpoints() const;
+
+  /// Number of cables with one end in `left_set` membership and the other
+  /// outside of it (the cut size for a node bipartition).
+  std::uint64_t cut_cables(const std::vector<bool>& in_left) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+};
+
+}  // namespace hmcs::topology

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file linear_array.hpp
+/// The paper's blocking interconnect: a chain ("linear array") of
+/// cascaded Pr-port switches (Section 5.3). Each switch devotes up to two
+/// ports to its chain neighbours and the rest to endpoints.
+///
+/// Closed forms implemented here:
+///   eq. (17)  number of switches        k = ceil(N/Pr)
+///   eq. (19)  average traversed switches ~ (k+1)/3 (paper approximation)
+///   bisection width = 1 (cut the middle chain link), hence no full
+///   bisection bandwidth and a non-zero blocking term (eq. 20).
+
+#include <cstdint>
+
+#include "hmcs/topology/graph.hpp"
+
+namespace hmcs::topology {
+
+class LinearArray {
+ public:
+  /// `num_endpoints` >= 1; `radix` (Pr) >= 3 so a switch can host
+  /// endpoints and two chain neighbours. Endpoints are striped onto the
+  /// chain in blocks of Pr, matching eq. (17).
+  LinearArray(std::uint64_t num_endpoints, std::uint32_t radix);
+
+  std::uint64_t num_endpoints() const { return num_endpoints_; }
+  std::uint32_t radix() const { return radix_; }
+
+  /// eq. (17).
+  std::uint64_t num_switches() const;
+
+  /// Index of the switch hosting endpoint e.
+  std::uint64_t switch_of(std::uint64_t endpoint) const;
+
+  /// Switches crossed by a message from src to dst: |sw(src)-sw(dst)|+1
+  /// (0 when src == dst).
+  std::uint64_t switch_traversals(std::uint64_t src, std::uint64_t dst) const;
+
+  /// The paper's average-case figure used in eq. (19): (k+1)/3.
+  double paper_average_traversals() const;
+
+  /// Exact expectation of switch_traversals over uniformly random
+  /// distinct endpoint pairs.
+  double average_traversals() const;
+
+  /// 1 for k >= 2 (the weakest chain link); for a single switch the
+  /// chain degenerates to a star whose bisection is limited by endpoint
+  /// links, reported as ceil(N/2).
+  std::uint64_t bisection_width() const;
+
+  bool is_full_bisection() const { return num_switches() <= 1; }
+
+  /// Explicit instance: endpoints 0..N-1 first, then the k chain
+  /// switches left to right with single links between neighbours.
+  Graph build_graph() const;
+
+ private:
+  std::uint64_t num_endpoints_;
+  std::uint32_t radix_;
+};
+
+}  // namespace hmcs::topology

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file maxflow.hpp
+/// Dinic's maximum-flow algorithm. Used to *measure* the bisection
+/// bandwidth of constructed interconnect graphs: max-flow between the two
+/// endpoint halves equals (by max-flow/min-cut) the minimum number of
+/// cables whose removal separates them, which is exactly the paper's
+/// bisection-width notion for the canonical half/half split (Theorem 1,
+/// Definition 1).
+
+#include <cstdint>
+#include <vector>
+
+namespace hmcs::topology {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t num_vertices);
+
+  /// Adds a directed edge u -> v with the given capacity.
+  void add_edge(std::size_t u, std::size_t v, std::uint64_t capacity);
+
+  /// Adds an undirected edge (capacity in both directions).
+  void add_undirected_edge(std::size_t u, std::size_t v, std::uint64_t capacity);
+
+  /// Computes the maximum s -> t flow. May be called once per instance.
+  std::uint64_t solve(std::size_t source, std::size_t sink);
+
+  /// After solve(): vertices reachable from the source in the residual
+  /// graph (the source side of a minimum cut).
+  std::vector<bool> min_cut_source_side() const;
+
+ private:
+  struct Edge {
+    std::uint32_t to;
+    std::uint64_t capacity;
+    std::uint32_t reverse_index;
+  };
+
+  bool build_levels(std::size_t source, std::size_t sink);
+  std::uint64_t push(std::size_t v, std::size_t sink, std::uint64_t limit);
+
+  std::vector<std::vector<Edge>> adjacency_;
+  std::vector<int> level_;
+  std::vector<std::size_t> next_edge_;
+  std::size_t source_ = 0;
+  bool solved_ = false;
+};
+
+}  // namespace hmcs::topology

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file switch_tree.hpp
+/// A complete binary tree of switches — the paper's Section 5.1 example
+/// of a bisection-width-1 topology ("the bisection width of a tree is 1,
+/// since if either link connected to the root is removed the tree is
+/// split into two subtrees"). Included to exercise the bisection
+/// machinery on a third topology shape.
+
+#include <cstdint>
+
+#include "hmcs/topology/graph.hpp"
+
+namespace hmcs::topology {
+
+class SwitchTree {
+ public:
+  /// A tree with 2^levels - 1 switches; endpoints hang off the leaf
+  /// switches, `endpoints_per_leaf` each. levels >= 1.
+  SwitchTree(std::uint32_t levels, std::uint32_t endpoints_per_leaf);
+
+  std::uint32_t levels() const { return levels_; }
+  std::uint64_t num_switches() const { return (1ULL << levels_) - 1; }
+  std::uint64_t num_leaves() const { return 1ULL << (levels_ - 1); }
+  std::uint64_t num_endpoints() const {
+    return num_leaves() * endpoints_per_leaf_;
+  }
+
+  /// 1 for any tree with >= 2 levels; a single-switch "tree" is a star
+  /// whose bisection is limited by the endpoint links.
+  std::uint64_t bisection_width() const;
+
+  /// Switches crossed between two endpoints: path through the lowest
+  /// common ancestor (0 when src == dst).
+  std::uint64_t switch_traversals(std::uint64_t src, std::uint64_t dst) const;
+
+  /// Explicit instance: endpoints first, then switches level by level
+  /// from the root.
+  Graph build_graph() const;
+
+ private:
+  std::uint64_t leaf_of(std::uint64_t endpoint) const;
+
+  std::uint32_t levels_;
+  std::uint32_t endpoints_per_leaf_;
+};
+
+}  // namespace hmcs::topology

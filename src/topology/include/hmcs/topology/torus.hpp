@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file torus.hpp
+/// k-ary n-cube (torus) of switches — the topology family of the paper's
+/// reference [20] (Sarbazi-Azad et al., "Analysis of k-ary n-cubes") and
+/// the natural middle ground in the bisection spectrum of Section 5.1:
+///
+///   chain (bisection 1)  <  torus (2 k^(n-1))  <  fat-tree (N/2, full)
+///
+/// Each of the k^n switches hosts `endpoints_per_switch` processors and
+/// links to two neighbours per dimension (wrap-around). Used with the
+/// switch-level simulator to place a third point on the Section 5
+/// blocking/non-blocking axis.
+
+#include <cstdint>
+#include <vector>
+
+#include "hmcs/topology/graph.hpp"
+
+namespace hmcs::topology {
+
+class Torus {
+ public:
+  /// `arity` k >= 2, `dimensions` n >= 1, k^n switches total (capped so
+  /// the node count stays sane), `endpoints_per_switch` >= 1.
+  Torus(std::uint32_t arity, std::uint32_t dimensions,
+        std::uint32_t endpoints_per_switch);
+
+  std::uint32_t arity() const { return arity_; }
+  std::uint32_t dimensions() const { return dimensions_; }
+  std::uint64_t num_switches() const;
+  std::uint64_t num_endpoints() const {
+    return num_switches() * endpoints_per_switch_;
+  }
+
+  /// Standard k-ary n-cube bisection width: 2 * k^(n-1) links for even
+  /// k (each of the k^(n-1) rows contributes two wrap links across the
+  /// cut); for k == 2 the pairs coincide, giving k^(n-1). For odd k no
+  /// perfectly balanced plane cut exists and the true width is slightly
+  /// larger; the even-k expression is reported as the reference value.
+  std::uint64_t bisection_width() const;
+
+  /// Shortest torus (Lee) distance between two switches.
+  std::uint64_t switch_distance(std::uint64_t a, std::uint64_t b) const;
+
+  /// Switches crossed endpoint-to-endpoint: distance + 1 (0 for self).
+  std::uint64_t switch_traversals(std::uint64_t src, std::uint64_t dst) const;
+
+  /// Exact mean of switch_traversals over uniform distinct pairs.
+  double average_traversals() const;
+
+  /// Coordinates of a switch (least-significant dimension first).
+  std::vector<std::uint32_t> coordinates(std::uint64_t switch_index) const;
+
+  /// Explicit instance: endpoints first (grouped by switch), then the
+  /// switches in lexicographic coordinate order. Links: endpoint links
+  /// plus two per dimension per switch (one +1 neighbour each; k == 2
+  /// collapses the pair to a single link).
+  Graph build_graph() const;
+
+ private:
+  std::uint64_t switch_of(std::uint64_t endpoint) const;
+
+  std::uint32_t arity_;
+  std::uint32_t dimensions_;
+  std::uint32_t endpoints_per_switch_;
+};
+
+}  // namespace hmcs::topology

@@ -1,0 +1,43 @@
+#include "hmcs/topology/bisection.hpp"
+
+#include <vector>
+
+#include "hmcs/topology/maxflow.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/math_util.hpp"
+
+namespace hmcs::topology {
+
+std::uint64_t measured_bisection_cables(const Graph& graph) {
+  const std::vector<NodeId> endpoints = graph.endpoints();
+  require(endpoints.size() >= 2,
+          "measured_bisection_cables: needs >= 2 endpoints");
+
+  const std::size_t n = graph.num_nodes();
+  const std::size_t source = n;
+  const std::size_t sink = n + 1;
+  MaxFlow flow(n + 2);
+
+  for (const Link& link : graph.links()) {
+    flow.add_undirected_edge(link.a, link.b, link.multiplicity);
+  }
+
+  // "Infinite" capacity that cannot bottleneck: more than all cables.
+  const std::uint64_t inf = graph.total_cables() + 1;
+  const std::size_t half = endpoints.size() / 2;
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    if (i < half) {
+      flow.add_edge(source, endpoints[i], inf);
+    } else {
+      flow.add_edge(endpoints[i], sink, inf);
+    }
+  }
+  return flow.solve(source, sink);
+}
+
+bool has_full_bisection(const Graph& graph) {
+  const std::uint64_t n = graph.endpoints().size();
+  return measured_bisection_cables(graph) >= ceil_div(n, 2);
+}
+
+}  // namespace hmcs::topology

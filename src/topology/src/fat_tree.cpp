@@ -1,0 +1,187 @@
+#include "hmcs/topology/fat_tree.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/math_util.hpp"
+
+namespace hmcs::topology {
+
+FatTree::FatTree(std::uint64_t num_endpoints, std::uint32_t radix)
+    : num_endpoints_(num_endpoints), radix_(radix) {
+  require(num_endpoints >= 1, "FatTree: needs at least one endpoint");
+  require(radix >= 4 && radix % 2 == 0,
+          "FatTree: radix must be even and >= 4 (ports split into UL/DL)");
+  if (num_endpoints_ <= 1) {
+    num_stages_ = 0;
+  } else {
+    // eq. (12): smallest d with (Pr/2)^d >= ceil(N/2), at least 1.
+    num_stages_ = std::max<std::uint32_t>(
+        1, ceil_log(half_radix(), ceil_div(num_endpoints_, 2)));
+  }
+}
+
+std::uint64_t FatTree::switches_in_stage(std::uint32_t stage) const {
+  require(stage >= 1 && stage <= num_stages_, "FatTree: stage out of range");
+  if (stage == num_stages_) return ceil_div(num_endpoints_, radix_);
+  return ceil_div(num_endpoints_, half_radix());
+}
+
+std::uint64_t FatTree::num_switches() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t s = 1; s <= num_stages_; ++s) total += switches_in_stage(s);
+  return total;
+}
+
+std::uint64_t FatTree::bisection_width() const {
+  if (num_endpoints_ <= 1) return 0;
+  return ceil_div(num_endpoints_, 2);
+}
+
+std::uint64_t FatTree::block_size(std::uint32_t stage) const {
+  // Endpoints under one stage-s subtree: m^s, except the top stage which
+  // always spans the full machine (its switches have Pr down-links and
+  // collectively reach every pod).
+  if (stage >= num_stages_) return num_endpoints_;
+  std::uint64_t span = 1;
+  for (std::uint32_t i = 0; i < stage; ++i) span *= half_radix();
+  return std::min(span, num_endpoints_);
+}
+
+std::uint64_t FatTree::subtree_span(std::uint32_t stage) const {
+  require(stage >= 1 && stage <= std::max<std::uint32_t>(num_stages_, 1),
+          "FatTree: stage out of range");
+  // A one-stage network is a single switch with Pr down-links.
+  if (num_stages_ <= 1) return num_endpoints_;
+  return block_size(stage);
+}
+
+std::uint32_t FatTree::switch_traversals(std::uint64_t src, std::uint64_t dst) const {
+  require(src < num_endpoints_ && dst < num_endpoints_,
+          "FatTree: endpoint index out of range");
+  if (src == dst) return 0;
+  for (std::uint32_t s = 1; s <= num_stages_; ++s) {
+    const std::uint64_t span = subtree_span(s);
+    if (src / span == dst / span) return 2 * s - 1;
+  }
+  ensure(false, "FatTree: endpoints never meet — broken stage math");
+  return 0;
+}
+
+std::uint32_t FatTree::worst_case_traversals() const {
+  if (num_stages_ == 0) return 0;
+  return 2 * num_stages_ - 1;
+}
+
+double FatTree::average_traversals() const {
+  require(num_endpoints_ >= 2, "FatTree: average needs >= 2 endpoints");
+  const double n = static_cast<double>(num_endpoints_);
+  const double total_pairs = n * (n - 1.0);
+
+  // P(meet at stage <= s) * total_pairs = ordered pairs inside a common
+  // stage-s block; exact stage-s pair count is the difference of
+  // consecutive cumulative counts.
+  auto ordered_pairs_within_blocks = [&](std::uint64_t span) {
+    const std::uint64_t full_blocks = num_endpoints_ / span;
+    const std::uint64_t remainder = num_endpoints_ % span;
+    const double fs = static_cast<double>(span);
+    const double fr = static_cast<double>(remainder);
+    return static_cast<double>(full_blocks) * fs * (fs - 1.0) + fr * (fr - 1.0);
+  };
+
+  double expectation = 0.0;
+  double cumulative = 0.0;
+  for (std::uint32_t s = 1; s <= num_stages_; ++s) {
+    const double within = ordered_pairs_within_blocks(subtree_span(s));
+    const double exactly_here = within - cumulative;
+    cumulative = within;
+    expectation += exactly_here * static_cast<double>(2 * s - 1);
+  }
+  ensure(approx_equal(cumulative, total_pairs, 1e-9),
+         "FatTree: pair accounting does not cover all pairs");
+  return expectation / total_pairs;
+}
+
+bool FatTree::is_uniform() const {
+  // d <= 1 implies N <= Pr: one switch, trivially regular wiring.
+  if (num_stages_ <= 1) return true;
+  if (num_endpoints_ % radix_ != 0) return false;
+  std::uint64_t pod = 1;
+  for (std::uint32_t i = 0; i + 1 < num_stages_; ++i) pod *= half_radix();
+  return num_endpoints_ % pod == 0;
+}
+
+Graph FatTree::build_graph() const {
+  Graph g;
+  std::vector<NodeId> endpoint_ids;
+  endpoint_ids.reserve(num_endpoints_);
+  for (std::uint64_t e = 0; e < num_endpoints_; ++e) {
+    endpoint_ids.push_back(
+        g.add_node(NodeKind::kEndpoint, 0, static_cast<std::uint32_t>(e)));
+  }
+  if (num_stages_ == 0) return g;
+
+  const std::uint32_t m = half_radix();
+  std::vector<std::vector<NodeId>> stage_ids(num_stages_ + 1);
+  for (std::uint32_t s = 1; s <= num_stages_; ++s) {
+    const std::uint64_t count = switches_in_stage(s);
+    stage_ids[s].reserve(count);
+    for (std::uint64_t j = 0; j < count; ++j) {
+      stage_ids[s].push_back(
+          g.add_node(NodeKind::kSwitch, s, static_cast<std::uint32_t>(j)));
+    }
+  }
+
+  // Endpoints to stage 1: blocks of m down-links (Pr when d == 1, where
+  // the only stage is the all-down-link top stage).
+  const std::uint64_t leaf_block = (num_stages_ == 1) ? radix_ : m;
+  for (std::uint64_t e = 0; e < num_endpoints_; ++e) {
+    const std::uint64_t sw = std::min<std::uint64_t>(e / leaf_block,
+                                                     stage_ids[1].size() - 1);
+    g.add_link(endpoint_ids[e], stage_ids[1][sw]);
+  }
+
+  // Middle stages: butterfly wiring inside each pod. A stage-s pod spans
+  // subtree_span(s+1) endpoints and contains `sub = span(s+1)/span(s)`
+  // groups of `per = span(s)/m^(s-1)`-indexed switches; up-link l of the
+  // switch at (group i, position p) goes to the stage-(s+1) switch at
+  // position l*per_group + p of the same pod.
+  for (std::uint32_t s = 1; s + 1 <= num_stages_; ++s) {
+    const std::uint64_t lower_count = stage_ids[s].size();
+    const std::uint64_t upper_count = stage_ids[s + 1].size();
+    if (s + 1 == num_stages_) {
+      // Top stage: round-robin stripe every up-link across all top
+      // switches (each top switch has Pr down-links, reaching all pods).
+      for (std::uint64_t j = 0; j < lower_count; ++j) {
+        for (std::uint32_t l = 0; l < m; ++l) {
+          const std::uint64_t target = (j * m + l) % upper_count;
+          g.add_link(stage_ids[s][j], stage_ids[s + 1][target]);
+        }
+      }
+      continue;
+    }
+    // Butterfly wiring within each pod (pod = one span-m^(s+1) block).
+    // per_sub = m^(s-1) is the number of stage-s switches in one
+    // span-m^s subtree; a pod holds m such subtrees, so pod_lower = m^s
+    // stage-s switches — and the same number of stage-(s+1) switches.
+    // Up-link l of the switch at (subtree i, position p) reaches the
+    // stage-(s+1) switch at local index l*per_sub + p, which gives every
+    // upper switch one down-link into each of the pod's m subtrees.
+    std::uint64_t per_sub = 1;
+    for (std::uint32_t i = 1; i < s; ++i) per_sub *= m;
+    const std::uint64_t pod_lower = per_sub * m;
+    for (std::uint64_t j = 0; j < lower_count; ++j) {
+      const std::uint64_t pod = j / pod_lower;
+      const std::uint64_t position = (j % pod_lower) % per_sub;
+      for (std::uint32_t l = 0; l < m; ++l) {
+        std::uint64_t target = pod * pod_lower + l * per_sub + position;
+        target = std::min(target, upper_count - 1);
+        g.add_link(stage_ids[s][j], stage_ids[s + 1][target]);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace hmcs::topology

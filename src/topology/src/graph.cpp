@@ -1,0 +1,75 @@
+#include "hmcs/topology/graph.hpp"
+
+#include <algorithm>
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::topology {
+
+NodeId Graph::add_node(NodeKind kind, std::uint32_t stage, std::uint32_t index) {
+  nodes_.push_back(Node{kind, stage, index});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Graph::add_link(NodeId a, NodeId b, std::uint32_t multiplicity) {
+  require(a < nodes_.size() && b < nodes_.size(), "Graph: link endpoint out of range");
+  require(a != b, "Graph: self-links are not allowed");
+  require(multiplicity > 0, "Graph: link multiplicity must be > 0");
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  for (auto& link : links_) {
+    if (link.a == lo && link.b == hi) {
+      link.multiplicity += multiplicity;
+      return;
+    }
+  }
+  links_.push_back(Link{lo, hi, multiplicity});
+}
+
+const Node& Graph::node(NodeId id) const {
+  require(id < nodes_.size(), "Graph: node id out of range");
+  return nodes_[id];
+}
+
+std::size_t Graph::count_nodes(NodeKind kind) const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::uint64_t Graph::total_cables() const {
+  std::uint64_t total = 0;
+  for (const auto& link : links_) total += link.multiplicity;
+  return total;
+}
+
+std::uint64_t Graph::degree(NodeId id) const {
+  require(id < nodes_.size(), "Graph: node id out of range");
+  std::uint64_t d = 0;
+  for (const auto& link : links_) {
+    if (link.a == id || link.b == id) d += link.multiplicity;
+  }
+  return d;
+}
+
+std::vector<NodeId> Graph::endpoints() const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].kind == NodeKind::kEndpoint) out.push_back(id);
+  }
+  return out;
+}
+
+std::uint64_t Graph::cut_cables(const std::vector<bool>& in_left) const {
+  require(in_left.size() == nodes_.size(),
+          "Graph::cut_cables: membership vector size mismatch");
+  std::uint64_t cut = 0;
+  for (const auto& link : links_) {
+    if (in_left[link.a] != in_left[link.b]) cut += link.multiplicity;
+  }
+  return cut;
+}
+
+}  // namespace hmcs::topology

@@ -1,0 +1,93 @@
+#include "hmcs/topology/linear_array.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/math_util.hpp"
+
+namespace hmcs::topology {
+
+LinearArray::LinearArray(std::uint64_t num_endpoints, std::uint32_t radix)
+    : num_endpoints_(num_endpoints), radix_(radix) {
+  require(num_endpoints >= 1, "LinearArray: needs at least one endpoint");
+  require(radix >= 3, "LinearArray: radix must be >= 3");
+}
+
+std::uint64_t LinearArray::num_switches() const {
+  return ceil_div(num_endpoints_, radix_);
+}
+
+std::uint64_t LinearArray::switch_of(std::uint64_t endpoint) const {
+  require(endpoint < num_endpoints_, "LinearArray: endpoint out of range");
+  return std::min(endpoint / radix_, num_switches() - 1);
+}
+
+std::uint64_t LinearArray::switch_traversals(std::uint64_t src,
+                                             std::uint64_t dst) const {
+  if (src == dst) return 0;
+  const std::uint64_t a = switch_of(src);
+  const std::uint64_t b = switch_of(dst);
+  return (a > b ? a - b : b - a) + 1;
+}
+
+double LinearArray::paper_average_traversals() const {
+  return (static_cast<double>(num_switches()) + 1.0) / 3.0;
+}
+
+double LinearArray::average_traversals() const {
+  require(num_endpoints_ >= 2, "LinearArray: average needs >= 2 endpoints");
+  // Sum |sw(i)-sw(j)| + 1 over ordered distinct pairs, grouping
+  // endpoints by switch: n_a endpoints on switch a.
+  const std::uint64_t k = num_switches();
+  std::vector<double> occupancy(k, 0.0);
+  for (std::uint64_t s = 0; s + 1 < k; ++s) occupancy[s] = static_cast<double>(radix_);
+  occupancy[k - 1] =
+      static_cast<double>(num_endpoints_ - (k - 1) * radix_);
+
+  const double n = static_cast<double>(num_endpoints_);
+  double weighted_distance = 0.0;
+  double same_switch_pairs = 0.0;
+  for (std::uint64_t a = 0; a < k; ++a) {
+    same_switch_pairs += occupancy[a] * (occupancy[a] - 1.0);
+    for (std::uint64_t b = a + 1; b < k; ++b) {
+      weighted_distance += 2.0 * occupancy[a] * occupancy[b] *
+                           static_cast<double>(b - a);
+    }
+  }
+  const double total_pairs = n * (n - 1.0);
+  // Every distinct pair crosses at least one switch.
+  return (weighted_distance + total_pairs) / total_pairs;
+}
+
+std::uint64_t LinearArray::bisection_width() const {
+  if (num_endpoints_ <= 1) return 0;
+  if (num_switches() <= 1) return ceil_div(num_endpoints_, 2);
+  return 1;
+}
+
+Graph LinearArray::build_graph() const {
+  Graph g;
+  std::vector<NodeId> endpoint_ids;
+  endpoint_ids.reserve(num_endpoints_);
+  for (std::uint64_t e = 0; e < num_endpoints_; ++e) {
+    endpoint_ids.push_back(
+        g.add_node(NodeKind::kEndpoint, 0, static_cast<std::uint32_t>(e)));
+  }
+  const std::uint64_t k = num_switches();
+  std::vector<NodeId> switch_ids;
+  switch_ids.reserve(k);
+  for (std::uint64_t s = 0; s < k; ++s) {
+    switch_ids.push_back(
+        g.add_node(NodeKind::kSwitch, 1, static_cast<std::uint32_t>(s)));
+  }
+  for (std::uint64_t e = 0; e < num_endpoints_; ++e) {
+    g.add_link(endpoint_ids[e], switch_ids[switch_of(e)]);
+  }
+  for (std::uint64_t s = 0; s + 1 < k; ++s) {
+    g.add_link(switch_ids[s], switch_ids[s + 1]);
+  }
+  return g;
+}
+
+}  // namespace hmcs::topology

@@ -1,0 +1,107 @@
+#include "hmcs/topology/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::topology {
+
+MaxFlow::MaxFlow(std::size_t num_vertices)
+    : adjacency_(num_vertices), level_(num_vertices), next_edge_(num_vertices) {}
+
+void MaxFlow::add_edge(std::size_t u, std::size_t v, std::uint64_t capacity) {
+  require(u < adjacency_.size() && v < adjacency_.size(),
+          "MaxFlow: vertex out of range");
+  require(u != v, "MaxFlow: self-edges are not allowed");
+  require(!solved_, "MaxFlow: cannot add edges after solve()");
+  adjacency_[u].push_back(Edge{static_cast<std::uint32_t>(v), capacity,
+                               static_cast<std::uint32_t>(adjacency_[v].size())});
+  adjacency_[v].push_back(Edge{static_cast<std::uint32_t>(u), 0,
+                               static_cast<std::uint32_t>(adjacency_[u].size() - 1)});
+}
+
+void MaxFlow::add_undirected_edge(std::size_t u, std::size_t v,
+                                  std::uint64_t capacity) {
+  require(u < adjacency_.size() && v < adjacency_.size(),
+          "MaxFlow: vertex out of range");
+  require(u != v, "MaxFlow: self-edges are not allowed");
+  require(!solved_, "MaxFlow: cannot add edges after solve()");
+  adjacency_[u].push_back(Edge{static_cast<std::uint32_t>(v), capacity,
+                               static_cast<std::uint32_t>(adjacency_[v].size())});
+  adjacency_[v].push_back(Edge{static_cast<std::uint32_t>(u), capacity,
+                               static_cast<std::uint32_t>(adjacency_[u].size() - 1)});
+}
+
+bool MaxFlow::build_levels(std::size_t source, std::size_t sink) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<std::size_t> frontier;
+  level_[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const std::size_t v = frontier.front();
+    frontier.pop();
+    for (const Edge& e : adjacency_[v]) {
+      if (e.capacity > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+std::uint64_t MaxFlow::push(std::size_t v, std::size_t sink, std::uint64_t limit) {
+  if (v == sink) return limit;
+  for (std::size_t& i = next_edge_[v]; i < adjacency_[v].size(); ++i) {
+    Edge& e = adjacency_[v][i];
+    if (e.capacity == 0 || level_[e.to] != level_[v] + 1) continue;
+    const std::uint64_t pushed = push(e.to, sink, std::min(limit, e.capacity));
+    if (pushed == 0) continue;
+    e.capacity -= pushed;
+    adjacency_[e.to][e.reverse_index].capacity += pushed;
+    return pushed;
+  }
+  return 0;
+}
+
+std::uint64_t MaxFlow::solve(std::size_t source, std::size_t sink) {
+  require(source < adjacency_.size() && sink < adjacency_.size(),
+          "MaxFlow: vertex out of range");
+  require(source != sink, "MaxFlow: source and sink must differ");
+  require(!solved_, "MaxFlow: solve() may be called only once");
+  solved_ = true;
+  source_ = source;
+
+  std::uint64_t flow = 0;
+  while (build_levels(source, sink)) {
+    std::fill(next_edge_.begin(), next_edge_.end(), 0);
+    while (const std::uint64_t pushed =
+               push(source, sink, std::numeric_limits<std::uint64_t>::max())) {
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+std::vector<bool> MaxFlow::min_cut_source_side() const {
+  require(solved_, "MaxFlow: min_cut_source_side requires solve() first");
+  std::vector<bool> reachable(adjacency_.size(), false);
+  std::queue<std::size_t> frontier;
+  reachable[source_] = true;
+  frontier.push(source_);
+  while (!frontier.empty()) {
+    const std::size_t v = frontier.front();
+    frontier.pop();
+    for (const Edge& e : adjacency_[v]) {
+      if (e.capacity > 0 && !reachable[e.to]) {
+        reachable[e.to] = true;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return reachable;
+}
+
+}  // namespace hmcs::topology

@@ -1,0 +1,72 @@
+#include "hmcs/topology/switch_tree.hpp"
+
+#include <vector>
+
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/math_util.hpp"
+
+namespace hmcs::topology {
+
+SwitchTree::SwitchTree(std::uint32_t levels, std::uint32_t endpoints_per_leaf)
+    : levels_(levels), endpoints_per_leaf_(endpoints_per_leaf) {
+  require(levels >= 1 && levels <= 32, "SwitchTree: levels must be in [1, 32]");
+  require(endpoints_per_leaf >= 1, "SwitchTree: needs >= 1 endpoint per leaf");
+}
+
+std::uint64_t SwitchTree::bisection_width() const {
+  if (levels_ == 1) return ceil_div(num_endpoints(), 2);
+  return 1;
+}
+
+std::uint64_t SwitchTree::leaf_of(std::uint64_t endpoint) const {
+  require(endpoint < num_endpoints(), "SwitchTree: endpoint out of range");
+  return endpoint / endpoints_per_leaf_;
+}
+
+std::uint64_t SwitchTree::switch_traversals(std::uint64_t src,
+                                            std::uint64_t dst) const {
+  if (src == dst) return 0;
+  // Heap indexing: leaf i is switch (num_leaves()-1) + i in a 1-based
+  // heap numbering; walk both up to their common ancestor.
+  std::uint64_t a = num_leaves() + leaf_of(src);  // 1-based heap index
+  std::uint64_t b = num_leaves() + leaf_of(dst);
+  std::uint64_t crossed = 0;
+  while (a != b) {
+    if (a > b) {
+      a /= 2;
+    } else {
+      b /= 2;
+    }
+    ++crossed;
+  }
+  // `crossed` edges were climbed in total; switches on the path =
+  // climbed edges + 1 (the common ancestor), except the same-leaf case.
+  return crossed + 1;
+}
+
+Graph SwitchTree::build_graph() const {
+  Graph g;
+  std::vector<NodeId> endpoint_ids;
+  for (std::uint64_t e = 0; e < num_endpoints(); ++e) {
+    endpoint_ids.push_back(
+        g.add_node(NodeKind::kEndpoint, 0, static_cast<std::uint32_t>(e)));
+  }
+  // Switches in heap order: index h in [1, 2^levels - 1], level =
+  // floor(log2 h) + 1 counted from the root.
+  const std::uint64_t switch_count = num_switches();
+  std::vector<NodeId> switch_ids(switch_count + 1);
+  for (std::uint64_t h = 1; h <= switch_count; ++h) {
+    std::uint32_t level = 0;
+    for (std::uint64_t v = h; v > 0; v /= 2) ++level;
+    switch_ids[h] = g.add_node(NodeKind::kSwitch, level,
+                               static_cast<std::uint32_t>(h));
+    if (h > 1) g.add_link(switch_ids[h / 2], switch_ids[h]);
+  }
+  for (std::uint64_t e = 0; e < num_endpoints(); ++e) {
+    const std::uint64_t leaf_heap = num_leaves() + leaf_of(e);
+    g.add_link(endpoint_ids[e], switch_ids[leaf_heap]);
+  }
+  return g;
+}
+
+}  // namespace hmcs::topology

@@ -1,0 +1,133 @@
+#include "hmcs/topology/torus.hpp"
+
+#include <algorithm>
+
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/math_util.hpp"
+
+namespace hmcs::topology {
+
+Torus::Torus(std::uint32_t arity, std::uint32_t dimensions,
+             std::uint32_t endpoints_per_switch)
+    : arity_(arity),
+      dimensions_(dimensions),
+      endpoints_per_switch_(endpoints_per_switch) {
+  require(arity >= 2, "Torus: arity must be >= 2");
+  require(dimensions >= 1, "Torus: dimensions must be >= 1");
+  require(endpoints_per_switch >= 1, "Torus: needs >= 1 endpoint per switch");
+  // Keep k^n within a practical simulation size.
+  double size = 1.0;
+  for (std::uint32_t d = 0; d < dimensions; ++d) {
+    size *= static_cast<double>(arity);
+    require(size <= 1e6, "Torus: k^n too large (over 1e6 switches)");
+  }
+}
+
+std::uint64_t Torus::num_switches() const {
+  std::uint64_t total = 1;
+  for (std::uint32_t d = 0; d < dimensions_; ++d) total *= arity_;
+  return total;
+}
+
+std::uint64_t Torus::bisection_width() const {
+  std::uint64_t cross_section = 1;  // k^(n-1)
+  for (std::uint32_t d = 0; d + 1 < dimensions_; ++d) cross_section *= arity_;
+  if (arity_ == 2) return cross_section;  // wrap == direct link
+  return 2 * cross_section;
+}
+
+std::vector<std::uint32_t> Torus::coordinates(std::uint64_t switch_index) const {
+  require(switch_index < num_switches(), "Torus: switch index out of range");
+  std::vector<std::uint32_t> coords(dimensions_);
+  for (std::uint32_t d = 0; d < dimensions_; ++d) {
+    coords[d] = static_cast<std::uint32_t>(switch_index % arity_);
+    switch_index /= arity_;
+  }
+  return coords;
+}
+
+std::uint64_t Torus::switch_distance(std::uint64_t a, std::uint64_t b) const {
+  const std::vector<std::uint32_t> ca = coordinates(a);
+  const std::vector<std::uint32_t> cb = coordinates(b);
+  std::uint64_t distance = 0;
+  for (std::uint32_t d = 0; d < dimensions_; ++d) {
+    const std::uint32_t direct =
+        ca[d] > cb[d] ? ca[d] - cb[d] : cb[d] - ca[d];
+    distance += std::min<std::uint32_t>(direct, arity_ - direct);
+  }
+  return distance;
+}
+
+std::uint64_t Torus::switch_of(std::uint64_t endpoint) const {
+  require(endpoint < num_endpoints(), "Torus: endpoint out of range");
+  return endpoint / endpoints_per_switch_;
+}
+
+std::uint64_t Torus::switch_traversals(std::uint64_t src,
+                                       std::uint64_t dst) const {
+  if (src == dst) return 0;
+  return switch_distance(switch_of(src), switch_of(dst)) + 1;
+}
+
+double Torus::average_traversals() const {
+  require(num_endpoints() >= 2, "Torus: average needs >= 2 endpoints");
+  // Mean Lee distance over ordered switch pairs, computed per dimension:
+  // for a ring of k, the average |i-j| wrap distance over all ordered
+  // pairs (including i==j) is (k/2)*(k/2)/k ... computed exactly below.
+  double mean_ring = 0.0;
+  for (std::uint32_t delta = 1; delta < arity_; ++delta) {
+    mean_ring += static_cast<double>(
+        std::min<std::uint32_t>(delta, arity_ - delta));
+  }
+  mean_ring /= static_cast<double>(arity_);  // E[dist] per dimension, pair
+                                             // with independent uniform coords
+  const double switches = static_cast<double>(num_switches());
+  const double per_switch = static_cast<double>(endpoints_per_switch_);
+  const double n = static_cast<double>(num_endpoints());
+
+  // E[traversals | distinct endpoints]:
+  //   same switch pairs -> 1;  different switch -> E[dist | s1 != s2] + 1.
+  const double p_same_switch = (per_switch - 1.0) / (n - 1.0);
+  const double mean_dist_uncond = static_cast<double>(dimensions_) * mean_ring;
+  // E[dist] over ordered switch pairs including equal switches; condition
+  // on inequality: P(equal) = 1/switches.
+  const double mean_dist_distinct =
+      mean_dist_uncond / (1.0 - 1.0 / switches);
+  return p_same_switch * 1.0 + (1.0 - p_same_switch) * (mean_dist_distinct + 1.0);
+}
+
+Graph Torus::build_graph() const {
+  Graph g;
+  std::vector<NodeId> endpoint_ids;
+  endpoint_ids.reserve(num_endpoints());
+  for (std::uint64_t e = 0; e < num_endpoints(); ++e) {
+    endpoint_ids.push_back(
+        g.add_node(NodeKind::kEndpoint, 0, static_cast<std::uint32_t>(e)));
+  }
+  const std::uint64_t switches = num_switches();
+  std::vector<NodeId> switch_ids;
+  switch_ids.reserve(switches);
+  for (std::uint64_t s = 0; s < switches; ++s) {
+    switch_ids.push_back(
+        g.add_node(NodeKind::kSwitch, 1, static_cast<std::uint32_t>(s)));
+  }
+  for (std::uint64_t e = 0; e < num_endpoints(); ++e) {
+    g.add_link(endpoint_ids[e], switch_ids[switch_of(e)]);
+  }
+  // +1 neighbour per dimension (wrap); for k == 2 the +1 and -1
+  // neighbours coincide, so this adds each link exactly once.
+  std::uint64_t stride = 1;
+  for (std::uint32_t d = 0; d < dimensions_; ++d) {
+    for (std::uint64_t s = 0; s < switches; ++s) {
+      const std::uint64_t coord = (s / stride) % arity_;
+      const std::uint64_t next_coord = (coord + 1) % arity_;
+      if (arity_ == 2 && coord == 1) continue;  // already linked from 0
+      const std::uint64_t neighbour = s - coord * stride + next_coord * stride;
+      g.add_link(switch_ids[s], switch_ids[neighbour]);
+    }
+    stride *= arity_;
+  }
+  return g;
+}
+
+}  // namespace hmcs::topology

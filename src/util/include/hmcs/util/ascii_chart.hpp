@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file ascii_chart.hpp
+/// Terminal line-chart renderer: the figure harnesses echo the paper's
+/// plots directly in the bench output so the curve shape (knee at C=16,
+/// blocking blow-up, M=512 under M=1024) is visible without replotting
+/// the CSVs.
+///
+///   AsciiChart chart(64, 16);
+///   chart.add_series("analysis", {1.0, 2.0, ...}, '*');
+///   chart.add_series("simulation", {1.1, 2.1, ...}, 'o');
+///   std::cout << chart.render({"1", "2", "4", ...}, "latency (ms)");
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hmcs {
+
+class AsciiChart {
+ public:
+  /// Plot area of `width` x `height` characters (axes/labels extra).
+  AsciiChart(std::size_t width, std::size_t height);
+
+  /// Adds a series; all series must have equal point counts (checked at
+  /// render). Points are placed at equally spaced x positions.
+  void add_series(std::string label, std::vector<double> values, char marker);
+
+  /// Renders with a y axis scaled [0, max], sparse x tick labels, and a
+  /// legend line. Colliding markers from different series print '#'.
+  std::string render(const std::vector<std::string>& x_labels,
+                     const std::string& y_label) const;
+
+ private:
+  struct Series {
+    std::string label;
+    std::vector<double> values;
+    char marker;
+  };
+
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<Series> series_;
+};
+
+}  // namespace hmcs

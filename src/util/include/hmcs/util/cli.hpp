@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file cli.hpp
+/// A small command-line option parser for the example and benchmark
+/// binaries. Supports `--name value`, `--name=value`, and boolean flags
+/// (`--verbose`). Unknown options are an error so typos in experiment
+/// scripts fail loudly instead of silently using defaults.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hmcs {
+
+class CliParser {
+ public:
+  /// `description` is printed by help_text() above the option list.
+  explicit CliParser(std::string program, std::string description);
+
+  /// Registers an option. `help` appears in help_text(); `default_value`
+  /// (if any) is reported there too and returned when unset.
+  void add_option(const std::string& name, const std::string& help,
+                  std::optional<std::string> default_value = std::nullopt);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Throws ConfigError on unknown options, missing values,
+  /// or malformed input. Returns false if `--help` was requested (caller
+  /// should print help_text() and exit 0).
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  long long get_int(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  /// Positional arguments left after option parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string help_text() const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::optional<std::string> default_value;
+    bool is_flag = false;
+  };
+
+  const Option& find_declared(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::string> declaration_order_;
+  std::map<std::string, Option> declared_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hmcs

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file csv.hpp
+/// CSV writer used by the benchmark harnesses so every figure's series
+/// can be re-plotted outside the repo (the paper's figures are line
+/// charts; we emit the points as CSV alongside the ASCII table).
+
+#include <string>
+#include <vector>
+
+namespace hmcs {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(const std::vector<std::string>& cells);
+  void add_numeric_row(const std::vector<double>& cells);
+
+  /// Serialises with RFC-4180-style quoting of cells containing
+  /// commas/quotes/newlines.
+  std::string to_string() const;
+
+  /// Writes to `path`, throwing hmcs::Error if the file cannot be written.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hmcs

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file error.hpp
+/// Error types and precondition checking used across all hmcs libraries.
+///
+/// The library reports user-facing configuration problems with
+/// hmcs::ConfigError and internal invariant violations with
+/// hmcs::LogicError. HMCS_REQUIRE is used at public API boundaries where
+/// the failure is attributable to the caller's input; it always throws
+/// (never compiled out) because every caller of this library is a
+/// modelling tool where a silently wrong configuration is worse than an
+/// exception.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace hmcs {
+
+/// Base class for all exceptions thrown by the hmcs libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An invalid user-supplied configuration (bad parameter values,
+/// inconsistent system description, unstable queueing inputs, ...).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant was violated; indicates a bug in hmcs itself.
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_config_error(
+    std::string_view message, const std::source_location& loc) {
+  throw ConfigError(std::string(loc.file_name()) + ":" +
+                    std::to_string(loc.line()) + ": " + std::string(message));
+}
+
+[[noreturn]] inline void throw_logic_error(
+    std::string_view message, const std::source_location& loc) {
+  throw LogicError(std::string(loc.file_name()) + ":" +
+                   std::to_string(loc.line()) + ": " + std::string(message));
+}
+
+}  // namespace detail
+
+/// Validates a caller-supplied precondition; throws ConfigError on failure.
+inline void require(bool condition, std::string_view message,
+                    const std::source_location& loc =
+                        std::source_location::current()) {
+  if (!condition) detail::throw_config_error(message, loc);
+}
+
+/// Checks an internal invariant; throws LogicError on failure.
+inline void ensure(bool condition, std::string_view message,
+                   const std::source_location& loc =
+                       std::source_location::current()) {
+  if (!condition) detail::throw_logic_error(message, loc);
+}
+
+}  // namespace hmcs

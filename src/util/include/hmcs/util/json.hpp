@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file json.hpp
+/// A minimal JSON writer (no parsing, no DOM): enough to serialise
+/// configurations and results for downstream tooling without pulling in
+/// a dependency. Values are emitted in insertion order; strings are
+/// escaped per RFC 8259; non-finite doubles are emitted as null (JSON
+/// has no inf/nan).
+///
+///   JsonWriter json;
+///   json.begin_object();
+///   json.key("clusters").value(8);
+///   json.key("latency_ms").value(31.4);
+///   json.key("series").begin_array().value(1.0).value(2.0).end_array();
+///   json.end_object();
+///   std::string text = json.str();
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hmcs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; must be inside an object and followed by
+  /// exactly one value (or container).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int32_t number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(std::uint32_t number) { return value(static_cast<std::uint64_t>(number)); }
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Finished document. Throws LogicError if containers are unbalanced.
+  std::string str() const;
+
+  static std::string escape(std::string_view text);
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void before_value();
+  JsonWriter& emit(const std::string& text);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;
+  bool expecting_value_ = false;  // a key was just written
+  bool complete_ = false;
+};
+
+}  // namespace hmcs

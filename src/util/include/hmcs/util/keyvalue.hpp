@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file keyvalue.hpp
+/// Minimal configuration-file format: one `key = value` per line, `#`
+/// comments, blank lines ignored. Keys are unique; order is preserved
+/// for error reporting. This is deliberately not INI (no sections) —
+/// hmcs configs are flat.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hmcs {
+
+class KeyValueFile {
+ public:
+  /// Parses text; throws ConfigError with a line number on syntax errors
+  /// or duplicate keys.
+  static KeyValueFile parse(const std::string& text);
+
+  /// Reads and parses a file; throws ConfigError if unreadable.
+  static KeyValueFile load(const std::string& path);
+
+  bool has(const std::string& key) const;
+  /// Value lookup; throws ConfigError naming the key when missing.
+  const std::string& get(const std::string& key) const;
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+  double get_double(const std::string& key) const;
+  long long get_int(const std::string& key) const;
+
+  /// Keys in file order.
+  const std::vector<std::string>& keys() const { return order_; }
+
+  /// Keys present in the file but not in `known` — for strict loaders
+  /// that reject typos.
+  std::vector<std::string> unknown_keys(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::vector<std::string> order_;
+  std::vector<std::string> values_;
+
+  std::optional<std::size_t> index_of(const std::string& key) const;
+};
+
+}  // namespace hmcs

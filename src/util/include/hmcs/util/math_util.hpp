@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file math_util.hpp
+/// Small integer/floating-point helpers shared by the topology and
+/// analytic libraries (ceiling division, ceiling logarithms, comparisons
+/// with tolerance).
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs {
+
+/// Ceiling of a/b. Overflow-safe (never computes a + b). Returns 0 when
+/// b == 0 so degenerate configurations surface as obviously-wrong sizes
+/// rather than UB.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  if (b == 0 || a == 0) return 0;
+  return (a - 1) / b + 1;
+}
+
+/// True if v is a power of two (v > 0).
+constexpr bool is_power_of_two(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// ceil(log(x)/log(base)) computed purely with integer arithmetic:
+/// the smallest e >= 0 such that base^e >= x. Requires base >= 2, x >= 1.
+inline std::uint32_t ceil_log(std::uint64_t base, std::uint64_t x) {
+  require(base >= 2, "ceil_log: base must be >= 2");
+  require(x >= 1, "ceil_log: x must be >= 1");
+  std::uint32_t e = 0;
+  std::uint64_t p = 1;
+  while (p < x) {
+    // Guard against overflow before multiplying.
+    if (p > std::numeric_limits<std::uint64_t>::max() / base) {
+      return e + 1;
+    }
+    p *= base;
+    ++e;
+  }
+  return e;
+}
+
+/// Relative closeness with absolute-floor tolerance; symmetric in a, b.
+inline bool approx_equal(double a, double b, double rel_tol = 1e-9,
+                         double abs_tol = 1e-12) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  const double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return diff <= rel_tol * scale;
+}
+
+/// Relative error of `measured` against `expected` (0 when both are 0).
+inline double relative_error(double measured, double expected) {
+  if (expected == 0.0) return measured == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return std::fabs(measured - expected) / std::fabs(expected);
+}
+
+}  // namespace hmcs

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file string_util.hpp
+/// String formatting helpers for the reporting layer (tables, CSV, CLI).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hmcs {
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string format_fixed(double value, int precision);
+
+/// Formats a double compactly: fixed notation with trailing zeros
+/// trimmed, switching to scientific for very small/large magnitudes.
+std::string format_compact(double value, int significant_digits = 6);
+
+/// Left/right pads `s` with spaces to `width` characters. Strings that
+/// are already wider are returned unchanged.
+std::string pad_left(std::string_view s, std::size_t width);
+std::string pad_right(std::string_view s, std::size_t width);
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a double/integer, throwing hmcs::ConfigError with the offending
+/// text on failure (std::stod's exceptions lose that context).
+double parse_double(std::string_view s);
+long long parse_int(std::string_view s);
+
+}  // namespace hmcs

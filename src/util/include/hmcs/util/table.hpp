@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file table.hpp
+/// A minimal ASCII table printer used by the benchmark harnesses and
+/// examples to emit paper-style result tables.
+///
+/// Usage:
+///   Table t({"C", "Analysis (ms)", "Simulation (ms)"});
+///   t.add_row({"4", "1.234", "1.301"});
+///   std::cout << t.render();
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hmcs {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are
+  /// headers (throws ConfigError otherwise).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats numeric cells with the given precision.
+  void add_numeric_row(const std::vector<double>& cells, int precision = 3);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return headers_.size(); }
+
+  /// Renders the table with a header separator and right-aligned cells.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+}  // namespace hmcs

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file units.hpp
+/// Unit conventions and conversion helpers.
+///
+/// All quantities inside hmcs use a single coherent unit system chosen so
+/// the paper's Table 2 values are directly usable:
+///
+///   time       : microseconds (us)
+///   bandwidth  : bytes per microsecond  — numerically equal to MB/s,
+///                since 1 MB/s = 1e6 bytes / 1e6 us = 1 byte/us
+///   rate       : messages per microsecond
+///   size       : bytes
+///
+/// Helper functions convert between human-facing units (ms, seconds,
+/// msg/s) and the internal ones. They are constexpr so model parameters
+/// can be compile-time constants.
+
+namespace hmcs::units {
+
+inline constexpr double kUsPerMs = 1e3;
+inline constexpr double kUsPerSecond = 1e6;
+
+/// Milliseconds -> microseconds.
+constexpr double ms_to_us(double ms) { return ms * kUsPerMs; }
+
+/// Microseconds -> milliseconds.
+constexpr double us_to_ms(double us) { return us / kUsPerMs; }
+
+/// Seconds -> microseconds.
+constexpr double s_to_us(double s) { return s * kUsPerSecond; }
+
+/// Microseconds -> seconds.
+constexpr double us_to_s(double us) { return us / kUsPerSecond; }
+
+/// Megabytes per second -> bytes per microsecond (identity by design,
+/// kept explicit so call sites document their source unit).
+constexpr double mbps_to_bytes_per_us(double mbps) { return mbps; }
+
+/// Messages per second -> messages per microsecond.
+constexpr double per_s_to_per_us(double per_s) { return per_s / kUsPerSecond; }
+
+/// Messages per millisecond -> messages per microsecond.
+constexpr double per_ms_to_per_us(double per_ms) { return per_ms / kUsPerMs; }
+
+/// Messages per microsecond -> messages per second.
+constexpr double per_us_to_per_s(double per_us) { return per_us * kUsPerSecond; }
+
+}  // namespace hmcs::units

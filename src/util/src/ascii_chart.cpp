@@ -1,0 +1,114 @@
+#include "hmcs/util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/string_util.hpp"
+
+namespace hmcs {
+
+AsciiChart::AsciiChart(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  require(width >= 8 && height >= 4, "AsciiChart: plot area too small");
+}
+
+void AsciiChart::add_series(std::string label, std::vector<double> values,
+                            char marker) {
+  require(!values.empty(), "AsciiChart: series needs points");
+  for (const double v : values) {
+    require(std::isfinite(v) && v >= 0.0,
+            "AsciiChart: values must be finite and >= 0");
+  }
+  series_.push_back(Series{std::move(label), std::move(values), marker});
+}
+
+std::string AsciiChart::render(const std::vector<std::string>& x_labels,
+                               const std::string& y_label) const {
+  require(!series_.empty(), "AsciiChart: nothing to render");
+  const std::size_t points = series_.front().values.size();
+  for (const Series& series : series_) {
+    require(series.values.size() == points,
+            "AsciiChart: series lengths differ");
+  }
+  require(x_labels.size() == points, "AsciiChart: x label count mismatch");
+
+  double peak = 0.0;
+  for (const Series& series : series_) {
+    for (const double v : series.values) peak = std::max(peak, v);
+  }
+  if (peak <= 0.0) peak = 1.0;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  auto column_of = [&](std::size_t index) {
+    if (points == 1) return width_ / 2;
+    return index * (width_ - 1) / (points - 1);
+  };
+  auto row_of = [&](double value) {
+    const double fraction = value / peak;
+    const auto from_bottom = static_cast<std::size_t>(
+        std::lround(fraction * static_cast<double>(height_ - 1)));
+    return height_ - 1 - std::min(from_bottom, height_ - 1);
+  };
+
+  for (const Series& series : series_) {
+    for (std::size_t i = 0; i < points; ++i) {
+      char& cell = grid[row_of(series.values[i])][column_of(i)];
+      if (cell == ' ' || cell == series.marker) {
+        cell = series.marker;
+      } else {
+        cell = '#';  // collision between different series
+      }
+    }
+  }
+
+  // Y-axis labels on a fixed-width gutter, ticks every quarter.
+  const std::size_t gutter = 10;
+  std::ostringstream os;
+  os << std::string(gutter + 1, ' ') << y_label << " (0.." << format_compact(peak, 4)
+     << ")\n";
+  for (std::size_t row = 0; row < height_; ++row) {
+    std::string label(gutter, ' ');
+    const bool tick = row == 0 || row == height_ - 1 ||
+                      row == height_ / 2 ||
+                      row == height_ / 4 ||
+                      row == (3 * height_) / 4;
+    if (tick) {
+      const double value =
+          peak * static_cast<double>(height_ - 1 - row) /
+          static_cast<double>(height_ - 1);
+      label = pad_left(format_compact(value, 4), gutter);
+    }
+    os << label << " |" << grid[row] << "\n";
+  }
+  os << std::string(gutter, ' ') << " +" << std::string(width_, '-') << "\n";
+
+  // Sparse x labels: first, middle, last (and as many in between as
+  // fit). A little slack past the plot edge lets the last label print.
+  std::string x_row(gutter + 2 + width_ + 8, ' ');
+  for (std::size_t i = 0; i < points; ++i) {
+    // Label every point if space allows, else every other.
+    const std::size_t column = gutter + 2 + column_of(i);
+    const std::string& text = x_labels[i];
+    if (column + text.size() <= x_row.size()) {
+      bool free = true;
+      for (std::size_t k = 0; k < text.size() + 1 && column + k < x_row.size();
+           ++k) {
+        if (x_row[column + k] != ' ') free = false;
+      }
+      if (free) x_row.replace(column, text.size(), text);
+    }
+  }
+  os << x_row << "\n";
+
+  os << std::string(gutter + 2, ' ');
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    if (s != 0) os << "   ";
+    os << series_[s].marker << " = " << series_[s].label;
+  }
+  os << "  (# = overlap)\n";
+  return os.str();
+}
+
+}  // namespace hmcs

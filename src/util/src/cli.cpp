@@ -1,0 +1,105 @@
+#include "hmcs/util/cli.hpp"
+
+#include <sstream>
+
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/string_util.hpp"
+
+namespace hmcs {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           std::optional<std::string> default_value) {
+  require(!declared_.contains(name), "CLI: duplicate option --" + name);
+  declared_[name] = Option{help, std::move(default_value), false};
+  declaration_order_.push_back(name);
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  require(!declared_.contains(name), "CLI: duplicate flag --" + name);
+  declared_[name] = Option{help, std::nullopt, true};
+  declaration_order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") return false;
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    const bool has_inline_value = eq != std::string_view::npos;
+    const std::string name(has_inline_value ? body.substr(0, eq) : body);
+
+    const auto it = declared_.find(name);
+    require(it != declared_.end(), "CLI: unknown option --" + name);
+    if (it->second.is_flag) {
+      require(!has_inline_value, "CLI: flag --" + name + " takes no value");
+      values_.insert_or_assign(name, std::string("1"));
+      continue;
+    }
+    std::string value;
+    if (has_inline_value) {
+      value = std::string(body.substr(eq + 1));
+    } else {
+      require(i + 1 < argc, "CLI: option --" + name + " expects a value");
+      value = std::string(argv[++i]);
+    }
+    values_.insert_or_assign(name, std::move(value));
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::find_declared(const std::string& name) const {
+  const auto it = declared_.find(name);
+  require(it != declared_.end(), "CLI: option --" + name + " was never declared");
+  return it->second;
+}
+
+bool CliParser::has(const std::string& name) const {
+  find_declared(name);
+  return values_.contains(name);
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  const Option& opt = find_declared(name);
+  const auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  require(opt.default_value.has_value(),
+          "CLI: option --" + name + " is required but was not given");
+  return *opt.default_value;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return parse_double(get_string(name));
+}
+
+long long CliParser::get_int(const std::string& name) const {
+  return parse_int(get_string(name));
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  const Option& opt = find_declared(name);
+  require(opt.is_flag, "CLI: --" + name + " is not a flag");
+  return values_.contains(name);
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& name : declaration_order_) {
+    const Option& opt = declared_.at(name);
+    os << "  --" << pad_right(name, 24) << opt.help;
+    if (opt.default_value) os << " (default: " << *opt.default_value << ")";
+    os << "\n";
+  }
+  os << "  --" << pad_right("help", 24) << "print this message\n";
+  return os.str();
+}
+
+}  // namespace hmcs

@@ -1,0 +1,65 @@
+#include "hmcs/util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/string_util.hpp"
+
+namespace hmcs {
+
+namespace {
+
+std::string escape_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  require(!headers_.empty(), "CsvWriter: needs at least one column");
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  require(cells.size() == headers_.size(),
+          "CsvWriter: row width does not match header width");
+  rows_.push_back(cells);
+}
+
+void CsvWriter::add_numeric_row(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (const double v : cells) formatted.push_back(format_compact(v, 9));
+  add_row(formatted);
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << escape_cell(row[c]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  require(out.good(), "CsvWriter: cannot open '" + path + "' for writing");
+  out << to_string();
+  require(out.good(), "CsvWriter: failed writing '" + path + "'");
+}
+
+}  // namespace hmcs

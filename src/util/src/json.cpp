@@ -1,0 +1,141 @@
+#include "hmcs/util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs {
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  ensure(!complete_, "JsonWriter: document already complete");
+  if (stack_.empty()) return;  // root value
+  if (stack_.back() == Frame::kObject) {
+    ensure(expecting_value_, "JsonWriter: object value requires key() first");
+    expecting_value_ = false;
+    return;
+  }
+  if (has_items_.back()) out_ += ',';
+}
+
+JsonWriter& JsonWriter::emit(const std::string& text) {
+  before_value();
+  out_ += text;
+  if (stack_.empty()) {
+    complete_ = true;
+  } else {
+    has_items_.back() = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  if (!stack_.empty()) has_items_.back() = true;
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  if (!stack_.empty()) has_items_.back() = true;
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  ensure(!stack_.empty() && stack_.back() == Frame::kObject,
+         "JsonWriter: end_object without open object");
+  ensure(!expecting_value_, "JsonWriter: dangling key");
+  out_ += '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (stack_.empty()) complete_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  ensure(!stack_.empty() && stack_.back() == Frame::kArray,
+         "JsonWriter: end_array without open array");
+  out_ += ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (stack_.empty()) complete_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  ensure(!stack_.empty() && stack_.back() == Frame::kObject,
+         "JsonWriter: key() outside an object");
+  ensure(!expecting_value_, "JsonWriter: two keys in a row");
+  if (has_items_.back()) out_ += ',';
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  expecting_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  return emit('"' + escape(text) + '"');
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string_view(text));
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  if (!std::isfinite(number)) return null();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", number);
+  return emit(buf);
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  return emit(std::to_string(number));
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  return emit(std::to_string(number));
+}
+
+JsonWriter& JsonWriter::value(bool flag) { return emit(flag ? "true" : "false"); }
+
+JsonWriter& JsonWriter::null() { return emit("null"); }
+
+std::string JsonWriter::str() const {
+  ensure(stack_.empty() && complete_,
+         "JsonWriter: document incomplete (unbalanced containers)");
+  return out_;
+}
+
+}  // namespace hmcs

@@ -1,0 +1,90 @@
+#include "hmcs/util/keyvalue.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/string_util.hpp"
+
+namespace hmcs {
+
+KeyValueFile KeyValueFile::parse(const std::string& text) {
+  KeyValueFile out;
+  std::size_t line_number = 0;
+  for (const std::string& raw_line : split(text, '\n')) {
+    ++line_number;
+    std::string line = raw_line;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    require(eq != std::string::npos,
+            "config line " + std::to_string(line_number) +
+                ": expected 'key = value', got '" + line + "'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    require(!key.empty(), "config line " + std::to_string(line_number) +
+                              ": empty key");
+    require(!out.index_of(key).has_value(),
+            "config line " + std::to_string(line_number) +
+                ": duplicate key '" + key + "'");
+    out.order_.push_back(key);
+    out.values_.push_back(value);
+  }
+  return out;
+}
+
+KeyValueFile KeyValueFile::load(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "config: cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+std::optional<std::size_t> KeyValueFile::index_of(const std::string& key) const {
+  const auto it = std::find(order_.begin(), order_.end(), key);
+  if (it == order_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - order_.begin());
+}
+
+bool KeyValueFile::has(const std::string& key) const {
+  return index_of(key).has_value();
+}
+
+const std::string& KeyValueFile::get(const std::string& key) const {
+  const auto index = index_of(key);
+  require(index.has_value(), "config: missing key '" + key + "'");
+  return values_[*index];
+}
+
+std::string KeyValueFile::get_or(const std::string& key,
+                                 const std::string& fallback) const {
+  const auto index = index_of(key);
+  return index ? values_[*index] : fallback;
+}
+
+double KeyValueFile::get_double(const std::string& key) const {
+  return parse_double(get(key));
+}
+
+long long KeyValueFile::get_int(const std::string& key) const {
+  return parse_int(get(key));
+}
+
+std::vector<std::string> KeyValueFile::unknown_keys(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const std::string& key : order_) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      unknown.push_back(key);
+    }
+  }
+  return unknown;
+}
+
+}  // namespace hmcs

@@ -1,0 +1,84 @@
+#include "hmcs/util/string_util.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs {
+
+std::string format_fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string format_compact(double value, int significant_digits) {
+  if (value == 0.0) return "0";
+  const double mag = std::fabs(value);
+  char buf[64];
+  if (mag >= 1e9 || mag < 1e-4) {
+    std::snprintf(buf, sizeof(buf), "%.*g", significant_digits, value);
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%.*g", significant_digits, value);
+  return buf;
+}
+
+std::string pad_left(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string(s);
+  return std::string(width - s.size(), ' ') + std::string(s);
+}
+
+std::string pad_right(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string(s);
+  return std::string(s) + std::string(width - s.size(), ' ');
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string trim(std::string_view s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return std::string(s.substr(begin, end - begin));
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+double parse_double(std::string_view s) {
+  const std::string t = trim(s);
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), value);
+  require(ec == std::errc() && ptr == t.data() + t.size(),
+          "not a valid number: '" + t + "'");
+  return value;
+}
+
+long long parse_int(std::string_view s) {
+  const std::string t = trim(s);
+  long long value = 0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), value);
+  require(ec == std::errc() && ptr == t.data() + t.size(),
+          "not a valid integer: '" + t + "'");
+  return value;
+}
+
+}  // namespace hmcs

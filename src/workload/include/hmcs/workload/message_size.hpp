@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file message_size.hpp
+/// Message-size distributions. The paper fixes M (assumption 6); the
+/// variable distributions exist for the sensitivity ablation that checks
+/// how far the fixed-size analytical model drifts when real traffic has
+/// a size mix.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hmcs/simcore/rng.hpp"
+
+namespace hmcs::workload {
+
+class MessageSizeDistribution {
+ public:
+  virtual ~MessageSizeDistribution() = default;
+  virtual double sample_bytes(simcore::Rng& rng) const = 0;
+  virtual double mean_bytes() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Assumption 6: every message is exactly `bytes` long.
+class FixedSize final : public MessageSizeDistribution {
+ public:
+  explicit FixedSize(double bytes);
+  double sample_bytes(simcore::Rng& rng) const override;
+  double mean_bytes() const override { return bytes_; }
+  std::string name() const override;
+
+ private:
+  double bytes_;
+};
+
+/// Small control messages mixed with large payloads — the classic
+/// cluster traffic mix.
+class BimodalSize final : public MessageSizeDistribution {
+ public:
+  BimodalSize(double small_bytes, double large_bytes, double large_fraction);
+  double sample_bytes(simcore::Rng& rng) const override;
+  double mean_bytes() const override;
+  std::string name() const override;
+
+ private:
+  double small_bytes_;
+  double large_bytes_;
+  double large_fraction_;
+};
+
+/// Exponential sizes with the given mean, clamped below by `min_bytes`
+/// (a message has at least a header).
+class ExponentialSize final : public MessageSizeDistribution {
+ public:
+  explicit ExponentialSize(double mean_bytes, double min_bytes = 1.0);
+  double sample_bytes(simcore::Rng& rng) const override;
+  double mean_bytes() const override;
+  std::string name() const override;
+
+ private:
+  double mean_bytes_;
+  double min_bytes_;
+};
+
+}  // namespace hmcs::workload

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file traffic_pattern.hpp
+/// Destination selection for generated messages. The paper's assumption 3
+/// is uniform traffic (any other node, equally likely); the localized and
+/// hotspot patterns implement the paper's Section 5.3 remark that
+/// "the linear array network is not suited for random traffic patterns,
+/// but for localized traffic patterns" — they exist so the ablation bench
+/// can demonstrate exactly that.
+///
+/// Node numbering: node id = cluster * nodes_per_cluster + local index,
+/// matching the simulator's layout.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hmcs/simcore/rng.hpp"
+
+namespace hmcs::workload {
+
+/// Shape of the node space a pattern draws destinations from.
+struct NodeSpace {
+  std::uint32_t clusters = 1;
+  /// Per-cluster node counts (uniform systems repeat one value).
+  std::vector<std::uint32_t> nodes_per_cluster;
+
+  std::uint64_t total_nodes() const;
+  std::uint32_t cluster_of(std::uint64_t node) const;
+  std::uint64_t first_node_of(std::uint32_t cluster) const;
+
+  static NodeSpace uniform(std::uint32_t clusters, std::uint32_t nodes_each);
+  void validate() const;
+};
+
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+
+  /// Picks a destination != source. Requires >= 2 nodes in the space.
+  virtual std::uint64_t pick_destination(std::uint64_t source,
+                                         simcore::Rng& rng) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Assumption 3: uniform over all other nodes.
+class UniformTraffic final : public TrafficPattern {
+ public:
+  explicit UniformTraffic(NodeSpace space);
+  std::uint64_t pick_destination(std::uint64_t source,
+                                 simcore::Rng& rng) const override;
+  std::string name() const override { return "uniform"; }
+
+ private:
+  NodeSpace space_;
+};
+
+/// With probability `locality` the destination stays inside the source's
+/// cluster (uniform there); otherwise uniform over the remote nodes.
+/// locality == intra-cluster fraction, the knob the blocking-network
+/// ablation sweeps.
+class LocalizedTraffic final : public TrafficPattern {
+ public:
+  LocalizedTraffic(NodeSpace space, double locality);
+  std::uint64_t pick_destination(std::uint64_t source,
+                                 simcore::Rng& rng) const override;
+  std::string name() const override;
+
+ private:
+  NodeSpace space_;
+  double locality_;
+};
+
+/// With probability `hotspot_fraction` the destination is the hotspot
+/// node; otherwise uniform over the others. Models a shared server / NFS
+/// home node.
+class HotspotTraffic final : public TrafficPattern {
+ public:
+  HotspotTraffic(NodeSpace space, std::uint64_t hotspot_node,
+                 double hotspot_fraction);
+  std::uint64_t pick_destination(std::uint64_t source,
+                                 simcore::Rng& rng) const override;
+  std::string name() const override;
+
+ private:
+  NodeSpace space_;
+  std::uint64_t hotspot_;
+  double fraction_;
+};
+
+}  // namespace hmcs::workload

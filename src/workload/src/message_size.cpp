@@ -1,0 +1,62 @@
+#include "hmcs/workload/message_size.hpp"
+
+#include <algorithm>
+
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/string_util.hpp"
+
+namespace hmcs::workload {
+
+FixedSize::FixedSize(double bytes) : bytes_(bytes) {
+  require(bytes > 0.0, "FixedSize: size must be > 0");
+}
+
+double FixedSize::sample_bytes(simcore::Rng&) const { return bytes_; }
+
+std::string FixedSize::name() const {
+  return "fixed(" + format_compact(bytes_) + "B)";
+}
+
+BimodalSize::BimodalSize(double small_bytes, double large_bytes,
+                         double large_fraction)
+    : small_bytes_(small_bytes),
+      large_bytes_(large_bytes),
+      large_fraction_(large_fraction) {
+  require(small_bytes > 0.0 && large_bytes >= small_bytes,
+          "BimodalSize: requires 0 < small <= large");
+  require(large_fraction >= 0.0 && large_fraction <= 1.0,
+          "BimodalSize: fraction must be in [0, 1]");
+}
+
+double BimodalSize::sample_bytes(simcore::Rng& rng) const {
+  return rng.bernoulli(large_fraction_) ? large_bytes_ : small_bytes_;
+}
+
+double BimodalSize::mean_bytes() const {
+  return large_fraction_ * large_bytes_ + (1.0 - large_fraction_) * small_bytes_;
+}
+
+std::string BimodalSize::name() const {
+  return "bimodal(" + format_compact(small_bytes_) + "B/" +
+         format_compact(large_bytes_) + "B, p=" +
+         format_fixed(large_fraction_, 2) + ")";
+}
+
+ExponentialSize::ExponentialSize(double mean_bytes, double min_bytes)
+    : mean_bytes_(mean_bytes), min_bytes_(min_bytes) {
+  require(mean_bytes > 0.0, "ExponentialSize: mean must be > 0");
+  require(min_bytes >= 0.0 && min_bytes <= mean_bytes,
+          "ExponentialSize: min must be in [0, mean]");
+}
+
+double ExponentialSize::sample_bytes(simcore::Rng& rng) const {
+  return std::max(min_bytes_, rng.exponential(mean_bytes_));
+}
+
+double ExponentialSize::mean_bytes() const { return mean_bytes_; }
+
+std::string ExponentialSize::name() const {
+  return "exponential(" + format_compact(mean_bytes_) + "B)";
+}
+
+}  // namespace hmcs::workload

@@ -1,0 +1,127 @@
+#include "hmcs/workload/traffic_pattern.hpp"
+
+#include <algorithm>
+
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/string_util.hpp"
+
+namespace hmcs::workload {
+
+std::uint64_t NodeSpace::total_nodes() const {
+  std::uint64_t total = 0;
+  for (const auto n : nodes_per_cluster) total += n;
+  return total;
+}
+
+std::uint32_t NodeSpace::cluster_of(std::uint64_t node) const {
+  std::uint64_t cursor = 0;
+  for (std::uint32_t c = 0; c < nodes_per_cluster.size(); ++c) {
+    cursor += nodes_per_cluster[c];
+    if (node < cursor) return c;
+  }
+  detail::throw_config_error("NodeSpace: node id out of range",
+                             std::source_location::current());
+}
+
+std::uint64_t NodeSpace::first_node_of(std::uint32_t cluster) const {
+  require(cluster < nodes_per_cluster.size(), "NodeSpace: cluster out of range");
+  std::uint64_t cursor = 0;
+  for (std::uint32_t c = 0; c < cluster; ++c) cursor += nodes_per_cluster[c];
+  return cursor;
+}
+
+NodeSpace NodeSpace::uniform(std::uint32_t clusters, std::uint32_t nodes_each) {
+  NodeSpace space;
+  space.clusters = clusters;
+  space.nodes_per_cluster.assign(clusters, nodes_each);
+  space.validate();
+  return space;
+}
+
+void NodeSpace::validate() const {
+  require(clusters >= 1, "NodeSpace: needs >= 1 cluster");
+  require(nodes_per_cluster.size() == clusters,
+          "NodeSpace: per-cluster sizes must match cluster count");
+  for (const auto n : nodes_per_cluster) {
+    require(n >= 1, "NodeSpace: every cluster needs >= 1 node");
+  }
+}
+
+UniformTraffic::UniformTraffic(NodeSpace space) : space_(std::move(space)) {
+  space_.validate();
+  require(space_.total_nodes() >= 2, "UniformTraffic: needs >= 2 nodes");
+}
+
+std::uint64_t UniformTraffic::pick_destination(std::uint64_t source,
+                                               simcore::Rng& rng) const {
+  const std::uint64_t n = space_.total_nodes();
+  require(source < n, "UniformTraffic: source out of range");
+  // Uniform over the n-1 others: draw in [0, n-1) and skip self.
+  const std::uint64_t draw = rng.uniform_below(n - 1);
+  return draw >= source ? draw + 1 : draw;
+}
+
+LocalizedTraffic::LocalizedTraffic(NodeSpace space, double locality)
+    : space_(std::move(space)), locality_(locality) {
+  space_.validate();
+  require(space_.total_nodes() >= 2, "LocalizedTraffic: needs >= 2 nodes");
+  require(locality >= 0.0 && locality <= 1.0,
+          "LocalizedTraffic: locality must be in [0, 1]");
+}
+
+std::string LocalizedTraffic::name() const {
+  return "localized(" + format_fixed(locality_, 2) + ")";
+}
+
+std::uint64_t LocalizedTraffic::pick_destination(std::uint64_t source,
+                                                 simcore::Rng& rng) const {
+  const std::uint64_t n = space_.total_nodes();
+  require(source < n, "LocalizedTraffic: source out of range");
+  const std::uint32_t home = space_.cluster_of(source);
+  const std::uint64_t home_size = space_.nodes_per_cluster[home];
+  const std::uint64_t home_base = space_.first_node_of(home);
+
+  const bool stay_local = home_size >= 2 && rng.bernoulli(locality_);
+  if (stay_local) {
+    const std::uint64_t local_index = source - home_base;
+    const std::uint64_t draw = rng.uniform_below(home_size - 1);
+    return home_base + (draw >= local_index ? draw + 1 : draw);
+  }
+  const std::uint64_t remote_count = n - home_size;
+  if (remote_count == 0) {
+    // Single-cluster system: fall back to uniform-local.
+    const std::uint64_t draw = rng.uniform_below(n - 1);
+    return draw >= source ? draw + 1 : draw;
+  }
+  // Uniform over nodes outside the home cluster: index the remote space.
+  std::uint64_t draw = rng.uniform_below(remote_count);
+  if (draw >= home_base) draw += home_size;
+  return draw;
+}
+
+HotspotTraffic::HotspotTraffic(NodeSpace space, std::uint64_t hotspot_node,
+                               double hotspot_fraction)
+    : space_(std::move(space)), hotspot_(hotspot_node), fraction_(hotspot_fraction) {
+  space_.validate();
+  require(space_.total_nodes() >= 2, "HotspotTraffic: needs >= 2 nodes");
+  require(hotspot_node < space_.total_nodes(),
+          "HotspotTraffic: hotspot node out of range");
+  require(hotspot_fraction >= 0.0 && hotspot_fraction <= 1.0,
+          "HotspotTraffic: fraction must be in [0, 1]");
+}
+
+std::string HotspotTraffic::name() const {
+  return "hotspot(node " + std::to_string(hotspot_) + ", " +
+         format_fixed(fraction_, 2) + ")";
+}
+
+std::uint64_t HotspotTraffic::pick_destination(std::uint64_t source,
+                                               simcore::Rng& rng) const {
+  const std::uint64_t n = space_.total_nodes();
+  require(source < n, "HotspotTraffic: source out of range");
+  if (source != hotspot_ && rng.bernoulli(fraction_)) return hotspot_;
+  const std::uint64_t draw = rng.uniform_below(n - 1);
+  return draw >= source ? draw + 1 : draw;
+}
+
+}  // namespace hmcs::workload

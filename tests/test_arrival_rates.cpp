@@ -1,0 +1,77 @@
+// Jackson arrival rates, eqs. (1)-(5), plus flow-conservation properties.
+
+#include <gtest/gtest.h>
+
+#include "hmcs/analytic/arrival_rates.hpp"
+#include "hmcs/analytic/routing_probability.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using hmcs::analytic::ArrivalRates;
+using hmcs::analytic::compute_arrival_rates;
+using hmcs::analytic::inter_cluster_probability;
+
+TEST(ArrivalRates, MatchClosedFormsOnPaperConfig) {
+  // C=4, N0=64, lambda=2.5e-4/us, P = 192/255.
+  const double p = inter_cluster_probability(4, 64);
+  const double lambda = 2.5e-4;
+  const ArrivalRates r = compute_arrival_rates(4, 64, p, lambda);
+  EXPECT_NEAR(r.icn1, 64.0 * (1.0 - p) * lambda, 1e-15);          // eq. (1)
+  EXPECT_NEAR(r.ecn1_forward, 64.0 * p * lambda, 1e-15);          // eq. (2)
+  EXPECT_NEAR(r.icn2, 4.0 * 64.0 * p * lambda, 1e-15);            // eq. (3)
+  EXPECT_NEAR(r.ecn1_return, r.icn2 / 4.0, 1e-15);                // eq. (4)
+  EXPECT_NEAR(r.ecn1, 2.0 * 64.0 * p * lambda, 1e-15);            // eq. (5)
+}
+
+TEST(ArrivalRates, SingleClusterHasNoRemoteTraffic) {
+  const ArrivalRates r = compute_arrival_rates(1, 256, 0.0, 1e-4);
+  EXPECT_DOUBLE_EQ(r.icn1, 256.0 * 1e-4);
+  EXPECT_DOUBLE_EQ(r.ecn1, 0.0);
+  EXPECT_DOUBLE_EQ(r.icn2, 0.0);
+}
+
+TEST(ArrivalRates, FullyRemoteWhenPIsOne) {
+  const ArrivalRates r = compute_arrival_rates(256, 1, 1.0, 1e-4);
+  EXPECT_DOUBLE_EQ(r.icn1, 0.0);
+  EXPECT_DOUBLE_EQ(r.ecn1, 2.0 * 1e-4);
+  EXPECT_DOUBLE_EQ(r.icn2, 256.0 * 1e-4);
+}
+
+TEST(ArrivalRates, FlowConservation) {
+  // Total work entering the system per us: N*lambda messages. Local ones
+  // hit ICN1 once; remote ones hit ECN1 twice and ICN2 once.
+  for (std::uint32_t c : {2u, 4u, 16u}) {
+    for (std::uint32_t n0 : {2u, 16u, 64u}) {
+      const double p = inter_cluster_probability(c, n0);
+      const double lambda = 3.7e-4;
+      const ArrivalRates r = compute_arrival_rates(c, n0, p, lambda);
+      const double n = static_cast<double>(c) * n0;
+      // Per-cluster centres aggregate to C * rate; ICN2 is global.
+      EXPECT_NEAR(c * r.icn1, n * (1.0 - p) * lambda, 1e-12);
+      EXPECT_NEAR(c * r.ecn1, 2.0 * n * p * lambda, 1e-12);
+      EXPECT_NEAR(r.icn2, n * p * lambda, 1e-12);
+      // ECN1 forward flow equals the ICN2 share of one cluster.
+      EXPECT_NEAR(r.ecn1_forward, r.icn2 / c, 1e-15);
+    }
+  }
+}
+
+TEST(ArrivalRates, LinearInLambda) {
+  const double p = inter_cluster_probability(8, 32);
+  const ArrivalRates base = compute_arrival_rates(8, 32, p, 1e-4);
+  const ArrivalRates scaled = compute_arrival_rates(8, 32, p, 3e-4);
+  EXPECT_NEAR(scaled.icn1, 3.0 * base.icn1, 1e-15);
+  EXPECT_NEAR(scaled.ecn1, 3.0 * base.ecn1, 1e-15);
+  EXPECT_NEAR(scaled.icn2, 3.0 * base.icn2, 1e-15);
+}
+
+TEST(ArrivalRates, Validation) {
+  EXPECT_THROW(compute_arrival_rates(0, 4, 0.5, 1e-4), hmcs::ConfigError);
+  EXPECT_THROW(compute_arrival_rates(4, 0, 0.5, 1e-4), hmcs::ConfigError);
+  EXPECT_THROW(compute_arrival_rates(4, 4, 1.5, 1e-4), hmcs::ConfigError);
+  EXPECT_THROW(compute_arrival_rates(4, 4, -0.1, 1e-4), hmcs::ConfigError);
+  EXPECT_THROW(compute_arrival_rates(4, 4, 0.5, -1e-4), hmcs::ConfigError);
+}
+
+}  // namespace

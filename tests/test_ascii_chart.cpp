@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "hmcs/util/ascii_chart.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/string_util.hpp"
+
+namespace {
+
+using hmcs::AsciiChart;
+
+std::vector<std::string> lines_of(const std::string& text) {
+  return hmcs::split(text, '\n');
+}
+
+TEST(AsciiChart, RampPlacesMarkersMonotonically) {
+  AsciiChart chart(32, 8);
+  chart.add_series("ramp", {0.0, 1.0, 2.0, 3.0}, '*');
+  const std::string out = chart.render({"a", "b", "c", "d"}, "y");
+  const auto lines = lines_of(out);
+  // Find the row of each '*' per column; rows must decrease (higher
+  // values sit higher on the chart).
+  std::vector<int> star_rows;
+  for (std::size_t row = 1; row <= 8; ++row) {
+    for (std::size_t col = 0; col < lines[row].size(); ++col) {
+      if (lines[row][col] == '*') star_rows.push_back(static_cast<int>(row));
+    }
+  }
+  ASSERT_EQ(star_rows.size(), 4u);  // one star per point
+  // Rows are scanned top-down, so earlier-found stars are higher values.
+  EXPECT_TRUE(std::is_sorted(star_rows.begin(), star_rows.end()));
+}
+
+TEST(AsciiChart, CollisionsMarkedWithHash) {
+  AsciiChart chart(16, 6);
+  chart.add_series("a", {5.0, 1.0}, '*');
+  chart.add_series("b", {5.0, 2.0}, 'o');
+  const std::string out = chart.render({"x", "y"}, "v");
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("(# = overlap)"), std::string::npos);
+}
+
+TEST(AsciiChart, LegendAndAxisLabelsPresent) {
+  AsciiChart chart(24, 6);
+  chart.add_series("analysis", {1.0, 2.0}, '*');
+  chart.add_series("simulation", {1.5, 2.5}, 'o');
+  const std::string out = chart.render({"1", "2"}, "latency");
+  EXPECT_NE(out.find("* = analysis"), std::string::npos);
+  EXPECT_NE(out.find("o = simulation"), std::string::npos);
+  EXPECT_NE(out.find("latency"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);  // peak in header
+}
+
+TEST(AsciiChart, SinglePointCentred) {
+  AsciiChart chart(20, 5);
+  chart.add_series("pt", {3.0}, '*');
+  const std::string out = chart.render({"only"}, "v");
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(AsciiChart, AllZeroSeriesRenders) {
+  AsciiChart chart(16, 5);
+  chart.add_series("zero", {0.0, 0.0, 0.0}, '*');
+  EXPECT_NO_THROW(chart.render({"a", "b", "c"}, "v"));
+}
+
+TEST(AsciiChart, Validation) {
+  EXPECT_THROW(AsciiChart(4, 2), hmcs::ConfigError);
+  AsciiChart chart(16, 6);
+  EXPECT_THROW(chart.render({}, "v"), hmcs::ConfigError);  // no series
+  chart.add_series("a", {1.0, 2.0}, '*');
+  EXPECT_THROW(chart.render({"one"}, "v"), hmcs::ConfigError);  // labels
+  chart.add_series("b", {1.0}, 'o');  // length mismatch
+  EXPECT_THROW(chart.render({"one", "two"}, "v"), hmcs::ConfigError);
+  EXPECT_THROW(chart.add_series("bad", {-1.0}, 'x'), hmcs::ConfigError);
+  EXPECT_THROW(chart.add_series("bad", {}, 'x'), hmcs::ConfigError);
+}
+
+}  // namespace

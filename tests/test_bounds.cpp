@@ -1,0 +1,131 @@
+// Operational asymptotic bounds and their envelope property: every
+// solver's prediction must respect them.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "hmcs/analytic/bounds.hpp"
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using namespace hmcs::analytic;
+
+TEST(Bounds, TotalDemandEqualsNoLoadLatency) {
+  // D = (1-P)T_I1 + P(2T_E1 + T_I2) is exactly eq. (15) at zero load.
+  const SystemConfig config =
+      paper_scenario(HeterogeneityCase::kCase1, 8,
+                     NetworkArchitecture::kNonBlocking, 1024.0, 256,
+                     kPaperLiteralRatePerUs);
+  const AsymptoticBounds bounds = compute_bounds(config);
+  const LatencyPrediction prediction = predict_latency(config);
+  EXPECT_NEAR(bounds.total_demand_us, prediction.mean_latency_us,
+              1e-2 * prediction.mean_latency_us);
+}
+
+TEST(Bounds, BottleneckIdentification) {
+  // Case 1, C=2: each cluster's FE egress carries half the system;
+  // C=8+: the single shared FE backbone dominates; C=1: only ICN1.
+  EXPECT_STREQ(compute_bounds(paper_scenario(HeterogeneityCase::kCase1, 2,
+                                             NetworkArchitecture::kNonBlocking,
+                                             1024.0))
+                   .bottleneck,
+               "ECN1");
+  EXPECT_STREQ(compute_bounds(paper_scenario(HeterogeneityCase::kCase1, 8,
+                                             NetworkArchitecture::kNonBlocking,
+                                             1024.0))
+                   .bottleneck,
+               "ICN2");
+  EXPECT_STREQ(compute_bounds(paper_scenario(HeterogeneityCase::kCase1, 1,
+                                             NetworkArchitecture::kNonBlocking,
+                                             1024.0))
+                   .bottleneck,
+               "ICN1");
+  EXPECT_STREQ(compute_bounds(paper_scenario(HeterogeneityCase::kCase1, 256,
+                                             NetworkArchitecture::kNonBlocking,
+                                             1024.0))
+                   .bottleneck,
+               "ICN2");
+}
+
+TEST(Bounds, EnvelopeHoldsForExactMva) {
+  // The exact solver can never leave the operational envelope.
+  for (const auto hetero :
+       {HeterogeneityCase::kCase1, HeterogeneityCase::kCase2}) {
+    for (const auto arch : {NetworkArchitecture::kNonBlocking,
+                            NetworkArchitecture::kBlocking}) {
+      for (const std::uint32_t clusters : {1u, 2u, 16u, 256u}) {
+        const SystemConfig config =
+            paper_scenario(hetero, clusters, arch, 1024.0);
+        const AsymptoticBounds bounds = compute_bounds(config);
+        ModelOptions options;
+        options.fixed_point.method = SourceThrottling::kExactMva;
+        const LatencyPrediction prediction = predict_latency(config, options);
+        EXPECT_LE(prediction.lambda_effective,
+                  bounds.throughput_upper_per_us * 1.001)
+            << "C=" << clusters;
+        EXPECT_GE(prediction.mean_latency_us, bounds.latency_lower_us * 0.98)
+            << "C=" << clusters;
+      }
+    }
+  }
+}
+
+TEST(Bounds, PaperApproximationViolatesTheEnvelopeAtPartialSaturation) {
+  // Documented deficiency of eqs. (6)-(7): at C=2 (one centre class
+  // saturated, the rest idle) the open-network fixed point predicts a
+  // latency below the N*D_max - Z operational lower bound — something no
+  // real closed network can do. This is precisely the figure-4 C=2
+  // outlier that kExactMva eliminates.
+  const SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase1, 2, NetworkArchitecture::kNonBlocking, 1024.0);
+  const AsymptoticBounds bounds = compute_bounds(config);
+  const LatencyPrediction open = predict_latency(config);  // kBisection
+  EXPECT_LT(open.mean_latency_us, bounds.latency_lower_us);
+
+  ModelOptions mva;
+  mva.fixed_point.method = SourceThrottling::kExactMva;
+  const LatencyPrediction exact = predict_latency(config, mva);
+  EXPECT_GE(exact.mean_latency_us, bounds.latency_lower_us * 0.98);
+}
+
+TEST(Bounds, ThroughputBoundTightAtSaturation) {
+  // Deep saturation: exact MVA approaches the bottleneck bound.
+  SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase1, 8, NetworkArchitecture::kNonBlocking, 1024.0);
+  config.generation_rate_per_us = 4e-3;  // 4000 msg/s/node
+  const AsymptoticBounds bounds = compute_bounds(config);
+  ModelOptions mva;
+  mva.fixed_point.method = SourceThrottling::kExactMva;
+  const LatencyPrediction prediction = predict_latency(config, mva);
+  EXPECT_GT(prediction.lambda_effective,
+            0.95 * bounds.throughput_upper_per_us);
+  EXPECT_LE(prediction.lambda_effective,
+            1.001 * bounds.throughput_upper_per_us);
+}
+
+TEST(Bounds, LatencyBoundTightAtLowLoad) {
+  const SystemConfig config =
+      paper_scenario(HeterogeneityCase::kCase2, 16,
+                     NetworkArchitecture::kNonBlocking, 512.0, 256,
+                     kPaperLiteralRatePerUs);
+  const AsymptoticBounds bounds = compute_bounds(config);
+  const LatencyPrediction prediction = predict_latency(config);
+  EXPECT_NEAR(prediction.mean_latency_us, bounds.latency_lower_us,
+              0.01 * bounds.latency_lower_us);
+}
+
+TEST(Bounds, BlockingRaisesTheBottleneck) {
+  const AsymptoticBounds nonblocking = compute_bounds(paper_scenario(
+      HeterogeneityCase::kCase1, 8, NetworkArchitecture::kNonBlocking, 1024.0));
+  const AsymptoticBounds blocking = compute_bounds(paper_scenario(
+      HeterogeneityCase::kCase1, 8, NetworkArchitecture::kBlocking, 1024.0));
+  EXPECT_GT(blocking.bottleneck_demand_us, nonblocking.bottleneck_demand_us);
+  EXPECT_LT(blocking.throughput_upper_per_us,
+            nonblocking.throughput_upper_per_us);
+}
+
+}  // namespace

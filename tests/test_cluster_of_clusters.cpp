@@ -1,0 +1,173 @@
+// Heterogeneous Cluster-of-Clusters extension: reduction to the
+// Super-Cluster model for identical clusters, and qualitative behaviour
+// for genuinely heterogeneous ones.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hmcs/analytic/cluster_of_clusters.hpp"
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using namespace hmcs::analytic;
+
+ClusterOfClustersConfig hetero_config() {
+  // Two big GE clusters + two small FE clusters behind a FE backbone.
+  ClusterOfClustersConfig config;
+  ClusterSpec fast;
+  fast.nodes = 32;
+  fast.icn1 = gigabit_ethernet();
+  fast.ecn1 = fast_ethernet();
+  fast.generation_rate_per_us = 1e-4;
+  ClusterSpec slow;
+  slow.nodes = 8;
+  slow.icn1 = fast_ethernet();
+  slow.ecn1 = fast_ethernet();
+  slow.generation_rate_per_us = 0.5e-4;
+  config.clusters = {fast, fast, slow, slow};
+  config.icn2 = fast_ethernet();
+  config.switch_params = {24, 10.0};
+  config.architecture = NetworkArchitecture::kNonBlocking;
+  config.message_bytes = 1024.0;
+  return config;
+}
+
+TEST(ClusterOfClusters, TotalNodesSumsClusters) {
+  EXPECT_EQ(hetero_config().total_nodes(), 80u);
+}
+
+TEST(ClusterOfClusters, HomogeneousReductionMatchesSuperClusterModel) {
+  // Identical clusters must reproduce the Super-Cluster prediction (with
+  // the consistent ECN1 accounting and the same bisection fixed point).
+  for (const std::uint32_t clusters : {2u, 4u, 8u}) {
+    const SystemConfig super = paper_scenario(
+        HeterogeneityCase::kCase1, clusters,
+        NetworkArchitecture::kNonBlocking, 1024.0, 64, 1e-4);
+    ModelOptions options;
+    options.fixed_point.queue_rule = QueueLengthRule::kConsistent;
+    const LatencyPrediction expected = predict_latency(super, options);
+
+    const ClusterOfClustersConfig hetero =
+        ClusterOfClustersConfig::from_super_cluster(super);
+    const HeteroLatencyPrediction actual =
+        predict_cluster_of_clusters(hetero);
+
+    EXPECT_NEAR(actual.mean_latency_us, expected.mean_latency_us,
+                1e-6 * expected.mean_latency_us)
+        << "C=" << clusters;
+    for (const double per_cluster : actual.per_cluster_latency_us) {
+      EXPECT_NEAR(per_cluster, expected.mean_latency_us,
+                  1e-6 * expected.mean_latency_us);
+    }
+    EXPECT_NEAR(actual.effective_rate_scale,
+                expected.lambda_effective / expected.lambda_offered,
+                1e-6);
+  }
+}
+
+TEST(ClusterOfClusters, AmvaHomogeneousReductionMatchesExactMva) {
+  // Identical clusters through the multi-class AMVA solver must land on
+  // the Super-Cluster exact-MVA prediction to Schweitzer accuracy.
+  const SystemConfig super = paper_scenario(
+      HeterogeneityCase::kCase1, 4, NetworkArchitecture::kNonBlocking,
+      1024.0, 128, 2e-4);
+  ModelOptions options;
+  options.fixed_point.method = SourceThrottling::kExactMva;
+  const LatencyPrediction exact = predict_latency(super, options);
+
+  const HeteroLatencyPrediction approx = predict_cluster_of_clusters(
+      ClusterOfClustersConfig::from_super_cluster(super),
+      HeteroSolver::kApproxMva);
+  EXPECT_TRUE(approx.fixed_point_converged);
+  EXPECT_NEAR(approx.mean_latency_us, exact.mean_latency_us,
+              0.05 * exact.mean_latency_us);
+  EXPECT_NEAR(approx.icn2.utilization, exact.icn2.utilization, 0.05);
+}
+
+TEST(ClusterOfClusters, AmvaHandlesSaturationGracefully) {
+  ClusterOfClustersConfig config = hetero_config();
+  for (auto& cluster : config.clusters) cluster.generation_rate_per_us = 1e-2;
+  const HeteroLatencyPrediction prediction =
+      predict_cluster_of_clusters(config, HeteroSolver::kApproxMva);
+  EXPECT_TRUE(prediction.fixed_point_converged);
+  EXPECT_LT(prediction.effective_rate_scale, 0.5);
+  for (const auto& center : prediction.ecn1) {
+    EXPECT_LT(center.utilization, 1.0 + 1e-9);
+  }
+}
+
+TEST(ClusterOfClusters, SlowClusterSeesHigherLocalLatency) {
+  const HeteroLatencyPrediction prediction =
+      predict_cluster_of_clusters(hetero_config());
+  // Clusters 0/1 have GE intra networks; 2/3 have FE. Their source
+  // latencies must reflect that.
+  EXPECT_LT(prediction.per_cluster_latency_us[0],
+            prediction.per_cluster_latency_us[2]);
+  EXPECT_NEAR(prediction.per_cluster_latency_us[0],
+              prediction.per_cluster_latency_us[1], 1e-9);
+}
+
+TEST(ClusterOfClusters, MeanIsGenerationWeighted) {
+  const HeteroLatencyPrediction prediction =
+      predict_cluster_of_clusters(hetero_config());
+  double lo = prediction.per_cluster_latency_us[0];
+  double hi = lo;
+  for (const double v : prediction.per_cluster_latency_us) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GE(prediction.mean_latency_us, lo);
+  EXPECT_LE(prediction.mean_latency_us, hi);
+}
+
+TEST(ClusterOfClusters, IngressEgressBalanceAtIcn2) {
+  // Everything leaving the clusters passes ICN2 exactly once.
+  const HeteroLatencyPrediction prediction =
+      predict_cluster_of_clusters(hetero_config());
+  double ecn1_total = 0.0;
+  for (const auto& center : prediction.ecn1) ecn1_total += center.arrival_rate;
+  EXPECT_NEAR(ecn1_total, 2.0 * prediction.icn2.arrival_rate, 1e-12);
+}
+
+TEST(ClusterOfClusters, ThrottlesUnderHeavyLoad) {
+  ClusterOfClustersConfig config = hetero_config();
+  for (auto& cluster : config.clusters) cluster.generation_rate_per_us = 1e-2;
+  const HeteroLatencyPrediction prediction =
+      predict_cluster_of_clusters(config);
+  EXPECT_TRUE(prediction.fixed_point_converged);
+  EXPECT_LT(prediction.effective_rate_scale, 0.5);
+  EXPECT_GT(prediction.mean_latency_us, 0.0);
+}
+
+TEST(ClusterOfClusters, Validation) {
+  ClusterOfClustersConfig config;
+  EXPECT_THROW(config.validate(), hmcs::ConfigError);  // no clusters
+  config = hetero_config();
+  config.clusters[1].nodes = 0;
+  EXPECT_THROW(predict_cluster_of_clusters(config), hmcs::ConfigError);
+  config = hetero_config();
+  config.clusters[0].generation_rate_per_us = 0.0;
+  EXPECT_THROW(predict_cluster_of_clusters(config), hmcs::ConfigError);
+  config = hetero_config();
+  config.message_bytes = 0.0;
+  EXPECT_THROW(predict_cluster_of_clusters(config), hmcs::ConfigError);
+}
+
+TEST(ClusterOfClusters, FromSuperClusterCopiesShape) {
+  const SystemConfig super = paper_scenario(
+      HeterogeneityCase::kCase2, 8, NetworkArchitecture::kBlocking, 512.0);
+  const ClusterOfClustersConfig hetero =
+      ClusterOfClustersConfig::from_super_cluster(super);
+  ASSERT_EQ(hetero.clusters.size(), 8u);
+  EXPECT_EQ(hetero.clusters[0].nodes, 32u);
+  EXPECT_EQ(hetero.clusters[3].icn1.name, "Fast Ethernet");
+  EXPECT_EQ(hetero.icn2.name, "Gigabit Ethernet");
+  EXPECT_EQ(hetero.architecture, NetworkArchitecture::kBlocking);
+  EXPECT_EQ(hetero.total_nodes(), 256u);
+}
+
+}  // namespace

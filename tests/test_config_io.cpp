@@ -1,0 +1,115 @@
+// Key=value parsing and SystemConfig loading.
+
+#include <gtest/gtest.h>
+
+#include "hmcs/analytic/config_io.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/keyvalue.hpp"
+
+namespace {
+
+using namespace hmcs;
+using namespace hmcs::analytic;
+
+const char* kValidConfig = R"(
+# sample
+clusters              = 8
+nodes_per_cluster     = 32
+architecture          = non-blocking
+icn1                  = gigabit-ethernet
+ecn1                  = fast-ethernet
+icn2                  = fast-ethernet
+message_bytes         = 1024
+generation_rate_per_s = 250   # trailing comment
+)";
+
+TEST(KeyValue, ParsesCommentsAndWhitespace) {
+  const auto file = KeyValueFile::parse(
+      "# header\n a = 1 \n\nb=two#inline\n  # only comment\n");
+  EXPECT_EQ(file.keys().size(), 2u);
+  EXPECT_EQ(file.get("a"), "1");
+  EXPECT_EQ(file.get("b"), "two");
+  EXPECT_TRUE(file.has("a"));
+  EXPECT_FALSE(file.has("c"));
+  EXPECT_EQ(file.get_or("c", "dflt"), "dflt");
+  EXPECT_EQ(file.get_int("a"), 1);
+}
+
+TEST(KeyValue, RejectsMalformedInput) {
+  EXPECT_THROW(KeyValueFile::parse("novalue\n"), ConfigError);
+  EXPECT_THROW(KeyValueFile::parse("= 5\n"), ConfigError);
+  EXPECT_THROW(KeyValueFile::parse("a=1\na=2\n"), ConfigError);
+  const auto file = KeyValueFile::parse("a=1\n");
+  EXPECT_THROW(file.get("missing"), ConfigError);
+  EXPECT_THROW(KeyValueFile::load("/nonexistent/file.cfg"), ConfigError);
+}
+
+TEST(KeyValue, UnknownKeyDetection) {
+  const auto file = KeyValueFile::parse("a=1\nz=2\n");
+  const auto unknown = file.unknown_keys({"a", "b"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "z");
+}
+
+TEST(ConfigIo, LoadsValidConfig) {
+  const SystemConfig config =
+      system_config_from(KeyValueFile::parse(kValidConfig));
+  EXPECT_EQ(config.clusters, 8u);
+  EXPECT_EQ(config.nodes_per_cluster, 32u);
+  EXPECT_EQ(config.architecture, NetworkArchitecture::kNonBlocking);
+  EXPECT_EQ(config.icn1.name, "Gigabit Ethernet");
+  EXPECT_EQ(config.ecn1.name, "Fast Ethernet");
+  EXPECT_DOUBLE_EQ(config.message_bytes, 1024.0);
+  EXPECT_DOUBLE_EQ(config.generation_rate_per_us, 2.5e-4);
+  // Defaults applied.
+  EXPECT_EQ(config.switch_params.ports, 24u);
+  EXPECT_DOUBLE_EQ(config.switch_params.latency_us, 10.0);
+}
+
+TEST(ConfigIo, ParsesTechnologySpecs) {
+  EXPECT_EQ(parse_technology("myrinet").name, "Myrinet");
+  EXPECT_EQ(parse_technology("infiniband").name, "Infiniband");
+  const NetworkTechnology custom =
+      parse_technology("custom:LabNet, 25, 120.5");
+  EXPECT_EQ(custom.name, "LabNet");
+  EXPECT_DOUBLE_EQ(custom.latency_us, 25.0);
+  EXPECT_DOUBLE_EQ(custom.bandwidth_bytes_per_us, 120.5);
+  EXPECT_THROW(parse_technology("token-ring"), ConfigError);
+  EXPECT_THROW(parse_technology("custom:OnlyName"), ConfigError);
+  EXPECT_THROW(parse_technology("custom:X,-1,10"), ConfigError);
+}
+
+TEST(ConfigIo, BlockingAliasAccepted) {
+  std::string text = kValidConfig;
+  text.replace(text.find("non-blocking"), 12, "chain       ");
+  const SystemConfig config = system_config_from(KeyValueFile::parse(text));
+  EXPECT_EQ(config.architecture, NetworkArchitecture::kBlocking);
+}
+
+TEST(ConfigIo, RejectsUnknownKeysAndBadValues) {
+  std::string with_typo = kValidConfig;
+  with_typo += "mesage_bytes = 12\n";  // typo'd key
+  EXPECT_THROW(system_config_from(KeyValueFile::parse(with_typo)),
+               ConfigError);
+
+  std::string bad_arch = kValidConfig;
+  bad_arch.replace(bad_arch.find("non-blocking"), 12, "mesh        ");
+  EXPECT_THROW(system_config_from(KeyValueFile::parse(bad_arch)),
+               ConfigError);
+
+  std::string missing = "clusters = 4\n";
+  EXPECT_THROW(system_config_from(KeyValueFile::parse(missing)), ConfigError);
+}
+
+TEST(ConfigIo, ShippedSampleConfigsLoad) {
+  // The example configs in the repo must stay valid.
+  const std::string root = HMCS_SOURCE_DIR;
+  const SystemConfig case1 =
+      load_system_config(root + "/examples/configs/case1_c8.cfg");
+  EXPECT_EQ(case1.total_nodes(), 256u);
+  const SystemConfig myri =
+      load_system_config(root + "/examples/configs/myrinet_backbone.cfg");
+  EXPECT_EQ(myri.ecn1.name, "Myrinet");
+}
+
+}  // namespace

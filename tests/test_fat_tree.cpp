@@ -1,0 +1,192 @@
+// Fat-tree closed forms (eqs. 12-14, Proposition 1, Theorem 1) and the
+// explicit constructed instances. The paper's worked example (Figure 3:
+// N=16, Pr=8 => d=2, k=6, bisection 8) is pinned exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "hmcs/topology/bisection.hpp"
+#include "hmcs/topology/fat_tree.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/math_util.hpp"
+
+namespace {
+
+using hmcs::topology::FatTree;
+using hmcs::topology::Graph;
+using hmcs::topology::NodeKind;
+
+TEST(FatTree, PaperWorkedExample) {
+  // Figure 3 of the paper: 16 nodes on 8-port switches.
+  const FatTree tree(16, 8);
+  EXPECT_EQ(tree.num_stages(), 2u);        // eq. (12)
+  EXPECT_EQ(tree.num_switches(), 6u);      // eq. (13): 4 + 2
+  EXPECT_EQ(tree.switches_in_stage(1), 4u);
+  EXPECT_EQ(tree.switches_in_stage(2), 2u);
+  EXPECT_EQ(tree.bisection_width(), 8u);   // eq. (14): N/2
+  EXPECT_EQ(tree.worst_case_traversals(), 3u);  // 2d-1
+}
+
+TEST(FatTree, PaperExperimentConfiguration) {
+  // N=256 on 24-port switches (Table 2): two stages.
+  const FatTree tree(256, 24);
+  EXPECT_EQ(tree.num_stages(), 2u);
+  // eq. (13): (2-1)*ceil(256/12) + ceil(256/24) = 22 + 11 = 33.
+  EXPECT_EQ(tree.num_switches(), 33u);
+  EXPECT_EQ(tree.bisection_width(), 128u);
+}
+
+TEST(FatTree, SingleSwitchCollapseAtSixteenNodes) {
+  // The paper's observed C=16 discontinuity: 16 endpoints on 24-port
+  // switches need a single switch (d=1), dropping the fabric latency.
+  const FatTree tree(16, 24);
+  EXPECT_EQ(tree.num_stages(), 1u);
+  EXPECT_EQ(tree.num_switches(), 1u);
+  EXPECT_EQ(tree.worst_case_traversals(), 1u);
+}
+
+TEST(FatTree, DegenerateSizes) {
+  const FatTree one(1, 8);
+  EXPECT_EQ(one.num_stages(), 0u);
+  EXPECT_EQ(one.num_switches(), 0u);
+  EXPECT_EQ(one.bisection_width(), 0u);
+  EXPECT_EQ(one.worst_case_traversals(), 0u);
+
+  const FatTree two(2, 8);
+  EXPECT_EQ(two.num_stages(), 1u);
+  EXPECT_EQ(two.num_switches(), 1u);
+  EXPECT_EQ(two.bisection_width(), 1u);
+  EXPECT_EQ(two.switch_traversals(0, 1), 1u);
+}
+
+TEST(FatTree, RejectsBadParameters) {
+  EXPECT_THROW(FatTree(0, 8), hmcs::ConfigError);
+  EXPECT_THROW(FatTree(16, 7), hmcs::ConfigError);   // odd radix
+  EXPECT_THROW(FatTree(16, 2), hmcs::ConfigError);   // radix < 4
+}
+
+TEST(FatTree, TraversalsFollowMeetStage) {
+  const FatTree tree(64, 8);  // m=4: d=3 (4^3=64 >= 32 > 16)
+  ASSERT_EQ(tree.num_stages(), 3u);
+  EXPECT_EQ(tree.switch_traversals(0, 0), 0u);
+  EXPECT_EQ(tree.switch_traversals(0, 3), 1u);    // same stage-1 block of 4
+  EXPECT_EQ(tree.switch_traversals(0, 15), 3u);   // same stage-2 block of 16
+  EXPECT_EQ(tree.switch_traversals(0, 16), 5u);   // cross-pod, top stage
+  EXPECT_EQ(tree.switch_traversals(63, 0), 5u);
+  EXPECT_EQ(tree.worst_case_traversals(), 5u);
+}
+
+TEST(FatTree, AverageTraversalsBelowWorstCase) {
+  const FatTree tree(64, 8);
+  const double avg = tree.average_traversals();
+  EXPECT_GT(avg, 1.0);
+  EXPECT_LT(avg, static_cast<double>(tree.worst_case_traversals()));
+}
+
+TEST(FatTree, AverageTraversalsMatchesBruteForce) {
+  for (const std::uint64_t n : {8ULL, 16ULL, 48ULL, 64ULL}) {
+    const FatTree tree(n, 8);
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      for (std::uint64_t j = 0; j < n; ++j) {
+        if (i != j) sum += tree.switch_traversals(i, j);
+      }
+    }
+    const double brute = sum / (static_cast<double>(n) * (static_cast<double>(n) - 1.0));
+    EXPECT_NEAR(tree.average_traversals(), brute, 1e-9) << "N=" << n;
+  }
+}
+
+TEST(FatTree, GraphHasDeclaredShape) {
+  const FatTree tree(16, 8);
+  const Graph g = tree.build_graph();
+  EXPECT_EQ(g.count_nodes(NodeKind::kEndpoint), 16u);
+  EXPECT_EQ(g.count_nodes(NodeKind::kSwitch), 6u);
+  // 16 endpoint links + 16 stage1->stage2 cables.
+  EXPECT_EQ(g.total_cables(), 32u);
+  // Every stage-1 switch uses all 8 ports: 4 down, 4 up.
+  for (hmcs::topology::NodeId id = 0; id < g.num_nodes(); ++id) {
+    if (g.node(id).kind == NodeKind::kSwitch) {
+      EXPECT_EQ(g.degree(id), 8u);
+    }
+  }
+}
+
+// ---- Property sweep: Proposition 1 + Theorem 1 on real instances -------
+
+struct FatTreeCase {
+  std::uint64_t endpoints;
+  std::uint32_t radix;
+};
+
+class FatTreeProperties : public ::testing::TestWithParam<FatTreeCase> {};
+
+TEST_P(FatTreeProperties, Proposition1SwitchCount) {
+  const auto [n, pr] = GetParam();
+  const FatTree tree(n, pr);
+  const std::uint64_t d = tree.num_stages();
+  // eq. (13), recomputed independently here.
+  const std::uint64_t expected =
+      (d - 1) * hmcs::ceil_div(n, pr / 2) + hmcs::ceil_div(n, pr);
+  EXPECT_EQ(tree.num_switches(), expected);
+  // And the constructed graph contains exactly that many switches.
+  EXPECT_EQ(tree.build_graph().count_nodes(NodeKind::kSwitch), expected);
+}
+
+TEST_P(FatTreeProperties, Theorem1FullBisectionOnUniformInstances) {
+  const auto [n, pr] = GetParam();
+  const FatTree tree(n, pr);
+  if (!tree.is_uniform()) GTEST_SKIP() << "ragged instance, wiring not regular";
+  const Graph g = tree.build_graph();
+  // Max-flow/min-cut between the canonical halves equals ceil(N/2):
+  // Definition 1's full bisection bandwidth, measured on actual wiring.
+  EXPECT_EQ(hmcs::topology::measured_bisection_cables(g), hmcs::ceil_div(n, 2));
+  EXPECT_TRUE(hmcs::topology::has_full_bisection(g));
+}
+
+TEST_P(FatTreeProperties, StageCountMatchesLogFormula) {
+  const auto [n, pr] = GetParam();
+  const FatTree tree(n, pr);
+  const double m = pr / 2.0;
+  const double d_real =
+      std::ceil(std::log2(static_cast<double>(n) / 2.0) / std::log2(m));
+  EXPECT_DOUBLE_EQ(static_cast<double>(tree.num_stages()),
+                   std::max(1.0, d_real));
+}
+
+TEST_P(FatTreeProperties, EveryPairMeets) {
+  const auto [n, pr] = GetParam();
+  const FatTree tree(n, pr);
+  const std::uint64_t step = std::max<std::uint64_t>(1, n / 17);
+  for (std::uint64_t i = 0; i < n; i += step) {
+    for (std::uint64_t j = 0; j < n; j += step) {
+      const auto t = tree.switch_traversals(i, j);
+      if (i == j) {
+        EXPECT_EQ(t, 0u);
+      } else {
+        EXPECT_GE(t, 1u);
+        EXPECT_LE(t, tree.worst_case_traversals());
+        EXPECT_EQ(t % 2, 1u);  // up-down paths cross an odd switch count
+        EXPECT_EQ(t, tree.switch_traversals(j, i));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FatTreeProperties,
+    ::testing::Values(FatTreeCase{8, 8}, FatTreeCase{16, 8}, FatTreeCase{32, 8},
+                      FatTreeCase{48, 8}, FatTreeCase{64, 8},
+                      FatTreeCase{128, 8}, FatTreeCase{16, 24},
+                      FatTreeCase{24, 24}, FatTreeCase{48, 24},
+                      FatTreeCase{256, 24}, FatTreeCase{288, 24},
+                      FatTreeCase{64, 4}, FatTreeCase{100, 20},
+                      FatTreeCase{2, 4}, FatTreeCase{1024, 32}),
+    [](const ::testing::TestParamInfo<FatTreeCase>& param_info) {
+      return "N" + std::to_string(param_info.param.endpoints) + "_Pr" +
+             std::to_string(param_info.param.radix);
+    });
+
+}  // namespace

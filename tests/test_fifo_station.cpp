@@ -1,0 +1,153 @@
+// FifoStation unit tests, including the canonical M/M/1 validation: an
+// open Poisson-fed exponential station must reproduce W = 1/(mu-lambda)
+// and L = rho/(1-rho) — the same formulas the analytical model uses
+// (eq. 16), so this test ties the simulation substrate to the theory.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hmcs/analytic/mm1.hpp"
+#include "hmcs/simcore/fifo_station.hpp"
+#include "hmcs/simcore/rng.hpp"
+#include "hmcs/simcore/simulation.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using namespace hmcs::simcore;
+
+TEST(FifoStation, ServesJobsFifoWithDeterministicService) {
+  Simulator sim;
+  FifoStation station(sim, "S", [](const FifoStation::Job&) { return 5.0; });
+  std::vector<std::uint64_t> completed;
+  std::vector<double> waits;
+  station.set_departure_callback([&](const FifoStation::Departure& d) {
+    completed.push_back(d.job.id);
+    waits.push_back(d.wait_time);
+  });
+  station.arrive(1);
+  station.arrive(2);
+  station.arrive(3);
+  sim.run();
+  EXPECT_EQ(completed, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(waits, (std::vector<double>{0.0, 5.0, 10.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 15.0);
+  EXPECT_EQ(station.departures(), 3u);
+  EXPECT_FALSE(station.busy());
+}
+
+TEST(FifoStation, TracksQueueLength) {
+  Simulator sim;
+  FifoStation station(sim, "S", [](const FifoStation::Job&) { return 10.0; });
+  station.arrive(1);
+  station.arrive(2);
+  EXPECT_EQ(station.queue_length(), 2u);  // one in service + one waiting
+  EXPECT_TRUE(station.busy());
+  sim.run();
+  EXPECT_EQ(station.queue_length(), 0u);
+}
+
+TEST(FifoStation, UtilizationIsBusyFraction) {
+  Simulator sim;
+  FifoStation station(sim, "S", [](const FifoStation::Job&) { return 2.0; });
+  station.set_departure_callback([](const FifoStation::Departure&) {});
+  // One job served in [0,2); then idle until we advance the clock to 4.
+  station.arrive(1);
+  sim.run();
+  sim.schedule_after(2.0, [] {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+  EXPECT_DOUBLE_EQ(station.utilization(), 0.5);
+  EXPECT_DOUBLE_EQ(station.average_number_in_system(), 0.5);
+}
+
+TEST(FifoStation, RejectsInvalidSetup) {
+  Simulator sim;
+  EXPECT_THROW(
+      FifoStation(sim, "S", FifoStation::ServiceSampler{}),
+      hmcs::ConfigError);
+  FifoStation bad(sim, "S", [](const FifoStation::Job&) { return -1.0; });
+  // Service starts immediately on arrival at an idle station, so the
+  // negative sample is rejected right there.
+  EXPECT_THROW(bad.arrive(1), hmcs::ConfigError);
+}
+
+TEST(FifoStation, ResetStatisticsKeepsInFlightWork) {
+  Simulator sim;
+  FifoStation station(sim, "S", [](const FifoStation::Job&) { return 3.0; });
+  int departures_seen = 0;
+  station.set_departure_callback(
+      [&](const FifoStation::Departure&) { ++departures_seen; });
+  station.arrive(1);
+  station.arrive(2);
+  sim.run_until(1.0);
+  station.reset_statistics();
+  sim.run();
+  EXPECT_EQ(departures_seen, 2);
+  // Only the post-reset departures are counted in the statistics.
+  EXPECT_EQ(station.departures(), 2u);
+  EXPECT_EQ(station.arrivals(), 0u);
+}
+
+// ------------------------------------------------- M/M/1 law validation
+
+struct Mm1Case {
+  double lambda;  // arrivals per us
+  double mu;      // service rate per us
+};
+
+class Mm1Validation : public ::testing::TestWithParam<Mm1Case> {};
+
+TEST_P(Mm1Validation, MatchesTheory) {
+  const auto [lambda, mu] = GetParam();
+  Simulator sim;
+  Rng arrival_rng(101);
+  Rng service_rng(202);
+  FifoStation station(sim, "mm1", [&](const FifoStation::Job&) {
+    return service_rng.exponential(1.0 / mu);
+  });
+
+  Tally responses;
+  station.set_departure_callback([&](const FifoStation::Departure& d) {
+    responses.add(d.response_time);
+  });
+
+  constexpr std::uint64_t kWarmup = 5000;
+  constexpr std::uint64_t kTotal = 120000;
+  std::uint64_t arrivals = 0;
+  std::function<void()> arrive = [&] {
+    if (arrivals == kWarmup) station.reset_statistics();
+    if (arrivals++ < kTotal) {
+      station.arrive(arrivals);
+      sim.schedule_after(arrival_rng.exponential(1.0 / lambda), arrive);
+    }
+  };
+  sim.schedule_after(arrival_rng.exponential(1.0 / lambda), arrive);
+  sim.run();
+
+  namespace mm1 = hmcs::analytic::mm1;
+  const double w_theory = mm1::response_time(lambda, mu);
+  const double l_theory = mm1::number_in_system(lambda, mu);
+  const double rho = mm1::utilization(lambda, mu);
+
+  // Post-warm-up station statistics against theory; tolerance loosens
+  // with utilization because M/M/1 converges slowly near saturation.
+  const double tol = rho < 0.6 ? 0.05 : 0.15;
+  EXPECT_NEAR(station.response_times().mean(), w_theory, tol * w_theory);
+  EXPECT_NEAR(station.utilization(), rho, tol * rho);
+  EXPECT_NEAR(station.average_number_in_system(), l_theory, tol * l_theory);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LoadSweep, Mm1Validation,
+    ::testing::Values(Mm1Case{0.2, 1.0}, Mm1Case{0.5, 1.0}, Mm1Case{0.8, 1.0},
+                      Mm1Case{0.0005, 0.00662},  // FE @ 1024B scale
+                      Mm1Case{0.9, 1.0}),
+    [](const ::testing::TestParamInfo<Mm1Case>& param_info) {
+      return "rho" +
+             std::to_string(static_cast<int>(100.0 * param_info.param.lambda /
+                                             param_info.param.mu));
+    });
+
+}  // namespace

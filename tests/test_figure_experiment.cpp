@@ -1,0 +1,161 @@
+// The figure-regeneration harness: sweep construction, table/CSV output,
+// and the qualitative shape criteria of the paper's figures evaluated on
+// an analysis-only run (fast) plus one simulated point.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+#include "hmcs/experiment/figure_experiment.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using namespace hmcs;
+using namespace hmcs::experiment;
+
+FigureSpec analysis_only(FigureSpec spec) {
+  spec.run_simulation = false;
+  return spec;
+}
+
+TEST(FigureExperiment, SpecsCoverTheFourFigures) {
+  EXPECT_EQ(figure4_spec().architecture,
+            analytic::NetworkArchitecture::kNonBlocking);
+  EXPECT_EQ(figure4_spec().hetero, analytic::HeterogeneityCase::kCase1);
+  EXPECT_EQ(figure5_spec().hetero, analytic::HeterogeneityCase::kCase2);
+  EXPECT_EQ(figure6_spec().architecture,
+            analytic::NetworkArchitecture::kBlocking);
+  EXPECT_EQ(figure7_spec().hetero, analytic::HeterogeneityCase::kCase2);
+  EXPECT_EQ(figure4_spec().total_nodes, 256u);
+  ASSERT_EQ(figure4_spec().message_sizes.size(), 2u);
+  EXPECT_DOUBLE_EQ(figure4_spec().message_sizes[0], 1024.0);
+}
+
+TEST(FigureExperiment, SweepProducesPointPerClusterAndSize) {
+  const FigureResult result = run_figure(analysis_only(figure4_spec()));
+  EXPECT_EQ(result.points.size(), 9u * 2u);
+  // Cluster-major, size-minor ordering.
+  EXPECT_EQ(result.points[0].clusters, 1u);
+  EXPECT_DOUBLE_EQ(result.points[0].message_bytes, 1024.0);
+  EXPECT_DOUBLE_EQ(result.points[1].message_bytes, 512.0);
+  EXPECT_EQ(result.points[2].clusters, 2u);
+  for (const FigurePoint& point : result.points) {
+    EXPECT_GT(point.analysis_ms, 0.0);
+    EXPECT_DOUBLE_EQ(point.simulation_ms, 0.0);  // analysis only
+  }
+}
+
+TEST(FigureExperiment, LargerMessagesSlowerAtEveryPoint) {
+  for (const auto& spec : {figure4_spec(), figure5_spec(), figure6_spec(),
+                           figure7_spec()}) {
+    const FigureResult result = run_figure(analysis_only(spec));
+    for (std::size_t i = 0; i < result.points.size(); i += 2) {
+      EXPECT_GT(result.points[i].analysis_ms,
+                result.points[i + 1].analysis_ms)
+          << spec.id << " C=" << result.points[i].clusters;
+    }
+  }
+}
+
+TEST(FigureExperiment, BlockingFiguresDominateNonBlockingOnes) {
+  const FigureResult fig4 = run_figure(analysis_only(figure4_spec()));
+  const FigureResult fig6 = run_figure(analysis_only(figure6_spec()));
+  for (std::size_t i = 0; i < fig4.points.size(); ++i) {
+    EXPECT_GT(fig6.points[i].analysis_ms, fig4.points[i].analysis_ms);
+  }
+}
+
+TEST(FigureExperiment, CustomSweepAndRateAreHonoured) {
+  FigureSpec spec = analysis_only(figure5_spec());
+  spec.cluster_counts = {2, 8};
+  spec.message_sizes = {256.0};
+  spec.rate_per_us = 1e-6;
+  const FigureResult result = run_figure(spec);
+  ASSERT_EQ(result.points.size(), 2u);
+  EXPECT_EQ(result.points[0].clusters, 2u);
+  EXPECT_EQ(result.points[1].clusters, 8u);
+  // Near-zero load: latency close to the pure service path (< 1 ms).
+  EXPECT_LT(result.points[0].analysis_ms, 1.0);
+}
+
+TEST(FigureExperiment, SimulatedRunReportsAgreement) {
+  FigureSpec spec = figure4_spec();
+  spec.cluster_counts = {4};
+  spec.message_sizes = {512.0};
+  spec.total_nodes = 64;
+  spec.sim_options.measured_messages = 4000;
+  spec.sim_options.warmup_messages = 400;
+  spec.model_options.fixed_point.method =
+      analytic::SourceThrottling::kExactMva;
+  const FigureResult result = run_figure(spec);
+  ASSERT_EQ(result.points.size(), 1u);
+  EXPECT_GT(result.points[0].simulation_ms, 0.0);
+  EXPECT_GT(result.points[0].simulation_ci_half_ms, 0.0);
+  EXPECT_LT(result.points[0].relative_error, 0.15);
+  EXPECT_DOUBLE_EQ(result.mean_relative_error,
+                   result.points[0].relative_error);
+  EXPECT_DOUBLE_EQ(result.max_relative_error,
+                   result.points[0].relative_error);
+}
+
+TEST(FigureExperiment, TableRendersEveryCluster) {
+  const FigureResult result = run_figure(analysis_only(figure4_spec()));
+  const std::string table = render_figure_table(result);
+  // Cells are right-aligned, so match " <value> |" boundaries.
+  for (const char* cluster : {" 1 |", " 16 |", " 256 |"}) {
+    EXPECT_NE(table.find(cluster), std::string::npos) << cluster;
+  }
+  EXPECT_NE(table.find("Analysis M=1024"), std::string::npos);
+  // No simulation columns on an analysis-only run.
+  EXPECT_EQ(table.find("Simulation"), std::string::npos);
+}
+
+TEST(FigureExperiment, CsvHasHeaderAndAllRows) {
+  const FigureResult result = run_figure(analysis_only(figure4_spec()));
+  const std::string csv = figure_csv(result).to_string();
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            1u + result.points.size());
+  EXPECT_EQ(csv.rfind("clusters,message_bytes,analysis_ms", 0), 0u);
+}
+
+TEST(FigureExperiment, ReportRendersChartsAndWritesFiles) {
+  FigureSpec spec = analysis_only(figure4_spec());
+  spec.cluster_counts = {2, 8, 32};
+  const FigureResult result = run_figure(spec);
+
+  std::ostringstream os;
+  const std::string dir = ::testing::TempDir();
+  print_figure_report(os, result, dir, dir);
+  const std::string report = os.str();
+  // Heading, table, one chart per message size, legend.
+  EXPECT_NE(report.find("Figure 4"), std::string::npos);
+  EXPECT_NE(report.find("M = 1024 bytes:"), std::string::npos);
+  EXPECT_NE(report.find("M = 512 bytes:"), std::string::npos);
+  EXPECT_NE(report.find("* = analysis"), std::string::npos);
+  EXPECT_NE(report.find("series written to"), std::string::npos);
+  EXPECT_NE(report.find("record written to"), std::string::npos);
+
+  std::ifstream csv(dir + "/fig4.csv");
+  EXPECT_TRUE(csv.good());
+  std::ifstream json(dir + "/fig4.json");
+  EXPECT_TRUE(json.good());
+  std::string json_text((std::istreambuf_iterator<char>(json)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_EQ(json_text.rfind("{\"id\":\"fig4\"", 0), 0u);
+  std::remove((dir + "/fig4.csv").c_str());
+  std::remove((dir + "/fig4.json").c_str());
+}
+
+TEST(FigureExperiment, RejectsEmptyMessageSizes) {
+  FigureSpec spec = figure4_spec();
+  spec.message_sizes.clear();
+  EXPECT_THROW(run_figure(spec), ConfigError);
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// The blocked-source fixed point, eqs. (6)-(7): solver agreement,
+// self-consistency, saturation throttling, and the queue-length rules.
+
+#include <gtest/gtest.h>
+
+#include "hmcs/analytic/fixed_point.hpp"
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using namespace hmcs::analytic;
+
+SystemConfig light_config() {
+  // Low load: throttling should be negligible.
+  return paper_scenario(HeterogeneityCase::kCase1, 4,
+                        NetworkArchitecture::kNonBlocking, 1024.0, 256,
+                        kPaperLiteralRatePerUs);  // 0.25 msg/s
+}
+
+SystemConfig heavy_config() {
+  // The paper's headline rate saturates the FE egress path.
+  return paper_scenario(HeterogeneityCase::kCase1, 4,
+                        NetworkArchitecture::kNonBlocking, 1024.0, 256,
+                        kPaperRatePerUs);  // 0.25 msg/ms
+}
+
+TEST(FixedPoint, LightLoadKeepsOfferedRate) {
+  const SystemConfig config = light_config();
+  const CenterServiceTimes service = center_service_times(config);
+  const FixedPointResult result = solve_effective_rate(config, service);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.lambda_effective, config.generation_rate_per_us,
+              1e-3 * config.generation_rate_per_us);
+  // At 0.25 msg/s total offered work is ~0.06% of capacity; only a few
+  // hundredths of a customer are ever queued system-wide.
+  EXPECT_LT(result.total_queue_length, 0.1);
+}
+
+TEST(FixedPoint, HeavyLoadThrottles) {
+  const SystemConfig config = heavy_config();
+  const CenterServiceTimes service = center_service_times(config);
+  const FixedPointResult result = solve_effective_rate(config, service);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.lambda_effective, 0.5 * config.generation_rate_per_us);
+  EXPECT_GT(result.total_queue_length, 10.0);
+  EXPECT_LE(result.total_queue_length,
+            static_cast<double>(config.total_nodes()));
+}
+
+TEST(FixedPoint, SolutionIsSelfConsistent) {
+  // lambda_eff == lambda * (N - L(lambda_eff)) / N at the returned point.
+  for (const auto hetero : {HeterogeneityCase::kCase1, HeterogeneityCase::kCase2}) {
+    for (const std::uint32_t clusters : {1u, 2u, 16u, 256u}) {
+      const SystemConfig config = paper_scenario(
+          hetero, clusters, NetworkArchitecture::kNonBlocking, 1024.0);
+      const CenterServiceTimes service = center_service_times(config);
+      const FixedPointResult result = solve_effective_rate(config, service);
+      const double n = static_cast<double>(config.total_nodes());
+      const double recomputed =
+          config.generation_rate_per_us * (n - result.total_queue_length) / n;
+      EXPECT_NEAR(result.lambda_effective, recomputed,
+                  1e-4 * config.generation_rate_per_us)
+          << "C=" << clusters;
+    }
+  }
+}
+
+TEST(FixedPoint, PicardAgreesWithBisectionWhenItConverges) {
+  const SystemConfig config = light_config();
+  const CenterServiceTimes service = center_service_times(config);
+  FixedPointOptions picard;
+  picard.method = SourceThrottling::kPicard;
+  FixedPointOptions bisect;
+  bisect.method = SourceThrottling::kBisection;
+  const FixedPointResult a = solve_effective_rate(config, service, picard);
+  const FixedPointResult b = solve_effective_rate(config, service, bisect);
+  ASSERT_TRUE(a.converged);
+  EXPECT_NEAR(a.lambda_effective, b.lambda_effective,
+              1e-6 * config.generation_rate_per_us);
+}
+
+TEST(FixedPoint, DampedPicardHandlesModerateLoad) {
+  SystemConfig config = heavy_config();
+  config.generation_rate_per_us = 0.4e-4;  // rho just under saturation
+  const CenterServiceTimes service = center_service_times(config);
+  FixedPointOptions picard;
+  picard.method = SourceThrottling::kPicard;
+  picard.picard_damping = 0.3;
+  picard.max_iterations = 5000;
+  picard.tolerance = 1e-10;
+  const FixedPointResult a = solve_effective_rate(config, service, picard);
+  const FixedPointResult b = solve_effective_rate(config, service);
+  if (a.converged) {
+    EXPECT_NEAR(a.lambda_effective, b.lambda_effective,
+                0.02 * config.generation_rate_per_us);
+  }
+}
+
+TEST(FixedPoint, NoneReturnsOfferedRate) {
+  const SystemConfig config = heavy_config();
+  const CenterServiceTimes service = center_service_times(config);
+  FixedPointOptions none;
+  none.method = SourceThrottling::kNone;
+  const FixedPointResult result = solve_effective_rate(config, service, none);
+  EXPECT_DOUBLE_EQ(result.lambda_effective, config.generation_rate_per_us);
+  // At the raw rate the FE path is saturated: L snaps to N.
+  EXPECT_DOUBLE_EQ(result.total_queue_length,
+                   static_cast<double>(config.total_nodes()));
+}
+
+TEST(FixedPoint, MvaAgreesWithBisectionAtLightLoad) {
+  const SystemConfig config = light_config();
+  const CenterServiceTimes service = center_service_times(config);
+  FixedPointOptions mva;
+  mva.method = SourceThrottling::kExactMva;
+  const FixedPointResult a = solve_effective_rate(config, service, mva);
+  const FixedPointResult b = solve_effective_rate(config, service);
+  EXPECT_NEAR(a.lambda_effective, b.lambda_effective,
+              1e-3 * config.generation_rate_per_us);
+}
+
+TEST(FixedPoint, QueueRuleEq6CountsEcn1Twice) {
+  const SystemConfig config = heavy_config();
+  const CenterServiceTimes service = center_service_times(config);
+  const double rate = 0.3e-4;  // below saturation so L is finite
+  const double paper =
+      total_queue_length(config, service, rate, QueueLengthRule::kPaperEq6);
+  const double consistent =
+      total_queue_length(config, service, rate, QueueLengthRule::kConsistent);
+  EXPECT_GT(paper, consistent);
+}
+
+TEST(FixedPoint, EffectiveRateMonotoneInOfferedRate) {
+  double previous = 0.0;
+  for (const double rate : {0.5e-4, 1e-4, 2e-4, 4e-4, 8e-4}) {
+    SystemConfig config = heavy_config();
+    config.generation_rate_per_us = rate;
+    const CenterServiceTimes service = center_service_times(config);
+    const double eff =
+        solve_effective_rate(config, service).lambda_effective;
+    EXPECT_GE(eff, previous - 1e-12);
+    EXPECT_LE(eff, rate);
+    previous = eff;
+  }
+}
+
+TEST(FixedPoint, Validation) {
+  const SystemConfig config = light_config();
+  const CenterServiceTimes service = center_service_times(config);
+  FixedPointOptions bad;
+  bad.tolerance = 0.0;
+  EXPECT_THROW(solve_effective_rate(config, service, bad), hmcs::ConfigError);
+  bad = {};
+  bad.max_iterations = 0;
+  EXPECT_THROW(solve_effective_rate(config, service, bad), hmcs::ConfigError);
+  bad = {};
+  bad.picard_damping = 1.5;
+  EXPECT_THROW(solve_effective_rate(config, service, bad), hmcs::ConfigError);
+  EXPECT_THROW(total_queue_length(config, service, -1.0,
+                                  QueueLengthRule::kPaperEq6),
+               hmcs::ConfigError);
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// Whole-system switch-level fabric: graph composition, HMSCS routing
+// rule, and agreement with the centre-level abstraction where the two
+// coincide by construction (single-switch networks at low load).
+
+#include <gtest/gtest.h>
+
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/netsim/hmcs_fabric.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/math_util.hpp"
+
+namespace {
+
+using namespace hmcs;
+using analytic::HeterogeneityCase;
+using analytic::NetworkArchitecture;
+using netsim::HmcsFabric;
+using netsim::RoutedPath;
+
+analytic::SystemConfig small_config(double rate = 1e-5) {
+  // C=4 x N0=8 on 8-port switches: ICN1 d=1, ECN1 (9 endpoints) d=2,
+  // ICN2 d=1.
+  analytic::SystemConfig config = analytic::paper_scenario(
+      HeterogeneityCase::kCase1, 4, NetworkArchitecture::kNonBlocking, 1024.0,
+      32, rate);
+  config.switch_params.ports = 8;
+  return config;
+}
+
+TEST(HmcsFabric, GraphComposition) {
+  const HmcsFabric fabric(small_config());
+  const topology::Graph& graph = fabric.graph();
+  // 32 processors + 4 gateways.
+  EXPECT_EQ(graph.endpoints().size(), 36u);
+  EXPECT_EQ(fabric.num_processors(), 32u);
+  // ICN1: 4 x 1 switch; ECN1 (9 endpoints, Pr=8): 4 x 5; ICN2: 1.
+  EXPECT_EQ(graph.count_nodes(topology::NodeKind::kSwitch), 4u + 20u + 1u);
+}
+
+TEST(HmcsFabric, LocalRouteStaysInsideTheCluster) {
+  const HmcsFabric fabric(small_config());
+  simcore::Rng rng(1);
+  const RoutedPath path = fabric.route(0, 7, rng);  // both in cluster 0
+  ASSERT_EQ(path.switches.size(), 1u);  // single-switch ICN1
+  // Case 1: ICN1 is Gigabit Ethernet (80 us).
+  EXPECT_DOUBLE_EQ(path.extra_latency_us, 80.0);
+}
+
+TEST(HmcsFabric, RemoteRouteCrossesEgressBackboneIngress) {
+  const HmcsFabric fabric(small_config());
+  simcore::Rng rng(2);
+  const RoutedPath path = fabric.route(0, 31, rng);  // cluster 0 -> 3
+  // ECN1 (d=2: 1 or 3 switches) + ICN2 (1) + ECN1 (1 or 3).
+  EXPECT_GE(path.switches.size(), 3u);
+  EXPECT_LE(path.switches.size(), 7u);
+  // Case 1 remote alphas: FE + FE + FE = 150 us.
+  EXPECT_DOUBLE_EQ(path.extra_latency_us, 150.0);
+}
+
+TEST(HmcsFabric, RejectsDegenerateRoutes) {
+  const HmcsFabric fabric(small_config());
+  simcore::Rng rng(3);
+  EXPECT_THROW(fabric.route(5, 5, rng), ConfigError);
+  EXPECT_THROW(fabric.route(0, 99, rng), ConfigError);
+}
+
+TEST(HmcsFabric, NodeScalesReflectTechnologies) {
+  const auto options = HmcsFabric(small_config()).make_sim_options();
+  // Reference is ICN2 = Fast Ethernet; ICN1 switches are GE => scale
+  // 94/10.5; ECN1/ICN2 switches scale 1.
+  double max_scale = 0.0;
+  for (const double scale : options.node_bandwidth_scale) {
+    max_scale = std::max(max_scale, scale);
+  }
+  EXPECT_NEAR(max_scale, 94.0 / 10.5, 1e-12);
+  EXPECT_EQ(options.active_endpoints, 32u);
+  EXPECT_TRUE(static_cast<bool>(options.path_provider));
+}
+
+TEST(HmcsFabric, LowLoadLatencyMatchesCenterLevelModel) {
+  // The paper's C=16 configuration: every network is one switch, so the
+  // switch-level system *is* the centre-level queueing network (modulo
+  // alpha being propagation here vs server occupancy there — identical
+  // at low load). The measured latency must land on eq. (15).
+  const analytic::SystemConfig config = analytic::paper_scenario(
+      HeterogeneityCase::kCase1, 16, NetworkArchitecture::kNonBlocking,
+      1024.0, 256, analytic::kPaperLiteralRatePerUs);
+  const HmcsFabric fabric(config);
+  netsim::FabricSimOptions options = fabric.make_sim_options();
+  options.measured_messages = 6000;
+  options.warmup_messages = 500;
+  options.seed = 9;
+  netsim::SwitchFabricSim sim(fabric.graph(), options);
+  const netsim::FabricSimResult result = sim.run();
+
+  const analytic::LatencyPrediction prediction =
+      analytic::predict_latency(config);
+  EXPECT_LT(relative_error(result.mean_latency_us,
+                           prediction.mean_latency_us),
+            0.02)
+      << "switch-level " << result.mean_latency_us << " vs model "
+      << prediction.mean_latency_us;
+}
+
+TEST(HmcsFabric, SingleClusterHasNoGateways) {
+  analytic::SystemConfig config = small_config();
+  config.clusters = 1;
+  config.nodes_per_cluster = 32;
+  const HmcsFabric fabric(config);
+  EXPECT_EQ(fabric.graph().endpoints().size(), 32u);
+  simcore::Rng rng(4);
+  const RoutedPath path = fabric.route(0, 31, rng);
+  EXPECT_DOUBLE_EQ(path.extra_latency_us, 80.0);  // ICN1 only
+}
+
+TEST(HmcsFabric, FullyDispersedSystemRoutesOnlyRemotely) {
+  analytic::SystemConfig config = small_config();
+  config.clusters = 8;
+  config.nodes_per_cluster = 1;
+  const HmcsFabric fabric(config);
+  simcore::Rng rng(5);
+  const RoutedPath path = fabric.route(0, 7, rng);
+  EXPECT_GE(path.switches.size(), 3u);
+  EXPECT_DOUBLE_EQ(path.extra_latency_us, 150.0);
+}
+
+TEST(HmcsFabric, BlockingPenaltyIsContentionNotPropagation) {
+  // eq. (21) charges every message (N/2)M*beta regardless of load — a
+  // throughput model. On the wired chain an *unloaded* message crosses
+  // its few switches unobstructed, so the switch-level latency sits far
+  // below the centre-level blocking prediction. The penalty only
+  // materialises under contention (see
+  // SwitchFabricSim.FatTreeSustainsHigherThroughputThanChain).
+  const analytic::SystemConfig config = analytic::paper_scenario(
+      HeterogeneityCase::kCase1, 4, NetworkArchitecture::kBlocking, 1024.0,
+      64, analytic::kPaperLiteralRatePerUs);
+  const HmcsFabric fabric(config);
+  netsim::FabricSimOptions options = fabric.make_sim_options();
+  options.measured_messages = 3000;
+  options.warmup_messages = 300;
+  options.seed = 21;
+  netsim::SwitchFabricSim sim(fabric.graph(), options);
+  const double switch_level = sim.run().mean_latency_us;
+
+  const double center_level =
+      analytic::predict_latency(config).mean_latency_us;
+  EXPECT_LT(switch_level, 0.5 * center_level);
+}
+
+TEST(HmcsFabric, BlockingArchitectureBuildsChains) {
+  analytic::SystemConfig config = small_config();
+  config.architecture = NetworkArchitecture::kBlocking;
+  const HmcsFabric fabric(config);
+  // Chains: ICN1 ceil(8/8)=1 x4; ECN1 ceil(9/8)=2 x4; ICN2 1.
+  EXPECT_EQ(fabric.graph().count_nodes(topology::NodeKind::kSwitch),
+            4u + 8u + 1u);
+}
+
+}  // namespace

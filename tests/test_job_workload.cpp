@@ -1,0 +1,119 @@
+// Synthetic job workload generator and the placement arithmetic.
+
+#include <gtest/gtest.h>
+
+#include "hmcs/jobs/job_workload.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/math_util.hpp"
+
+namespace {
+
+using namespace hmcs::jobs;
+
+WorkloadSpec base_spec() {
+  WorkloadSpec spec;
+  spec.mean_interarrival_us = 10e3;
+  spec.min_tasks = 2;
+  spec.max_tasks = 32;
+  spec.mean_work_us = 100e3;
+  spec.messages_per_task = 100.0;
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(JobWorkload, GeneratesRequestedCountInArrivalOrder) {
+  const auto jobs = generate_jobs(base_spec(), 500);
+  ASSERT_EQ(jobs.size(), 500u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, i);
+    if (i > 0) {
+      EXPECT_GE(jobs[i].arrival_us, jobs[i - 1].arrival_us);
+    }
+  }
+}
+
+TEST(JobWorkload, TaskCountsArePowersOfTwoInRange) {
+  const auto jobs = generate_jobs(base_spec(), 2000);
+  bool saw_min = false;
+  bool saw_max = false;
+  for (const Job& job : jobs) {
+    EXPECT_TRUE(hmcs::is_power_of_two(job.tasks));
+    EXPECT_GE(job.tasks, 2u);
+    EXPECT_LE(job.tasks, 32u);
+    saw_min |= job.tasks == 2;
+    saw_max |= job.tasks == 32;
+  }
+  EXPECT_TRUE(saw_min);
+  EXPECT_TRUE(saw_max);
+}
+
+TEST(JobWorkload, ArrivalsMatchConfiguredRate) {
+  const auto jobs = generate_jobs(base_spec(), 5000);
+  const double horizon = jobs.back().arrival_us;
+  EXPECT_NEAR(horizon / 5000.0, 10e3, 0.05 * 10e3);
+}
+
+TEST(JobWorkload, WorkIsExponentialWithConfiguredMean) {
+  const auto jobs = generate_jobs(base_spec(), 5000);
+  double sum = 0.0;
+  for (const Job& job : jobs) sum += job.work_us;
+  EXPECT_NEAR(sum / 5000.0, 100e3, 0.05 * 100e3);
+}
+
+TEST(JobWorkload, Deterministic) {
+  const auto a = generate_jobs(base_spec(), 100);
+  const auto b = generate_jobs(base_spec(), 100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_us, b[i].arrival_us);
+    EXPECT_EQ(a[i].tasks, b[i].tasks);
+  }
+}
+
+TEST(JobWorkload, Validation) {
+  WorkloadSpec bad = base_spec();
+  bad.min_tasks = 3;
+  EXPECT_THROW(generate_jobs(bad, 1), hmcs::ConfigError);
+  bad = base_spec();
+  bad.max_tasks = 1;  // below min
+  EXPECT_THROW(generate_jobs(bad, 1), hmcs::ConfigError);
+  bad = base_spec();
+  bad.mean_work_us = 0.0;
+  EXPECT_THROW(generate_jobs(bad, 1), hmcs::ConfigError);
+}
+
+TEST(Placement, RemotePairFraction) {
+  Placement all_local;
+  all_local.tasks_per_cluster = {8, 0, 0};
+  EXPECT_DOUBLE_EQ(all_local.remote_pair_fraction(), 0.0);
+  EXPECT_EQ(all_local.clusters_used(), 1u);
+
+  Placement split;
+  split.tasks_per_cluster = {4, 4};
+  // Same-cluster ordered pairs: 2*4*3 = 24 of 8*7 = 56.
+  EXPECT_NEAR(split.remote_pair_fraction(), 1.0 - 24.0 / 56.0, 1e-12);
+  EXPECT_EQ(split.clusters_used(), 2u);
+
+  Placement singleton;
+  singleton.tasks_per_cluster = {1};
+  EXPECT_DOUBLE_EQ(singleton.remote_pair_fraction(), 0.0);
+
+  Placement fully_spread;
+  fully_spread.tasks_per_cluster = {1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(fully_spread.remote_pair_fraction(), 1.0);
+}
+
+TEST(JobOutcome, MetricsArithmetic) {
+  JobOutcome outcome;
+  outcome.job.arrival_us = 100.0;
+  outcome.start_us = 300.0;
+  outcome.runtime_us = 400.0;
+  outcome.finish_us = 700.0;
+  EXPECT_DOUBLE_EQ(outcome.wait_us(), 200.0);
+  EXPECT_DOUBLE_EQ(outcome.response_us(), 600.0);
+  EXPECT_DOUBLE_EQ(outcome.bounded_slowdown(), 600.0 / 1000.0);  // floor
+  outcome.runtime_us = 2000.0;
+  outcome.finish_us = 2300.0;
+  EXPECT_DOUBLE_EQ(outcome.bounded_slowdown(), 2200.0 / 2000.0);
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// JSON writer and the analytic-type serialisation.
+
+#include <gtest/gtest.h>
+
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/analytic/serialize.hpp"
+#include "hmcs/sim/serialize.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/json.hpp"
+
+namespace {
+
+using namespace hmcs;
+
+TEST(Json, FlatObject) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("a").value(std::int64_t{1});
+  json.key("b").value("two");
+  json.key("c").value(true);
+  json.key("d").null();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"a":1,"b":"two","c":true,"d":null})");
+}
+
+TEST(Json, NestedContainers) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("series").begin_array().value(1.5).value(2.5).end_array();
+  json.key("inner").begin_object().key("x").value(std::uint64_t{7}).end_object();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"series":[1.5,2.5],"inner":{"x":7}})");
+}
+
+TEST(Json, EscapesStrings) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("msg").value("line\n\"quoted\"\\\t\x01");
+  json.end_object();
+  EXPECT_EQ(json.str(), "{\"msg\":\"line\\n\\\"quoted\\\"\\\\\\t\\u0001\"}");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(std::numeric_limits<double>::quiet_NaN());
+  json.end_array();
+  EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(Json, DoubleRoundTripsPrecision) {
+  JsonWriter json;
+  json.value(0.1 + 0.2);
+  EXPECT_EQ(std::stod(json.str()), 0.1 + 0.2);
+}
+
+TEST(Json, RootScalarsAllowed) {
+  JsonWriter json;
+  json.value("hello");
+  EXPECT_EQ(json.str(), "\"hello\"");
+}
+
+TEST(Json, MisuseIsCaught) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value(1.0), LogicError);  // value without key
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    json.key("a");
+    EXPECT_THROW(json.key("b"), LogicError);  // two keys in a row
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.end_object(), LogicError);  // mismatched close
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.str(), LogicError);  // incomplete document
+  }
+  {
+    JsonWriter json;
+    json.value(1.0);
+    EXPECT_THROW(json.value(2.0), LogicError);  // two roots
+  }
+  {
+    JsonWriter json;
+    EXPECT_THROW(json.key("a"), LogicError);  // key at root
+  }
+}
+
+TEST(Serialize, SystemConfigDocument) {
+  const analytic::SystemConfig config = analytic::paper_scenario(
+      analytic::HeterogeneityCase::kCase1, 8,
+      analytic::NetworkArchitecture::kNonBlocking, 1024.0);
+  const std::string json = analytic::to_json(config);
+  EXPECT_NE(json.find("\"clusters\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"Gigabit Ethernet\""), std::string::npos);
+  EXPECT_NE(json.find("\"message_bytes\":1024"), std::string::npos);
+  EXPECT_NE(json.find("fat-tree"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Serialize, PredictionDocumentCarriesCenters) {
+  const analytic::SystemConfig config = analytic::paper_scenario(
+      analytic::HeterogeneityCase::kCase1, 8,
+      analytic::NetworkArchitecture::kNonBlocking, 1024.0);
+  const std::string json =
+      analytic::to_json(analytic::predict_latency(config));
+  EXPECT_NE(json.find("\"mean_latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"icn1\""), std::string::npos);
+  EXPECT_NE(json.find("\"icn2\""), std::string::npos);
+  EXPECT_NE(json.find("\"utilization\""), std::string::npos);
+}
+
+TEST(Serialize, SimResultDocument) {
+  const analytic::SystemConfig config = analytic::paper_scenario(
+      analytic::HeterogeneityCase::kCase1, 4,
+      analytic::NetworkArchitecture::kNonBlocking, 1024.0, 32, 1e-4);
+  hmcs::sim::SimOptions options;
+  options.measured_messages = 1000;
+  options.warmup_messages = 100;
+  hmcs::sim::MultiClusterSim simulator(config, options);
+  const std::string json = hmcs::sim::to_json(simulator.run());
+  EXPECT_NE(json.find("\"messages_measured\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"p95_latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"icn2\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Serialize, HeteroDocuments) {
+  analytic::ClusterOfClustersConfig config;
+  analytic::ClusterSpec spec;
+  spec.nodes = 8;
+  spec.icn1 = analytic::gigabit_ethernet();
+  spec.ecn1 = analytic::fast_ethernet();
+  spec.generation_rate_per_us = 1e-4;
+  config.clusters = {spec, spec};
+  config.icn2 = analytic::fast_ethernet();
+  config.switch_params = {24, 10.0};
+  config.message_bytes = 512.0;
+
+  const std::string config_json = analytic::to_json(config);
+  EXPECT_NE(config_json.find("\"clusters\":[{"), std::string::npos);
+
+  const std::string prediction_json =
+      analytic::to_json(analytic::predict_cluster_of_clusters(config));
+  EXPECT_NE(prediction_json.find("\"per_cluster_latency_us\":["),
+            std::string::npos);
+}
+
+}  // namespace

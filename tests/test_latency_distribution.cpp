@@ -1,0 +1,133 @@
+// Latency-distribution prediction: closed-form CDF properties and
+// agreement with the simulator's exact percentiles.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hmcs/analytic/latency_distribution.hpp"
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/sim/multicluster_sim.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/math_util.hpp"
+
+namespace {
+
+using namespace hmcs;
+using namespace hmcs::analytic;
+
+TEST(LatencyDistribution, PureLocalIsExponential) {
+  const SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase1, 1, NetworkArchitecture::kNonBlocking,
+      1024.0, 32, 1e-4);
+  const LatencyDistribution dist = predict_latency_distribution(config);
+  EXPECT_DOUBLE_EQ(dist.remote_weight, 0.0);
+  // Exponential facts: median = mean*ln2, p(mean) = 1-1/e.
+  EXPECT_NEAR(dist.p50_us(), dist.mean_us() * std::log(2.0),
+              1e-6 * dist.mean_us());
+  EXPECT_NEAR(dist.cdf(dist.mean_us()), 1.0 - std::exp(-1.0), 1e-9);
+}
+
+TEST(LatencyDistribution, CdfIsAProperDistribution) {
+  const SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase1, 8, NetworkArchitecture::kNonBlocking,
+      1024.0, 256, 1e-4);
+  const LatencyDistribution dist = predict_latency_distribution(config);
+  EXPECT_DOUBLE_EQ(dist.cdf(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.cdf(0.0), 0.0);
+  double previous = 0.0;
+  for (double t = 10.0; t < 1e5; t *= 1.7) {
+    const double value = dist.cdf(t);
+    EXPECT_GE(value, previous);
+    EXPECT_LE(value, 1.0);
+    previous = value;
+  }
+  EXPECT_GT(dist.cdf(1e7), 0.999999);
+}
+
+TEST(LatencyDistribution, QuantilesInvertTheCdf) {
+  const SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase2, 16, NetworkArchitecture::kNonBlocking,
+      1024.0, 256, 1e-4);
+  const LatencyDistribution dist = predict_latency_distribution(config);
+  for (const double q : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_NEAR(dist.cdf(dist.quantile(q)), q, 1e-9);
+  }
+  EXPECT_LT(dist.p50_us(), dist.p95_us());
+  EXPECT_LT(dist.p95_us(), dist.p99_us());
+  EXPECT_THROW(dist.quantile(0.0), ConfigError);
+  EXPECT_THROW(dist.quantile(1.0), ConfigError);
+}
+
+TEST(LatencyDistribution, MixtureMeanMatchesEq15) {
+  const SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase1, 8, NetworkArchitecture::kNonBlocking,
+      1024.0, 256, analytic::kPaperRatePerUs);
+  ModelOptions mva;
+  mva.fixed_point.method = SourceThrottling::kExactMva;
+  const LatencyPrediction prediction = predict_latency(config, mva);
+  const LatencyDistribution dist = latency_distribution(prediction);
+  EXPECT_NEAR(dist.mean_us(), prediction.mean_latency_us,
+              1e-9 * prediction.mean_latency_us);
+}
+
+TEST(LatencyDistribution, PercentilesTrackTheSimulator) {
+  // Moderate load so nothing saturates and all classes occur.
+  const SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase1, 8, NetworkArchitecture::kNonBlocking,
+      1024.0, 256, 25e-6);
+  const LatencyDistribution dist = predict_latency_distribution(config);
+
+  sim::SimOptions options;
+  options.measured_messages = 30000;
+  options.warmup_messages = 3000;
+  options.seed = 4242;
+  sim::MultiClusterSim simulator(config, options);
+  const sim::SimResult result = simulator.run();
+
+  EXPECT_LT(relative_error(dist.p50_us(), result.p50_latency_us), 0.08)
+      << dist.p50_us() << " vs " << result.p50_latency_us;
+  EXPECT_LT(relative_error(dist.p95_us(), result.p95_latency_us), 0.08)
+      << dist.p95_us() << " vs " << result.p95_latency_us;
+  EXPECT_LT(relative_error(dist.p99_us(), result.p99_latency_us), 0.12)
+      << dist.p99_us() << " vs " << result.p99_latency_us;
+}
+
+TEST(LatencyDistribution, RepeatedPoleHandledSmoothly) {
+  // Force ECN1 and ICN2 response times equal: the repeated-pole branch
+  // must produce a valid CDF, continuous against a slightly perturbed
+  // configuration.
+  LatencyDistribution dist;
+  dist.remote_weight = 1.0;
+  dist.ecn1_rate = 0.01;
+  dist.icn2_rate = 0.01;  // exactly the nudged branch
+  LatencyDistribution near = dist;
+  near.icn2_rate = 0.0100001;
+  for (const double t : {50.0, 200.0, 500.0}) {
+    EXPECT_NEAR(dist.cdf(t), near.cdf(t), 1e-3);
+    EXPECT_GE(dist.cdf(t), 0.0);
+    EXPECT_LE(dist.cdf(t), 1.0);
+  }
+}
+
+TEST(LatencyDistribution, ReliabilityFlagTracksUtilization) {
+  const SystemConfig light = paper_scenario(
+      HeterogeneityCase::kCase1, 8, NetworkArchitecture::kNonBlocking,
+      1024.0, 256, 25e-6);
+  EXPECT_TRUE(predict_latency_distribution(light).reliable);
+  const SystemConfig saturated = paper_scenario(
+      HeterogeneityCase::kCase1, 8, NetworkArchitecture::kNonBlocking,
+      1024.0, 256, analytic::kPaperRatePerUs);
+  EXPECT_FALSE(predict_latency_distribution(saturated).reliable);
+}
+
+TEST(LatencyDistribution, SaturatedCentreRejected) {
+  SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase1, 8, NetworkArchitecture::kNonBlocking,
+      1024.0, 256, analytic::kPaperRatePerUs);
+  // kNone leaves the centres saturated at this rate.
+  EXPECT_THROW(predict_latency_distribution(config, SourceThrottling::kNone),
+               ConfigError);
+}
+
+}  // namespace

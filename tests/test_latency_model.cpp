@@ -1,0 +1,176 @@
+// End-to-end analytical model: eq. (15) assembly, degenerate cases, and
+// the qualitative properties the paper reports (C=16 dip, blocking much
+// slower than non-blocking, message-size monotonicity).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using namespace hmcs::analytic;
+
+ModelOptions mva_options() {
+  ModelOptions options;
+  options.fixed_point.method = SourceThrottling::kExactMva;
+  return options;
+}
+
+TEST(LatencyModel, SingleClusterUsesOnlyIcn1) {
+  const SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase1, 1, NetworkArchitecture::kNonBlocking, 1024.0);
+  const LatencyPrediction prediction = predict_latency(config);
+  EXPECT_DOUBLE_EQ(prediction.inter_cluster_probability, 0.0);
+  EXPECT_DOUBLE_EQ(prediction.ecn1.arrival_rate, 0.0);
+  EXPECT_DOUBLE_EQ(prediction.icn2.arrival_rate, 0.0);
+  EXPECT_DOUBLE_EQ(prediction.mean_latency_us, prediction.icn1.response_time_us);
+}
+
+TEST(LatencyModel, FullyDispersedUsesOnlyRemotePath) {
+  const SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase1, 256, NetworkArchitecture::kNonBlocking, 1024.0);
+  const LatencyPrediction prediction = predict_latency(config);
+  EXPECT_DOUBLE_EQ(prediction.inter_cluster_probability, 1.0);
+  EXPECT_DOUBLE_EQ(prediction.icn1.arrival_rate, 0.0);
+  EXPECT_NEAR(prediction.mean_latency_us,
+              prediction.icn2.response_time_us +
+                  2.0 * prediction.ecn1.response_time_us,
+              1e-9);
+}
+
+TEST(LatencyModel, Eq15AssemblyAtLightLoad) {
+  const SystemConfig config =
+      paper_scenario(HeterogeneityCase::kCase2, 8,
+                     NetworkArchitecture::kNonBlocking, 512.0, 256,
+                     kPaperLiteralRatePerUs);
+  const LatencyPrediction prediction = predict_latency(config);
+  const double p = prediction.inter_cluster_probability;
+  EXPECT_NEAR(prediction.mean_latency_us,
+              (1.0 - p) * prediction.icn1.response_time_us +
+                  p * (prediction.icn2.response_time_us +
+                       2.0 * prediction.ecn1.response_time_us),
+              1e-9);
+  // At 0.25 msg/s the response times collapse to the service times.
+  EXPECT_NEAR(prediction.icn1.response_time_us,
+              1.0 / prediction.icn1.service_rate,
+              1e-3 / prediction.icn1.service_rate);
+}
+
+TEST(LatencyModel, LargerMessagesAreSlower) {
+  for (const auto arch : {NetworkArchitecture::kNonBlocking,
+                          NetworkArchitecture::kBlocking}) {
+    const auto small = predict_latency(paper_scenario(
+        HeterogeneityCase::kCase1, 8, arch, 512.0));
+    const auto large = predict_latency(paper_scenario(
+        HeterogeneityCase::kCase1, 8, arch, 1024.0));
+    EXPECT_GT(large.mean_latency_us, small.mean_latency_us);
+  }
+}
+
+TEST(LatencyModel, BlockingSlowerThanNonBlockingEverywhere) {
+  // The headline comparison of Figures 4/6 and 5/7.
+  for (const std::uint32_t clusters : {1u, 2u, 4u, 16u, 64u, 256u}) {
+    for (const auto hetero :
+         {HeterogeneityCase::kCase1, HeterogeneityCase::kCase2}) {
+      const auto nonblocking = predict_latency(paper_scenario(
+          hetero, clusters, NetworkArchitecture::kNonBlocking, 1024.0));
+      const auto blocking = predict_latency(paper_scenario(
+          hetero, clusters, NetworkArchitecture::kBlocking, 1024.0));
+      EXPECT_GT(blocking.mean_latency_us, nonblocking.mean_latency_us)
+          << "C=" << clusters;
+    }
+  }
+}
+
+TEST(LatencyModel, SingleSwitchCollapseShowsAtC16) {
+  // The paper: "when the number of clusters is equal to 16, we
+  // experience a different behavior ... because the number of clusters
+  // and the number of nodes in each cluster are less than the number of
+  // ports". At light load this appears as a pure service-time drop.
+  auto latency_at = [](std::uint32_t clusters) {
+    return predict_latency(
+               paper_scenario(HeterogeneityCase::kCase1, clusters,
+                              NetworkArchitecture::kNonBlocking, 1024.0, 256,
+                              kPaperLiteralRatePerUs))
+        .mean_latency_us;
+  };
+  // Service time at C=16 (one-switch networks everywhere) is lower than
+  // the trend from its neighbours with multi-stage fabrics.
+  const double c8 = latency_at(8);
+  const double c16 = latency_at(16);
+  const double c32 = latency_at(32);
+  EXPECT_LT(c16, c32);
+  // The knee: the drop 8->16 is much larger than the smooth P-driven
+  // drift would produce, and 16->32 bounces back up.
+  EXPECT_LT(c16, c8 + 1.0);
+  EXPECT_GT(c32 - c16, 15.0);  // two extra switch hops on both fabrics
+}
+
+TEST(LatencyModel, SaturatedSystemStillReturnsFiniteLatency) {
+  const SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase1, 4, NetworkArchitecture::kBlocking, 1024.0);
+  const LatencyPrediction prediction = predict_latency(config);
+  EXPECT_TRUE(std::isfinite(prediction.mean_latency_us));
+  EXPECT_GT(prediction.mean_latency_us, 0.0);
+  EXPECT_LT(prediction.lambda_effective, config.generation_rate_per_us);
+}
+
+TEST(LatencyModel, MvaAndBisectionAgreeAtLightLoad) {
+  const SystemConfig config =
+      paper_scenario(HeterogeneityCase::kCase1, 8,
+                     NetworkArchitecture::kNonBlocking, 1024.0, 256,
+                     kPaperLiteralRatePerUs);
+  const auto open = predict_latency(config);
+  const auto closed = predict_latency(config, mva_options());
+  EXPECT_NEAR(open.mean_latency_us, closed.mean_latency_us,
+              0.01 * open.mean_latency_us);
+}
+
+TEST(LatencyModel, MvaLatencyEqualsCycleIdentity) {
+  // MVA invariant: mean latency = N/X - Z.
+  const SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase2, 16, NetworkArchitecture::kNonBlocking, 512.0);
+  const auto prediction = predict_latency(config, mva_options());
+  const double n = static_cast<double>(config.total_nodes());
+  const double x = prediction.lambda_effective * n;
+  const double z = 1.0 / config.generation_rate_per_us;
+  EXPECT_NEAR(prediction.mean_latency_us, n / x - z,
+              1e-6 * prediction.mean_latency_us);
+}
+
+TEST(LatencyModel, Case2SingleClusterSlowerThanCase1) {
+  // C=1 traffic rides ICN1 only: GE in Case 1, FE in Case 2.
+  const auto case1 = predict_latency(paper_scenario(
+      HeterogeneityCase::kCase1, 1, NetworkArchitecture::kNonBlocking, 1024.0));
+  const auto case2 = predict_latency(paper_scenario(
+      HeterogeneityCase::kCase2, 1, NetworkArchitecture::kNonBlocking, 1024.0));
+  EXPECT_GT(case2.mean_latency_us, case1.mean_latency_us);
+}
+
+TEST(LatencyModel, UtilizationsAreReported) {
+  const SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase1, 8, NetworkArchitecture::kNonBlocking, 1024.0);
+  const auto prediction = predict_latency(config);
+  EXPECT_GE(prediction.icn1.utilization, 0.0);
+  EXPECT_LT(prediction.icn1.utilization, 1.0);
+  EXPECT_LT(prediction.ecn1.utilization, 1.0);
+  EXPECT_LT(prediction.icn2.utilization, 1.0);
+  EXPECT_GT(prediction.ecn1.utilization, prediction.icn1.utilization);
+}
+
+TEST(LatencyModel, RejectsInvalidConfig) {
+  SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase1, 8, NetworkArchitecture::kNonBlocking, 1024.0);
+  config.message_bytes = -1.0;
+  EXPECT_THROW(predict_latency(config), hmcs::ConfigError);
+  config = paper_scenario(HeterogeneityCase::kCase1, 8,
+                          NetworkArchitecture::kNonBlocking, 1024.0);
+  config.clusters = 0;
+  EXPECT_THROW(predict_latency(config), hmcs::ConfigError);
+}
+
+}  // namespace

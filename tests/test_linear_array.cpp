@@ -1,0 +1,123 @@
+// Linear switch array (the paper's blocking interconnect, Section 5.3):
+// eq. (17) switch count, eq. (19) average traversals, bisection width 1.
+
+#include <gtest/gtest.h>
+
+#include "hmcs/topology/bisection.hpp"
+#include "hmcs/topology/linear_array.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using hmcs::topology::Graph;
+using hmcs::topology::LinearArray;
+using hmcs::topology::NodeKind;
+
+TEST(LinearArray, SwitchCountEq17) {
+  EXPECT_EQ(LinearArray(256, 24).num_switches(), 11u);  // ceil(256/24)
+  EXPECT_EQ(LinearArray(24, 24).num_switches(), 1u);
+  EXPECT_EQ(LinearArray(25, 24).num_switches(), 2u);
+  EXPECT_EQ(LinearArray(1, 24).num_switches(), 1u);
+}
+
+TEST(LinearArray, EndpointMapping) {
+  const LinearArray chain(50, 24);
+  EXPECT_EQ(chain.switch_of(0), 0u);
+  EXPECT_EQ(chain.switch_of(23), 0u);
+  EXPECT_EQ(chain.switch_of(24), 1u);
+  EXPECT_EQ(chain.switch_of(49), 2u);
+  EXPECT_THROW(chain.switch_of(50), hmcs::ConfigError);
+}
+
+TEST(LinearArray, TraversalsAreChainDistancePlusOne) {
+  const LinearArray chain(72, 24);  // 3 switches
+  EXPECT_EQ(chain.switch_traversals(0, 0), 0u);
+  EXPECT_EQ(chain.switch_traversals(0, 1), 1u);    // same switch
+  EXPECT_EQ(chain.switch_traversals(0, 30), 2u);   // neighbours
+  EXPECT_EQ(chain.switch_traversals(0, 71), 3u);   // ends of the chain
+  EXPECT_EQ(chain.switch_traversals(71, 0), 3u);   // symmetric
+}
+
+TEST(LinearArray, PaperAverageApproximatesExact) {
+  // eq. (19) uses (k+1)/3; the exact uniform-pair expectation is close
+  // for long chains.
+  const LinearArray chain(240, 24);  // k = 10
+  EXPECT_DOUBLE_EQ(chain.paper_average_traversals(), 11.0 / 3.0);
+  const double exact = chain.average_traversals();
+  EXPECT_GT(exact, 1.0);
+  // Exact = E|i-j| + 1 ~ k/3 + 1; paper ~ (k+1)/3. Within ~30%.
+  EXPECT_NEAR(exact, chain.paper_average_traversals(),
+              0.35 * chain.paper_average_traversals());
+}
+
+TEST(LinearArray, AverageTraversalsMatchesBruteForce) {
+  const LinearArray chain(50, 8);
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    for (std::uint64_t j = 0; j < 50; ++j) {
+      if (i != j) sum += static_cast<double>(chain.switch_traversals(i, j));
+    }
+  }
+  EXPECT_NEAR(chain.average_traversals(), sum / (50.0 * 49.0), 1e-9);
+}
+
+TEST(LinearArray, BisectionWidthIsOne) {
+  EXPECT_EQ(LinearArray(256, 24).bisection_width(), 1u);
+  EXPECT_FALSE(LinearArray(256, 24).is_full_bisection());
+  // Single-switch degenerate chain is effectively a crossbar.
+  EXPECT_EQ(LinearArray(16, 24).bisection_width(), 8u);
+  EXPECT_TRUE(LinearArray(16, 24).is_full_bisection());
+  EXPECT_EQ(LinearArray(1, 24).bisection_width(), 0u);
+}
+
+TEST(LinearArray, MeasuredBisectionMatchesClaim) {
+  // The max-flow measurement on the constructed graph confirms the
+  // closed form: one chain link separates the halves.
+  const LinearArray chain(96, 24);  // 4 switches; halves split at chain mid
+  const Graph g = chain.build_graph();
+  EXPECT_EQ(hmcs::topology::measured_bisection_cables(g), 1u);
+  EXPECT_FALSE(hmcs::topology::has_full_bisection(g));
+
+  const LinearArray single(16, 24);
+  EXPECT_EQ(hmcs::topology::measured_bisection_cables(single.build_graph()),
+            8u);
+}
+
+TEST(LinearArray, GraphShape) {
+  const LinearArray chain(50, 24);
+  const Graph g = chain.build_graph();
+  EXPECT_EQ(g.count_nodes(NodeKind::kEndpoint), 50u);
+  EXPECT_EQ(g.count_nodes(NodeKind::kSwitch), 3u);
+  // 50 endpoint links + 2 chain links.
+  EXPECT_EQ(g.total_cables(), 52u);
+}
+
+TEST(LinearArray, RejectsBadParameters) {
+  EXPECT_THROW(LinearArray(0, 8), hmcs::ConfigError);
+  EXPECT_THROW(LinearArray(8, 2), hmcs::ConfigError);
+}
+
+class LinearArraySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LinearArraySweep, InvariantsHold) {
+  const std::uint64_t n = GetParam();
+  const LinearArray chain(n, 24);
+  EXPECT_EQ(chain.num_switches(), (n + 23) / 24);
+  if (n >= 2) {
+    const double avg = chain.average_traversals();
+    EXPECT_GE(avg, 1.0);
+    EXPECT_LE(avg, static_cast<double>(chain.num_switches()));
+    if (chain.num_switches() > 1 && (n / 2) % 24 == 0) {
+      // The canonical index split measures the true width-1 chain cut
+      // only when it falls on a switch boundary; otherwise it must also
+      // sever endpoint links shared with the other half.
+      EXPECT_EQ(hmcs::topology::measured_bisection_cables(chain.build_graph()),
+                1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LinearArraySweep,
+                         ::testing::Values(1, 2, 16, 24, 25, 48, 96, 256, 257));
+
+}  // namespace

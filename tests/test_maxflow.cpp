@@ -1,0 +1,137 @@
+// Dinic max-flow and the Graph container.
+
+#include <gtest/gtest.h>
+
+#include "hmcs/topology/graph.hpp"
+#include "hmcs/topology/maxflow.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using hmcs::topology::Graph;
+using hmcs::topology::MaxFlow;
+using hmcs::topology::NodeKind;
+
+TEST(MaxFlow, SingleEdge) {
+  MaxFlow f(2);
+  f.add_edge(0, 1, 7);
+  EXPECT_EQ(f.solve(0, 1), 7u);
+}
+
+TEST(MaxFlow, SeriesTakesMinimum) {
+  MaxFlow f(3);
+  f.add_edge(0, 1, 10);
+  f.add_edge(1, 2, 4);
+  EXPECT_EQ(f.solve(0, 2), 4u);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  MaxFlow f(4);
+  f.add_edge(0, 1, 3);
+  f.add_edge(1, 3, 3);
+  f.add_edge(0, 2, 5);
+  f.add_edge(2, 3, 5);
+  EXPECT_EQ(f.solve(0, 3), 8u);
+}
+
+TEST(MaxFlow, ClassicTextbookNetwork) {
+  // CLRS-style example with a known max flow of 23.
+  MaxFlow f(6);
+  f.add_edge(0, 1, 16);
+  f.add_edge(0, 2, 13);
+  f.add_edge(1, 2, 10);
+  f.add_edge(2, 1, 4);
+  f.add_edge(1, 3, 12);
+  f.add_edge(3, 2, 9);
+  f.add_edge(2, 4, 14);
+  f.add_edge(4, 3, 7);
+  f.add_edge(3, 5, 20);
+  f.add_edge(4, 5, 4);
+  EXPECT_EQ(f.solve(0, 5), 23u);
+}
+
+TEST(MaxFlow, UndirectedEdgesCarryFlowEitherWay) {
+  MaxFlow f(3);
+  f.add_undirected_edge(0, 1, 5);
+  f.add_undirected_edge(1, 2, 5);
+  EXPECT_EQ(f.solve(2, 0), 5u);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlow f(4);
+  f.add_edge(0, 1, 5);
+  f.add_edge(2, 3, 5);
+  EXPECT_EQ(f.solve(0, 3), 0u);
+}
+
+TEST(MaxFlow, MinCutSeparatesSourceSide) {
+  MaxFlow f(4);
+  f.add_edge(0, 1, 100);
+  f.add_edge(1, 2, 1);  // the bottleneck
+  f.add_edge(2, 3, 100);
+  EXPECT_EQ(f.solve(0, 3), 1u);
+  const auto side = f.min_cut_source_side();
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(MaxFlow, Validation) {
+  MaxFlow f(2);
+  EXPECT_THROW(f.add_edge(0, 0, 1), hmcs::ConfigError);
+  EXPECT_THROW(f.add_edge(0, 5, 1), hmcs::ConfigError);
+  EXPECT_THROW(f.solve(0, 0), hmcs::ConfigError);
+  EXPECT_THROW(f.min_cut_source_side(), hmcs::ConfigError);
+  f.add_edge(0, 1, 1);
+  f.solve(0, 1);
+  EXPECT_THROW(f.solve(0, 1), hmcs::ConfigError);  // single-shot
+  EXPECT_THROW(f.add_edge(0, 1, 1), hmcs::ConfigError);
+}
+
+// ------------------------------------------------------------------ Graph
+
+TEST(GraphContainer, MergesParallelLinks) {
+  Graph g;
+  const auto a = g.add_node(NodeKind::kSwitch, 1, 0);
+  const auto b = g.add_node(NodeKind::kSwitch, 2, 0);
+  g.add_link(a, b);
+  g.add_link(b, a, 2);  // same pair, opposite order
+  EXPECT_EQ(g.num_links(), 1u);
+  EXPECT_EQ(g.total_cables(), 3u);
+  EXPECT_EQ(g.degree(a), 3u);
+}
+
+TEST(GraphContainer, CutCablesCountsCrossingMultiplicity) {
+  Graph g;
+  const auto a = g.add_node(NodeKind::kEndpoint, 0, 0);
+  const auto b = g.add_node(NodeKind::kEndpoint, 0, 1);
+  const auto s = g.add_node(NodeKind::kSwitch, 1, 0);
+  g.add_link(a, s, 2);
+  g.add_link(b, s, 3);
+  EXPECT_EQ(g.cut_cables({true, false, true}), 3u);
+  EXPECT_EQ(g.cut_cables({true, false, false}), 2u);
+  EXPECT_THROW(g.cut_cables({true}), hmcs::ConfigError);
+}
+
+TEST(GraphContainer, Validation) {
+  Graph g;
+  const auto a = g.add_node(NodeKind::kEndpoint, 0, 0);
+  EXPECT_THROW(g.add_link(a, a), hmcs::ConfigError);
+  EXPECT_THROW(g.add_link(a, 5), hmcs::ConfigError);
+  EXPECT_THROW(g.node(3), hmcs::ConfigError);
+  EXPECT_THROW(g.degree(3), hmcs::ConfigError);
+}
+
+TEST(GraphContainer, EndpointsInCreationOrder) {
+  Graph g;
+  g.add_node(NodeKind::kSwitch, 1, 0);
+  const auto e0 = g.add_node(NodeKind::kEndpoint, 0, 0);
+  const auto e1 = g.add_node(NodeKind::kEndpoint, 0, 1);
+  const auto endpoints = g.endpoints();
+  ASSERT_EQ(endpoints.size(), 2u);
+  EXPECT_EQ(endpoints[0], e0);
+  EXPECT_EQ(endpoints[1], e1);
+}
+
+}  // namespace

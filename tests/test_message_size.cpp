@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "hmcs/simcore/rng.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/workload/message_size.hpp"
+
+namespace {
+
+using namespace hmcs::workload;
+using hmcs::simcore::Rng;
+
+TEST(FixedSize, AlwaysSameValue) {
+  const FixedSize dist(1024.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(dist.sample_bytes(rng), 1024.0);
+  EXPECT_DOUBLE_EQ(dist.mean_bytes(), 1024.0);
+  EXPECT_THROW(FixedSize(0.0), hmcs::ConfigError);
+}
+
+TEST(BimodalSize, SamplesOnlyTheTwoModes) {
+  const BimodalSize dist(64.0, 4096.0, 0.25);
+  Rng rng(2);
+  int large = 0;
+  constexpr int kSamples = 40000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double bytes = dist.sample_bytes(rng);
+    ASSERT_TRUE(bytes == 64.0 || bytes == 4096.0);
+    if (bytes == 4096.0) ++large;
+  }
+  EXPECT_NEAR(static_cast<double>(large) / kSamples, 0.25, 0.01);
+  EXPECT_DOUBLE_EQ(dist.mean_bytes(), 0.25 * 4096.0 + 0.75 * 64.0);
+}
+
+TEST(BimodalSize, Validation) {
+  EXPECT_THROW(BimodalSize(0.0, 100.0, 0.5), hmcs::ConfigError);
+  EXPECT_THROW(BimodalSize(200.0, 100.0, 0.5), hmcs::ConfigError);
+  EXPECT_THROW(BimodalSize(10.0, 100.0, 1.5), hmcs::ConfigError);
+}
+
+TEST(ExponentialSize, MeanAndClampHold) {
+  const ExponentialSize dist(1024.0, 32.0);
+  Rng rng(3);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double bytes = dist.sample_bytes(rng);
+    ASSERT_GE(bytes, 32.0);
+    sum += bytes;
+  }
+  // The clamp adds a hair to the raw exponential mean.
+  EXPECT_NEAR(sum / kSamples, 1024.0, 0.03 * 1024.0);
+  EXPECT_DOUBLE_EQ(dist.mean_bytes(), 1024.0);
+}
+
+TEST(ExponentialSize, Validation) {
+  EXPECT_THROW(ExponentialSize(0.0), hmcs::ConfigError);
+  EXPECT_THROW(ExponentialSize(100.0, 200.0), hmcs::ConfigError);
+}
+
+TEST(SizeDistributions, NamesMentionParameters) {
+  EXPECT_NE(FixedSize(512.0).name().find("512"), std::string::npos);
+  EXPECT_NE(BimodalSize(64.0, 1024.0, 0.5).name().find("bimodal"),
+            std::string::npos);
+  EXPECT_NE(ExponentialSize(256.0).name().find("exponential"),
+            std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// M/M/1 formulas, eq. (16) and friends.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hmcs/analytic/mm1.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+namespace mm1 = hmcs::analytic::mm1;
+
+TEST(Mm1, ResponseTimeEq16) {
+  // W = 1/(mu - lambda).
+  EXPECT_DOUBLE_EQ(mm1::response_time(0.5, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(mm1::response_time(0.0, 4.0), 0.25);  // pure service
+  EXPECT_DOUBLE_EQ(mm1::response_time(0.9, 1.0), 10.0);
+}
+
+TEST(Mm1, SaturationYieldsInfinity) {
+  EXPECT_TRUE(std::isinf(mm1::response_time(1.0, 1.0)));
+  EXPECT_TRUE(std::isinf(mm1::response_time(2.0, 1.0)));
+  EXPECT_TRUE(std::isinf(mm1::number_in_system(1.0, 1.0)));
+  EXPECT_TRUE(std::isinf(mm1::waiting_time(1.5, 1.0)));
+}
+
+TEST(Mm1, LittleLawConsistency) {
+  // L = lambda * W for every stable load.
+  for (double rho : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const double mu = 2.0;
+    const double lambda = rho * mu;
+    EXPECT_NEAR(mm1::number_in_system(lambda, mu),
+                lambda * mm1::response_time(lambda, mu), 1e-12);
+    EXPECT_NEAR(mm1::number_in_queue(lambda, mu),
+                lambda * mm1::waiting_time(lambda, mu), 1e-12);
+  }
+}
+
+TEST(Mm1, QueueDecomposition) {
+  const double lambda = 0.6;
+  const double mu = 1.0;
+  // L = Lq + rho; W = Wq + 1/mu.
+  EXPECT_NEAR(mm1::number_in_system(lambda, mu),
+              mm1::number_in_queue(lambda, mu) + mm1::utilization(lambda, mu),
+              1e-12);
+  EXPECT_NEAR(mm1::response_time(lambda, mu),
+              mm1::waiting_time(lambda, mu) + 1.0 / mu, 1e-12);
+}
+
+TEST(Mm1, StabilityPredicate) {
+  EXPECT_TRUE(mm1::is_stable(0.99, 1.0));
+  EXPECT_FALSE(mm1::is_stable(1.0, 1.0));
+  EXPECT_TRUE(mm1::is_stable(0.0, 0.001));
+}
+
+TEST(Mm1, ResponseMonotoneInLoad) {
+  double previous = 0.0;
+  for (double lambda = 0.0; lambda < 1.0; lambda += 0.05) {
+    const double w = mm1::response_time(lambda, 1.0);
+    EXPECT_GT(w, previous);
+    previous = w;
+  }
+}
+
+TEST(Mm1, Validation) {
+  EXPECT_THROW(mm1::utilization(0.5, 0.0), hmcs::ConfigError);
+  EXPECT_THROW(mm1::utilization(-0.5, 1.0), hmcs::ConfigError);
+  EXPECT_THROW(mm1::response_time(0.5, -1.0), hmcs::ConfigError);
+}
+
+// -------------------------------------------------------- M/G/1 (PK)
+
+namespace mg1 = hmcs::analytic::mg1;
+
+TEST(Mg1, Cv2OneRecoversExponential) {
+  for (double rho : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(mg1::response_time(rho, 1.0, 1.0), mm1::response_time(rho, 1.0),
+                1e-12);
+    EXPECT_NEAR(mg1::number_in_system(rho, 1.0, 1.0),
+                mm1::number_in_system(rho, 1.0), 1e-12);
+  }
+}
+
+TEST(Mg1, DeterministicHalvesTheWaitingTerm) {
+  const double lambda = 0.6;
+  const double mu = 1.0;
+  const double wait_exp = mm1::waiting_time(lambda, mu);
+  const double wait_det = mg1::response_time(lambda, mu, 0.0) - 1.0 / mu;
+  EXPECT_NEAR(wait_det, 0.5 * wait_exp, 1e-12);
+}
+
+TEST(Mg1, HighVariabilityInflatesTheQueue) {
+  // cv^2 = 4 (hyper-exponential-ish) waits 2.5x the M/M/1 queue.
+  const double lambda = 0.5;
+  const double mu = 1.0;
+  const double wait_exp = mm1::waiting_time(lambda, mu);
+  const double wait_hyper = mg1::response_time(lambda, mu, 4.0) - 1.0;
+  EXPECT_NEAR(wait_hyper, 2.5 * wait_exp, 1e-12);
+}
+
+TEST(Mg1, SaturationAndValidation) {
+  EXPECT_TRUE(std::isinf(mg1::response_time(1.0, 1.0, 0.0)));
+  EXPECT_THROW(mg1::response_time(0.5, 1.0, -0.5), hmcs::ConfigError);
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Property sweep: structural invariants of the analytical model across
+// the full configuration grid (scenario x architecture x cluster count),
+// for both the paper's fixed point and the exact-MVA solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "hmcs/analytic/bounds.hpp"
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/scenario.hpp"
+
+namespace {
+
+using namespace hmcs::analytic;
+
+struct GridCase {
+  HeterogeneityCase hetero;
+  NetworkArchitecture architecture;
+  std::uint32_t clusters;
+};
+
+class ModelProperties : public ::testing::TestWithParam<GridCase> {
+ protected:
+  SystemConfig config(double bytes = 1024.0,
+                      double rate = kPaperRatePerUs) const {
+    const GridCase& grid = GetParam();
+    return paper_scenario(grid.hetero, grid.clusters, grid.architecture,
+                          bytes, kPaperTotalNodes, rate);
+  }
+
+  static ModelOptions options(SourceThrottling method) {
+    ModelOptions out;
+    out.fixed_point.method = method;
+    return out;
+  }
+};
+
+TEST_P(ModelProperties, ProbabilityAndRatesAreSane) {
+  for (const auto method :
+       {SourceThrottling::kBisection, SourceThrottling::kExactMva}) {
+    const LatencyPrediction prediction =
+        predict_latency(config(), options(method));
+    EXPECT_GE(prediction.inter_cluster_probability, 0.0);
+    EXPECT_LE(prediction.inter_cluster_probability, 1.0);
+    EXPECT_GT(prediction.lambda_effective, 0.0);
+    EXPECT_LE(prediction.lambda_effective,
+              prediction.lambda_offered * (1.0 + 1e-9));
+    EXPECT_TRUE(prediction.fixed_point_converged);
+    EXPECT_TRUE(std::isfinite(prediction.mean_latency_us));
+    EXPECT_GT(prediction.mean_latency_us, 0.0);
+  }
+}
+
+TEST_P(ModelProperties, UtilizationsBelowOneAtTheFixedPoint) {
+  for (const auto method :
+       {SourceThrottling::kBisection, SourceThrottling::kExactMva}) {
+    const LatencyPrediction prediction =
+        predict_latency(config(), options(method));
+    for (const CenterPrediction* center :
+         {&prediction.icn1, &prediction.ecn1, &prediction.icn2}) {
+      EXPECT_GE(center->utilization, 0.0);
+      EXPECT_LT(center->utilization, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST_P(ModelProperties, LatencyAtLeastTheNoLoadDemand) {
+  const AsymptoticBounds bounds = compute_bounds(config());
+  for (const auto method :
+       {SourceThrottling::kBisection, SourceThrottling::kExactMva}) {
+    const LatencyPrediction prediction =
+        predict_latency(config(), options(method));
+    EXPECT_GE(prediction.mean_latency_us,
+              bounds.total_demand_us * (1.0 - 1e-9));
+  }
+}
+
+TEST_P(ModelProperties, MvaRespectsTheFullEnvelope) {
+  const AsymptoticBounds bounds = compute_bounds(config());
+  const LatencyPrediction prediction =
+      predict_latency(config(), options(SourceThrottling::kExactMva));
+  EXPECT_GE(prediction.mean_latency_us, bounds.latency_lower_us * 0.999);
+  EXPECT_LE(prediction.lambda_effective,
+            bounds.throughput_upper_per_us * 1.001);
+}
+
+TEST_P(ModelProperties, LatencyMonotoneInOfferedRate) {
+  for (const auto method :
+       {SourceThrottling::kBisection, SourceThrottling::kExactMva}) {
+    double previous = 0.0;
+    for (const double rate_per_s : {1.0, 10.0, 50.0, 250.0, 1000.0}) {
+      const LatencyPrediction prediction = predict_latency(
+          config(1024.0, rate_per_s * 1e-6), options(method));
+      EXPECT_GE(prediction.mean_latency_us, previous * (1.0 - 1e-9))
+          << "rate " << rate_per_s;
+      previous = prediction.mean_latency_us;
+    }
+  }
+}
+
+TEST_P(ModelProperties, LatencyMonotoneInMessageSize) {
+  double previous = 0.0;
+  for (const double bytes : {128.0, 512.0, 1024.0, 4096.0}) {
+    const LatencyPrediction prediction = predict_latency(
+        config(bytes), options(SourceThrottling::kExactMva));
+    EXPECT_GT(prediction.mean_latency_us, previous);
+    previous = prediction.mean_latency_us;
+  }
+}
+
+TEST_P(ModelProperties, EffectiveRateMonotoneInOfferedRate) {
+  double previous = 0.0;
+  for (const double rate_per_s : {1.0, 10.0, 100.0, 1000.0}) {
+    const LatencyPrediction prediction = predict_latency(
+        config(1024.0, rate_per_s * 1e-6),
+        options(SourceThrottling::kExactMva));
+    EXPECT_GE(prediction.lambda_effective, previous * (1.0 - 1e-12));
+    previous = prediction.lambda_effective;
+  }
+}
+
+TEST_P(ModelProperties, Eq15Reassembles) {
+  const LatencyPrediction prediction =
+      predict_latency(config(), options(SourceThrottling::kBisection));
+  const double p = prediction.inter_cluster_probability;
+  double expected = 0.0;
+  if (p < 1.0) expected += (1.0 - p) * prediction.icn1.response_time_us;
+  if (p > 0.0) {
+    expected += p * (prediction.icn2.response_time_us +
+                     2.0 * prediction.ecn1.response_time_us);
+  }
+  EXPECT_NEAR(prediction.mean_latency_us, expected,
+              1e-9 * prediction.mean_latency_us + 1e-12);
+}
+
+TEST_P(ModelProperties, SlowerSwitchesNeverHelp) {
+  SystemConfig slow = config();
+  slow.switch_params.latency_us = 50.0;
+  const double base =
+      predict_latency(config(), options(SourceThrottling::kExactMva))
+          .mean_latency_us;
+  const double slowed =
+      predict_latency(slow, options(SourceThrottling::kExactMva))
+          .mean_latency_us;
+  EXPECT_GE(slowed, base * (1.0 - 1e-9));
+}
+
+TEST_P(ModelProperties, BlockedSourceThrottleConsistent) {
+  // lambda_eff/lambda == (N - L)/N at the reported solution (eq. 7).
+  const LatencyPrediction prediction =
+      predict_latency(config(), options(SourceThrottling::kBisection));
+  const double n = static_cast<double>(config().total_nodes());
+  EXPECT_NEAR(prediction.lambda_effective / prediction.lambda_offered,
+              (n - prediction.total_queue_length) / n, 1e-3);
+}
+
+std::string grid_label(const ::testing::TestParamInfo<GridCase>& param_info) {
+  const GridCase& grid = param_info.param;
+  std::string label =
+      grid.hetero == HeterogeneityCase::kCase1 ? "case1" : "case2";
+  label += grid.architecture == NetworkArchitecture::kNonBlocking
+               ? "_fattree"
+               : "_chain";
+  label += "_C" + std::to_string(grid.clusters);
+  return label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelProperties,
+    ::testing::Values(
+        GridCase{HeterogeneityCase::kCase1, NetworkArchitecture::kNonBlocking, 1},
+        GridCase{HeterogeneityCase::kCase1, NetworkArchitecture::kNonBlocking, 2},
+        GridCase{HeterogeneityCase::kCase1, NetworkArchitecture::kNonBlocking, 16},
+        GridCase{HeterogeneityCase::kCase1, NetworkArchitecture::kNonBlocking, 256},
+        GridCase{HeterogeneityCase::kCase1, NetworkArchitecture::kBlocking, 4},
+        GridCase{HeterogeneityCase::kCase1, NetworkArchitecture::kBlocking, 64},
+        GridCase{HeterogeneityCase::kCase2, NetworkArchitecture::kNonBlocking, 2},
+        GridCase{HeterogeneityCase::kCase2, NetworkArchitecture::kNonBlocking, 32},
+        GridCase{HeterogeneityCase::kCase2, NetworkArchitecture::kBlocking, 8},
+        GridCase{HeterogeneityCase::kCase2, NetworkArchitecture::kBlocking, 128}),
+    grid_label);
+
+}  // namespace

@@ -1,0 +1,212 @@
+// Exact MVA solver: closed-form checks on canonical closed networks and
+// asymptotic (bottleneck/machine-repairman) laws.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hmcs/analytic/mva.hpp"
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/analytic/service_time.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using namespace hmcs::analytic;
+
+TEST(Mva, SingleCustomerSeesNoQueueing) {
+  // n=1: response time is the bare service time everywhere.
+  const std::vector<MvaStation> stations{{1.0, 0.5}, {2.0, 1.0}};
+  const MvaResult result = solve_closed_mva(stations, 10.0, 1);
+  EXPECT_DOUBLE_EQ(result.response_time_us[0], 2.0);
+  EXPECT_DOUBLE_EQ(result.response_time_us[1], 1.0);
+  // X = 1 / (Z + v1 W1 + v2 W2) = 1/(10 + 2 + 2).
+  EXPECT_NEAR(result.throughput, 1.0 / 14.0, 1e-12);
+}
+
+TEST(Mva, TwoCustomersCentralServer) {
+  // Hand-run of the recursion: one station (v=1, mu=1), Z=0.
+  // n=1: W=1, X=1, L=1. n=2: W=2, X=2/2=1, L=2.
+  const std::vector<MvaStation> stations{{1.0, 1.0}};
+  const MvaResult result = solve_closed_mva(stations, 0.0, 2);
+  EXPECT_DOUBLE_EQ(result.response_time_us[0], 2.0);
+  EXPECT_DOUBLE_EQ(result.throughput, 1.0);
+  EXPECT_DOUBLE_EQ(result.queue_length[0], 2.0);
+}
+
+TEST(Mva, LittleLawHoldsPerStation) {
+  const std::vector<MvaStation> stations{{0.5, 0.01}, {1.0, 0.02}, {0.25, 0.005}};
+  const MvaResult result = solve_closed_mva(stations, 100.0, 40);
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    EXPECT_NEAR(result.queue_length[i],
+                result.throughput * stations[i].visit_ratio *
+                    result.response_time_us[i],
+                1e-9);
+  }
+  // Population is conserved: customers are thinking or queued.
+  double total_queued = 0.0;
+  for (const double l : result.queue_length) total_queued += l;
+  const double thinking = result.throughput * 100.0;
+  EXPECT_NEAR(total_queued + thinking, 40.0, 1e-9);
+}
+
+TEST(Mva, BottleneckLawAtLargePopulation) {
+  // X(N) -> min_i mu_i / v_i as N grows.
+  const std::vector<MvaStation> stations{{1.0, 0.02}, {1.0, 0.05}};
+  const MvaResult result = solve_closed_mva(stations, 50.0, 500);
+  EXPECT_NEAR(result.throughput, 0.02, 1e-4);
+  // Nearly every customer queues at the bottleneck.
+  EXPECT_GT(result.queue_length[0], 450.0);
+  EXPECT_LT(result.queue_length[1], 5.0);
+}
+
+TEST(Mva, ThroughputMonotoneInPopulation) {
+  const std::vector<MvaStation> stations{{1.0, 0.01}};
+  double previous = 0.0;
+  for (const std::uint64_t n : {1ULL, 2ULL, 5ULL, 20ULL, 100ULL}) {
+    const double x = solve_closed_mva(stations, 200.0, n).throughput;
+    EXPECT_GT(x, previous);
+    previous = x;
+  }
+  EXPECT_LE(previous, 0.01 + 1e-12);  // never exceeds bottleneck capacity
+}
+
+TEST(Mva, ZeroVisitStationIsInert) {
+  const std::vector<MvaStation> with{{1.0, 0.01}, {0.0, 1e-9}};
+  const std::vector<MvaStation> without{{1.0, 0.01}};
+  const MvaResult a = solve_closed_mva(with, 100.0, 30);
+  const MvaResult b = solve_closed_mva(without, 100.0, 30);
+  EXPECT_NEAR(a.throughput, b.throughput, 1e-12);
+  EXPECT_DOUBLE_EQ(a.queue_length[1], 0.0);
+}
+
+TEST(Mva, HmcsLayoutMatchesArrivalRateShape) {
+  const SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase1, 4, NetworkArchitecture::kNonBlocking, 1024.0);
+  const CenterServiceTimes service = center_service_times(config);
+  const HmcsMvaLayout layout = build_hmcs_mva_layout(config, service);
+  ASSERT_EQ(layout.stations.size(), 2u * 4u + 1u);
+  // Visit ratios sum to (1-P) + 2P + P = 1 + 2P per cycle.
+  double visits = 0.0;
+  for (const auto& s : layout.stations) visits += s.visit_ratio;
+  const double p = 192.0 / 255.0;
+  EXPECT_NEAR(visits, 1.0 + 2.0 * p, 1e-12);
+  // Station groups are internally identical.
+  EXPECT_DOUBLE_EQ(layout.stations[layout.icn1_index].visit_ratio,
+                   layout.stations[layout.icn1_index + 3].visit_ratio);
+  EXPECT_DOUBLE_EQ(layout.stations[layout.ecn1_index].service_rate,
+                   service.ecn1.service_rate());
+  EXPECT_DOUBLE_EQ(layout.stations[layout.icn2_index].visit_ratio, p);
+}
+
+// ------------------------------------------- multi-class approximate MVA
+
+TEST(Amva, SingleClassMatchesExactMvaClosely) {
+  // Bard-Schweitzer against the exact recursion on the same network.
+  const std::vector<MvaStation> stations{{0.5, 0.01}, {1.0, 0.02},
+                                         {0.25, 0.004}};
+  const std::vector<double> rates{0.01, 0.02, 0.004};
+  for (const std::uint64_t population : {1ULL, 4ULL, 32ULL, 256ULL}) {
+    const MvaResult exact = solve_closed_mva(stations, 150.0, population);
+    MvaClass cls;
+    cls.population = population;
+    cls.think_time_us = 150.0;
+    cls.visit_ratios = {0.5, 1.0, 0.25};
+    const MultiClassMvaResult approx = solve_multiclass_amva(rates, {cls});
+    ASSERT_TRUE(approx.converged);
+    EXPECT_NEAR(approx.throughput[0], exact.throughput,
+                0.05 * exact.throughput)
+        << "population=" << population;
+  }
+}
+
+TEST(Amva, SingleCustomerIsExact) {
+  // With N=1 the self-exclusion term vanishes and AMVA is exact.
+  const std::vector<double> rates{0.01, 0.05};
+  MvaClass cls;
+  cls.population = 1;
+  cls.think_time_us = 10.0;
+  cls.visit_ratios = {1.0, 2.0};
+  const MultiClassMvaResult result = solve_multiclass_amva(rates, {cls});
+  // W_i = 1/mu_i; X = 1/(Z + v.W) = 1/(10 + 100 + 40).
+  EXPECT_NEAR(result.throughput[0], 1.0 / 150.0, 1e-9);
+  EXPECT_NEAR(result.response_time_us[0][0], 100.0, 1e-9);
+}
+
+TEST(Amva, SymmetricClassesShareTheNetworkEqually) {
+  const std::vector<double> rates{0.02};
+  MvaClass cls;
+  cls.population = 10;
+  cls.think_time_us = 500.0;
+  cls.visit_ratios = {1.0};
+  const MultiClassMvaResult result =
+      solve_multiclass_amva(rates, {cls, cls});
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.throughput[0], result.throughput[1], 1e-9);
+  // Two identical classes of 10 vs one class of 20: near-identical
+  // aggregate throughput.
+  MvaClass merged = cls;
+  merged.population = 20;
+  const MultiClassMvaResult single = solve_multiclass_amva(rates, {merged});
+  EXPECT_NEAR(result.throughput[0] + result.throughput[1],
+              single.throughput[0], 0.02 * single.throughput[0]);
+}
+
+TEST(Amva, HeavierClassDominatesStationQueue) {
+  const std::vector<double> rates{0.01, 0.01};
+  MvaClass a;  // hammers station 0
+  a.population = 20;
+  a.think_time_us = 100.0;
+  a.visit_ratios = {1.0, 0.0};
+  MvaClass b = a;  // hammers station 1, but thinks much longer
+  b.think_time_us = 10000.0;
+  b.visit_ratios = {0.0, 1.0};
+  const MultiClassMvaResult result = solve_multiclass_amva(rates, {a, b});
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.queue_length[0], 5.0 * result.queue_length[1]);
+}
+
+TEST(Amva, PopulationConserved) {
+  const std::vector<double> rates{0.01, 0.02, 0.004};
+  MvaClass a;
+  a.population = 12;
+  a.think_time_us = 300.0;
+  a.visit_ratios = {1.0, 0.5, 0.25};
+  MvaClass b;
+  b.population = 30;
+  b.think_time_us = 800.0;
+  b.visit_ratios = {0.0, 1.0, 0.5};
+  const MultiClassMvaResult result = solve_multiclass_amva(rates, {a, b});
+  ASSERT_TRUE(result.converged);
+  double queued = 0.0;
+  for (const double l : result.queue_length) queued += l;
+  const double thinking =
+      result.throughput[0] * 300.0 + result.throughput[1] * 800.0;
+  EXPECT_NEAR(queued + thinking, 42.0, 0.01);
+}
+
+TEST(Amva, Validation) {
+  const std::vector<double> rates{0.01};
+  MvaClass cls;
+  cls.population = 2;
+  cls.think_time_us = 1.0;
+  cls.visit_ratios = {1.0};
+  EXPECT_THROW(solve_multiclass_amva({}, {cls}), hmcs::ConfigError);
+  EXPECT_THROW(solve_multiclass_amva(rates, {}), hmcs::ConfigError);
+  MvaClass bad = cls;
+  bad.population = 0;
+  EXPECT_THROW(solve_multiclass_amva(rates, {bad}), hmcs::ConfigError);
+  bad = cls;
+  bad.visit_ratios = {1.0, 2.0};  // wrong width
+  EXPECT_THROW(solve_multiclass_amva(rates, {bad}), hmcs::ConfigError);
+  EXPECT_THROW(solve_multiclass_amva({0.0}, {cls}), hmcs::ConfigError);
+}
+
+TEST(Mva, Validation) {
+  EXPECT_THROW(solve_closed_mva({{1.0, 1.0}}, -1.0, 10), hmcs::ConfigError);
+  EXPECT_THROW(solve_closed_mva({{1.0, 1.0}}, 1.0, 0), hmcs::ConfigError);
+  EXPECT_THROW(solve_closed_mva({{-1.0, 1.0}}, 1.0, 10), hmcs::ConfigError);
+  EXPECT_THROW(solve_closed_mva({{1.0, 0.0}}, 1.0, 10), hmcs::ConfigError);
+}
+
+}  // namespace

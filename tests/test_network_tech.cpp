@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "hmcs/analytic/network_tech.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using namespace hmcs::analytic;
+
+TEST(NetworkTech, Table2GigabitEthernet) {
+  const NetworkTechnology ge = gigabit_ethernet();
+  EXPECT_EQ(ge.name, "Gigabit Ethernet");
+  EXPECT_DOUBLE_EQ(ge.latency_us, 80.0);
+  EXPECT_DOUBLE_EQ(ge.bandwidth_bytes_per_us, 94.0);
+}
+
+TEST(NetworkTech, Table2FastEthernet) {
+  const NetworkTechnology fe = fast_ethernet();
+  EXPECT_DOUBLE_EQ(fe.latency_us, 50.0);
+  EXPECT_DOUBLE_EQ(fe.bandwidth_bytes_per_us, 10.5);
+}
+
+TEST(NetworkTech, ByteTimeIsInverseBandwidth) {
+  EXPECT_DOUBLE_EQ(gigabit_ethernet().byte_time_us(), 1.0 / 94.0);
+  EXPECT_DOUBLE_EQ(fast_ethernet().byte_time_us(), 1.0 / 10.5);
+}
+
+TEST(NetworkTech, TransmissionTimeEq10) {
+  // eq. (10): T = alpha + M*beta. FE at 1024 bytes: 50 + 1024/10.5.
+  EXPECT_NEAR(fast_ethernet().transmission_time_us(1024.0),
+              50.0 + 1024.0 / 10.5, 1e-9);
+  EXPECT_NEAR(gigabit_ethernet().transmission_time_us(512.0),
+              80.0 + 512.0 / 94.0, 1e-9);
+}
+
+TEST(NetworkTech, FasterTechnologiesAvailableForExploration) {
+  EXPECT_GT(myrinet().bandwidth_bytes_per_us,
+            gigabit_ethernet().bandwidth_bytes_per_us);
+  EXPECT_LT(myrinet().latency_us, fast_ethernet().latency_us);
+  EXPECT_GT(infiniband().bandwidth_bytes_per_us,
+            myrinet().bandwidth_bytes_per_us);
+}
+
+TEST(NetworkTech, ValidationRejectsNonsense) {
+  EXPECT_NO_THROW(validate(gigabit_ethernet()));
+  EXPECT_THROW(validate({"", 1.0, 1.0}), hmcs::ConfigError);
+  EXPECT_THROW(validate({"x", -1.0, 1.0}), hmcs::ConfigError);
+  EXPECT_THROW(validate({"x", 1.0, 0.0}), hmcs::ConfigError);
+  EXPECT_THROW(validate({"x", 1.0, -5.0}), hmcs::ConfigError);
+}
+
+}  // namespace

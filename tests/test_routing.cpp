@@ -1,0 +1,112 @@
+// Shortest-path routing tables over wired topology instances.
+
+#include <gtest/gtest.h>
+
+#include "hmcs/netsim/routing.hpp"
+#include "hmcs/topology/fat_tree.hpp"
+#include "hmcs/topology/linear_array.hpp"
+#include "hmcs/topology/switch_tree.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using hmcs::netsim::RoutingTable;
+using hmcs::topology::FatTree;
+using hmcs::topology::Graph;
+using hmcs::topology::LinearArray;
+using hmcs::topology::NodeId;
+using hmcs::topology::NodeKind;
+
+TEST(Routing, ChainPathsAreTheUniquePath) {
+  const LinearArray chain(48, 24);  // endpoints 0..47, switches 48,49
+  const RoutingTable routes(chain.build_graph());
+  // Same switch: one hop.
+  EXPECT_EQ(routes.switch_hops(0, 1), 1u);
+  // Across the chain: both switches.
+  const auto path = routes.switch_path(0, 47);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], 48u);
+  EXPECT_EQ(path[1], 49u);
+  // Hop counts match the topology's own closed form.
+  for (const std::uint64_t src : {0ULL, 10ULL, 30ULL}) {
+    for (const std::uint64_t dst : {5ULL, 25ULL, 47ULL}) {
+      if (src == dst) continue;
+      EXPECT_EQ(routes.switch_hops(static_cast<NodeId>(src),
+                                   static_cast<NodeId>(dst)),
+                chain.switch_traversals(src, dst));
+    }
+  }
+}
+
+TEST(Routing, FatTreePathsMatchMeetStageFormula) {
+  const FatTree tree(64, 8);  // d = 3
+  const RoutingTable routes(tree.build_graph());
+  std::uint32_t worst = 0;
+  for (std::uint64_t src = 0; src < 64; src += 5) {
+    for (std::uint64_t dst = 0; dst < 64; dst += 7) {
+      if (src == dst) continue;
+      const auto hops = routes.switch_hops(static_cast<NodeId>(src),
+                                           static_cast<NodeId>(dst));
+      // BFS finds a minimal route; it can never beat the meet-stage
+      // bound and the butterfly wiring achieves it.
+      EXPECT_EQ(hops, tree.switch_traversals(src, dst))
+          << src << "->" << dst;
+      worst = std::max(worst, hops);
+    }
+  }
+  EXPECT_EQ(worst, tree.worst_case_traversals());
+}
+
+TEST(Routing, SwitchTreePathsGoThroughAncestor) {
+  const hmcs::topology::SwitchTree tree(3, 2);
+  const RoutingTable routes(tree.build_graph());
+  EXPECT_EQ(routes.switch_hops(0, 1), 1u);
+  EXPECT_EQ(routes.switch_hops(0, 7), 5u);  // across the root
+}
+
+TEST(Routing, PathsAreSymmetricInLength) {
+  const FatTree tree(32, 8);
+  const RoutingTable routes(tree.build_graph());
+  for (NodeId a = 0; a < 32; a += 3) {
+    for (NodeId b = 0; b < 32; b += 5) {
+      EXPECT_EQ(routes.switch_hops(a, b), routes.switch_hops(b, a));
+    }
+  }
+}
+
+TEST(Routing, SelfPathIsEmpty) {
+  const LinearArray chain(8, 4);
+  const RoutingTable routes(chain.build_graph());
+  EXPECT_TRUE(routes.switch_path(3, 3).empty());
+  EXPECT_EQ(routes.switch_hops(3, 3), 0u);
+}
+
+TEST(Routing, DeterministicTieBreaks) {
+  const FatTree tree(16, 8);
+  const RoutingTable a(tree.build_graph());
+  const RoutingTable b(tree.build_graph());
+  for (NodeId src = 0; src < 16; ++src) {
+    for (NodeId dst = 0; dst < 16; ++dst) {
+      EXPECT_EQ(a.switch_path(src, dst), b.switch_path(src, dst));
+    }
+  }
+}
+
+TEST(Routing, RejectsDisconnectedGraphs) {
+  Graph g;
+  const NodeId e0 = g.add_node(NodeKind::kEndpoint, 0, 0);
+  const NodeId e1 = g.add_node(NodeKind::kEndpoint, 0, 1);
+  const NodeId s0 = g.add_node(NodeKind::kSwitch, 1, 0);
+  const NodeId s1 = g.add_node(NodeKind::kSwitch, 1, 1);
+  g.add_link(e0, s0);
+  g.add_link(e1, s1);  // two islands
+  EXPECT_THROW(RoutingTable{g}, hmcs::ConfigError);
+}
+
+TEST(Routing, RejectsOutOfRangeNodes) {
+  const LinearArray chain(8, 4);
+  const RoutingTable routes(chain.build_graph());
+  EXPECT_THROW(routes.switch_path(0, 99), hmcs::ConfigError);
+}
+
+}  // namespace

@@ -1,0 +1,67 @@
+// eq. (8): P = (C-1) N0 / (C N0 - 1).
+
+#include <gtest/gtest.h>
+
+#include "hmcs/analytic/routing_probability.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using hmcs::analytic::inter_cluster_probability;
+
+TEST(RoutingProbability, SingleClusterIsZero) {
+  EXPECT_DOUBLE_EQ(inter_cluster_probability(1, 256), 0.0);
+  EXPECT_DOUBLE_EQ(inter_cluster_probability(1, 1), 0.0);
+}
+
+TEST(RoutingProbability, FullyDispersedIsOne) {
+  // N0 = 1: every destination is remote.
+  EXPECT_DOUBLE_EQ(inter_cluster_probability(256, 1), 1.0);
+  EXPECT_DOUBLE_EQ(inter_cluster_probability(2, 1), 1.0);
+}
+
+TEST(RoutingProbability, PaperSweepValues) {
+  // N = 256 split across C clusters: P = (C-1)*N0/(255).
+  EXPECT_NEAR(inter_cluster_probability(2, 128), 128.0 / 255.0, 1e-12);
+  EXPECT_NEAR(inter_cluster_probability(4, 64), 192.0 / 255.0, 1e-12);
+  EXPECT_NEAR(inter_cluster_probability(16, 16), 240.0 / 255.0, 1e-12);
+  EXPECT_NEAR(inter_cluster_probability(128, 2), 254.0 / 255.0, 1e-12);
+}
+
+TEST(RoutingProbability, MatchesUniformDestinationInterpretation) {
+  // P should equal (nodes outside my cluster)/(all nodes but me).
+  for (std::uint32_t c : {2u, 3u, 5u, 7u}) {
+    for (std::uint32_t n0 : {1u, 2u, 10u, 33u}) {
+      const double total = static_cast<double>(c) * n0;
+      const double expected = (total - n0) / (total - 1.0);
+      EXPECT_NEAR(inter_cluster_probability(c, n0), expected, 1e-12);
+    }
+  }
+}
+
+TEST(RoutingProbability, AlwaysInUnitInterval) {
+  for (std::uint32_t c = 1; c <= 64; c *= 2) {
+    for (std::uint32_t n0 = 1; n0 <= 64; n0 *= 2) {
+      const double p = inter_cluster_probability(c, n0);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(RoutingProbability, MonotoneInClusterCountAtFixedTotal) {
+  // Splitting 256 nodes more finely makes remote traffic more likely.
+  double previous = -1.0;
+  for (std::uint32_t c : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    const double p = inter_cluster_probability(c, 256 / c);
+    EXPECT_GT(p, previous);
+    previous = p;
+  }
+}
+
+TEST(RoutingProbability, RejectsZeroes) {
+  EXPECT_THROW(inter_cluster_probability(0, 4), hmcs::ConfigError);
+  EXPECT_THROW(inter_cluster_probability(4, 0), hmcs::ConfigError);
+}
+
+}  // namespace

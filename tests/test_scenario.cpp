@@ -1,0 +1,79 @@
+// Table 1/2 scenario presets.
+
+#include <gtest/gtest.h>
+
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using namespace hmcs::analytic;
+
+TEST(Scenario, Case1AssignsTable1Networks) {
+  const SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase1, 4, NetworkArchitecture::kNonBlocking, 1024.0);
+  EXPECT_EQ(config.icn1.name, "Gigabit Ethernet");
+  EXPECT_EQ(config.ecn1.name, "Fast Ethernet");
+  EXPECT_EQ(config.icn2.name, "Fast Ethernet");
+  EXPECT_EQ(config.clusters, 4u);
+  EXPECT_EQ(config.nodes_per_cluster, 64u);
+  EXPECT_EQ(config.total_nodes(), 256u);
+}
+
+TEST(Scenario, Case2SwapsNetworks) {
+  const SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase2, 4, NetworkArchitecture::kBlocking, 512.0);
+  EXPECT_EQ(config.icn1.name, "Fast Ethernet");
+  EXPECT_EQ(config.ecn1.name, "Gigabit Ethernet");
+  EXPECT_EQ(config.icn2.name, "Gigabit Ethernet");
+  EXPECT_EQ(config.architecture, NetworkArchitecture::kBlocking);
+  EXPECT_DOUBLE_EQ(config.message_bytes, 512.0);
+}
+
+TEST(Scenario, Table2Parameters) {
+  const SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase1, 1, NetworkArchitecture::kNonBlocking, 1024.0);
+  EXPECT_EQ(config.switch_params.ports, 24u);
+  EXPECT_DOUBLE_EQ(config.switch_params.latency_us, 10.0);
+  // Headline rate: 0.25 msg/ms (DESIGN.md note 4).
+  EXPECT_DOUBLE_EQ(config.generation_rate_per_us, 0.25e-3);
+  EXPECT_DOUBLE_EQ(kPaperLiteralRatePerUs, 0.25e-6);
+}
+
+TEST(Scenario, SweepIsPowersOfTwoUpTo256) {
+  std::size_t count = 0;
+  const std::uint32_t* sweep = paper_cluster_sweep(&count);
+  ASSERT_EQ(count, 9u);
+  EXPECT_EQ(sweep[0], 1u);
+  EXPECT_EQ(sweep[4], 16u);
+  EXPECT_EQ(sweep[8], 256u);
+  for (std::size_t i = 1; i < count; ++i) EXPECT_EQ(sweep[i], 2 * sweep[i - 1]);
+}
+
+TEST(Scenario, EverySweepPointDivides256) {
+  std::size_t count = 0;
+  const std::uint32_t* sweep = paper_cluster_sweep(&count);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_NO_THROW(paper_scenario(HeterogeneityCase::kCase1, sweep[i],
+                                   NetworkArchitecture::kNonBlocking, 1024.0));
+  }
+}
+
+TEST(Scenario, RejectsNonDividingClusterCount) {
+  EXPECT_THROW(paper_scenario(HeterogeneityCase::kCase1, 3,
+                              NetworkArchitecture::kNonBlocking, 1024.0),
+               hmcs::ConfigError);
+  EXPECT_THROW(paper_scenario(HeterogeneityCase::kCase1, 0,
+                              NetworkArchitecture::kNonBlocking, 1024.0),
+               hmcs::ConfigError);
+}
+
+TEST(Scenario, ToStringLabels) {
+  EXPECT_NE(std::string(to_string(HeterogeneityCase::kCase1)).find("GE"),
+            std::string::npos);
+  EXPECT_NE(std::string(to_string(NetworkArchitecture::kBlocking))
+                .find("blocking"),
+            std::string::npos);
+}
+
+}  // namespace

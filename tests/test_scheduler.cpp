@@ -1,0 +1,183 @@
+// Multi-cluster job scheduler: deterministic placement scenarios, policy
+// semantics, backfill, conservation properties.
+
+#include <gtest/gtest.h>
+
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/jobs/job_workload.hpp"
+#include "hmcs/jobs/scheduler.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using namespace hmcs;
+using namespace hmcs::jobs;
+
+analytic::SystemConfig small_system() {
+  // 4 clusters x 8 nodes, light background traffic.
+  return analytic::paper_scenario(analytic::HeterogeneityCase::kCase1, 4,
+                                  analytic::NetworkArchitecture::kNonBlocking,
+                                  1024.0, 32, 1e-5);
+}
+
+Job make_job(std::uint64_t id, double arrival_us, std::uint32_t tasks,
+             double work_us, double messages = 0.0) {
+  Job job;
+  job.id = id;
+  job.arrival_us = arrival_us;
+  job.tasks = tasks;
+  job.work_us = work_us;
+  job.messages_per_task = messages;
+  return job;
+}
+
+TEST(Scheduler, SingleJobRunsImmediately) {
+  MultiClusterScheduler scheduler(small_system(), {});
+  const ScheduleResult result = scheduler.run({make_job(0, 100.0, 8, 5000.0)});
+  ASSERT_EQ(result.metrics.completed, 1u);
+  const JobOutcome& outcome = result.outcomes[0];
+  EXPECT_DOUBLE_EQ(outcome.start_us, 100.0);
+  EXPECT_DOUBLE_EQ(outcome.wait_us(), 0.0);
+  EXPECT_DOUBLE_EQ(outcome.runtime_us, 5000.0);  // no messages
+  EXPECT_EQ(outcome.placement.clusters_used(), 1u);
+}
+
+TEST(Scheduler, FcfsQueuesWhenMachineFull) {
+  // Two 32-task jobs: the second must wait for the first to finish.
+  MultiClusterScheduler scheduler(small_system(), {});
+  const ScheduleResult result = scheduler.run(
+      {make_job(0, 0.0, 32, 1000.0), make_job(1, 10.0, 32, 1000.0)});
+  ASSERT_EQ(result.metrics.completed, 2u);
+  EXPECT_DOUBLE_EQ(result.outcomes[0].start_us, 0.0);
+  EXPECT_DOUBLE_EQ(result.outcomes[1].start_us, 1000.0);
+  EXPECT_DOUBLE_EQ(result.metrics.makespan_us, 2000.0);
+}
+
+TEST(Scheduler, SingleClusterPolicyRejectsOversizedJobs) {
+  SchedulerOptions options;
+  options.policy = PlacementPolicy::kSingleCluster;
+  MultiClusterScheduler scheduler(small_system(), options);
+  const ScheduleResult result =
+      scheduler.run({make_job(0, 0.0, 16, 1000.0)});  // > 8 per cluster
+  EXPECT_EQ(result.metrics.completed, 0u);
+  EXPECT_EQ(result.metrics.rejected, 1u);
+}
+
+TEST(Scheduler, CoAllocationSpansClusters) {
+  SchedulerOptions options;
+  options.policy = PlacementPolicy::kCoAllocation;
+  MultiClusterScheduler scheduler(small_system(), options);
+  const ScheduleResult result =
+      scheduler.run({make_job(0, 0.0, 16, 1000.0, 10.0)});
+  ASSERT_EQ(result.metrics.completed, 1u);
+  const JobOutcome& outcome = result.outcomes[0];
+  EXPECT_EQ(outcome.placement.total(), 16u);
+  EXPECT_EQ(outcome.placement.clusters_used(), 2u);
+  EXPECT_GT(outcome.communication_us, 0.0);
+  // Spanning placement pays remote latency: comm above the all-local
+  // price of the same job.
+  const double local_price = 10.0 * scheduler.intra_latency_us();
+  EXPECT_GT(outcome.communication_us, local_price);
+}
+
+TEST(Scheduler, SingleClusterFirstPrefersLocalPlacement) {
+  SchedulerOptions options;
+  options.policy = PlacementPolicy::kSingleClusterFirst;
+  MultiClusterScheduler scheduler(small_system(), options);
+  const ScheduleResult result = scheduler.run(
+      {make_job(0, 0.0, 8, 1000.0, 10.0), make_job(1, 0.0, 16, 1000.0, 10.0)});
+  ASSERT_EQ(result.metrics.completed, 2u);
+  EXPECT_EQ(result.outcomes[0].placement.clusters_used(), 1u);  // fits
+  EXPECT_EQ(result.outcomes[1].placement.clusters_used(), 2u);  // spills
+  EXPECT_DOUBLE_EQ(result.outcomes[0].communication_us,
+                   10.0 * scheduler.intra_latency_us());
+}
+
+TEST(Scheduler, CommunicationSlowsSpanningJobsOnly) {
+  SchedulerOptions span;
+  span.policy = PlacementPolicy::kCoAllocation;
+  SchedulerOptions local;
+  local.policy = PlacementPolicy::kSingleCluster;
+  // 8-task job with heavy messaging: fits either way.
+  const std::vector<Job> jobs{make_job(0, 0.0, 8, 1000.0, 1000.0)};
+  MultiClusterScheduler local_sched(small_system(), local);
+  const double local_runtime =
+      local_sched.run(jobs).outcomes[0].runtime_us;
+  // Co-allocation's greedy most-free split keeps it in one cluster too
+  // (8 fits), so runtimes agree — the policy only spans when forced.
+  MultiClusterScheduler span_sched(small_system(), span);
+  EXPECT_DOUBLE_EQ(span_sched.run(jobs).outcomes[0].runtime_us,
+                   local_runtime);
+}
+
+TEST(Scheduler, BackfillLetsSmallJobsOvertake) {
+  // Head job needs the whole machine; a small job behind it fits now.
+  SchedulerOptions fcfs;
+  SchedulerOptions backfill;
+  backfill.backfill = true;
+  const std::vector<Job> jobs{
+      make_job(0, 0.0, 24, 1000.0),   // occupies 3 clusters
+      make_job(1, 10.0, 32, 1000.0),  // whole machine: must wait
+      make_job(2, 20.0, 8, 500.0),    // fits in the free cluster
+  };
+  MultiClusterScheduler strict(small_system(), fcfs);
+  MultiClusterScheduler relaxed(small_system(), backfill);
+  const ScheduleResult strict_result = strict.run(jobs);
+  const ScheduleResult relaxed_result = relaxed.run(jobs);
+
+  auto start_of = [](const ScheduleResult& result, std::uint64_t id) {
+    for (const JobOutcome& outcome : result.outcomes) {
+      if (outcome.job.id == id) return outcome.start_us;
+    }
+    return -1.0;
+  };
+  // Strict FCFS: job 2 waits behind job 1.
+  EXPECT_GE(start_of(strict_result, 2), start_of(strict_result, 1));
+  // Backfill: job 2 starts immediately at its arrival.
+  EXPECT_DOUBLE_EQ(start_of(relaxed_result, 2), 20.0);
+  EXPECT_LT(start_of(relaxed_result, 2), start_of(relaxed_result, 1));
+}
+
+TEST(Scheduler, UtilizationAndConservation) {
+  const auto jobs = generate_jobs(
+      [] {
+        WorkloadSpec spec;
+        spec.mean_interarrival_us = 20e3;
+        spec.min_tasks = 2;
+        spec.max_tasks = 16;
+        spec.mean_work_us = 80e3;
+        spec.messages_per_task = 50.0;
+        spec.seed = 13;
+        return spec;
+      }(),
+      400);
+  SchedulerOptions options;
+  options.policy = PlacementPolicy::kSingleClusterFirst;
+  options.backfill = true;
+  MultiClusterScheduler scheduler(small_system(), options);
+  const ScheduleResult result = scheduler.run(jobs);
+  EXPECT_EQ(result.metrics.completed + result.metrics.rejected, 400u);
+  EXPECT_GT(result.metrics.utilization, 0.0);
+  EXPECT_LE(result.metrics.utilization, 1.0);
+  EXPECT_GE(result.metrics.mean_bounded_slowdown, 1.0 - 1e-9);
+  for (const JobOutcome& outcome : result.outcomes) {
+    EXPECT_GE(outcome.start_us, outcome.job.arrival_us);
+    EXPECT_EQ(outcome.placement.total(), outcome.job.tasks);
+    EXPECT_DOUBLE_EQ(outcome.finish_us,
+                     outcome.start_us + outcome.runtime_us);
+  }
+}
+
+TEST(Scheduler, RejectsUnsortedJobs) {
+  MultiClusterScheduler scheduler(small_system(), {});
+  EXPECT_THROW(scheduler.run({make_job(0, 100.0, 4, 10.0),
+                              make_job(1, 50.0, 4, 10.0)}),
+               hmcs::ConfigError);
+}
+
+TEST(Scheduler, RemoteLatencyExceedsIntraLatency) {
+  MultiClusterScheduler scheduler(small_system(), {});
+  EXPECT_GT(scheduler.remote_latency_us(), scheduler.intra_latency_us());
+}
+
+}  // namespace

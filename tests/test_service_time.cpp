@@ -1,0 +1,127 @@
+// Per-network service times: eq. (11) for the fat-tree and eqs. (19)-(21)
+// for the blocking linear array, with hand-computed reference values.
+
+#include <gtest/gtest.h>
+
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/analytic/service_time.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using namespace hmcs::analytic;
+
+const SwitchParams kPaperSwitch{24, 10.0};
+
+TEST(ServiceTime, NonBlockingEq11FastEthernet) {
+  // 256 endpoints on 24-port switches: d=2, so (2d-1)*10 = 30 us.
+  const ServiceTimeBreakdown t =
+      network_service_time(fast_ethernet(), 256, kPaperSwitch,
+                           NetworkArchitecture::kNonBlocking, 1024.0);
+  EXPECT_DOUBLE_EQ(t.link_latency_us, 50.0);
+  EXPECT_DOUBLE_EQ(t.switch_latency_us, 30.0);
+  EXPECT_NEAR(t.transmission_us, 1024.0 / 10.5, 1e-9);
+  EXPECT_DOUBLE_EQ(t.blocking_us, 0.0);
+  EXPECT_NEAR(t.total_us(), 50.0 + 30.0 + 1024.0 / 10.5, 1e-9);
+  EXPECT_NEAR(t.service_rate(), 1.0 / t.total_us(), 1e-15);
+}
+
+TEST(ServiceTime, NonBlockingSingleSwitchCollapse) {
+  // 16 endpoints on 24 ports: d=1, a single switch traversal.
+  const ServiceTimeBreakdown t =
+      network_service_time(gigabit_ethernet(), 16, kPaperSwitch,
+                           NetworkArchitecture::kNonBlocking, 1024.0);
+  EXPECT_DOUBLE_EQ(t.switch_latency_us, 10.0);
+}
+
+TEST(ServiceTime, BlockingEq21FastEthernet) {
+  // 256 endpoints: k = ceil(256/24) = 11 switches; switch term
+  // (k+1)/3 * 10 = 40 us; blocking term (N/2-1)*M*beta.
+  const ServiceTimeBreakdown t =
+      network_service_time(fast_ethernet(), 256, kPaperSwitch,
+                           NetworkArchitecture::kBlocking, 1024.0);
+  EXPECT_DOUBLE_EQ(t.link_latency_us, 50.0);
+  EXPECT_DOUBLE_EQ(t.switch_latency_us, 40.0);
+  const double m_beta = 1024.0 / 10.5;
+  EXPECT_NEAR(t.transmission_us, m_beta, 1e-9);
+  EXPECT_NEAR(t.blocking_us, 127.0 * m_beta, 1e-6);             // eq. (20)
+  EXPECT_NEAR(t.transmission_us + t.blocking_us, 128.0 * m_beta, 1e-6);  // eq. (21)
+}
+
+TEST(ServiceTime, BlockingTwoEndpointsHaveNoBlockingTerm) {
+  // N=2: (N/2 - 1) = 0 contenders.
+  const ServiceTimeBreakdown t =
+      network_service_time(fast_ethernet(), 2, kPaperSwitch,
+                           NetworkArchitecture::kBlocking, 1024.0);
+  EXPECT_DOUBLE_EQ(t.blocking_us, 0.0);
+}
+
+TEST(ServiceTime, SingleEndpointIsPureLink) {
+  for (const auto arch : {NetworkArchitecture::kNonBlocking,
+                          NetworkArchitecture::kBlocking}) {
+    const ServiceTimeBreakdown t = network_service_time(
+        gigabit_ethernet(), 1, kPaperSwitch, arch, 512.0);
+    EXPECT_DOUBLE_EQ(t.switch_latency_us, 0.0);
+    EXPECT_DOUBLE_EQ(t.blocking_us, 0.0);
+    EXPECT_NEAR(t.total_us(), 80.0 + 512.0 / 94.0, 1e-9);
+  }
+}
+
+TEST(ServiceTime, BlockingAlwaysSlowerThanNonBlocking) {
+  for (const std::uint64_t endpoints : {4ULL, 16ULL, 64ULL, 256ULL}) {
+    const double blocking =
+        network_service_time(fast_ethernet(), endpoints, kPaperSwitch,
+                             NetworkArchitecture::kBlocking, 1024.0)
+            .total_us();
+    const double nonblocking =
+        network_service_time(fast_ethernet(), endpoints, kPaperSwitch,
+                             NetworkArchitecture::kNonBlocking, 1024.0)
+            .total_us();
+    EXPECT_GT(blocking, nonblocking) << "endpoints=" << endpoints;
+  }
+}
+
+TEST(ServiceTime, MonotoneInMessageSize) {
+  double previous = 0.0;
+  for (const double bytes : {64.0, 256.0, 1024.0, 4096.0}) {
+    const double t =
+        network_service_time(fast_ethernet(), 64, kPaperSwitch,
+                             NetworkArchitecture::kNonBlocking, bytes)
+            .total_us();
+    EXPECT_GT(t, previous);
+    previous = t;
+  }
+}
+
+TEST(ServiceTime, CenterServiceTimesUsesPerNetworkEndpointCounts) {
+  const SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase1, 16, NetworkArchitecture::kNonBlocking, 1024.0);
+  const CenterServiceTimes services = center_service_times(config);
+  // C=16, N0=16, Pr=24: every network collapses to one switch (d=1) —
+  // the paper's observed discontinuity.
+  EXPECT_DOUBLE_EQ(services.icn1.switch_latency_us, 10.0);
+  EXPECT_DOUBLE_EQ(services.ecn1.switch_latency_us, 10.0);
+  EXPECT_DOUBLE_EQ(services.icn2.switch_latency_us, 10.0);
+  // Case 1 puts GE inside the cluster, FE outside.
+  EXPECT_DOUBLE_EQ(services.icn1.link_latency_us, 80.0);
+  EXPECT_DOUBLE_EQ(services.ecn1.link_latency_us, 50.0);
+
+  const SystemConfig wide = paper_scenario(
+      HeterogeneityCase::kCase1, 32, NetworkArchitecture::kNonBlocking, 1024.0);
+  const CenterServiceTimes wide_services = center_service_times(wide);
+  // C=32 > 24 ports: ICN2 back to two stages.
+  EXPECT_DOUBLE_EQ(wide_services.icn2.switch_latency_us, 30.0);
+  // N0=8 <= 24: cluster networks stay single-switch.
+  EXPECT_DOUBLE_EQ(wide_services.icn1.switch_latency_us, 10.0);
+}
+
+TEST(ServiceTime, Validation) {
+  EXPECT_THROW(network_service_time(fast_ethernet(), 0, kPaperSwitch,
+                                    NetworkArchitecture::kNonBlocking, 1024.0),
+               hmcs::ConfigError);
+  EXPECT_THROW(network_service_time(fast_ethernet(), 4, kPaperSwitch,
+                                    NetworkArchitecture::kNonBlocking, 0.0),
+               hmcs::ConfigError);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hmcs/simcore/simulation.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using hmcs::simcore::Simulator;
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<double> seen;
+  sim.schedule_after(5.0, [&] { seen.push_back(sim.now()); });
+  sim.schedule_after(2.0, [&] { seen.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<double>{2.0, 5.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.executed_events(), 2u);
+}
+
+TEST(Simulator, ScheduleAtUsesAbsoluteTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(7.5, [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int chain = 0;
+  sim.schedule_after(1.0, [&] {
+    ++chain;
+    sim.schedule_after(1.0, [&] {
+      ++chain;
+      sim.schedule_after(1.0, [&] { ++chain; });
+    });
+  });
+  sim.run();
+  EXPECT_EQ(chain, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, RejectsPastAndNegativeScheduling) {
+  Simulator sim;
+  sim.schedule_after(10.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5.0, [] {}), hmcs::ConfigError);
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), hmcs::ConfigError);
+}
+
+TEST(Simulator, StopEndsRunEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_after(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  // A later run resumes with the remaining events.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<double> seen;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_after(t, [&, t] { seen.push_back(t); });
+  }
+  const auto executed = sim.run_until(2.5);
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(seen, (std::vector<double>{1.0, 2.0}));
+  // Clock lands exactly on the deadline when no event sits there.
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  sim.run();
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Simulator, RunUntilExecutesEventExactlyAtDeadline) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_after(2.0, [&] { fired = true; });
+  sim.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelledEventNeverFires) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_after(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, ZeroDelayEventsRunInFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(0.0, [&] { order.push_back(1); });
+  sim.schedule_after(0.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace

@@ -1,0 +1,36 @@
+// End-to-end smoke test: the full stack (config -> analytical model ->
+// simulator) runs on a small paper-like configuration and the two
+// estimates agree to simulation noise.
+
+#include <gtest/gtest.h>
+
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/sim/multicluster_sim.hpp"
+
+namespace {
+
+using namespace hmcs;
+
+TEST(Smoke, AnalysisAndSimulationAgreeOnSmallSystem) {
+  const analytic::SystemConfig config = analytic::paper_scenario(
+      analytic::HeterogeneityCase::kCase1, /*clusters=*/4,
+      analytic::NetworkArchitecture::kNonBlocking, /*message_bytes=*/512.0,
+      /*total_nodes=*/32, /*rate_per_us=*/1e-4);
+
+  const analytic::LatencyPrediction prediction =
+      analytic::predict_latency(config);
+  EXPECT_GT(prediction.mean_latency_us, 0.0);
+
+  sim::SimOptions options;
+  options.measured_messages = 4000;
+  options.warmup_messages = 500;
+  sim::MultiClusterSim simulator(config, options);
+  const sim::SimResult result = simulator.run();
+
+  EXPECT_GT(result.mean_latency_us, 0.0);
+  EXPECT_NEAR(result.mean_latency_us, prediction.mean_latency_us,
+              0.25 * prediction.mean_latency_us);
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+// Binary switch tree: the paper's Section 5.1 bisection-width-1 example.
+
+#include <gtest/gtest.h>
+
+#include "hmcs/topology/bisection.hpp"
+#include "hmcs/topology/switch_tree.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using hmcs::topology::Graph;
+using hmcs::topology::NodeKind;
+using hmcs::topology::SwitchTree;
+
+TEST(SwitchTree, CountsFollowCompleteBinaryTree) {
+  const SwitchTree tree(3, 4);
+  EXPECT_EQ(tree.num_switches(), 7u);
+  EXPECT_EQ(tree.num_leaves(), 4u);
+  EXPECT_EQ(tree.num_endpoints(), 16u);
+}
+
+TEST(SwitchTree, BisectionWidthIsOne) {
+  // "the bisection width of a tree is 1, since if either link connected
+  // to the root is removed the tree is split into two subtrees" (§5.1).
+  const SwitchTree tree(3, 4);
+  EXPECT_EQ(tree.bisection_width(), 1u);
+  EXPECT_EQ(hmcs::topology::measured_bisection_cables(tree.build_graph()), 1u);
+}
+
+TEST(SwitchTree, SingleSwitchIsAStar) {
+  const SwitchTree star(1, 8);
+  EXPECT_EQ(star.num_switches(), 1u);
+  EXPECT_EQ(star.bisection_width(), 4u);
+  EXPECT_EQ(hmcs::topology::measured_bisection_cables(star.build_graph()), 4u);
+}
+
+TEST(SwitchTree, TraversalsThroughCommonAncestor) {
+  const SwitchTree tree(3, 2);  // 4 leaves, 2 endpoints each
+  EXPECT_EQ(tree.switch_traversals(0, 0), 0u);
+  EXPECT_EQ(tree.switch_traversals(0, 1), 1u);  // same leaf
+  EXPECT_EQ(tree.switch_traversals(0, 2), 3u);  // sibling leaves
+  EXPECT_EQ(tree.switch_traversals(0, 7), 5u);  // across the root
+  EXPECT_EQ(tree.switch_traversals(7, 0), 5u);
+}
+
+TEST(SwitchTree, GraphShape) {
+  const SwitchTree tree(3, 4);
+  const Graph g = tree.build_graph();
+  EXPECT_EQ(g.count_nodes(NodeKind::kEndpoint), 16u);
+  EXPECT_EQ(g.count_nodes(NodeKind::kSwitch), 7u);
+  // 16 endpoint links + 6 internal tree links.
+  EXPECT_EQ(g.total_cables(), 22u);
+}
+
+TEST(SwitchTree, RejectsBadParameters) {
+  EXPECT_THROW(SwitchTree(0, 4), hmcs::ConfigError);
+  EXPECT_THROW(SwitchTree(33, 4), hmcs::ConfigError);
+  EXPECT_THROW(SwitchTree(3, 0), hmcs::ConfigError);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// k-ary n-cube torus: structure, Lee distances, bisection width (closed
+// form and measured by max-flow on the wired graph).
+
+#include <gtest/gtest.h>
+
+#include "hmcs/netsim/routing.hpp"
+#include "hmcs/topology/bisection.hpp"
+#include "hmcs/topology/torus.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using hmcs::topology::Graph;
+using hmcs::topology::NodeKind;
+using hmcs::topology::Torus;
+
+TEST(Torus, CountsFollowKToTheN) {
+  const Torus t(4, 2, 2);  // 4-ary 2-cube, 2 endpoints/switch
+  EXPECT_EQ(t.num_switches(), 16u);
+  EXPECT_EQ(t.num_endpoints(), 32u);
+  EXPECT_EQ(Torus(3, 3, 1).num_switches(), 27u);
+}
+
+TEST(Torus, RingDistanceWraps) {
+  const Torus ring(8, 1, 1);  // plain 8-ring
+  EXPECT_EQ(ring.switch_distance(0, 1), 1u);
+  EXPECT_EQ(ring.switch_distance(0, 4), 4u);
+  EXPECT_EQ(ring.switch_distance(0, 7), 1u);  // wrap
+  EXPECT_EQ(ring.switch_distance(2, 6), 4u);
+  EXPECT_EQ(ring.switch_distance(5, 5), 0u);
+}
+
+TEST(Torus, MultiDimensionalDistanceSumsPerDimension) {
+  const Torus t(4, 2, 1);
+  // switch index = x + 4*y. (0,0) -> (3,3): min(3,1) + min(3,1) = 2.
+  EXPECT_EQ(t.switch_distance(0, 15), 2u);
+  // (0,0) -> (2,1): 2 + 1.
+  EXPECT_EQ(t.switch_distance(0, 6), 3u);
+  const auto coords = t.coordinates(6);
+  EXPECT_EQ(coords[0], 2u);
+  EXPECT_EQ(coords[1], 1u);
+}
+
+TEST(Torus, BisectionWidthClosedForm) {
+  EXPECT_EQ(Torus(4, 1, 1).bisection_width(), 2u);   // ring: two cut links
+  EXPECT_EQ(Torus(4, 2, 1).bisection_width(), 8u);   // 2*4
+  EXPECT_EQ(Torus(8, 2, 1).bisection_width(), 16u);  // 2*8
+  EXPECT_EQ(Torus(2, 3, 1).bisection_width(), 4u);   // binary cube: 2^(n-1)
+}
+
+TEST(Torus, MeasuredBisectionMatchesClosedFormOnRing) {
+  // Canonical halves of a ring (endpoints 0..N/2-1 vs rest) align with
+  // consecutive switches, so the min cut is the two ring links.
+  const Torus ring(8, 1, 2);
+  EXPECT_EQ(hmcs::topology::measured_bisection_cables(ring.build_graph()),
+            2u);
+}
+
+TEST(Torus, MeasuredBisectionBinaryCube) {
+  // 2-ary 3-cube: endpoints 0..3 sit on switches 000,001,010,011 — the
+  // x3=0 plane — so the canonical cut is the 4 dimension-3 links.
+  const Torus cube(2, 3, 1);
+  EXPECT_EQ(hmcs::topology::measured_bisection_cables(cube.build_graph()),
+            4u);
+}
+
+TEST(Torus, GraphDegreesAreRegular) {
+  const Torus t(4, 2, 2);
+  const Graph g = t.build_graph();
+  EXPECT_EQ(g.count_nodes(NodeKind::kSwitch), 16u);
+  // Each switch: 2 endpoints + 2 links per dimension.
+  for (hmcs::topology::NodeId id = 0; id < g.num_nodes(); ++id) {
+    if (g.node(id).kind == NodeKind::kSwitch) {
+      EXPECT_EQ(g.degree(id), 2u + 4u);
+    }
+  }
+  // Total: 32 endpoint links + 16 switches * 4 / 2 = 32 torus links.
+  EXPECT_EQ(g.total_cables(), 64u);
+}
+
+TEST(Torus, BinaryArityHasNoDoubleLinks) {
+  const Torus cube(2, 2, 1);
+  const Graph g = cube.build_graph();
+  // 4 switches in a square (4 links) + 4 endpoint links.
+  EXPECT_EQ(g.total_cables(), 8u);
+  for (hmcs::topology::NodeId id = 0; id < g.num_nodes(); ++id) {
+    if (g.node(id).kind == NodeKind::kSwitch) {
+      EXPECT_EQ(g.degree(id), 3u);
+    }
+  }
+}
+
+TEST(Torus, AverageTraversalsMatchesBruteForce) {
+  for (const auto& [k, n, per] :
+       {std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>{4, 2, 2},
+        std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>{3, 2, 1},
+        std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>{5, 1, 3}}) {
+    const Torus t(k, n, per);
+    double sum = 0.0;
+    const std::uint64_t total = t.num_endpoints();
+    for (std::uint64_t i = 0; i < total; ++i) {
+      for (std::uint64_t j = 0; j < total; ++j) {
+        if (i != j) sum += static_cast<double>(t.switch_traversals(i, j));
+      }
+    }
+    const double brute =
+        sum / (static_cast<double>(total) * (static_cast<double>(total) - 1.0));
+    EXPECT_NEAR(t.average_traversals(), brute, 1e-9)
+        << "k=" << k << " n=" << n;
+  }
+}
+
+TEST(Torus, RoutingHopsMatchLeeDistance) {
+  const Torus t(4, 2, 1);
+  const hmcs::netsim::RoutingTable routes(t.build_graph());
+  for (std::uint64_t src = 0; src < 16; src += 3) {
+    for (std::uint64_t dst = 0; dst < 16; dst += 5) {
+      if (src == dst) continue;
+      EXPECT_EQ(routes.switch_hops(static_cast<hmcs::topology::NodeId>(src),
+                                   static_cast<hmcs::topology::NodeId>(dst)),
+                t.switch_traversals(src, dst));
+    }
+  }
+}
+
+TEST(Torus, Validation) {
+  EXPECT_THROW(Torus(1, 2, 1), hmcs::ConfigError);
+  EXPECT_THROW(Torus(4, 0, 1), hmcs::ConfigError);
+  EXPECT_THROW(Torus(4, 2, 0), hmcs::ConfigError);
+  EXPECT_THROW(Torus(100, 4, 1), hmcs::ConfigError);  // k^n cap
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Message-lifecycle tracing.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/sim/multicluster_sim.hpp"
+#include "hmcs/sim/trace.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using namespace hmcs;
+using sim::TraceEvent;
+using sim::TraceEventKind;
+using sim::TraceRecorder;
+
+std::shared_ptr<TraceRecorder> traced_run(std::size_t capacity = 100000) {
+  const analytic::SystemConfig config = analytic::paper_scenario(
+      analytic::HeterogeneityCase::kCase1, 4,
+      analytic::NetworkArchitecture::kNonBlocking, 1024.0, 16, 1e-4);
+  sim::SimOptions options;
+  options.measured_messages = 200;
+  options.warmup_messages = 0;
+  options.seed = 3;
+  options.trace = std::make_shared<TraceRecorder>(capacity);
+  sim::MultiClusterSim simulator(config, options);
+  simulator.run();
+  return options.trace;
+}
+
+TEST(Trace, RecordsChronologically) {
+  const auto trace = traced_run();
+  ASSERT_FALSE(trace->events().empty());
+  double previous = 0.0;
+  for (const TraceEvent& event : trace->events()) {
+    EXPECT_GE(event.time_us, previous);
+    previous = event.time_us;
+  }
+}
+
+TEST(Trace, EveryDeliveryHasAGenerationAndLegalLifecycle) {
+  const auto trace = traced_run();
+  // Track per (message slot) the running lifecycle; slots are reused, so
+  // a generation resets the state machine.
+  std::map<std::uint64_t, TraceEventKind> last_kind;
+  std::uint64_t delivered = 0;
+  for (const TraceEvent& event : trace->events()) {
+    switch (event.kind) {
+      case TraceEventKind::kGenerated:
+        // A slot may only be regenerated after a delivery (or fresh).
+        if (last_kind.contains(event.message_id)) {
+          EXPECT_EQ(last_kind[event.message_id], TraceEventKind::kDelivered);
+        }
+        break;
+      case TraceEventKind::kEnqueued:
+        EXPECT_TRUE(last_kind[event.message_id] == TraceEventKind::kGenerated ||
+                    last_kind[event.message_id] == TraceEventKind::kDeparted);
+        EXPECT_FALSE(event.center.empty());
+        break;
+      case TraceEventKind::kDeparted:
+        EXPECT_EQ(last_kind[event.message_id], TraceEventKind::kEnqueued);
+        EXPECT_FALSE(event.center.empty());
+        break;
+      case TraceEventKind::kDelivered:
+        EXPECT_EQ(last_kind[event.message_id], TraceEventKind::kDeparted);
+        ++delivered;
+        break;
+    }
+    last_kind[event.message_id] = event.kind;
+  }
+  EXPECT_EQ(delivered, 200u);
+}
+
+TEST(Trace, RemoteMessagesVisitThreeCenters) {
+  const auto trace = traced_run();
+  // Count enqueue events between one generation and its delivery.
+  std::map<std::uint64_t, int> enqueues;
+  bool saw_remote = false;
+  bool saw_local = false;
+  for (const TraceEvent& event : trace->events()) {
+    if (event.kind == TraceEventKind::kGenerated) enqueues[event.message_id] = 0;
+    if (event.kind == TraceEventKind::kEnqueued) ++enqueues[event.message_id];
+    if (event.kind == TraceEventKind::kDelivered) {
+      if (enqueues[event.message_id] == 3) saw_remote = true;
+      if (enqueues[event.message_id] == 1) saw_local = true;
+      EXPECT_TRUE(enqueues[event.message_id] == 1 ||
+                  enqueues[event.message_id] == 3);
+    }
+  }
+  EXPECT_TRUE(saw_remote);
+  EXPECT_TRUE(saw_local);
+}
+
+TEST(Trace, CapacityTruncates) {
+  const auto trace = traced_run(50);
+  EXPECT_EQ(trace->events().size(), 50u);
+  EXPECT_TRUE(trace->truncated());
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  const auto trace = traced_run(100);
+  const std::string csv = trace->to_csv();
+  EXPECT_EQ(csv.rfind("time_us,kind,message,source,destination,center", 0), 0u);
+  EXPECT_NE(csv.find("generated"), std::string::npos);
+  EXPECT_NE(csv.find("ICN1["), std::string::npos);
+}
+
+TEST(Trace, Validation) {
+  EXPECT_THROW(TraceRecorder(0), ConfigError);
+}
+
+}  // namespace

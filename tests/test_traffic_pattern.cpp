@@ -1,0 +1,172 @@
+// Destination selection: uniform (assumption 3), localized, hotspot.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hmcs/simcore/rng.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/workload/traffic_pattern.hpp"
+
+namespace {
+
+using namespace hmcs::workload;
+using hmcs::simcore::Rng;
+
+TEST(NodeSpace, UniformLayout) {
+  const NodeSpace space = NodeSpace::uniform(4, 8);
+  EXPECT_EQ(space.total_nodes(), 32u);
+  EXPECT_EQ(space.cluster_of(0), 0u);
+  EXPECT_EQ(space.cluster_of(7), 0u);
+  EXPECT_EQ(space.cluster_of(8), 1u);
+  EXPECT_EQ(space.cluster_of(31), 3u);
+  EXPECT_EQ(space.first_node_of(2), 16u);
+}
+
+TEST(NodeSpace, RaggedLayout) {
+  NodeSpace space;
+  space.clusters = 3;
+  space.nodes_per_cluster = {5, 1, 10};
+  space.validate();
+  EXPECT_EQ(space.total_nodes(), 16u);
+  EXPECT_EQ(space.cluster_of(4), 0u);
+  EXPECT_EQ(space.cluster_of(5), 1u);
+  EXPECT_EQ(space.cluster_of(6), 2u);
+  EXPECT_EQ(space.first_node_of(2), 6u);
+  EXPECT_THROW(space.cluster_of(16), hmcs::ConfigError);
+}
+
+TEST(NodeSpace, Validation) {
+  NodeSpace bad;
+  bad.clusters = 2;
+  bad.nodes_per_cluster = {4};
+  EXPECT_THROW(bad.validate(), hmcs::ConfigError);
+  bad.nodes_per_cluster = {4, 0};
+  EXPECT_THROW(bad.validate(), hmcs::ConfigError);
+}
+
+TEST(UniformTraffic, NeverPicksSelfAndCoversEveryone) {
+  const UniformTraffic traffic(NodeSpace::uniform(2, 4));
+  Rng rng(3);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    const std::uint64_t dst = traffic.pick_destination(3, rng);
+    ASSERT_NE(dst, 3u);
+    ASSERT_LT(dst, 8u);
+    ++hits[dst];
+  }
+  // Uniform over the 7 others: ~1143 each.
+  for (std::uint64_t node = 0; node < 8; ++node) {
+    if (node == 3) {
+      EXPECT_EQ(hits[node], 0);
+    } else {
+      EXPECT_NEAR(hits[node], 8000 / 7, 150);
+    }
+  }
+}
+
+TEST(UniformTraffic, MatchesEq8RemoteFraction) {
+  const NodeSpace space = NodeSpace::uniform(4, 16);
+  const UniformTraffic traffic(space);
+  Rng rng(11);
+  int remote = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t dst = traffic.pick_destination(5, rng);
+    if (space.cluster_of(dst) != 0) ++remote;
+  }
+  // eq. (8): P = (C-1)N0/(CN0-1) = 48/63.
+  EXPECT_NEAR(static_cast<double>(remote) / kSamples, 48.0 / 63.0, 0.01);
+}
+
+TEST(UniformTraffic, RequiresTwoNodes) {
+  EXPECT_THROW(UniformTraffic(NodeSpace::uniform(1, 1)), hmcs::ConfigError);
+}
+
+TEST(LocalizedTraffic, LocalityZeroNeverStaysHome) {
+  const NodeSpace space = NodeSpace::uniform(4, 8);
+  const LocalizedTraffic traffic(space, 0.0);
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_NE(space.cluster_of(traffic.pick_destination(2, rng)), 0u);
+  }
+}
+
+TEST(LocalizedTraffic, LocalityOneAlwaysStaysHome) {
+  const NodeSpace space = NodeSpace::uniform(4, 8);
+  const LocalizedTraffic traffic(space, 1.0);
+  Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t dst = traffic.pick_destination(10, rng);
+    EXPECT_EQ(space.cluster_of(dst), 1u);
+    EXPECT_NE(dst, 10u);
+  }
+}
+
+TEST(LocalizedTraffic, IntermediateLocalityMatchesProbability) {
+  const NodeSpace space = NodeSpace::uniform(4, 8);
+  const LocalizedTraffic traffic(space, 0.7);
+  Rng rng(9);
+  int local = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (space.cluster_of(traffic.pick_destination(0, rng)) == 0) ++local;
+  }
+  EXPECT_NEAR(static_cast<double>(local) / kSamples, 0.7, 0.01);
+}
+
+TEST(LocalizedTraffic, SingleClusterFallsBackToUniform) {
+  const NodeSpace space = NodeSpace::uniform(1, 8);
+  const LocalizedTraffic traffic(space, 0.0);
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t dst = traffic.pick_destination(4, rng);
+    EXPECT_NE(dst, 4u);
+    EXPECT_LT(dst, 8u);
+  }
+}
+
+TEST(LocalizedTraffic, RejectsBadLocality) {
+  EXPECT_THROW(LocalizedTraffic(NodeSpace::uniform(2, 2), 1.5),
+               hmcs::ConfigError);
+}
+
+TEST(HotspotTraffic, FractionRoutesToHotspot) {
+  const NodeSpace space = NodeSpace::uniform(2, 8);
+  const HotspotTraffic traffic(space, 0, 0.5);
+  Rng rng(13);
+  int hot = 0;
+  constexpr int kSamples = 40000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (traffic.pick_destination(9, rng) == 0) ++hot;
+  }
+  // 0.5 directly + 0.5 * 1/15 uniform residue.
+  EXPECT_NEAR(static_cast<double>(hot) / kSamples, 0.5 + 0.5 / 15.0, 0.01);
+}
+
+TEST(HotspotTraffic, HotspotItselfSendsUniformly) {
+  const NodeSpace space = NodeSpace::uniform(2, 4);
+  const HotspotTraffic traffic(space, 3, 0.9);
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(traffic.pick_destination(3, rng), 3u);
+  }
+}
+
+TEST(HotspotTraffic, Validation) {
+  EXPECT_THROW(HotspotTraffic(NodeSpace::uniform(2, 4), 8, 0.5),
+               hmcs::ConfigError);
+  EXPECT_THROW(HotspotTraffic(NodeSpace::uniform(2, 4), 0, -0.1),
+               hmcs::ConfigError);
+}
+
+TEST(Patterns, NamesAreDescriptive) {
+  const NodeSpace space = NodeSpace::uniform(2, 4);
+  EXPECT_EQ(UniformTraffic(space).name(), "uniform");
+  EXPECT_NE(LocalizedTraffic(space, 0.25).name().find("0.25"),
+            std::string::npos);
+  EXPECT_NE(HotspotTraffic(space, 2, 0.5).name().find("node 2"),
+            std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "hmcs/util/cli.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using namespace hmcs;
+
+CliParser make_parser() {
+  CliParser cli("prog", "test program");
+  cli.add_option("seed", "rng seed", "1");
+  cli.add_option("name", "a name");  // required (no default)
+  cli.add_flag("verbose", "chatty output");
+  return cli;
+}
+
+TEST(Cli, ParsesSeparateValueSyntax) {
+  auto cli = make_parser();
+  const std::array<const char*, 5> argv{"prog", "--seed", "7", "--name", "x"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("seed"), 7);
+  EXPECT_EQ(cli.get_string("name"), "x");
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, ParsesEqualsSyntaxAndFlags) {
+  auto cli = make_parser();
+  const std::array<const char*, 3> argv{"prog", "--seed=11", "--verbose"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("seed"), 11);
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, DefaultsApplyWhenUnset) {
+  auto cli = make_parser();
+  const std::array<const char*, 1> argv{"prog"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("seed"), 1);
+  EXPECT_FALSE(cli.has("seed"));
+}
+
+TEST(Cli, RequiredOptionWithoutValueThrowsOnAccess) {
+  auto cli = make_parser();
+  const std::array<const char*, 1> argv{"prog"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(cli.get_string("name"), ConfigError);
+}
+
+TEST(Cli, HelpShortCircuits) {
+  auto cli = make_parser();
+  const std::array<const char*, 2> argv{"prog", "--help"};
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(cli.help_text().find("--seed"), std::string::npos);
+  EXPECT_NE(cli.help_text().find("default: 1"), std::string::npos);
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  auto cli = make_parser();
+  const std::array<const char*, 2> argv{"prog", "--bogus"};
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               ConfigError);
+}
+
+TEST(Cli, RejectsMissingValue) {
+  auto cli = make_parser();
+  const std::array<const char*, 2> argv{"prog", "--seed"};
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               ConfigError);
+}
+
+TEST(Cli, RejectsValueOnFlag) {
+  auto cli = make_parser();
+  const std::array<const char*, 2> argv{"prog", "--verbose=yes"};
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               ConfigError);
+}
+
+TEST(Cli, RejectsDuplicateDeclaration) {
+  CliParser cli("prog", "x");
+  cli.add_option("a", "first");
+  EXPECT_THROW(cli.add_option("a", "again"), ConfigError);
+  EXPECT_THROW(cli.add_flag("a", "again"), ConfigError);
+}
+
+TEST(Cli, CollectsPositionalArguments) {
+  auto cli = make_parser();
+  const std::array<const char*, 4> argv{"prog", "input.txt", "--seed", "3"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+}
+
+TEST(Cli, UndeclaredAccessIsAnError) {
+  auto cli = make_parser();
+  const std::array<const char*, 1> argv{"prog"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(cli.get_string("nope"), ConfigError);
+  EXPECT_THROW(cli.get_flag("seed"), ConfigError);  // option, not flag
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/string_util.hpp"
+#include "hmcs/util/units.hpp"
+
+namespace {
+
+using namespace hmcs;
+
+TEST(FormatFixed, Rounds) {
+  EXPECT_EQ(format_fixed(1.2345, 2), "1.23");
+  EXPECT_EQ(format_fixed(1.2355, 2), "1.24");
+  EXPECT_EQ(format_fixed(-0.5, 0), "-0");  // printf semantics, documented
+  EXPECT_EQ(format_fixed(100.0, 3), "100.000");
+}
+
+TEST(FormatCompact, TrimsAndSwitchesNotation) {
+  EXPECT_EQ(format_compact(0.0), "0");
+  EXPECT_EQ(format_compact(1024.0), "1024");
+  EXPECT_EQ(format_compact(0.25), "0.25");
+  EXPECT_EQ(format_compact(1e12, 3), "1e+12");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcdef", 4), "abcdef");
+  EXPECT_EQ(pad_right("abcdef", 4), "abcdef");
+  EXPECT_EQ(pad_left("", 3), "   ");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+  EXPECT_EQ(split(",", ',').size(), 2u);
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n x \r"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-f", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+}
+
+TEST(ParseDouble, AcceptsValidNumbers) {
+  EXPECT_DOUBLE_EQ(parse_double("0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(parse_double(" -3.5 "), -3.5);
+  EXPECT_DOUBLE_EQ(parse_double("1e3"), 1000.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_THROW(parse_double("abc"), ConfigError);
+  EXPECT_THROW(parse_double("1.5x"), ConfigError);
+  EXPECT_THROW(parse_double(""), ConfigError);
+}
+
+TEST(ParseInt, AcceptsValidIntegers) {
+  EXPECT_EQ(parse_int("256"), 256);
+  EXPECT_EQ(parse_int("-3"), -3);
+}
+
+TEST(ParseInt, RejectsGarbage) {
+  EXPECT_THROW(parse_int("1.5"), ConfigError);
+  EXPECT_THROW(parse_int("ten"), ConfigError);
+}
+
+TEST(Units, TimeConversionsRoundTrip) {
+  using namespace units;
+  EXPECT_DOUBLE_EQ(ms_to_us(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(us_to_ms(2500.0), 2.5);
+  EXPECT_DOUBLE_EQ(s_to_us(0.25), 250000.0);
+  EXPECT_DOUBLE_EQ(us_to_s(s_to_us(3.5)), 3.5);
+}
+
+TEST(Units, RateAndBandwidth) {
+  using namespace units;
+  // 1 MB/s is exactly 1 byte/us by construction of the unit system.
+  EXPECT_DOUBLE_EQ(mbps_to_bytes_per_us(94.0), 94.0);
+  EXPECT_DOUBLE_EQ(per_s_to_per_us(250.0), 2.5e-4);
+  EXPECT_DOUBLE_EQ(per_ms_to_per_us(0.25), 2.5e-4);
+  EXPECT_DOUBLE_EQ(per_us_to_per_s(per_s_to_per_us(123.0)), 123.0);
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "hmcs/util/csv.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/table.hpp"
+
+namespace {
+
+using namespace hmcs;
+
+TEST(Table, RejectsEmptyHeaderAndMismatchedRows) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), ConfigError);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), ConfigError);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"C", "Latency"});
+  t.add_row({"1", "27.1"});
+  t.add_row({"256", "41.3"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("|   C | Latency |"), std::string::npos);
+  EXPECT_NE(out.find("|   1 |    27.1 |"), std::string::npos);
+  EXPECT_NE(out.find("| 256 |    41.3 |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|-----"), std::string::npos);
+}
+
+TEST(Table, NumericRowFormatsWithPrecision) {
+  Table t({"x", "y"});
+  t.add_numeric_row({1.23456, 2.0}, 2);
+  EXPECT_NE(t.render().find("1.23"), std::string::npos);
+  EXPECT_NE(t.render().find("2.00"), std::string::npos);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Csv, SerialisesHeaderAndRows) {
+  CsvWriter csv({"clusters", "latency_ms"});
+  csv.add_numeric_row({4.0, 1.25});
+  EXPECT_EQ(csv.to_string(), "clusters,latency_ms\n4,1.25\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  CsvWriter csv({"name", "note"});
+  csv.add_row({"a,b", "say \"hi\"\nbye"});
+  EXPECT_EQ(csv.to_string(), "name,note\n\"a,b\",\"say \"\"hi\"\"\nbye\"\n");
+}
+
+TEST(Csv, RejectsMismatchedRow) {
+  CsvWriter csv({"a"});
+  EXPECT_THROW(csv.add_row({"1", "2"}), ConfigError);
+}
+
+TEST(Csv, WritesFile) {
+  const std::string path = ::testing::TempDir() + "hmcs_csv_test.csv";
+  CsvWriter csv({"x"});
+  csv.add_numeric_row({42.0});
+  csv.write_file(path);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "x\n42\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteFileFailsLoudly) {
+  CsvWriter csv({"x"});
+  EXPECT_THROW(csv.write_file("/nonexistent-dir/file.csv"), ConfigError);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+// MSER warm-up truncation.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hmcs/simcore/rng.hpp"
+#include "hmcs/simcore/warmup.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using hmcs::simcore::mser_warmup;
+using hmcs::simcore::Rng;
+using hmcs::simcore::WarmupAnalysis;
+
+TEST(Warmup, StationarySeriesNeedsNoTruncation) {
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 2000; ++i) samples.push_back(rng.exponential(10.0));
+  const WarmupAnalysis analysis = mser_warmup(samples);
+  // A few batches of tolerance: MSER can trim noise batches.
+  EXPECT_LE(analysis.truncation_batches, 20u);
+  EXPECT_NEAR(analysis.truncated_mean, 10.0, 0.8);
+}
+
+TEST(Warmup, DetectsInitialTransient) {
+  // 300 inflated samples (the queue filling up) then stationarity.
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 300; ++i) {
+    samples.push_back(100.0 - i * 0.25 + rng.exponential(5.0));
+  }
+  for (int i = 0; i < 3000; ++i) samples.push_back(rng.exponential(10.0));
+  const WarmupAnalysis analysis = mser_warmup(samples);
+  EXPECT_GE(analysis.truncation_samples, 250u);
+  EXPECT_LE(analysis.truncation_samples, 450u);
+  EXPECT_NEAR(analysis.truncated_mean, 10.0, 1.0);
+}
+
+TEST(Warmup, ConfirmsPaperProtocolWarmupIsSufficient) {
+  // The simulator discards 2000 deliveries by default; a series whose
+  // first 2000 entries are already dropped should need essentially no
+  // further truncation.
+  Rng rng(7);
+  std::vector<double> warmed;
+  for (int i = 0; i < 10000; ++i) warmed.push_back(rng.exponential(20.0));
+  const WarmupAnalysis analysis = mser_warmup(warmed);
+  EXPECT_LT(static_cast<double>(analysis.truncation_samples), 0.05 * 10000);
+}
+
+TEST(Warmup, BatchSizeControlsGranularity) {
+  Rng rng(9);
+  std::vector<double> samples;
+  for (int i = 0; i < 100; ++i) samples.push_back(500.0);
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng.exponential(10.0));
+  const WarmupAnalysis fine = mser_warmup(samples, 1);
+  const WarmupAnalysis coarse = mser_warmup(samples, 25);
+  EXPECT_EQ(fine.truncation_samples % 1, 0u);
+  EXPECT_EQ(coarse.truncation_samples % 25, 0u);
+  EXPECT_GE(fine.truncation_samples, 100u);
+  EXPECT_GE(coarse.truncation_samples, 100u);
+}
+
+TEST(Warmup, TruncationCappedAtHalfTheSeries) {
+  // Even a pathological downward ramp cannot eat more than half.
+  std::vector<double> ramp;
+  for (int i = 0; i < 1000; ++i) ramp.push_back(1000.0 - i);
+  const WarmupAnalysis analysis = mser_warmup(ramp);
+  EXPECT_LE(analysis.truncation_batches, analysis.num_batches / 2);
+}
+
+TEST(Warmup, Validation) {
+  EXPECT_THROW(mser_warmup({1.0, 2.0, 3.0}, 1), hmcs::ConfigError);
+  EXPECT_THROW(mser_warmup(std::vector<double>(100, 1.0), 0),
+               hmcs::ConfigError);
+}
+
+}  // namespace
