@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_closed_loop"
+  "../bench/ablation_closed_loop.pdb"
+  "CMakeFiles/ablation_closed_loop.dir/ablation_closed_loop.cpp.o"
+  "CMakeFiles/ablation_closed_loop.dir/ablation_closed_loop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_closed_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

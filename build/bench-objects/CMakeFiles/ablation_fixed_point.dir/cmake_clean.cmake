@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fixed_point"
+  "../bench/ablation_fixed_point.pdb"
+  "CMakeFiles/ablation_fixed_point.dir/ablation_fixed_point.cpp.o"
+  "CMakeFiles/ablation_fixed_point.dir/ablation_fixed_point.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fixed_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

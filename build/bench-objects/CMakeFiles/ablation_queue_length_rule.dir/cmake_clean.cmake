@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_queue_length_rule"
+  "../bench/ablation_queue_length_rule.pdb"
+  "CMakeFiles/ablation_queue_length_rule.dir/ablation_queue_length_rule.cpp.o"
+  "CMakeFiles/ablation_queue_length_rule.dir/ablation_queue_length_rule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queue_length_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

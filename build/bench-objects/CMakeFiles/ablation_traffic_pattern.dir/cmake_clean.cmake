@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_traffic_pattern"
+  "../bench/ablation_traffic_pattern.pdb"
+  "CMakeFiles/ablation_traffic_pattern.dir/ablation_traffic_pattern.cpp.o"
+  "CMakeFiles/ablation_traffic_pattern.dir/ablation_traffic_pattern.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_traffic_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/coallocation_study"
+  "../bench/coallocation_study.pdb"
+  "CMakeFiles/coallocation_study.dir/coallocation_study.cpp.o"
+  "CMakeFiles/coallocation_study.dir/coallocation_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coallocation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_fat_tree"
+  "../bench/fig3_fat_tree.pdb"
+  "CMakeFiles/fig3_fat_tree.dir/fig3_fat_tree.cpp.o"
+  "CMakeFiles/fig3_fat_tree.dir/fig3_fat_tree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fat_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

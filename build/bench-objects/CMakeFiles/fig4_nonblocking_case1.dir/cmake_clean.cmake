@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_nonblocking_case1"
+  "../bench/fig4_nonblocking_case1.pdb"
+  "CMakeFiles/fig4_nonblocking_case1.dir/fig4_nonblocking_case1.cpp.o"
+  "CMakeFiles/fig4_nonblocking_case1.dir/fig4_nonblocking_case1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_nonblocking_case1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_nonblocking_case1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_nonblocking_case2"
+  "../bench/fig5_nonblocking_case2.pdb"
+  "CMakeFiles/fig5_nonblocking_case2.dir/fig5_nonblocking_case2.cpp.o"
+  "CMakeFiles/fig5_nonblocking_case2.dir/fig5_nonblocking_case2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_nonblocking_case2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_blocking_case1"
+  "../bench/fig6_blocking_case1.pdb"
+  "CMakeFiles/fig6_blocking_case1.dir/fig6_blocking_case1.cpp.o"
+  "CMakeFiles/fig6_blocking_case1.dir/fig6_blocking_case1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_blocking_case1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_blocking_case1.
+# This may be replaced when dependencies are built.

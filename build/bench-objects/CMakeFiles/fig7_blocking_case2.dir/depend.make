@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_blocking_case2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/model_accuracy_report"
+  "../bench/model_accuracy_report.pdb"
+  "CMakeFiles/model_accuracy_report.dir/model_accuracy_report.cpp.o"
+  "CMakeFiles/model_accuracy_report.dir/model_accuracy_report.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_accuracy_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/netsim_fabric_validation"
+  "../bench/netsim_fabric_validation.pdb"
+  "CMakeFiles/netsim_fabric_validation.dir/netsim_fabric_validation.cpp.o"
+  "CMakeFiles/netsim_fabric_validation.dir/netsim_fabric_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_fabric_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/netsim_hmcs_validation"
+  "../bench/netsim_hmcs_validation.pdb"
+  "CMakeFiles/netsim_hmcs_validation.dir/netsim_hmcs_validation.cpp.o"
+  "CMakeFiles/netsim_hmcs_validation.dir/netsim_hmcs_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_hmcs_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

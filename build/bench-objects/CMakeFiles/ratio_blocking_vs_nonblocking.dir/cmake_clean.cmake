@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ratio_blocking_vs_nonblocking"
+  "../bench/ratio_blocking_vs_nonblocking.pdb"
+  "CMakeFiles/ratio_blocking_vs_nonblocking.dir/ratio_blocking_vs_nonblocking.cpp.o"
+  "CMakeFiles/ratio_blocking_vs_nonblocking.dir/ratio_blocking_vs_nonblocking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ratio_blocking_vs_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

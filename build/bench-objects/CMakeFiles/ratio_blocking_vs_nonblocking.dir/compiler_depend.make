@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ratio_blocking_vs_nonblocking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sweep_message_size"
+  "../bench/sweep_message_size.pdb"
+  "CMakeFiles/sweep_message_size.dir/sweep_message_size.cpp.o"
+  "CMakeFiles/sweep_message_size.dir/sweep_message_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_message_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_scenarios"
+  "../bench/table1_scenarios.pdb"
+  "CMakeFiles/table1_scenarios.dir/table1_scenarios.cpp.o"
+  "CMakeFiles/table1_scenarios.dir/table1_scenarios.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_of_clusters_demo.dir/cluster_of_clusters_demo.cpp.o"
+  "CMakeFiles/cluster_of_clusters_demo.dir/cluster_of_clusters_demo.cpp.o.d"
+  "cluster_of_clusters_demo"
+  "cluster_of_clusters_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_of_clusters_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

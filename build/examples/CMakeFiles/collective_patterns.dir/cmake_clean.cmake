@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_patterns.dir/collective_patterns.cpp.o"
+  "CMakeFiles/collective_patterns.dir/collective_patterns.cpp.o.d"
+  "collective_patterns"
+  "collective_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_from_config.dir/predict_from_config.cpp.o"
+  "CMakeFiles/predict_from_config.dir/predict_from_config.cpp.o.d"
+  "predict_from_config"
+  "predict_from_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_from_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

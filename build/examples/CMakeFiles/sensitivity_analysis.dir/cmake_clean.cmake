@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_analysis.dir/sensitivity_analysis.cpp.o"
+  "CMakeFiles/sensitivity_analysis.dir/sensitivity_analysis.cpp.o.d"
+  "sensitivity_analysis"
+  "sensitivity_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

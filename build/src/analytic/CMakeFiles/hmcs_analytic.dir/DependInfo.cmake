@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/src/arrival_rates.cpp" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/arrival_rates.cpp.o" "gcc" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/arrival_rates.cpp.o.d"
+  "/root/repo/src/analytic/src/bounds.cpp" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/bounds.cpp.o" "gcc" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/bounds.cpp.o.d"
+  "/root/repo/src/analytic/src/cluster_of_clusters.cpp" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/cluster_of_clusters.cpp.o" "gcc" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/cluster_of_clusters.cpp.o.d"
+  "/root/repo/src/analytic/src/config_io.cpp" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/config_io.cpp.o" "gcc" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/config_io.cpp.o.d"
+  "/root/repo/src/analytic/src/fixed_point.cpp" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/fixed_point.cpp.o" "gcc" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/fixed_point.cpp.o.d"
+  "/root/repo/src/analytic/src/latency_distribution.cpp" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/latency_distribution.cpp.o" "gcc" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/latency_distribution.cpp.o.d"
+  "/root/repo/src/analytic/src/latency_model.cpp" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/latency_model.cpp.o" "gcc" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/latency_model.cpp.o.d"
+  "/root/repo/src/analytic/src/mva.cpp" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/mva.cpp.o" "gcc" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/mva.cpp.o.d"
+  "/root/repo/src/analytic/src/network_tech.cpp" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/network_tech.cpp.o" "gcc" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/network_tech.cpp.o.d"
+  "/root/repo/src/analytic/src/routing_probability.cpp" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/routing_probability.cpp.o" "gcc" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/routing_probability.cpp.o.d"
+  "/root/repo/src/analytic/src/scenario.cpp" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/scenario.cpp.o" "gcc" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/scenario.cpp.o.d"
+  "/root/repo/src/analytic/src/serialize.cpp" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/serialize.cpp.o" "gcc" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/serialize.cpp.o.d"
+  "/root/repo/src/analytic/src/service_time.cpp" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/service_time.cpp.o" "gcc" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/service_time.cpp.o.d"
+  "/root/repo/src/analytic/src/system_config.cpp" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/system_config.cpp.o" "gcc" "src/analytic/CMakeFiles/hmcs_analytic.dir/src/system_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hmcs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hmcs_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcs_analytic.dir/src/arrival_rates.cpp.o"
+  "CMakeFiles/hmcs_analytic.dir/src/arrival_rates.cpp.o.d"
+  "CMakeFiles/hmcs_analytic.dir/src/bounds.cpp.o"
+  "CMakeFiles/hmcs_analytic.dir/src/bounds.cpp.o.d"
+  "CMakeFiles/hmcs_analytic.dir/src/cluster_of_clusters.cpp.o"
+  "CMakeFiles/hmcs_analytic.dir/src/cluster_of_clusters.cpp.o.d"
+  "CMakeFiles/hmcs_analytic.dir/src/config_io.cpp.o"
+  "CMakeFiles/hmcs_analytic.dir/src/config_io.cpp.o.d"
+  "CMakeFiles/hmcs_analytic.dir/src/fixed_point.cpp.o"
+  "CMakeFiles/hmcs_analytic.dir/src/fixed_point.cpp.o.d"
+  "CMakeFiles/hmcs_analytic.dir/src/latency_distribution.cpp.o"
+  "CMakeFiles/hmcs_analytic.dir/src/latency_distribution.cpp.o.d"
+  "CMakeFiles/hmcs_analytic.dir/src/latency_model.cpp.o"
+  "CMakeFiles/hmcs_analytic.dir/src/latency_model.cpp.o.d"
+  "CMakeFiles/hmcs_analytic.dir/src/mva.cpp.o"
+  "CMakeFiles/hmcs_analytic.dir/src/mva.cpp.o.d"
+  "CMakeFiles/hmcs_analytic.dir/src/network_tech.cpp.o"
+  "CMakeFiles/hmcs_analytic.dir/src/network_tech.cpp.o.d"
+  "CMakeFiles/hmcs_analytic.dir/src/routing_probability.cpp.o"
+  "CMakeFiles/hmcs_analytic.dir/src/routing_probability.cpp.o.d"
+  "CMakeFiles/hmcs_analytic.dir/src/scenario.cpp.o"
+  "CMakeFiles/hmcs_analytic.dir/src/scenario.cpp.o.d"
+  "CMakeFiles/hmcs_analytic.dir/src/serialize.cpp.o"
+  "CMakeFiles/hmcs_analytic.dir/src/serialize.cpp.o.d"
+  "CMakeFiles/hmcs_analytic.dir/src/service_time.cpp.o"
+  "CMakeFiles/hmcs_analytic.dir/src/service_time.cpp.o.d"
+  "CMakeFiles/hmcs_analytic.dir/src/system_config.cpp.o"
+  "CMakeFiles/hmcs_analytic.dir/src/system_config.cpp.o.d"
+  "libhmcs_analytic.a"
+  "libhmcs_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcs_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcs_experiment.dir/src/figure_experiment.cpp.o"
+  "CMakeFiles/hmcs_experiment.dir/src/figure_experiment.cpp.o.d"
+  "CMakeFiles/hmcs_experiment.dir/src/replication.cpp.o"
+  "CMakeFiles/hmcs_experiment.dir/src/replication.cpp.o.d"
+  "libhmcs_experiment.a"
+  "libhmcs_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcs_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcs_jobs.dir/src/job_workload.cpp.o"
+  "CMakeFiles/hmcs_jobs.dir/src/job_workload.cpp.o.d"
+  "CMakeFiles/hmcs_jobs.dir/src/scheduler.cpp.o"
+  "CMakeFiles/hmcs_jobs.dir/src/scheduler.cpp.o.d"
+  "libhmcs_jobs.a"
+  "libhmcs_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcs_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

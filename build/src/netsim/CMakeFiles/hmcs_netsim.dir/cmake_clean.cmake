@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcs_netsim.dir/src/hmcs_fabric.cpp.o"
+  "CMakeFiles/hmcs_netsim.dir/src/hmcs_fabric.cpp.o.d"
+  "CMakeFiles/hmcs_netsim.dir/src/routing.cpp.o"
+  "CMakeFiles/hmcs_netsim.dir/src/routing.cpp.o.d"
+  "CMakeFiles/hmcs_netsim.dir/src/switch_fabric_sim.cpp.o"
+  "CMakeFiles/hmcs_netsim.dir/src/switch_fabric_sim.cpp.o.d"
+  "libhmcs_netsim.a"
+  "libhmcs_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcs_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

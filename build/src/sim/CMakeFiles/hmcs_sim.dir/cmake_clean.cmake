@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcs_sim.dir/src/multicluster_sim.cpp.o"
+  "CMakeFiles/hmcs_sim.dir/src/multicluster_sim.cpp.o.d"
+  "CMakeFiles/hmcs_sim.dir/src/serialize.cpp.o"
+  "CMakeFiles/hmcs_sim.dir/src/serialize.cpp.o.d"
+  "CMakeFiles/hmcs_sim.dir/src/trace.cpp.o"
+  "CMakeFiles/hmcs_sim.dir/src/trace.cpp.o.d"
+  "libhmcs_sim.a"
+  "libhmcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

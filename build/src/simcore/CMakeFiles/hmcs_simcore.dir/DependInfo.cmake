@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcore/src/batch_means.cpp" "src/simcore/CMakeFiles/hmcs_simcore.dir/src/batch_means.cpp.o" "gcc" "src/simcore/CMakeFiles/hmcs_simcore.dir/src/batch_means.cpp.o.d"
+  "/root/repo/src/simcore/src/event_queue.cpp" "src/simcore/CMakeFiles/hmcs_simcore.dir/src/event_queue.cpp.o" "gcc" "src/simcore/CMakeFiles/hmcs_simcore.dir/src/event_queue.cpp.o.d"
+  "/root/repo/src/simcore/src/fifo_station.cpp" "src/simcore/CMakeFiles/hmcs_simcore.dir/src/fifo_station.cpp.o" "gcc" "src/simcore/CMakeFiles/hmcs_simcore.dir/src/fifo_station.cpp.o.d"
+  "/root/repo/src/simcore/src/histogram.cpp" "src/simcore/CMakeFiles/hmcs_simcore.dir/src/histogram.cpp.o" "gcc" "src/simcore/CMakeFiles/hmcs_simcore.dir/src/histogram.cpp.o.d"
+  "/root/repo/src/simcore/src/rng.cpp" "src/simcore/CMakeFiles/hmcs_simcore.dir/src/rng.cpp.o" "gcc" "src/simcore/CMakeFiles/hmcs_simcore.dir/src/rng.cpp.o.d"
+  "/root/repo/src/simcore/src/simulation.cpp" "src/simcore/CMakeFiles/hmcs_simcore.dir/src/simulation.cpp.o" "gcc" "src/simcore/CMakeFiles/hmcs_simcore.dir/src/simulation.cpp.o.d"
+  "/root/repo/src/simcore/src/tally.cpp" "src/simcore/CMakeFiles/hmcs_simcore.dir/src/tally.cpp.o" "gcc" "src/simcore/CMakeFiles/hmcs_simcore.dir/src/tally.cpp.o.d"
+  "/root/repo/src/simcore/src/warmup.cpp" "src/simcore/CMakeFiles/hmcs_simcore.dir/src/warmup.cpp.o" "gcc" "src/simcore/CMakeFiles/hmcs_simcore.dir/src/warmup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hmcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

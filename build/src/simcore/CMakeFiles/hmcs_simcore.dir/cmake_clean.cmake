@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcs_simcore.dir/src/batch_means.cpp.o"
+  "CMakeFiles/hmcs_simcore.dir/src/batch_means.cpp.o.d"
+  "CMakeFiles/hmcs_simcore.dir/src/event_queue.cpp.o"
+  "CMakeFiles/hmcs_simcore.dir/src/event_queue.cpp.o.d"
+  "CMakeFiles/hmcs_simcore.dir/src/fifo_station.cpp.o"
+  "CMakeFiles/hmcs_simcore.dir/src/fifo_station.cpp.o.d"
+  "CMakeFiles/hmcs_simcore.dir/src/histogram.cpp.o"
+  "CMakeFiles/hmcs_simcore.dir/src/histogram.cpp.o.d"
+  "CMakeFiles/hmcs_simcore.dir/src/rng.cpp.o"
+  "CMakeFiles/hmcs_simcore.dir/src/rng.cpp.o.d"
+  "CMakeFiles/hmcs_simcore.dir/src/simulation.cpp.o"
+  "CMakeFiles/hmcs_simcore.dir/src/simulation.cpp.o.d"
+  "CMakeFiles/hmcs_simcore.dir/src/tally.cpp.o"
+  "CMakeFiles/hmcs_simcore.dir/src/tally.cpp.o.d"
+  "CMakeFiles/hmcs_simcore.dir/src/warmup.cpp.o"
+  "CMakeFiles/hmcs_simcore.dir/src/warmup.cpp.o.d"
+  "libhmcs_simcore.a"
+  "libhmcs_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcs_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/src/bisection.cpp" "src/topology/CMakeFiles/hmcs_topology.dir/src/bisection.cpp.o" "gcc" "src/topology/CMakeFiles/hmcs_topology.dir/src/bisection.cpp.o.d"
+  "/root/repo/src/topology/src/fat_tree.cpp" "src/topology/CMakeFiles/hmcs_topology.dir/src/fat_tree.cpp.o" "gcc" "src/topology/CMakeFiles/hmcs_topology.dir/src/fat_tree.cpp.o.d"
+  "/root/repo/src/topology/src/graph.cpp" "src/topology/CMakeFiles/hmcs_topology.dir/src/graph.cpp.o" "gcc" "src/topology/CMakeFiles/hmcs_topology.dir/src/graph.cpp.o.d"
+  "/root/repo/src/topology/src/linear_array.cpp" "src/topology/CMakeFiles/hmcs_topology.dir/src/linear_array.cpp.o" "gcc" "src/topology/CMakeFiles/hmcs_topology.dir/src/linear_array.cpp.o.d"
+  "/root/repo/src/topology/src/maxflow.cpp" "src/topology/CMakeFiles/hmcs_topology.dir/src/maxflow.cpp.o" "gcc" "src/topology/CMakeFiles/hmcs_topology.dir/src/maxflow.cpp.o.d"
+  "/root/repo/src/topology/src/switch_tree.cpp" "src/topology/CMakeFiles/hmcs_topology.dir/src/switch_tree.cpp.o" "gcc" "src/topology/CMakeFiles/hmcs_topology.dir/src/switch_tree.cpp.o.d"
+  "/root/repo/src/topology/src/torus.cpp" "src/topology/CMakeFiles/hmcs_topology.dir/src/torus.cpp.o" "gcc" "src/topology/CMakeFiles/hmcs_topology.dir/src/torus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hmcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcs_topology.dir/src/bisection.cpp.o"
+  "CMakeFiles/hmcs_topology.dir/src/bisection.cpp.o.d"
+  "CMakeFiles/hmcs_topology.dir/src/fat_tree.cpp.o"
+  "CMakeFiles/hmcs_topology.dir/src/fat_tree.cpp.o.d"
+  "CMakeFiles/hmcs_topology.dir/src/graph.cpp.o"
+  "CMakeFiles/hmcs_topology.dir/src/graph.cpp.o.d"
+  "CMakeFiles/hmcs_topology.dir/src/linear_array.cpp.o"
+  "CMakeFiles/hmcs_topology.dir/src/linear_array.cpp.o.d"
+  "CMakeFiles/hmcs_topology.dir/src/maxflow.cpp.o"
+  "CMakeFiles/hmcs_topology.dir/src/maxflow.cpp.o.d"
+  "CMakeFiles/hmcs_topology.dir/src/switch_tree.cpp.o"
+  "CMakeFiles/hmcs_topology.dir/src/switch_tree.cpp.o.d"
+  "CMakeFiles/hmcs_topology.dir/src/torus.cpp.o"
+  "CMakeFiles/hmcs_topology.dir/src/torus.cpp.o.d"
+  "libhmcs_topology.a"
+  "libhmcs_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcs_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhmcs_topology.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/src/ascii_chart.cpp" "src/util/CMakeFiles/hmcs_util.dir/src/ascii_chart.cpp.o" "gcc" "src/util/CMakeFiles/hmcs_util.dir/src/ascii_chart.cpp.o.d"
+  "/root/repo/src/util/src/cli.cpp" "src/util/CMakeFiles/hmcs_util.dir/src/cli.cpp.o" "gcc" "src/util/CMakeFiles/hmcs_util.dir/src/cli.cpp.o.d"
+  "/root/repo/src/util/src/csv.cpp" "src/util/CMakeFiles/hmcs_util.dir/src/csv.cpp.o" "gcc" "src/util/CMakeFiles/hmcs_util.dir/src/csv.cpp.o.d"
+  "/root/repo/src/util/src/json.cpp" "src/util/CMakeFiles/hmcs_util.dir/src/json.cpp.o" "gcc" "src/util/CMakeFiles/hmcs_util.dir/src/json.cpp.o.d"
+  "/root/repo/src/util/src/keyvalue.cpp" "src/util/CMakeFiles/hmcs_util.dir/src/keyvalue.cpp.o" "gcc" "src/util/CMakeFiles/hmcs_util.dir/src/keyvalue.cpp.o.d"
+  "/root/repo/src/util/src/string_util.cpp" "src/util/CMakeFiles/hmcs_util.dir/src/string_util.cpp.o" "gcc" "src/util/CMakeFiles/hmcs_util.dir/src/string_util.cpp.o.d"
+  "/root/repo/src/util/src/table.cpp" "src/util/CMakeFiles/hmcs_util.dir/src/table.cpp.o" "gcc" "src/util/CMakeFiles/hmcs_util.dir/src/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

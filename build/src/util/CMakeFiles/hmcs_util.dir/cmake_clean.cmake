@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcs_util.dir/src/ascii_chart.cpp.o"
+  "CMakeFiles/hmcs_util.dir/src/ascii_chart.cpp.o.d"
+  "CMakeFiles/hmcs_util.dir/src/cli.cpp.o"
+  "CMakeFiles/hmcs_util.dir/src/cli.cpp.o.d"
+  "CMakeFiles/hmcs_util.dir/src/csv.cpp.o"
+  "CMakeFiles/hmcs_util.dir/src/csv.cpp.o.d"
+  "CMakeFiles/hmcs_util.dir/src/json.cpp.o"
+  "CMakeFiles/hmcs_util.dir/src/json.cpp.o.d"
+  "CMakeFiles/hmcs_util.dir/src/keyvalue.cpp.o"
+  "CMakeFiles/hmcs_util.dir/src/keyvalue.cpp.o.d"
+  "CMakeFiles/hmcs_util.dir/src/string_util.cpp.o"
+  "CMakeFiles/hmcs_util.dir/src/string_util.cpp.o.d"
+  "CMakeFiles/hmcs_util.dir/src/table.cpp.o"
+  "CMakeFiles/hmcs_util.dir/src/table.cpp.o.d"
+  "libhmcs_util.a"
+  "libhmcs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmcs_workload.dir/src/message_size.cpp.o"
+  "CMakeFiles/hmcs_workload.dir/src/message_size.cpp.o.d"
+  "CMakeFiles/hmcs_workload.dir/src/traffic_pattern.cpp.o"
+  "CMakeFiles/hmcs_workload.dir/src/traffic_pattern.cpp.o.d"
+  "libhmcs_workload.a"
+  "libhmcs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmcs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

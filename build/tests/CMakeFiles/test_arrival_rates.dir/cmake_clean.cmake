@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arrival_rates.dir/test_arrival_rates.cpp.o"
+  "CMakeFiles/test_arrival_rates.dir/test_arrival_rates.cpp.o.d"
+  "test_arrival_rates"
+  "test_arrival_rates.pdb"
+  "test_arrival_rates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arrival_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

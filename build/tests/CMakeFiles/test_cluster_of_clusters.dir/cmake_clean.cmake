@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_of_clusters.dir/test_cluster_of_clusters.cpp.o"
+  "CMakeFiles/test_cluster_of_clusters.dir/test_cluster_of_clusters.cpp.o.d"
+  "test_cluster_of_clusters"
+  "test_cluster_of_clusters.pdb"
+  "test_cluster_of_clusters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_of_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

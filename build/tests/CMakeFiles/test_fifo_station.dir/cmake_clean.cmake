@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fifo_station.dir/test_fifo_station.cpp.o"
+  "CMakeFiles/test_fifo_station.dir/test_fifo_station.cpp.o.d"
+  "test_fifo_station"
+  "test_fifo_station.pdb"
+  "test_fifo_station[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fifo_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_job_workload.cpp" "tests/CMakeFiles/test_job_workload.dir/test_job_workload.cpp.o" "gcc" "tests/CMakeFiles/test_job_workload.dir/test_job_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jobs/CMakeFiles/hmcs_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/hmcs_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/hmcs_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hmcs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hmcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

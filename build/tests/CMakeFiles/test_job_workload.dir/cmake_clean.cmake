@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_job_workload.dir/test_job_workload.cpp.o"
+  "CMakeFiles/test_job_workload.dir/test_job_workload.cpp.o.d"
+  "test_job_workload"
+  "test_job_workload.pdb"
+  "test_job_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_job_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

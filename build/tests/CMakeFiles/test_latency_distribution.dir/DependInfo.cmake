@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_latency_distribution.cpp" "tests/CMakeFiles/test_latency_distribution.dir/test_latency_distribution.cpp.o" "gcc" "tests/CMakeFiles/test_latency_distribution.dir/test_latency_distribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hmcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/hmcs_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hmcs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hmcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/hmcs_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hmcs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_latency_distribution.dir/test_latency_distribution.cpp.o"
+  "CMakeFiles/test_latency_distribution.dir/test_latency_distribution.cpp.o.d"
+  "test_latency_distribution"
+  "test_latency_distribution.pdb"
+  "test_latency_distribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_latency_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linear_array.dir/test_linear_array.cpp.o"
+  "CMakeFiles/test_linear_array.dir/test_linear_array.cpp.o.d"
+  "test_linear_array"
+  "test_linear_array.pdb"
+  "test_linear_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linear_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

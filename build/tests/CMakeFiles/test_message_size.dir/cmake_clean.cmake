@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_message_size.dir/test_message_size.cpp.o"
+  "CMakeFiles/test_message_size.dir/test_message_size.cpp.o.d"
+  "test_message_size"
+  "test_message_size.pdb"
+  "test_message_size[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_message_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multicluster_sim.dir/test_multicluster_sim.cpp.o"
+  "CMakeFiles/test_multicluster_sim.dir/test_multicluster_sim.cpp.o.d"
+  "test_multicluster_sim"
+  "test_multicluster_sim.pdb"
+  "test_multicluster_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multicluster_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mva.dir/test_mva.cpp.o"
+  "CMakeFiles/test_mva.dir/test_mva.cpp.o.d"
+  "test_mva"
+  "test_mva.pdb"
+  "test_mva[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

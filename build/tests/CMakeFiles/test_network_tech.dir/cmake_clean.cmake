@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_tech.dir/test_network_tech.cpp.o"
+  "CMakeFiles/test_network_tech.dir/test_network_tech.cpp.o.d"
+  "test_network_tech"
+  "test_network_tech.pdb"
+  "test_network_tech[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

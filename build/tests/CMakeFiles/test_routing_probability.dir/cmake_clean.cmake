@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_probability.dir/test_routing_probability.cpp.o"
+  "CMakeFiles/test_routing_probability.dir/test_routing_probability.cpp.o.d"
+  "test_routing_probability"
+  "test_routing_probability.pdb"
+  "test_routing_probability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_time.dir/test_service_time.cpp.o"
+  "CMakeFiles/test_service_time.dir/test_service_time.cpp.o.d"
+  "test_service_time"
+  "test_service_time.pdb"
+  "test_service_time[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_switch_fabric_sim.dir/test_switch_fabric_sim.cpp.o"
+  "CMakeFiles/test_switch_fabric_sim.dir/test_switch_fabric_sim.cpp.o.d"
+  "test_switch_fabric_sim"
+  "test_switch_fabric_sim.pdb"
+  "test_switch_fabric_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_switch_fabric_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

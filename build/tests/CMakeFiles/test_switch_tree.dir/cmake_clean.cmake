@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_switch_tree.dir/test_switch_tree.cpp.o"
+  "CMakeFiles/test_switch_tree.dir/test_switch_tree.cpp.o.d"
+  "test_switch_tree"
+  "test_switch_tree.pdb"
+  "test_switch_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_switch_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic_pattern.dir/test_traffic_pattern.cpp.o"
+  "CMakeFiles/test_traffic_pattern.dir/test_traffic_pattern.cpp.o.d"
+  "test_traffic_pattern"
+  "test_traffic_pattern.pdb"
+  "test_traffic_pattern[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

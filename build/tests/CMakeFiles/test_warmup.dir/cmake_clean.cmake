@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_warmup.dir/test_warmup.cpp.o"
+  "CMakeFiles/test_warmup.dir/test_warmup.cpp.o.d"
+  "test_warmup"
+  "test_warmup.pdb"
+  "test_warmup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
