@@ -1,0 +1,160 @@
+// End-to-end throughput of the discrete-event engine, reported as a
+// machine-readable JSON record (BENCH_engine.json) so CI and the
+// performance docs can track events/sec across engine changes.
+//
+// Two synthetic drivers run on a real Simulator instance:
+//  * steady_churn — `sources` self-rescheduling event chains with
+//    exponential spacing: the classic hold model, the simulator hot path.
+//  * cancel_churn — the same churn, but every firing also arms a
+//    far-future timeout and disarms the one it armed on its previous
+//    firing: the timer-wheel pattern that stresses cancellation.
+//
+// Peak pending events is tracked inside the callbacks via
+// sim.pending_events(), so the number reflects what the engine actually
+// held, not what the driver intended.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hmcs/simcore/rng.hpp"
+#include "hmcs/simcore/simulation.hpp"
+#include "hmcs/util/cli.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/json.hpp"
+
+namespace {
+
+using namespace hmcs;
+
+struct RunRecord {
+  std::string name;
+  std::uint64_t events_executed = 0;
+  double wall_seconds = 0.0;
+  std::size_t peak_pending = 0;
+
+  double events_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(events_executed) / wall_seconds
+               : 0.0;
+  }
+  double ns_per_event() const {
+    return events_executed > 0
+               ? wall_seconds * 1e9 / static_cast<double>(events_executed)
+               : 0.0;
+  }
+};
+
+/// `sources` independent self-rescheduling chains; when `cancel_mix` is
+/// set, each firing arms a far-future timeout and disarms its previous
+/// one, so every event carries one cancel on average.
+RunRecord run_driver(const std::string& name, std::uint64_t sources,
+                     std::uint64_t target_events, bool cancel_mix,
+                     std::uint64_t seed) {
+  simcore::Simulator sim;
+  simcore::Rng rng(seed);
+  RunRecord record;
+  record.name = name;
+
+  constexpr double kTimeoutDelay = 1.0e9;
+  struct Chain {
+    simcore::EventId armed_timeout = 0;
+    bool has_timeout = false;
+  };
+  std::vector<Chain> chains(sources);
+
+  std::uint64_t executed = 0;
+  // One callback per source chain, rescheduling itself until the global
+  // event budget is spent.
+  std::function<void(std::uint64_t)> fire;  // declared for recursion only
+  fire = [&](std::uint64_t source) {
+    record.peak_pending =
+        std::max(record.peak_pending, sim.pending_events() + 1);
+    if (++executed >= target_events) {
+      sim.stop();
+      return;
+    }
+    if (cancel_mix) {
+      Chain& chain = chains[source];
+      if (chain.has_timeout) sim.cancel(chain.armed_timeout);
+      chain.armed_timeout =
+          sim.schedule_after(kTimeoutDelay + rng.uniform(0.0, 1.0), [] {});
+      chain.has_timeout = true;
+    }
+    sim.schedule_after(rng.exponential(1.0), [&fire, source] { fire(source); });
+  };
+
+  for (std::uint64_t s = 0; s < sources; ++s) {
+    sim.schedule_after(rng.exponential(1.0), [&fire, s] { fire(s); });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  record.events_executed = sim.run();
+  const auto finish = std::chrono::steady_clock::now();
+  record.wall_seconds = std::chrono::duration<double>(finish - start).count();
+  return record;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  CliParser cli("engine_throughput",
+                "Event-engine throughput benchmark; writes a JSON record.");
+  cli.add_option("sources", "number of concurrent event chains", "16384");
+  cli.add_option("events", "events to execute per driver", "2000000");
+  cli.add_option("seed", "RNG seed", "1");
+  cli.add_option("out", "output JSON path", "BENCH_engine.json");
+  if (!cli.parse(argc, argv)) {
+    std::printf("%s", cli.help_text().c_str());
+    return 0;
+  }
+  const auto sources = static_cast<std::uint64_t>(cli.get_int("sources"));
+  const auto events = static_cast<std::uint64_t>(cli.get_int("events"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::string out_path = cli.get_string("out");
+
+  std::vector<RunRecord> runs;
+  runs.push_back(run_driver("steady_churn", sources, events, false, seed));
+  runs.push_back(run_driver("cancel_churn", sources, events, true, seed));
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("benchmark").value("engine_throughput");
+  json.key("sources").value(sources);
+  json.key("events_target").value(events);
+  json.key("seed").value(seed);
+  json.key("runs").begin_array();
+  for (const RunRecord& run : runs) {
+    json.begin_object();
+    json.key("name").value(run.name);
+    json.key("events_executed").value(run.events_executed);
+    json.key("wall_seconds").value(run.wall_seconds);
+    json.key("events_per_second").value(run.events_per_second());
+    json.key("ns_per_event").value(run.ns_per_event());
+    json.key("peak_pending_events")
+        .value(static_cast<std::uint64_t>(run.peak_pending));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  std::ofstream out(out_path);
+  require(out.good(), "engine_throughput: cannot write '" + out_path + "'");
+  out << json.str() << "\n";
+
+  for (const RunRecord& run : runs) {
+    std::printf("%-12s %9.1f ns/event  %12.0f events/s  peak pending %zu\n",
+                run.name.c_str(), run.ns_per_event(), run.events_per_second(),
+                run.peak_pending);
+  }
+  std::printf("record written to %s\n", out_path.c_str());
+  return 0;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "error: %s\n", error.what());
+  return 1;
+}

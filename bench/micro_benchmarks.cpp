@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "hmcs/analytic/latency_model.hpp"
 #include "hmcs/analytic/mva.hpp"
 #include "hmcs/analytic/scenario.hpp"
@@ -37,7 +40,43 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // Churn with a 50% cancellation rate: every iteration pops one event,
+  // reschedules it, arms a far-future "timeout", and disarms the timeout
+  // armed a few iterations earlier — the timer-heavy pattern (timeouts
+  // armed and almost always disarmed) that punishes engines whose cancel
+  // path hashes or reorders. Timeouts sit beyond the churn window so
+  // every cancel hits a pending event and the population stays pinned;
+  // their tombstones are reclaimed by the calendar's rebuild purge.
+  constexpr std::size_t kCancelLag = 64;
+  constexpr double kTimeoutDelay = 1.0e6;
+  const auto horizon = static_cast<std::size_t>(state.range(0));
+  simcore::EventQueue queue;
+  simcore::Rng rng(1);
+  std::vector<simcore::EventId> pending(kCancelLag);
+  for (std::size_t i = 0; i < 2 * horizon; ++i) {
+    queue.push(rng.uniform(0.0, 1000.0), [] {});
+  }
+  for (std::size_t i = 0; i < kCancelLag; ++i) {
+    pending[i] = queue.push(kTimeoutDelay + rng.uniform(0.0, 1000.0), [] {});
+  }
+  double now = 0.0;
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    auto event = queue.pop_next();
+    now = event->time;
+    queue.push(now + rng.uniform(0.0, 1000.0), [] {});
+    const simcore::EventId fresh =
+        queue.push(now + kTimeoutDelay + rng.uniform(0.0, 1000.0), [] {});
+    benchmark::DoNotOptimize(queue.cancel(pending[cursor]));
+    pending[cursor] = fresh;
+    cursor = (cursor + 1) % kCancelLag;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(1024)->Arg(16384);
 
 void BM_RngExponential(benchmark::State& state) {
   simcore::Rng rng(7);
@@ -124,5 +163,28 @@ void BM_SimulatorRun(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(messages));
 }
 BENCHMARK(BM_SimulatorRun)->Arg(4)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  // End-to-end engine throughput: items/sec here is *events executed*
+  // per second across a full simulator run, the figure the engine
+  // rewrite is meant to move.
+  const analytic::SystemConfig config = analytic::paper_scenario(
+      analytic::HeterogeneityCase::kCase2, 8,
+      analytic::NetworkArchitecture::kBlocking, 4096.0);
+  std::uint64_t seed = 1;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::SimOptions options;
+    options.measured_messages = 2000;
+    options.warmup_messages = 200;
+    options.seed = seed++;
+    sim::MultiClusterSim simulator(config, options);
+    const auto result = simulator.run();
+    events += result.events_executed;
+    benchmark::DoNotOptimize(result.mean_latency_us);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Unit(benchmark::kMillisecond);
 
 }  // namespace

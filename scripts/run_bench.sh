@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Builds the relbench preset and runs the event-engine throughput bench,
+# leaving BENCH_engine.json at the repository root. Pass extra arguments
+# through to the bench binary (e.g. --events 2000000).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+cmake --preset relbench
+cmake --build --preset relbench -j "$(nproc)" --target engine_throughput
+
+./build-relbench/bench/engine_throughput --out BENCH_engine.json "$@"
+echo "wrote ${repo_root}/BENCH_engine.json"

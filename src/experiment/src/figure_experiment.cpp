@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "hmcs/experiment/replication.hpp"
+#include "hmcs/simcore/rng.hpp"
 #include "hmcs/util/ascii_chart.hpp"
 #include "hmcs/util/json.hpp"
 
@@ -104,10 +105,15 @@ FigureResult run_figure(const FigureSpec& spec) {
     if (spec.run_simulation) {
       sim::SimOptions sim_options = spec.sim_options;
       // Decorrelate runs across sweep points while keeping the whole
-      // figure reproducible from one base seed.
-      sim_options.seed = sim_options.seed * 1000003ULL +
-                         task.clusters * 17ULL +
-                         static_cast<std::uint64_t>(task.bytes);
+      // figure reproducible from one base seed. Each coordinate is folded
+      // in through a full SplitMix64 finalizer: an affine mix of
+      // (seed, clusters, bytes) collides for nearby sweep points and
+      // hands highly correlated seeds to adjacent runs.
+      simcore::SplitMix64 seed_mix(sim_options.seed);
+      simcore::SplitMix64 cluster_mix(seed_mix.next() ^ task.clusters);
+      simcore::SplitMix64 byte_mix(cluster_mix.next() ^
+                                   static_cast<std::uint64_t>(task.bytes));
+      sim_options.seed = byte_mix.next();
       // Replications stay serial inside a point: the points themselves
       // already use the machine.
       const ReplicationResult sim_result = run_replications(

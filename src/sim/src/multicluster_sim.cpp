@@ -94,11 +94,22 @@ struct MultiClusterSim::Impl {
 
   std::uint64_t total_nodes() const { return space.total_nodes(); }
 
-  void trace(TraceEventKind kind, std::uint64_t id, std::string center) {
+  /// Records a trace event. The centre label is passed as (name, index)
+  /// parts and only assembled into a string when tracing is actually on —
+  /// the hot path must not pay a per-event allocation for a disabled
+  /// feature. index < 0 means the centre has no index suffix.
+  void trace(TraceEventKind kind, std::uint64_t id, const char* center,
+             std::int64_t index = -1) {
     if (!options.trace) return;
+    std::string label(center);
+    if (index >= 0) {
+      label += '[';
+      label += std::to_string(index);
+      label += ']';
+    }
     const MessageState& msg = messages[static_cast<std::size_t>(id)];
     options.trace->record(TraceEvent{simulator.now(), kind, id, msg.src,
-                                     msg.dst, std::move(center)});
+                                     msg.dst, std::move(label)});
   }
 
   double node_rate(std::uint64_t node) const {
@@ -141,14 +152,12 @@ struct MultiClusterSim::Impl {
     for (std::uint32_t i = 0; i < c; ++i) {
       icn1_stations[i].set_departure_callback(
           [this, i](const simcore::FifoStation::Departure& d) {
-            trace(TraceEventKind::kDeparted, d.job.id,
-                  "ICN1[" + std::to_string(i) + "]");
+            trace(TraceEventKind::kDeparted, d.job.id, "ICN1", i);
             deliver(d.job.id);
           });
       ecn1_stations[i].set_departure_callback(
           [this, i](const simcore::FifoStation::Departure& d) {
-            trace(TraceEventKind::kDeparted, d.job.id,
-                  "ECN1[" + std::to_string(i) + "]");
+            trace(TraceEventKind::kDeparted, d.job.id, "ECN1", i);
             on_ecn1_departure(d.job.id);
           });
     }
@@ -205,13 +214,11 @@ struct MultiClusterSim::Impl {
     trace(TraceEventKind::kGenerated, slot, "");
     if (src_cluster == dst_cluster) {
       msg.stage = Stage::kIcn1;
-      trace(TraceEventKind::kEnqueued, slot,
-            "ICN1[" + std::to_string(src_cluster) + "]");
+      trace(TraceEventKind::kEnqueued, slot, "ICN1", src_cluster);
       icn1_stations[src_cluster].arrive(slot);
     } else {
       msg.stage = Stage::kEcn1Out;
-      trace(TraceEventKind::kEnqueued, slot,
-            "ECN1[" + std::to_string(src_cluster) + "]");
+      trace(TraceEventKind::kEnqueued, slot, "ECN1", src_cluster);
       ecn1_stations[src_cluster].arrive(slot);
     }
   }
@@ -234,8 +241,7 @@ struct MultiClusterSim::Impl {
     ensure(msg.in_use && msg.stage == Stage::kIcn2, "sim: unexpected ICN2 stage");
     msg.stage = Stage::kEcn1In;
     const std::uint32_t dst_cluster = space.cluster_of(msg.dst);
-    trace(TraceEventKind::kEnqueued, id,
-          "ECN1[" + std::to_string(dst_cluster) + "]");
+    trace(TraceEventKind::kEnqueued, id, "ECN1", dst_cluster);
     ecn1_stations[dst_cluster].arrive(id);
   }
 

@@ -1,29 +1,64 @@
 #pragma once
 
 /// \file event_queue.hpp
-/// The pending-event set of the discrete-event engine: a binary min-heap
-/// ordered by (time, sequence number). The sequence number makes
-/// same-time events fire in scheduling order, which keeps runs exactly
-/// reproducible regardless of heap internals.
+/// The pending-event set of the discrete-event engine, built for
+/// allocation-free, hash-free, O(1) steady state:
 ///
-/// Cancellation is lazy: cancel(id) marks the id and pop_next() discards
-/// marked events when they surface. This is O(1) per cancel and keeps the
-/// heap free of tombstone compaction logic.
+///  * Events live in a slot pool recycled through an intrusive free
+///    list. Steady-state push/pop never allocates — the pool and bucket
+///    array only grow when the number of simultaneously pending events
+///    exceeds every previous high-water mark.
+///  * An EventId is a generation-tagged slot reference (generation in the
+///    high 32 bits, slot index in the low 32). cancel(id) is an O(1) array
+///    probe — the generation mismatch of a retired slot rejects stale ids —
+///    so no hash map or hash set is involved anywhere.
+///  * Ordering comes from a calendar queue (Brown 1988): a power-of-two
+///    array of buckets, each an intrusive singly-linked list of slots
+///    sorted by (time, sequence). An event's *virtual bucket* is the
+///    integer floor(time / width); its physical bucket is that number
+///    modulo the array size, so each lap of the array is one "year" of
+///    simulated time. For the roughly stationary event populations a
+///    discrete-event simulation produces, push and pop are O(1) — no
+///    O(log n) sift chains of unpredictable branches, which is what makes
+///    this several times faster than any binary/d-ary heap at realistic
+///    horizons (a 4-ary indexed-heap prototype measured ~150 ns/op at a
+///    16k-event horizon; the calendar queue runs the same churn in a
+///    fraction of that).
+///  * All year/bucket decisions compare *integer* virtual bucket numbers
+///    computed exactly once per event at push time, so floating-point
+///    boundary drift can never reorder two events: the pop order is the
+///    exact total order (time, then push sequence), bit-for-bit
+///    reproducible. Same-time events fire in scheduling order.
+///  * The payload is an InlineFunction (fn-ptr dispatch, inline capture
+///    storage) instead of std::function, so scheduling a lambda never
+///    touches the heap either.
+///
+/// Cancellation is lazy in the calendar but eager for resources:
+/// cancel(id) destroys the action immediately and marks the slot dead; the
+/// dead entry is unlinked when the dequeue scan reaches it, which is when
+/// the slot returns to the free list and its generation advances.
+///
+/// The bucket width adapts to the observed event-time density: a running
+/// average of positive dequeue gaps re-parameterizes the calendar whenever
+/// the population crosses a resize threshold or the width drifts far from
+/// the density (checked every few thousand dequeues), keeping ~1-2 events
+/// per occupied bucket.
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <optional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "hmcs/simcore/inline_function.hpp"
 #include "hmcs/simcore/time.hpp"
+#include "hmcs/util/error.hpp"
 
 namespace hmcs::simcore {
 
+/// Generation-tagged slot reference: (generation << 32) | slot.
 using EventId = std::uint64_t;
-using EventAction = std::function<void()>;
+using EventAction = InlineFunction<void()>;
 
 class EventQueue {
  public:
@@ -36,14 +71,63 @@ class EventQueue {
   EventQueue& operator=(EventQueue&&) = default;
 
   /// Inserts an event; returns an id usable with cancel().
-  EventId push(SimTime time, EventAction action);
+  EventId push(SimTime time, EventAction action) {
+    require(static_cast<bool>(action), "EventQueue: action must be callable");
+    if (buckets_.empty()) {
+      buckets_.assign(kInitialBuckets, kNoSlot);
+      bucket_mask_ = kInitialBuckets - 1;
+    }
+
+    const std::uint32_t slot = acquire_slot();
+    SlotKey& s = slots_[slot];
+    actions_[slot] = std::move(action);
+    s.time = time;
+    s.seq = next_seq_++;
+    s.virtual_bucket = virtual_bucket(time);
+    s.gen_live |= 1u;  // mark live, generation unchanged
+    link_into_bucket(slot);
+
+    if (chained_count_ == 0 || s.virtual_bucket < cursor_vb_) {
+      cursor_vb_ = s.virtual_bucket;  // keep the cursor at/before the minimum
+    }
+    ++chained_count_;
+    ++live_count_;
+
+    if (chained_count_ > 2 * buckets_.size()) {
+      // When tombstones dominate, purge in place instead of growing —
+      // otherwise a cancel-heavy workload would ratchet the bucket array
+      // up forever while the live population stays flat.
+      const std::size_t tombstones = chained_count_ - live_count_;
+      const std::size_t new_buckets =
+          tombstones >= live_count_ / 2 ? buckets_.size() : 2 * buckets_.size();
+      rebuild(new_buckets, has_gap_ema_ ? target_width() : width_);
+    }
+    return make_id(generation(s), slot);
+  }
 
   /// Marks an event as cancelled. Returns false if the id was already
   /// executed, cancelled, or never existed (harmless either way).
-  bool cancel(EventId id);
+  bool cancel(EventId id) {
+    const std::uint32_t slot = slot_of(id);
+    if (slot >= slots_.size()) return false;
+    SlotKey& s = slots_[slot];
+    if (!is_live(s) || generation(s) != generation_of(id)) return false;
+    // Release resources immediately; the calendar entry is unlinked
+    // lazily when the dequeue scan reaches it (that is when the slot is
+    // recycled).
+    actions_[slot].reset();
+    s.gen_live &= ~1u;
+    --live_count_;
+    return true;
+  }
 
   /// Time of the earliest live event, or nullopt if empty.
-  std::optional<SimTime> peek_time();
+  std::optional<SimTime> peek_time() {
+    if (live_count_ == 0) return std::nullopt;
+    const std::uint32_t slot = find_min();
+    ensure(slot != kNoSlot, "EventQueue: live events missing from calendar");
+    return slots_[slot].time;
+  }
 
   struct Event {
     SimTime time;
@@ -52,36 +136,212 @@ class EventQueue {
   };
 
   /// Removes and returns the earliest live event; nullopt if empty.
-  std::optional<Event> pop_next();
+  std::optional<Event> pop_next() {
+    if (live_count_ == 0) return std::nullopt;
+    const std::uint32_t slot = find_min();
+    ensure(slot != kNoSlot, "EventQueue: live events missing from calendar");
+
+    SlotKey& s = slots_[slot];
+    const std::size_t bucket =
+        static_cast<std::size_t>(s.virtual_bucket) & bucket_mask_;
+    buckets_[bucket] = s.next;  // find_min() leaves the minimum at its head
+    --chained_count_;
+
+    Event event{s.time, make_id(generation(s), slot),
+                std::move(actions_[slot])};
+
+    // Width calibration: the mean gap between consecutive dequeues tracks
+    // the head-of-queue event density. Only positive gaps carry a density
+    // signal — zero gaps are simultaneous events (free in one bucket) and
+    // negative ones mean a later push rewound time below an earlier pop.
+    // The average is seeded from the first real gap, never from zero, so
+    // an early rebuild cannot collapse the width before any data exists.
+    if (has_pop_gap_) {
+      const double gap = event.time - last_pop_time_;
+      if (gap > 0.0) {
+        gap_ema_ = has_gap_ema_ ? gap_ema_ + (gap - gap_ema_) * 0.03125 : gap;
+        has_gap_ema_ = true;
+      }
+    }
+    last_pop_time_ = event.time;
+    has_pop_gap_ = true;
+
+    retire_slot(slot);
+    --live_count_;
+    maybe_check_width();
+    return event;
+  }
 
   /// Number of live (non-cancelled) events.
   std::size_t size() const { return live_count_; }
   bool empty() const { return live_count_ == 0; }
 
   /// Total events ever pushed (diagnostic).
-  std::uint64_t total_pushed() const { return next_id_; }
+  std::uint64_t total_pushed() const { return next_seq_; }
+
+  /// Size of the slot pool (diagnostic): the high-water mark of events
+  /// simultaneously pending, independent of how many were ever pushed.
+  std::size_t slot_capacity() const { return slots_.size(); }
+
+  /// Number of calendar buckets (diagnostic).
+  std::size_t bucket_count() const { return buckets_.size(); }
 
  private:
-  struct HeapEntry {
-    SimTime time;
-    EventId id;
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  /// Virtual bucket numbers are clamped here so time/width can never
+  /// overflow the integer conversion (kTimeInfinity included).
+  static constexpr std::uint64_t kMaxVirtualBucket = 1ULL << 62;
+  static constexpr std::size_t kInitialBuckets = 16;
+  static constexpr double kMinWidth = 1e-9;
+  /// Dequeues between width-drift checks.
+  static constexpr std::uint64_t kWidthCheckInterval = 4096;
+
+  /// Hot per-slot state, exactly 32 bytes: everything chain walks and
+  /// dequeue scans touch. The action payloads live in a parallel cold
+  /// array (`actions_`) that is only accessed once per push and once per
+  /// pop/cancel, so walking a chain streams two keys per cache line
+  /// instead of dragging 48-byte capture buffers through the cache.
+  struct SlotKey {
+    SimTime time = 0.0;
+    std::uint64_t seq = 0;
+    std::uint64_t virtual_bucket = 0;
+    std::uint32_t next = kNoSlot;  // bucket chain when queued, free list after
+    std::uint32_t gen_live = 0;    // generation << 1 | live
   };
-  struct HeapOrder {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // FIFO among equal times
+  static_assert(sizeof(SlotKey) == 32);
+
+  static bool is_live(const SlotKey& s) { return (s.gen_live & 1u) != 0; }
+  static std::uint32_t generation(const SlotKey& s) { return s.gen_live >> 1; }
+
+  /// The exact total order of the queue.
+  static bool before(const SlotKey& a, const SlotKey& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;  // FIFO among equal times
+  }
+
+  static EventId make_id(std::uint32_t generation, std::uint32_t slot) {
+    return (static_cast<EventId>(generation) << 32) | slot;
+  }
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffu);
+  }
+  static std::uint32_t generation_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  /// floor(time * (1/width)), clamped to [0, 2^62]. Multiplying by the
+  /// stored reciprocal replaces a division on the push path; any fixed
+  /// monotone map works because the result is computed exactly once per
+  /// event per calendar geometry and only compared as an integer.
+  std::uint64_t virtual_bucket(SimTime time) const {
+    const double scaled = time * inv_width_;
+    if (!(scaled > 0.0)) return 0;  // clamps negatives (and NaN) low
+    if (scaled >= static_cast<double>(kMaxVirtualBucket)) {
+      return kMaxVirtualBucket;  // far-future overflow guard (kTimeInfinity)
     }
-  };
+    return static_cast<std::uint64_t>(scaled);
+  }
 
-  void drop_dead_head();
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = slots_[slot].next;
+      return slot;
+    }
+    const std::uint32_t slot = static_cast<std::uint32_t>(slots_.size());
+    ensure(slot != kNoSlot, "EventQueue: slot pool exhausted");
+    slots_.emplace_back();
+    actions_.emplace_back();
+    return slot;
+  }
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapOrder> heap_;
-  std::unordered_set<EventId> cancelled_;
-  // Actions are stored separately so cancel() can release resources
-  // immediately rather than when the tombstone surfaces.
-  std::unordered_map<EventId, EventAction> actions_;
-  EventId next_id_ = 0;
+  /// Returns the slot to the free list and invalidates outstanding ids.
+  void retire_slot(std::uint32_t slot) {
+    SlotKey& s = slots_[slot];
+    actions_[slot].reset();
+    // Drop the live bit and advance the generation so stale ids fail the
+    // generation probe.
+    s.gen_live = (generation(s) + 1) << 1;
+    s.next = free_head_;
+    free_head_ = slot;
+  }
+
+  /// Links `slot` into its bucket's (time, seq)-sorted chain.
+  void link_into_bucket(std::uint32_t slot) {
+    SlotKey& s = slots_[slot];
+    const std::size_t bucket =
+        static_cast<std::size_t>(s.virtual_bucket) & bucket_mask_;
+    std::uint32_t* link = &buckets_[bucket];
+    while (*link != kNoSlot && before(slots_[*link], s)) {
+      link = &slots_[*link].next;
+    }
+    s.next = *link;
+    *link = slot;
+  }
+
+  /// Advances the cursor to the bucket holding the earliest event and
+  /// unlinks dead heads on the way. Returns that head slot, or kNoSlot.
+  std::uint32_t find_min() {
+    std::size_t steps = 0;
+    for (;;) {
+      const std::size_t bucket =
+          static_cast<std::size_t>(cursor_vb_) & bucket_mask_;
+      std::uint32_t head = buckets_[bucket];
+      while (head != kNoSlot && !is_live(slots_[head])) {
+        buckets_[bucket] = slots_[head].next;
+        retire_slot(head);
+        --chained_count_;
+        head = buckets_[bucket];
+      }
+      if (chained_count_ == 0) return kNoSlot;
+      // A head from this virtual bucket is the global minimum: every
+      // earlier virtual bucket has already been scanned empty, and chains
+      // are (time, seq)-sorted. Heads from a later lap are skipped.
+      if (head != kNoSlot && slots_[head].virtual_bucket == cursor_vb_) {
+        return head;
+      }
+      ++cursor_vb_;
+      if (++steps > buckets_.size()) return sweep_min();
+    }
+  }
+
+  void set_width(double width) {
+    width_ = width;
+    inv_width_ = 1.0 / width;
+  }
+
+  /// Full sweep over all bucket heads — the rare fallback when a whole
+  /// calendar year is empty (events clustered far beyond the cursor).
+  std::uint32_t sweep_min();
+  double target_width() const;
+  void maybe_check_width();
+  /// Re-parameterizes the calendar (bucket count and/or width) and
+  /// relinks every queued slot.
+  void rebuild(std::size_t new_bucket_count, double new_width);
+
+  std::vector<SlotKey> slots_;
+  std::vector<EventAction> actions_;  // parallel to slots_
+  std::vector<std::uint32_t> buckets_;
+  std::size_t bucket_mask_ = 0;
+  double width_ = 1.0;
+  double inv_width_ = 1.0;
+  /// Virtual bucket the dequeue scan is currently parked on; invariant:
+  /// no live event has a smaller virtual bucket (pushes rewind it).
+  std::uint64_t cursor_vb_ = 0;
+
+  std::uint32_t free_head_ = kNoSlot;
+  std::uint64_t next_seq_ = 0;
   std::size_t live_count_ = 0;
+  /// Slots chained in buckets (live + cancelled-but-not-yet-collected).
+  std::size_t chained_count_ = 0;
+
+  /// Running mean of positive consecutive-dequeue time gaps; drives the
+  /// width. Seeded from the first observed gap, not from zero.
+  double gap_ema_ = 0.0;
+  SimTime last_pop_time_ = 0.0;
+  bool has_pop_gap_ = false;
+  bool has_gap_ema_ = false;
+  std::uint64_t pops_since_width_check_ = 0;
 };
 
 }  // namespace hmcs::simcore

@@ -13,10 +13,10 @@
 /// without the station knowing.
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
 
+#include "hmcs/simcore/inline_function.hpp"
+#include "hmcs/simcore/ring_buffer.hpp"
 #include "hmcs/simcore/simulation.hpp"
 #include "hmcs/simcore/tally.hpp"
 #include "hmcs/simcore/time_weighted.hpp"
@@ -39,9 +39,11 @@ class FifoStation {
 
   /// Draws the service duration for a job about to enter service; the
   /// job is passed so samplers can depend on per-message attributes
-  /// (e.g. message size looked up by id).
-  using ServiceSampler = std::function<SimTime(const Job&)>;
-  using DepartureCallback = std::function<void(const Departure&)>;
+  /// (e.g. message size looked up by id). Both hooks are InlineFunctions:
+  /// fn-ptr dispatch with inline capture storage, so the per-job sampler
+  /// call and departure notification never touch the heap.
+  using ServiceSampler = InlineFunction<SimTime(const Job&)>;
+  using DepartureCallback = InlineFunction<void(const Departure&)>;
 
   /// `name` labels the station in statistics reports.
   FifoStation(Simulator& sim, std::string name, ServiceSampler sampler);
@@ -80,7 +82,7 @@ class FifoStation {
   ServiceSampler sampler_;
   DepartureCallback on_departure_;
 
-  std::deque<Job> queue_;
+  RingBuffer<Job> queue_;
   bool busy_ = false;
 
   Tally wait_times_;

@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file inline_function.hpp
+/// A move-only callable wrapper with fixed inline storage — the engine's
+/// replacement for std::function on the discrete-event hot path.
+///
+/// std::function type-erases through a heap allocation whenever the
+/// callable outgrows its (implementation-defined, ~16 byte) small-buffer;
+/// every scheduled event in the old engine paid that allocation. An
+/// InlineFunction instead embeds the callable in a fixed-capacity buffer
+/// inside the object itself and dispatches through two raw function
+/// pointers (invoke + lifecycle manager). Callables that do not fit are
+/// rejected at compile time, so the "did this allocate?" question has a
+/// static answer: never.
+///
+/// Trivially copyable callables (the common case: lambdas capturing
+/// pointers, indices, and doubles) get a null manager and are relocated
+/// with memcpy. Non-trivial callables (e.g. a test capturing a
+/// std::function) still work — they are moved/destroyed through the
+/// manager — but stay allocation-free as long as they fit the buffer.
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hmcs::simcore {
+
+inline constexpr std::size_t kInlineFunctionCapacity = 48;
+
+template <class Signature, std::size_t Capacity = kInlineFunctionCapacity>
+class InlineFunction;
+
+template <class R, class... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() noexcept = default;
+
+  template <class F,
+            class D = std::decay_t<F>,
+            class = std::enable_if_t<
+                !std::is_same_v<D, InlineFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    static_assert(sizeof(D) <= Capacity,
+                  "callable too large for InlineFunction inline storage; "
+                  "shrink the capture or raise the capacity parameter");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "callable is over-aligned for InlineFunction storage");
+    ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+    invoke_ = [](void* storage, Args... args) -> R {
+      return (*std::launder(reinterpret_cast<D*>(storage)))(
+          std::forward<Args>(args)...);
+    };
+    if constexpr (!std::is_trivially_copyable_v<D> ||
+                  !std::is_trivially_destructible_v<D>) {
+      manage_ = [](Op op, void* self, void* other) {
+        D* target = std::launder(reinterpret_cast<D*>(self));
+        if (op == Op::kRelocateFrom) {
+          D* source = std::launder(reinterpret_cast<D*>(other));
+          ::new (self) D(std::move(*source));
+          source->~D();
+        } else {
+          target->~D();
+        }
+      };
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  /// Destroys the held callable (if any); *this becomes empty.
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(Op::kDestroy, storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  enum class Op : unsigned char { kRelocateFrom, kDestroy };
+  using Invoke = R (*)(void*, Args...);
+  using Manage = void (*)(Op, void*, void*);
+
+  void move_from(InlineFunction& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) {
+      manage_(Op::kRelocateFrom, storage_, other.storage_);
+    } else if (invoke_ != nullptr) {
+      std::memcpy(storage_, other.storage_, Capacity);
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace hmcs::simcore

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file ring_buffer.hpp
+/// A growable single-ended FIFO over one flat std::vector — the engine's
+/// replacement for std::deque in per-station job queues.
+///
+/// libstdc++'s deque allocates a 512-byte chunk the moment the first
+/// element arrives and walks a map of chunk pointers on every access; a
+/// power-of-two ring buffer keeps the whole queue in one contiguous block,
+/// indexes with a mask, and only ever allocates when the population
+/// exceeds the previous high-water mark. T must be cheaply movable and
+/// default-constructible (the slots of a fresh capacity block are
+/// value-initialized).
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace hmcs::simcore {
+
+template <class T>
+class RingBuffer {
+ public:
+  bool empty() const noexcept { return count_ == 0; }
+  std::size_t size() const noexcept { return count_; }
+  std::size_t capacity() const noexcept { return buf_.size(); }
+
+  void push_back(T value) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & mask_] = std::move(value);
+    ++count_;
+  }
+
+  T& front() noexcept { return buf_[head_]; }
+  const T& front() const noexcept { return buf_[head_]; }
+
+  /// Precondition: !empty(). The vacated slot keeps a moved-from T.
+  void pop_front() noexcept {
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t next_capacity = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(next_capacity);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = next_capacity - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace hmcs::simcore

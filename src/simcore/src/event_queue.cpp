@@ -1,53 +1,94 @@
 #include "hmcs/simcore/event_queue.hpp"
 
-#include "hmcs/util/error.hpp"
+#include <algorithm>
+#include <bit>
 
 namespace hmcs::simcore {
 
-EventId EventQueue::push(SimTime time, EventAction action) {
-  require(static_cast<bool>(action), "EventQueue: action must be callable");
-  const EventId id = next_id_++;
-  heap_.push(HeapEntry{time, id});
-  actions_.emplace(id, std::move(action));
-  ++live_count_;
-  return id;
+std::uint32_t EventQueue::sweep_min() {
+  std::uint32_t best = kNoSlot;
+  for (std::size_t bucket = 0; bucket < buckets_.size(); ++bucket) {
+    std::uint32_t head = buckets_[bucket];
+    while (head != kNoSlot && !is_live(slots_[head])) {
+      buckets_[bucket] = slots_[head].next;
+      retire_slot(head);
+      --chained_count_;
+      head = buckets_[bucket];
+    }
+    if (head == kNoSlot) continue;
+    if (best == kNoSlot || before(slots_[head], slots_[best])) best = head;
+  }
+  if (best != kNoSlot) cursor_vb_ = slots_[best].virtual_bucket;
+  return best;
 }
 
-bool EventQueue::cancel(EventId id) {
-  const auto it = actions_.find(id);
-  if (it == actions_.end()) return false;
-  actions_.erase(it);
-  cancelled_.insert(id);
-  --live_count_;
-  return true;
+double EventQueue::target_width() const {
+  return std::max(2.0 * gap_ema_, kMinWidth);
 }
 
-void EventQueue::drop_dead_head() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
+void EventQueue::maybe_check_width() {
+  // Population collapsed well below the bucket count: shrink.
+  if (buckets_.size() > kInitialBuckets &&
+      chained_count_ * 4 < buckets_.size()) {
+    const std::size_t shrunk =
+        std::bit_ceil(std::max(kInitialBuckets, chained_count_));
+    rebuild(shrunk, has_gap_ema_ ? target_width() : width_);
+    return;
+  }
+  // Periodically re-check the width against the observed density: a
+  // stationary population never crosses a resize threshold, but its
+  // event-time spacing can still drift from what the width was last
+  // calibrated for.
+  if (++pops_since_width_check_ < kWidthCheckInterval) return;
+  pops_since_width_check_ = 0;
+  if (!has_gap_ema_) return;
+  const double target = target_width();
+  if (width_ > 4.0 * target || width_ * 4.0 < target) {
+    rebuild(buckets_.size(), target);
   }
 }
 
-std::optional<SimTime> EventQueue::peek_time() {
-  drop_dead_head();
-  if (heap_.empty()) return std::nullopt;
-  return heap_.top().time;
-}
+void EventQueue::rebuild(std::size_t new_bucket_count, double new_width) {
+  // Thread every chained slot onto one temporary list, freeing the
+  // bucket heads.
+  std::uint32_t all = kNoSlot;
+  for (std::size_t bucket = 0; bucket < buckets_.size(); ++bucket) {
+    std::uint32_t head = buckets_[bucket];
+    buckets_[bucket] = kNoSlot;
+    while (head != kNoSlot) {
+      const std::uint32_t next = slots_[head].next;
+      slots_[head].next = all;
+      all = head;
+      head = next;
+    }
+  }
 
-std::optional<EventQueue::Event> EventQueue::pop_next() {
-  drop_dead_head();
-  if (heap_.empty()) return std::nullopt;
-  const HeapEntry entry = heap_.top();
-  heap_.pop();
-  const auto it = actions_.find(entry.id);
-  ensure(it != actions_.end(), "EventQueue: live event without action");
-  Event event{entry.time, entry.id, std::move(it->second)};
-  actions_.erase(it);
-  --live_count_;
-  return event;
+  buckets_.assign(new_bucket_count, kNoSlot);
+  bucket_mask_ = new_bucket_count - 1;
+  set_width(new_width);
+  chained_count_ = 0;
+
+  // Relink live slots under the new geometry; collect cancelled ones —
+  // a rebuild doubles as a tombstone purge.
+  std::uint64_t min_vb = 0;
+  bool any_live = false;
+  while (all != kNoSlot) {
+    const std::uint32_t next = slots_[all].next;
+    SlotKey& s = slots_[all];
+    if (!is_live(s)) {
+      retire_slot(all);
+    } else {
+      s.virtual_bucket = virtual_bucket(s.time);
+      link_into_bucket(all);
+      ++chained_count_;
+      if (!any_live || s.virtual_bucket < min_vb) {
+        min_vb = s.virtual_bucket;
+        any_live = true;
+      }
+    }
+    all = next;
+  }
+  cursor_vb_ = any_live ? min_vb : 0;
 }
 
 }  // namespace hmcs::simcore

@@ -1,0 +1,68 @@
+// Golden regression for the reproducibility contract of the event
+// engine: a fixed-seed simulation must produce bit-identical results on
+// every machine and after every engine change. The constants below were
+// recorded from the seed implementation (std::function + binary heap +
+// hash-set cancellation); the calendar-queue engine must match them
+// exactly — same (time, sequence) total order, same RNG draw order.
+//
+// EXPECT_EQ on doubles is deliberate: the contract is bit-for-bit
+// equality, not tolerance. If an engine change legitimately reorders
+// same-time events or RNG draws, that is a behavioural break, not a
+// constant to re-record casually.
+
+#include <gtest/gtest.h>
+
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/sim/multicluster_sim.hpp"
+
+namespace {
+
+using namespace hmcs;
+
+TEST(EngineDeterminism, NonBlockingCase1GoldenRun) {
+  const analytic::SystemConfig config = analytic::paper_scenario(
+      analytic::HeterogeneityCase::kCase1, 4,
+      analytic::NetworkArchitecture::kNonBlocking, 1024.0);
+  sim::SimOptions options;
+  options.seed = 12345;
+  options.warmup_messages = 500;
+  options.measured_messages = 5000;
+  const sim::SimResult result = sim::MultiClusterSim(config, options).run();
+
+  EXPECT_EQ(result.messages_measured, 5000u);
+  EXPECT_EQ(result.events_executed, 19651u);
+  EXPECT_EQ(result.mean_latency_us, 25474.503262800848);
+  EXPECT_EQ(result.p99_latency_us, 39586.439621446072);
+}
+
+TEST(EngineDeterminism, BlockingCase2GoldenRun) {
+  const analytic::SystemConfig config = analytic::paper_scenario(
+      analytic::HeterogeneityCase::kCase2, 8,
+      analytic::NetworkArchitecture::kBlocking, 4096.0);
+  sim::SimOptions options;
+  options.seed = 987654321;
+  options.warmup_messages = 200;
+  options.measured_messages = 3000;
+  const sim::SimResult result = sim::MultiClusterSim(config, options).run();
+
+  EXPECT_EQ(result.events_executed, 12356u);
+  EXPECT_EQ(result.mean_latency_us, 53429.88875165092);
+  EXPECT_EQ(result.p50_latency_us, 59004.459376468847);
+}
+
+TEST(EngineDeterminism, RepeatRunsAreIdentical) {
+  const analytic::SystemConfig config = analytic::paper_scenario(
+      analytic::HeterogeneityCase::kCase1, 4,
+      analytic::NetworkArchitecture::kNonBlocking, 1024.0);
+  sim::SimOptions options;
+  options.seed = 777;
+  options.warmup_messages = 100;
+  options.measured_messages = 1000;
+  const sim::SimResult first = sim::MultiClusterSim(config, options).run();
+  const sim::SimResult second = sim::MultiClusterSim(config, options).run();
+  EXPECT_EQ(first.mean_latency_us, second.mean_latency_us);
+  EXPECT_EQ(first.p95_latency_us, second.p95_latency_us);
+  EXPECT_EQ(first.events_executed, second.events_executed);
+}
+
+}  // namespace
