@@ -10,11 +10,17 @@
 ///   --lambda R        per-node rate in msg/s (default 250, see DESIGN.md)
 ///   --csv-dir DIR     also write <dir>/<figure>.csv
 ///   --no-sim          analysis only (fast sanity sweeps)
+///   --obs-out DIR     dump observability artifacts (metrics.json,
+///                     metrics.csv, trace.json) into DIR
+///   --obs-sample-us T sim-time sampling period for queue-depth counter
+///                     tracks (µs; only with --obs-out; default 200)
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "hmcs/experiment/figure_experiment.hpp"
+#include "hmcs/obs/export.hpp"
 #include "hmcs/util/cli.hpp"
 #include "hmcs/util/units.hpp"
 
@@ -32,6 +38,9 @@ inline int figure_main(int argc, const char* const* argv, FigureSpec spec) {
   cli.add_option("model", "throttling model: bisection|picard|mva|none",
                  "bisection");
   cli.add_flag("no-sim", "skip the simulation series");
+  cli.add_option("obs-out", "directory for observability artifacts", "");
+  cli.add_option("obs-sample-us",
+                 "sim-time sampling period for counter tracks (us)", "200");
 
   try {
     if (!cli.parse(argc, argv)) {
@@ -61,9 +70,27 @@ inline int figure_main(int argc, const char* const* argv, FigureSpec spec) {
       require(false, "unknown --model value: " + model);
     }
 
+    const std::string obs_dir = cli.get_string("obs-out");
+    if (!obs_dir.empty()) {
+      spec.trace = std::make_shared<obs::TraceSession>();
+      spec.sim_options.obs.sample_interval_us =
+          cli.get_double("obs-sample-us");
+    }
+
     const FigureResult result = run_figure(spec);
     print_figure_report(std::cout, result, cli.get_string("csv-dir"),
                         cli.get_string("json-dir"));
+
+    if (!obs_dir.empty()) {
+      // Make ring truncation visible in the metrics bundle too, not just
+      // in the trace object itself.
+      HMCS_OBS_GAUGE_SET("obs.trace.dropped_events",
+                         static_cast<double>(spec.trace->dropped_count()));
+      obs::write_run_artifacts(obs_dir, obs::Registry::global().snapshot(),
+                               spec.trace.get());
+      std::cout << "observability artifacts written to " << obs_dir
+                << " (open trace.json at https://ui.perfetto.dev)\n";
+    }
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

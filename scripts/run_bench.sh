@@ -7,7 +7,17 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${repo_root}"
 
-cmake --preset relbench
+if ! command -v cmake >/dev/null 2>&1; then
+  echo "error: cmake not found on PATH — install CMake >= 3.16 to run the bench" >&2
+  exit 1
+fi
+
+# Configure only when the build tree is missing or was never configured;
+# an up-to-date tree goes straight to the (incremental) build.
+if [[ ! -f build-relbench/CMakeCache.txt ]]; then
+  cmake --preset relbench
+fi
+
 cmake --build --preset relbench -j "$(nproc)" --target engine_throughput
 
 ./build-relbench/bench/engine_throughput --out BENCH_engine.json "$@"

@@ -22,6 +22,7 @@
 /// the correction entirely (for the ablation bench).
 
 #include <cstdint>
+#include <vector>
 
 #include "hmcs/analytic/service_time.hpp"
 #include "hmcs/analytic/system_config.hpp"
@@ -59,6 +60,12 @@ struct FixedPointOptions {
   /// Picard damping: next = damping*candidate + (1-damping)*previous.
   /// 1.0 is the paper's undamped recurrence.
   double picard_damping = 0.5;
+  /// Observability: when non-null, the solver appends one dimensionless
+  /// residual per iteration — |next - current| / lambda for Picard, the
+  /// bracket width (hi - lo) / lambda for bisection (which therefore
+  /// halves every entry). kNone/kExactMva record nothing. The vector is
+  /// cleared first, so one buffer can be reused across solves.
+  std::vector<double>* residual_trace = nullptr;
 };
 
 struct FixedPointResult {

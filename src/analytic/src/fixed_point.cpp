@@ -7,6 +7,7 @@
 #include "hmcs/analytic/mm1.hpp"
 #include "hmcs/analytic/mva.hpp"
 #include "hmcs/analytic/routing_probability.hpp"
+#include "hmcs/obs/metrics.hpp"
 #include "hmcs/util/error.hpp"
 
 namespace hmcs::analytic {
@@ -62,6 +63,9 @@ FixedPointResult solve_picard(const SystemConfig& config,
     const double candidate = lambda * (n - queue) / n;
     const double next = options.picard_damping * candidate +
                         (1.0 - options.picard_damping) * current;
+    if (options.residual_trace != nullptr) {
+      options.residual_trace->push_back(std::fabs(next - current) / lambda);
+    }
     if (std::fabs(next - current) <= options.tolerance * lambda) {
       return FixedPointResult{next,
                               total_queue_length(config, service, next,
@@ -105,6 +109,9 @@ FixedPointResult solve_bisection(const SystemConfig& config,
     } else {
       hi = mid;
     }
+    if (options.residual_trace != nullptr) {
+      options.residual_trace->push_back((hi - lo) / lambda);
+    }
   }
   // Report the stable side of the bracket (queue length finite).
   const double solution = lo;
@@ -141,16 +148,33 @@ FixedPointResult solve_effective_rate(const SystemConfig& config,
   require(options.method != SourceThrottling::kExactMva ||
               options.service_cv2 == 1.0,
           "fixed_point: exact MVA requires exponential service (cv^2 = 1)");
+  if (options.residual_trace != nullptr) options.residual_trace->clear();
+
+  const auto instrumented = [&options](FixedPointResult result) {
+    HMCS_OBS_COUNTER_INC("analytic.fixed_point.solves");
+    HMCS_OBS_COUNTER_ADD("analytic.fixed_point.iterations", result.iterations);
+    if (!result.converged) {
+      HMCS_OBS_COUNTER_INC("analytic.fixed_point.nonconverged");
+    }
+    HMCS_OBS_STAT_OBSERVE("analytic.fixed_point.iterations_per_solve",
+                          result.iterations);
+    if (options.residual_trace != nullptr &&
+        !options.residual_trace->empty()) {
+      HMCS_OBS_GAUGE_SET("analytic.fixed_point.last_residual",
+                         options.residual_trace->back());
+    }
+    return result;
+  };
 
   switch (options.method) {
     case SourceThrottling::kNone:
-      return solve_none(config, service, options);
+      return instrumented(solve_none(config, service, options));
     case SourceThrottling::kPicard:
-      return solve_picard(config, service, options);
+      return instrumented(solve_picard(config, service, options));
     case SourceThrottling::kBisection:
-      return solve_bisection(config, service, options);
+      return instrumented(solve_bisection(config, service, options));
     case SourceThrottling::kExactMva:
-      return solve_mva(config, service);
+      return instrumented(solve_mva(config, service));
   }
   ensure(false, "fixed_point: unknown method");
   return {};

@@ -15,6 +15,7 @@
 
 #include "hmcs/analytic/latency_model.hpp"
 #include "hmcs/analytic/scenario.hpp"
+#include "hmcs/obs/trace.hpp"
 #include "hmcs/sim/multicluster_sim.hpp"
 #include "hmcs/util/csv.hpp"
 
@@ -37,6 +38,13 @@ struct FigureSpec {
   /// >1 switches the simulation series to independent replications with
   /// CIs across replication means (see replication.hpp).
   std::uint32_t replications = 1;
+  /// Observability: when non-null, every sweep point records a wall-clock
+  /// span under pid 1 (tid = worker lane), and each point's simulator
+  /// inherits this session with a distinct pid (2 + point index) so
+  /// simulated-time phase spans and sampler counter tracks land in their
+  /// own Perfetto process group. sim_options.obs.sample_interval_us
+  /// controls whether counter tracks are sampled at all.
+  std::shared_ptr<obs::TraceSession> trace;
 };
 
 /// The paper's four validation figures.

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "hmcs/experiment/replication.hpp"
+#include "hmcs/obs/metrics.hpp"
 #include "hmcs/simcore/rng.hpp"
 #include "hmcs/util/ascii_chart.hpp"
 #include "hmcs/util/json.hpp"
@@ -62,6 +63,9 @@ FigureSpec figure7_spec() {
 
 FigureResult run_figure(const FigureSpec& spec) {
   require(!spec.message_sizes.empty(), "run_figure: needs message sizes");
+  obs::WallClockSpan sweep_span(spec.trace.get(), spec.id, "experiment.sweep",
+                                1, 0);
+  HMCS_OBS_TIMER_SCOPE("experiment.sweep.wall_time");
   FigureResult result;
   result.spec = spec;
 
@@ -88,8 +92,15 @@ FigureResult run_figure(const FigureSpec& spec) {
   }
   result.points.resize(tasks.size());
 
-  auto run_point = [&](std::size_t index) {
+  auto run_point = [&](std::size_t index, std::uint32_t worker) {
     const Task& task = tasks[index];
+    const std::string point_label = spec.id + " C=" +
+                                    std::to_string(task.clusters) + " M=" +
+                                    format_compact(task.bytes, 6);
+    // Wall-clock span per sweep point: pid 1 is the sweep's wall-clock
+    // domain, tid separates concurrent worker lanes.
+    obs::WallClockSpan point_span(spec.trace.get(), point_label,
+                                  "experiment.point", 1, worker + 1);
     const analytic::SystemConfig config = analytic::paper_scenario(
         spec.hetero, task.clusters, spec.architecture, task.bytes,
         spec.total_nodes, spec.rate_per_us);
@@ -104,6 +115,14 @@ FigureResult run_figure(const FigureSpec& spec) {
 
     if (spec.run_simulation) {
       sim::SimOptions sim_options = spec.sim_options;
+      if (spec.trace) {
+        // Each point's simulated-time tracks get their own pid so the
+        // sim-µs axis never shares a track with wall-clock spans.
+        sim_options.obs.trace = spec.trace;
+        sim_options.obs.trace_pid = static_cast<std::uint32_t>(2 + index);
+        spec.trace->set_process_name(sim_options.obs.trace_pid,
+                                     point_label + " (sim us)");
+      }
       // Decorrelate runs across sweep points while keeping the whole
       // figure reproducible from one base seed. Each coordinate is folded
       // in through a full SplitMix64 finalizer: an affine mix of
@@ -131,14 +150,19 @@ FigureResult run_figure(const FigureSpec& spec) {
   const std::size_t workers = std::min<std::size_t>(
       tasks.size(),
       std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  if (spec.trace) {
+    spec.trace->set_process_name(1, spec.id + " sweep (wall-clock us)");
+  }
   if (workers <= 1) {
-    for (std::size_t i = 0; i < tasks.size(); ++i) run_point(i);
+    for (std::size_t i = 0; i < tasks.size(); ++i) run_point(i, 0);
   } else {
     std::vector<std::future<void>> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
       pool.push_back(std::async(std::launch::async, [&, w] {
-        for (std::size_t i = w; i < tasks.size(); i += workers) run_point(i);
+        for (std::size_t i = w; i < tasks.size(); i += workers) {
+          run_point(i, static_cast<std::uint32_t>(w));
+        }
       }));
     }
     for (auto& worker : pool) worker.get();

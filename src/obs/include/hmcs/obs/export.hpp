@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file export.hpp
+/// Structured exporters for the observability layer, built on the
+/// existing hmcs::util writers: a metrics snapshot (plus optional
+/// sampled time series) renders to JSON and CSV, and
+/// write_run_artifacts() dumps the standard `--obs-out` bundle —
+/// metrics.json, metrics.csv, and trace.json — into a directory,
+/// creating it when missing.
+
+#include <string>
+
+#include "hmcs/obs/metrics.hpp"
+#include "hmcs/obs/sampler.hpp"
+#include "hmcs/obs/trace.hpp"
+#include "hmcs/util/csv.hpp"
+
+namespace hmcs::obs {
+
+/// JSON document with "counters"/"gauges"/"stats"/"timers" arrays and,
+/// when `sampler` is non-null, a "series" array of sampled tracks.
+std::string metrics_json(const MetricsSnapshot& snapshot,
+                         const TimeSeriesSampler* sampler = nullptr);
+
+/// Flat CSV: name,kind,count,value,sum,mean,min,max (one row per metric;
+/// inapplicable cells empty). Counter value/timers in their native units.
+CsvWriter metrics_csv(const MetricsSnapshot& snapshot);
+
+/// Writes `<dir>/metrics.json`, `<dir>/metrics.csv`, and — when `trace`
+/// is non-null — `<dir>/trace.json`. Creates `dir` (and parents) on
+/// demand; throws hmcs::Error when anything cannot be written.
+void write_run_artifacts(const std::string& dir,
+                         const MetricsSnapshot& snapshot,
+                         const TraceSession* trace = nullptr,
+                         const TimeSeriesSampler* sampler = nullptr);
+
+}  // namespace hmcs::obs

@@ -1,0 +1,291 @@
+#pragma once
+
+/// \file metrics.hpp
+/// The process-wide metrics registry: named counters, gauges, stats, and
+/// histogram timers with O(1) pre-resolved handles.
+///
+/// Design rules, in order of importance:
+///
+///  1. The instrumented hot path pays one relaxed atomic RMW per event
+///     and nothing else. Handle resolution (name lookup, allocation)
+///     happens once, at first use, behind a mutex; after that the handle
+///     is a plain pointer into storage that is never reallocated or
+///     freed, so it stays valid for the life of the process — including
+///     across snapshot() and reset_values().
+///  2. Everything is thread-safe: figure sweeps run one simulator per
+///     worker thread and all of them publish into the same registry.
+///     Counters/gauges use relaxed atomics; min/max use CAS loops; the
+///     registry index is mutex-protected (registration is cold).
+///  3. Under `HMCS_OBS_DISABLED` every HMCS_OBS_* macro expands to a
+///     no-op that does not evaluate its value argument and references no
+///     symbol from this library, so a disabled translation unit carries
+///     zero runtime cost and no link dependency from the macros.
+///
+/// Metric kinds:
+///   Counter — monotone std::uint64_t (events dispatched, solves, ...).
+///   Gauge   — last-written double (warm-up cutoff, last residual, ...).
+///   Stat    — count/sum/min/max of doubles (per-centre utilisation
+///             observed once per run, aggregating across a sweep).
+///   Timer   — a Stat over wall nanoseconds plus a 64-bucket power-of-two
+///             latency histogram; ScopedTimer records one span RAII-style.
+///
+/// Naming convention (see docs/OBSERVABILITY.md): dot-separated
+/// lower_snake path, `<layer>.<component>.<quantity>`, e.g.
+/// `simcore.engine.events_dispatched`, `sim.center.icn1.utilization`.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hmcs::obs {
+
+#if defined(HMCS_OBS_DISABLED)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// Monotone counter. Cache-line aligned so two hot counters never share
+/// a line (the registry's storage never moves, so the alignment sticks).
+class alignas(64) Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class alignas(64) Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// count/sum/min/max accumulator for repeated scalar observations.
+class alignas(64) Stat {
+ public:
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when no observation was recorded yet.
+  double min() const;
+  double max() const;
+  double mean() const;
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Wall-clock duration histogram: Stat semantics over nanoseconds plus
+/// power-of-two buckets (bucket b counts durations with bit_width(ns) == b,
+/// i.e. [2^(b-1), 2^b) ns; bucket 0 is exactly 0 ns).
+class alignas(64) Timer {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe_ns(std::uint64_t ns);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t total_ns() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t min_ns() const;
+  std::uint64_t max_ns() const;
+  double mean_ns() const;
+  std::uint64_t bucket_count(std::size_t bucket) const;
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> min_ns_{~0ull};
+  std::atomic<std::uint64_t> max_ns_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// RAII span feeding a Timer with the elapsed steady-clock nanoseconds.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer* timer)
+      : timer_(timer), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (timer_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+    timer_->observe_ns(ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+  }
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Point-in-time copy of every registered metric, in registration order.
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeRow {
+    std::string name;
+    double value = 0.0;
+  };
+  struct StatRow {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  struct TimerRow {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t min_ns = 0;
+    std::uint64_t max_ns = 0;
+    /// (upper-bound-exclusive ns, count) for each non-empty bucket.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+  };
+
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
+  std::vector<StatRow> stats;
+  std::vector<TimerRow> timers;
+
+  std::size_t total_metrics() const {
+    return counters.size() + gauges.size() + stats.size() + timers.size();
+  }
+  /// nullptr when `name` is not a counter in this snapshot.
+  const CounterRow* find_counter(std::string_view name) const;
+  const GaugeRow* find_gauge(std::string_view name) const;
+  const StatRow* find_stat(std::string_view name) const;
+  const TimerRow* find_timer(std::string_view name) const;
+};
+
+/// Name → cell index. Cells live in chunked stable storage (no
+/// reallocation), so handles returned once are valid forever. Requesting
+/// the same name twice returns the same cell; requesting a name that is
+/// already registered as a different kind throws hmcs::ConfigError.
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide instance the HMCS_OBS_* macros publish into.
+  static Registry& global();
+
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Stat* stat(std::string_view name);
+  Timer* timer(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every cell but keeps all registrations (and thus all
+  /// outstanding handles) intact. Used between test cases and between
+  /// repeated sweeps of one process.
+  void reset_values();
+
+  std::size_t size() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;  // never freed members referenced by handles; see .cpp
+};
+
+}  // namespace hmcs::obs
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros. Each site resolves its handle once (function-
+// local static) and then pays only the guard-load plus one relaxed
+// atomic. Under HMCS_OBS_DISABLED they expand to nothing; the value
+// expression is kept compilable but unevaluated via sizeof, so disabled
+// instrumentation cannot bit-rot silently.
+// ---------------------------------------------------------------------------
+
+#if !defined(HMCS_OBS_DISABLED)
+
+#define HMCS_OBS_COUNTER_ADD(name, amount)                                   \
+  do {                                                                       \
+    static ::hmcs::obs::Counter* const hmcs_obs_cell =                       \
+        ::hmcs::obs::Registry::global().counter(name);                       \
+    hmcs_obs_cell->inc(static_cast<std::uint64_t>(amount));                  \
+  } while (0)
+
+#define HMCS_OBS_COUNTER_INC(name) HMCS_OBS_COUNTER_ADD(name, 1)
+
+#define HMCS_OBS_GAUGE_SET(name, value)                                      \
+  do {                                                                       \
+    static ::hmcs::obs::Gauge* const hmcs_obs_cell =                         \
+        ::hmcs::obs::Registry::global().gauge(name);                         \
+    hmcs_obs_cell->set(static_cast<double>(value));                          \
+  } while (0)
+
+#define HMCS_OBS_STAT_OBSERVE(name, value)                                   \
+  do {                                                                       \
+    static ::hmcs::obs::Stat* const hmcs_obs_cell =                          \
+        ::hmcs::obs::Registry::global().stat(name);                          \
+    hmcs_obs_cell->observe(static_cast<double>(value));                      \
+  } while (0)
+
+#define HMCS_OBS_DETAIL_CONCAT2(a, b) a##b
+#define HMCS_OBS_DETAIL_CONCAT(a, b) HMCS_OBS_DETAIL_CONCAT2(a, b)
+
+/// Declares an RAII timer span covering the rest of the enclosing scope.
+#define HMCS_OBS_TIMER_SCOPE(name)                                           \
+  static ::hmcs::obs::Timer* const HMCS_OBS_DETAIL_CONCAT(                   \
+      hmcs_obs_timer_cell_, __LINE__) =                                      \
+      ::hmcs::obs::Registry::global().timer(name);                           \
+  ::hmcs::obs::ScopedTimer HMCS_OBS_DETAIL_CONCAT(hmcs_obs_timer_,           \
+                                                  __LINE__) {                \
+    HMCS_OBS_DETAIL_CONCAT(hmcs_obs_timer_cell_, __LINE__)                   \
+  }
+
+#else  // HMCS_OBS_DISABLED
+
+#define HMCS_OBS_COUNTER_ADD(name, amount) \
+  do {                                     \
+    (void)sizeof(name);                    \
+    (void)sizeof(amount);                  \
+  } while (0)
+#define HMCS_OBS_COUNTER_INC(name) \
+  do {                             \
+    (void)sizeof(name);            \
+  } while (0)
+#define HMCS_OBS_GAUGE_SET(name, value) \
+  do {                                  \
+    (void)sizeof(name);                 \
+    (void)sizeof(value);                \
+  } while (0)
+#define HMCS_OBS_STAT_OBSERVE(name, value) \
+  do {                                     \
+    (void)sizeof(name);                    \
+    (void)sizeof(value);                   \
+  } while (0)
+#define HMCS_OBS_TIMER_SCOPE(name) static_assert(sizeof(name) > 0)
+
+#endif  // HMCS_OBS_DISABLED

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file sampler.hpp
+/// A periodic gauge sampler for time-series observability. The owner
+/// registers named probes (callbacks reading instantaneous state: event
+/// queue depth, per-centre queue lengths, messages in flight) and calls
+/// sample(now) on simulated-time ticks; each tick appends one point per
+/// probe to a bounded series and, when a TraceSession is attached,
+/// mirrors the values as Chrome counter ("C") events so Perfetto renders
+/// them as counter tracks.
+///
+/// Series are bounded per probe: past `capacity_per_series` points the
+/// oldest point is dropped (and counted), keeping the most recent window
+/// — consistent with the TraceSession ring policy.
+///
+/// The sampler is deliberately not thread-safe: it belongs to exactly
+/// one simulation (single-threaded by design); concurrent runs each own
+/// their sampler. The mirrored TraceSession is itself thread-safe.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hmcs/obs/trace.hpp"
+
+namespace hmcs::obs {
+
+class TimeSeriesSampler {
+ public:
+  explicit TimeSeriesSampler(std::size_t capacity_per_series = 8192);
+
+  /// Mirrors every sampled point into `session` as counter events under
+  /// `pid` (session may be null: series-only mode).
+  void attach_trace(TraceSession* session, std::uint32_t pid);
+
+  void add_probe(std::string name, std::function<double()> probe);
+
+  /// Appends one point per probe at time `now_us`.
+  void sample(double now_us);
+
+  struct Series {
+    std::string name;
+    std::vector<double> times_us;
+    std::vector<double> values;
+    std::uint64_t dropped = 0;
+  };
+
+  std::size_t num_probes() const { return series_.size(); }
+  std::uint64_t samples_taken() const { return samples_taken_; }
+  const std::vector<Series>& series() const { return series_; }
+
+ private:
+  std::size_t capacity_per_series_;
+  std::vector<std::function<double()>> probes_;
+  std::vector<Series> series_;
+  std::uint64_t samples_taken_ = 0;
+  TraceSession* trace_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
+};
+
+}  // namespace hmcs::obs

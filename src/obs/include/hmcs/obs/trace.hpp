@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file trace.hpp
+/// A span/counter trace recorder that exports the Chrome trace-event
+/// JSON format, loadable in Perfetto (https://ui.perfetto.dev) and
+/// chrome://tracing.
+///
+/// The session stores events in a fixed-capacity ring: when full, the
+/// oldest event is overwritten and dropped_count() advances, so an
+/// accidental attach to a huge run keeps the most recent window instead
+/// of exhausting memory — and the truncation is visible, never silent.
+///
+/// Two time domains coexist in one file by convention (see
+/// docs/OBSERVABILITY.md): wall-clock spans from the experiment drivers
+/// use pid 1 ("sweep"), and each simulator run's simulated-time counter
+/// tracks use their own pid, so Perfetto renders them as separate
+/// process groups and the axes never mix within a track.
+///
+/// Emitted phases ("ph" in the trace-event spec):
+///   "X" complete  — a span with ts (µs) + dur (µs)
+///   "i" instant   — a point event
+///   "C" counter   — a numeric track (queue depth, messages in flight)
+///   "M" metadata  — process/thread names
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hmcs::obs {
+
+struct SpanEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';
+  double timestamp_us = 0.0;
+  double duration_us = 0.0;  ///< complete ("X") events only
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  double counter_value = 0.0;  ///< counter ("C") events only
+};
+
+class TraceSession {
+ public:
+  /// Ring capacity in events (metadata events are stored separately and
+  /// are not bounded — there are a handful per process).
+  explicit TraceSession(std::size_t capacity = 65536);
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// All record paths are thread-safe (one mutex; tracing granularity is
+  /// spans and sampler ticks, not per-event hot paths).
+  void complete(std::string name, std::string category, double timestamp_us,
+                double duration_us, std::uint32_t pid = 1,
+                std::uint32_t tid = 0);
+  void instant(std::string name, std::string category, double timestamp_us,
+               std::uint32_t pid = 1, std::uint32_t tid = 0);
+  void counter(std::string name, double timestamp_us, double value,
+               std::uint32_t pid = 1);
+  void set_process_name(std::uint32_t pid, std::string name);
+  void set_thread_name(std::uint32_t pid, std::uint32_t tid, std::string name);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped_count() const;
+
+  /// Ring contents in record order (oldest retained first).
+  std::vector<SpanEvent> events() const;
+
+  /// Microseconds elapsed on the steady clock since the session was
+  /// created — the wall-clock timestamp base for complete()/instant().
+  double wall_now_us() const;
+
+  /// The full document: {"displayTimeUnit":"ms","traceEvents":[...]}.
+  std::string to_chrome_json() const;
+
+  /// Writes to_chrome_json() to `path`; throws hmcs::Error on failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  void record(SpanEvent event);
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::vector<SpanEvent> ring_;
+  std::size_t head_ = 0;  ///< next write position once the ring is full
+  std::uint64_t dropped_ = 0;
+  std::vector<SpanEvent> metadata_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII wall-clock span: records a complete event covering its lifetime.
+/// A null session makes it a no-op, so call sites can stay unconditional.
+class WallClockSpan {
+ public:
+  WallClockSpan(TraceSession* session, std::string name, std::string category,
+                std::uint32_t pid = 1, std::uint32_t tid = 0)
+      : session_(session),
+        name_(std::move(name)),
+        category_(std::move(category)),
+        pid_(pid),
+        tid_(tid),
+        start_us_(session ? session->wall_now_us() : 0.0) {}
+  WallClockSpan(const WallClockSpan&) = delete;
+  WallClockSpan& operator=(const WallClockSpan&) = delete;
+  ~WallClockSpan() {
+    if (session_ == nullptr) return;
+    const double end_us = session_->wall_now_us();
+    session_->complete(std::move(name_), std::move(category_), start_us_,
+                       end_us - start_us_, pid_, tid_);
+  }
+
+ private:
+  TraceSession* session_;
+  std::string name_;
+  std::string category_;
+  std::uint32_t pid_;
+  std::uint32_t tid_;
+  double start_us_;
+};
+
+}  // namespace hmcs::obs

@@ -1,0 +1,281 @@
+#include "hmcs/obs/metrics.hpp"
+
+#include <bit>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::obs {
+
+// ---------------------------------------------------------------------------
+// Cells
+// ---------------------------------------------------------------------------
+
+void Stat::observe(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  double cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Stat::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Stat::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Stat::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+void Stat::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+void Timer::observe_ns(std::uint64_t ns) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t cur = min_ns_.load(std::memory_order_relaxed);
+  while (ns < cur &&
+         !min_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+  cur = max_ns_.load(std::memory_order_relaxed);
+  while (ns > cur &&
+         !max_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+  // Bucket b holds durations with bit_width(ns) == b, i.e. [2^(b-1), 2^b);
+  // bucket 0 is exactly zero.
+  std::size_t bucket = static_cast<std::size_t>(std::bit_width(ns));
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Timer::min_ns() const {
+  return count() == 0 ? 0 : min_ns_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Timer::max_ns() const {
+  return max_ns_.load(std::memory_order_relaxed);
+}
+
+double Timer::mean_ns() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(total_ns()) /
+                            static_cast<double>(n);
+}
+
+std::uint64_t Timer::bucket_count(std::size_t bucket) const {
+  return bucket < kBuckets ? buckets_[bucket].load(std::memory_order_relaxed)
+                           : 0;
+}
+
+void Timer::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+  min_ns_.store(~0ull, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot lookups
+// ---------------------------------------------------------------------------
+
+namespace {
+template <typename Row>
+const Row* find_row(const std::vector<Row>& rows, std::string_view name) {
+  for (const Row& row : rows) {
+    if (row.name == name) return &row;
+  }
+  return nullptr;
+}
+}  // namespace
+
+const MetricsSnapshot::CounterRow* MetricsSnapshot::find_counter(
+    std::string_view name) const {
+  return find_row(counters, name);
+}
+const MetricsSnapshot::GaugeRow* MetricsSnapshot::find_gauge(
+    std::string_view name) const {
+  return find_row(gauges, name);
+}
+const MetricsSnapshot::StatRow* MetricsSnapshot::find_stat(
+    std::string_view name) const {
+  return find_row(stats, name);
+}
+const MetricsSnapshot::TimerRow* MetricsSnapshot::find_timer(
+    std::string_view name) const {
+  return find_row(timers, name);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct Registry::Impl {
+  enum class Kind : std::uint8_t { kCounter, kGauge, kStat, kTimer };
+
+  mutable std::mutex mutex;
+  /// Name -> (kind, index into that kind's cell deque). std::deque keeps
+  /// every cell at a stable address, which is what makes handles durable.
+  std::map<std::string, std::pair<Kind, std::size_t>, std::less<>> index;
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Stat> stats;
+  std::deque<Timer> timers;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> stat_names;
+  std::vector<std::string> timer_names;
+
+  static const char* kind_name(Kind kind) {
+    switch (kind) {
+      case Kind::kCounter:
+        return "counter";
+      case Kind::kGauge:
+        return "gauge";
+      case Kind::kStat:
+        return "stat";
+      case Kind::kTimer:
+        return "timer";
+    }
+    return "unknown";
+  }
+
+  /// Returns the cell index for `name`, registering it when new; throws
+  /// when the name is already registered under a different kind.
+  std::size_t resolve(std::string_view name, Kind kind, std::size_t next) {
+    require(!name.empty(), "obs::Registry: metric name must be non-empty");
+    const auto it = index.find(name);
+    if (it == index.end()) {
+      index.emplace(std::string(name), std::make_pair(kind, next));
+      return next;
+    }
+    require(it->second.first == kind,
+            "obs::Registry: metric '" + std::string(name) +
+                "' already registered as a " + kind_name(it->second.first));
+    return it->second.second;
+  }
+};
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+  // Intentionally leaked: handles cached in function-local statics across
+  // every instrumented library must stay valid through static destruction.
+  static Registry* const instance = new Registry;
+  return *instance;
+}
+
+Counter* Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::size_t i =
+      impl_->resolve(name, Impl::Kind::kCounter, impl_->counters.size());
+  if (i == impl_->counters.size()) {
+    impl_->counters.emplace_back();
+    impl_->counter_names.emplace_back(name);
+  }
+  return &impl_->counters[i];
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::size_t i =
+      impl_->resolve(name, Impl::Kind::kGauge, impl_->gauges.size());
+  if (i == impl_->gauges.size()) {
+    impl_->gauges.emplace_back();
+    impl_->gauge_names.emplace_back(name);
+  }
+  return &impl_->gauges[i];
+}
+
+Stat* Registry::stat(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::size_t i =
+      impl_->resolve(name, Impl::Kind::kStat, impl_->stats.size());
+  if (i == impl_->stats.size()) {
+    impl_->stats.emplace_back();
+    impl_->stat_names.emplace_back(name);
+  }
+  return &impl_->stats[i];
+}
+
+Timer* Registry::timer(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::size_t i =
+      impl_->resolve(name, Impl::Kind::kTimer, impl_->timers.size());
+  if (i == impl_->timers.size()) {
+    impl_->timers.emplace_back();
+    impl_->timer_names.emplace_back(name);
+  }
+  return &impl_->timers[i];
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MetricsSnapshot snap;
+  snap.counters.reserve(impl_->counters.size());
+  for (std::size_t i = 0; i < impl_->counters.size(); ++i) {
+    snap.counters.push_back(
+        {impl_->counter_names[i], impl_->counters[i].value()});
+  }
+  snap.gauges.reserve(impl_->gauges.size());
+  for (std::size_t i = 0; i < impl_->gauges.size(); ++i) {
+    snap.gauges.push_back({impl_->gauge_names[i], impl_->gauges[i].value()});
+  }
+  snap.stats.reserve(impl_->stats.size());
+  for (std::size_t i = 0; i < impl_->stats.size(); ++i) {
+    const Stat& s = impl_->stats[i];
+    snap.stats.push_back(
+        {impl_->stat_names[i], s.count(), s.sum(), s.min(), s.max()});
+  }
+  snap.timers.reserve(impl_->timers.size());
+  for (std::size_t i = 0; i < impl_->timers.size(); ++i) {
+    const Timer& t = impl_->timers[i];
+    MetricsSnapshot::TimerRow row{impl_->timer_names[i], t.count(),
+                                  t.total_ns(),          t.min_ns(),
+                                  t.max_ns(),            {}};
+    for (std::size_t b = 0; b < Timer::kBuckets; ++b) {
+      const std::uint64_t n = t.bucket_count(b);
+      if (n == 0) continue;
+      const std::uint64_t upper = b >= 63 ? ~0ull : (1ull << b);
+      row.buckets.emplace_back(upper, n);
+    }
+    snap.timers.push_back(std::move(row));
+  }
+  return snap;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (Counter& c : impl_->counters) c.reset();
+  for (Gauge& g : impl_->gauges) g.reset();
+  for (Stat& s : impl_->stats) s.reset();
+  for (Timer& t : impl_->timers) t.reset();
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->index.size();
+}
+
+}  // namespace hmcs::obs

@@ -1,0 +1,49 @@
+#include "hmcs/obs/sampler.hpp"
+
+#include <utility>
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::obs {
+
+TimeSeriesSampler::TimeSeriesSampler(std::size_t capacity_per_series)
+    : capacity_per_series_(capacity_per_series) {
+  require(capacity_per_series >= 1,
+          "TimeSeriesSampler: capacity must be >= 1");
+}
+
+void TimeSeriesSampler::attach_trace(TraceSession* session, std::uint32_t pid) {
+  trace_ = session;
+  trace_pid_ = pid;
+}
+
+void TimeSeriesSampler::add_probe(std::string name,
+                                  std::function<double()> probe) {
+  require(static_cast<bool>(probe), "TimeSeriesSampler: probe must be callable");
+  probes_.push_back(std::move(probe));
+  Series series;
+  series.name = std::move(name);
+  series_.push_back(std::move(series));
+}
+
+void TimeSeriesSampler::sample(double now_us) {
+  ++samples_taken_;
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    const double value = probes_[i]();
+    Series& series = series_[i];
+    if (series.times_us.size() >= capacity_per_series_) {
+      // Keep the most recent window; erase is O(n) but sampling is a
+      // coarse, user-enabled diagnostic path.
+      series.times_us.erase(series.times_us.begin());
+      series.values.erase(series.values.begin());
+      ++series.dropped;
+    }
+    series.times_us.push_back(now_us);
+    series.values.push_back(value);
+    if (trace_ != nullptr) {
+      trace_->counter(series.name, now_us, value, trace_pid_);
+    }
+  }
+}
+
+}  // namespace hmcs::obs

@@ -28,6 +28,8 @@
 #include "hmcs/analytic/cluster_of_clusters.hpp"
 #include "hmcs/analytic/service_time.hpp"
 #include "hmcs/analytic/system_config.hpp"
+#include "hmcs/obs/sampler.hpp"
+#include "hmcs/obs/trace.hpp"
 #include "hmcs/simcore/fifo_station.hpp"
 #include "hmcs/simcore/histogram.hpp"
 #include "hmcs/simcore/rng.hpp"
@@ -74,6 +76,24 @@ struct SimOptions {
   std::uint64_t max_events = 200'000'000;
   /// Optional message-lifecycle trace (see trace.hpp); null = off.
   std::shared_ptr<TraceRecorder> trace;
+
+  /// Observability hooks (see docs/OBSERVABILITY.md). Attaching them
+  /// changes the executed-event count (sampler ticks ride the engine)
+  /// but never the stochastic trajectory: the sampler draws no random
+  /// numbers, so every latency and statistic matches an unobserved run.
+  struct Observability {
+    /// Simulated-time phase spans and queue-depth counter tracks are
+    /// recorded here as Chrome trace events; null = off.
+    std::shared_ptr<obs::TraceSession> trace;
+    /// Perfetto process id grouping this run's tracks (keep distinct per
+    /// concurrent run so counter tracks do not interleave).
+    std::uint32_t trace_pid = 2;
+    /// Period of the queue-depth sampler in simulated µs; 0 = off.
+    double sample_interval_us = 0.0;
+    /// Ring capacity per sampled series (oldest points drop beyond it).
+    std::size_t sample_capacity = 8192;
+  };
+  Observability obs;
 };
 
 /// Aggregated observations for one service-centre role (ICN1/ECN1
@@ -118,6 +138,27 @@ struct SimResult {
   CenterStats icn1;
   CenterStats ecn1;
   CenterStats icn2;
+
+  /// Run-health diagnostics surfaced by the observability layer.
+  struct ObsStats {
+    /// Simulated time at which warm-up ended and measurement began.
+    double warmup_end_us = 0.0;
+    /// Batch-means diagnostics for the latency CI (0 batches when the
+    /// i.i.d. fallback was used).
+    std::uint64_t batch_count = 0;
+    double batch_lag1_autocorrelation = 0.0;
+    /// Message-lifecycle TraceRecorder events rejected at capacity.
+    std::uint64_t trace_dropped = 0;
+    /// Queue-depth sampler ticks taken (0 when sampling was off).
+    std::uint64_t samples_taken = 0;
+    /// Engine diagnostics for this run's event queue.
+    std::uint64_t events_pushed = 0;
+    std::uint64_t calendar_resizes = 0;
+    std::uint64_t calendar_purges = 0;
+    std::uint64_t sweep_fallbacks = 0;
+    std::size_t peak_slot_capacity = 0;
+  };
+  ObsStats obs;
 };
 
 class MultiClusterSim {
@@ -139,6 +180,10 @@ class MultiClusterSim {
   /// Raw measured latencies in delivery order (valid after run()) — the
   /// input for external analyses such as simcore::mser_warmup.
   const std::vector<double>& measured_latencies() const;
+
+  /// The queue-depth sampler, or null when options.obs.sample_interval_us
+  /// was 0. Series cover the whole run (warm-up included).
+  const obs::TimeSeriesSampler* sampler() const;
 
  private:
   struct Impl;

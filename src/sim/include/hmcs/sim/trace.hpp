@@ -36,14 +36,19 @@ struct TraceEvent {
 
 class TraceRecorder {
  public:
-  /// Records at most `capacity` events, then silently stops (the
-  /// `truncated()` flag reports it).
+  /// Records at most `capacity` events, then stops accepting — but the
+  /// loss is never silent: every rejected event advances
+  /// `dropped_count()`, which the simulator also surfaces in its
+  /// observability snapshot (SimResult::obs.trace_dropped and the
+  /// `sim.trace.dropped_events` metric).
   explicit TraceRecorder(std::size_t capacity = 100000);
 
   void record(TraceEvent event);
 
   const std::vector<TraceEvent>& events() const { return events_; }
-  bool truncated() const { return truncated_; }
+  bool truncated() const { return dropped_ > 0; }
+  /// Events rejected because the recorder was at capacity.
+  std::uint64_t dropped_count() const { return dropped_; }
   std::size_t capacity() const { return capacity_; }
 
   /// CSV rendering: time_us,kind,message,source,destination,center.
@@ -52,7 +57,7 @@ class TraceRecorder {
  private:
   std::size_t capacity_;
   std::vector<TraceEvent> events_;
-  bool truncated_ = false;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace hmcs::sim

@@ -6,6 +6,7 @@
 #include <optional>
 #include <utility>
 
+#include "hmcs/obs/metrics.hpp"
 #include "hmcs/simcore/batch_means.hpp"
 #include "hmcs/util/error.hpp"
 
@@ -42,6 +43,25 @@ struct ResolvedCluster {
 
 enum class Stage : std::uint8_t { kIcn1, kEcn1Out, kIcn2, kEcn1In };
 
+/// Lag-1 autocorrelation of a series — the batch-means health check: a
+/// value near 0 means the batches are long enough to be treated as
+/// independent, so the CI width is trustworthy.
+double lag1_autocorrelation(const std::vector<double>& xs) {
+  if (xs.size() < 3) return 0.0;
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double variance = 0.0;
+  double covariance = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    variance += (xs[i] - mean) * (xs[i] - mean);
+    if (i + 1 < xs.size()) {
+      covariance += (xs[i] - mean) * (xs[i + 1] - mean);
+    }
+  }
+  return variance > 0.0 ? covariance / variance : 0.0;
+}
+
 struct MessageState {
   std::uint64_t src = 0;
   std::uint64_t dst = 0;
@@ -77,11 +97,17 @@ struct MultiClusterSim::Impl {
   std::vector<MessageState> messages;
   std::vector<std::uint32_t> free_slots;
 
+  // --- observability ---------------------------------------------------
+  std::optional<obs::TimeSeriesSampler> sampler;
+  double warmup_end_us = 0.0;
+
   // --- measurement -----------------------------------------------------
   bool measuring = false;
   bool done = false;
   bool has_run = false;
   double window_start = 0.0;
+  std::uint64_t generated_total = 0;
+  std::uint64_t pool_growths = 0;
   std::uint64_t delivered_total = 0;
   std::uint64_t measured_deliveries = 0;
   simcore::Tally latency;
@@ -179,6 +205,51 @@ struct MultiClusterSim::Impl {
     }
 
     if (options.warmup_messages == 0) measuring = true;
+
+    init_observability();
+  }
+
+  void init_observability() {
+    if (options.obs.sample_interval_us <= 0.0) return;
+    sampler.emplace(options.obs.sample_capacity);
+    if (options.obs.trace) {
+      sampler->attach_trace(options.obs.trace.get(), options.obs.trace_pid);
+    }
+    sampler->add_probe("sim.event_queue.pending", [this] {
+      return static_cast<double>(simulator.pending_events());
+    });
+    sampler->add_probe("sim.icn1.queue_total", [this] {
+      double total = 0.0;
+      for (const auto& station : icn1_stations) {
+        total += static_cast<double>(station.queue_length());
+      }
+      return total;
+    });
+    sampler->add_probe("sim.ecn1.queue_total", [this] {
+      double total = 0.0;
+      for (const auto& station : ecn1_stations) {
+        total += static_cast<double>(station.queue_length());
+      }
+      return total;
+    });
+    sampler->add_probe("sim.icn2.queue", [this] {
+      return static_cast<double>(icn2_station->queue_length());
+    });
+    sampler->add_probe("sim.messages_in_flight", [this] {
+      return static_cast<double>(messages.size() - free_slots.size());
+    });
+  }
+
+  /// Sampler heartbeat: reads every probe at the current simulated time
+  /// and re-arms itself. Rides the regular event queue, so the trace's
+  /// time axis is simulated µs — but the probes draw no random numbers,
+  /// so the stochastic trajectory is identical to an unsampled run.
+  void sample_tick() {
+    sampler->sample(simulator.now());
+    if (!done) {
+      simulator.schedule_after(options.obs.sample_interval_us,
+                               [this] { sample_tick(); });
+    }
   }
 
   void schedule_think(std::uint64_t node) {
@@ -194,9 +265,11 @@ struct MultiClusterSim::Impl {
       ensure(!options.closed_loop, "sim: message pool exhausted");
       messages.push_back(MessageState{});
       free_slots.push_back(static_cast<std::uint32_t>(messages.size() - 1));
+      ++pool_growths;
     }
     const std::uint32_t slot = free_slots.back();
     free_slots.pop_back();
+    ++generated_total;
     // Open loop: the next arrival is scheduled independently of this
     // message's fate (Poisson stream, assumption 1 without assumption 4).
     if (!options.closed_loop) schedule_think(node);
@@ -293,9 +366,16 @@ struct MultiClusterSim::Impl {
   void begin_measurement() {
     measuring = true;
     window_start = simulator.now();
+    warmup_end_us = window_start;
     for (auto& station : icn1_stations) station.reset_statistics();
     for (auto& station : ecn1_stations) station.reset_statistics();
     icn2_station->reset_statistics();
+    if (options.obs.trace) {
+      options.obs.trace->complete("warmup", "sim.phase", 0.0, window_start,
+                                  options.obs.trace_pid);
+      options.obs.trace->instant("measurement_start", "sim.phase",
+                                 window_start, options.obs.trace_pid);
+    }
   }
 
   CenterStats aggregate(const std::deque<simcore::FifoStation>& stations) const {
@@ -350,6 +430,9 @@ struct MultiClusterSim::Impl {
     for (const double sample : measured_samples) batches.add(sample);
     if (batches.num_complete_batches() >= 2) {
       result.latency_ci = batches.confidence_interval();
+      result.obs.batch_count = batches.num_complete_batches();
+      result.obs.batch_lag1_autocorrelation =
+          lag1_autocorrelation(batches.batch_means());
     } else {
       result.latency_ci = latency.confidence_interval();
     }
@@ -394,10 +477,51 @@ struct MultiClusterSim::Impl {
 
     result.events_executed = simulator.executed_events();
 
+    finish_observability(result);
+
     const double hi = std::max(result.max_latency_us * 1.001, 1.0);
     histogram.emplace(0.0, hi, 64);
     for (const double sample : measured_samples) histogram->add(sample);
     return result;
+  }
+
+  /// End-of-run observability: fills SimResult::ObsStats from the engine
+  /// and publishes the run's aggregates to the global metrics registry.
+  /// Per-message quantities are counted in plain members on the hot path
+  /// and flushed here in one shot, so concurrent replications never
+  /// contend on shared cache lines mid-run.
+  void finish_observability(SimResult& result) {
+    result.obs.warmup_end_us = warmup_end_us;
+    result.obs.trace_dropped = options.trace ? options.trace->dropped_count() : 0;
+    result.obs.samples_taken = sampler ? sampler->samples_taken() : 0;
+    const simcore::EventQueue& queue = simulator.queue();
+    result.obs.events_pushed = queue.total_pushed();
+    result.obs.calendar_resizes = queue.calendar_resizes();
+    result.obs.calendar_purges = queue.calendar_purges();
+    result.obs.sweep_fallbacks = queue.sweep_fallbacks();
+    result.obs.peak_slot_capacity = queue.slot_capacity();
+
+    if (options.obs.trace) {
+      options.obs.trace->complete("measurement", "sim.phase", window_start,
+                                  simulator.now() - window_start,
+                                  options.obs.trace_pid);
+    }
+
+    HMCS_OBS_COUNTER_ADD("sim.messages.generated", generated_total);
+    HMCS_OBS_COUNTER_ADD("sim.messages.delivered", delivered_total);
+    HMCS_OBS_COUNTER_ADD("sim.messages.measured", measured_deliveries);
+    HMCS_OBS_COUNTER_ADD("sim.message_pool.growths", pool_growths);
+    HMCS_OBS_COUNTER_ADD("sim.trace.dropped_events", result.obs.trace_dropped);
+    HMCS_OBS_STAT_OBSERVE("sim.center.icn1.utilization",
+                          result.icn1.utilization);
+    HMCS_OBS_STAT_OBSERVE("sim.center.ecn1.utilization",
+                          result.ecn1.utilization);
+    HMCS_OBS_STAT_OBSERVE("sim.center.icn2.utilization",
+                          result.icn2.utilization);
+    HMCS_OBS_STAT_OBSERVE("sim.run.mean_latency_us", result.mean_latency_us);
+    HMCS_OBS_STAT_OBSERVE("sim.run.batch_lag1",
+                          result.obs.batch_lag1_autocorrelation);
+    HMCS_OBS_GAUGE_SET("sim.run.warmup_end_us", warmup_end_us);
   }
 
   SimResult run() {
@@ -410,6 +534,7 @@ struct MultiClusterSim::Impl {
     for (std::uint64_t node = 0; node < total_nodes(); ++node) {
       schedule_think(node);
     }
+    if (sampler) sample_tick();
     while (!done) {
       ensure(simulator.step(), "sim: event queue drained before completion");
       if (options.max_events != 0 &&
@@ -491,6 +616,10 @@ const std::vector<double>& MultiClusterSim::measured_latencies() const {
   require(impl_->has_run && impl_->done,
           "MultiClusterSim: samples available only after run()");
   return impl_->measured_samples;
+}
+
+const obs::TimeSeriesSampler* MultiClusterSim::sampler() const {
+  return impl_->sampler.has_value() ? &*impl_->sampler : nullptr;
 }
 
 }  // namespace hmcs::sim

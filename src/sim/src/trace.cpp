@@ -29,7 +29,7 @@ TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
 
 void TraceRecorder::record(TraceEvent event) {
   if (events_.size() >= capacity_) {
-    truncated_ = true;
+    ++dropped_;
     return;
   }
   events_.push_back(std::move(event));

@@ -186,6 +186,18 @@ class EventQueue {
   /// Number of calendar buckets (diagnostic).
   std::size_t bucket_count() const { return buckets_.size(); }
 
+  /// Calendar re-parameterizations that changed the bucket count or
+  /// width (diagnostic; rare in steady state).
+  std::uint64_t calendar_resizes() const { return calendar_resizes_; }
+
+  /// Rebuilds triggered purely to purge cancellation tombstones — the
+  /// bucket geometry stayed put (diagnostic).
+  std::uint64_t calendar_purges() const { return calendar_purges_; }
+
+  /// Full-calendar sweeps taken when a whole year of buckets was empty
+  /// (diagnostic; the O(buckets) fallback of find_min).
+  std::uint64_t sweep_fallbacks() const { return sweep_fallbacks_; }
+
  private:
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
   /// Virtual bucket numbers are clamped here so time/width can never
@@ -334,6 +346,10 @@ class EventQueue {
   std::size_t live_count_ = 0;
   /// Slots chained in buckets (live + cancelled-but-not-yet-collected).
   std::size_t chained_count_ = 0;
+
+  std::uint64_t calendar_resizes_ = 0;
+  std::uint64_t calendar_purges_ = 0;
+  std::uint64_t sweep_fallbacks_ = 0;
 
   /// Running mean of positive consecutive-dequeue time gaps; drives the
   /// width. Seeded from the first observed gap, not from zero.

@@ -23,6 +23,13 @@ class Simulator {
  public:
   Simulator() = default;
 
+  /// Flushes the batched events-dispatched count to the global metrics
+  /// registry (see step()).
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
   /// Current simulation time (microseconds).
   SimTime now() const { return now_; }
 
@@ -53,10 +60,22 @@ class Simulator {
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
+  /// Read-only view of the pending-event set for diagnostics
+  /// (total_pushed, slot_capacity, bucket_count, calendar counters).
+  const EventQueue& queue() const { return queue_; }
+
  private:
+  /// Publishes executed-event deltas to the global metrics registry in
+  /// batches: one relaxed atomic add per kObsFlushBatch events, so
+  /// concurrent simulators never contend on the shared counter line.
+  void flush_obs_counters();
+
+  static constexpr std::uint64_t kObsFlushBatch = 4096;
+
   EventQueue queue_;
   SimTime now_ = 0.0;
   std::uint64_t executed_ = 0;
+  std::uint64_t obs_flushed_ = 0;
   bool stop_requested_ = false;
 };
 

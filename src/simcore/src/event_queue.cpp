@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <bit>
 
+#include "hmcs/obs/metrics.hpp"
+
 namespace hmcs::simcore {
 
 std::uint32_t EventQueue::sweep_min() {
+  // Rare fallback path: structural counters only, never per-push/pop —
+  // the hot path stays free of shared-cache-line traffic.
+  ++sweep_fallbacks_;
+  HMCS_OBS_COUNTER_INC("simcore.event_queue.sweep_fallbacks");
   std::uint32_t best = kNoSlot;
   for (std::size_t bucket = 0; bucket < buckets_.size(); ++bucket) {
     std::uint32_t head = buckets_[bucket];
@@ -49,6 +55,13 @@ void EventQueue::maybe_check_width() {
 }
 
 void EventQueue::rebuild(std::size_t new_bucket_count, double new_width) {
+  if (new_bucket_count == buckets_.size() && new_width == width_) {
+    ++calendar_purges_;
+    HMCS_OBS_COUNTER_INC("simcore.event_queue.calendar_purges");
+  } else {
+    ++calendar_resizes_;
+    HMCS_OBS_COUNTER_INC("simcore.event_queue.calendar_resizes");
+  }
   // Thread every chained slot onto one temporary list, freeing the
   // bucket heads.
   std::uint32_t all = kNoSlot;

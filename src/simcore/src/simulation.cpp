@@ -2,9 +2,19 @@
 
 #include <cmath>
 
+#include "hmcs/obs/metrics.hpp"
 #include "hmcs/util/error.hpp"
 
 namespace hmcs::simcore {
+
+Simulator::~Simulator() { flush_obs_counters(); }
+
+void Simulator::flush_obs_counters() {
+  if (executed_ == obs_flushed_) return;
+  HMCS_OBS_COUNTER_ADD("simcore.engine.events_dispatched",
+                       executed_ - obs_flushed_);
+  obs_flushed_ = executed_;
+}
 
 EventId Simulator::schedule_after(SimTime delay, EventAction action) {
   require(std::isfinite(delay) && delay >= 0.0,
@@ -24,6 +34,7 @@ bool Simulator::step() {
   ensure(event->time >= now_, "Simulator: time went backwards");
   now_ = event->time;
   ++executed_;
+  if (executed_ - obs_flushed_ >= kObsFlushBatch) flush_obs_counters();
   event->action();
   return true;
 }

@@ -1,11 +1,14 @@
 #pragma once
 
 /// \file json.hpp
-/// A minimal JSON writer (no parsing, no DOM): enough to serialise
-/// configurations and results for downstream tooling without pulling in
-/// a dependency. Values are emitted in insertion order; strings are
-/// escaped per RFC 8259; non-finite doubles are emitted as null (JSON
-/// has no inf/nan).
+/// A minimal JSON writer plus a small read-back parser: enough to
+/// serialise configurations and results for downstream tooling — and to
+/// load them back for round-trip tests and report post-processing —
+/// without pulling in a dependency. Values are emitted in insertion
+/// order; strings are escaped per RFC 8259; non-finite doubles are
+/// emitted as null (JSON has no inf/nan). The parser accepts exactly
+/// RFC 8259 documents (no comments, no trailing commas) and keeps
+/// object members in document order.
 ///
 ///   JsonWriter json;
 ///   json.begin_object();
@@ -18,6 +21,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace hmcs {
@@ -60,5 +64,54 @@ class JsonWriter {
   bool expecting_value_ = false;  // a key was just written
   bool complete_ = false;
 };
+
+/// A parsed JSON value. Deliberately a plain open struct (no variant
+/// gymnastics): exactly one of the payload members is meaningful per
+/// `type`, and the typed accessors throw hmcs::ConfigError on kind
+/// mismatch so test assertions fail with a message instead of reading
+/// a default.
+struct JsonValue {
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;  ///< array elements
+  /// Object members in document order (duplicate keys are rejected).
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Object member by key, or nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+  /// Object member by key; throws when absent.
+  const JsonValue& at(std::string_view key) const;
+  /// Array element by index; throws when out of range.
+  const JsonValue& at(std::size_t index) const;
+  /// Array/object element count; 0 for scalars.
+  std::size_t size() const;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected). Throws hmcs::ConfigError with an offset
+/// on malformed input.
+JsonValue parse_json(std::string_view text);
 
 }  // namespace hmcs

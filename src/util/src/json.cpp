@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "hmcs/util/error.hpp"
 
@@ -136,6 +138,288 @@ std::string JsonWriter::str() const {
   ensure(stack_.empty() && complete_,
          "JsonWriter: document incomplete (unbalanced containers)");
   return out_;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+bool JsonValue::as_bool() const {
+  require(is_bool(), "JsonValue: not a boolean");
+  return bool_value;
+}
+
+double JsonValue::as_number() const {
+  require(is_number(), "JsonValue: not a number");
+  return number_value;
+}
+
+const std::string& JsonValue::as_string() const {
+  require(is_string(), "JsonValue: not a string");
+  return string_value;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* value = find(key);
+  require(value != nullptr,
+          "JsonValue: missing object member '" + std::string(key) + "'");
+  return *value;
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  require(is_array(), "JsonValue: not an array");
+  require(index < items.size(), "JsonValue: array index out of range");
+  return items[index];
+}
+
+std::size_t JsonValue::size() const {
+  if (is_array()) return items.size();
+  if (is_object()) return members.size();
+  return 0;
+}
+
+namespace {
+
+/// Recursive-descent RFC 8259 parser over a string_view with an explicit
+/// cursor; errors report the byte offset.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    check(pos_ == text_.size(), "trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(std::string_view message) const {
+    require(false, "parse_json: " + std::string(message) + " at offset " +
+                       std::to_string(pos_));
+    // require(false, ...) always throws; unreachable.
+    throw LogicError("parse_json: unreachable");
+  }
+  void check(bool condition, std::string_view message) const {
+    if (!condition) fail(message);
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const {
+    check(!at_end(), "unexpected end of input");
+    return text_[pos_];
+  }
+  char take() {
+    const char ch = peek();
+    ++pos_;
+    return ch;
+  }
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char ch = text_[pos_];
+      if (ch != ' ' && ch != '\t' && ch != '\n' && ch != '\r') break;
+      ++pos_;
+    }
+  }
+  void expect_literal(std::string_view literal) {
+    check(text_.substr(pos_, literal.size()) == literal,
+          "invalid literal");
+    pos_ += literal.size();
+  }
+
+  JsonValue parse_value() {
+    check(depth_ < kMaxDepth, "nesting too deep");
+    skip_whitespace();
+    const char ch = peek();
+    switch (ch) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        JsonValue value;
+        value.type = JsonValue::Type::kString;
+        value.string_value = parse_string();
+        return value;
+      }
+      case 't': {
+        expect_literal("true");
+        JsonValue value;
+        value.type = JsonValue::Type::kBool;
+        value.bool_value = true;
+        return value;
+      }
+      case 'f': {
+        expect_literal("false");
+        JsonValue value;
+        value.type = JsonValue::Type::kBool;
+        return value;
+      }
+      case 'n':
+        expect_literal("null");
+        return JsonValue{};
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    ++depth_;
+    take();  // '{'
+    JsonValue value;
+    value.type = JsonValue::Type::kObject;
+    skip_whitespace();
+    if (peek() == '}') {
+      take();
+      --depth_;
+      return value;
+    }
+    for (;;) {
+      skip_whitespace();
+      check(peek() == '"', "expected object key");
+      std::string key = parse_string();
+      check(value.find(key) == nullptr, "duplicate object key");
+      skip_whitespace();
+      check(take() == ':', "expected ':' after object key");
+      value.members.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      const char next = take();
+      if (next == '}') break;
+      check(next == ',', "expected ',' or '}' in object");
+    }
+    --depth_;
+    return value;
+  }
+
+  JsonValue parse_array() {
+    ++depth_;
+    take();  // '['
+    JsonValue value;
+    value.type = JsonValue::Type::kArray;
+    skip_whitespace();
+    if (peek() == ']') {
+      take();
+      --depth_;
+      return value;
+    }
+    for (;;) {
+      value.items.push_back(parse_value());
+      skip_whitespace();
+      const char next = take();
+      if (next == ']') break;
+      check(next == ',', "expected ',' or ']' in array");
+    }
+    --depth_;
+    return value;
+  }
+
+  std::string parse_string() {
+    check(take() == '"', "expected string");
+    std::string out;
+    for (;;) {
+      const char ch = take();
+      if (ch == '"') return out;
+      check(static_cast<unsigned char>(ch) >= 0x20,
+            "unescaped control character in string");
+      if (ch != '\\') {
+        out += ch;
+        continue;
+      }
+      const char escape = take();
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char hex = take();
+            code <<= 4;
+            if (hex >= '0' && hex <= '9') {
+              code |= static_cast<unsigned>(hex - '0');
+            } else if (hex >= 'a' && hex <= 'f') {
+              code |= static_cast<unsigned>(hex - 'a' + 10);
+            } else if (hex >= 'A' && hex <= 'F') {
+              code |= static_cast<unsigned>(hex - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two 3-byte sequences; good enough for the metric
+          // and trace names this parser reads back).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape sequence");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && text_[pos_] == '-') ++pos_;
+    check(!at_end() && text_[pos_] >= '0' && text_[pos_] <= '9',
+          "invalid number");
+    if (text_[pos_] == '0') {
+      ++pos_;  // RFC 8259: no leading zeros — "0" ends the integer part
+    } else {
+      while (!at_end() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (!at_end() && text_[pos_] == '.') {
+      ++pos_;
+      check(!at_end() && text_[pos_] >= '0' && text_[pos_] <= '9',
+            "digit required after decimal point");
+      while (!at_end() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (!at_end() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (!at_end() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      check(!at_end() && text_[pos_] >= '0' && text_[pos_] <= '9',
+            "digit required in exponent");
+      while (!at_end() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    JsonValue value;
+    value.type = JsonValue::Type::kNumber;
+    value.number_value = std::strtod(token.c_str(), nullptr);
+    return value;
+  }
+
+  static constexpr std::size_t kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return JsonParser(text).parse_document();
 }
 
 }  // namespace hmcs

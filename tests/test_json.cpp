@@ -157,4 +157,69 @@ TEST(Serialize, HeteroDocuments) {
             std::string::npos);
 }
 
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("-12.5e2").as_number(), -1250.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, ObjectKeepsDocumentOrder) {
+  const JsonValue doc = parse_json(R"({"b":1,"a":[2,3],"c":{"d":null}})");
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_EQ(doc.members.size(), 3u);
+  EXPECT_EQ(doc.members[0].first, "b");
+  EXPECT_EQ(doc.members[1].first, "a");
+  EXPECT_DOUBLE_EQ(doc.at("a").at(1).as_number(), 3.0);
+  EXPECT_TRUE(doc.at("c").at("d").is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), ConfigError);
+}
+
+TEST(JsonParse, StringEscapes) {
+  const JsonValue doc = parse_json(R"("a\n\t\"\\\/Aé")");
+  EXPECT_EQ(doc.as_string(), "a\n\t\"\\/A\xC3\xA9");
+  // \u escapes decode to UTF-8.
+  EXPECT_EQ(parse_json("\"\\u00e9A\"").as_string(), "\xC3\xA9\x41");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("series").begin_array().value(1.5).value(2.5).end_array();
+  json.key("name").value("line\n\"quoted\"");
+  json.key("flag").value(true);
+  json.end_object();
+  const JsonValue doc = parse_json(json.str());
+  EXPECT_DOUBLE_EQ(doc.at("series").at(0).as_number(), 1.5);
+  EXPECT_EQ(doc.at("name").as_string(), "line\n\"quoted\"");
+  EXPECT_TRUE(doc.at("flag").as_bool());
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse_json(""), ConfigError);
+  EXPECT_THROW(parse_json("{"), ConfigError);
+  EXPECT_THROW(parse_json("[1,]"), ConfigError);
+  EXPECT_THROW(parse_json("{\"a\":1} trailing"), ConfigError);
+  EXPECT_THROW(parse_json("{\"a\":1,\"a\":2}"), ConfigError);  // dup key
+  EXPECT_THROW(parse_json("\"unterminated"), ConfigError);
+  EXPECT_THROW(parse_json("01"), ConfigError);
+  EXPECT_THROW(parse_json("nul"), ConfigError);
+}
+
+TEST(JsonParse, TypeMismatchAccessorsThrow) {
+  const JsonValue doc = parse_json("[1]");
+  EXPECT_THROW(doc.as_number(), ConfigError);
+  EXPECT_THROW(doc.at("key"), ConfigError);
+  EXPECT_THROW(doc.at(5), ConfigError);
+}
+
+TEST(JsonParse, DepthLimitGuardsRecursion) {
+  std::string deep;
+  for (int i = 0; i < 400; ++i) deep += '[';
+  for (int i = 0; i < 400; ++i) deep += ']';
+  EXPECT_THROW(parse_json(deep), ConfigError);
+}
+
 }  // namespace

@@ -1,0 +1,51 @@
+// Compiled with HMCS_OBS_DISABLED (see tests/CMakeLists.txt): proves the
+// instrumentation macros are zero-cost no-ops in a disabled translation
+// unit — they compile, evaluate nothing, and register nothing — while
+// the library API itself stays available for explicit use.
+
+#include <gtest/gtest.h>
+
+#include "hmcs/obs/metrics.hpp"
+
+#if !defined(HMCS_OBS_DISABLED)
+#error "this test must be built with HMCS_OBS_DISABLED"
+#endif
+
+namespace {
+
+static_assert(!hmcs::obs::kEnabled);
+
+int evaluations = 0;
+
+// Only ever named inside the disabled macros' unevaluated sizeof, hence
+// maybe_unused: a definition with no odr-use.
+[[maybe_unused]] int observed_value() {
+  ++evaluations;
+  return 1;
+}
+
+TEST(ObsDisabled, MacrosCompileToNoOpsAndRegisterNothing) {
+  const std::size_t before = hmcs::obs::Registry::global().size();
+  HMCS_OBS_COUNTER_INC("disabled.counter");
+  HMCS_OBS_COUNTER_ADD("disabled.counter", observed_value());
+  HMCS_OBS_GAUGE_SET("disabled.gauge", observed_value());
+  HMCS_OBS_STAT_OBSERVE("disabled.stat", observed_value());
+  { HMCS_OBS_TIMER_SCOPE("disabled.timer"); }
+  EXPECT_EQ(hmcs::obs::Registry::global().size(), before);
+  // The value expressions are syntax-checked but never evaluated.
+  EXPECT_EQ(evaluations, 0);
+  const hmcs::obs::MetricsSnapshot snapshot =
+      hmcs::obs::Registry::global().snapshot();
+  EXPECT_EQ(snapshot.find_counter("disabled.counter"), nullptr);
+  EXPECT_EQ(snapshot.find_gauge("disabled.gauge"), nullptr);
+}
+
+TEST(ObsDisabled, ExplicitApiStillWorks) {
+  // Disabling the macros severs the hot-path cost, not the library:
+  // explicit registry use (exporters, tests) keeps functioning.
+  hmcs::obs::Registry registry;
+  registry.counter("explicit")->inc(3);
+  EXPECT_EQ(registry.snapshot().find_counter("explicit")->value, 3u);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// The observability metrics registry: lock-free cells, stable handles,
+// snapshots, and the registration macros.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "hmcs/obs/metrics.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using namespace hmcs;
+
+TEST(ObsMetrics, CounterStartsAtZeroAndAdds) {
+  obs::Registry registry;
+  obs::Counter* counter = registry.counter("a.b.c");
+  EXPECT_EQ(counter->value(), 0u);
+  counter->inc();
+  counter->inc(41);
+  EXPECT_EQ(counter->value(), 42u);
+}
+
+TEST(ObsMetrics, SameNameReturnsSameCell) {
+  obs::Registry registry;
+  EXPECT_EQ(registry.counter("x"), registry.counter("x"));
+  EXPECT_EQ(registry.gauge("g"), registry.gauge("g"));
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(ObsMetrics, KindMismatchThrows) {
+  obs::Registry registry;
+  registry.counter("dual");
+  EXPECT_THROW(registry.gauge("dual"), ConfigError);
+  EXPECT_THROW(registry.stat("dual"), ConfigError);
+  EXPECT_THROW(registry.timer("dual"), ConfigError);
+  EXPECT_THROW(registry.counter(""), ConfigError);
+}
+
+TEST(ObsMetrics, ConcurrentIncrementsSumExactly) {
+  obs::Registry registry;
+  obs::Counter* counter = registry.counter("concurrent");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter->inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter->value(), kThreads * kPerThread);
+}
+
+TEST(ObsMetrics, HandlesStayValidAcrossSnapshotAndGrowth) {
+  obs::Registry registry;
+  obs::Counter* early = registry.counter("early");
+  early->inc(7);
+  const obs::MetricsSnapshot first = registry.snapshot();
+  ASSERT_NE(first.find_counter("early"), nullptr);
+  EXPECT_EQ(first.find_counter("early")->value, 7u);
+
+  // Register enough new metrics to force the storage to grow; the old
+  // handle must keep pointing at the same live cell.
+  for (int i = 0; i < 1000; ++i) {
+    registry.counter("growth." + std::to_string(i))->inc();
+  }
+  early->inc(3);
+  const obs::MetricsSnapshot second = registry.snapshot();
+  EXPECT_EQ(second.find_counter("early")->value, 10u);
+  EXPECT_EQ(registry.counter("early"), early);
+}
+
+TEST(ObsMetrics, StatTracksMoments) {
+  obs::Registry registry;
+  obs::Stat* stat = registry.stat("s");
+  stat->observe(2.0);
+  stat->observe(-1.0);
+  stat->observe(5.0);
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  const auto* row = snapshot.find_stat("s");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->count, 3u);
+  EXPECT_DOUBLE_EQ(row->sum, 6.0);
+  EXPECT_DOUBLE_EQ(row->min, -1.0);
+  EXPECT_DOUBLE_EQ(row->max, 5.0);
+}
+
+TEST(ObsMetrics, ConcurrentStatMinMaxConverge) {
+  obs::Registry registry;
+  obs::Stat* stat = registry.stat("minmax");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([stat, t] {
+      for (int i = 0; i < 10000; ++i) {
+        stat->observe(static_cast<double>(t * 10000 + i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  const auto* row = snapshot.find_stat("minmax");
+  EXPECT_EQ(row->count, 40000u);
+  EXPECT_DOUBLE_EQ(row->min, 0.0);
+  EXPECT_DOUBLE_EQ(row->max, 39999.0);
+}
+
+TEST(ObsMetrics, TimerObservesDurations) {
+  obs::Registry registry;
+  obs::Timer* timer = registry.timer("t");
+  timer->observe_ns(100);
+  timer->observe_ns(1000000);
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  const auto* row = snapshot.find_timer("t");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->count, 2u);
+  EXPECT_EQ(row->total_ns, 1000100u);
+  EXPECT_EQ(row->min_ns, 100u);
+  EXPECT_EQ(row->max_ns, 1000000u);
+}
+
+TEST(ObsMetrics, ScopedTimerRecordsSomethingPositive) {
+  obs::Registry registry;
+  obs::Timer* timer = registry.timer("scope");
+  { obs::ScopedTimer scope(timer); }
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.find_timer("scope")->count, 1u);
+}
+
+TEST(ObsMetrics, ResetValuesKeepsRegistrations) {
+  obs::Registry registry;
+  registry.counter("c")->inc(5);
+  registry.gauge("g")->set(1.5);
+  registry.stat("s")->observe(3.0);
+  registry.reset_values();
+  EXPECT_EQ(registry.size(), 3u);
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.find_counter("c")->value, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.find_gauge("g")->value, 0.0);
+  EXPECT_EQ(snapshot.find_stat("s")->count, 0u);
+}
+
+TEST(ObsMetrics, MacrosRegisterInGlobalRegistry) {
+  static_assert(obs::kEnabled, "this test binary builds with obs enabled");
+  HMCS_OBS_COUNTER_INC("test.macros.counter");
+  HMCS_OBS_COUNTER_ADD("test.macros.counter", 2);
+  HMCS_OBS_GAUGE_SET("test.macros.gauge", 2.5);
+  HMCS_OBS_STAT_OBSERVE("test.macros.stat", 4.0);
+  { HMCS_OBS_TIMER_SCOPE("test.macros.timer"); }
+  const obs::MetricsSnapshot snapshot = obs::Registry::global().snapshot();
+  ASSERT_NE(snapshot.find_counter("test.macros.counter"), nullptr);
+  EXPECT_EQ(snapshot.find_counter("test.macros.counter")->value, 3u);
+  EXPECT_DOUBLE_EQ(snapshot.find_gauge("test.macros.gauge")->value, 2.5);
+  EXPECT_EQ(snapshot.find_stat("test.macros.stat")->count, 1u);
+  EXPECT_EQ(snapshot.find_timer("test.macros.timer")->count, 1u);
+}
+
+}  // namespace

@@ -100,6 +100,16 @@ TEST(Trace, CapacityTruncates) {
   EXPECT_TRUE(trace->truncated());
 }
 
+TEST(Trace, DroppedCountMatchesOverflow) {
+  // Same seed/config, so both runs see the identical event stream; the
+  // capped recorder must account for exactly the overflow.
+  const auto full = traced_run();
+  const auto capped = traced_run(50);
+  EXPECT_FALSE(full->truncated());
+  EXPECT_EQ(full->dropped_count(), 0u);
+  EXPECT_EQ(capped->dropped_count(), full->events().size() - 50);
+}
+
 TEST(Trace, CsvHasHeaderAndRows) {
   const auto trace = traced_run(100);
   const std::string csv = trace->to_csv();
