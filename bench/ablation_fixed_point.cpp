@@ -11,10 +11,9 @@
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
-#include "hmcs/analytic/latency_model.hpp"
-#include "hmcs/analytic/scenario.hpp"
-#include "hmcs/sim/multicluster_sim.hpp"
+#include "hmcs/runner/sweep_runner.hpp"
 #include "hmcs/util/cli.hpp"
 #include "hmcs/util/string_util.hpp"
 #include "hmcs/util/table.hpp"
@@ -25,19 +24,23 @@ namespace {
 using namespace hmcs;
 using namespace hmcs::analytic;
 
-std::string latency_cell(const SystemConfig& config, SourceThrottling method) {
+std::string latency_cell(const runner::PointResult& cell, bool is_picard) {
+  if (!std::isfinite(cell.mean_latency_us)) return "inf";
+  if (is_picard && !cell.converged) {
+    return format_fixed(units::us_to_ms(cell.mean_latency_us), 3) + "*";
+  }
+  return format_fixed(units::us_to_ms(cell.mean_latency_us), 3);
+}
+
+std::shared_ptr<runner::Backend> analytic_backend(SourceThrottling method,
+                                                  std::string name) {
   ModelOptions options;
   options.fixed_point.method = method;
   if (method == SourceThrottling::kPicard) {
     options.fixed_point.picard_damping = 0.5;
     options.fixed_point.max_iterations = 10000;
   }
-  const LatencyPrediction prediction = predict_latency(config, options);
-  if (!std::isfinite(prediction.mean_latency_us)) return "inf";
-  if (method == SourceThrottling::kPicard && !prediction.fixed_point_converged) {
-    return format_fixed(units::us_to_ms(prediction.mean_latency_us), 3) + "*";
-  }
-  return format_fixed(units::us_to_ms(prediction.mean_latency_us), 3);
+  return std::make_shared<runner::AnalyticBackend>(options, std::move(name));
 }
 
 }  // namespace
@@ -52,33 +55,42 @@ int main(int argc, char** argv) {
       std::cout << cli.help_text();
       return 0;
     }
-    const auto messages = static_cast<std::uint64_t>(cli.get_int("messages"));
-    const double rate = units::per_s_to_per_us(cli.get_double("lambda"));
+    const std::uint64_t messages = cli.get_uint("messages");
+
+    // The paper cluster sweep (the default clusters axis) against every
+    // throttling method plus the simulator — one grid, five backends.
+    runner::SweepSpec spec;
+    spec.id = "ablation_fixed_point";
+    spec.axes.lambda_per_us = {units::per_s_to_per_us(cli.get_double("lambda"))};
+    spec.seed_fn = [](const runner::SweepPoint& point) -> std::uint64_t {
+      return 7000 + point.clusters;
+    };
+
+    runner::DesBackend::Options des;
+    des.sim.measured_messages = messages;
+    des.sim.warmup_messages = messages / 5;
+    des.direct_seed = true;
+    const runner::SweepResult result = runner::run_sweep(
+        spec, {analytic_backend(SourceThrottling::kNone, "none"),
+               analytic_backend(SourceThrottling::kPicard, "picard"),
+               analytic_backend(SourceThrottling::kBisection, "bisection"),
+               analytic_backend(SourceThrottling::kExactMva, "mva"),
+               std::make_shared<runner::DesBackend>(des, "simulation")});
 
     std::cout << "== Ablation: blocked-source correction "
                  "(Fig. 4 configuration, M=1024) ==\n";
     Table table({"Clusters", "none (ms)", "Picard eq.7 (ms)",
                  "bisection (ms)", "exact MVA (ms)", "simulation (ms)"});
-    std::size_t count = 0;
-    const std::uint32_t* sweep = paper_cluster_sweep(&count);
-    for (std::size_t i = 0; i < count; ++i) {
-      const SystemConfig config = paper_scenario(
-          HeterogeneityCase::kCase1, sweep[i],
-          NetworkArchitecture::kNonBlocking, 1024.0, kPaperTotalNodes, rate);
-
-      sim::SimOptions sim_options;
-      sim_options.measured_messages = messages;
-      sim_options.warmup_messages = messages / 5;
-      sim_options.seed = 7000 + sweep[i];
-      sim::MultiClusterSim simulator(config, sim_options);
-      const double sim_ms = units::us_to_ms(simulator.run().mean_latency_us);
-
-      table.add_row({std::to_string(sweep[i]),
-                     latency_cell(config, SourceThrottling::kNone),
-                     latency_cell(config, SourceThrottling::kPicard),
-                     latency_cell(config, SourceThrottling::kBisection),
-                     latency_cell(config, SourceThrottling::kExactMva),
-                     format_fixed(sim_ms, 3)});
+    for (const runner::SweepPoint& point : result.points) {
+      table.add_row(
+          {std::to_string(point.clusters),
+           latency_cell(result.at(point.index, 0), false),
+           latency_cell(result.at(point.index, 1), true),
+           latency_cell(result.at(point.index, 2), false),
+           latency_cell(result.at(point.index, 3), false),
+           format_fixed(
+               units::us_to_ms(result.at(point.index, 4).mean_latency_us),
+               3)});
     }
     std::cout << table;
     std::cout << "(* = Picard hit its iteration cap without converging; the\n"

@@ -6,10 +6,9 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
-#include "hmcs/analytic/latency_model.hpp"
-#include "hmcs/analytic/scenario.hpp"
-#include "hmcs/sim/multicluster_sim.hpp"
+#include "hmcs/runner/sweep_runner.hpp"
 #include "hmcs/util/cli.hpp"
 #include "hmcs/util/string_util.hpp"
 #include "hmcs/util/table.hpp"
@@ -26,15 +25,8 @@ int main(int argc, char** argv) {
       std::cout << cli.help_text();
       return 0;
     }
-    const auto messages = static_cast<std::uint64_t>(cli.get_int("messages"));
+    const std::uint64_t messages = cli.get_uint("messages");
 
-    ModelOptions mva;
-    mva.fixed_point.method = SourceThrottling::kExactMva;
-
-    std::cout << "== Ablation: lambda sweep (Case 1, non-blocking, C=8, "
-                 "M=1024) ==\n";
-    Table table({"lambda (msg/s)", "analysis (ms)", "simulation (ms)",
-                 "lambda_eff/lambda", "note"});
     const struct {
       double per_s;
       const char* note;
@@ -44,26 +36,43 @@ int main(int argc, char** argv) {
                  {100.0, ""},
                  {250.0, "figure scale (0.25/ms)"},
                  {1000.0, "deep saturation"}};
+
+    // One declarative sweep over the rate axis; everything else is a
+    // singleton. The historical fixed seed is preserved through seed_fn.
+    runner::SweepSpec spec;
+    spec.id = "ablation_lambda";
+    spec.axes.clusters = {8};
     for (const auto& point : rates) {
-      const SystemConfig config = paper_scenario(
-          HeterogeneityCase::kCase1, 8, NetworkArchitecture::kNonBlocking,
-          1024.0, kPaperTotalNodes, units::per_s_to_per_us(point.per_s));
-      const LatencyPrediction prediction = predict_latency(config, mva);
+      spec.axes.lambda_per_us.push_back(units::per_s_to_per_us(point.per_s));
+    }
+    spec.seed_fn = [](const runner::SweepPoint&) -> std::uint64_t {
+      return 4242;
+    };
 
-      sim::SimOptions options;
-      options.measured_messages = messages;
-      options.warmup_messages = messages / 5;
-      options.seed = 4242;
-      sim::MultiClusterSim simulator(config, options);
-      const double sim_ms = units::us_to_ms(simulator.run().mean_latency_us);
+    ModelOptions mva;
+    mva.fixed_point.method = SourceThrottling::kExactMva;
+    runner::DesBackend::Options des;
+    des.sim.measured_messages = messages;
+    des.sim.warmup_messages = messages / 5;
+    des.direct_seed = true;
+    const runner::SweepResult result = runner::run_sweep(
+        spec, {std::make_shared<runner::AnalyticBackend>(mva),
+               std::make_shared<runner::DesBackend>(des)});
 
+    std::cout << "== Ablation: lambda sweep (Case 1, non-blocking, C=8, "
+                 "M=1024) ==\n";
+    Table table({"lambda (msg/s)", "analysis (ms)", "simulation (ms)",
+                 "lambda_eff/lambda", "note"});
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+      const runner::PointResult& analysis = result.at(i, 0);
+      const runner::PointResult& simulation = result.at(i, 1);
       table.add_row(
-          {format_compact(point.per_s, 4),
-           format_fixed(units::us_to_ms(prediction.mean_latency_us), 3),
-           format_fixed(sim_ms, 3),
-           format_fixed(prediction.lambda_effective / prediction.lambda_offered,
+          {format_compact(rates[i].per_s, 4),
+           format_fixed(units::us_to_ms(analysis.mean_latency_us), 3),
+           format_fixed(units::us_to_ms(simulation.mean_latency_us), 3),
+           format_fixed(analysis.lambda_effective / analysis.lambda_offered,
                         3),
-           point.note});
+           rates[i].note});
     }
     std::cout << table;
     std::cout << "(at 0.25 msg/s the latency is the bare ~0.3 ms service\n"

@@ -7,8 +7,13 @@
 ///   --seed N          base simulation seed (default 1)
 ///   --messages N      measured deliveries per point (default 10000)
 ///   --warmup N        warm-up deliveries per point (default 2000)
+///   --replications N  independent simulation replications per point,
+///                     with CIs across replication means (default 1)
 ///   --lambda R        per-node rate in msg/s (default 250, see DESIGN.md)
+///   --model NAME      analytic throttling model:
+///                     bisection|picard|mva|none (default bisection)
 ///   --csv-dir DIR     also write <dir>/<figure>.csv
+///   --json-dir DIR    also write <dir>/<figure>.json
 ///   --no-sim          analysis only (fast sanity sweeps)
 ///   --obs-out DIR     dump observability artifacts (metrics.json,
 ///                     metrics.csv, trace.json) into DIR
@@ -21,6 +26,7 @@
 
 #include "hmcs/experiment/figure_experiment.hpp"
 #include "hmcs/obs/export.hpp"
+#include "hmcs/runner/sweep_config.hpp"
 #include "hmcs/util/cli.hpp"
 #include "hmcs/util/units.hpp"
 
@@ -47,28 +53,15 @@ inline int figure_main(int argc, const char* const* argv, FigureSpec spec) {
       std::cout << cli.help_text();
       return 0;
     }
-    spec.sim_options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-    spec.sim_options.measured_messages =
-        static_cast<std::uint64_t>(cli.get_int("messages"));
-    spec.sim_options.warmup_messages =
-        static_cast<std::uint64_t>(cli.get_int("warmup"));
-    spec.replications = static_cast<std::uint32_t>(cli.get_int("replications"));
+    spec.sim_options.seed = cli.get_uint("seed");
+    spec.sim_options.measured_messages = cli.get_uint("messages");
+    spec.sim_options.warmup_messages = cli.get_uint("warmup");
+    spec.replications =
+        static_cast<std::uint32_t>(cli.get_uint("replications"));
     spec.rate_per_us = units::per_s_to_per_us(cli.get_double("lambda"));
     spec.run_simulation = !cli.get_flag("no-sim");
-
-    const std::string model = cli.get_string("model");
-    auto& method = spec.model_options.fixed_point.method;
-    if (model == "bisection") {
-      method = analytic::SourceThrottling::kBisection;
-    } else if (model == "picard") {
-      method = analytic::SourceThrottling::kPicard;
-    } else if (model == "mva") {
-      method = analytic::SourceThrottling::kExactMva;
-    } else if (model == "none") {
-      method = analytic::SourceThrottling::kNone;
-    } else {
-      require(false, "unknown --model value: " + model);
-    }
+    spec.model_options.fixed_point.method =
+        runner::parse_throttling_model(cli.get_string("model"));
 
     const std::string obs_dir = cli.get_string("obs-out");
     if (!obs_dir.empty()) {

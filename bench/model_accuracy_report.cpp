@@ -2,18 +2,53 @@
 // the mean/max relative error of (a) the paper's eqs. (6)-(7) model and
 // (b) the exact-MVA extension against the same simulation runs. This is
 // the headline validation number of EXPERIMENTS.md, regenerated in one
-// binary.
+// binary. Running both analytic variants as backends of one sweep means
+// each figure's simulation runs once, not once per variant.
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "hmcs/experiment/figure_experiment.hpp"
+#include "hmcs/runner/sweep_runner.hpp"
 #include "hmcs/util/cli.hpp"
+#include "hmcs/util/math_util.hpp"
 #include "hmcs/util/string_util.hpp"
 #include "hmcs/util/table.hpp"
+#include "hmcs/util/units.hpp"
+
+namespace {
+
+using namespace hmcs;
+
+struct ErrorSummary {
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+/// Mean/max relative error of one analytic backend column against the
+/// simulation column, in ms — the figure harness's accuracy notion.
+ErrorSummary column_errors(const runner::SweepResult& result,
+                           std::size_t analytic_column,
+                           std::size_t sim_column) {
+  ErrorSummary summary;
+  for (const runner::SweepPoint& point : result.points) {
+    const double analysis_ms =
+        units::us_to_ms(result.at(point.index, analytic_column).mean_latency_us);
+    const double simulation_ms =
+        units::us_to_ms(result.at(point.index, sim_column).mean_latency_us);
+    const double error = relative_error(analysis_ms, simulation_ms);
+    summary.mean += error;
+    summary.max = std::max(summary.max, error);
+  }
+  summary.mean /= static_cast<double>(result.points.size());
+  return summary;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace hmcs;
   using namespace hmcs::experiment;
 
   CliParser cli("model_accuracy_report",
@@ -26,32 +61,47 @@ int main(int argc, char** argv) {
       std::cout << cli.help_text();
       return 0;
     }
+    const std::uint64_t messages = cli.get_uint("messages");
+
+    analytic::ModelOptions paper_model;
+    paper_model.fixed_point.method = analytic::SourceThrottling::kBisection;
+    analytic::ModelOptions mva_model;
+    mva_model.fixed_point.method = analytic::SourceThrottling::kExactMva;
+
+    runner::DesBackend::Options des;
+    des.sim.measured_messages = messages;
+    des.sim.warmup_messages = messages / 5;
+    des.replications =
+        static_cast<std::uint32_t>(cli.get_uint("replications"));
 
     Table table({"figure", "paper model: mean err", "max err",
                  "exact MVA: mean err", "max err"});
-    for (FigureSpec spec : {figure4_spec(), figure5_spec(), figure6_spec(),
-                            figure7_spec()}) {
-      spec.sim_options.measured_messages =
-          static_cast<std::uint64_t>(cli.get_int("messages"));
-      spec.sim_options.warmup_messages =
-          spec.sim_options.measured_messages / 5;
-      spec.sim_options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-      spec.replications =
-          static_cast<std::uint32_t>(cli.get_int("replications"));
+    for (const FigureSpec& fig : {figure4_spec(), figure5_spec(),
+                                  figure6_spec(), figure7_spec()}) {
+      // The figure's sweep, evaluated by both analytic variants and the
+      // simulator in one grid (same per-point seeds as the figure
+      // harness, so the simulation column matches the figures).
+      runner::SweepSpec spec;
+      spec.id = fig.id;
+      spec.axes.technologies = {runner::technology_case(fig.hetero)};
+      spec.axes.lambda_per_us = {fig.rate_per_us};
+      spec.axes.message_bytes = fig.message_sizes;
+      spec.axes.architectures = {fig.architecture};
+      spec.total_nodes = fig.total_nodes;
+      spec.base_seed = cli.get_uint("seed");
 
-      spec.model_options.fixed_point.method =
-          analytic::SourceThrottling::kBisection;
-      const FigureResult paper = run_figure(spec);
+      const runner::SweepResult result = runner::run_sweep(
+          spec,
+          {std::make_shared<runner::AnalyticBackend>(paper_model, "paper"),
+           std::make_shared<runner::AnalyticBackend>(mva_model, "mva"),
+           std::make_shared<runner::DesBackend>(des, "simulation")});
 
-      spec.model_options.fixed_point.method =
-          analytic::SourceThrottling::kExactMva;
-      const FigureResult mva = run_figure(spec);
-
-      table.add_row({spec.id,
-                     format_fixed(paper.mean_relative_error * 100.0, 1) + "%",
-                     format_fixed(paper.max_relative_error * 100.0, 1) + "%",
-                     format_fixed(mva.mean_relative_error * 100.0, 1) + "%",
-                     format_fixed(mva.max_relative_error * 100.0, 1) + "%"});
+      const ErrorSummary paper = column_errors(result, 0, 2);
+      const ErrorSummary mva = column_errors(result, 1, 2);
+      table.add_row({fig.id, format_fixed(paper.mean * 100.0, 1) + "%",
+                     format_fixed(paper.max * 100.0, 1) + "%",
+                     format_fixed(mva.mean * 100.0, 1) + "%",
+                     format_fixed(mva.max * 100.0, 1) + "%"});
     }
     std::cout << "== Model accuracy vs simulation, Figures 4-7 ==\n"
               << table

@@ -7,33 +7,18 @@
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
-#include "hmcs/analytic/latency_model.hpp"
-#include "hmcs/analytic/scenario.hpp"
-#include "hmcs/sim/multicluster_sim.hpp"
+#include "hmcs/runner/sweep_runner.hpp"
 #include "hmcs/util/cli.hpp"
 #include "hmcs/util/string_util.hpp"
 #include "hmcs/util/table.hpp"
 #include "hmcs/util/units.hpp"
 
-namespace {
-
-using namespace hmcs;
-using namespace hmcs::analytic;
-
-double simulate_ms(const SystemConfig& config, std::uint64_t seed,
-                   std::uint64_t messages) {
-  sim::SimOptions options;
-  options.measured_messages = messages;
-  options.warmup_messages = messages / 5;
-  options.seed = seed;
-  sim::MultiClusterSim simulator(config, options);
-  return units::us_to_ms(simulator.run().mean_latency_us);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace hmcs;
+  using namespace hmcs::analytic;
+
   CliParser cli("ratio_blocking_vs_nonblocking",
                 "blocking/non-blocking latency ratio per cluster count");
   cli.add_option("messages", "measured deliveries per point", "10000");
@@ -44,47 +29,59 @@ int main(int argc, char** argv) {
       std::cout << cli.help_text();
       return 0;
     }
-    const auto messages = static_cast<std::uint64_t>(cli.get_int("messages"));
-    const double rate = units::per_s_to_per_us(cli.get_double("lambda"));
+    const std::uint64_t messages = cli.get_uint("messages");
     const double bytes = cli.get_double("bytes");
 
     ModelOptions mva;
     mva.fixed_point.method = SourceThrottling::kExactMva;
+    runner::DesBackend::Options des;
+    des.sim.measured_messages = messages;
+    des.sim.warmup_messages = messages / 5;
+    des.direct_seed = true;
 
     for (const auto hetero :
          {HeterogeneityCase::kCase1, HeterogeneityCase::kCase2}) {
+      // One sweep per scenario: paper cluster sweep × both architectures
+      // (architecture innermost). The original study used different seed
+      // bases per architecture, preserved through seed_fn.
+      runner::SweepSpec spec;
+      spec.id = "ratio";
+      spec.axes.technologies = {runner::technology_case(hetero)};
+      spec.axes.lambda_per_us = {
+          units::per_s_to_per_us(cli.get_double("lambda"))};
+      spec.axes.message_bytes = {bytes};
+      spec.axes.architectures = {NetworkArchitecture::kNonBlocking,
+                                 NetworkArchitecture::kBlocking};
+      spec.seed_fn = [](const runner::SweepPoint& point) -> std::uint64_t {
+        return (point.architecture == NetworkArchitecture::kBlocking ? 31
+                                                                     : 47) +
+               point.clusters;
+      };
+      const runner::SweepResult result = runner::run_sweep(
+          spec, {std::make_shared<runner::AnalyticBackend>(mva, "analysis"),
+                 std::make_shared<runner::DesBackend>(des, "simulation")});
+
       std::cout << "== " << to_string(hetero) << ", M=" << bytes
                 << " bytes ==\n";
       Table table({"Clusters", "non-blocking (ms)", "blocking (ms)",
                    "ratio (analysis)", "ratio (simulation)"});
       double min_ratio = 1e300;
       double max_ratio = 0.0;
-      std::size_t count = 0;
-      const std::uint32_t* sweep = paper_cluster_sweep(&count);
-      for (std::size_t i = 0; i < count; ++i) {
-        const std::uint32_t clusters = sweep[i];
-        const SystemConfig nonblocking =
-            paper_scenario(hetero, clusters,
-                           NetworkArchitecture::kNonBlocking, bytes,
-                           kPaperTotalNodes, rate);
-        const SystemConfig blocking = paper_scenario(
-            hetero, clusters, NetworkArchitecture::kBlocking, bytes,
-            kPaperTotalNodes, rate);
-
-        const double nb_ms = units::us_to_ms(
-            predict_latency(nonblocking, mva).mean_latency_us);
+      // Points come out (C, non-blocking), (C, blocking), ...
+      for (std::size_t i = 0; i + 1 < result.points.size(); i += 2) {
+        const double nb_ms = units::us_to_ms(result.at(i, 0).mean_latency_us);
         const double b_ms =
-            units::us_to_ms(predict_latency(blocking, mva).mean_latency_us);
+            units::us_to_ms(result.at(i + 1, 0).mean_latency_us);
         const double sim_ratio =
-            simulate_ms(blocking, 31 + clusters, messages) /
-            simulate_ms(nonblocking, 47 + clusters, messages);
+            units::us_to_ms(result.at(i + 1, 1).mean_latency_us) /
+            units::us_to_ms(result.at(i, 1).mean_latency_us);
 
         const double ratio = b_ms / nb_ms;
         min_ratio = std::min(min_ratio, ratio);
         max_ratio = std::max(max_ratio, ratio);
-        table.add_row({std::to_string(clusters), format_fixed(nb_ms, 2),
-                       format_fixed(b_ms, 2), format_fixed(ratio, 2),
-                       format_fixed(sim_ratio, 2)});
+        table.add_row({std::to_string(result.points[i].clusters),
+                       format_fixed(nb_ms, 2), format_fixed(b_ms, 2),
+                       format_fixed(ratio, 2), format_fixed(sim_ratio, 2)});
       }
       std::cout << table;
       std::printf("ratio range across the sweep: %.2f .. %.2f"

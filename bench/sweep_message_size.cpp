@@ -7,10 +7,9 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
-#include "hmcs/analytic/latency_model.hpp"
-#include "hmcs/analytic/scenario.hpp"
-#include "hmcs/sim/multicluster_sim.hpp"
+#include "hmcs/runner/sweep_runner.hpp"
 #include "hmcs/util/cli.hpp"
 #include "hmcs/util/string_util.hpp"
 #include "hmcs/util/table.hpp"
@@ -30,42 +29,54 @@ int main(int argc, char** argv) {
       std::cout << cli.help_text();
       return 0;
     }
-    const auto clusters = static_cast<std::uint32_t>(cli.get_int("clusters"));
-    const double rate = units::per_s_to_per_us(cli.get_double("lambda"));
-    const auto messages = static_cast<std::uint64_t>(cli.get_int("messages"));
+    const auto clusters = static_cast<std::uint32_t>(cli.get_uint("clusters"));
+    const std::uint64_t messages = cli.get_uint("messages");
+
+    // Message size × architecture grid (bytes-major — the cartesian
+    // nesting order puts the architecture axis innermost); the seed
+    // depends on the size only, as the original study seeded it.
+    runner::SweepSpec spec;
+    spec.id = "sweep_message_size";
+    spec.axes.clusters = {clusters};
+    spec.axes.lambda_per_us = {units::per_s_to_per_us(cli.get_double("lambda"))};
+    spec.axes.message_bytes = {64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0};
+    spec.axes.architectures = {NetworkArchitecture::kNonBlocking,
+                               NetworkArchitecture::kBlocking};
+    spec.seed_fn = [](const runner::SweepPoint& point) {
+      return 60'000 + static_cast<std::uint64_t>(point.message_bytes);
+    };
 
     ModelOptions mva;
     mva.fixed_point.method = SourceThrottling::kExactMva;
+    runner::DesBackend::Options des;
+    des.sim.measured_messages = messages;
+    des.sim.warmup_messages = messages / 4;
+    des.direct_seed = true;
+    const runner::SweepResult result = runner::run_sweep(
+        spec, {std::make_shared<runner::AnalyticBackend>(mva, "model"),
+               std::make_shared<runner::DesBackend>(des, "sim")});
 
     std::cout << "== Message-size sweep (Case 1, C=" << clusters
               << ", lambda=" << cli.get_string("lambda") << " msg/s) ==\n";
     Table table({"M (bytes)", "fat-tree: model (ms)", "sim (ms)",
                  "chain: model (ms)", "sim (ms)", "chain/tree"});
-    for (const double bytes :
-         {64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0}) {
-      double model_ms[2];
-      double sim_ms[2];
-      int slot = 0;
-      for (const auto arch : {NetworkArchitecture::kNonBlocking,
-                              NetworkArchitecture::kBlocking}) {
-        const SystemConfig config = paper_scenario(
-            HeterogeneityCase::kCase1, clusters, arch, bytes,
-            kPaperTotalNodes, rate);
-        model_ms[slot] =
-            units::us_to_ms(predict_latency(config, mva).mean_latency_us);
-
-        sim::SimOptions options;
-        options.measured_messages = messages;
-        options.warmup_messages = messages / 4;
-        options.seed = 60'000 + static_cast<std::uint64_t>(bytes);
-        sim::MultiClusterSim simulator(config, options);
-        sim_ms[slot] = units::us_to_ms(simulator.run().mean_latency_us);
-        ++slot;
-      }
-      table.add_row({format_compact(bytes, 6), format_fixed(model_ms[0], 3),
-                     format_fixed(sim_ms[0], 3), format_fixed(model_ms[1], 3),
-                     format_fixed(sim_ms[1], 3),
-                     format_fixed(model_ms[1] / model_ms[0], 1) + "x"});
+    // Points come out (bytes, fat-tree), (bytes, chain), ...: two points
+    // per table row.
+    for (std::size_t i = 0; i + 1 < result.points.size(); i += 2) {
+      const double tree_model_ms =
+          units::us_to_ms(result.at(i, 0).mean_latency_us);
+      const double tree_sim_ms =
+          units::us_to_ms(result.at(i, 1).mean_latency_us);
+      const double chain_model_ms =
+          units::us_to_ms(result.at(i + 1, 0).mean_latency_us);
+      const double chain_sim_ms =
+          units::us_to_ms(result.at(i + 1, 1).mean_latency_us);
+      table.add_row({format_compact(result.points[i].message_bytes, 6),
+                     format_fixed(tree_model_ms, 3),
+                     format_fixed(tree_sim_ms, 3),
+                     format_fixed(chain_model_ms, 3),
+                     format_fixed(chain_sim_ms, 3),
+                     format_fixed(chain_model_ms / tree_model_ms, 1) + "x"});
     }
     std::cout << table;
     std::cout << "(the blocking penalty scales with M: latency-bound small\n"

@@ -1,0 +1,139 @@
+// Thread-scaling of the sweep runner, reported as a machine-readable
+// JSON record (BENCH_sweep.json) so CI and the performance docs can
+// track the work-stealing pool across runner changes. Runs one
+// Figure-6-style DES sweep (blocking Case 1, cluster axis x two message
+// sizes) at a ladder of thread counts, checks every parallel grid is
+// bitwise identical to the serial one, and records wall time + speedup
+// per rung. hardware_concurrency is recorded too: on a 1-core host a
+// flat curve is the expected result, not a regression.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hmcs/runner/sweep_runner.hpp"
+#include "hmcs/util/cli.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/json.hpp"
+
+namespace {
+
+using namespace hmcs;
+
+struct ScalingRun {
+  std::uint32_t threads = 0;
+  double wall_seconds = 0.0;
+  bool bit_identical = true;  ///< grid bytes equal to the serial run's
+};
+
+runner::SweepSpec make_spec(std::uint64_t seed) {
+  runner::SweepSpec spec;
+  spec.id = "sweep_scaling";
+  spec.axes.technologies = {
+      runner::technology_case(analytic::HeterogeneityCase::kCase1)};
+  spec.axes.clusters = {2, 4, 8, 16, 32};
+  spec.axes.message_bytes = {1024.0, 512.0};
+  spec.axes.architectures = {analytic::NetworkArchitecture::kBlocking};
+  spec.base_seed = seed;
+  return spec;
+}
+
+bool grids_identical(const runner::SweepResult& a,
+                     const runner::SweepResult& b) {
+  if (a.cells.size() != b.cells.size()) return false;
+  return std::memcmp(a.cells.data(), b.cells.data(),
+                     a.cells.size() * sizeof(runner::PointResult)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  CliParser cli("sweep_scaling",
+                "Sweep-runner thread scaling benchmark; writes a JSON "
+                "record.");
+  cli.add_option("messages", "measured deliveries per point", "20000");
+  cli.add_option("seed", "base sweep seed", "3");
+  cli.add_option("out", "output JSON path", "BENCH_sweep.json");
+  if (!cli.parse(argc, argv)) {
+    std::printf("%s", cli.help_text().c_str());
+    return 0;
+  }
+  const std::uint64_t messages = cli.get_uint("messages");
+  const std::uint64_t seed = cli.get_uint("seed");
+  const std::string out_path = cli.get_string("out");
+
+  const runner::SweepSpec spec = make_spec(seed);
+  runner::DesBackend::Options des;
+  des.sim.measured_messages = messages;
+  des.sim.warmup_messages = messages / 5;
+  const std::vector<std::shared_ptr<runner::Backend>> backends = {
+      std::make_shared<runner::DesBackend>(des)};
+
+  const std::uint32_t cores =
+      std::max(1u, std::thread::hardware_concurrency());
+  std::vector<ScalingRun> runs;
+  runner::SweepResult serial;
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    runner::RunnerOptions options;
+    options.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    runner::SweepResult result = runner::run_sweep(spec, backends, options);
+    const auto finish = std::chrono::steady_clock::now();
+
+    ScalingRun run;
+    run.threads = threads;
+    run.wall_seconds =
+        std::chrono::duration<double>(finish - start).count();
+    if (threads == 1) {
+      serial = std::move(result);
+    } else {
+      run.bit_identical = grids_identical(serial, result);
+    }
+    runs.push_back(run);
+  }
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("benchmark").value("sweep_scaling");
+  json.key("messages").value(messages);
+  json.key("seed").value(seed);
+  json.key("points").value(static_cast<std::uint64_t>(serial.points.size()));
+  json.key("hardware_concurrency").value(static_cast<std::uint64_t>(cores));
+  json.key("runs").begin_array();
+  for (const ScalingRun& run : runs) {
+    json.begin_object();
+    json.key("threads").value(static_cast<std::uint64_t>(run.threads));
+    json.key("wall_seconds").value(run.wall_seconds);
+    json.key("speedup_vs_serial").value(
+        run.wall_seconds > 0.0 ? runs.front().wall_seconds / run.wall_seconds
+                               : 0.0);
+    json.key("bit_identical").value(run.bit_identical);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  std::ofstream out(out_path);
+  require(out.good(), "sweep_scaling: cannot write '" + out_path + "'");
+  out << json.str() << "\n";
+
+  bool all_identical = true;
+  for (const ScalingRun& run : runs) {
+    std::printf("threads=%u  %7.3f s  speedup %.2fx  %s\n", run.threads,
+                run.wall_seconds, runs.front().wall_seconds / run.wall_seconds,
+                run.bit_identical ? "bit-identical" : "GRID MISMATCH");
+    all_identical = all_identical && run.bit_identical;
+  }
+  std::printf("hardware_concurrency=%u\nrecord written to %s\n", cores,
+              out_path.c_str());
+  return all_identical ? 0 : 1;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "error: %s\n", error.what());
+  return 1;
+}

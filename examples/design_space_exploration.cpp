@@ -1,10 +1,11 @@
 // Design-space exploration — the paper's motivating use case: "a
 // performance model is a useful tool for exploring the design space and
 // examining various parameters" (§1). Given a node budget and a latency
-// target, sweep cluster counts, network technologies, and architectures;
-// price each design with a simple cost model; and report the cheapest
-// configurations that meet the target. The analytical model makes this
-// a millisecond-scale sweep — the whole point of having it.
+// target, sweep cluster counts, network technologies, and architectures
+// as one declarative SweepSpec; price each design with a simple cost
+// model; and report the cheapest configurations that meet the target.
+// The analytical backend makes this a millisecond-scale sweep — the
+// whole point of having it.
 //
 //   $ ./design_space_exploration [--nodes 256] [--target-ms 5]
 //                                [--lambda 100] [--bytes 1024]
@@ -12,10 +13,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <vector>
 
-#include "hmcs/analytic/latency_model.hpp"
-#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/runner/sweep_runner.hpp"
 #include "hmcs/topology/fat_tree.hpp"
 #include "hmcs/topology/linear_array.hpp"
 #include "hmcs/util/cli.hpp"
@@ -79,19 +80,45 @@ int main(int argc, char** argv) {
       std::cout << cli.help_text();
       return 0;
     }
-    const auto nodes = static_cast<std::uint32_t>(cli.get_int("nodes"));
+    const auto nodes = static_cast<std::uint32_t>(cli.get_uint("nodes"));
     const double target_ms = cli.get_double("target-ms");
     const double rate = units::per_s_to_per_us(cli.get_double("lambda"));
     const double bytes = cli.get_double("bytes");
 
-    const TechCost costs[] = {
+    const std::vector<TechCost> costs = {
         {fast_ethernet(), 15.0, 700.0},
         {gigabit_ethernet(), 90.0, 3200.0},
         {myrinet(), 500.0, 12000.0},
     };
 
+    // The design space as one declarative sweep: power-of-two cluster
+    // counts dividing the node budget × every (icn1, ecn) technology
+    // pairing × both architectures.
+    runner::SweepSpec spec;
+    spec.id = "dse";
+    spec.total_nodes = nodes;
+    for (std::uint32_t clusters = 1; clusters <= nodes; clusters *= 2) {
+      if (nodes % clusters == 0) spec.axes.clusters.push_back(clusters);
+    }
+    for (const TechCost& icn1 : costs) {
+      for (const TechCost& ecn : costs) {
+        runner::TechnologyCase tech;
+        tech.label = icn1.tech.name + "/" + ecn.tech.name;
+        tech.icn1 = icn1.tech;
+        tech.ecn1 = ecn.tech;
+        tech.icn2 = ecn.tech;
+        spec.axes.technologies.push_back(tech);
+      }
+    }
+    spec.axes.lambda_per_us = {rate};
+    spec.axes.message_bytes = {bytes};
+    spec.axes.architectures = {NetworkArchitecture::kNonBlocking,
+                               NetworkArchitecture::kBlocking};
+
     ModelOptions mva;
     mva.fixed_point.method = SourceThrottling::kExactMva;
+    const runner::SweepResult result = runner::run_sweep(
+        spec, {std::make_shared<runner::AnalyticBackend>(mva)});
 
     struct Design {
       std::string description;
@@ -100,36 +127,30 @@ int main(int argc, char** argv) {
       bool meets_target;
     };
     std::vector<Design> designs;
-
-    for (std::uint32_t clusters = 1; clusters <= nodes; clusters *= 2) {
-      if (nodes % clusters != 0) continue;
-      for (const auto& icn1 : costs) {
-        for (const auto& ecn : costs) {
-          for (const auto arch : {NetworkArchitecture::kNonBlocking,
-                                  NetworkArchitecture::kBlocking}) {
-            SystemConfig config;
-            config.clusters = clusters;
-            config.nodes_per_cluster = nodes / clusters;
-            config.icn1 = icn1.tech;
-            config.ecn1 = ecn.tech;
-            config.icn2 = ecn.tech;
-            config.switch_params = {24, 10.0};
-            config.architecture = arch;
-            config.message_bytes = bytes;
-            config.generation_rate_per_us = rate;
-
-            const LatencyPrediction prediction =
-                predict_latency(config, mva);
-            const double latency_ms =
-                units::us_to_ms(prediction.mean_latency_us);
-            designs.push_back(Design{
-                "C=" + std::to_string(clusters) + " " + icn1.tech.name +
-                    "/" + ecn.tech.name + " " +
-                    (arch == NetworkArchitecture::kNonBlocking ? "fat-tree"
-                                                               : "chain"),
-                latency_ms, system_cost(config, icn1, ecn, arch),
-                latency_ms <= target_ms});
-          }
+    designs.reserve(result.points.size());
+    // Walk clusters-major (clusters → icn1 → ecn → architecture) so
+    // equal-cost designs keep their historical display order under the
+    // unstable sort below; the runner expanded technologies-major.
+    const std::size_t n_clusters = spec.axes.clusters.size();
+    const std::size_t n_arch = spec.axes.architectures.size();
+    for (std::size_t c = 0; c < n_clusters; ++c) {
+      for (std::size_t t = 0; t < spec.axes.technologies.size(); ++t) {
+        for (std::size_t a = 0; a < n_arch; ++a) {
+          const runner::SweepPoint& point =
+              result.points[(t * n_clusters + c) * n_arch + a];
+          const double latency_ms =
+              units::us_to_ms(result.at(point.index, 0).mean_latency_us);
+          const TechCost& icn1 = costs[point.technology_index / costs.size()];
+          const TechCost& ecn = costs[point.technology_index % costs.size()];
+          designs.push_back(Design{
+              "C=" + std::to_string(point.clusters) + " " +
+                  point.technology_label + " " +
+                  (point.architecture == NetworkArchitecture::kNonBlocking
+                       ? "fat-tree"
+                       : "chain"),
+              latency_ms,
+              system_cost(point.config, icn1, ecn, point.architecture),
+              latency_ms <= target_ms});
         }
       }
     }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Builds the relbench preset and runs the event-engine throughput bench,
-# leaving BENCH_engine.json at the repository root. Pass extra arguments
-# through to the bench binary (e.g. --events 2000000).
+# Builds the relbench preset and runs the performance-tracking benches,
+# leaving BENCH_engine.json and BENCH_sweep.json at the repository
+# root. Pass extra arguments through to the engine bench (e.g.
+# --events 2000000).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -18,7 +19,11 @@ if [[ ! -f build-relbench/CMakeCache.txt ]]; then
   cmake --preset relbench
 fi
 
-cmake --build --preset relbench -j "$(nproc)" --target engine_throughput
+cmake --build --preset relbench -j "$(nproc)" \
+  --target engine_throughput sweep_scaling
 
 ./build-relbench/bench/engine_throughput --out BENCH_engine.json "$@"
 echo "wrote ${repo_root}/BENCH_engine.json"
+
+./build-relbench/bench/sweep_scaling --out BENCH_sweep.json
+echo "wrote ${repo_root}/BENCH_sweep.json"

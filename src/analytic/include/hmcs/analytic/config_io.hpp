@@ -29,6 +29,10 @@ namespace hmcs::analytic {
 /// "custom:<name>,<latency_us>,<bandwidth MB/s>".
 NetworkTechnology parse_technology(const std::string& spec);
 
+/// Parses "non-blocking"/"fat-tree" or "blocking"/"chain"; throws
+/// hmcs::ConfigError on anything else.
+NetworkArchitecture parse_architecture(const std::string& spec);
+
 SystemConfig system_config_from(const KeyValueFile& file);
 SystemConfig load_system_config(const std::string& path);
 

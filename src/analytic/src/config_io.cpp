@@ -32,6 +32,20 @@ NetworkTechnology parse_technology(const std::string& spec) {
       std::source_location::current());
 }
 
+NetworkArchitecture parse_architecture(const std::string& spec) {
+  const std::string trimmed = trim(spec);
+  if (trimmed == "non-blocking" || trimmed == "fat-tree") {
+    return NetworkArchitecture::kNonBlocking;
+  }
+  if (trimmed == "blocking" || trimmed == "chain") {
+    return NetworkArchitecture::kBlocking;
+  }
+  detail::throw_config_error(
+      "config: architecture must be non-blocking|blocking, got '" + spec +
+          "'",
+      std::source_location::current());
+}
+
 SystemConfig system_config_from(const KeyValueFile& file) {
   const std::vector<std::string> known{
       "clusters",      "nodes_per_cluster", "architecture",
@@ -47,17 +61,7 @@ SystemConfig system_config_from(const KeyValueFile& file) {
   config.nodes_per_cluster =
       static_cast<std::uint32_t>(file.get_int("nodes_per_cluster"));
 
-  const std::string arch = file.get("architecture");
-  if (arch == "non-blocking" || arch == "fat-tree") {
-    config.architecture = NetworkArchitecture::kNonBlocking;
-  } else if (arch == "blocking" || arch == "chain") {
-    config.architecture = NetworkArchitecture::kBlocking;
-  } else {
-    detail::throw_config_error(
-        "config: architecture must be non-blocking|blocking, got '" + arch +
-            "'",
-        std::source_location::current());
-  }
+  config.architecture = parse_architecture(file.get("architecture"));
 
   config.icn1 = parse_technology(file.get("icn1"));
   config.ecn1 = parse_technology(file.get("ecn1"));

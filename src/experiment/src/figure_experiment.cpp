@@ -2,13 +2,10 @@
 
 #include <algorithm>
 #include <fstream>
-#include <future>
+#include <memory>
 #include <ostream>
-#include <thread>
 
-#include "hmcs/experiment/replication.hpp"
-#include "hmcs/obs/metrics.hpp"
-#include "hmcs/simcore/rng.hpp"
+#include "hmcs/runner/sweep_runner.hpp"
 #include "hmcs/util/ascii_chart.hpp"
 #include "hmcs/util/json.hpp"
 
@@ -63,109 +60,55 @@ FigureSpec figure7_spec() {
 
 FigureResult run_figure(const FigureSpec& spec) {
   require(!spec.message_sizes.empty(), "run_figure: needs message sizes");
-  obs::WallClockSpan sweep_span(spec.trace.get(), spec.id, "experiment.sweep",
-                                1, 0);
-  HMCS_OBS_TIMER_SCOPE("experiment.sweep.wall_time");
   FigureResult result;
   result.spec = spec;
 
-  std::vector<std::uint32_t> sweep = spec.cluster_counts;
-  if (sweep.empty()) {
-    std::size_t count = 0;
-    const std::uint32_t* values = analytic::paper_cluster_sweep(&count);
-    sweep.assign(values, values + count);
+  // A figure is one declarative sweep: the technology case and the
+  // architecture are singleton axes, clusters × message sizes span the
+  // grid (cluster-major, size-minor — the runner's cartesian order).
+  // The per-point seed chain is the runner's default, seeded from the
+  // figure's base sim seed, so the series is bit-identical to the
+  // pre-runner harness.
+  runner::SweepSpec sweep;
+  sweep.id = spec.id;
+  sweep.title = spec.title;
+  sweep.axes.technologies = {runner::technology_case(spec.hetero)};
+  sweep.axes.lambda_per_us = {spec.rate_per_us};
+  sweep.axes.clusters = spec.cluster_counts;  // empty = paper sweep
+  sweep.axes.message_bytes = spec.message_sizes;
+  sweep.axes.architectures = {spec.architecture};
+  sweep.total_nodes = spec.total_nodes;
+  sweep.base_seed = spec.sim_options.seed;
+
+  std::vector<std::shared_ptr<runner::Backend>> backends;
+  backends.push_back(
+      std::make_shared<runner::AnalyticBackend>(spec.model_options));
+  if (spec.run_simulation) {
+    runner::DesBackend::Options des;
+    des.sim = spec.sim_options;
+    des.replications = std::max<std::uint32_t>(1, spec.replications);
+    backends.push_back(std::make_shared<runner::DesBackend>(des));
   }
 
-  // Materialise the sweep so the points can run concurrently (they are
-  // fully independent: the model is pure and every simulator instance
-  // is thread-confined; seeds are fixed per point, so the output is
-  // identical to a serial run).
-  struct Task {
-    std::uint32_t clusters;
-    double bytes;
-  };
-  std::vector<Task> tasks;
-  for (const std::uint32_t clusters : sweep) {
-    for (const double bytes : spec.message_sizes) {
-      tasks.push_back(Task{clusters, bytes});
-    }
-  }
-  result.points.resize(tasks.size());
+  runner::RunnerOptions options;
+  options.trace = spec.trace;
+  const runner::SweepResult grid = runner::run_sweep(sweep, backends, options);
 
-  auto run_point = [&](std::size_t index, std::uint32_t worker) {
-    const Task& task = tasks[index];
-    const std::string point_label = spec.id + " C=" +
-                                    std::to_string(task.clusters) + " M=" +
-                                    format_compact(task.bytes, 6);
-    // Wall-clock span per sweep point: pid 1 is the sweep's wall-clock
-    // domain, tid separates concurrent worker lanes.
-    obs::WallClockSpan point_span(spec.trace.get(), point_label,
-                                  "experiment.point", 1, worker + 1);
-    const analytic::SystemConfig config = analytic::paper_scenario(
-        spec.hetero, task.clusters, spec.architecture, task.bytes,
-        spec.total_nodes, spec.rate_per_us);
-
+  result.points.reserve(grid.points.size());
+  for (const runner::SweepPoint& grid_point : grid.points) {
     FigurePoint point;
-    point.clusters = task.clusters;
-    point.message_bytes = task.bytes;
-
-    const analytic::LatencyPrediction prediction =
-        analytic::predict_latency(config, spec.model_options);
-    point.analysis_ms = units::us_to_ms(prediction.mean_latency_us);
-
+    point.clusters = grid_point.clusters;
+    point.message_bytes = grid_point.message_bytes;
+    point.analysis_ms =
+        units::us_to_ms(grid.at(grid_point.index, 0).mean_latency_us);
     if (spec.run_simulation) {
-      sim::SimOptions sim_options = spec.sim_options;
-      if (spec.trace) {
-        // Each point's simulated-time tracks get their own pid so the
-        // sim-µs axis never shares a track with wall-clock spans.
-        sim_options.obs.trace = spec.trace;
-        sim_options.obs.trace_pid = static_cast<std::uint32_t>(2 + index);
-        spec.trace->set_process_name(sim_options.obs.trace_pid,
-                                     point_label + " (sim us)");
-      }
-      // Decorrelate runs across sweep points while keeping the whole
-      // figure reproducible from one base seed. Each coordinate is folded
-      // in through a full SplitMix64 finalizer: an affine mix of
-      // (seed, clusters, bytes) collides for nearby sweep points and
-      // hands highly correlated seeds to adjacent runs.
-      simcore::SplitMix64 seed_mix(sim_options.seed);
-      simcore::SplitMix64 cluster_mix(seed_mix.next() ^ task.clusters);
-      simcore::SplitMix64 byte_mix(cluster_mix.next() ^
-                                   static_cast<std::uint64_t>(task.bytes));
-      sim_options.seed = byte_mix.next();
-      // Replications stay serial inside a point: the points themselves
-      // already use the machine.
-      const ReplicationResult sim_result = run_replications(
-          config, sim_options, std::max<std::uint32_t>(1, spec.replications),
-          1);
-      point.simulation_ms = units::us_to_ms(sim_result.mean_latency_us);
-      point.simulation_ci_half_ms =
-          units::us_to_ms(sim_result.latency_ci.half_width);
+      const runner::PointResult& sim_cell = grid.at(grid_point.index, 1);
+      point.simulation_ms = units::us_to_ms(sim_cell.mean_latency_us);
+      point.simulation_ci_half_ms = units::us_to_ms(sim_cell.ci_half_us);
       point.relative_error =
           relative_error(point.analysis_ms, point.simulation_ms);
     }
-    result.points[index] = point;
-  };
-
-  const std::size_t workers = std::min<std::size_t>(
-      tasks.size(),
-      std::max<std::size_t>(1, std::thread::hardware_concurrency()));
-  if (spec.trace) {
-    spec.trace->set_process_name(1, spec.id + " sweep (wall-clock us)");
-  }
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < tasks.size(); ++i) run_point(i, 0);
-  } else {
-    std::vector<std::future<void>> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.push_back(std::async(std::launch::async, [&, w] {
-        for (std::size_t i = w; i < tasks.size(); i += workers) {
-          run_point(i, static_cast<std::uint32_t>(w));
-        }
-      }));
-    }
-    for (auto& worker : pool) worker.get();
+    result.points.push_back(point);
   }
 
   if (spec.run_simulation) {

@@ -1,0 +1,142 @@
+#pragma once
+
+/// \file backend.hpp
+/// The evaluation-backend interface of the sweep engine. A Backend turns
+/// one SystemConfig into one PointResult; the three implementations wrap
+/// the repo's three evaluators of the same model description —
+///
+///   AnalyticBackend  Section 4's closed-form model (predict_latency)
+///   DesBackend       the centre-level validation simulator (Section 6)
+///   FabricBackend    the switch-level netsim rendering of Figure 1
+///
+/// — so any study can pair any subset of them over one declarative sweep
+/// (Thomasian's point that analysis and simulation are interchangeable
+/// evaluations of one model). Backends must be thread-safe: the
+/// SweepRunner calls predict() concurrently from its worker pool.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/system_config.hpp"
+#include "hmcs/netsim/switch_fabric_sim.hpp"
+#include "hmcs/obs/trace.hpp"
+#include "hmcs/sim/multicluster_sim.hpp"
+
+namespace hmcs::runner {
+
+/// One backend's evaluation of one sweep point. mean_latency_us is the
+/// headline number every backend fills; the diagnostic fields are
+/// populated by the backends they apply to and left zero elsewhere.
+struct PointResult {
+  double mean_latency_us = 0.0;
+  /// 95% CI half-width (0 for the deterministic analytic backend).
+  double ci_half_us = 0.0;
+
+  /// Analytic diagnostics (eq. 7 fixed point).
+  double lambda_offered = 0.0;
+  double lambda_effective = 0.0;
+  bool converged = true;
+
+  /// Simulation diagnostics.
+  double effective_rate_per_us = 0.0;
+  std::uint64_t messages_measured = 0;
+
+  /// Switch-level diagnostics.
+  double mean_switch_hops = 0.0;
+  double max_switch_utilization = 0.0;
+};
+
+/// Per-point execution context handed to a backend: the point's
+/// deterministic seed, its flat index and label (used for trace track
+/// naming), the worker lane executing it, and the sweep's optional trace
+/// session for simulated-time spans.
+struct PointContext {
+  std::size_t index = 0;
+  std::uint32_t worker = 0;
+  std::uint64_t seed = 1;
+  std::string label;
+  std::shared_ptr<obs::TraceSession> trace;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Column label in tables/CSV/JSON; unique within one run_sweep call.
+  virtual const std::string& name() const = 0;
+
+  /// Evaluates one configuration. Must be const and thread-safe; the
+  /// runner invokes it concurrently. Implementations use ctx.seed for
+  /// any stochastic execution so results are scheduling-independent.
+  virtual PointResult predict(const analytic::SystemConfig& config,
+                              const PointContext& ctx) const = 0;
+};
+
+/// Wraps analytic::predict_latency. Deterministic; ignores ctx.seed.
+class AnalyticBackend : public Backend {
+ public:
+  explicit AnalyticBackend(analytic::ModelOptions options = {},
+                           std::string name = "analytic");
+
+  const std::string& name() const override { return name_; }
+  PointResult predict(const analytic::SystemConfig& config,
+                      const PointContext& ctx) const override;
+
+ private:
+  analytic::ModelOptions options_;
+  std::string name_;
+};
+
+/// Wraps sim::MultiClusterSim (optionally through the independent-
+/// replications harness). The point's seed comes from ctx.seed.
+class DesBackend : public Backend {
+ public:
+  struct Options {
+    /// Base options; seed is overwritten with ctx.seed per point.
+    sim::SimOptions sim;
+    std::uint32_t replications = 1;
+    /// Historical seeding protocols, preserved so ported studies stay
+    /// bit-identical: false (figure protocol) derives per-replication
+    /// seeds from ctx.seed via the replication harness even for R=1;
+    /// true (bench-driver protocol) hands ctx.seed straight to a single
+    /// simulator (requires replications == 1).
+    bool direct_seed = false;
+  };
+
+  explicit DesBackend(Options options, std::string name = "des");
+
+  const std::string& name() const override { return name_; }
+  PointResult predict(const analytic::SystemConfig& config,
+                      const PointContext& ctx) const override;
+
+ private:
+  Options options_;
+  std::string name_;
+};
+
+/// Wraps the switch-granularity rendering: builds an netsim::HmcsFabric
+/// for the configuration and runs netsim::SwitchFabricSim on it.
+class FabricBackend : public Backend {
+ public:
+  struct Options {
+    std::uint64_t measured_messages = 10000;
+    std::uint64_t warmup_messages = 2000;
+    netsim::SwitchingMode mode = netsim::SwitchingMode::kStoreAndForward;
+    bool closed_loop = true;
+  };
+
+  FabricBackend() : FabricBackend(Options{}) {}
+  explicit FabricBackend(Options options, std::string name = "fabric");
+
+  const std::string& name() const override { return name_; }
+  PointResult predict(const analytic::SystemConfig& config,
+                      const PointContext& ctx) const override;
+
+ private:
+  Options options_;
+  std::string name_;
+};
+
+}  // namespace hmcs::runner

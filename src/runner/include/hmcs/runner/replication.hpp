@@ -5,7 +5,9 @@
 /// decorrelated seeds and build the confidence interval across the
 /// replication means. This is the statistically sound way to interval a
 /// steady-state simulation (batch means within one run being the cheap
-/// approximation); figure harnesses use it when --replications > 1.
+/// approximation); the DES backend uses it when replications > 1.
+/// (Lived in hmcs::experiment before the sweep engine; moved here
+/// because replication is an execution-strategy concern of the runner.)
 
 #include <cstdint>
 #include <vector>
@@ -14,7 +16,7 @@
 #include "hmcs/sim/multicluster_sim.hpp"
 #include "hmcs/simcore/tally.hpp"
 
-namespace hmcs::experiment {
+namespace hmcs::runner {
 
 struct ReplicationResult {
   /// Grand mean of the per-replication mean latencies (microseconds).
@@ -37,4 +39,4 @@ ReplicationResult run_replications(const analytic::SystemConfig& config,
                                    std::uint32_t replications,
                                    std::uint32_t parallelism = 0);
 
-}  // namespace hmcs::experiment
+}  // namespace hmcs::runner

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file sweep_config.hpp
+/// The sweep-config loader: builds a complete runnable sweep — spec,
+/// backend set, thread count, output directories — from a JSON document
+/// or a key=value file, so any study is a config file away instead of a
+/// bespoke binary (see configs/sweeps/*.json for complete samples and
+/// docs/ARCHITECTURE.md for the format reference).
+///
+/// JSON (RFC 8259, parsed with hmcs::parse_json):
+///
+///   {
+///     "id": "fig6_small",
+///     "title": "blocking Case-1, small sweep",
+///     "mode": "cartesian",                  // or "zipped"
+///     "total_nodes": 256,
+///     "seed": 3,
+///     "threads": 0,                         // 0 = hardware concurrency
+///     "axes": {
+///       "clusters": [1, 2, 4, 8],
+///       "message_bytes": [1024, 512],
+///       "lambda_per_s": [250],
+///       "architecture": ["blocking"],
+///       "technology": ["case1",
+///                      {"label": "custom", "icn1": "myrinet",
+///                       "ecn1": "custom:MyNet,25,120", "icn2": "myrinet"}]
+///     },
+///     "backends": [
+///       {"type": "analytic", "model": "mva"},
+///       {"type": "des", "messages": 2000, "warmup": 400,
+///        "replications": 1},
+///       {"type": "fabric", "messages": 2000, "warmup": 400}
+///     ]
+///   }
+///
+/// Key=value (flat; lists are comma-separated; technology entries are
+/// case1|case2 or a single preset applied to all three roles):
+///
+///   id            = fig6_small
+///   mode          = cartesian
+///   clusters      = 1,2,4,8
+///   message_bytes = 1024,512
+///   lambda_per_s  = 250
+///   architecture  = blocking
+///   technology    = case1
+///   backends      = analytic,des
+///   model         = mva          # analytic throttling method
+///   messages      = 2000         # DES/fabric deliveries per point
+///   warmup        = 400
+///   replications  = 1
+///   seed          = 3
+///
+/// Unknown keys are rejected at every level so typos fail loudly.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hmcs/runner/backend.hpp"
+#include "hmcs/runner/sweep_spec.hpp"
+#include "hmcs/util/json.hpp"
+#include "hmcs/util/keyvalue.hpp"
+
+namespace hmcs::runner {
+
+/// Execution-time knobs applied while constructing backends (config
+/// files describe the study; these describe this run of it).
+struct SweepLoadOptions {
+  /// Sim-time sampling period for DES queue-depth counter tracks (µs;
+  /// 0 = off). hmcs_run wires --obs-sample-us through here.
+  double obs_sample_interval_us = 0.0;
+};
+
+/// A fully loaded, runnable sweep.
+struct SweepRunConfig {
+  SweepSpec spec;
+  std::vector<std::shared_ptr<Backend>> backends;
+  std::uint32_t threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Loads a sweep config from `path`: `.json` is parsed as the JSON
+/// schema, anything else as key=value. Throws hmcs::ConfigError on
+/// unreadable files or malformed/unknown content.
+SweepRunConfig load_sweep_config(const std::string& path,
+                                 const SweepLoadOptions& options = {});
+
+/// Parses the JSON schema from text.
+SweepRunConfig sweep_config_from_json(std::string_view text,
+                                      const SweepLoadOptions& options = {});
+
+/// Builds from an already-parsed key=value file.
+SweepRunConfig sweep_config_from_keyvalue(const KeyValueFile& file,
+                                          const SweepLoadOptions& options = {});
+
+/// Parses an analytic throttling-model name: bisection|picard|mva|none
+/// (the figure harnesses' --model vocabulary).
+analytic::SourceThrottling parse_throttling_model(const std::string& name);
+
+}  // namespace hmcs::runner

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file sweep_report.hpp
+/// Generic artifact rendering for an executed sweep: a paper-style
+/// table (one row per point, one latency column per backend, relative
+/// error against the first backend), a flat CSV series, and a
+/// machine-readable JSON record. The figure harness keeps its own
+/// renderer (fixed two-message-size layout with ASCII charts); these
+/// cover every other sweep, including anything run through hmcs_run.
+
+#include <iosfwd>
+#include <string>
+
+#include "hmcs/runner/sweep_runner.hpp"
+#include "hmcs/util/csv.hpp"
+
+namespace hmcs::runner {
+
+/// Table columns: the coordinate axes that actually vary across the
+/// sweep (clusters and message bytes always; lambda/technology/
+/// architecture only when non-singleton), then "<backend> (ms)" per
+/// backend (with ±CI when the backend reports one), then
+/// "RelErr <backend>" against the first backend when there are >= 2.
+std::string render_sweep_table(const SweepResult& result);
+
+/// One row per point: clusters, message_bytes, lambda_per_s,
+/// architecture, technology, seed, then per backend mean_ms and
+/// ci_half_ms.
+CsvWriter sweep_csv(const SweepResult& result);
+
+/// Spec echo + backends + every cell with its diagnostics.
+std::string sweep_json(const SweepResult& result);
+
+/// Renders the table plus, when the directories are non-empty,
+/// `<csv_dir>/<id>.csv` and `<json_dir>/<id>.json`.
+void print_sweep_report(std::ostream& os, const SweepResult& result,
+                        const std::string& csv_dir = "",
+                        const std::string& json_dir = "");
+
+}  // namespace hmcs::runner

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file sweep_runner.hpp
+/// Executes the point×backend grid of a SweepSpec on a work-stealing
+/// thread pool. Every cell (one backend evaluating one point) is an
+/// independent task writing to its own preallocated slot, and every
+/// point's seed is fixed at expansion time, so the result is
+/// bit-identical to a serial run for any thread count — the repo-wide
+/// determinism contract (CONTRIBUTING.md).
+///
+/// Observability: with a trace session attached, the sweep records one
+/// wall-clock span per cell under pid 1 (tid = worker lane), and each
+/// DES-backed point's simulator inherits the session with a distinct
+/// pid (2 + point index) so simulated-time phase spans land in their
+/// own Perfetto process group. The sweep's total wall time feeds the
+/// `runner.sweep.wall_time` timer metric.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hmcs/obs/trace.hpp"
+#include "hmcs/runner/backend.hpp"
+#include "hmcs/runner/sweep_spec.hpp"
+
+namespace hmcs::runner {
+
+struct RunnerOptions {
+  /// Worker threads; 0 = hardware concurrency. Results are identical
+  /// for any value.
+  std::uint32_t threads = 0;
+  /// Optional wall-clock + simulated-time trace session (see above).
+  std::shared_ptr<obs::TraceSession> trace;
+};
+
+/// The executed grid: points in expansion order × backends in call
+/// order, cells point-major.
+struct SweepResult {
+  std::string id;
+  std::string title;
+  std::vector<SweepPoint> points;
+  std::vector<std::string> backend_names;
+  std::vector<PointResult> cells;  ///< points.size() * backend_names.size()
+
+  const PointResult& at(std::size_t point, std::size_t backend) const;
+  /// Index of a backend by name; throws hmcs::ConfigError when absent.
+  std::size_t backend_index(const std::string& name) const;
+};
+
+/// Expands the spec and evaluates every point with every backend.
+/// Throws what the backends throw (the first failure wins; remaining
+/// tasks are abandoned).
+SweepResult run_sweep(const SweepSpec& spec,
+                      const std::vector<std::shared_ptr<Backend>>& backends,
+                      const RunnerOptions& options = {});
+
+}  // namespace hmcs::runner

@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file sweep_spec.hpp
+/// The declarative sweep description: axes over cluster count, message
+/// size, generation rate, network-technology case, and architecture,
+/// expanded cartesian or zipped into a flat list of fully built
+/// SystemConfigs with deterministic per-point seeds. Every study in the
+/// repo — the paper's Figures 4-7, the ablations, and any config-file
+/// sweep run through hmcs_run — is one SweepSpec handed to run_sweep().
+///
+/// Axis semantics: an empty axis means its single default (Case 1
+/// technologies, the paper rate, the paper cluster sweep, M=1024,
+/// non-blocking). Cartesian mode nests the axes in the fixed order
+///
+///   technologies -> lambda -> clusters -> message_bytes -> architectures
+///
+/// (innermost last), which reproduces the row order of every existing
+/// study: figures iterate clusters-major / size-minor, the message-size
+/// sweep iterates bytes then architecture, and so on. Zipped mode walks
+/// all non-singleton axes in lockstep (they must share one length;
+/// singleton axes broadcast).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/analytic/system_config.hpp"
+
+namespace hmcs::runner {
+
+/// One point of the technology axis: the three network roles plus a
+/// label used in tables and trace tracks.
+struct TechnologyCase {
+  std::string label;
+  analytic::NetworkTechnology icn1;
+  analytic::NetworkTechnology ecn1;
+  analytic::NetworkTechnology icn2;
+};
+
+/// The paper's Table 2 heterogeneity cases as technology-axis points.
+TechnologyCase technology_case(analytic::HeterogeneityCase hetero);
+
+enum class AxisMode {
+  kCartesian,  ///< full cross product, fixed nesting order (see above)
+  kZipped,     ///< lockstep walk; non-singleton axes share one length
+};
+
+struct SweepAxes {
+  std::vector<TechnologyCase> technologies;  ///< empty = Case 1
+  std::vector<double> lambda_per_us;         ///< empty = paper rate
+  std::vector<std::uint32_t> clusters;       ///< empty = paper sweep
+  std::vector<double> message_bytes;         ///< empty = {1024}
+  std::vector<analytic::NetworkArchitecture> architectures;  ///< empty = {non-blocking}
+};
+
+struct SweepPoint {
+  std::size_t index = 0;  ///< position in expansion order
+  std::uint32_t clusters = 0;
+  double message_bytes = 0.0;
+  double lambda_per_us = 0.0;
+  analytic::NetworkArchitecture architecture =
+      analytic::NetworkArchitecture::kNonBlocking;
+  std::size_t technology_index = 0;
+  std::string technology_label;
+  /// Deterministic per-point seed (seed_fn or the default SplitMix64
+  /// chain over base_seed/clusters/bytes); fixed at expansion time so
+  /// results never depend on execution scheduling.
+  std::uint64_t seed = 1;
+  /// Human-readable coordinates, e.g. "fig6 C=8 M=1024"; names trace
+  /// tracks and error messages.
+  std::string label;
+  analytic::SystemConfig config;  ///< fully built and validated
+};
+
+struct SweepSpec {
+  std::string id = "sweep";
+  std::string title;
+  AxisMode mode = AxisMode::kCartesian;
+  SweepAxes axes;
+  /// N: clusters must divide it (assumption 5: equal-size clusters).
+  std::uint32_t total_nodes = analytic::kPaperTotalNodes;
+  analytic::SwitchParams switch_params{analytic::kPaperSwitchPorts,
+                                       analytic::kPaperSwitchLatencyUs};
+  std::uint64_t base_seed = 1;
+  /// Per-point seed override for studies with historical hand-rolled
+  /// seeding (the point's seed field is unset when called); null = the
+  /// default_point_seed chain, the figure harness protocol.
+  std::function<std::uint64_t(const SweepPoint&)> seed_fn;
+};
+
+/// The figure harness's seed derivation: decorrelates runs across sweep
+/// points while keeping the whole sweep reproducible from one base seed.
+/// Each coordinate is folded in through a full SplitMix64 finalizer: an
+/// affine mix of (seed, clusters, bytes) collides for nearby sweep
+/// points and hands highly correlated seeds to adjacent runs.
+std::uint64_t default_point_seed(std::uint64_t base_seed,
+                                 std::uint32_t clusters,
+                                 double message_bytes);
+
+/// Expands the spec into its flat point list (cartesian or zipped),
+/// building and validating every SystemConfig. Throws hmcs::ConfigError
+/// on empty expansions, zip length mismatches, or invalid
+/// configurations (e.g. a cluster count that does not divide
+/// total_nodes).
+std::vector<SweepPoint> expand_sweep(const SweepSpec& spec);
+
+}  // namespace hmcs::runner

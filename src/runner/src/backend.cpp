@@ -1,0 +1,96 @@
+#include "hmcs/runner/backend.hpp"
+
+#include <algorithm>
+
+#include "hmcs/netsim/hmcs_fabric.hpp"
+#include "hmcs/runner/replication.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::runner {
+
+AnalyticBackend::AnalyticBackend(analytic::ModelOptions options,
+                                 std::string name)
+    : options_(options), name_(std::move(name)) {}
+
+PointResult AnalyticBackend::predict(const analytic::SystemConfig& config,
+                                     const PointContext&) const {
+  const analytic::LatencyPrediction prediction =
+      analytic::predict_latency(config, options_);
+  PointResult result;
+  result.mean_latency_us = prediction.mean_latency_us;
+  result.lambda_offered = prediction.lambda_offered;
+  result.lambda_effective = prediction.lambda_effective;
+  result.converged = prediction.fixed_point_converged;
+  return result;
+}
+
+DesBackend::DesBackend(Options options, std::string name)
+    : options_(std::move(options)), name_(std::move(name)) {
+  require(options_.replications >= 1, "DesBackend: needs >= 1 replication");
+  require(!options_.direct_seed || options_.replications == 1,
+          "DesBackend: direct_seed requires replications == 1");
+}
+
+PointResult DesBackend::predict(const analytic::SystemConfig& config,
+                                const PointContext& ctx) const {
+  sim::SimOptions sim_options = options_.sim;
+  sim_options.seed = ctx.seed;
+  if (ctx.trace) {
+    // Each point's simulated-time tracks get their own pid so the
+    // sim-µs axis never shares a track with wall-clock spans.
+    sim_options.obs.trace = ctx.trace;
+    sim_options.obs.trace_pid = static_cast<std::uint32_t>(2 + ctx.index);
+    ctx.trace->set_process_name(sim_options.obs.trace_pid,
+                                ctx.label + " (sim us)");
+  }
+
+  PointResult result;
+  if (options_.direct_seed) {
+    sim::MultiClusterSim simulator(config, sim_options);
+    const sim::SimResult run = simulator.run();
+    result.mean_latency_us = run.mean_latency_us;
+    result.ci_half_us = run.latency_ci.half_width;
+    result.effective_rate_per_us = run.effective_rate_per_us;
+    result.messages_measured = run.messages_measured;
+    return result;
+  }
+
+  // Replications stay serial inside a point: the sweep's points already
+  // use the machine.
+  const ReplicationResult run =
+      run_replications(config, sim_options, options_.replications, 1);
+  result.mean_latency_us = run.mean_latency_us;
+  result.ci_half_us = run.latency_ci.half_width;
+  result.effective_rate_per_us = run.effective_rate_per_us;
+  for (const sim::SimResult& replication : run.replications) {
+    result.messages_measured += replication.messages_measured;
+  }
+  return result;
+}
+
+FabricBackend::FabricBackend(Options options, std::string name)
+    : options_(options), name_(std::move(name)) {}
+
+PointResult FabricBackend::predict(const analytic::SystemConfig& config,
+                                   const PointContext& ctx) const {
+  const netsim::HmcsFabric fabric(config);
+  netsim::FabricSimOptions fabric_options = fabric.make_sim_options();
+  fabric_options.measured_messages = options_.measured_messages;
+  fabric_options.warmup_messages = options_.warmup_messages;
+  fabric_options.mode = options_.mode;
+  fabric_options.closed_loop = options_.closed_loop;
+  fabric_options.seed = ctx.seed;
+  netsim::SwitchFabricSim simulator(fabric.graph(), fabric_options);
+  const netsim::FabricSimResult run = simulator.run();
+
+  PointResult result;
+  result.mean_latency_us = run.mean_latency_us;
+  result.ci_half_us = run.latency_ci.half_width;
+  result.effective_rate_per_us = run.delivered_rate_per_us;
+  result.messages_measured = run.messages_measured;
+  result.mean_switch_hops = run.mean_switch_hops;
+  result.max_switch_utilization = run.max_switch_utilization;
+  return result;
+}
+
+}  // namespace hmcs::runner

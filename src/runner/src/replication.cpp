@@ -1,4 +1,4 @@
-#include "hmcs/experiment/replication.hpp"
+#include "hmcs/runner/replication.hpp"
 
 #include <algorithm>
 #include <future>
@@ -8,7 +8,7 @@
 #include "hmcs/simcore/rng.hpp"
 #include "hmcs/util/error.hpp"
 
-namespace hmcs::experiment {
+namespace hmcs::runner {
 
 ReplicationResult run_replications(const analytic::SystemConfig& config,
                                    const sim::SimOptions& base_options,
@@ -71,4 +71,4 @@ ReplicationResult run_replications(const analytic::SystemConfig& config,
   return result;
 }
 
-}  // namespace hmcs::experiment
+}  // namespace hmcs::runner

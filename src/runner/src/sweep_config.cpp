@@ -1,0 +1,348 @@
+#include "hmcs/runner/sweep_config.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "hmcs/analytic/config_io.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/string_util.hpp"
+#include "hmcs/util/units.hpp"
+
+namespace hmcs::runner {
+
+namespace {
+
+using analytic::parse_architecture;
+using analytic::parse_technology;
+
+void reject_unknown_members(const JsonValue& object,
+                            const std::vector<std::string>& known,
+                            const std::string& where) {
+  for (const auto& [key, value] : object.members) {
+    (void)value;
+    require(std::find(known.begin(), known.end(), key) != known.end(),
+            "sweep config: unknown key '" + key + "' in " + where);
+  }
+}
+
+double number_member(const JsonValue& object, std::string_view key,
+                     double fallback) {
+  const JsonValue* member = object.find(key);
+  return member == nullptr ? fallback : member->as_number();
+}
+
+std::uint64_t uint_member(const JsonValue& object, std::string_view key,
+                          std::uint64_t fallback) {
+  const JsonValue* member = object.find(key);
+  if (member == nullptr) return fallback;
+  const double number = member->as_number();
+  require(number >= 0.0 && number == static_cast<double>(
+                                         static_cast<std::uint64_t>(number)),
+          "sweep config: '" + std::string(key) +
+              "' must be a non-negative integer");
+  return static_cast<std::uint64_t>(number);
+}
+
+std::string string_member(const JsonValue& object, std::string_view key,
+                          const std::string& fallback) {
+  const JsonValue* member = object.find(key);
+  return member == nullptr ? fallback : member->as_string();
+}
+
+/// "case1"/"case2", or any parse_technology spec applied to all roles.
+TechnologyCase technology_from_string(const std::string& spec) {
+  if (spec == "case1") {
+    return technology_case(analytic::HeterogeneityCase::kCase1);
+  }
+  if (spec == "case2") {
+    return technology_case(analytic::HeterogeneityCase::kCase2);
+  }
+  TechnologyCase tech;
+  tech.icn1 = parse_technology(spec);
+  tech.ecn1 = tech.icn1;
+  tech.icn2 = tech.icn1;
+  tech.label = tech.icn1.name;
+  return tech;
+}
+
+TechnologyCase technology_from_json(const JsonValue& entry) {
+  if (entry.is_string()) return technology_from_string(entry.as_string());
+  require(entry.is_object(),
+          "sweep config: technology entries must be strings or objects");
+  reject_unknown_members(entry, {"label", "icn1", "ecn1", "icn2"},
+                         "a technology entry");
+  TechnologyCase tech;
+  tech.icn1 = parse_technology(entry.at("icn1").as_string());
+  tech.ecn1 = parse_technology(entry.at("ecn1").as_string());
+  tech.icn2 = parse_technology(entry.at("icn2").as_string());
+  tech.label = string_member(entry, "label",
+                             tech.icn1.name + "/" + tech.ecn1.name + "/" +
+                                 tech.icn2.name);
+  return tech;
+}
+
+AxisMode parse_mode(const std::string& mode) {
+  if (mode == "cartesian") return AxisMode::kCartesian;
+  if (mode == "zipped") return AxisMode::kZipped;
+  detail::throw_config_error(
+      "sweep config: mode must be cartesian|zipped, got '" + mode + "'",
+      std::source_location::current());
+}
+
+void load_axes_json(const JsonValue& axes, SweepAxes& out) {
+  reject_unknown_members(axes,
+                         {"clusters", "message_bytes", "lambda_per_s",
+                          "architecture", "technology"},
+                         "'axes'");
+  if (const JsonValue* clusters = axes.find("clusters")) {
+    require(clusters->is_array(),
+            "sweep config: 'clusters' must be an array");
+    for (const JsonValue& item : clusters->items) {
+      const double number = item.as_number();
+      require(number >= 1.0 &&
+                  number == static_cast<double>(
+                                static_cast<std::uint32_t>(number)),
+              "sweep config: cluster counts must be positive integers");
+      out.clusters.push_back(static_cast<std::uint32_t>(number));
+    }
+  }
+  if (const JsonValue* bytes = axes.find("message_bytes")) {
+    require(bytes->is_array(),
+            "sweep config: 'message_bytes' must be an array");
+    for (const JsonValue& item : bytes->items) {
+      out.message_bytes.push_back(item.as_number());
+    }
+  }
+  if (const JsonValue* lambda = axes.find("lambda_per_s")) {
+    require(lambda->is_array(),
+            "sweep config: 'lambda_per_s' must be an array");
+    for (const JsonValue& item : lambda->items) {
+      out.lambda_per_us.push_back(units::per_s_to_per_us(item.as_number()));
+    }
+  }
+  if (const JsonValue* arch = axes.find("architecture")) {
+    require(arch->is_array(),
+            "sweep config: 'architecture' must be an array");
+    for (const JsonValue& item : arch->items) {
+      out.architectures.push_back(parse_architecture(item.as_string()));
+    }
+  }
+  if (const JsonValue* tech = axes.find("technology")) {
+    require(tech->is_array(),
+            "sweep config: 'technology' must be an array");
+    for (const JsonValue& item : tech->items) {
+      out.technologies.push_back(technology_from_json(item));
+    }
+  }
+}
+
+std::shared_ptr<Backend> backend_from_json(const JsonValue& entry,
+                                           const SweepLoadOptions& options) {
+  require(entry.is_object(),
+          "sweep config: backend entries must be objects");
+  const std::string type = entry.at("type").as_string();
+  if (type == "analytic") {
+    reject_unknown_members(entry, {"type", "model", "name"},
+                           "an analytic backend");
+    analytic::ModelOptions model;
+    model.fixed_point.method =
+        parse_throttling_model(string_member(entry, "model", "bisection"));
+    return std::make_shared<AnalyticBackend>(
+        model, string_member(entry, "name", "analytic"));
+  }
+  if (type == "des") {
+    reject_unknown_members(
+        entry, {"type", "messages", "warmup", "replications", "name"},
+        "a des backend");
+    DesBackend::Options des;
+    des.sim.measured_messages =
+        uint_member(entry, "messages", des.sim.measured_messages);
+    des.sim.warmup_messages =
+        uint_member(entry, "warmup", des.sim.warmup_messages);
+    des.sim.obs.sample_interval_us = options.obs_sample_interval_us;
+    des.replications = static_cast<std::uint32_t>(
+        uint_member(entry, "replications", 1));
+    require(des.replications >= 1,
+            "sweep config: des replications must be >= 1");
+    return std::make_shared<DesBackend>(des,
+                                        string_member(entry, "name", "des"));
+  }
+  if (type == "fabric") {
+    reject_unknown_members(entry, {"type", "messages", "warmup", "name"},
+                           "a fabric backend");
+    FabricBackend::Options fabric;
+    fabric.measured_messages =
+        uint_member(entry, "messages", fabric.measured_messages);
+    fabric.warmup_messages =
+        uint_member(entry, "warmup", fabric.warmup_messages);
+    return std::make_shared<FabricBackend>(
+        fabric, string_member(entry, "name", "fabric"));
+  }
+  detail::throw_config_error(
+      "sweep config: backend type must be analytic|des|fabric, got '" + type +
+          "'",
+      std::source_location::current());
+}
+
+}  // namespace
+
+analytic::SourceThrottling parse_throttling_model(const std::string& name) {
+  const std::string trimmed = trim(name);
+  if (trimmed == "bisection") return analytic::SourceThrottling::kBisection;
+  if (trimmed == "picard") return analytic::SourceThrottling::kPicard;
+  if (trimmed == "mva") return analytic::SourceThrottling::kExactMva;
+  if (trimmed == "none") return analytic::SourceThrottling::kNone;
+  detail::throw_config_error(
+      "unknown model '" + name + "' (expected bisection|picard|mva|none)",
+      std::source_location::current());
+}
+
+SweepRunConfig sweep_config_from_json(std::string_view text,
+                                      const SweepLoadOptions& options) {
+  const JsonValue doc = parse_json(text);
+  require(doc.is_object(), "sweep config: the document must be an object");
+  reject_unknown_members(doc,
+                         {"id", "title", "mode", "total_nodes",
+                          "switch_ports", "switch_latency_us", "seed",
+                          "threads", "axes", "backends"},
+                         "the sweep config");
+
+  SweepRunConfig config;
+  config.spec.id = string_member(doc, "id", "sweep");
+  config.spec.title = string_member(doc, "title", "");
+  config.spec.mode = parse_mode(string_member(doc, "mode", "cartesian"));
+  config.spec.total_nodes = static_cast<std::uint32_t>(
+      uint_member(doc, "total_nodes", analytic::kPaperTotalNodes));
+  config.spec.switch_params.ports = static_cast<std::uint32_t>(
+      uint_member(doc, "switch_ports", analytic::kPaperSwitchPorts));
+  config.spec.switch_params.latency_us =
+      number_member(doc, "switch_latency_us", analytic::kPaperSwitchLatencyUs);
+  config.spec.base_seed = uint_member(doc, "seed", 1);
+  config.threads = static_cast<std::uint32_t>(uint_member(doc, "threads", 0));
+
+  if (const JsonValue* axes = doc.find("axes")) {
+    require(axes->is_object(), "sweep config: 'axes' must be an object");
+    load_axes_json(*axes, config.spec.axes);
+  }
+
+  if (const JsonValue* backends = doc.find("backends")) {
+    require(backends->is_array(),
+            "sweep config: 'backends' must be an array");
+    for (const JsonValue& entry : backends->items) {
+      config.backends.push_back(backend_from_json(entry, options));
+    }
+  }
+  if (config.backends.empty()) {
+    config.backends.push_back(std::make_shared<AnalyticBackend>());
+  }
+  return config;
+}
+
+SweepRunConfig sweep_config_from_keyvalue(const KeyValueFile& file,
+                                          const SweepLoadOptions& options) {
+  const std::vector<std::string> known{
+      "id",           "title",       "mode",         "total_nodes",
+      "switch_ports", "switch_latency_us", "seed",   "threads",
+      "clusters",     "message_bytes", "lambda_per_s", "architecture",
+      "technology",   "backends",    "model",        "messages",
+      "warmup",       "replications"};
+  const auto unknown = file.unknown_keys(known);
+  require(unknown.empty(), "sweep config: unknown key '" +
+                               (unknown.empty() ? "" : unknown[0]) + "'");
+
+  SweepRunConfig config;
+  config.spec.id = file.get_or("id", "sweep");
+  config.spec.title = file.get_or("title", "");
+  config.spec.mode = parse_mode(file.get_or("mode", "cartesian"));
+  config.spec.total_nodes = static_cast<std::uint32_t>(
+      parse_int(file.get_or("total_nodes",
+                            std::to_string(analytic::kPaperTotalNodes))));
+  config.spec.switch_params.ports = static_cast<std::uint32_t>(
+      parse_int(file.get_or("switch_ports",
+                            std::to_string(analytic::kPaperSwitchPorts))));
+  config.spec.switch_params.latency_us =
+      parse_double(file.get_or("switch_latency_us", "10"));
+  const long long seed = parse_int(file.get_or("seed", "1"));
+  require(seed >= 0, "sweep config: seed must be >= 0");
+  config.spec.base_seed = static_cast<std::uint64_t>(seed);
+  config.threads =
+      static_cast<std::uint32_t>(parse_int(file.get_or("threads", "0")));
+
+  const auto list = [&](const char* key) {
+    std::vector<std::string> items;
+    if (!file.has(key)) return items;
+    for (const std::string& item : split(file.get(key), ',')) {
+      items.push_back(trim(item));
+    }
+    return items;
+  };
+  for (const std::string& item : list("clusters")) {
+    const long long value = parse_int(item);
+    require(value >= 1, "sweep config: cluster counts must be >= 1");
+    config.spec.axes.clusters.push_back(static_cast<std::uint32_t>(value));
+  }
+  for (const std::string& item : list("message_bytes")) {
+    config.spec.axes.message_bytes.push_back(parse_double(item));
+  }
+  for (const std::string& item : list("lambda_per_s")) {
+    config.spec.axes.lambda_per_us.push_back(
+        units::per_s_to_per_us(parse_double(item)));
+  }
+  for (const std::string& item : list("architecture")) {
+    config.spec.axes.architectures.push_back(parse_architecture(item));
+  }
+  for (const std::string& item : list("technology")) {
+    config.spec.axes.technologies.push_back(technology_from_string(item));
+  }
+
+  const auto messages =
+      static_cast<std::uint64_t>(parse_int(file.get_or("messages", "10000")));
+  const auto warmup =
+      static_cast<std::uint64_t>(parse_int(file.get_or("warmup", "2000")));
+  std::vector<std::string> backend_names = list("backends");
+  if (backend_names.empty()) backend_names = {"analytic"};
+  for (const std::string& name : backend_names) {
+    if (name == "analytic") {
+      analytic::ModelOptions model;
+      model.fixed_point.method =
+          parse_throttling_model(file.get_or("model", "bisection"));
+      config.backends.push_back(std::make_shared<AnalyticBackend>(model));
+    } else if (name == "des") {
+      DesBackend::Options des;
+      des.sim.measured_messages = messages;
+      des.sim.warmup_messages = warmup;
+      des.sim.obs.sample_interval_us = options.obs_sample_interval_us;
+      des.replications = static_cast<std::uint32_t>(
+          parse_int(file.get_or("replications", "1")));
+      config.backends.push_back(std::make_shared<DesBackend>(des));
+    } else if (name == "fabric") {
+      FabricBackend::Options fabric;
+      fabric.measured_messages = messages;
+      fabric.warmup_messages = warmup;
+      config.backends.push_back(std::make_shared<FabricBackend>(fabric));
+    } else {
+      detail::throw_config_error(
+          "sweep config: backend must be analytic|des|fabric, got '" + name +
+              "'",
+          std::source_location::current());
+    }
+  }
+  return config;
+}
+
+SweepRunConfig load_sweep_config(const std::string& path,
+                                 const SweepLoadOptions& options) {
+  const bool is_json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (is_json) {
+    std::ifstream in(path);
+    require(in.good(), "sweep config: cannot open '" + path + "'");
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return sweep_config_from_json(buffer.str(), options);
+  }
+  return sweep_config_from_keyvalue(KeyValueFile::load(path), options);
+}
+
+}  // namespace hmcs::runner

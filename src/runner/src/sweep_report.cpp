@@ -1,0 +1,197 @@
+#include "hmcs/runner/sweep_report.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/json.hpp"
+#include "hmcs/util/math_util.hpp"
+#include "hmcs/util/string_util.hpp"
+#include "hmcs/util/table.hpp"
+#include "hmcs/util/units.hpp"
+
+namespace hmcs::runner {
+
+namespace {
+
+/// Which coordinate columns vary across this sweep's points.
+struct VaryingAxes {
+  bool lambda = false;
+  bool technology = false;
+  bool architecture = false;
+};
+
+VaryingAxes varying_axes(const SweepResult& result) {
+  VaryingAxes varying;
+  if (result.points.empty()) return varying;
+  const SweepPoint& first = result.points.front();
+  for (const SweepPoint& point : result.points) {
+    if (point.lambda_per_us != first.lambda_per_us) varying.lambda = true;
+    if (point.technology_index != first.technology_index) {
+      varying.technology = true;
+    }
+    if (point.architecture != first.architecture) varying.architecture = true;
+  }
+  return varying;
+}
+
+std::string latency_cell(const PointResult& cell) {
+  if (!std::isfinite(cell.mean_latency_us)) return "inf";
+  std::string text = format_fixed(units::us_to_ms(cell.mean_latency_us), 3);
+  if (cell.ci_half_us > 0.0) {
+    text += " ±" + format_fixed(units::us_to_ms(cell.ci_half_us), 3);
+  }
+  if (!cell.converged) text += "*";
+  return text;
+}
+
+}  // namespace
+
+std::string render_sweep_table(const SweepResult& result) {
+  const VaryingAxes varying = varying_axes(result);
+
+  std::vector<std::string> headers{"Clusters", "M (bytes)"};
+  if (varying.lambda) headers.push_back("lambda (msg/s)");
+  if (varying.technology) headers.push_back("technology");
+  if (varying.architecture) headers.push_back("architecture");
+  for (const std::string& name : result.backend_names) {
+    headers.push_back(name + " (ms)");
+  }
+  for (std::size_t b = 1; b < result.backend_names.size(); ++b) {
+    headers.push_back("RelErr " + result.backend_names[b]);
+  }
+
+  Table table(headers);
+  const std::size_t n_backends = result.backend_names.size();
+  for (const SweepPoint& point : result.points) {
+    std::vector<std::string> row{std::to_string(point.clusters),
+                                 format_compact(point.message_bytes, 6)};
+    if (varying.lambda) {
+      row.push_back(
+          format_compact(units::per_us_to_per_s(point.lambda_per_us), 6));
+    }
+    if (varying.technology) row.push_back(point.technology_label);
+    if (varying.architecture) {
+      row.push_back(analytic::to_string(point.architecture));
+    }
+    for (std::size_t b = 0; b < n_backends; ++b) {
+      row.push_back(latency_cell(result.at(point.index, b)));
+    }
+    const double reference_ms =
+        units::us_to_ms(result.at(point.index, 0).mean_latency_us);
+    for (std::size_t b = 1; b < n_backends; ++b) {
+      const double other_ms =
+          units::us_to_ms(result.at(point.index, b).mean_latency_us);
+      // The paper's accuracy notion: |other - reference| / other, with
+      // the non-reference evaluation as ground truth (Figures 4-7 use
+      // |analysis - simulation| / simulation).
+      row.push_back(format_fixed(relative_error(reference_ms, other_ms) *
+                                     100.0, 1) + "%");
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+CsvWriter sweep_csv(const SweepResult& result) {
+  std::vector<std::string> headers{"clusters",     "message_bytes",
+                                   "lambda_per_s", "architecture",
+                                   "technology",   "seed"};
+  for (const std::string& name : result.backend_names) {
+    headers.push_back(name + "_mean_ms");
+    headers.push_back(name + "_ci_half_ms");
+  }
+  CsvWriter csv(headers);
+  for (const SweepPoint& point : result.points) {
+    std::vector<std::string> row{
+        std::to_string(point.clusters),
+        format_compact(point.message_bytes, 17),
+        format_compact(units::per_us_to_per_s(point.lambda_per_us), 17),
+        analytic::to_string(point.architecture),
+        point.technology_label,
+        std::to_string(point.seed)};
+    for (std::size_t b = 0; b < result.backend_names.size(); ++b) {
+      const PointResult& cell = result.at(point.index, b);
+      row.push_back(format_compact(units::us_to_ms(cell.mean_latency_us), 17));
+      row.push_back(format_compact(units::us_to_ms(cell.ci_half_us), 17));
+    }
+    csv.add_row(row);
+  }
+  return csv;
+}
+
+std::string sweep_json(const SweepResult& result) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("id").value(result.id);
+  json.key("title").value(result.title);
+  json.key("backends").begin_array();
+  for (const std::string& name : result.backend_names) json.value(name);
+  json.end_array();
+  json.key("points").begin_array();
+  for (const SweepPoint& point : result.points) {
+    json.begin_object();
+    json.key("clusters").value(point.clusters);
+    json.key("message_bytes").value(point.message_bytes);
+    json.key("lambda_per_s")
+        .value(units::per_us_to_per_s(point.lambda_per_us));
+    json.key("architecture").value(analytic::to_string(point.architecture));
+    json.key("technology").value(point.technology_label);
+    json.key("seed").value(point.seed);
+    json.key("results").begin_object();
+    for (std::size_t b = 0; b < result.backend_names.size(); ++b) {
+      const PointResult& cell = result.at(point.index, b);
+      json.key(result.backend_names[b]).begin_object();
+      json.key("mean_latency_us").value(cell.mean_latency_us);
+      json.key("ci_half_us").value(cell.ci_half_us);
+      json.key("converged").value(cell.converged);
+      if (cell.lambda_offered > 0.0) {
+        json.key("lambda_offered").value(cell.lambda_offered);
+        json.key("lambda_effective").value(cell.lambda_effective);
+      }
+      if (cell.messages_measured > 0) {
+        json.key("messages_measured").value(cell.messages_measured);
+        json.key("effective_rate_per_us").value(cell.effective_rate_per_us);
+      }
+      if (cell.mean_switch_hops > 0.0) {
+        json.key("mean_switch_hops").value(cell.mean_switch_hops);
+        json.key("max_switch_utilization")
+            .value(cell.max_switch_utilization);
+      }
+      json.end_object();
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+void print_sweep_report(std::ostream& os, const SweepResult& result,
+                        const std::string& csv_dir,
+                        const std::string& json_dir) {
+  os << "== " << (result.title.empty() ? result.id : result.title) << " ==\n";
+  os << render_sweep_table(result);
+  // Best-effort like obs::write_run_artifacts: a failure surfaces as
+  // the write error below, with the path in the message.
+  std::error_code ec;
+  if (!csv_dir.empty()) {
+    std::filesystem::create_directories(csv_dir, ec);
+    const std::string path = csv_dir + "/" + result.id + ".csv";
+    sweep_csv(result).write_file(path);
+    os << "series written to " << path << "\n";
+  }
+  if (!json_dir.empty()) {
+    std::filesystem::create_directories(json_dir, ec);
+    const std::string path = json_dir + "/" + result.id + ".json";
+    std::ofstream out(path);
+    require(out.good(), "print_sweep_report: cannot write '" + path + "'");
+    out << sweep_json(result) << "\n";
+    os << "record written to " << path << "\n";
+  }
+}
+
+}  // namespace hmcs::runner

@@ -1,0 +1,147 @@
+#include "hmcs/runner/sweep_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "hmcs/obs/metrics.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::runner {
+
+const PointResult& SweepResult::at(std::size_t point,
+                                   std::size_t backend) const {
+  require(point < points.size(), "SweepResult::at: point out of range");
+  require(backend < backend_names.size(),
+          "SweepResult::at: backend out of range");
+  return cells[point * backend_names.size() + backend];
+}
+
+std::size_t SweepResult::backend_index(const std::string& name) const {
+  for (std::size_t i = 0; i < backend_names.size(); ++i) {
+    if (backend_names[i] == name) return i;
+  }
+  detail::throw_config_error("SweepResult: no backend named '" + name + "'",
+                             std::source_location::current());
+}
+
+namespace {
+
+/// Per-worker task range claimed through an atomic cursor; exhausted
+/// workers steal from the other lanes' remainders. fetch_add past `end`
+/// is harmless (the claim is discarded), and every task index writes to
+/// its own result slot, so scheduling never affects the output.
+struct Lane {
+  std::atomic<std::size_t> next{0};
+  std::size_t end = 0;
+};
+
+}  // namespace
+
+SweepResult run_sweep(const SweepSpec& spec,
+                      const std::vector<std::shared_ptr<Backend>>& backends,
+                      const RunnerOptions& options) {
+  require(!backends.empty(), "run_sweep: needs at least one backend");
+
+  SweepResult result;
+  result.id = spec.id;
+  result.title = spec.title;
+  result.points = expand_sweep(spec);
+  require(!result.points.empty(), "run_sweep: the sweep expands to no points");
+  result.backend_names.reserve(backends.size());
+  for (const auto& backend : backends) {
+    require(backend != nullptr, "run_sweep: null backend");
+    for (const std::string& existing : result.backend_names) {
+      require(existing != backend->name(),
+              "run_sweep: duplicate backend name '" + backend->name() + "'");
+    }
+    result.backend_names.push_back(backend->name());
+  }
+
+  obs::WallClockSpan sweep_span(options.trace.get(), spec.id, "runner.sweep",
+                                1, 0);
+  HMCS_OBS_TIMER_SCOPE("runner.sweep.wall_time");
+  if (options.trace) {
+    options.trace->set_process_name(1, spec.id + " sweep (wall-clock us)");
+  }
+
+  const std::size_t n_backends = backends.size();
+  const std::size_t n_cells = result.points.size() * n_backends;
+  result.cells.resize(n_cells);
+
+  auto run_cell = [&](std::size_t cell, std::uint32_t worker) {
+    const SweepPoint& point = result.points[cell / n_backends];
+    const std::size_t backend = cell % n_backends;
+    PointContext ctx;
+    ctx.index = point.index;
+    ctx.worker = worker;
+    ctx.seed = point.seed;
+    ctx.label = point.label;
+    ctx.trace = options.trace;
+    // Wall-clock span per cell: pid 1 is the sweep's wall-clock domain,
+    // tid separates concurrent worker lanes.
+    obs::WallClockSpan cell_span(
+        options.trace.get(),
+        point.label + " [" + result.backend_names[backend] + "]",
+        "runner.point", 1, worker + 1);
+    result.cells[cell] = backends[backend]->predict(point.config, ctx);
+  };
+
+  std::uint32_t threads =
+      options.threads != 0
+          ? options.threads
+          : std::max(1u, std::thread::hardware_concurrency());
+  threads = static_cast<std::uint32_t>(
+      std::min<std::size_t>(threads, n_cells));
+
+  if (threads <= 1) {
+    for (std::size_t cell = 0; cell < n_cells; ++cell) run_cell(cell, 0);
+    return result;
+  }
+
+  // Static block partition into per-worker lanes; finished workers
+  // steal from the tail of the busiest survivors. The cheap analytic
+  // cells drain instantly, so stealing is what keeps every core on the
+  // expensive DES/fabric cells.
+  std::vector<Lane> lanes(threads);
+  for (std::uint32_t w = 0; w < threads; ++w) {
+    lanes[w].next.store(n_cells * w / threads, std::memory_order_relaxed);
+    lanes[w].end = n_cells * (w + 1) / threads;
+  }
+
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker_body = [&](std::uint32_t w) {
+    for (std::uint32_t victim = 0; victim < threads; ++victim) {
+      Lane& lane = lanes[(w + victim) % threads];
+      while (!failed.load(std::memory_order_relaxed)) {
+        const std::size_t cell =
+            lane.next.fetch_add(1, std::memory_order_relaxed);
+        if (cell >= lane.end) break;
+        try {
+          run_cell(cell, w);
+        } catch (...) {
+          const std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::uint32_t w = 0; w < threads; ++w) {
+    pool.emplace_back(worker_body, w);
+  }
+  for (std::thread& thread : pool) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return result;
+}
+
+}  // namespace hmcs::runner

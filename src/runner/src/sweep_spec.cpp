@@ -1,0 +1,189 @@
+#include "hmcs/runner/sweep_spec.hpp"
+
+#include <algorithm>
+
+#include "hmcs/simcore/rng.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/string_util.hpp"
+
+namespace hmcs::runner {
+
+TechnologyCase technology_case(analytic::HeterogeneityCase hetero) {
+  TechnologyCase tech;
+  tech.label = analytic::to_string(hetero);
+  if (hetero == analytic::HeterogeneityCase::kCase1) {
+    tech.icn1 = analytic::gigabit_ethernet();
+    tech.ecn1 = analytic::fast_ethernet();
+    tech.icn2 = analytic::fast_ethernet();
+  } else {
+    tech.icn1 = analytic::fast_ethernet();
+    tech.ecn1 = analytic::gigabit_ethernet();
+    tech.icn2 = analytic::gigabit_ethernet();
+  }
+  return tech;
+}
+
+std::uint64_t default_point_seed(std::uint64_t base_seed,
+                                 std::uint32_t clusters,
+                                 double message_bytes) {
+  simcore::SplitMix64 seed_mix(base_seed);
+  simcore::SplitMix64 cluster_mix(seed_mix.next() ^ clusters);
+  simcore::SplitMix64 byte_mix(cluster_mix.next() ^
+                               static_cast<std::uint64_t>(message_bytes));
+  return byte_mix.next();
+}
+
+namespace {
+
+/// Resolved axes: every axis non-empty after defaulting.
+struct ResolvedAxes {
+  std::vector<TechnologyCase> technologies;
+  std::vector<double> lambda_per_us;
+  std::vector<std::uint32_t> clusters;
+  std::vector<double> message_bytes;
+  std::vector<analytic::NetworkArchitecture> architectures;
+};
+
+ResolvedAxes resolve(const SweepAxes& axes) {
+  ResolvedAxes resolved;
+  resolved.technologies = axes.technologies;
+  if (resolved.technologies.empty()) {
+    resolved.technologies = {
+        technology_case(analytic::HeterogeneityCase::kCase1)};
+  }
+  resolved.lambda_per_us = axes.lambda_per_us;
+  if (resolved.lambda_per_us.empty()) {
+    resolved.lambda_per_us = {analytic::kPaperRatePerUs};
+  }
+  resolved.clusters = axes.clusters;
+  if (resolved.clusters.empty()) {
+    std::size_t count = 0;
+    const std::uint32_t* values = analytic::paper_cluster_sweep(&count);
+    resolved.clusters.assign(values, values + count);
+  }
+  resolved.message_bytes = axes.message_bytes;
+  if (resolved.message_bytes.empty()) resolved.message_bytes = {1024.0};
+  resolved.architectures = axes.architectures;
+  if (resolved.architectures.empty()) {
+    resolved.architectures = {analytic::NetworkArchitecture::kNonBlocking};
+  }
+  return resolved;
+}
+
+SweepPoint make_point(const SweepSpec& spec, const ResolvedAxes& axes,
+                      std::size_t tech, std::size_t lambda,
+                      std::size_t clusters, std::size_t bytes,
+                      std::size_t arch, std::size_t index) {
+  SweepPoint point;
+  point.index = index;
+  point.clusters = axes.clusters[clusters];
+  point.message_bytes = axes.message_bytes[bytes];
+  point.lambda_per_us = axes.lambda_per_us[lambda];
+  point.architecture = axes.architectures[arch];
+  point.technology_index = tech;
+  point.technology_label = axes.technologies[tech].label;
+
+  require(point.clusters >= 1,
+          "sweep '" + spec.id + "': clusters must be >= 1");
+  require(spec.total_nodes >= 1 && spec.total_nodes % point.clusters == 0,
+          "sweep '" + spec.id + "': clusters=" +
+              std::to_string(point.clusters) +
+              " must divide total_nodes=" + std::to_string(spec.total_nodes) +
+              " (assumption 5: equal-size clusters)");
+
+  analytic::SystemConfig config;
+  config.clusters = point.clusters;
+  config.nodes_per_cluster = spec.total_nodes / point.clusters;
+  config.icn1 = axes.technologies[tech].icn1;
+  config.ecn1 = axes.technologies[tech].ecn1;
+  config.icn2 = axes.technologies[tech].icn2;
+  config.switch_params = spec.switch_params;
+  config.architecture = point.architecture;
+  config.message_bytes = point.message_bytes;
+  config.generation_rate_per_us = point.lambda_per_us;
+  config.validate();
+  point.config = config;
+
+  // Label: the figure-style core plus a suffix per non-singleton extra
+  // axis, so every trace track stays identifiable in wide sweeps.
+  point.label = spec.id + " C=" + std::to_string(point.clusters) + " M=" +
+                format_compact(point.message_bytes, 6);
+  if (axes.technologies.size() > 1) {
+    point.label += ' ';
+    point.label += point.technology_label;
+  }
+  if (axes.lambda_per_us.size() > 1) {
+    point.label += " lambda=";
+    point.label += format_compact(point.lambda_per_us, 6);
+  }
+  if (axes.architectures.size() > 1) {
+    point.label += ' ';
+    point.label += analytic::to_string(point.architecture);
+  }
+
+  point.seed = spec.seed_fn
+                   ? spec.seed_fn(point)
+                   : default_point_seed(spec.base_seed, point.clusters,
+                                        point.message_bytes);
+  return point;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> expand_sweep(const SweepSpec& spec) {
+  const ResolvedAxes axes = resolve(spec.axes);
+  std::vector<SweepPoint> points;
+
+  if (spec.mode == AxisMode::kCartesian) {
+    points.reserve(axes.technologies.size() * axes.lambda_per_us.size() *
+                   axes.clusters.size() * axes.message_bytes.size() *
+                   axes.architectures.size());
+    for (std::size_t t = 0; t < axes.technologies.size(); ++t) {
+      for (std::size_t l = 0; l < axes.lambda_per_us.size(); ++l) {
+        for (std::size_t c = 0; c < axes.clusters.size(); ++c) {
+          for (std::size_t m = 0; m < axes.message_bytes.size(); ++m) {
+            for (std::size_t a = 0; a < axes.architectures.size(); ++a) {
+              points.push_back(
+                  make_point(spec, axes, t, l, c, m, a, points.size()));
+            }
+          }
+        }
+      }
+    }
+    return points;
+  }
+
+  // Zipped: all non-singleton axes share one length; singletons repeat.
+  std::size_t length = 1;
+  const auto fold = [&](std::size_t axis_size, const char* axis_name) {
+    if (axis_size == 1) return;
+    if (length == 1) {
+      length = axis_size;
+      return;
+    }
+    require(axis_size == length,
+            "sweep '" + spec.id + "': zipped axis '" + axis_name + "' has " +
+                std::to_string(axis_size) + " values but another axis has " +
+                std::to_string(length));
+  };
+  fold(axes.technologies.size(), "technology");
+  fold(axes.lambda_per_us.size(), "lambda");
+  fold(axes.clusters.size(), "clusters");
+  fold(axes.message_bytes.size(), "message_bytes");
+  fold(axes.architectures.size(), "architecture");
+
+  const auto pick = [](std::size_t axis_size, std::size_t i) {
+    return axis_size == 1 ? 0 : i;
+  };
+  points.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    points.push_back(make_point(
+        spec, axes, pick(axes.technologies.size(), i),
+        pick(axes.lambda_per_us.size(), i), pick(axes.clusters.size(), i),
+        pick(axes.message_bytes.size(), i),
+        pick(axes.architectures.size(), i), points.size()));
+  }
+  return points;
+}
+
+}  // namespace hmcs::runner

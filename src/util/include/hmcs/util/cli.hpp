@@ -33,6 +33,9 @@ class CliParser {
   std::string get_string(const std::string& name) const;
   double get_double(const std::string& name) const;
   long long get_int(const std::string& name) const;
+  /// Like get_int but rejects negative values, so counts and seeds fail
+  /// loudly instead of wrapping through an unsigned cast.
+  unsigned long long get_uint(const std::string& name) const;
   bool get_flag(const std::string& name) const;
 
   /// Positional arguments left after option parsing.

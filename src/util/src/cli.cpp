@@ -83,6 +83,13 @@ long long CliParser::get_int(const std::string& name) const {
   return parse_int(get_string(name));
 }
 
+unsigned long long CliParser::get_uint(const std::string& name) const {
+  const long long value = parse_int(get_string(name));
+  require(value >= 0, "CLI: option --" + name + " must be >= 0, got " +
+                          std::to_string(value));
+  return static_cast<unsigned long long>(value);
+}
+
 bool CliParser::get_flag(const std::string& name) const {
   const Option& opt = find_declared(name);
   require(opt.is_flag, "CLI: --" + name + " is not a flag");

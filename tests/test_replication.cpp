@@ -3,14 +3,14 @@
 #include <gtest/gtest.h>
 
 #include "hmcs/analytic/scenario.hpp"
-#include "hmcs/experiment/replication.hpp"
+#include "hmcs/runner/replication.hpp"
 #include "hmcs/util/error.hpp"
 
 namespace {
 
 using namespace hmcs;
-using experiment::ReplicationResult;
-using experiment::run_replications;
+using runner::ReplicationResult;
+using runner::run_replications;
 
 analytic::SystemConfig small_config() {
   return analytic::paper_scenario(analytic::HeterogeneityCase::kCase1, 4,

@@ -1,0 +1,191 @@
+// The sweep-config loader: JSON and key=value schemas, axis parsing,
+// backend construction, unknown-key rejection, and the technology /
+// model / architecture vocabularies.
+
+#include <gtest/gtest.h>
+
+#include "hmcs/analytic/config_io.hpp"
+#include "hmcs/runner/sweep_config.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/units.hpp"
+
+namespace {
+
+using namespace hmcs;
+using runner::SweepRunConfig;
+using runner::sweep_config_from_json;
+using runner::sweep_config_from_keyvalue;
+
+TEST(SweepConfig, JsonFullDocument) {
+  const SweepRunConfig config = sweep_config_from_json(R"({
+    "id": "study",
+    "title": "a study",
+    "mode": "cartesian",
+    "total_nodes": 64,
+    "seed": 9,
+    "threads": 4,
+    "axes": {
+      "clusters": [2, 4],
+      "message_bytes": [256, 1024],
+      "lambda_per_s": [250],
+      "architecture": ["blocking"],
+      "technology": ["case2"]
+    },
+    "backends": [
+      {"type": "analytic", "model": "mva"},
+      {"type": "des", "messages": 500, "warmup": 100, "replications": 2}
+    ]
+  })");
+  EXPECT_EQ(config.spec.id, "study");
+  EXPECT_EQ(config.spec.title, "a study");
+  EXPECT_EQ(config.spec.total_nodes, 64u);
+  EXPECT_EQ(config.spec.base_seed, 9u);
+  EXPECT_EQ(config.threads, 4u);
+  EXPECT_EQ(config.spec.axes.clusters, (std::vector<std::uint32_t>{2, 4}));
+  ASSERT_EQ(config.spec.axes.lambda_per_us.size(), 1u);
+  EXPECT_DOUBLE_EQ(config.spec.axes.lambda_per_us[0],
+                   units::per_s_to_per_us(250.0));
+  ASSERT_EQ(config.spec.axes.architectures.size(), 1u);
+  EXPECT_EQ(config.spec.axes.architectures[0],
+            analytic::NetworkArchitecture::kBlocking);
+  ASSERT_EQ(config.spec.axes.technologies.size(), 1u);
+  // Case 2 (Table 2): FE intra-cluster, GE everywhere else.
+  EXPECT_EQ(config.spec.axes.technologies[0].icn1.name,
+            analytic::fast_ethernet().name);
+  EXPECT_EQ(config.spec.axes.technologies[0].ecn1.name,
+            analytic::gigabit_ethernet().name);
+  ASSERT_EQ(config.backends.size(), 2u);
+  EXPECT_EQ(config.backends[0]->name(), "analytic");
+  EXPECT_EQ(config.backends[1]->name(), "des");
+}
+
+TEST(SweepConfig, JsonDefaultsToAnalyticOnly) {
+  const SweepRunConfig config = sweep_config_from_json(R"({"id": "s"})");
+  ASSERT_EQ(config.backends.size(), 1u);
+  EXPECT_EQ(config.backends[0]->name(), "analytic");
+  EXPECT_EQ(config.threads, 0u);
+  EXPECT_TRUE(config.spec.axes.clusters.empty());  // paper sweep default
+}
+
+TEST(SweepConfig, JsonTechnologyObjectAndPresetString) {
+  const SweepRunConfig config = sweep_config_from_json(R"({
+    "axes": {"technology": [
+      "myrinet",
+      {"label": "mixed", "icn1": "gigabit-ethernet",
+       "ecn1": "custom:MyNet,25,120", "icn2": "infiniband"}
+    ]}
+  })");
+  ASSERT_EQ(config.spec.axes.technologies.size(), 2u);
+  // A bare preset applies to all three roles.
+  EXPECT_EQ(config.spec.axes.technologies[0].icn1.name,
+            analytic::myrinet().name);
+  EXPECT_EQ(config.spec.axes.technologies[0].icn2.name,
+            analytic::myrinet().name);
+  EXPECT_EQ(config.spec.axes.technologies[1].label, "mixed");
+  EXPECT_EQ(config.spec.axes.technologies[1].ecn1.name, "MyNet");
+  EXPECT_DOUBLE_EQ(config.spec.axes.technologies[1].ecn1.latency_us, 25.0);
+}
+
+TEST(SweepConfig, JsonRejectsUnknownKeysAtEveryLevel) {
+  EXPECT_THROW(sweep_config_from_json(R"({"nope": 1})"), ConfigError);
+  EXPECT_THROW(sweep_config_from_json(R"({"axes": {"nope": []}})"),
+               ConfigError);
+  EXPECT_THROW(sweep_config_from_json(
+                   R"({"backends": [{"type": "analytic", "nope": 1}]})"),
+               ConfigError);
+  EXPECT_THROW(
+      sweep_config_from_json(R"({"axes": {"technology": [{"nope": "x"}]}})"),
+      ConfigError);
+}
+
+TEST(SweepConfig, JsonRejectsBadValues) {
+  EXPECT_THROW(sweep_config_from_json(R"({"mode": "diagonal"})"),
+               ConfigError);
+  EXPECT_THROW(sweep_config_from_json(R"({"seed": -1})"), ConfigError);
+  EXPECT_THROW(sweep_config_from_json(R"({"axes": {"clusters": [0]}})"),
+               ConfigError);
+  EXPECT_THROW(
+      sweep_config_from_json(R"({"backends": [{"type": "quantum"}]})"),
+      ConfigError);
+  EXPECT_THROW(sweep_config_from_json(
+                   R"({"backends": [{"type": "analytic", "model": "x"}]})"),
+               ConfigError);
+}
+
+TEST(SweepConfig, ZippedModeRoundTrips) {
+  const SweepRunConfig config = sweep_config_from_json(R"({
+    "mode": "zipped",
+    "axes": {"clusters": [2, 4, 8], "message_bytes": [64, 256, 1024]}
+  })");
+  const auto points = runner::expand_sweep(config.spec);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[2].clusters, 8u);
+  EXPECT_DOUBLE_EQ(points[2].message_bytes, 1024.0);
+}
+
+TEST(SweepConfig, KeyValueVariant) {
+  const KeyValueFile file = KeyValueFile::parse(
+      "id = kvstudy\n"
+      "clusters = 2, 4\n"
+      "message_bytes = 512\n"
+      "architecture = blocking\n"
+      "technology = case1\n"
+      "backends = analytic, des\n"
+      "model = picard\n"
+      "messages = 700\n"
+      "warmup = 70\n"
+      "seed = 5\n");
+  const SweepRunConfig config = sweep_config_from_keyvalue(file);
+  EXPECT_EQ(config.spec.id, "kvstudy");
+  EXPECT_EQ(config.spec.axes.clusters, (std::vector<std::uint32_t>{2, 4}));
+  EXPECT_EQ(config.spec.base_seed, 5u);
+  ASSERT_EQ(config.backends.size(), 2u);
+  EXPECT_EQ(config.backends[0]->name(), "analytic");
+  EXPECT_EQ(config.backends[1]->name(), "des");
+}
+
+TEST(SweepConfig, KeyValueRejectsUnknownKeys) {
+  const KeyValueFile file = KeyValueFile::parse("clusterz = 2\n");
+  EXPECT_THROW(sweep_config_from_keyvalue(file), ConfigError);
+}
+
+TEST(SweepConfig, ParseThrottlingModelVocabulary) {
+  EXPECT_EQ(runner::parse_throttling_model("bisection"),
+            analytic::SourceThrottling::kBisection);
+  EXPECT_EQ(runner::parse_throttling_model("picard"),
+            analytic::SourceThrottling::kPicard);
+  EXPECT_EQ(runner::parse_throttling_model("mva"),
+            analytic::SourceThrottling::kExactMva);
+  EXPECT_EQ(runner::parse_throttling_model("none"),
+            analytic::SourceThrottling::kNone);
+  EXPECT_THROW(runner::parse_throttling_model("magic"), ConfigError);
+}
+
+TEST(SweepConfig, ParseTechnologyPresetsAndCustomRoundTrip) {
+  EXPECT_EQ(analytic::parse_technology("gigabit-ethernet").name,
+            analytic::gigabit_ethernet().name);
+  EXPECT_EQ(analytic::parse_technology("infiniband").name,
+            analytic::infiniband().name);
+  const analytic::NetworkTechnology custom =
+      analytic::parse_technology("custom:Lab,12.5,800");
+  EXPECT_EQ(custom.name, "Lab");
+  EXPECT_DOUBLE_EQ(custom.latency_us, 12.5);
+  EXPECT_DOUBLE_EQ(custom.bandwidth_bytes_per_us,
+                   units::mbps_to_bytes_per_us(800.0));
+  EXPECT_THROW(analytic::parse_technology("token-ring"), ConfigError);
+  EXPECT_THROW(analytic::parse_technology("custom:Lab,12.5"), ConfigError);
+}
+
+TEST(SweepConfig, ParseArchitectureVocabulary) {
+  EXPECT_EQ(analytic::parse_architecture("non-blocking"),
+            analytic::NetworkArchitecture::kNonBlocking);
+  EXPECT_EQ(analytic::parse_architecture("fat-tree"),
+            analytic::NetworkArchitecture::kNonBlocking);
+  EXPECT_EQ(analytic::parse_architecture("blocking"),
+            analytic::NetworkArchitecture::kBlocking);
+  EXPECT_EQ(analytic::parse_architecture("chain"),
+            analytic::NetworkArchitecture::kBlocking);
+  EXPECT_THROW(analytic::parse_architecture("mesh"), ConfigError);
+}
+
+}  // namespace

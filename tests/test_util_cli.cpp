@@ -93,6 +93,22 @@ TEST(Cli, CollectsPositionalArguments) {
   EXPECT_EQ(cli.positional()[0], "input.txt");
 }
 
+TEST(Cli, GetUintAcceptsNonNegativeValues) {
+  auto cli = make_parser();
+  const std::array<const char*, 3> argv{"prog", "--seed", "42"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_uint("seed"), 42ull);
+}
+
+TEST(Cli, GetUintRejectsNegativeInsteadOfWrapping) {
+  // --seed -1 used to wrap to 2^64-1 through an unchecked cast; it must
+  // be a loud configuration error instead.
+  auto cli = make_parser();
+  const std::array<const char*, 3> argv{"prog", "--seed", "-1"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(cli.get_uint("seed"), ConfigError);
+}
+
 TEST(Cli, UndeclaredAccessIsAnError) {
   auto cli = make_parser();
   const std::array<const char*, 1> argv{"prog"};
