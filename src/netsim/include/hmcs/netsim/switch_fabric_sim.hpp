@@ -30,6 +30,7 @@
 #include "hmcs/netsim/routing.hpp"
 #include "hmcs/simcore/tally.hpp"
 #include "hmcs/topology/graph.hpp"
+#include "hmcs/util/cancel.hpp"
 
 namespace hmcs::netsim {
 
@@ -86,6 +87,11 @@ struct FabricSimOptions {
   std::uint64_t warmup_messages = 2000;
   std::uint64_t seed = 1;
   std::uint64_t max_events = 200'000'000;
+  /// Cooperative cancellation / wall-clock deadline, polled on the
+  /// event-loop rare path (every few thousand events); run() unwinds
+  /// with hmcs::Cancelled or hmcs::DeadlineExceeded. Must outlive
+  /// run(); null = never interrupted.
+  const util::CancelToken* cancel = nullptr;
 };
 
 struct FabricSimResult {

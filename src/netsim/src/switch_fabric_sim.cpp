@@ -240,6 +240,9 @@ struct SwitchFabricSim::Impl {
     for (std::uint64_t e = 0; e < options.active_endpoints; ++e) {
       schedule_injection(e);
     }
+    // Cancellation poll period: keeps the steady_clock read off the
+    // per-event hot path.
+    constexpr std::uint64_t kCancelPollMask = 4095;
     while (!done) {
       ensure(simulator.step(),
              "SwitchFabricSim: event queue drained before completion");
@@ -248,6 +251,10 @@ struct SwitchFabricSim::Impl {
         detail::throw_config_error(
             "SwitchFabricSim: exceeded max_events safety limit",
             std::source_location::current());
+      }
+      if (options.cancel != nullptr &&
+          (simulator.executed_events() & kCancelPollMask) == 0) {
+        options.cancel->check("SwitchFabricSim");
       }
     }
 

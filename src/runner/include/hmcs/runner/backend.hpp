@@ -23,8 +23,26 @@
 #include "hmcs/netsim/switch_fabric_sim.hpp"
 #include "hmcs/obs/trace.hpp"
 #include "hmcs/sim/multicluster_sim.hpp"
+#include "hmcs/util/cancel.hpp"
 
 namespace hmcs::runner {
+
+/// Terminal disposition of one grid cell (docs/ROBUSTNESS.md). Backends
+/// never set it — they throw or return; the runner assigns it from the
+/// outcome of the final attempt plus the validity guardrails.
+enum class CellStatus : std::uint8_t {
+  kOk,        ///< evaluated, passed the guardrails
+  kFailed,    ///< the backend threw (ConfigError, LogicError, ...)
+  kTimedOut,  ///< the per-cell wall-clock deadline expired
+  kDegraded,  ///< evaluated, but the result is suspect: non-converged
+              ///< fixed point, saturated centre, or non-finite mean
+  kSkipped,   ///< never evaluated (cancelled sweep / abandoned lane)
+};
+
+/// Stable wire/report names: ok|failed|timed_out|degraded|skipped.
+const char* to_string(CellStatus status);
+/// Inverse of to_string; throws hmcs::ConfigError on unknown names.
+CellStatus parse_cell_status(const std::string& name);
 
 /// One backend's evaluation of one sweep point. mean_latency_us is the
 /// headline number every backend fills; the diagnostic fields are
@@ -46,6 +64,20 @@ struct PointResult {
   /// Switch-level diagnostics.
   double mean_switch_hops = 0.0;
   double max_switch_utilization = 0.0;
+
+  /// Busiest service-centre busy fraction seen by this evaluation (DES:
+  /// max over ICN1/ECN1/ICN2 roles and replications; fabric: busiest
+  /// switch; analytic: 0). Feeds the saturation guardrail.
+  double max_center_utilization = 0.0;
+
+  /// Fault-tolerance record, filled by the runner (backends leave the
+  /// defaults). `attempts` counts predict() calls actually made for
+  /// this cell (0 = never executed); `error` holds the final attempt's
+  /// exception message for kFailed/kTimedOut and the guardrail reason
+  /// for kDegraded.
+  CellStatus status = CellStatus::kOk;
+  std::uint32_t attempts = 0;
+  std::string error;
 };
 
 /// Per-point execution context handed to a backend: the point's
@@ -56,8 +88,15 @@ struct PointContext {
   std::size_t index = 0;
   std::uint32_t worker = 0;
   std::uint64_t seed = 1;
+  /// 1-based attempt number; retries re-derive seed via
+  /// retry_point_seed so attempt k is deterministic at any thread count.
+  std::uint32_t attempt = 1;
   std::string label;
   std::shared_ptr<obs::TraceSession> trace;
+  /// Per-cell cancellation/deadline token (valid for the duration of
+  /// the predict() call); backends running open-ended loops thread it
+  /// into them. Null when the sweep runs without deadlines.
+  const util::CancelToken* cancel = nullptr;
 };
 
 class Backend {

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file fault_injection.hpp
+/// A test backend that fails on demand: chosen point indices throw
+/// (ConfigError or LogicError), hang cooperatively until the cell's
+/// cancel token expires, or return a NaN mean. Healthy points delegate
+/// to an inner backend, or compute a cheap deterministic synthetic
+/// latency when none is given. Every predict() call is logged with its
+/// (point, attempt, seed) triple so tests can assert the retry
+/// protocol — deterministic re-derived seeds, bounded attempts —
+/// independently of worker scheduling.
+///
+/// This is test infrastructure, but it lives in the library (not the
+/// test binary) so the CLI smoke tooling and future chaos studies can
+/// reuse it.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "hmcs/runner/backend.hpp"
+
+namespace hmcs::runner {
+
+class FaultInjectionBackend : public Backend {
+ public:
+  struct Options {
+    /// Delegate for non-faulting calls; null = synthetic result
+    /// (a pure function of clusters, message bytes, and seed).
+    std::shared_ptr<Backend> inner;
+    /// Point indices that throw hmcs::ConfigError.
+    std::vector<std::size_t> throw_config_on;
+    /// Point indices that throw hmcs::LogicError.
+    std::vector<std::size_t> throw_logic_on;
+    /// Point indices that spin until ctx.cancel expires (cooperative
+    /// hang); throws hmcs::LogicError after ~10 s if no token ever
+    /// expires, so a misconfigured test cannot wedge the suite.
+    std::vector<std::size_t> hang_on;
+    /// Point indices that return a NaN mean latency.
+    std::vector<std::size_t> nan_on;
+    /// Faulting points stop faulting on attempts > this count
+    /// (0 = fault forever). Models transient failures for retry tests.
+    std::uint32_t heal_after_attempts = 0;
+  };
+
+  explicit FaultInjectionBackend(Options options,
+                                 std::string name = "faulty");
+
+  const std::string& name() const override { return name_; }
+  PointResult predict(const analytic::SystemConfig& config,
+                      const PointContext& ctx) const override;
+
+  struct Call {
+    std::size_t point = 0;
+    std::uint32_t attempt = 0;
+    std::uint64_t seed = 0;
+  };
+  /// Every predict() invocation so far, sorted by (point, attempt) so
+  /// the log is identical for any worker count.
+  std::vector<Call> calls() const;
+
+ private:
+  bool faults(const std::vector<std::size_t>& set, std::size_t point,
+              std::uint32_t attempt) const;
+
+  Options options_;
+  std::string name_;
+  mutable std::mutex mutex_;
+  mutable std::vector<Call> calls_;
+};
+
+}  // namespace hmcs::runner

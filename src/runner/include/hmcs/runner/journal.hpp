@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file journal.hpp
+/// Checkpoint/resume for sweeps: a JSON-lines journal of completed
+/// cells. The writer appends one line per cell as it reaches a terminal
+/// status and flushes after every line, so a run killed at any moment
+/// (SIGINT or SIGKILL) leaves a journal of everything it finished; the
+/// loader replays it and run_sweep skips those cells. Because per-point
+/// seeds are fixed at expansion time and every numeric field round-trips
+/// exactly (17-significant-digit doubles, decimal-string u64 seeds,
+/// nan/inf spelled out), a resumed sweep's merged result is bit-identical
+/// to an uninterrupted run. Format reference: docs/ROBUSTNESS.md.
+///
+/// Line 1 is a header identifying the sweep shape:
+///
+///   {"journal":"hmcs-sweep","version":1,"id":"fig6","points":8,
+///    "backends":["analytic","des"]}
+///
+/// then one object per terminal cell:
+///
+///   {"cell":5,"seed":"1965...","status":"ok","attempts":1,"error":"",
+///    "result":{"mean_latency_us":31.4,...}}
+///
+/// A truncated final line (kill mid-write) is ignored on load; appending
+/// to a resumed journal is valid (later records win, headers must agree).
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hmcs/runner/backend.hpp"
+
+namespace hmcs::runner {
+
+/// A loaded journal: the sweep shape from the header(s) plus every
+/// complete cell record, last occurrence winning.
+struct SweepJournal {
+  std::string id;
+  std::size_t points = 0;
+  std::vector<std::string> backend_names;
+  /// Indexed by flat cell (point-major, points * backends entries);
+  /// empty optionals are cells the journaled run never finished.
+  std::vector<std::optional<PointResult>> cells;
+  /// Seed recorded per journaled cell (guards against resuming under a
+  /// different spec); meaningful where cells[i] is set.
+  std::vector<std::uint64_t> seeds;
+
+  std::size_t completed() const;
+};
+
+/// Parses a journal file. Throws hmcs::ConfigError on unreadable paths,
+/// a missing/foreign header, or disagreeing headers; tolerates (and
+/// drops) one truncated trailing line.
+SweepJournal load_sweep_journal(const std::string& path);
+
+/// Thread-safe appending journal writer. Constructing it truncates or
+/// appends per `append`; the header is written immediately when the
+/// file is fresh, so even a run killed before its first finished cell
+/// leaves a resumable journal.
+class JournalWriter {
+ public:
+  struct Shape {
+    std::string id;
+    std::size_t points = 0;
+    std::vector<std::string> backend_names;
+  };
+
+  /// Throws hmcs::ConfigError when the file cannot be opened.
+  JournalWriter(const std::string& path, const Shape& shape, bool append);
+
+  /// Appends one terminal cell record and flushes. Safe to call from
+  /// concurrent workers.
+  void record(std::size_t cell, std::uint64_t seed, const PointResult& result);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::mutex mutex_;
+};
+
+}  // namespace hmcs::runner

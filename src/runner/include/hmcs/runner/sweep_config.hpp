@@ -16,6 +16,10 @@
 ///     "total_nodes": 256,
 ///     "seed": 3,
 ///     "threads": 0,                         // 0 = hardware concurrency
+///     "on_error": "collect-all",            // or "fail-fast" (default)
+///     "max_attempts": 2,                    // per-cell retry budget
+///     "cell_deadline_ms": 60000,            // 0 = no deadline
+///     "degraded_utilization": 0.999,        // saturation guardrail
 ///     "axes": {
 ///       "clusters": [1, 2, 4, 8],
 ///       "message_bytes": [1024, 512],
@@ -49,6 +53,10 @@
 ///   warmup        = 400
 ///   replications  = 1
 ///   seed          = 3
+///   on_error      = collect-all  # fail-fast (default) | collect-all
+///   max_attempts  = 2
+///   cell_deadline_ms = 60000
+///   degraded_utilization = 0.999
 ///
 /// Unknown keys are rejected at every level so typos fail loudly.
 
@@ -58,6 +66,7 @@
 #include <vector>
 
 #include "hmcs/runner/backend.hpp"
+#include "hmcs/runner/sweep_runner.hpp"
 #include "hmcs/runner/sweep_spec.hpp"
 #include "hmcs/util/json.hpp"
 #include "hmcs/util/keyvalue.hpp"
@@ -77,6 +86,15 @@ struct SweepRunConfig {
   SweepSpec spec;
   std::vector<std::shared_ptr<Backend>> backends;
   std::uint32_t threads = 0;  ///< 0 = hardware concurrency
+
+  /// Fault-tolerance policy (docs/ROBUSTNESS.md), config keys
+  /// `on_error` (fail-fast|collect-all), `max_attempts`,
+  /// `cell_deadline_ms`, `degraded_utilization`; hmcs_run copies these
+  /// into RunnerOptions and lets CLI flags override them.
+  FailurePolicy on_error = FailurePolicy::kFailFast;
+  std::uint32_t max_attempts = 1;
+  double cell_deadline_ms = 0.0;
+  double degraded_utilization = 1.0;
 };
 
 /// Loads a sweep config from `path`: `.json` is parsed as the JSON
@@ -96,5 +114,8 @@ SweepRunConfig sweep_config_from_keyvalue(const KeyValueFile& file,
 /// Parses an analytic throttling-model name: bisection|picard|mva|none
 /// (the figure harnesses' --model vocabulary).
 analytic::SourceThrottling parse_throttling_model(const std::string& name);
+
+/// Parses a failure-policy name: fail-fast|collect-all.
+FailurePolicy parse_failure_policy(const std::string& name);
 
 }  // namespace hmcs::runner

@@ -21,11 +21,18 @@ namespace hmcs::runner {
 /// architecture only when non-singleton), then "<backend> (ms)" per
 /// backend (with ±CI when the backend reports one), then
 /// "RelErr <backend>" against the first backend when there are >= 2.
+/// Fault-tolerance columns appear only when informative: "Conv <b>"
+/// per backend when any cell is non-converged, "Status <b>" when any
+/// cell is non-ok (failed cells print FAILED/TIMEOUT/- in the latency
+/// column, and RelErr falls back to "-" when either side has no
+/// value). An all-ok converged sweep renders byte-identically to the
+/// pre-robustness engine.
 std::string render_sweep_table(const SweepResult& result);
 
 /// One row per point: clusters, message_bytes, lambda_per_s,
-/// architecture, technology, seed, then per backend mean_ms and
-/// ci_half_ms.
+/// architecture, technology, seed, then per backend mean_ms,
+/// ci_half_ms, converged (0/1), status (ok|failed|timed_out|degraded|
+/// skipped), and attempts.
 CsvWriter sweep_csv(const SweepResult& result);
 
 /// Spec echo + backends + every cell with its diagnostics.

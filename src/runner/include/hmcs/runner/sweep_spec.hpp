@@ -99,6 +99,15 @@ std::uint64_t default_point_seed(std::uint64_t base_seed,
                                  std::uint32_t clusters,
                                  double message_bytes);
 
+/// Seed for retry attempt `attempt` (1-based) of a cell whose point
+/// seed is `point_seed`. Attempt 1 is the point seed itself — a sweep
+/// without faults is bit-identical to the pre-retry engine — and each
+/// later attempt folds the attempt number through a full SplitMix64
+/// finalizer, so retries are decorrelated from the failed run yet
+/// deterministic for any thread count (docs/ROBUSTNESS.md).
+std::uint64_t retry_point_seed(std::uint64_t point_seed,
+                               std::uint32_t attempt);
+
 /// Expands the spec into its flat point list (cartesian or zipped),
 /// building and validating every SystemConfig. Throws hmcs::ConfigError
 /// on empty expansions, zip length mismatches, or invalid

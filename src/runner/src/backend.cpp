@@ -8,6 +8,28 @@
 
 namespace hmcs::runner {
 
+const char* to_string(CellStatus status) {
+  switch (status) {
+    case CellStatus::kOk: return "ok";
+    case CellStatus::kFailed: return "failed";
+    case CellStatus::kTimedOut: return "timed_out";
+    case CellStatus::kDegraded: return "degraded";
+    case CellStatus::kSkipped: return "skipped";
+  }
+  detail::throw_logic_error("to_string: invalid CellStatus",
+                            std::source_location::current());
+}
+
+CellStatus parse_cell_status(const std::string& name) {
+  if (name == "ok") return CellStatus::kOk;
+  if (name == "failed") return CellStatus::kFailed;
+  if (name == "timed_out") return CellStatus::kTimedOut;
+  if (name == "degraded") return CellStatus::kDegraded;
+  if (name == "skipped") return CellStatus::kSkipped;
+  detail::throw_config_error("unknown cell status '" + name + "'",
+                             std::source_location::current());
+}
+
 AnalyticBackend::AnalyticBackend(analytic::ModelOptions options,
                                  std::string name)
     : options_(options), name_(std::move(name)) {}
@@ -31,10 +53,20 @@ DesBackend::DesBackend(Options options, std::string name)
           "DesBackend: direct_seed requires replications == 1");
 }
 
+namespace {
+
+double max_role_utilization(const sim::SimResult& run) {
+  return std::max({run.icn1.utilization, run.ecn1.utilization,
+                   run.icn2.utilization});
+}
+
+}  // namespace
+
 PointResult DesBackend::predict(const analytic::SystemConfig& config,
                                 const PointContext& ctx) const {
   sim::SimOptions sim_options = options_.sim;
   sim_options.seed = ctx.seed;
+  sim_options.cancel = ctx.cancel;
   if (ctx.trace) {
     // Each point's simulated-time tracks get their own pid so the
     // sim-µs axis never shares a track with wall-clock spans.
@@ -52,6 +84,7 @@ PointResult DesBackend::predict(const analytic::SystemConfig& config,
     result.ci_half_us = run.latency_ci.half_width;
     result.effective_rate_per_us = run.effective_rate_per_us;
     result.messages_measured = run.messages_measured;
+    result.max_center_utilization = max_role_utilization(run);
     return result;
   }
 
@@ -64,6 +97,8 @@ PointResult DesBackend::predict(const analytic::SystemConfig& config,
   result.effective_rate_per_us = run.effective_rate_per_us;
   for (const sim::SimResult& replication : run.replications) {
     result.messages_measured += replication.messages_measured;
+    result.max_center_utilization = std::max(
+        result.max_center_utilization, max_role_utilization(replication));
   }
   return result;
 }
@@ -80,6 +115,7 @@ PointResult FabricBackend::predict(const analytic::SystemConfig& config,
   fabric_options.mode = options_.mode;
   fabric_options.closed_loop = options_.closed_loop;
   fabric_options.seed = ctx.seed;
+  fabric_options.cancel = ctx.cancel;
   netsim::SwitchFabricSim simulator(fabric.graph(), fabric_options);
   const netsim::FabricSimResult run = simulator.run();
 
@@ -90,6 +126,7 @@ PointResult FabricBackend::predict(const analytic::SystemConfig& config,
   result.messages_measured = run.messages_measured;
   result.mean_switch_hops = run.mean_switch_hops;
   result.max_switch_utilization = run.max_switch_utilization;
+  result.max_center_utilization = run.max_switch_utilization;
   return result;
 }
 

@@ -1,0 +1,79 @@
+#include "hmcs/runner/fault_injection.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::runner {
+
+FaultInjectionBackend::FaultInjectionBackend(Options options, std::string name)
+    : options_(std::move(options)), name_(std::move(name)) {}
+
+bool FaultInjectionBackend::faults(const std::vector<std::size_t>& set,
+                                   std::size_t point,
+                                   std::uint32_t attempt) const {
+  if (std::find(set.begin(), set.end(), point) == set.end()) return false;
+  return options_.heal_after_attempts == 0 ||
+         attempt <= options_.heal_after_attempts;
+}
+
+PointResult FaultInjectionBackend::predict(
+    const analytic::SystemConfig& config, const PointContext& ctx) const {
+  {
+    const std::scoped_lock lock(mutex_);
+    calls_.push_back(Call{ctx.index, ctx.attempt, ctx.seed});
+  }
+
+  if (faults(options_.throw_config_on, ctx.index, ctx.attempt)) {
+    throw ConfigError("fault injection: config fault at point " +
+                      std::to_string(ctx.index));
+  }
+  if (faults(options_.throw_logic_on, ctx.index, ctx.attempt)) {
+    throw LogicError("fault injection: logic fault at point " +
+                     std::to_string(ctx.index));
+  }
+  if (faults(options_.hang_on, ctx.index, ctx.attempt)) {
+    // Cooperative hang: behave like a simulator that never reaches its
+    // message count, polling the cancel token on its rare path. The
+    // 10 s fuse turns a missing/never-expiring token into a loud
+    // failure instead of a wedged test suite.
+    const auto fuse =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < fuse) {
+      if (ctx.cancel != nullptr) ctx.cancel->check("FaultInjectionBackend");
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    throw LogicError("fault injection: hang at point " +
+                     std::to_string(ctx.index) +
+                     " was never cancelled (no deadline?)");
+  }
+  if (faults(options_.nan_on, ctx.index, ctx.attempt)) {
+    PointResult result;
+    result.mean_latency_us = std::numeric_limits<double>::quiet_NaN();
+    return result;
+  }
+
+  if (options_.inner != nullptr) return options_.inner->predict(config, ctx);
+  PointResult result;
+  result.mean_latency_us = static_cast<double>(config.clusters) * 100.0 +
+                           config.message_bytes / 64.0 +
+                           static_cast<double>(ctx.seed % 97);
+  return result;
+}
+
+std::vector<FaultInjectionBackend::Call> FaultInjectionBackend::calls() const {
+  std::vector<Call> log;
+  {
+    const std::scoped_lock lock(mutex_);
+    log = calls_;
+  }
+  std::sort(log.begin(), log.end(), [](const Call& a, const Call& b) {
+    return a.point != b.point ? a.point < b.point : a.attempt < b.attempt;
+  });
+  return log;
+}
+
+}  // namespace hmcs::runner

@@ -1,0 +1,228 @@
+#include "hmcs/runner/journal.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <limits>
+#include <sstream>
+
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/json.hpp"
+
+namespace hmcs::runner {
+
+namespace {
+
+/// Doubles must round-trip exactly for the resume bit-identity
+/// contract. JsonWriter already emits finite values as %.17g (exact);
+/// non-finite values — a backend can legitimately produce NaN/inf — are
+/// encoded as the strings "nan"/"inf"/"-inf" because JSON has no
+/// spelling for them.
+void journal_number(JsonWriter& json, const char* key, double value) {
+  json.key(key);
+  if (std::isnan(value)) {
+    json.value("nan");
+  } else if (std::isinf(value)) {
+    json.value(value > 0.0 ? "inf" : "-inf");
+  } else {
+    json.value(value);
+  }
+}
+
+double read_journal_number(const JsonValue& object, const char* key) {
+  const JsonValue& member = object.at(key);
+  if (member.is_string()) {
+    const std::string& text = member.as_string();
+    if (text == "nan") return std::numeric_limits<double>::quiet_NaN();
+    if (text == "inf") return std::numeric_limits<double>::infinity();
+    if (text == "-inf") return -std::numeric_limits<double>::infinity();
+    detail::throw_config_error(
+        "journal: bad non-finite spelling '" + text + "' for " + key,
+        std::source_location::current());
+  }
+  return member.as_number();
+}
+
+/// u64 values (seeds, message counts) are encoded as decimal strings:
+/// the JSON parser narrows numbers through double, which silently loses
+/// bits above 2^53 — and SplitMix64 seeds use all 64.
+std::uint64_t read_journal_u64(const JsonValue& object, const char* key) {
+  const std::string& text = object.at(key).as_string();
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  require(errno == 0 && end != nullptr && *end == '\0' && !text.empty(),
+          "journal: bad u64 '" + text + "' for " + key);
+  return static_cast<std::uint64_t>(value);
+}
+
+std::string header_line(const JournalWriter::Shape& shape) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("journal").value("hmcs-sweep");
+  json.key("version").value(std::uint64_t{1});
+  json.key("id").value(shape.id);
+  json.key("points").value(static_cast<std::uint64_t>(shape.points));
+  json.key("backends").begin_array();
+  for (const std::string& name : shape.backend_names) json.value(name);
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::string cell_line(std::size_t cell, std::uint64_t seed,
+                      const PointResult& result) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("cell").value(static_cast<std::uint64_t>(cell));
+  json.key("seed").value(std::to_string(seed));
+  json.key("status").value(to_string(result.status));
+  json.key("attempts").value(result.attempts);
+  json.key("error").value(result.error);
+  json.key("result").begin_object();
+  journal_number(json, "mean_latency_us", result.mean_latency_us);
+  journal_number(json, "ci_half_us", result.ci_half_us);
+  journal_number(json, "lambda_offered", result.lambda_offered);
+  journal_number(json, "lambda_effective", result.lambda_effective);
+  json.key("converged").value(result.converged);
+  journal_number(json, "effective_rate_per_us", result.effective_rate_per_us);
+  json.key("messages_measured")
+      .value(std::to_string(result.messages_measured));
+  journal_number(json, "mean_switch_hops", result.mean_switch_hops);
+  journal_number(json, "max_switch_utilization",
+                 result.max_switch_utilization);
+  journal_number(json, "max_center_utilization",
+                 result.max_center_utilization);
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+void apply_header(SweepJournal& journal, const JsonValue& doc, bool& seen) {
+  require(doc.at("journal").as_string() == "hmcs-sweep",
+          "journal: not an hmcs sweep journal");
+  require(doc.at("version").as_number() == 1.0,
+          "journal: unsupported version");
+  SweepJournal header;
+  header.id = doc.at("id").as_string();
+  header.points = static_cast<std::size_t>(doc.at("points").as_number());
+  for (const JsonValue& name : doc.at("backends").items) {
+    header.backend_names.push_back(name.as_string());
+  }
+  require(header.points > 0 && !header.backend_names.empty(),
+          "journal: degenerate header");
+  if (!seen) {
+    journal.id = header.id;
+    journal.points = header.points;
+    journal.backend_names = header.backend_names;
+    const std::size_t cells = header.points * header.backend_names.size();
+    journal.cells.assign(cells, std::nullopt);
+    journal.seeds.assign(cells, 0);
+    seen = true;
+    return;
+  }
+  // An appended-to journal repeats its header; all copies must agree.
+  require(header.id == journal.id && header.points == journal.points &&
+              header.backend_names == journal.backend_names,
+          "journal: disagreeing headers (mixed sweeps in one file?)");
+}
+
+void apply_cell(SweepJournal& journal, const JsonValue& doc) {
+  const std::size_t cell = static_cast<std::size_t>(
+      doc.at("cell").as_number());
+  require(cell < journal.cells.size(), "journal: cell index out of range");
+  PointResult result;
+  result.status = parse_cell_status(doc.at("status").as_string());
+  require(result.status != CellStatus::kSkipped,
+          "journal: skipped cells are never journaled");
+  result.attempts =
+      static_cast<std::uint32_t>(doc.at("attempts").as_number());
+  result.error = doc.at("error").as_string();
+  const JsonValue& fields = doc.at("result");
+  result.mean_latency_us = read_journal_number(fields, "mean_latency_us");
+  result.ci_half_us = read_journal_number(fields, "ci_half_us");
+  result.lambda_offered = read_journal_number(fields, "lambda_offered");
+  result.lambda_effective = read_journal_number(fields, "lambda_effective");
+  result.converged = fields.at("converged").as_bool();
+  result.effective_rate_per_us =
+      read_journal_number(fields, "effective_rate_per_us");
+  result.messages_measured = read_journal_u64(fields, "messages_measured");
+  result.mean_switch_hops = read_journal_number(fields, "mean_switch_hops");
+  result.max_switch_utilization =
+      read_journal_number(fields, "max_switch_utilization");
+  result.max_center_utilization =
+      read_journal_number(fields, "max_center_utilization");
+  journal.seeds[cell] = read_journal_u64(doc, "seed");
+  journal.cells[cell] = std::move(result);
+}
+
+}  // namespace
+
+std::size_t SweepJournal::completed() const {
+  std::size_t count = 0;
+  for (const auto& cell : cells) count += cell.has_value() ? 1 : 0;
+  return count;
+}
+
+SweepJournal load_sweep_journal(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "journal: cannot open '" + path + "'");
+
+  SweepJournal journal;
+  bool seen_header = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // A process killed mid-write leaves at most one incomplete final
+    // line; getline without a trailing record separator or a parse
+    // failure on the last line is expected, anywhere else it is
+    // corruption.
+    JsonValue doc;
+    try {
+      doc = parse_json(line);
+    } catch (const ConfigError&) {
+      require(in.peek() == std::ifstream::traits_type::eof(),
+              "journal: corrupt record mid-file in '" + path + "'");
+      break;
+    }
+    if (!seen_header) {
+      apply_header(journal, doc, seen_header);
+      continue;
+    }
+    if (doc.find("journal") != nullptr) {
+      apply_header(journal, doc, seen_header);
+      continue;
+    }
+    apply_cell(journal, doc);
+  }
+  require(seen_header, "journal: '" + path + "' has no hmcs-sweep header");
+  return journal;
+}
+
+JournalWriter::JournalWriter(const std::string& path, const Shape& shape,
+                             bool append)
+    : path_(path) {
+  require(shape.points > 0 && !shape.backend_names.empty(),
+          "journal: degenerate shape");
+  const bool fresh =
+      !append || !std::filesystem::exists(path) ||
+      std::filesystem::file_size(path) == 0;
+  out_.open(path, fresh ? std::ios::trunc : std::ios::app);
+  require(out_.good(), "journal: cannot write '" + path + "'");
+  // Always restate the header: a fresh file needs one, and an appended
+  // header re-validates shape agreement on the next load.
+  out_ << header_line(shape) << "\n";
+  out_.flush();
+  require(out_.good(), "journal: write to '" + path + "' failed");
+}
+
+void JournalWriter::record(std::size_t cell, std::uint64_t seed,
+                           const PointResult& result) {
+  const std::string line = cell_line(cell, seed, result);
+  const std::scoped_lock lock(mutex_);
+  out_ << line << "\n";
+  out_.flush();
+}
+
+}  // namespace hmcs::runner

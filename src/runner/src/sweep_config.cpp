@@ -1,6 +1,7 @@
 #include "hmcs/runner/sweep_config.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -198,6 +199,16 @@ analytic::SourceThrottling parse_throttling_model(const std::string& name) {
       std::source_location::current());
 }
 
+FailurePolicy parse_failure_policy(const std::string& name) {
+  const std::string trimmed = trim(name);
+  if (trimmed == "fail-fast") return FailurePolicy::kFailFast;
+  if (trimmed == "collect-all") return FailurePolicy::kCollectAll;
+  detail::throw_config_error(
+      "unknown on_error policy '" + name +
+          "' (expected fail-fast|collect-all)",
+      std::source_location::current());
+}
+
 SweepRunConfig sweep_config_from_json(std::string_view text,
                                       const SweepLoadOptions& options) {
   const JsonValue doc = parse_json(text);
@@ -205,7 +216,9 @@ SweepRunConfig sweep_config_from_json(std::string_view text,
   reject_unknown_members(doc,
                          {"id", "title", "mode", "total_nodes",
                           "switch_ports", "switch_latency_us", "seed",
-                          "threads", "axes", "backends"},
+                          "threads", "axes", "backends", "on_error",
+                          "max_attempts", "cell_deadline_ms",
+                          "degraded_utilization"},
                          "the sweep config");
 
   SweepRunConfig config;
@@ -220,6 +233,19 @@ SweepRunConfig sweep_config_from_json(std::string_view text,
       number_member(doc, "switch_latency_us", analytic::kPaperSwitchLatencyUs);
   config.spec.base_seed = uint_member(doc, "seed", 1);
   config.threads = static_cast<std::uint32_t>(uint_member(doc, "threads", 0));
+  config.on_error =
+      parse_failure_policy(string_member(doc, "on_error", "fail-fast"));
+  config.max_attempts =
+      static_cast<std::uint32_t>(uint_member(doc, "max_attempts", 1));
+  require(config.max_attempts >= 1,
+          "sweep config: max_attempts must be >= 1");
+  config.cell_deadline_ms = number_member(doc, "cell_deadline_ms", 0.0);
+  require(config.cell_deadline_ms >= 0.0,
+          "sweep config: cell_deadline_ms must be >= 0");
+  config.degraded_utilization =
+      number_member(doc, "degraded_utilization", 1.0);
+  require(config.degraded_utilization > 0.0,
+          "sweep config: degraded_utilization must be > 0");
 
   if (const JsonValue* axes = doc.find("axes")) {
     require(axes->is_object(), "sweep config: 'axes' must be an object");
@@ -246,7 +272,8 @@ SweepRunConfig sweep_config_from_keyvalue(const KeyValueFile& file,
       "switch_ports", "switch_latency_us", "seed",   "threads",
       "clusters",     "message_bytes", "lambda_per_s", "architecture",
       "technology",   "backends",    "model",        "messages",
-      "warmup",       "replications"};
+      "warmup",       "replications", "on_error",    "max_attempts",
+      "cell_deadline_ms", "degraded_utilization"};
   const auto unknown = file.unknown_keys(known);
   require(unknown.empty(), "sweep config: unknown key '" +
                                (unknown.empty() ? "" : unknown[0]) + "'");
@@ -268,6 +295,17 @@ SweepRunConfig sweep_config_from_keyvalue(const KeyValueFile& file,
   config.spec.base_seed = static_cast<std::uint64_t>(seed);
   config.threads =
       static_cast<std::uint32_t>(parse_int(file.get_or("threads", "0")));
+  config.on_error = parse_failure_policy(file.get_or("on_error", "fail-fast"));
+  const long long attempts = parse_int(file.get_or("max_attempts", "1"));
+  require(attempts >= 1, "sweep config: max_attempts must be >= 1");
+  config.max_attempts = static_cast<std::uint32_t>(attempts);
+  config.cell_deadline_ms = parse_double(file.get_or("cell_deadline_ms", "0"));
+  require(config.cell_deadline_ms >= 0.0,
+          "sweep config: cell_deadline_ms must be >= 0");
+  config.degraded_utilization =
+      parse_double(file.get_or("degraded_utilization", "1"));
+  require(config.degraded_utilization > 0.0,
+          "sweep config: degraded_utilization must be > 0");
 
   const auto list = [&](const char* key) {
     std::vector<std::string> items;
@@ -333,6 +371,12 @@ SweepRunConfig sweep_config_from_keyvalue(const KeyValueFile& file,
 
 SweepRunConfig load_sweep_config(const std::string& path,
                                  const SweepLoadOptions& options) {
+  // An ifstream on a directory "opens" and reads nothing, which would
+  // silently yield the default sweep — reject anything that is not a
+  // regular file up front.
+  std::error_code ec;
+  require(std::filesystem::is_regular_file(path, ec),
+          "sweep config: '" + path + "' is not a readable file");
   const bool is_json =
       path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
   if (is_json) {

@@ -37,7 +37,21 @@ VaryingAxes varying_axes(const SweepResult& result) {
   return varying;
 }
 
+/// True when the cell produced a number worth printing (ok or
+/// degraded); failed/timed-out/skipped cells carry no usable latency.
+bool has_value(const PointResult& cell) {
+  return cell.status == CellStatus::kOk ||
+         cell.status == CellStatus::kDegraded;
+}
+
 std::string latency_cell(const PointResult& cell) {
+  switch (cell.status) {
+    case CellStatus::kFailed: return "FAILED";
+    case CellStatus::kTimedOut: return "TIMEOUT";
+    case CellStatus::kSkipped: return "-";
+    case CellStatus::kOk:
+    case CellStatus::kDegraded: break;
+  }
   if (!std::isfinite(cell.mean_latency_us)) return "inf";
   std::string text = format_fixed(units::us_to_ms(cell.mean_latency_us), 3);
   if (cell.ci_half_us > 0.0) {
@@ -47,10 +61,29 @@ std::string latency_cell(const PointResult& cell) {
   return text;
 }
 
+std::string status_cell(const PointResult& cell) {
+  std::string text = to_string(cell.status);
+  if (cell.attempts > 1) {
+    text += " (x" + std::to_string(cell.attempts) + ")";
+  }
+  return text;
+}
+
 }  // namespace
 
 std::string render_sweep_table(const SweepResult& result) {
   const VaryingAxes varying = varying_axes(result);
+  const std::size_t n_backends = result.backend_names.size();
+
+  // Fault-tolerance columns appear only when they carry information,
+  // so an all-ok converged sweep renders byte-identically to the
+  // pre-robustness engine.
+  bool any_non_ok = false;
+  bool any_non_converged = false;
+  for (const PointResult& cell : result.cells) {
+    if (cell.status != CellStatus::kOk) any_non_ok = true;
+    if (!cell.converged) any_non_converged = true;
+  }
 
   std::vector<std::string> headers{"Clusters", "M (bytes)"};
   if (varying.lambda) headers.push_back("lambda (msg/s)");
@@ -59,12 +92,21 @@ std::string render_sweep_table(const SweepResult& result) {
   for (const std::string& name : result.backend_names) {
     headers.push_back(name + " (ms)");
   }
-  for (std::size_t b = 1; b < result.backend_names.size(); ++b) {
+  for (std::size_t b = 1; b < n_backends; ++b) {
     headers.push_back("RelErr " + result.backend_names[b]);
+  }
+  if (any_non_converged) {
+    for (const std::string& name : result.backend_names) {
+      headers.push_back("Conv " + name);
+    }
+  }
+  if (any_non_ok) {
+    for (const std::string& name : result.backend_names) {
+      headers.push_back("Status " + name);
+    }
   }
 
   Table table(headers);
-  const std::size_t n_backends = result.backend_names.size();
   for (const SweepPoint& point : result.points) {
     std::vector<std::string> row{std::to_string(point.clusters),
                                  format_compact(point.message_bytes, 6)};
@@ -79,16 +121,32 @@ std::string render_sweep_table(const SweepResult& result) {
     for (std::size_t b = 0; b < n_backends; ++b) {
       row.push_back(latency_cell(result.at(point.index, b)));
     }
-    const double reference_ms =
-        units::us_to_ms(result.at(point.index, 0).mean_latency_us);
+    const PointResult& reference = result.at(point.index, 0);
     for (std::size_t b = 1; b < n_backends; ++b) {
-      const double other_ms =
-          units::us_to_ms(result.at(point.index, b).mean_latency_us);
+      const PointResult& other = result.at(point.index, b);
+      if (!has_value(reference) || !has_value(other)) {
+        row.push_back("-");
+        continue;
+      }
       // The paper's accuracy notion: |other - reference| / other, with
       // the non-reference evaluation as ground truth (Figures 4-7 use
       // |analysis - simulation| / simulation).
-      row.push_back(format_fixed(relative_error(reference_ms, other_ms) *
-                                     100.0, 1) + "%");
+      row.push_back(
+          format_fixed(relative_error(units::us_to_ms(
+                                          reference.mean_latency_us),
+                                      units::us_to_ms(
+                                          other.mean_latency_us)) *
+                           100.0, 1) + "%");
+    }
+    if (any_non_converged) {
+      for (std::size_t b = 0; b < n_backends; ++b) {
+        row.push_back(result.at(point.index, b).converged ? "yes" : "no");
+      }
+    }
+    if (any_non_ok) {
+      for (std::size_t b = 0; b < n_backends; ++b) {
+        row.push_back(status_cell(result.at(point.index, b)));
+      }
     }
     table.add_row(std::move(row));
   }
@@ -102,6 +160,9 @@ CsvWriter sweep_csv(const SweepResult& result) {
   for (const std::string& name : result.backend_names) {
     headers.push_back(name + "_mean_ms");
     headers.push_back(name + "_ci_half_ms");
+    headers.push_back(name + "_converged");
+    headers.push_back(name + "_status");
+    headers.push_back(name + "_attempts");
   }
   CsvWriter csv(headers);
   for (const SweepPoint& point : result.points) {
@@ -116,6 +177,9 @@ CsvWriter sweep_csv(const SweepResult& result) {
       const PointResult& cell = result.at(point.index, b);
       row.push_back(format_compact(units::us_to_ms(cell.mean_latency_us), 17));
       row.push_back(format_compact(units::us_to_ms(cell.ci_half_us), 17));
+      row.push_back(cell.converged ? "1" : "0");
+      row.push_back(to_string(cell.status));
+      row.push_back(std::to_string(cell.attempts));
     }
     csv.add_row(row);
   }
@@ -144,6 +208,9 @@ std::string sweep_json(const SweepResult& result) {
     for (std::size_t b = 0; b < result.backend_names.size(); ++b) {
       const PointResult& cell = result.at(point.index, b);
       json.key(result.backend_names[b]).begin_object();
+      json.key("status").value(to_string(cell.status));
+      json.key("attempts").value(cell.attempts);
+      if (!cell.error.empty()) json.key("error").value(cell.error);
       json.key("mean_latency_us").value(cell.mean_latency_us);
       json.key("ci_half_us").value(cell.ci_half_us);
       json.key("converged").value(cell.converged);
@@ -160,6 +227,10 @@ std::string sweep_json(const SweepResult& result) {
         json.key("max_switch_utilization")
             .value(cell.max_switch_utilization);
       }
+      if (cell.max_center_utilization > 0.0) {
+        json.key("max_center_utilization")
+            .value(cell.max_center_utilization);
+      }
       json.end_object();
     }
     json.end_object();
@@ -175,6 +246,19 @@ void print_sweep_report(std::ostream& os, const SweepResult& result,
                         const std::string& json_dir) {
   os << "== " << (result.title.empty() ? result.id : result.title) << " ==\n";
   os << render_sweep_table(result);
+  // One-line disposition summary, only when something needs attention.
+  const std::size_t failed = result.count_status(CellStatus::kFailed);
+  const std::size_t timed_out = result.count_status(CellStatus::kTimedOut);
+  const std::size_t degraded = result.count_status(CellStatus::kDegraded);
+  const std::size_t skipped = result.count_status(CellStatus::kSkipped);
+  if (failed + timed_out + degraded + skipped > 0) {
+    os << "cells: " << result.count_status(CellStatus::kOk) << " ok";
+    if (degraded != 0) os << ", " << degraded << " degraded";
+    if (failed != 0) os << ", " << failed << " failed";
+    if (timed_out != 0) os << ", " << timed_out << " timed_out";
+    if (skipped != 0) os << ", " << skipped << " skipped";
+    os << " (of " << result.cells.size() << ")\n";
+  }
   // Best-effort like obs::write_run_artifacts: a failure surfaces as
   // the write error below, with the path in the message.
   std::error_code ec;

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <exception>
 #include <mutex>
 #include <thread>
 
 #include "hmcs/obs/metrics.hpp"
 #include "hmcs/util/error.hpp"
+#include "hmcs/util/string_util.hpp"
 
 namespace hmcs::runner {
 
@@ -27,6 +29,24 @@ std::size_t SweepResult::backend_index(const std::string& name) const {
                              std::source_location::current());
 }
 
+std::size_t SweepResult::count_status(CellStatus status) const {
+  std::size_t count = 0;
+  for (const PointResult& cell : cells) {
+    if (cell.status == status) ++count;
+  }
+  return count;
+}
+
+bool SweepResult::all_evaluated() const {
+  for (const PointResult& cell : cells) {
+    if (cell.status != CellStatus::kOk &&
+        cell.status != CellStatus::kDegraded) {
+      return false;
+    }
+  }
+  return true;
+}
+
 namespace {
 
 /// Per-worker task range claimed through an atomic cursor; exhausted
@@ -38,12 +58,79 @@ struct Lane {
   std::size_t end = 0;
 };
 
+/// Validity guardrails, applied to a cell that evaluated without
+/// throwing: demote results that would silently poison a figure.
+void apply_guardrails(PointResult& cell, const RunnerOptions& options) {
+  if (!std::isfinite(cell.mean_latency_us)) {
+    cell.status = CellStatus::kDegraded;
+    cell.error = "non-finite mean latency";
+    return;
+  }
+  if (!cell.converged) {
+    cell.status = CellStatus::kDegraded;
+    cell.error = "fixed point did not converge";
+    return;
+  }
+  if (cell.max_center_utilization >= options.degraded_utilization) {
+    cell.status = CellStatus::kDegraded;
+    cell.error = "saturated: max centre utilization " +
+                 format_fixed(cell.max_center_utilization, 3) + " >= " +
+                 format_fixed(options.degraded_utilization, 3);
+  }
+}
+
+void count_terminal_status(CellStatus status) {
+  switch (status) {
+    case CellStatus::kOk:
+      HMCS_OBS_COUNTER_INC("runner.cells.completed");
+      break;
+    case CellStatus::kFailed:
+      HMCS_OBS_COUNTER_INC("runner.cells.failed");
+      break;
+    case CellStatus::kTimedOut:
+      HMCS_OBS_COUNTER_INC("runner.cells.timed_out");
+      break;
+    case CellStatus::kDegraded:
+      HMCS_OBS_COUNTER_INC("runner.cells.degraded");
+      break;
+    case CellStatus::kSkipped:
+      break;  // counted in bulk after the pool drains
+  }
+}
+
+void merge_resumed_cells(const SweepJournal& journal, SweepResult& result,
+                         std::vector<char>& done) {
+  require(journal.id == result.id,
+          "run_sweep: resume journal is for sweep '" + journal.id +
+              "', not '" + result.id + "'");
+  require(journal.points == result.points.size(),
+          "run_sweep: resume journal has a different point count");
+  require(journal.backend_names == result.backend_names,
+          "run_sweep: resume journal has a different backend set");
+  const std::size_t n_backends = result.backend_names.size();
+  std::uint64_t resumed = 0;
+  for (std::size_t cell = 0; cell < journal.cells.size(); ++cell) {
+    if (!journal.cells[cell].has_value()) continue;
+    // The journaled first-attempt seed must equal this expansion's —
+    // anything else means the journal belongs to a different spec and
+    // merging would mix incompatible runs.
+    require(journal.seeds[cell] == result.points[cell / n_backends].seed,
+            "run_sweep: resume journal seed mismatch at cell " +
+                std::to_string(cell) + " (journal from a different spec?)");
+    result.cells[cell] = *journal.cells[cell];
+    done[cell] = 1;
+    ++resumed;
+  }
+  HMCS_OBS_COUNTER_ADD("runner.cells.resumed", resumed);
+}
+
 }  // namespace
 
 SweepResult run_sweep(const SweepSpec& spec,
                       const std::vector<std::shared_ptr<Backend>>& backends,
                       const RunnerOptions& options) {
   require(!backends.empty(), "run_sweep: needs at least one backend");
+  require(options.max_attempts >= 1, "run_sweep: max_attempts must be >= 1");
 
   SweepResult result;
   result.id = spec.id;
@@ -71,22 +158,91 @@ SweepResult run_sweep(const SweepSpec& spec,
   const std::size_t n_cells = result.points.size() * n_backends;
   result.cells.resize(n_cells);
 
-  auto run_cell = [&](std::size_t cell, std::uint32_t worker) {
+  // done[cell] is written only by the single worker that claimed the
+  // cell (or here, before the pool starts) and read after join, so a
+  // plain byte array is race-free.
+  std::vector<char> done(n_cells, 0);
+  if (options.resume != nullptr) {
+    merge_resumed_cells(*options.resume, result, done);
+  }
+
+  const auto sweep_cancelled = [&] {
+    return options.cancel != nullptr && options.cancel->cancelled();
+  };
+
+  /// One cell to its terminal status. Returns false when the sweep was
+  /// cancelled mid-attempt (the cell stays not-done and is marked
+  /// kSkipped after the drain); fills `fail_fast_error` when a terminal
+  /// failure must abort the sweep under kFailFast.
+  auto run_cell = [&](std::size_t cell, std::uint32_t worker,
+                      std::exception_ptr& fail_fast_error) -> bool {
     const SweepPoint& point = result.points[cell / n_backends];
     const std::size_t backend = cell % n_backends;
-    PointContext ctx;
-    ctx.index = point.index;
-    ctx.worker = worker;
-    ctx.seed = point.seed;
-    ctx.label = point.label;
-    ctx.trace = options.trace;
-    // Wall-clock span per cell: pid 1 is the sweep's wall-clock domain,
-    // tid separates concurrent worker lanes.
-    obs::WallClockSpan cell_span(
-        options.trace.get(),
-        point.label + " [" + result.backend_names[backend] + "]",
-        "runner.point", 1, worker + 1);
-    result.cells[cell] = backends[backend]->predict(point.config, ctx);
+    PointResult& out = result.cells[cell];
+    std::exception_ptr last_error;
+    for (std::uint32_t attempt = 1;; ++attempt) {
+      util::CancelToken cell_token(options.cancel);
+      cell_token.set_deadline_after_ms(options.cell_deadline_ms);
+      PointContext ctx;
+      ctx.index = point.index;
+      ctx.worker = worker;
+      ctx.seed = retry_point_seed(point.seed, attempt);
+      ctx.attempt = attempt;
+      ctx.label = point.label;
+      ctx.trace = options.trace;
+      ctx.cancel = &cell_token;
+      // Wall-clock span per cell: pid 1 is the sweep's wall-clock
+      // domain, tid separates concurrent worker lanes.
+      obs::WallClockSpan cell_span(
+          options.trace.get(),
+          point.label + " [" + result.backend_names[backend] + "]",
+          "runner.point", 1, worker + 1);
+      try {
+        out = backends[backend]->predict(point.config, ctx);
+        out.status = CellStatus::kOk;
+        out.attempts = attempt;
+        out.error.clear();
+        apply_guardrails(out, options);
+        break;
+      } catch (const hmcs::Cancelled&) {
+        out = PointResult{};
+        out.status = CellStatus::kSkipped;
+        out.attempts = attempt;
+        return false;
+      } catch (const hmcs::DeadlineExceeded& error) {
+        out = PointResult{};
+        out.status = CellStatus::kTimedOut;
+        out.attempts = attempt;
+        out.error = error.what();
+        last_error = std::current_exception();
+      } catch (const std::exception& error) {
+        out = PointResult{};
+        out.status = CellStatus::kFailed;
+        out.attempts = attempt;
+        out.error = error.what();
+        last_error = std::current_exception();
+      } catch (...) {
+        out = PointResult{};
+        out.status = CellStatus::kFailed;
+        out.attempts = attempt;
+        out.error = "unknown exception";
+        last_error = std::current_exception();
+      }
+      if (attempt >= options.max_attempts) break;
+      HMCS_OBS_COUNTER_INC("runner.cells.retried");
+    }
+
+    done[cell] = 1;
+    count_terminal_status(out.status);
+    if (options.journal != nullptr) {
+      options.journal->record(cell, point.seed, out);
+    }
+    if (options.on_error == FailurePolicy::kFailFast &&
+        (out.status == CellStatus::kFailed ||
+         out.status == CellStatus::kTimedOut)) {
+      fail_fast_error = last_error;
+    }
+    return true;
   };
 
   std::uint32_t threads =
@@ -95,11 +251,6 @@ SweepResult run_sweep(const SweepSpec& spec,
           : std::max(1u, std::thread::hardware_concurrency());
   threads = static_cast<std::uint32_t>(
       std::min<std::size_t>(threads, n_cells));
-
-  if (threads <= 1) {
-    for (std::size_t cell = 0; cell < n_cells; ++cell) run_cell(cell, 0);
-    return result;
-  }
 
   // Static block partition into per-worker lanes; finished workers
   // steal from the tail of the busiest survivors. The cheap analytic
@@ -116,31 +267,50 @@ SweepResult run_sweep(const SweepSpec& spec,
   std::mutex error_mutex;
 
   auto worker_body = [&](std::uint32_t w) {
+    std::exception_ptr fail_fast_error;
     for (std::uint32_t victim = 0; victim < threads; ++victim) {
       Lane& lane = lanes[(w + victim) % threads];
-      while (!failed.load(std::memory_order_relaxed)) {
+      while (!failed.load(std::memory_order_relaxed) && !sweep_cancelled()) {
         const std::size_t cell =
             lane.next.fetch_add(1, std::memory_order_relaxed);
         if (cell >= lane.end) break;
-        try {
-          run_cell(cell, w);
-        } catch (...) {
+        if (done[cell]) continue;  // completed in the resumed journal
+        if (!run_cell(cell, w, fail_fast_error)) return;  // cancelled
+        if (fail_fast_error) {
           const std::scoped_lock lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+          if (!first_error) first_error = fail_fast_error;
           failed.store(true, std::memory_order_relaxed);
           return;
         }
       }
+      if (failed.load(std::memory_order_relaxed) || sweep_cancelled()) break;
     }
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::uint32_t w = 0; w < threads; ++w) {
-    pool.emplace_back(worker_body, w);
+  if (threads <= 1) {
+    worker_body(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::uint32_t w = 0; w < threads; ++w) {
+      pool.emplace_back(worker_body, w);
+    }
+    for (std::thread& thread : pool) thread.join();
   }
-  for (std::thread& thread : pool) thread.join();
-  if (first_error) std::rethrow_exception(first_error);
+
+  // A SIGINT-style cancel outranks fail-fast: the caller asked for the
+  // partial grid (to flush/report it), not for the abandoned cells'
+  // exception.
+  if (first_error && !sweep_cancelled()) std::rethrow_exception(first_error);
+
+  std::uint64_t skipped = 0;
+  for (std::size_t cell = 0; cell < n_cells; ++cell) {
+    if (done[cell]) continue;
+    result.cells[cell] = PointResult{};
+    result.cells[cell].status = CellStatus::kSkipped;
+    ++skipped;
+  }
+  if (skipped != 0) HMCS_OBS_COUNTER_ADD("runner.cells.skipped", skipped);
   return result;
 }
 

@@ -33,6 +33,13 @@ std::uint64_t default_point_seed(std::uint64_t base_seed,
   return byte_mix.next();
 }
 
+std::uint64_t retry_point_seed(std::uint64_t point_seed,
+                               std::uint32_t attempt) {
+  if (attempt <= 1) return point_seed;
+  simcore::SplitMix64 attempt_mix(point_seed ^ attempt);
+  return attempt_mix.next();
+}
+
 namespace {
 
 /// Resolved axes: every axis non-empty after defaulting.

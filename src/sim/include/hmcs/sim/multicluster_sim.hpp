@@ -35,6 +35,7 @@
 #include "hmcs/simcore/rng.hpp"
 #include "hmcs/sim/trace.hpp"
 #include "hmcs/simcore/simulation.hpp"
+#include "hmcs/util/cancel.hpp"
 #include "hmcs/simcore/tally.hpp"
 #include "hmcs/workload/message_size.hpp"
 #include "hmcs/workload/traffic_pattern.hpp"
@@ -74,6 +75,13 @@ struct SimOptions {
   std::shared_ptr<const workload::MessageSizeDistribution> message_size;
   /// Safety valve against configuration mistakes (0 = no limit).
   std::uint64_t max_events = 200'000'000;
+  /// Cooperative cancellation / wall-clock deadline, polled every few
+  /// thousand events so the hot path stays branch-cheap; run() unwinds
+  /// with hmcs::Cancelled or hmcs::DeadlineExceeded. The token must
+  /// outlive run(); null = never interrupted. The poll draws no random
+  /// numbers, so an uninterrupted run is bit-identical with or without
+  /// a token attached.
+  const util::CancelToken* cancel = nullptr;
   /// Optional message-lifecycle trace (see trace.hpp); null = off.
   std::shared_ptr<TraceRecorder> trace;
 

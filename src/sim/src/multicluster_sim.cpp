@@ -535,6 +535,9 @@ struct MultiClusterSim::Impl {
       schedule_think(node);
     }
     if (sampler) sample_tick();
+    // Cancellation poll period: the steady_clock read behind
+    // CancelToken::check stays off the per-event hot path.
+    constexpr std::uint64_t kCancelPollMask = 4095;
     while (!done) {
       ensure(simulator.step(), "sim: event queue drained before completion");
       if (options.max_events != 0 &&
@@ -542,6 +545,10 @@ struct MultiClusterSim::Impl {
         detail::throw_config_error(
             "MultiClusterSim: exceeded max_events safety limit",
             std::source_location::current());
+      }
+      if (options.cancel != nullptr &&
+          (simulator.executed_events() & kCancelPollMask) == 0) {
+        options.cancel->check("MultiClusterSim");
       }
     }
     return collect();

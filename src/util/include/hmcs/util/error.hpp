@@ -37,6 +37,23 @@ class LogicError : public Error {
   explicit LogicError(const std::string& what) : Error(what) {}
 };
 
+/// A cooperative wall-clock deadline expired (util::CancelToken). The
+/// sweep runner maps this to CellStatus::kTimedOut rather than a
+/// failure: the configuration may be fine, it just did not finish in
+/// the time budget.
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
+
+/// Execution was cancelled from outside (SIGINT, a parent token). The
+/// interrupted work is incomplete, not wrong; the sweep runner leaves
+/// such cells kSkipped so a resumed run re-executes them.
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_config_error(

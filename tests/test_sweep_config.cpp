@@ -112,6 +112,59 @@ TEST(SweepConfig, JsonRejectsBadValues) {
                ConfigError);
 }
 
+TEST(SweepConfig, JsonFaultTolerancePolicy) {
+  const SweepRunConfig config = sweep_config_from_json(R"({
+    "id": "s",
+    "on_error": "collect-all",
+    "max_attempts": 3,
+    "cell_deadline_ms": 60000,
+    "degraded_utilization": 0.999
+  })");
+  EXPECT_EQ(config.on_error, runner::FailurePolicy::kCollectAll);
+  EXPECT_EQ(config.max_attempts, 3u);
+  EXPECT_DOUBLE_EQ(config.cell_deadline_ms, 60000.0);
+  EXPECT_DOUBLE_EQ(config.degraded_utilization, 0.999);
+
+  // Defaults preserve the historical semantics.
+  const SweepRunConfig plain = sweep_config_from_json(R"({"id": "s"})");
+  EXPECT_EQ(plain.on_error, runner::FailurePolicy::kFailFast);
+  EXPECT_EQ(plain.max_attempts, 1u);
+  EXPECT_DOUBLE_EQ(plain.cell_deadline_ms, 0.0);
+  EXPECT_DOUBLE_EQ(plain.degraded_utilization, 1.0);
+}
+
+TEST(SweepConfig, JsonRejectsBadFaultToleranceValues) {
+  EXPECT_THROW(sweep_config_from_json(R"({"on_error": "explode"})"),
+               ConfigError);
+  EXPECT_THROW(sweep_config_from_json(R"({"max_attempts": 0})"), ConfigError);
+  EXPECT_THROW(sweep_config_from_json(R"({"cell_deadline_ms": -1})"),
+               ConfigError);
+  EXPECT_THROW(sweep_config_from_json(R"({"degraded_utilization": 0})"),
+               ConfigError);
+}
+
+TEST(SweepConfig, KeyValueFaultTolerancePolicy) {
+  const KeyValueFile file = KeyValueFile::parse(
+      "id = kv\n"
+      "on_error = collect-all\n"
+      "max_attempts = 2\n"
+      "cell_deadline_ms = 500\n"
+      "degraded_utilization = 0.98\n");
+  const SweepRunConfig config = sweep_config_from_keyvalue(file);
+  EXPECT_EQ(config.on_error, runner::FailurePolicy::kCollectAll);
+  EXPECT_EQ(config.max_attempts, 2u);
+  EXPECT_DOUBLE_EQ(config.cell_deadline_ms, 500.0);
+  EXPECT_DOUBLE_EQ(config.degraded_utilization, 0.98);
+}
+
+TEST(SweepConfig, ParseFailurePolicyVocabulary) {
+  EXPECT_EQ(runner::parse_failure_policy("fail-fast"),
+            runner::FailurePolicy::kFailFast);
+  EXPECT_EQ(runner::parse_failure_policy("collect-all"),
+            runner::FailurePolicy::kCollectAll);
+  EXPECT_THROW(runner::parse_failure_policy("retry"), ConfigError);
+}
+
 TEST(SweepConfig, ZippedModeRoundTrips) {
   const SweepRunConfig config = sweep_config_from_json(R"({
     "mode": "zipped",
