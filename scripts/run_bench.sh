@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Builds the relbench preset and runs the performance-tracking benches,
-# leaving BENCH_engine.json and BENCH_sweep.json at the repository
-# root. Pass extra arguments through to the engine bench (e.g.
-# --events 2000000).
+# leaving BENCH_engine.json, BENCH_sweep.json and BENCH_serve.json at
+# the repository root. Pass extra arguments through to the engine bench
+# (e.g. --events 2000000).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -20,10 +20,13 @@ if [[ ! -f build-relbench/CMakeCache.txt ]]; then
 fi
 
 cmake --build --preset relbench -j "$(nproc)" \
-  --target engine_throughput sweep_scaling
+  --target engine_throughput sweep_scaling serve_throughput
 
 ./build-relbench/bench/engine_throughput --out BENCH_engine.json "$@"
 echo "wrote ${repo_root}/BENCH_engine.json"
 
 ./build-relbench/bench/sweep_scaling --out BENCH_sweep.json
 echo "wrote ${repo_root}/BENCH_sweep.json"
+
+./build-relbench/bench/serve_throughput --out BENCH_serve.json
+echo "wrote ${repo_root}/BENCH_serve.json"

@@ -51,10 +51,18 @@ FixedPointResult solve_none(const SystemConfig& config,
       0, true};
 }
 
+/// lambda == 0 short-circuit shared by the iterative solvers: a source
+/// that never generates has lambda_eff = 0 and an empty system, and the
+/// solvers' lambda-relative residuals and tolerances (|next - current| /
+/// lambda, tolerance * lambda) are 0/0 = NaN and a vacuous `<= 0` test
+/// there. Converged at 0 in 0 iterations, by definition.
+FixedPointResult zero_rate_result() { return FixedPointResult{0.0, 0.0, 0, true}; }
+
 FixedPointResult solve_picard(const SystemConfig& config,
                               const CenterServiceTimes& service,
                               const FixedPointOptions& options) {
   const double lambda = config.generation_rate_per_us;
+  if (lambda == 0.0) return zero_rate_result();
   const double n = static_cast<double>(config.total_nodes());
   double current = lambda;
   double queue = 0.0;
@@ -81,6 +89,7 @@ FixedPointResult solve_bisection(const SystemConfig& config,
                                  const CenterServiceTimes& service,
                                  const FixedPointOptions& options) {
   const double lambda = config.generation_rate_per_us;
+  if (lambda == 0.0) return zero_rate_result();
   const double n = static_cast<double>(config.total_nodes());
   auto g = [&](double x) {
     return lambda * (n - total_queue_length(config, service, x,
@@ -123,6 +132,7 @@ FixedPointResult solve_bisection(const SystemConfig& config,
 
 FixedPointResult solve_mva(const SystemConfig& config,
                            const CenterServiceTimes& service) {
+  if (config.generation_rate_per_us == 0.0) return zero_rate_result();
   const HmcsMvaLayout layout = build_hmcs_mva_layout(config, service);
   const double think = 1.0 / config.generation_rate_per_us;
   const MvaResult mva =

@@ -71,7 +71,12 @@ LatencyPrediction predict_latency(const SystemConfig& config,
       inter_cluster_probability(config.clusters, config.nodes_per_cluster);
   out.service_times = center_service_times(config);
 
-  if (options.fixed_point.method == SourceThrottling::kExactMva) {
+  // The MVA path needs a finite think time 1/lambda; at lambda == 0 the
+  // open-network path below degenerates correctly (solve_mva returns the
+  // converged-at-zero fixed point, every centre sees rate 0, and eq. 15
+  // yields the no-load latency), so route zero-rate configs through it.
+  if (options.fixed_point.method == SourceThrottling::kExactMva &&
+      config.generation_rate_per_us > 0.0) {
     return predict_with_mva(config, std::move(out));
   }
 

@@ -30,8 +30,13 @@ void SystemConfig::validate() const {
           "SystemConfig: switch latency must be >= 0");
   require(std::isfinite(message_bytes) && message_bytes > 0.0,
           "SystemConfig: message size must be > 0");
-  require(std::isfinite(generation_rate_per_us) && generation_rate_per_us > 0.0,
-          "SystemConfig: generation rate must be > 0");
+  // Zero is a valid (if degenerate) rate: the analytic model is well
+  // defined at zero load — lambda_eff = 0, empty centres, latency = the
+  // no-load service time. The event-driven simulators cannot realise a
+  // source that never generates and enforce > 0 at their own boundary.
+  require(std::isfinite(generation_rate_per_us) &&
+              generation_rate_per_us >= 0.0,
+          "SystemConfig: generation rate must be >= 0");
 }
 
 }  // namespace hmcs::analytic

@@ -111,9 +111,25 @@ SweepRunConfig sweep_config_from_json(std::string_view text,
 SweepRunConfig sweep_config_from_keyvalue(const KeyValueFile& file,
                                           const SweepLoadOptions& options = {});
 
+/// Parses one technology-axis entry: a string ("case1"/"case2" or any
+/// parse_technology spec applied to all three roles) or an object with
+/// icn1/ecn1/icn2 plus an optional label. Shared with the serve layer so
+/// sweeps and query requests speak one schema.
+TechnologyCase technology_from_json(const JsonValue& entry);
+
+/// Builds one evaluation backend from a "backends" array entry
+/// ({"type": "analytic"|"des"|"fabric", ...}; unknown keys rejected).
+/// Shared with the serve layer.
+std::shared_ptr<Backend> backend_from_json(const JsonValue& entry,
+                                           const SweepLoadOptions& options = {});
+
 /// Parses an analytic throttling-model name: bisection|picard|mva|none
 /// (the figure harnesses' --model vocabulary).
 analytic::SourceThrottling parse_throttling_model(const std::string& name);
+
+/// Inverse of parse_throttling_model (stable wire names). Used for
+/// canonical cache keys in the serve layer.
+const char* throttling_model_name(analytic::SourceThrottling method);
 
 /// Parses a failure-policy name: fail-fast|collect-all.
 FailurePolicy parse_failure_policy(const std::string& name);

@@ -67,22 +67,6 @@ TechnologyCase technology_from_string(const std::string& spec) {
   return tech;
 }
 
-TechnologyCase technology_from_json(const JsonValue& entry) {
-  if (entry.is_string()) return technology_from_string(entry.as_string());
-  require(entry.is_object(),
-          "sweep config: technology entries must be strings or objects");
-  reject_unknown_members(entry, {"label", "icn1", "ecn1", "icn2"},
-                         "a technology entry");
-  TechnologyCase tech;
-  tech.icn1 = parse_technology(entry.at("icn1").as_string());
-  tech.ecn1 = parse_technology(entry.at("ecn1").as_string());
-  tech.icn2 = parse_technology(entry.at("icn2").as_string());
-  tech.label = string_member(entry, "label",
-                             tech.icn1.name + "/" + tech.ecn1.name + "/" +
-                                 tech.icn2.name);
-  return tech;
-}
-
 AxisMode parse_mode(const std::string& mode) {
   if (mode == "cartesian") return AxisMode::kCartesian;
   if (mode == "zipped") return AxisMode::kZipped;
@@ -138,6 +122,24 @@ void load_axes_json(const JsonValue& axes, SweepAxes& out) {
   }
 }
 
+}  // namespace
+
+TechnologyCase technology_from_json(const JsonValue& entry) {
+  if (entry.is_string()) return technology_from_string(entry.as_string());
+  require(entry.is_object(),
+          "sweep config: technology entries must be strings or objects");
+  reject_unknown_members(entry, {"label", "icn1", "ecn1", "icn2"},
+                         "a technology entry");
+  TechnologyCase tech;
+  tech.icn1 = parse_technology(entry.at("icn1").as_string());
+  tech.ecn1 = parse_technology(entry.at("ecn1").as_string());
+  tech.icn2 = parse_technology(entry.at("icn2").as_string());
+  tech.label = string_member(entry, "label",
+                             tech.icn1.name + "/" + tech.ecn1.name + "/" +
+                                 tech.icn2.name);
+  return tech;
+}
+
 std::shared_ptr<Backend> backend_from_json(const JsonValue& entry,
                                            const SweepLoadOptions& options) {
   require(entry.is_object(),
@@ -186,8 +188,6 @@ std::shared_ptr<Backend> backend_from_json(const JsonValue& entry,
       std::source_location::current());
 }
 
-}  // namespace
-
 analytic::SourceThrottling parse_throttling_model(const std::string& name) {
   const std::string trimmed = trim(name);
   if (trimmed == "bisection") return analytic::SourceThrottling::kBisection;
@@ -197,6 +197,17 @@ analytic::SourceThrottling parse_throttling_model(const std::string& name) {
   detail::throw_config_error(
       "unknown model '" + name + "' (expected bisection|picard|mva|none)",
       std::source_location::current());
+}
+
+const char* throttling_model_name(analytic::SourceThrottling method) {
+  switch (method) {
+    case analytic::SourceThrottling::kBisection: return "bisection";
+    case analytic::SourceThrottling::kPicard: return "picard";
+    case analytic::SourceThrottling::kExactMva: return "mva";
+    case analytic::SourceThrottling::kNone: return "none";
+  }
+  detail::throw_logic_error("unknown SourceThrottling value",
+                            std::source_location::current());
 }
 
 FailurePolicy parse_failure_policy(const std::string& name) {

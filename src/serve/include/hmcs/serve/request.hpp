@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file request.hpp
+/// Parsing and canonicalisation of one hmcs_serve query. The wire
+/// format is one JSON object per line (docs/SERVING.md):
+///
+///   {"id": "r-17",                       // optional echo tag
+///    "backend": {"type": "analytic", "model": "mva"},   // sweep schema
+///    "config": {"clusters": 8,
+///               "total_nodes": 256,      // or "nodes_per_cluster"
+///               "architecture": "non-blocking",
+///               "technology": "case1",   // sweep technology entry
+///               "message_bytes": 1024,
+///               "lambda_per_s": 250,
+///               "switch_ports": 24, "switch_latency_us": 10},
+///    "seed": "3",                        // u64 as string or number
+///    "deadline_ms": 500,                 // 0/absent = server default
+///    "no_cache": false}
+///
+/// The canonical cache key is rendered from the *built* SystemConfig
+/// (via analytic::write_json, stable declaration-order keys) plus the
+/// normalised backend options — so member order, "case1" vs the
+/// equivalent explicit technology object, and omitted-vs-explicit
+/// defaults all map to one key. The seed participates only for
+/// stochastic backends (des/fabric); the analytic model ignores it.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "hmcs/analytic/system_config.hpp"
+#include "hmcs/runner/backend.hpp"
+#include "hmcs/runner/sweep_config.hpp"
+#include "hmcs/util/json.hpp"
+
+namespace hmcs::serve {
+
+struct ServeRequest {
+  /// The "id" member re-rendered as a JSON value ("\"r-17\"" or "17");
+  /// empty when the request carried none. Spliced verbatim into the
+  /// reply so clients can correlate out-of-order replies.
+  std::string id_json;
+
+  std::string backend_kind;  ///< analytic|des|fabric
+  std::shared_ptr<runner::Backend> backend;
+  analytic::SystemConfig config;
+  std::uint64_t seed = 1;
+  double deadline_ms = 0.0;  ///< 0 = use the server default
+  bool no_cache = false;
+
+  std::string canonical_key;     ///< full canonical JSON key document
+  std::uint64_t key_hash = 0;    ///< FNV-1a 64 of canonical_key
+};
+
+/// Parses one already-parsed request document. Throws hmcs::ConfigError
+/// on unknown members, missing required fields, or invalid values.
+/// `load` carries execution-time backend knobs (obs sampling), which do
+/// not participate in the canonical key.
+ServeRequest parse_request(const JsonValue& doc,
+                           const runner::SweepLoadOptions& load = {});
+
+/// FNV-1a 64-bit over `text` (the cache's shard/key hash).
+std::uint64_t fnv1a64(std::string_view text);
+
+/// 16-digit lowercase hex rendering of a key hash (reply "key" field).
+std::string key_hash_hex(std::uint64_t hash);
+
+}  // namespace hmcs::serve

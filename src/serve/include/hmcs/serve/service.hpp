@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file service.hpp
+/// The transport-independent core of hmcs_serve: one JSON request line
+/// in, one JSON reply line out. Owns the sharded result cache and the
+/// single-flight table; the TCP server (server.hpp) and the in-process
+/// tests/benches drive the same handle_line() entry point.
+///
+/// Reply envelope (docs/SERVING.md):
+///
+///   {"id":..., "status":"ok", "backend":"analytic",
+///    "key":"<16-hex canonical key hash>",
+///    "result":{...journal-style PointResult fields...}}
+///
+/// plus "error" (bad request or backend failure), "timed_out"
+/// (deadline expired), "cancelled", and — written by the server when
+/// the bounded queue refuses work — "shed". The cached unit is the
+/// body *without* the "id" member: identical configurations produce
+/// byte-identical bodies whether answered cold or from cache, and the
+/// caller's id is spliced in per reply.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "hmcs/obs/trace.hpp"
+#include "hmcs/runner/sweep_config.hpp"
+#include "hmcs/serve/cache.hpp"
+#include "hmcs/serve/request.hpp"
+#include "hmcs/serve/single_flight.hpp"
+#include "hmcs/util/cancel.hpp"
+
+namespace hmcs::serve {
+
+class ServeService {
+ public:
+  struct Options {
+    ShardedResultCache::Options cache;
+    /// Applied when a request carries no deadline_ms; 0 = no deadline.
+    double default_deadline_ms = 0.0;
+    /// Execution-time backend knobs (obs sampling); not in cache keys.
+    runner::SweepLoadOptions load;
+    /// Optional trace session: each evaluation records a wall-clock
+    /// span named after the backend kind.
+    std::shared_ptr<obs::TraceSession> trace;
+    /// Optional hard-stop parent for in-flight evaluations (a drain
+    /// deliberately does NOT cancel them — it waits for the replies).
+    const util::CancelToken* hard_cancel = nullptr;
+  };
+
+  struct Counters {
+    std::uint64_t requests = 0;     ///< lines handled (incl. ops)
+    std::uint64_t ok = 0;           ///< evaluations that succeeded
+    std::uint64_t errors = 0;       ///< backend/evaluation failures
+    std::uint64_t timed_out = 0;    ///< deadline expiries
+    std::uint64_t bad_requests = 0; ///< parse/validation rejections
+    std::uint64_t coalesced = 0;    ///< followers served by a leader
+    std::uint64_t evaluations = 0;  ///< backend predict() calls
+    std::uint64_t shed = 0;         ///< refused by the bounded queue
+  };
+
+  explicit ServeService(const Options& options);
+
+  /// Handles one request line and returns the reply line (no trailing
+  /// newline). Never throws: every failure becomes an error reply.
+  std::string handle_line(std::string_view line);
+
+  /// The canned overload reply; the server writes it (and calls
+  /// note_shed()) when the bounded queue refuses a request.
+  static std::string shed_reply();
+  void note_shed();
+
+  Counters counters() const;
+  ShardedResultCache::Stats cache_stats() const { return cache_.stats(); }
+  const ShardedResultCache& cache() const { return cache_; }
+
+ private:
+  struct EvalOutcome {
+    std::string body;
+    bool cacheable = false;  ///< only "ok" bodies are cached
+  };
+
+  std::string handle_request(const ServeRequest& request);
+  std::string handle_op(const std::string& op, const std::string& id_json);
+  EvalOutcome evaluate(const ServeRequest& request);
+
+  Options options_;
+  ShardedResultCache cache_;
+  SingleFlight flights_;
+  std::atomic<std::uint64_t> sequence_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> timed_out_{0};
+  std::atomic<std::uint64_t> bad_requests_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> evaluations_{0};
+  std::atomic<std::uint64_t> shed_{0};
+};
+
+}  // namespace hmcs::serve

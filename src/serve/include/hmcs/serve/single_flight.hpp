@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file single_flight.hpp
+/// Micro-batching of duplicate in-flight work: when several requests
+/// for the same canonical key arrive before the first one finishes, one
+/// becomes the leader (it evaluates) and the rest are followers (they
+/// block on the leader's condition variable and reuse its reply). This
+/// bounds backend work per unique key to one evaluation at a time no
+/// matter how many clients stampede on a cold key.
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace hmcs::serve {
+
+class SingleFlight {
+ public:
+  struct Flight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    std::string body;  ///< the leader's reply body, valid once done
+  };
+
+  /// Joins the flight for `key`. Returns {flight, is_leader}: the first
+  /// caller per key becomes the leader and must eventually call
+  /// complete(); later callers wait() on the same flight.
+  std::pair<std::shared_ptr<Flight>, bool> join(const std::string& key) {
+    const std::scoped_lock lock(mutex_);
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end()) return {it->second, false};
+    auto flight = std::make_shared<Flight>();
+    inflight_.emplace(key, flight);
+    return {flight, true};
+  }
+
+  /// Leader publishes its reply and retires the key. The key is erased
+  /// before the flight is marked done, so a request arriving after a
+  /// leader cached its result either hits the cache or starts a fresh
+  /// flight — it never joins a completed one.
+  void complete(const std::string& key, const std::shared_ptr<Flight>& flight,
+                std::string body) {
+    {
+      const std::scoped_lock lock(mutex_);
+      inflight_.erase(key);
+    }
+    {
+      const std::scoped_lock lock(flight->mutex);
+      flight->body = std::move(body);
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+  }
+
+  /// Follower: blocks until the leader completes, then returns a copy
+  /// of the leader's reply body.
+  static std::string wait(const std::shared_ptr<Flight>& flight) {
+    std::unique_lock lock(flight->mutex);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    return flight->body;
+  }
+
+  std::size_t in_flight() const {
+    const std::scoped_lock lock(mutex_);
+    return inflight_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;
+};
+
+}  // namespace hmcs::serve

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// The daemon's work-stealing execution pool. Submissions round-robin
+/// across per-worker lanes; an idle worker drains its own lane FIFO and
+/// steals from the tails of the others, so one connection issuing many
+/// slow requests cannot starve the rest. The total queue is bounded:
+/// try_submit() refuses work beyond the limit instead of buffering
+/// without bound, and the server turns that refusal into an explicit
+/// "shed" reply — backpressure the client can see (docs/SERVING.md).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hmcs::serve {
+
+class WorkStealingPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// `threads` 0 means hardware concurrency; `queue_limit` bounds the
+  /// number of accepted-but-unstarted tasks across all lanes.
+  WorkStealingPool(std::uint32_t threads, std::size_t queue_limit);
+
+  /// Drains (runs every accepted task) and joins the workers.
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Enqueues `task` unless the queue is at its limit or the pool is
+  /// draining; returns false (and does not take the task) in that case.
+  bool try_submit(Task task);
+
+  /// Stops accepting work, runs everything already accepted to
+  /// completion, and joins the workers. Idempotent.
+  void drain();
+
+  std::size_t queued() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+  std::uint32_t thread_count() const {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+
+ private:
+  struct Lane {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::uint32_t self);
+  Task take(std::uint32_t self);
+
+  std::size_t queue_limit_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<std::uint64_t> round_robin_{0};
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> draining_{false};
+  bool drained_ = false;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+};
+
+}  // namespace hmcs::serve

@@ -1,0 +1,213 @@
+#include "hmcs/serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "hmcs/obs/metrics.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::serve {
+
+namespace {
+
+/// Poll interval for the accept/read loops: how quickly a drain or a
+/// stop token is noticed. The sockets stay blocking; poll() just makes
+/// every blocking point interruptible.
+constexpr int kPollMs = 50;
+
+}  // namespace
+
+ServeServer::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+ServeServer::ServeServer(const Options& options)
+    : options_(options),
+      service_(options.service),
+      pool_(options.threads, options.queue_limit) {}
+
+ServeServer::~ServeServer() {
+  shutdown();
+  // serve() normally performs the drain; cover construction-only or
+  // start()-only lifetimes.
+  {
+    const std::scoped_lock lock(connections_mutex_);
+    for (std::thread& reader : reader_threads_) {
+      if (reader.joinable()) reader.join();
+    }
+  }
+  pool_.drain();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+std::uint16_t ServeServer::start() {
+  ensure(listen_fd_ < 0, "serve server: start() called twice");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  require(listen_fd_ >= 0, "serve server: socket() failed");
+
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(options_.port);
+  require(::inet_pton(AF_INET, options_.host.c_str(), &address.sin_addr) == 1,
+          "serve server: bad bind address '" + options_.host + "'");
+  require(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+                 sizeof address) == 0,
+          "serve server: bind to " + options_.host + ":" +
+              std::to_string(options_.port) + " failed: " +
+              std::strerror(errno));
+  require(::listen(listen_fd_, 128) == 0, "serve server: listen() failed");
+
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof bound;
+  require(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                        &bound_size) == 0,
+          "serve server: getsockname() failed");
+  port_ = ntohs(bound.sin_port);
+  return port_;
+}
+
+void ServeServer::serve() {
+  ensure(listen_fd_ >= 0, "serve server: serve() before start()");
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    if (options_.stop != nullptr && options_.stop->cancelled()) break;
+    pollfd entry{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&entry, 1, kPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    HMCS_OBS_COUNTER_INC("serve.connections.accepted");
+    auto connection = std::make_shared<Connection>(fd);
+    const std::scoped_lock lock(connections_mutex_);
+    reader_threads_.emplace_back(
+        [this, connection] { connection_loop(connection); });
+  }
+
+  // Graceful drain: stop accepting, let every reader flush the lines
+  // it already holds, run every accepted request, then close sockets
+  // (readers and queued tasks share Connection ownership, so each fd
+  // closes when its last pending reply is written).
+  stopping_.store(true, std::memory_order_relaxed);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    const std::scoped_lock lock(connections_mutex_);
+    for (std::thread& reader : reader_threads_) {
+      if (reader.joinable()) reader.join();
+    }
+    reader_threads_.clear();
+  }
+  pool_.drain();
+}
+
+void ServeServer::connection_loop(
+    const std::shared_ptr<Connection>& connection) {
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd entry{connection->fd, POLLIN, 0};
+    const int ready = ::poll(&entry, 1, kPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (ready == 0) continue;
+    const ssize_t received =
+        ::recv(connection->fd, chunk, sizeof chunk, 0);
+    if (received == 0) break;  // client EOF
+    if (received < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(received));
+    dispatch_lines(connection, buffer);
+    if (buffer.size() > options_.max_line_bytes) {
+      write_line(*connection, ServeService::shed_reply());
+      return;  // an over-long line can never complete; drop the link
+    }
+  }
+  if (stopping_.load(std::memory_order_relaxed)) {
+    // Drain: slurp whatever the client had already sent before the
+    // stop (it is in the kernel buffer), so those requests count as
+    // accepted and get answered.
+    for (;;) {
+      const ssize_t received =
+          ::recv(connection->fd, chunk, sizeof chunk, MSG_DONTWAIT);
+      if (received <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(received));
+    }
+    dispatch_lines(connection, buffer);
+  }
+}
+
+void ServeServer::dispatch_lines(
+    const std::shared_ptr<Connection>& connection, std::string& buffer) {
+  for (;;) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) return;
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    dispatch_line(connection, std::move(line));
+  }
+}
+
+void ServeServer::dispatch_line(const std::shared_ptr<Connection>& connection,
+                                std::string line) {
+  lines_.fetch_add(1, std::memory_order_relaxed);
+  HMCS_OBS_GAUGE_SET("serve.queue.depth", pool_.queued());
+  auto task = [this, connection, line = std::move(line)] {
+    const std::string reply = service_.handle_line(line);
+    write_line(*connection, reply);
+  };
+  if (!pool_.try_submit(std::move(task))) {
+    // Explicit backpressure: the client hears "shed" immediately
+    // instead of waiting on an unbounded queue.
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    service_.note_shed();
+    write_line(*connection, ServeService::shed_reply());
+  }
+}
+
+void ServeServer::write_line(Connection& connection, std::string_view reply) {
+  const std::scoped_lock lock(connection.write_mutex);
+  std::string frame(reply);
+  frame.push_back('\n');
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t sent =
+        ::send(connection.fd, frame.data() + written, frame.size() - written,
+               MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      // The client hung up; the request was still fully served.
+      HMCS_OBS_COUNTER_INC("serve.replies.write_failed");
+      return;
+    }
+    written += static_cast<std::size_t>(sent);
+  }
+}
+
+ServeServer::Stats ServeServer::stats() const {
+  Stats stats;
+  stats.connections = connections_.load(std::memory_order_relaxed);
+  stats.lines = lines_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace hmcs::serve

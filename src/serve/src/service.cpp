@@ -1,0 +1,259 @@
+#include "hmcs/serve/service.hpp"
+
+#include <cmath>
+#include <exception>
+
+#include "hmcs/obs/metrics.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/json.hpp"
+
+namespace hmcs::serve {
+
+namespace {
+
+/// Journal-style number spelling: finite doubles as %.17g (exact
+/// round-trip, the byte-identity contract), non-finite as the strings
+/// "nan"/"inf"/"-inf" (JSON has no spelling for them).
+void write_number(JsonWriter& json, const char* key, double value) {
+  json.key(key);
+  if (std::isnan(value)) {
+    json.value("nan");
+  } else if (std::isinf(value)) {
+    json.value(value > 0.0 ? "inf" : "-inf");
+  } else {
+    json.value(value);
+  }
+}
+
+/// Splices the caller's id into a stored (id-free) body. The body is
+/// the cached unit, so cold and warm replies to the same request line
+/// are byte-identical including the id.
+std::string with_id(const std::string& id_json, const std::string& body) {
+  if (id_json.empty()) return body;
+  return "{\"id\":" + id_json + "," + body.substr(1);
+}
+
+std::string ok_body(const ServeRequest& request,
+                    const runner::PointResult& result) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("status").value("ok");
+  json.key("backend").value(request.backend_kind);
+  json.key("key").value(key_hash_hex(request.key_hash));
+  json.key("result").begin_object();
+  write_number(json, "mean_latency_us", result.mean_latency_us);
+  write_number(json, "ci_half_us", result.ci_half_us);
+  write_number(json, "lambda_offered", result.lambda_offered);
+  write_number(json, "lambda_effective", result.lambda_effective);
+  json.key("converged").value(result.converged);
+  write_number(json, "effective_rate_per_us", result.effective_rate_per_us);
+  json.key("messages_measured")
+      .value(std::to_string(result.messages_measured));
+  write_number(json, "mean_switch_hops", result.mean_switch_hops);
+  write_number(json, "max_switch_utilization", result.max_switch_utilization);
+  write_number(json, "max_center_utilization",
+               result.max_center_utilization);
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+std::string status_body(const char* status, const std::string& message,
+                        const ServeRequest* request) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("status").value(status);
+  if (request != nullptr) {
+    json.key("backend").value(request->backend_kind);
+    json.key("key").value(key_hash_hex(request->key_hash));
+  }
+  json.key("error").value(message);
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace
+
+ServeService::ServeService(const Options& options)
+    : options_(options), cache_(options.cache) {}
+
+std::string ServeService::handle_line(std::string_view line) {
+  HMCS_OBS_COUNTER_INC("serve.requests.received");
+  HMCS_OBS_TIMER_SCOPE("serve.request.wall_time");
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  std::string id_json;
+  try {
+    const JsonValue doc = parse_json(line);
+    if (doc.is_object()) {
+      // Pull the id out before full validation so even a rejected
+      // request gets a correlatable error reply.
+      if (const JsonValue* id = doc.find("id")) {
+        JsonWriter json;
+        if (id->is_string()) {
+          json.value(id->as_string());
+          id_json = json.str();
+        } else if (id->is_number()) {
+          json.value(id->as_number());
+          id_json = json.str();
+        }
+      }
+      if (const JsonValue* op = doc.find("op")) {
+        return handle_op(op->as_string(), id_json);
+      }
+    }
+    const ServeRequest request = parse_request(doc, options_.load);
+    return handle_request(request);
+  } catch (const hmcs::Error& error) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    HMCS_OBS_COUNTER_INC("serve.requests.bad_request");
+    return with_id(id_json, status_body("error", error.what(), nullptr));
+  }
+}
+
+std::string ServeService::handle_op(const std::string& op,
+                                    const std::string& id_json) {
+  if (op == "ping") {
+    JsonWriter json;
+    json.begin_object();
+    json.key("status").value("ok");
+    json.key("op").value("ping");
+    json.end_object();
+    return with_id(id_json, json.str());
+  }
+  if (op == "stats") {
+    const Counters counters = this->counters();
+    const ShardedResultCache::Stats cache = cache_.stats();
+    JsonWriter json;
+    json.begin_object();
+    json.key("status").value("ok");
+    json.key("op").value("stats");
+    json.key("serve").begin_object();
+    json.key("requests").value(counters.requests);
+    json.key("ok").value(counters.ok);
+    json.key("errors").value(counters.errors);
+    json.key("timed_out").value(counters.timed_out);
+    json.key("bad_requests").value(counters.bad_requests);
+    json.key("coalesced").value(counters.coalesced);
+    json.key("evaluations").value(counters.evaluations);
+    json.key("shed").value(counters.shed);
+    json.end_object();
+    json.key("cache").begin_object();
+    json.key("hits").value(cache.hits);
+    json.key("misses").value(cache.misses);
+    json.key("insertions").value(cache.insertions);
+    json.key("evictions").value(cache.evictions);
+    json.key("entries").value(static_cast<std::uint64_t>(cache.entries));
+    json.end_object();
+    json.end_object();
+    return with_id(id_json, json.str());
+  }
+  detail::throw_config_error("serve: unknown op '" + op +
+                                 "' (expected ping|stats)",
+                             std::source_location::current());
+}
+
+std::string ServeService::handle_request(const ServeRequest& request) {
+  if (request.no_cache) {
+    return with_id(request.id_json, evaluate(request).body);
+  }
+  if (auto hit = cache_.get(request.key_hash, request.canonical_key)) {
+    HMCS_OBS_COUNTER_INC("serve.cache.hits");
+    return with_id(request.id_json, *hit);
+  }
+  HMCS_OBS_COUNTER_INC("serve.cache.misses");
+
+  auto [flight, leader] = flights_.join(request.canonical_key);
+  if (!leader) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    HMCS_OBS_COUNTER_INC("serve.requests.coalesced");
+    return with_id(request.id_json, SingleFlight::wait(flight));
+  }
+
+  EvalOutcome outcome;
+  try {
+    outcome = evaluate(request);
+  } catch (...) {
+    // evaluate() converts all failures to bodies; this path exists so
+    // an unexpected throw can never strand the followers.
+    flights_.complete(request.canonical_key, flight,
+                      status_body("error", "internal error", &request));
+    throw;
+  }
+  if (outcome.cacheable) {
+    // Publish to the cache before retiring the flight: a request that
+    // arrives after the flight is gone must find the cached body.
+    cache_.put(request.key_hash, request.canonical_key, outcome.body);
+  }
+  flights_.complete(request.canonical_key, flight, outcome.body);
+  return with_id(request.id_json, outcome.body);
+}
+
+ServeService::EvalOutcome ServeService::evaluate(const ServeRequest& request) {
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  HMCS_OBS_COUNTER_INC("serve.backend.evaluations");
+  HMCS_OBS_TIMER_SCOPE("serve.backend.eval_time");
+  obs::WallClockSpan span(options_.trace.get(),
+                          "serve " + request.backend_kind, "serve");
+
+  util::CancelToken token(options_.hard_cancel);
+  const double budget = request.deadline_ms > 0.0
+                            ? request.deadline_ms
+                            : options_.default_deadline_ms;
+  token.set_deadline_after_ms(budget);
+
+  runner::PointContext ctx;
+  ctx.index = static_cast<std::size_t>(
+      sequence_.fetch_add(1, std::memory_order_relaxed));
+  ctx.seed = request.seed;
+  ctx.label = "serve " + request.backend_kind;
+  ctx.trace = options_.trace;
+  ctx.cancel = &token;
+
+  try {
+    // A deadline that expired while the request sat in the queue must
+    // yield timed_out even when the backend finishes too quickly to
+    // poll the token (analytic solves are microseconds).
+    token.check("serve");
+    const runner::PointResult result =
+        request.backend->predict(request.config, ctx);
+    ok_.fetch_add(1, std::memory_order_relaxed);
+    HMCS_OBS_COUNTER_INC("serve.requests.ok");
+    return {ok_body(request, result), true};
+  } catch (const hmcs::DeadlineExceeded& error) {
+    timed_out_.fetch_add(1, std::memory_order_relaxed);
+    HMCS_OBS_COUNTER_INC("serve.requests.timed_out");
+    return {status_body("timed_out", error.what(), &request), false};
+  } catch (const hmcs::Cancelled& error) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    HMCS_OBS_COUNTER_INC("serve.requests.cancelled");
+    return {status_body("cancelled", error.what(), &request), false};
+  } catch (const std::exception& error) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    HMCS_OBS_COUNTER_INC("serve.requests.error");
+    return {status_body("error", error.what(), &request), false};
+  }
+}
+
+std::string ServeService::shed_reply() {
+  return R"({"status":"shed","error":"server overloaded: request queue full"})";
+}
+
+void ServeService::note_shed() {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  HMCS_OBS_COUNTER_INC("serve.requests.shed");
+}
+
+ServeService::Counters ServeService::counters() const {
+  Counters counters;
+  counters.requests = requests_.load(std::memory_order_relaxed);
+  counters.ok = ok_.load(std::memory_order_relaxed);
+  counters.errors = errors_.load(std::memory_order_relaxed);
+  counters.timed_out = timed_out_.load(std::memory_order_relaxed);
+  counters.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  counters.coalesced = coalesced_.load(std::memory_order_relaxed);
+  counters.evaluations = evaluations_.load(std::memory_order_relaxed);
+  counters.shed = shed_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+}  // namespace hmcs::serve

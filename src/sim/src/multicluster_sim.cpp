@@ -559,6 +559,11 @@ MultiClusterSim::MultiClusterSim(const analytic::SystemConfig& config,
                                  SimOptions options)
     : impl_(std::make_unique<Impl>()) {
   config.validate();
+  // The analytic model accepts a zero generation rate (no-load system);
+  // an event-driven source that never generates would schedule nothing
+  // and the run would never reach its message quota.
+  require(config.generation_rate_per_us > 0.0,
+          "MultiClusterSim: generation rate must be > 0");
   const analytic::CenterServiceTimes services =
       analytic::center_service_times(config);
   impl_->options = std::move(options);

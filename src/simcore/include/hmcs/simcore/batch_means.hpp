@@ -36,6 +36,10 @@ class BatchMeans {
 
   /// Lag-1 autocorrelation of the batch means — a diagnostic for whether
   /// the batch size is large enough (|r1| well below ~0.2 is healthy).
+  /// Degenerate inputs — fewer than 3 complete batches, or a constant
+  /// series (zero batch-mean variance) — have no defined value and
+  /// return 0.0; callers that must distinguish "healthy" from
+  /// "undefined" gate on num_complete_batches() >= 3.
   double lag1_autocorrelation() const;
 
  private:

@@ -36,8 +36,12 @@ ConfidenceInterval BatchMeans::confidence_interval(double confidence) const {
 }
 
 double BatchMeans::lag1_autocorrelation() const {
-  require(batch_means_.size() >= 3,
-          "BatchMeans: needs >= 3 batches for autocorrelation");
+  // Degenerate series have no defined autocorrelation; return the
+  // documented neutral value instead of 0/0 = NaN (which would flow
+  // unflagged into SimResult obs fields and JSON artifacts). Callers
+  // that need to distinguish "healthy" from "undefined" check
+  // num_complete_batches() >= 3 first.
+  if (batch_means_.size() < 3) return 0.0;
   const double grand = mean();
   double num = 0.0;
   double den = 0.0;
@@ -48,8 +52,8 @@ double BatchMeans::lag1_autocorrelation() const {
       num += di * (batch_means_[i + 1] - grand);
     }
   }
-  ensure(den > 0.0 || num == 0.0, "BatchMeans: degenerate variance");
-  return den == 0.0 ? 0.0 : num / den;
+  // A constant series (den == 0 implies num == 0) is likewise undefined.
+  return den > 0.0 ? num / den : 0.0;
 }
 
 }  // namespace hmcs::simcore

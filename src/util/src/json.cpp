@@ -1,5 +1,6 @@
 #include "hmcs/util/json.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -405,7 +406,23 @@ class JsonParser {
     const std::string token(text_.substr(start, pos_ - start));
     JsonValue value;
     value.type = JsonValue::Type::kNumber;
-    value.number_value = std::strtod(token.c_str(), nullptr);
+    // strtod reports overflow via ERANGE + ±HUGE_VAL; accepting it would
+    // silently turn "1e999" into inf and poison every config or journal
+    // that round-trips through this parser. Underflow (ERANGE with a
+    // denormal/zero result) is a faithful nearest representation and is
+    // allowed. The whole token must be consumed — the grammar above
+    // guarantees it, but a strtod disagreement means a parser bug, not
+    // a caller error.
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    check(end == token.c_str() + token.size(), "invalid number");
+    if (errno == ERANGE &&
+        (parsed == HUGE_VAL || parsed == -HUGE_VAL)) {
+      pos_ = start;  // report the error at the start of the number
+      fail("number out of range ('" + token + "')");
+    }
+    value.number_value = parsed;
     return value;
   }
 

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "hmcs/analytic/fixed_point.hpp"
 #include "hmcs/analytic/scenario.hpp"
 #include "hmcs/util/error.hpp"
@@ -142,6 +144,33 @@ TEST(FixedPoint, EffectiveRateMonotoneInOfferedRate) {
     EXPECT_GE(eff, previous - 1e-12);
     EXPECT_LE(eff, rate);
     previous = eff;
+  }
+}
+
+TEST(FixedPoint, ZeroGenerationRateConvergesAtZero) {
+  // lambda == 0 used to divide the Picard residual by lambda (NaN) and
+  // make the tolerance test a vacuous `<= 0`; all solvers now return
+  // the exact answer — converged at 0 in 0 iterations — and the
+  // residual trace stays empty and finite.
+  SystemConfig config = light_config();
+  config.generation_rate_per_us = 0.0;
+  config.validate();  // zero load is a valid configuration
+  const CenterServiceTimes service = center_service_times(config);
+
+  for (const SourceThrottling method :
+       {SourceThrottling::kPicard, SourceThrottling::kBisection,
+        SourceThrottling::kExactMva, SourceThrottling::kNone}) {
+    FixedPointOptions options;
+    options.method = method;
+    std::vector<double> residuals;
+    options.residual_trace = &residuals;
+    const FixedPointResult result =
+        solve_effective_rate(config, service, options);
+    EXPECT_TRUE(result.converged) << static_cast<int>(method);
+    EXPECT_DOUBLE_EQ(result.lambda_effective, 0.0);
+    EXPECT_DOUBLE_EQ(result.total_queue_length, 0.0);
+    EXPECT_EQ(result.iterations, 0u);
+    for (const double r : residuals) EXPECT_FALSE(std::isnan(r));
   }
 }
 

@@ -208,6 +208,32 @@ TEST(JsonParse, RejectsMalformedDocuments) {
   EXPECT_THROW(parse_json("nul"), ConfigError);
 }
 
+TEST(JsonParse, RejectsOutOfRangeNumbers) {
+  // strtod overflow must be a positioned parse error, not a silent inf
+  // poisoning configs and journal resume.
+  EXPECT_THROW(parse_json("1e999"), ConfigError);
+  EXPECT_THROW(parse_json("-1e999"), ConfigError);
+  EXPECT_THROW(parse_json("{\"rate\": 1e400}"), ConfigError);
+  EXPECT_THROW(parse_json("[1.0, 2.0, 1e999]"), ConfigError);
+  try {
+    parse_json("{\"rate\": 1e400}");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("out of range"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("offset 9"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, UnderflowIsNotAnError) {
+  // Subnormal/zero underflow is a faithful nearest representation; only
+  // overflow is rejected.
+  EXPECT_DOUBLE_EQ(parse_json("1e-999").as_number(), 0.0);
+  EXPECT_NEAR(parse_json("4.9e-324").as_number(), 4.9e-324, 1e-323);
+  EXPECT_DOUBLE_EQ(parse_json("1.7976931348623157e308").as_number(),
+                   1.7976931348623157e308);
+}
+
 TEST(JsonParse, TypeMismatchAccessorsThrow) {
   const JsonValue doc = parse_json("[1]");
   EXPECT_THROW(doc.as_number(), ConfigError);

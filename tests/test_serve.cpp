@@ -1,0 +1,402 @@
+// Tests for the hmcs_serve layer: the sharded LRU cache, canonical
+// request keys, the service's cache/single-flight/deadline semantics,
+// the bounded work-stealing pool, and the TCP server's graceful drain
+// (every accepted request answered, over real sockets).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hmcs/serve/cache.hpp"
+#include "hmcs/serve/request.hpp"
+#include "hmcs/serve/server.hpp"
+#include "hmcs/serve/service.hpp"
+#include "hmcs/serve/single_flight.hpp"
+#include "hmcs/serve/thread_pool.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/json.hpp"
+
+namespace {
+
+using namespace hmcs;
+
+serve::ServeRequest parse_line(const std::string& line) {
+  return serve::parse_request(parse_json(line));
+}
+
+// ---------------------------------------------------------------------------
+// ShardedResultCache
+
+TEST(ServeCache, StoresAndEvictsLru) {
+  serve::ShardedResultCache cache({.shards = 1, .capacity = 2});
+  cache.put(1, "a", "A");
+  cache.put(2, "b", "B");
+  EXPECT_EQ(cache.get(1, "a"), std::optional<std::string>("A"));
+  // "b" is now LRU; inserting "c" evicts it.
+  cache.put(3, "c", "C");
+  EXPECT_FALSE(cache.get(2, "b").has_value());
+  EXPECT_EQ(cache.get(1, "a"), std::optional<std::string>("A"));
+  EXPECT_EQ(cache.get(3, "c"), std::optional<std::string>("C"));
+
+  const serve::ShardedResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ServeCache, HashCollisionsDoNotShareReplies) {
+  serve::ShardedResultCache cache({.shards = 4, .capacity = 16});
+  // Same hash, different keys: must be distinct entries.
+  cache.put(7, "first", "1");
+  cache.put(7, "second", "2");
+  EXPECT_EQ(cache.get(7, "first"), std::optional<std::string>("1"));
+  EXPECT_EQ(cache.get(7, "second"), std::optional<std::string>("2"));
+}
+
+TEST(ServeCache, PutIsIdempotent) {
+  serve::ShardedResultCache cache({.shards = 2, .capacity = 8});
+  cache.put(5, "k", "v");
+  cache.put(5, "k", "v");
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.get(5, "k"), std::optional<std::string>("v"));
+}
+
+// ---------------------------------------------------------------------------
+// Canonical request keys
+
+TEST(ServeRequestKey, MemberOrderDoesNotMatter) {
+  const serve::ServeRequest a = parse_line(
+      R"({"config":{"clusters":8,"total_nodes":256,"message_bytes":2048}})");
+  const serve::ServeRequest b = parse_line(
+      R"({"config":{"message_bytes":2048,"total_nodes":256,"clusters":8}})");
+  EXPECT_EQ(a.canonical_key, b.canonical_key);
+  EXPECT_EQ(a.key_hash, b.key_hash);
+}
+
+TEST(ServeRequestKey, ExplicitDefaultsMatchOmitted) {
+  // "case1" and paper defaults spelled out explicitly must collapse to
+  // the same key as the all-defaults request.
+  const serve::ServeRequest implicit = parse_line(R"({"config":{}})");
+  const serve::ServeRequest expanded = parse_line(
+      R"({"backend":{"type":"analytic"},
+          "config":{"clusters":1,"total_nodes":256,
+                    "architecture":"non-blocking","technology":"case1",
+                    "message_bytes":1024,"lambda_per_s":250}})");
+  EXPECT_EQ(implicit.canonical_key, expanded.canonical_key);
+}
+
+TEST(ServeRequestKey, NodesPerClusterEqualsTotalNodes) {
+  const serve::ServeRequest by_total =
+      parse_line(R"({"config":{"clusters":4,"total_nodes":64}})");
+  const serve::ServeRequest by_per_cluster =
+      parse_line(R"({"config":{"clusters":4,"nodes_per_cluster":16}})");
+  EXPECT_EQ(by_total.canonical_key, by_per_cluster.canonical_key);
+}
+
+TEST(ServeRequestKey, SeedIgnoredForAnalyticOnly) {
+  const serve::ServeRequest analytic_a =
+      parse_line(R"({"config":{},"seed":1})");
+  const serve::ServeRequest analytic_b =
+      parse_line(R"({"config":{},"seed":2})");
+  EXPECT_EQ(analytic_a.canonical_key, analytic_b.canonical_key);
+
+  const serve::ServeRequest des_a = parse_line(
+      R"({"backend":{"type":"des","messages":100,"warmup":10},
+          "config":{},"seed":1})");
+  const serve::ServeRequest des_b = parse_line(
+      R"({"backend":{"type":"des","messages":100,"warmup":10},
+          "config":{},"seed":2})");
+  EXPECT_NE(des_a.canonical_key, des_b.canonical_key);
+}
+
+TEST(ServeRequestKey, RejectsUnknownMembers) {
+  EXPECT_THROW(parse_line(R"({"config":{},"bogus":1})"), ConfigError);
+  EXPECT_THROW(parse_line(R"({"config":{"bogus":1}})"), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// ServeService
+
+constexpr const char* kTinyRequest =
+    R"({"id":"r1","config":{"clusters":2,"total_nodes":32}})";
+
+TEST(ServeService, CachedReplyIsByteIdenticalToCold) {
+  serve::ServeService service({});
+  const std::string cold = service.handle_line(kTinyRequest);
+  EXPECT_NE(cold.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(cold.find("\"id\":\"r1\""), std::string::npos);
+  const std::string warm = service.handle_line(kTinyRequest);
+  EXPECT_EQ(warm, cold);
+
+  const serve::ShardedResultCache::Stats stats = service.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(service.counters().evaluations, 1u);
+}
+
+TEST(ServeService, DifferentIdSameConfigSharesTheCacheEntry) {
+  serve::ServeService service({});
+  const std::string first = service.handle_line(
+      R"({"id":"a","config":{"clusters":2,"total_nodes":32}})");
+  const std::string second = service.handle_line(
+      R"({"id":"b","config":{"clusters":2,"total_nodes":32}})");
+  EXPECT_EQ(service.counters().evaluations, 1u);
+  // Bodies differ only in the spliced id.
+  EXPECT_NE(first.find("\"id\":\"a\""), std::string::npos);
+  EXPECT_NE(second.find("\"id\":\"b\""), std::string::npos);
+  EXPECT_EQ(first.substr(first.find("\"status\"")),
+            second.substr(second.find("\"status\"")));
+}
+
+TEST(ServeService, SingleFlightCoalescesConcurrentDuplicates) {
+  serve::ServeService service({});
+  // A key expensive enough (exact MVA, many nodes) that followers pile
+  // onto the leader's flight.
+  const std::string heavy =
+      R"({"backend":{"type":"analytic","model":"mva"},
+          "config":{"clusters":8,"total_nodes":65536}})";
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::string> replies(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < kThreads; ++i) {
+      threads.emplace_back(
+          [&, i] { replies[i] = service.handle_line(heavy); });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  EXPECT_EQ(service.counters().evaluations, 1u);
+  for (const std::string& reply : replies) {
+    EXPECT_EQ(reply, replies[0]);
+    EXPECT_NE(reply.find("\"status\":\"ok\""), std::string::npos);
+  }
+}
+
+TEST(ServeService, ExpiredDeadlineYieldsTimedOutReply) {
+  serve::ServeService service({});
+  const std::string reply = service.handle_line(
+      R"({"id":"d","config":{"clusters":2,"total_nodes":32},
+          "deadline_ms":1e-9})");
+  EXPECT_NE(reply.find("\"status\":\"timed_out\""), std::string::npos);
+  EXPECT_NE(reply.find("\"id\":\"d\""), std::string::npos);
+  EXPECT_EQ(service.counters().timed_out, 1u);
+  // Failures are never cached: the same key without a deadline works.
+  const std::string retry = service.handle_line(
+      R"({"id":"d","config":{"clusters":2,"total_nodes":32}})");
+  EXPECT_NE(retry.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(ServeService, MalformedLineGetsErrorReplyWithId) {
+  serve::ServeService service({});
+  const std::string garbage = service.handle_line("not json at all");
+  EXPECT_NE(garbage.find("\"status\":\"error\""), std::string::npos);
+
+  const std::string bad = service.handle_line(
+      R"({"id":7,"config":{"clusters":3,"total_nodes":32}})");
+  EXPECT_NE(bad.find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(bad.find("\"id\":7"), std::string::npos);
+  EXPECT_EQ(service.counters().bad_requests, 2u);
+}
+
+TEST(ServeService, PingAndStatsOps) {
+  serve::ServeService service({});
+  const std::string pong = service.handle_line(R"({"op":"ping","id":"p"})");
+  EXPECT_NE(pong.find("\"op\":\"ping\""), std::string::npos);
+  EXPECT_NE(pong.find("\"id\":\"p\""), std::string::npos);
+
+  service.handle_line(kTinyRequest);
+  const JsonValue stats =
+      parse_json(service.handle_line(R"({"op":"stats"})"));
+  EXPECT_EQ(stats.at("serve").at("evaluations").as_number(), 1.0);
+  EXPECT_EQ(stats.at("cache").at("misses").as_number(), 1.0);
+}
+
+TEST(ServeService, NoCacheBypassesTheCache) {
+  serve::ServeService service({});
+  service.handle_line(
+      R"({"config":{"clusters":2,"total_nodes":32},"no_cache":true})");
+  service.handle_line(
+      R"({"config":{"clusters":2,"total_nodes":32},"no_cache":true})");
+  EXPECT_EQ(service.counters().evaluations, 2u);
+  EXPECT_EQ(service.cache_stats().entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// WorkStealingPool
+
+TEST(ServePool, RunsEverythingAndBoundsTheQueue) {
+  serve::WorkStealingPool pool(2, 4);
+  std::atomic<int> ran{0};
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  // Block both workers so submissions pile up in the queue.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(pool.try_submit([&] {
+      std::unique_lock<std::mutex> lock(gate_mutex);
+      gate_cv.wait(lock, [&] { return gate_open; });
+      ran.fetch_add(1);
+    }));
+  }
+  // Wait for the workers to pick the blockers up so the queue is empty.
+  while (pool.queued() != 0) std::this_thread::yield();
+  int accepted = 0;
+  int refused = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (pool.try_submit([&] { ran.fetch_add(1); })) {
+      ++accepted;
+    } else {
+      ++refused;
+    }
+  }
+  EXPECT_EQ(accepted, 4);  // bounded at queue_limit
+  EXPECT_EQ(refused, 12);
+  {
+    const std::scoped_lock lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  pool.drain();
+  EXPECT_EQ(ran.load(), 2 + accepted);  // drain ran every accepted task
+  EXPECT_FALSE(pool.try_submit([] {}));  // drained pool refuses work
+}
+
+// ---------------------------------------------------------------------------
+// ServeServer over real sockets
+
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                        sizeof address),
+              0)
+        << std::strerror(errno);
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_line(const std::string& line) {
+    const std::string frame = line + "\n";
+    ASSERT_EQ(::send(fd_, frame.data(), frame.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(frame.size()));
+  }
+
+  /// Reads reply lines until EOF (the server closing the socket).
+  std::vector<std::string> read_until_eof() {
+    std::vector<std::string> lines;
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t received = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (received <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(received));
+      for (;;) {
+        const std::size_t newline = buffer.find('\n');
+        if (newline == std::string::npos) break;
+        lines.push_back(buffer.substr(0, newline));
+        buffer.erase(0, newline + 1);
+      }
+    }
+    return lines;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(ServeServer, DrainAnswersEveryAcceptedRequest) {
+  serve::ServeServer::Options options;
+  // One worker + distinct multi-millisecond keys: when the shutdown
+  // lands, most accepted requests are still waiting in the pool's
+  // queue, which is exactly what the drain must not lose.
+  options.threads = 1;
+  serve::ServeServer server(options);
+  const std::uint16_t port = server.start();
+  std::thread accept_thread([&] { server.serve(); });
+
+  constexpr int kRequests = 12;
+  TestClient client(port);
+  for (int i = 0; i < kRequests; ++i) {
+    client.send_line(
+        R"({"id":)" + std::to_string(i) +
+        R"(,"backend":{"type":"analytic","model":"mva"},)" +
+        R"("config":{"clusters":8,"total_nodes":65536,"message_bytes":)" +
+        std::to_string(1024 + i) + "}}");
+  }
+  // Wait until every line has been read off the socket (a byte still in
+  // the client's Nagle buffer was never accepted by the server), then
+  // shut down with the bulk of the work still queued.
+  while (server.stats().lines < kRequests) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.shutdown();
+  accept_thread.join();
+
+  const std::vector<std::string> replies = client.read_until_eof();
+  ASSERT_EQ(replies.size(), static_cast<std::size_t>(kRequests));
+  std::vector<bool> seen(kRequests, false);
+  for (const std::string& reply : replies) {
+    EXPECT_NE(reply.find("\"status\":\"ok\""), std::string::npos) << reply;
+    const JsonValue doc = parse_json(reply);
+    seen[static_cast<int>(doc.at("id").as_number())] = true;
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_TRUE(seen[i]) << "request " << i << " was never answered";
+  }
+  EXPECT_EQ(server.service().counters().ok,
+            static_cast<std::uint64_t>(kRequests));  // all distinct keys
+}
+
+TEST(ServeServer, ServesColdAndWarmOverTcp) {
+  serve::ServeServer::Options options;
+  options.threads = 2;
+  serve::ServeServer server(options);
+  const std::uint16_t port = server.start();
+  std::thread accept_thread([&] { server.serve(); });
+
+  {
+    TestClient client(port);
+    client.send_line(kTinyRequest);
+    client.send_line(kTinyRequest);
+    client.send_line("garbage");
+    // Give the daemon time to answer, then stop; drain flushes replies.
+    while (server.service().counters().requests < 3) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    server.shutdown();
+    accept_thread.join();
+
+    const std::vector<std::string> replies = client.read_until_eof();
+    ASSERT_EQ(replies.size(), 3u);
+    int ok = 0;
+    int errors = 0;
+    for (const std::string& reply : replies) {
+      if (reply.find("\"status\":\"ok\"") != std::string::npos) ++ok;
+      if (reply.find("\"status\":\"error\"") != std::string::npos) ++errors;
+    }
+    EXPECT_EQ(ok, 2);
+    EXPECT_EQ(errors, 1);
+  }
+  EXPECT_EQ(server.service().cache_stats().hits, 1u);
+}
+
+}  // namespace

@@ -156,6 +156,25 @@ TEST(BatchMeans, Lag1AutocorrelationNearZeroForIid) {
   EXPECT_LT(std::fabs(bm.lag1_autocorrelation()), 0.25);
 }
 
+TEST(BatchMeans, Lag1DegenerateCasesReturnZero) {
+  // Fewer than 3 complete batches: undefined, documented return 0.0
+  // (previously this threw / risked 0-variance NaN in release paths).
+  BatchMeans empty(10);
+  EXPECT_DOUBLE_EQ(empty.lag1_autocorrelation(), 0.0);
+  BatchMeans two(2);
+  for (int i = 0; i < 5; ++i) two.add(static_cast<double>(i));  // 2 batches
+  ASSERT_EQ(two.num_complete_batches(), 2u);
+  EXPECT_DOUBLE_EQ(two.lag1_autocorrelation(), 0.0);
+
+  // A constant series has zero batch-mean variance: also 0.0, never NaN.
+  BatchMeans constant(5);
+  for (int i = 0; i < 50; ++i) constant.add(3.25);
+  ASSERT_GE(constant.num_complete_batches(), 3u);
+  const double r1 = constant.lag1_autocorrelation();
+  EXPECT_FALSE(std::isnan(r1));
+  EXPECT_DOUBLE_EQ(r1, 0.0);
+}
+
 TEST(BatchMeans, Validation) {
   EXPECT_THROW(BatchMeans(0), hmcs::ConfigError);
   BatchMeans bm(10);

@@ -1,0 +1,316 @@
+// hmcs_loadgen — closed-loop load generator and checker for hmcs_serve.
+// Drives a cold pass (every key once, cache empty), then warm passes
+// (the same keys repeated), over N parallel connections, and reports
+// p50/p95 reply latencies plus the warm/cold speedup. Because warm
+// requests reuse the cold ids, replies must be byte-identical to the
+// cold ones — the daemon's cache contract — and any mismatch fails the
+// run. Optional assertions (--min-hit-rate, --min-warm-speedup) turn it
+// into the CI smoke checker (scripts/ci_serve_smoke.sh).
+//
+//   $ ./hmcs_loadgen --port 7777
+//   $ ./hmcs_loadgen --port 7777 --keys 32 --warm-iterations 16
+//   $ ./hmcs_loadgen --port 7777 --min-hit-rate 0.9 --min-warm-speedup 50
+//
+// Exit codes: 0 success, 1 usage/connection errors, 2 a reply was
+// wrong or an assertion failed.
+//
+// The default workload is deliberately heavy for the analytic model —
+// exact MVA over a million-node closed network — so a cold evaluation
+// costs milliseconds and the cache's value is measurable over TCP.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hmcs/util/cli.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/json.hpp"
+
+namespace {
+
+using namespace hmcs;
+
+/// One blocking JSON-lines client connection.
+class Client {
+ public:
+  Client(const std::string& host, std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    require(fd_ >= 0, "loadgen: socket() failed");
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    require(::inet_pton(AF_INET, host.c_str(), &address.sin_addr) == 1,
+            "loadgen: bad host '" + host + "'");
+    require(::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                      sizeof address) == 0,
+            "loadgen: connect to " + host + ":" + std::to_string(port) +
+                " failed: " + std::strerror(errno));
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request line and blocks for one reply line.
+  std::string round_trip(const std::string& line) {
+    std::string frame = line;
+    frame.push_back('\n');
+    std::size_t written = 0;
+    while (written < frame.size()) {
+      const ssize_t sent = ::send(fd_, frame.data() + written,
+                                  frame.size() - written, MSG_NOSIGNAL);
+      require(sent > 0, "loadgen: send failed");
+      written += static_cast<std::size_t>(sent);
+    }
+    for (;;) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string reply = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return reply;
+      }
+      char chunk[4096];
+      const ssize_t received = ::recv(fd_, chunk, sizeof chunk, 0);
+      require(received > 0, "loadgen: server closed the connection");
+      buffer_.append(chunk, static_cast<std::size_t>(received));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+std::string make_request(std::size_t key, std::uint32_t clusters,
+                         std::uint64_t total_nodes, const std::string& model,
+                         double deadline_ms) {
+  JsonWriter json;
+  json.begin_object();
+  std::string id = "k";
+  id += std::to_string(key);
+  json.key("id").value(id);
+  json.key("backend").begin_object();
+  json.key("type").value("analytic");
+  json.key("model").value(model);
+  json.end_object();
+  json.key("config").begin_object();
+  json.key("clusters").value(clusters);
+  json.key("total_nodes").value(total_nodes);
+  // Distinct message sizes make distinct cache keys.
+  json.key("message_bytes").value(1024.0 + 16.0 * static_cast<double>(key));
+  json.key("lambda_per_s").value(250.0);
+  json.end_object();
+  if (deadline_ms > 0.0) json.key("deadline_ms").value(deadline_ms);
+  json.end_object();
+  return json.str();
+}
+
+double percentile(std::vector<double> sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  std::sort(sorted_us.begin(), sorted_us.end());
+  const std::size_t index = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(index, sorted_us.size() - 1)];
+}
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("hmcs_loadgen", "closed-loop load generator for hmcs_serve");
+  cli.add_option("host", "server address", "127.0.0.1");
+  cli.add_option("port", "server port", "0");
+  cli.add_option("connections", "parallel client connections", "4");
+  cli.add_option("keys", "distinct request configurations", "16");
+  cli.add_option("warm-iterations", "repeat count per key after the cold "
+                                    "pass", "8");
+  cli.add_option("clusters", "clusters in the generated configs", "16");
+  cli.add_option("total-nodes", "total nodes in the generated configs "
+                                "(big = expensive cold evaluation)",
+                 "1048576");
+  cli.add_option("model", "analytic throttling model", "mva");
+  cli.add_option("deadline-ms", "per-request deadline (0 = none)", "0");
+  cli.add_option("malformed", "malformed lines to send (expect error "
+                              "replies)", "0");
+  cli.add_option("min-hit-rate", "fail (exit 2) when the cache hit rate "
+                                 "ends below this", "-1");
+  cli.add_option("min-warm-speedup", "fail (exit 2) when cold_p50/warm_p50 "
+                                     "is below this", "-1");
+  try {
+    if (!cli.parse(argc, argv)) {
+      std::cout << cli.help_text();
+      return 0;
+    }
+    const std::string host = cli.get_string("host");
+    const auto port = static_cast<std::uint16_t>(cli.get_uint("port"));
+    require(port != 0, "loadgen: --port is required");
+    const std::size_t connections =
+        std::max<std::size_t>(1, cli.get_uint("connections"));
+    const std::size_t keys = std::max<std::size_t>(1, cli.get_uint("keys"));
+    const std::size_t warm_iterations = cli.get_uint("warm-iterations");
+    const auto clusters = static_cast<std::uint32_t>(cli.get_uint("clusters"));
+    const std::uint64_t total_nodes = cli.get_uint("total-nodes");
+    const std::string model = cli.get_string("model");
+    const double deadline_ms = cli.get_double("deadline-ms");
+
+    std::vector<std::string> requests;
+    requests.reserve(keys);
+    for (std::size_t key = 0; key < keys; ++key) {
+      requests.push_back(
+          make_request(key, clusters, total_nodes, model, deadline_ms));
+    }
+
+    std::vector<std::unique_ptr<Client>> clients;
+    for (std::size_t i = 0; i < connections; ++i) {
+      clients.push_back(std::make_unique<Client>(host, port));
+    }
+
+    // Each connection owns keys i, i+connections, ... — closed loop per
+    // connection, all connections in parallel.
+    std::vector<std::string> cold_replies(keys);
+    std::vector<std::vector<double>> lane_latencies(connections);
+    bool byte_identical = true;
+    std::mutex failure_mutex;
+    std::string failure;
+
+    const auto run_pass = [&](bool cold) {
+      for (auto& lane : lane_latencies) lane.clear();
+      std::vector<std::thread> threads;
+      for (std::size_t c = 0; c < connections; ++c) {
+        threads.emplace_back([&, c] {
+          try {
+            const std::size_t rounds = cold ? 1 : warm_iterations;
+            for (std::size_t round = 0; round < rounds; ++round) {
+              for (std::size_t key = c; key < keys; key += connections) {
+                const double start = now_us();
+                const std::string reply =
+                    clients[c]->round_trip(requests[key]);
+                lane_latencies[c].push_back(now_us() - start);
+                if (reply.find("\"status\":\"ok\"") == std::string::npos) {
+                  const std::scoped_lock lock(failure_mutex);
+                  failure = "non-ok reply: " + reply;
+                  return;
+                }
+                if (cold) {
+                  cold_replies[key] = reply;
+                } else if (reply != cold_replies[key]) {
+                  byte_identical = false;
+                  const std::scoped_lock lock(failure_mutex);
+                  failure = "warm reply differs from cold for key " +
+                            std::to_string(key);
+                  return;
+                }
+              }
+            }
+          } catch (const std::exception& error) {
+            const std::scoped_lock lock(failure_mutex);
+            failure = error.what();
+          }
+        });
+      }
+      for (std::thread& thread : threads) thread.join();
+      std::vector<double> merged;
+      for (const auto& lane : lane_latencies) {
+        merged.insert(merged.end(), lane.begin(), lane.end());
+      }
+      return merged;
+    };
+
+    const std::vector<double> cold_us = run_pass(/*cold=*/true);
+    if (!failure.empty()) {
+      std::cerr << "loadgen: cold pass failed: " << failure << "\n";
+      return 2;
+    }
+    const std::vector<double> warm_us =
+        warm_iterations > 0 ? run_pass(/*cold=*/false) : std::vector<double>{};
+    if (!failure.empty()) {
+      std::cerr << "loadgen: warm pass failed: " << failure << "\n";
+      return 2;
+    }
+
+    // Malformed lines must produce error replies, not closed sockets.
+    const std::size_t malformed = cli.get_uint("malformed");
+    for (std::size_t i = 0; i < malformed; ++i) {
+      const std::string reply =
+          clients[0]->round_trip("this is not json #" + std::to_string(i));
+      if (reply.find("\"status\":\"error\"") == std::string::npos) {
+        std::cerr << "loadgen: malformed line did not yield an error reply: "
+                  << reply << "\n";
+        return 2;
+      }
+    }
+
+    const JsonValue stats = parse_json(clients[0]->round_trip(
+        R"({"op":"stats"})"));
+    const double hits = stats.at("cache").at("hits").as_number();
+    const double misses = stats.at("cache").at("misses").as_number();
+    const double hit_rate =
+        hits + misses > 0.0 ? hits / (hits + misses) : 0.0;
+
+    const double cold_p50 = percentile(cold_us, 0.50);
+    const double cold_p95 = percentile(cold_us, 0.95);
+    const double warm_p50 = percentile(warm_us, 0.50);
+    const double warm_p95 = percentile(warm_us, 0.95);
+    const double speedup = warm_p50 > 0.0 ? cold_p50 / warm_p50 : 0.0;
+
+    std::fprintf(stderr,
+                 "loadgen: %zu keys x %zu warm iterations over %zu "
+                 "connections\n  cold p50 %.1f us, p95 %.1f us\n  warm p50 "
+                 "%.1f us, p95 %.1f us\n  warm speedup (p50) %.1fx, hit rate "
+                 "%.3f, byte-identical %s\n",
+                 keys, warm_iterations, connections, cold_p50, cold_p95,
+                 warm_p50, warm_p95, speedup, hit_rate,
+                 byte_identical ? "yes" : "no");
+
+    JsonWriter json;
+    json.begin_object();
+    json.key("keys").value(static_cast<std::uint64_t>(keys));
+    json.key("connections").value(static_cast<std::uint64_t>(connections));
+    json.key("warm_iterations")
+        .value(static_cast<std::uint64_t>(warm_iterations));
+    json.key("cold_p50_us").value(cold_p50);
+    json.key("cold_p95_us").value(cold_p95);
+    json.key("warm_p50_us").value(warm_p50);
+    json.key("warm_p95_us").value(warm_p95);
+    json.key("warm_speedup_p50").value(speedup);
+    json.key("hit_rate").value(hit_rate);
+    json.key("byte_identical").value(byte_identical);
+    json.end_object();
+    std::cout << json.str() << "\n";
+
+    const double min_hit_rate = cli.get_double("min-hit-rate");
+    if (min_hit_rate >= 0.0 && hit_rate < min_hit_rate) {
+      std::cerr << "loadgen: hit rate " << hit_rate << " below required "
+                << min_hit_rate << "\n";
+      return 2;
+    }
+    const double min_speedup = cli.get_double("min-warm-speedup");
+    if (min_speedup >= 0.0 && warm_iterations > 0 && speedup < min_speedup) {
+      std::cerr << "loadgen: warm speedup " << speedup << " below required "
+                << min_speedup << "\n";
+      return 2;
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

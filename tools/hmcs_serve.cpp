@@ -1,0 +1,113 @@
+// hmcs_serve — the model-as-a-service daemon: accepts JSON-lines
+// queries over TCP (one SystemConfig + backend per line, the sweep
+// vocabulary), evaluates them on a work-stealing pool, and answers from
+// a sharded LRU result cache with single-flight coalescing of duplicate
+// in-flight keys. See docs/SERVING.md for the protocol.
+//
+//   $ ./hmcs_serve --port 7777
+//   $ ./hmcs_serve --port 0            # ephemeral; port printed on stdout
+//   $ echo '{"config":{"clusters":8}}' | nc 127.0.0.1 <port>
+//
+// The first stdout line is "hmcs_serve listening on <host>:<port>" so
+// scripts can scrape the bound port. SIGINT drains gracefully: the
+// accept loop stops, every accepted request is answered, and the
+// process exits 130. Exit codes: 0 clean shutdown request, 1
+// configuration errors, 130 SIGINT drain.
+
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "hmcs/obs/export.hpp"
+#include "hmcs/obs/metrics.hpp"
+#include "hmcs/obs/trace.hpp"
+#include "hmcs/serve/server.hpp"
+#include "hmcs/util/cancel.hpp"
+#include "hmcs/util/cli.hpp"
+
+namespace {
+
+hmcs::util::CancelToken g_interrupt;
+
+extern "C" void handle_sigint(int) { g_interrupt.cancel(); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hmcs;
+
+  CliParser cli("hmcs_serve", "model-as-a-service query daemon");
+  cli.add_option("host", "bind address", "127.0.0.1");
+  cli.add_option("port", "TCP port (0 = ephemeral, printed on stdout)", "0");
+  cli.add_option("threads", "worker threads (0 = hardware concurrency)", "0");
+  cli.add_option("queue-limit",
+                 "max queued requests before shedding (backpressure)",
+                 "1024");
+  cli.add_option("cache-capacity", "result cache entries", "4096");
+  cli.add_option("cache-shards", "result cache shards", "8");
+  cli.add_option("default-deadline-ms",
+                 "per-request deadline when the request has none (0 = "
+                 "none)", "0");
+  cli.add_option("obs-out", "directory for observability artifacts "
+                            "written at shutdown", "");
+  try {
+    if (!cli.parse(argc, argv)) {
+      std::cout << cli.help_text();
+      return 0;
+    }
+
+    serve::ServeServer::Options options;
+    options.host = cli.get_string("host");
+    options.port = static_cast<std::uint16_t>(cli.get_uint("port"));
+    options.threads = static_cast<std::uint32_t>(cli.get_uint("threads"));
+    options.queue_limit = static_cast<std::size_t>(
+        cli.get_uint("queue-limit"));
+    options.service.cache.capacity = static_cast<std::size_t>(
+        cli.get_uint("cache-capacity"));
+    options.service.cache.shards = static_cast<std::size_t>(
+        cli.get_uint("cache-shards"));
+    options.service.default_deadline_ms =
+        cli.get_double("default-deadline-ms");
+    require(options.service.default_deadline_ms >= 0.0,
+            "hmcs_serve: --default-deadline-ms must be >= 0");
+    options.stop = &g_interrupt;
+
+    const std::string obs_dir = cli.get_string("obs-out");
+    std::shared_ptr<obs::TraceSession> trace;
+    if (!obs_dir.empty()) {
+      trace = std::make_shared<obs::TraceSession>();
+      options.service.trace = trace;
+    }
+
+    serve::ServeServer server(options);
+    const std::uint16_t port = server.start();
+    std::cout << "hmcs_serve listening on " << options.host << ":" << port
+              << "\n";
+    std::cout.flush();
+
+    std::signal(SIGINT, handle_sigint);
+    server.serve();
+
+    const serve::ServeService::Counters counters =
+        server.service().counters();
+    const serve::ShardedResultCache::Stats cache =
+        server.service().cache_stats();
+    std::cerr << "hmcs_serve: drained; " << counters.requests
+              << " requests (" << counters.ok << " ok, " << counters.errors
+              << " errors, " << counters.timed_out << " timed out, "
+              << counters.shed << " shed), cache " << cache.hits << " hits / "
+              << cache.misses << " misses, " << counters.coalesced
+              << " coalesced\n";
+
+    if (!obs_dir.empty()) {
+      obs::write_run_artifacts(obs_dir, obs::Registry::global().snapshot(),
+                               trace.get());
+      std::cerr << "observability artifacts written to " << obs_dir << "\n";
+    }
+    return g_interrupt.cancelled() ? 130 : 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
