@@ -1,0 +1,289 @@
+// Like-for-like benchmark of the batch analytic solver (BENCH_solver.json):
+//
+//  1. Station-class MVA collapse: the exact recursion over the 2C+1
+//     stations of the HMCS network vs the same recursion over its 3
+//     station classes, at a large closed population (default 2^20) and
+//     each requested cluster count. Identical stations stay exchangeable
+//     through the recursion, so the collapse is exact — the record
+//     carries the measured max relative error next to the speedup.
+//
+//  2. Batch grid evaluation: predict_latency cell-by-cell vs
+//     predict_latency_batch over a dense generation-rate grid, for every
+//     SourceThrottling method, with warm starts on (the default).
+//
+// Both comparisons run the same trajectories on the same inputs in the
+// same process, cold each time; speedups are wall-clock ratios of the
+// two implementations, nothing else.
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "hmcs/analytic/batch_solver.hpp"
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/mva.hpp"
+#include "hmcs/analytic/network_tech.hpp"
+#include "hmcs/util/cli.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/json.hpp"
+#include "hmcs/util/string_util.hpp"
+
+namespace {
+
+using namespace hmcs;
+using analytic::SourceThrottling;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double rel_error(double a, double b) {
+  const double denom = std::max(std::fabs(a), std::fabs(b));
+  return denom > 0.0 ? std::fabs(a - b) / denom : 0.0;
+}
+
+analytic::SystemConfig make_config(std::uint32_t clusters,
+                                   std::uint32_t nodes_per_cluster) {
+  analytic::SystemConfig config;
+  config.clusters = clusters;
+  config.nodes_per_cluster = nodes_per_cluster;
+  config.icn1 = analytic::gigabit_ethernet();
+  config.ecn1 = analytic::fast_ethernet();
+  config.icn2 = analytic::gigabit_ethernet();
+  return config;
+}
+
+struct MvaCollapseRun {
+  std::uint32_t clusters = 0;
+  std::size_t stations = 0;
+  double station_seconds = 0.0;
+  double class_seconds = 0.0;
+  double max_rel_error = 0.0;
+};
+
+/// Part 1: one cluster count; population = clusters * nodes_per_cluster.
+MvaCollapseRun run_mva_collapse(std::uint32_t clusters,
+                                std::uint64_t total_nodes) {
+  require(total_nodes % clusters == 0,
+          "solver_batch: --nodes must be divisible by every cluster count");
+  const analytic::SystemConfig config = make_config(
+      clusters, static_cast<std::uint32_t>(total_nodes / clusters));
+  const analytic::CenterServiceTimes service =
+      analytic::center_service_times(config);
+  const double think = 1.0 / config.generation_rate_per_us;
+
+  MvaCollapseRun run;
+  run.clusters = clusters;
+
+  const analytic::HmcsMvaLayout stations =
+      analytic::build_hmcs_mva_layout(config, service);
+  run.stations = stations.stations.size();
+  auto start = std::chrono::steady_clock::now();
+  const analytic::MvaResult by_station =
+      analytic::solve_closed_mva(stations.stations, think, total_nodes);
+  run.station_seconds = seconds_since(start);
+
+  const analytic::HmcsMvaClassLayout classes =
+      analytic::build_hmcs_mva_class_layout(config, service);
+  start = std::chrono::steady_clock::now();
+  const analytic::MvaClassResult by_class =
+      analytic::solve_closed_mva_classes(classes.classes, think, total_nodes);
+  run.class_seconds = seconds_since(start);
+
+  run.max_rel_error =
+      rel_error(by_station.throughput, by_class.throughput);
+  run.max_rel_error = std::max(
+      run.max_rel_error, rel_error(by_station.total_residence_us,
+                                   by_class.total_residence_us));
+  const std::size_t station_of_class[3] = {
+      stations.icn1_index, stations.ecn1_index, stations.icn2_index};
+  for (std::size_t cls = 0; cls < 3; ++cls) {
+    run.max_rel_error = std::max(
+        run.max_rel_error,
+        rel_error(by_station.response_time_us[station_of_class[cls]],
+                  by_class.response_time_us[cls]));
+    run.max_rel_error = std::max(
+        run.max_rel_error,
+        rel_error(by_station.queue_length[station_of_class[cls]],
+                  by_class.queue_length[cls]));
+  }
+  return run;
+}
+
+struct GridRun {
+  std::string method;
+  double scalar_seconds = 0.0;
+  double batch_seconds = 0.0;
+  /// Over cells where both sides converged — the numerical contract;
+  /// non-converged (saturated, oscillating Picard) cells' final iterate
+  /// is trajectory-dependent under warm starts, by design.
+  double max_rel_error = 0.0;
+  std::uint64_t converged_cells = 0;
+  std::uint64_t converged_flag_mismatches = 0;
+};
+
+/// Part 2: one throttling method over the shared rate grid.
+GridRun run_grid(const std::vector<analytic::SystemConfig>& configs,
+                 SourceThrottling method, const char* name) {
+  analytic::ModelOptions options;
+  options.fixed_point.method = method;
+
+  GridRun run;
+  run.method = name;
+
+  std::vector<analytic::LatencyPrediction> scalar;
+  scalar.reserve(configs.size());
+  auto start = std::chrono::steady_clock::now();
+  for (const analytic::SystemConfig& config : configs) {
+    scalar.push_back(analytic::predict_latency(config, options));
+  }
+  run.scalar_seconds = seconds_since(start);
+
+  start = std::chrono::steady_clock::now();
+  const std::vector<analytic::LatencyPrediction> batch =
+      analytic::predict_latency_batch(configs, options);
+  run.batch_seconds = seconds_since(start);
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (scalar[i].fixed_point_converged != batch[i].fixed_point_converged) {
+      ++run.converged_flag_mismatches;
+      continue;
+    }
+    if (!scalar[i].fixed_point_converged) continue;
+    ++run.converged_cells;
+    run.max_rel_error =
+        std::max(run.max_rel_error, rel_error(scalar[i].mean_latency_us,
+                                              batch[i].mean_latency_us));
+    run.max_rel_error =
+        std::max(run.max_rel_error, rel_error(scalar[i].lambda_effective,
+                                              batch[i].lambda_effective));
+  }
+  return run;
+}
+
+double speedup(double slow_seconds, double fast_seconds) {
+  return fast_seconds > 0.0 ? slow_seconds / fast_seconds : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  CliParser cli("solver_batch",
+                "Batch/station-class analytic solver benchmark; writes a "
+                "JSON record.");
+  cli.add_option("nodes", "closed-MVA population (total nodes)", "1048576");
+  cli.add_option("clusters", "comma-separated cluster counts for the MVA "
+                             "collapse comparison", "64,1024");
+  cli.add_option("grid-cells", "rate-grid size for the batch comparison",
+                 "512");
+  cli.add_option("out", "output JSON path", "BENCH_solver.json");
+  if (!cli.parse(argc, argv)) {
+    std::printf("%s", cli.help_text().c_str());
+    return 0;
+  }
+  const std::uint64_t nodes = cli.get_uint("nodes");
+  const std::uint64_t grid_cells = cli.get_uint("grid-cells");
+  const std::string out_path = cli.get_string("out");
+  std::vector<std::uint32_t> cluster_counts;
+  for (const std::string& item : split(cli.get_string("clusters"), ',')) {
+    cluster_counts.push_back(
+        static_cast<std::uint32_t>(std::stoul(trim(item))));
+  }
+  require(!cluster_counts.empty(), "solver_batch: --clusters is empty");
+  require(grid_cells >= 2, "solver_batch: --grid-cells must be >= 2");
+
+  // Part 1: station-class collapse at the full population.
+  std::vector<MvaCollapseRun> collapse;
+  for (const std::uint32_t clusters : cluster_counts) {
+    collapse.push_back(run_mva_collapse(clusters, nodes));
+    const MvaCollapseRun& run = collapse.back();
+    std::printf("mva C=%-5u %4zu stations -> 3 classes: %8.3f s -> %8.3f s "
+                "(%.1fx), max rel err %.2e\n",
+                run.clusters, run.stations, run.station_seconds,
+                run.class_seconds,
+                speedup(run.station_seconds, run.class_seconds),
+                run.max_rel_error);
+  }
+
+  // Part 2: the rate grid, from light load to well past saturation of
+  // the slowest centre (the fixed point throttles the saturated cells).
+  const analytic::SystemConfig base = make_config(16, 8);
+  std::vector<analytic::SystemConfig> grid(grid_cells, base);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i].generation_rate_per_us =
+        1.5e-3 * static_cast<double>(i + 1) / static_cast<double>(grid.size());
+  }
+  const std::vector<GridRun> grid_runs = {
+      run_grid(grid, SourceThrottling::kNone, "none"),
+      run_grid(grid, SourceThrottling::kPicard, "picard"),
+      run_grid(grid, SourceThrottling::kBisection, "bisection"),
+      run_grid(grid, SourceThrottling::kExactMva, "mva"),
+  };
+  for (const GridRun& run : grid_runs) {
+    std::printf("grid %-9s %llu cells (%llu converged): %8.4f s -> %8.4f s "
+                "(%.1fx), max rel err %.2e, %llu flag mismatches\n",
+                run.method.c_str(),
+                static_cast<unsigned long long>(grid_cells),
+                static_cast<unsigned long long>(run.converged_cells),
+                run.scalar_seconds, run.batch_seconds,
+                speedup(run.scalar_seconds, run.batch_seconds),
+                run.max_rel_error,
+                static_cast<unsigned long long>(
+                    run.converged_flag_mismatches));
+  }
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("benchmark").value("solver_batch");
+  json.key("total_nodes").value(nodes);
+  json.key("mva_class_collapse").begin_array();
+  for (const MvaCollapseRun& run : collapse) {
+    json.begin_object();
+    json.key("clusters").value(static_cast<std::uint64_t>(run.clusters));
+    json.key("stations").value(static_cast<std::uint64_t>(run.stations));
+    json.key("classes").value(static_cast<std::uint64_t>(3));
+    json.key("station_seconds").value(run.station_seconds);
+    json.key("class_seconds").value(run.class_seconds);
+    json.key("speedup").value(speedup(run.station_seconds, run.class_seconds));
+    json.key("max_rel_error").value(run.max_rel_error);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("batch_grid").begin_object();
+  json.key("cells").value(grid_cells);
+  json.key("clusters").value(static_cast<std::uint64_t>(base.clusters));
+  json.key("nodes_per_cluster")
+      .value(static_cast<std::uint64_t>(base.nodes_per_cluster));
+  json.key("warm_start").value(true);
+  json.key("methods").begin_array();
+  for (const GridRun& run : grid_runs) {
+    json.begin_object();
+    json.key("method").value(run.method);
+    json.key("scalar_seconds").value(run.scalar_seconds);
+    json.key("batch_seconds").value(run.batch_seconds);
+    json.key("speedup").value(speedup(run.scalar_seconds, run.batch_seconds));
+    json.key("converged_cells").value(run.converged_cells);
+    json.key("max_rel_error_converged").value(run.max_rel_error);
+    json.key("converged_flag_mismatches")
+        .value(run.converged_flag_mismatches);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.end_object();
+
+  std::ofstream out(out_path);
+  require(out.good(), "solver_batch: cannot write '" + out_path + "'");
+  out << json.str() << "\n";
+  std::printf("record written to %s\n", out_path.c_str());
+  return 0;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "error: %s\n", error.what());
+  return 1;
+}

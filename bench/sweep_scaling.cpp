@@ -30,6 +30,9 @@ struct ScalingRun {
   std::uint32_t threads = 0;
   double wall_seconds = 0.0;
   bool bit_identical = true;  ///< grid bytes equal to the serial run's
+  /// threads > hardware_concurrency: the rung measures scheduler churn,
+  /// not parallel speedup, so no speedup is claimed for it.
+  bool oversubscribed = false;
 };
 
 runner::SweepSpec make_spec(std::uint64_t seed) {
@@ -90,6 +93,7 @@ int main(int argc, char** argv) try {
     run.threads = threads;
     run.wall_seconds =
         std::chrono::duration<double>(finish - start).count();
+    run.oversubscribed = threads > cores;
     if (threads == 1) {
       serial = std::move(result);
     } else {
@@ -110,9 +114,15 @@ int main(int argc, char** argv) try {
     json.begin_object();
     json.key("threads").value(static_cast<std::uint64_t>(run.threads));
     json.key("wall_seconds").value(run.wall_seconds);
-    json.key("speedup_vs_serial").value(
-        run.wall_seconds > 0.0 ? runs.front().wall_seconds / run.wall_seconds
-                               : 0.0);
+    // An oversubscribed rung gets no speedup claim: its wall time is
+    // valid data, but the ratio would compare context-switch overhead,
+    // not parallelism.
+    if (!run.oversubscribed) {
+      json.key("speedup_vs_serial").value(
+          run.wall_seconds > 0.0 ? runs.front().wall_seconds / run.wall_seconds
+                                 : 0.0);
+    }
+    json.key("oversubscribed").value(run.oversubscribed);
     json.key("bit_identical").value(run.bit_identical);
     json.end_object();
   }
@@ -125,9 +135,17 @@ int main(int argc, char** argv) try {
 
   bool all_identical = true;
   for (const ScalingRun& run : runs) {
-    std::printf("threads=%u  %7.3f s  speedup %.2fx  %s\n", run.threads,
-                run.wall_seconds, runs.front().wall_seconds / run.wall_seconds,
-                run.bit_identical ? "bit-identical" : "GRID MISMATCH");
+    if (run.oversubscribed) {
+      std::printf("threads=%u  %7.3f s  (oversubscribed: %u threads > %u "
+                  "cores; no speedup claimed)  %s\n",
+                  run.threads, run.wall_seconds, run.threads, cores,
+                  run.bit_identical ? "bit-identical" : "GRID MISMATCH");
+    } else {
+      std::printf("threads=%u  %7.3f s  speedup %.2fx  %s\n", run.threads,
+                  run.wall_seconds,
+                  runs.front().wall_seconds / run.wall_seconds,
+                  run.bit_identical ? "bit-identical" : "GRID MISMATCH");
+    }
     all_identical = all_identical && run.bit_identical;
   }
   std::printf("hardware_concurrency=%u\nrecord written to %s\n", cores,

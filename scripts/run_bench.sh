@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Builds the relbench preset and runs the performance-tracking benches,
-# leaving BENCH_engine.json, BENCH_sweep.json and BENCH_serve.json at
-# the repository root. Pass extra arguments through to the engine bench
-# (e.g. --events 2000000).
+# leaving BENCH_engine.json, BENCH_sweep.json, BENCH_serve.json and
+# BENCH_solver.json at the repository root. Pass extra arguments through
+# to the engine bench (e.g. --events 2000000).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -20,7 +20,7 @@ if [[ ! -f build-relbench/CMakeCache.txt ]]; then
 fi
 
 cmake --build --preset relbench -j "$(nproc)" \
-  --target engine_throughput sweep_scaling serve_throughput
+  --target engine_throughput sweep_scaling serve_throughput solver_batch
 
 ./build-relbench/bench/engine_throughput --out BENCH_engine.json "$@"
 echo "wrote ${repo_root}/BENCH_engine.json"
@@ -30,3 +30,6 @@ echo "wrote ${repo_root}/BENCH_sweep.json"
 
 ./build-relbench/bench/serve_throughput --out BENCH_serve.json
 echo "wrote ${repo_root}/BENCH_serve.json"
+
+./build-relbench/bench/solver_batch --out BENCH_solver.json
+echo "wrote ${repo_root}/BENCH_solver.json"

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file batch_solver.hpp
+/// Structure-of-arrays batch evaluation of the analytic model. Sweeps
+/// and the serving tier evaluate dense grids of configurations that
+/// share almost everything — the fixed-point solver is the hot path
+/// (BENCH_serve.json / BENCH_sweep.json), and solving the grid one
+/// scalar cell at a time repeats validation, eq. (8), Section 5 service
+/// times, and the MVA layout for every cell.
+///
+/// The batch solvers hoist that shared precomputation out of the
+/// per-cell loop and advance *all* active cells one solver iteration per
+/// sweep over flat arrays (vectorisable; cells retire as they converge).
+/// Cells are grouped into contiguous runs sharing a topology (equal in
+/// everything but the generation rate); a group of one costs a scalar
+/// solve, so heterogeneous grids are never penalised.
+///
+/// Numerical contract (docs/PERFORMANCE.md):
+///  - warm_start = false: the per-cell iterate sequence is arithmetic-
+///    identical to the scalar solver's — results are bit-identical.
+///  - warm_start = true (default): anchor cells (every kWarmStride-th
+///    cell of a group) solve cold; the cells between them start from
+///    their anchor's solved fixed point (continuation along the grid
+///    axis). The iterate *trajectory* changes, the fixed point does not:
+///    converged cells agree with the scalar solver within the solver
+///    tolerance. Non-converged cells are trajectory-dependent; studies
+///    that must reproduce them exactly disable warm starts.
+///
+/// FixedPointOptions::residual_trace is ignored by the batch path (one
+/// buffer cannot hold interleaved traces); everything else — method,
+/// queue rule, tolerance, damping, cv², cancel token — behaves as in
+/// solve_effective_rate.
+
+#include <cstdint>
+#include <vector>
+
+#include "hmcs/analytic/fixed_point.hpp"
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/system_config.hpp"
+
+namespace hmcs::analytic {
+
+struct BatchOptions {
+  /// Continuation warm starts (see file comment). Disable for
+  /// bit-identical-to-scalar iterate trajectories.
+  bool warm_start = true;
+};
+
+/// Anchor stride of the warm-start scheme: cells 0, 8, 16, ... of a
+/// group solve cold in lockstep, then the cells between them solve in a
+/// second lockstep pass started from their preceding anchor's solution.
+inline constexpr std::size_t kWarmStride = 8;
+
+/// A structure-of-arrays rate grid: cell i is `base` with
+/// generation_rate_per_us replaced by rates_per_us[i]. Everything else —
+/// topology, technologies, architecture, message size — is shared, so
+/// validation, eq. (8), service times, and the MVA class layout are
+/// computed once for the whole grid. base's own rate field is ignored.
+struct RateGrid {
+  SystemConfig base;
+  std::vector<double> rates_per_us;
+};
+
+/// Solves the blocked-source fixed point for every cell of the grid.
+/// Output order matches rates_per_us. Throws hmcs::ConfigError for an
+/// invalid base or a non-finite/negative cell rate, and Cancelled /
+/// DeadlineExceeded through FixedPointOptions::cancel.
+std::vector<FixedPointResult> solve_effective_rate_batch(
+    const RateGrid& grid, const FixedPointOptions& options = {},
+    const BatchOptions& batch = {});
+
+/// Batch predict_latency over an arbitrary config list: contiguous runs
+/// of configs sharing a topology are solved through the SoA core (with
+/// the kExactMva path evaluating the station-class MVA recursion for
+/// all cells of a run in lockstep); per-cell post-processing goes
+/// through the same epilogue as the scalar predict_latency. Output
+/// order matches input order.
+std::vector<LatencyPrediction> predict_latency_batch(
+    const SystemConfig* const* configs, std::size_t count,
+    const ModelOptions& options = {}, const BatchOptions& batch = {});
+
+/// Convenience overload for value vectors (tests, bench drivers).
+std::vector<LatencyPrediction> predict_latency_batch(
+    const std::vector<SystemConfig>& configs, const ModelOptions& options = {},
+    const BatchOptions& batch = {});
+
+}  // namespace hmcs::analytic

@@ -27,6 +27,10 @@
 #include "hmcs/analytic/service_time.hpp"
 #include "hmcs/analytic/system_config.hpp"
 
+namespace hmcs::util {
+class CancelToken;  // util/cancel.hpp
+}
+
 namespace hmcs::analytic {
 
 enum class SourceThrottling {
@@ -66,6 +70,11 @@ struct FixedPointOptions {
   /// halves every entry). kNone/kExactMva record nothing. The vector is
   /// cleared first, so one buffer can be reused across solves.
   std::vector<double>* residual_trace = nullptr;
+  /// Cooperative cancellation/deadline token, polled by the iterative
+  /// solvers once per iteration and by the exact-MVA recursion every
+  /// 4096 population steps, so per-cell deadlines (docs/ROBUSTNESS.md)
+  /// bound even total_nodes = 2^20 MVA solves. Null = not cancellable.
+  const util::CancelToken* cancel = nullptr;
 };
 
 struct FixedPointResult {
@@ -73,7 +82,11 @@ struct FixedPointResult {
   double lambda_effective;
   /// L at lambda_effective, capped at N (all processors blocked).
   double total_queue_length;
-  std::uint32_t iterations;
+  /// Iterations of the chosen solver. The exact-MVA path reports its
+  /// population steps here (one recursion step per customer), which is
+  /// why the field is 64-bit: total_nodes is a std::uint64_t and
+  /// populations >= 2^32 must not truncate.
+  std::uint64_t iterations;
   bool converged;
 };
 

@@ -42,7 +42,9 @@ struct LatencyPrediction {
   double lambda_effective;           ///< eq. (7) fixed point
   double total_queue_length;         ///< eq. (6) at the fixed point
   bool fixed_point_converged;
-  std::uint32_t fixed_point_iterations;
+  /// Solver iterations; the exact-MVA path reports its population steps
+  /// here, so the field is 64-bit (total_nodes may exceed 2^32).
+  std::uint64_t fixed_point_iterations;
 
   CenterPrediction icn1;
   CenterPrediction ecn1;
@@ -56,5 +58,29 @@ struct LatencyPrediction {
 /// behaviour assumption 4 models.
 LatencyPrediction predict_latency(const SystemConfig& config,
                                   const ModelOptions& options = {});
+
+struct HmcsMvaClassLayout;  // mva.hpp
+struct MvaClassResult;      // mva.hpp
+
+namespace detail {
+
+/// Epilogue shared by predict_latency and the batch solver
+/// (batch_solver.hpp): assembles the full prediction from an
+/// already-solved open-network fixed point. Keeping one implementation
+/// guarantees the batch path's per-cell post-processing is bit-identical
+/// to the scalar path's.
+LatencyPrediction finish_open_prediction(const SystemConfig& config, double p,
+                                         const CenterServiceTimes& service,
+                                         const FixedPointResult& fixed_point,
+                                         double service_cv2);
+
+/// Same, for the kExactMva path: assembles the prediction from the
+/// solved station-class MVA recursion.
+LatencyPrediction finish_mva_prediction(const SystemConfig& config, double p,
+                                        const CenterServiceTimes& service,
+                                        const HmcsMvaClassLayout& layout,
+                                        const MvaClassResult& mva);
+
+}  // namespace detail
 
 }  // namespace hmcs::analytic

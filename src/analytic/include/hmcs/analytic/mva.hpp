@@ -16,6 +16,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace hmcs::util {
+class CancelToken;  // util/cancel.hpp
+}
+
 namespace hmcs::analytic {
 
 struct MvaStation {
@@ -40,9 +44,50 @@ struct MvaResult {
 /// Runs the exact MVA recursion for `population` customers over the
 /// given stations plus one delay (think) stage of `think_time_us`.
 /// Requires population >= 1, think_time_us >= 0, every service_rate > 0,
-/// every visit_ratio >= 0.
+/// every visit_ratio >= 0. The recursion is O(population * stations);
+/// `cancel` (when non-null) is polled every 4096 population steps so
+/// per-cell deadlines bound even huge populations (docs/ROBUSTNESS.md).
 MvaResult solve_closed_mva(const std::vector<MvaStation>& stations,
-                           double think_time_us, std::uint64_t population);
+                           double think_time_us, std::uint64_t population,
+                           const util::CancelToken* cancel = nullptr);
+
+// --- Station-class MVA ------------------------------------------------------
+
+/// A class of `multiplicity` identical stations (same per-station visit
+/// ratio and service rate). Exchangeability makes the exact MVA
+/// recursion symmetric across the members of a class: every member has
+/// the same queue length at every population, so the recursion only
+/// needs one update per class instead of one per station. The HMCS
+/// layout (C ICN1 + C ECN1 + 1 ICN2) collapses from 2C+1 stations to 3
+/// classes — an asymptotic win in C for the O(N * stations) recursion.
+struct MvaStationClass {
+  /// Visit ratio of *each* member station (not the class aggregate).
+  double visit_ratio = 0.0;
+  double service_rate = 0.0;
+  std::uint64_t multiplicity = 1;
+};
+
+struct MvaClassResult {
+  /// System throughput X(N): completed cycles per microsecond.
+  double throughput = 0.0;
+  /// Per-class mean response time per visit at one member station (us).
+  std::vector<double> response_time_us;
+  /// Per-class mean number in system at *one* member station.
+  std::vector<double> queue_length;
+  /// sum_k m_k v_k W_k = N/X - Z, identical to MvaResult's definition.
+  double total_residence_us = 0.0;
+};
+
+/// Exact MVA over station classes: algebraically identical to expanding
+/// every class into `multiplicity` stations and running
+/// solve_closed_mva, but costs O(population * classes). Floating-point
+/// results agree with the expanded recursion to <= 1e-12 relative error
+/// (the class path sums a class's cycle contribution as m*v*W where the
+/// scalar path adds v*W m times). Same preconditions as
+/// solve_closed_mva, plus multiplicity >= 1.
+MvaClassResult solve_closed_mva_classes(
+    const std::vector<MvaStationClass>& classes, double think_time_us,
+    std::uint64_t population, const util::CancelToken* cancel = nullptr);
 
 // --- Multi-class approximate MVA --------------------------------------------
 
@@ -95,5 +140,18 @@ struct HmcsMvaLayout {
 
 HmcsMvaLayout build_hmcs_mva_layout(const SystemConfig& config,
                                     const CenterServiceTimes& service);
+
+/// Class-collapsed HMCS layout: class 0 = the C ICN1 stations, class 1 =
+/// the C ECN1 stations, class 2 = the single ICN2. Expanding it
+/// reproduces build_hmcs_mva_layout station by station.
+struct HmcsMvaClassLayout {
+  std::vector<MvaStationClass> classes;
+  std::size_t icn1_class = 0;
+  std::size_t ecn1_class = 1;
+  std::size_t icn2_class = 2;
+};
+
+HmcsMvaClassLayout build_hmcs_mva_class_layout(const SystemConfig& config,
+                                               const CenterServiceTimes& service);
 
 }  // namespace hmcs::analytic

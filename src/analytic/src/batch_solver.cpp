@@ -1,0 +1,576 @@
+#include "hmcs/analytic/batch_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hmcs/analytic/mm1.hpp"
+#include "hmcs/analytic/mva.hpp"
+#include "hmcs/analytic/routing_probability.hpp"
+#include "hmcs/obs/metrics.hpp"
+#include "hmcs/util/cancel.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::analytic {
+
+namespace {
+
+/// Everything of total_queue_length that does not depend on the cell's
+/// rate, hoisted once per group. The arrival rates are linear in the
+/// iterate x with the exact coefficients (and associativity) of
+/// compute_arrival_rates, so queue_at() below is arithmetic-identical
+/// to the scalar total_queue_length.
+struct GroupConstants {
+  double n = 0.0;    ///< total nodes
+  double c = 0.0;    ///< clusters
+  double p = 0.0;    ///< eq. (8)
+  double a_icn1 = 0.0;   ///< N0 (1-P):   rate_icn1 = a_icn1 * x
+  double a_ecn1f = 0.0;  ///< N0 P:       forward ECN1 rate = a_ecn1f * x
+  double a_icn2 = 0.0;   ///< (C N0) P:   rate_icn2 = a_icn2 * x
+  double mu_icn1 = 0.0;
+  double mu_ecn1 = 0.0;
+  double mu_icn2 = 0.0;
+  double ecn1_weight = 0.0;  ///< 2 for kPaperEq6, 1 for kConsistent
+  double cv2 = 1.0;
+};
+
+GroupConstants make_constants(const SystemConfig& base,
+                              const CenterServiceTimes& service,
+                              const FixedPointOptions& options) {
+  GroupConstants g;
+  g.n = static_cast<double>(base.total_nodes());
+  g.c = static_cast<double>(base.clusters);
+  g.p = inter_cluster_probability(base.clusters, base.nodes_per_cluster);
+  const double n0 = static_cast<double>(base.nodes_per_cluster);
+  g.a_icn1 = n0 * (1.0 - g.p);
+  g.a_ecn1f = n0 * g.p;
+  g.a_icn2 = (g.c * n0) * g.p;
+  g.mu_icn1 = service.icn1.service_rate();
+  g.mu_ecn1 = service.ecn1.service_rate();
+  g.mu_icn2 = service.icn2.service_rate();
+  g.ecn1_weight =
+      (options.queue_rule == QueueLengthRule::kPaperEq6) ? 2.0 : 1.0;
+  g.cv2 = options.service_cv2;
+  return g;
+}
+
+/// eq. (6) at iterate x — bit-identical to total_queue_length(base with
+/// rate x): same arrival-rate products, same M/G/1 calls, same sum
+/// order, same saturation cap.
+double queue_at(const GroupConstants& g, double x) {
+  const double rate_icn1 = g.a_icn1 * x;
+  const double rate_icn2 = g.a_icn2 * x;
+  const double rate_ecn1 = g.a_ecn1f * x + rate_icn2 / g.c;
+
+  const double l_icn1 = mg1::number_in_system(rate_icn1, g.mu_icn1, g.cv2);
+  const double l_ecn1 = mg1::number_in_system(rate_ecn1, g.mu_ecn1, g.cv2);
+  const double l_icn2 = mg1::number_in_system(rate_icn2, g.mu_icn2, g.cv2);
+  if (std::isinf(l_icn1) || std::isinf(l_ecn1) || std::isinf(l_icn2)) {
+    return g.n;  // a saturated centre eventually blocks every source
+  }
+  const double total = g.c * (g.ecn1_weight * l_ecn1 + l_icn1) + l_icn2;
+  return std::min(total, g.n);
+}
+
+/// eq. (7) root function g(x); same expression as the scalar bisection.
+double root_fn(const GroupConstants& g, double lambda, double x) {
+  return lambda * (g.n - queue_at(g, x)) / g.n - x;
+}
+
+FixedPointResult zero_rate_result() {
+  return FixedPointResult{0.0, 0.0, 0, true};
+}
+
+void require_cell_rate(double rate) {
+  require(std::isfinite(rate) && rate >= 0.0,
+          "SystemConfig: generation rate must be >= 0");
+}
+
+// --- Picard -----------------------------------------------------------------
+
+struct PicardSlot {
+  std::size_t cell = 0;
+  double lambda = 0.0;
+  double current = 0.0;
+  double queue = 0.0;
+};
+
+/// Advances every slot one Picard step per sweep; converged slots retire
+/// in place (stable compaction). State transitions mirror solve_picard
+/// exactly: a converged cell reports the post-update iterate and the
+/// queue at it; an exhausted cell reports the final iterate with the
+/// queue of the previous one.
+void picard_lockstep(const GroupConstants& g, const FixedPointOptions& options,
+                     std::vector<PicardSlot> slots, FixedPointResult* out) {
+  for (std::uint32_t iter = 1;
+       iter <= options.max_iterations && !slots.empty(); ++iter) {
+    if (options.cancel != nullptr) options.cancel->check("fixed_point");
+    std::size_t keep = 0;
+    for (PicardSlot& slot : slots) {
+      slot.queue = queue_at(g, slot.current);
+      const double candidate = slot.lambda * (g.n - slot.queue) / g.n;
+      const double next = options.picard_damping * candidate +
+                          (1.0 - options.picard_damping) * slot.current;
+      if (std::fabs(next - slot.current) <=
+          options.tolerance * slot.lambda) {
+        out[slot.cell] =
+            FixedPointResult{next, queue_at(g, next), iter, true};
+      } else {
+        slot.current = next;
+        slots[keep++] = slot;
+      }
+    }
+    slots.resize(keep);
+  }
+  for (const PicardSlot& slot : slots) {
+    out[slot.cell] = FixedPointResult{slot.current, slot.queue,
+                                      options.max_iterations, false};
+  }
+}
+
+void solve_picard_batch(const GroupConstants& g,
+                        const FixedPointOptions& options, bool warm_start,
+                        const std::vector<double>& rates,
+                        FixedPointResult* out) {
+  // Cells that iterate (rate > 0), in grid order.
+  std::vector<std::size_t> active;
+  active.reserve(rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (rates[i] == 0.0) {
+      out[i] = zero_rate_result();
+    } else {
+      active.push_back(i);
+    }
+  }
+  if (active.empty()) return;
+
+  auto make_slot = [&](std::size_t cell, double start) {
+    PicardSlot slot;
+    slot.cell = cell;
+    slot.lambda = rates[cell];
+    slot.current = start;
+    return slot;
+  };
+
+  if (!warm_start) {
+    std::vector<PicardSlot> slots;
+    slots.reserve(active.size());
+    for (const std::size_t cell : active) {
+      slots.push_back(make_slot(cell, rates[cell]));  // the scalar start
+    }
+    picard_lockstep(g, options, std::move(slots), out);
+    return;
+  }
+
+  // Pass 1: anchors (every kWarmStride-th active cell) solve cold.
+  std::vector<PicardSlot> anchors;
+  for (std::size_t pos = 0; pos < active.size(); pos += kWarmStride) {
+    anchors.push_back(make_slot(active[pos], rates[active[pos]]));
+  }
+  picard_lockstep(g, options, std::move(anchors), out);
+
+  // Pass 2: the cells between anchors start from their preceding
+  // anchor's solved fixed point (clamped into (0, lambda]; the fixed
+  // point never exceeds the offered rate).
+  std::vector<PicardSlot> followers;
+  for (std::size_t pos = 0; pos < active.size(); ++pos) {
+    if (pos % kWarmStride == 0) continue;
+    const std::size_t cell = active[pos];
+    const std::size_t anchor = active[pos - pos % kWarmStride];
+    const double warm = out[anchor].lambda_effective;
+    const double start =
+        (warm > 0.0 && warm < rates[cell]) ? warm : rates[cell];
+    followers.push_back(make_slot(cell, start));
+  }
+  picard_lockstep(g, options, std::move(followers), out);
+}
+
+// --- Bisection --------------------------------------------------------------
+
+struct BisectionSlot {
+  std::size_t cell = 0;
+  double lambda = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  std::uint32_t iterations = 0;
+};
+
+void bisection_lockstep(const GroupConstants& g,
+                        const FixedPointOptions& options,
+                        std::vector<BisectionSlot> slots,
+                        FixedPointResult* out) {
+  while (!slots.empty()) {
+    if (options.cancel != nullptr) options.cancel->check("fixed_point");
+    std::size_t keep = 0;
+    for (BisectionSlot& slot : slots) {
+      if (slot.iterations >= options.max_iterations ||
+          (slot.hi - slot.lo) <= options.tolerance * slot.lambda) {
+        // Report the stable side of the bracket (queue length finite).
+        out[slot.cell] = FixedPointResult{
+            slot.lo, queue_at(g, slot.lo), slot.iterations,
+            (slot.hi - slot.lo) <= options.tolerance * slot.lambda};
+        continue;
+      }
+      ++slot.iterations;
+      const double mid = 0.5 * (slot.lo + slot.hi);
+      if (root_fn(g, slot.lambda, mid) > 0.0) {
+        slot.lo = mid;
+      } else {
+        slot.hi = mid;
+      }
+      slots[keep++] = slot;
+    }
+    slots.resize(keep);
+  }
+}
+
+void solve_bisection_batch(const GroupConstants& g,
+                           const FixedPointOptions& options, bool warm_start,
+                           const std::vector<double>& rates,
+                           FixedPointResult* out) {
+  std::vector<std::size_t> active;
+  active.reserve(rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double lambda = rates[i];
+    if (lambda == 0.0) {
+      out[i] = zero_rate_result();
+      continue;
+    }
+    // g(lambda) <= 0 always; g(lambda) == 0 means the system is
+    // load-free — same short-circuit (and iteration count) as scalar.
+    if (root_fn(g, lambda, lambda) >= 0.0) {
+      out[i] = FixedPointResult{lambda, queue_at(g, lambda), 1, true};
+      continue;
+    }
+    active.push_back(i);
+  }
+  if (active.empty()) return;
+
+  auto cold_slot = [&](std::size_t cell) {
+    BisectionSlot slot;
+    slot.cell = cell;
+    slot.lambda = rates[cell];
+    slot.lo = 0.0;  // g(0+) = lambda > 0
+    slot.hi = rates[cell];
+    return slot;
+  };
+
+  if (!warm_start) {
+    std::vector<BisectionSlot> slots;
+    slots.reserve(active.size());
+    for (const std::size_t cell : active) slots.push_back(cold_slot(cell));
+    bisection_lockstep(g, options, std::move(slots), out);
+    return;
+  }
+
+  std::vector<BisectionSlot> anchors;
+  for (std::size_t pos = 0; pos < active.size(); pos += kWarmStride) {
+    anchors.push_back(cold_slot(active[pos]));
+  }
+  bisection_lockstep(g, options, std::move(anchors), out);
+
+  // Followers shrink the initial bracket around their anchor's root: a
+  // probe pair at anchor*(1 ± 1e-3) usually straddles the neighbouring
+  // cell's root, replacing ~10 halvings of [0, lambda] with 2 evals.
+  // When it does not straddle, the probe signs still cut the bracket on
+  // the correct side, so the result stays a valid bisection from a
+  // narrower start — never an approximation.
+  std::vector<BisectionSlot> followers;
+  for (std::size_t pos = 0; pos < active.size(); ++pos) {
+    if (pos % kWarmStride == 0) continue;
+    BisectionSlot slot = cold_slot(active[pos]);
+    const std::size_t anchor = active[pos - pos % kWarmStride];
+    const double warm = out[anchor].lambda_effective;
+    if (warm > 0.0 && warm < slot.lambda) {
+      const double probe_lo = warm * (1.0 - 1e-3);
+      const double probe_hi = std::min(slot.lambda, warm * (1.0 + 1e-3));
+      if (probe_lo > 0.0 && root_fn(g, slot.lambda, probe_lo) > 0.0) {
+        slot.lo = probe_lo;
+        if (root_fn(g, slot.lambda, probe_hi) <= 0.0) slot.hi = probe_hi;
+      } else if (probe_lo > 0.0) {
+        slot.hi = probe_lo;
+      }
+    }
+    followers.push_back(slot);
+  }
+  bisection_lockstep(g, options, std::move(followers), out);
+}
+
+// --- Exact MVA --------------------------------------------------------------
+
+constexpr std::uint64_t kMvaCancelPollMask = 4095;
+
+/// Station-class MVA recursion over all cells of a group in lockstep:
+/// outer loop over the population, inner loop over cells (contiguous
+/// per-cell state, vectorisable). Per cell this performs exactly the
+/// arithmetic of solve_closed_mva_classes, so results are bit-identical
+/// to per-cell scalar solves.
+std::vector<MvaClassResult> mva_batch(
+    const std::vector<MvaStationClass>& classes,
+    const std::vector<double>& think_times, std::uint64_t population,
+    const util::CancelToken* cancel) {
+  const std::size_t k = classes.size();
+  const std::size_t m = think_times.size();
+  std::vector<double> class_visits(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    class_visits[i] =
+        static_cast<double>(classes[i].multiplicity) * classes[i].visit_ratio;
+  }
+  // Hoisted reciprocals, exactly as in solve_closed_mva_classes — the
+  // scalar and lockstep recursions must stay bit-identical.
+  std::vector<double> inv_rate(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    inv_rate[i] = 1.0 / classes[i].service_rate;
+  }
+
+  // Cell-major state: w/l for cell j occupy [j*k, (j+1)*k).
+  std::vector<double> w(m * k, 0.0);
+  std::vector<double> l(m * k, 0.0);
+  std::vector<double> x(m, 0.0);
+
+  for (std::uint64_t n = 1; n <= population; ++n) {
+    if (cancel != nullptr && (n & kMvaCancelPollMask) == 1) {
+      cancel->check("mva");
+    }
+    const double customers = static_cast<double>(n);
+    for (std::size_t j = 0; j < m; ++j) {
+      double* wj = w.data() + j * k;
+      double* lj = l.data() + j * k;
+      double cycle = think_times[j];
+      for (std::size_t i = 0; i < k; ++i) {
+        wj[i] = (1.0 + lj[i]) * inv_rate[i];
+        cycle += class_visits[i] * wj[i];
+      }
+      ensure(cycle > 0.0, "mva: degenerate zero cycle time");
+      x[j] = customers / cycle;
+      for (std::size_t i = 0; i < k; ++i) {
+        lj[i] = x[j] * classes[i].visit_ratio * wj[i];
+      }
+    }
+  }
+
+  std::vector<MvaClassResult> results(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    MvaClassResult& result = results[j];
+    result.throughput = x[j];
+    result.response_time_us.assign(w.begin() + static_cast<std::ptrdiff_t>(j * k),
+                                   w.begin() + static_cast<std::ptrdiff_t>((j + 1) * k));
+    result.queue_length.assign(l.begin() + static_cast<std::ptrdiff_t>(j * k),
+                               l.begin() + static_cast<std::ptrdiff_t>((j + 1) * k));
+    result.total_residence_us = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      result.total_residence_us +=
+          class_visits[i] * result.response_time_us[i];
+    }
+  }
+  return results;
+}
+
+/// The kExactMva cells of a group, solved in lockstep. Zero-rate cells
+/// are handled by the caller. Returns results only for `cells`.
+std::vector<MvaClassResult> solve_mva_cells(
+    const SystemConfig& base, const CenterServiceTimes& service,
+    const std::vector<double>& rates, const std::vector<std::size_t>& cells,
+    const util::CancelToken* cancel, HmcsMvaClassLayout& layout_out) {
+  layout_out = build_hmcs_mva_class_layout(base, service);
+  std::vector<double> thinks;
+  thinks.reserve(cells.size());
+  for (const std::size_t cell : cells) thinks.push_back(1.0 / rates[cell]);
+  return mva_batch(layout_out.classes, thinks, base.total_nodes(), cancel);
+}
+
+FixedPointResult mva_fixed_point(const HmcsMvaClassLayout& layout,
+                                 const MvaClassResult& mva,
+                                 std::uint64_t total_nodes) {
+  double total_queue = 0.0;
+  for (std::size_t i = 0; i < layout.classes.size(); ++i) {
+    total_queue += static_cast<double>(layout.classes[i].multiplicity) *
+                   mva.queue_length[i];
+  }
+  return FixedPointResult{
+      mva.throughput / static_cast<double>(total_nodes), total_queue,
+      total_nodes, true};
+}
+
+/// Same option validation as solve_effective_rate, hoisted per group.
+void validate_options(const FixedPointOptions& options) {
+  require(options.tolerance > 0.0, "fixed_point: tolerance must be > 0");
+  require(options.max_iterations >= 1, "fixed_point: needs >= 1 iteration");
+  require(options.picard_damping > 0.0 && options.picard_damping <= 1.0,
+          "fixed_point: damping must be in (0, 1]");
+  require(options.service_cv2 >= 0.0, "fixed_point: cv^2 must be >= 0");
+  require(options.method != SourceThrottling::kExactMva ||
+              options.service_cv2 == 1.0,
+          "fixed_point: exact MVA requires exponential service (cv^2 = 1)");
+}
+
+void record_batch_obs(const FixedPointResult* results, std::size_t count) {
+  HMCS_OBS_COUNTER_INC("analytic.batch.groups");
+  HMCS_OBS_COUNTER_ADD("analytic.batch.cells", count);
+  HMCS_OBS_COUNTER_ADD("analytic.fixed_point.solves", count);
+  std::uint64_t iterations = 0;
+  std::uint64_t nonconverged = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    iterations += results[i].iterations;
+    nonconverged += results[i].converged ? 0 : 1;
+  }
+  HMCS_OBS_COUNTER_ADD("analytic.fixed_point.iterations", iterations);
+  if (nonconverged != 0) {
+    HMCS_OBS_COUNTER_ADD("analytic.fixed_point.nonconverged", nonconverged);
+  }
+}
+
+/// True when the two configs may share one group: equal in every model
+/// input except the generation rate (names are labels, not numbers).
+bool same_tech(const NetworkTechnology& a, const NetworkTechnology& b) {
+  return a.latency_us == b.latency_us &&
+         a.bandwidth_bytes_per_us == b.bandwidth_bytes_per_us;
+}
+
+bool same_topology(const SystemConfig& a, const SystemConfig& b) {
+  return a.clusters == b.clusters &&
+         a.nodes_per_cluster == b.nodes_per_cluster &&
+         same_tech(a.icn1, b.icn1) && same_tech(a.ecn1, b.ecn1) &&
+         same_tech(a.icn2, b.icn2) &&
+         a.switch_params.ports == b.switch_params.ports &&
+         a.switch_params.latency_us == b.switch_params.latency_us &&
+         a.architecture == b.architecture &&
+         a.message_bytes == b.message_bytes;
+}
+
+}  // namespace
+
+std::vector<FixedPointResult> solve_effective_rate_batch(
+    const RateGrid& grid, const FixedPointOptions& options,
+    const BatchOptions& batch) {
+  SystemConfig base = grid.base;
+  base.generation_rate_per_us = 0.0;  // cell rates are validated below
+  base.validate();
+  validate_options(options);
+  for (const double rate : grid.rates_per_us) require_cell_rate(rate);
+
+  std::vector<FixedPointResult> results(grid.rates_per_us.size());
+  if (results.empty()) return results;
+
+  const CenterServiceTimes service = center_service_times(base);
+  const GroupConstants g = make_constants(base, service, options);
+
+  switch (options.method) {
+    case SourceThrottling::kNone:
+      for (std::size_t i = 0; i < grid.rates_per_us.size(); ++i) {
+        const double lambda = grid.rates_per_us[i];
+        results[i] = FixedPointResult{lambda, queue_at(g, lambda), 0, true};
+      }
+      break;
+    case SourceThrottling::kPicard:
+      solve_picard_batch(g, options, batch.warm_start, grid.rates_per_us,
+                         results.data());
+      break;
+    case SourceThrottling::kBisection:
+      solve_bisection_batch(g, options, batch.warm_start, grid.rates_per_us,
+                            results.data());
+      break;
+    case SourceThrottling::kExactMva: {
+      std::vector<std::size_t> cells;
+      for (std::size_t i = 0; i < grid.rates_per_us.size(); ++i) {
+        if (grid.rates_per_us[i] == 0.0) {
+          results[i] = zero_rate_result();
+        } else {
+          cells.push_back(i);
+        }
+      }
+      if (!cells.empty()) {
+        HmcsMvaClassLayout layout;
+        const std::vector<MvaClassResult> solved = solve_mva_cells(
+            base, service, grid.rates_per_us, cells, options.cancel, layout);
+        for (std::size_t k = 0; k < cells.size(); ++k) {
+          results[cells[k]] =
+              mva_fixed_point(layout, solved[k], base.total_nodes());
+        }
+      }
+      break;
+    }
+  }
+  record_batch_obs(results.data(), results.size());
+  return results;
+}
+
+std::vector<LatencyPrediction> predict_latency_batch(
+    const SystemConfig* const* configs, std::size_t count,
+    const ModelOptions& options, const BatchOptions& batch) {
+  std::vector<LatencyPrediction> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; /* advanced below */) {
+    require(configs[i] != nullptr, "predict_latency_batch: null config");
+    std::size_t end = i + 1;
+    while (end < count && configs[end] != nullptr &&
+           same_topology(*configs[i], *configs[end])) {
+      ++end;
+    }
+
+    const SystemConfig& base = *configs[i];
+    base.validate();
+    RateGrid grid;
+    grid.base = base;
+    grid.rates_per_us.reserve(end - i);
+    for (std::size_t cell = i; cell < end; ++cell) {
+      grid.rates_per_us.push_back(configs[cell]->generation_rate_per_us);
+    }
+
+    const double p =
+        inter_cluster_probability(base.clusters, base.nodes_per_cluster);
+    const CenterServiceTimes service = center_service_times(base);
+
+    if (options.fixed_point.method == SourceThrottling::kExactMva) {
+      // Positive-rate cells take the closed-network MVA solution;
+      // zero-rate cells route through the open-network epilogue with the
+      // converged-at-zero fixed point — exactly predict_latency's split.
+      validate_options(options.fixed_point);
+      for (const double rate : grid.rates_per_us) require_cell_rate(rate);
+      std::vector<std::size_t> cells;
+      for (std::size_t k = 0; k < grid.rates_per_us.size(); ++k) {
+        if (grid.rates_per_us[k] > 0.0) cells.push_back(k);
+      }
+      std::vector<LatencyPrediction> group(grid.rates_per_us.size());
+      if (!cells.empty()) {
+        HmcsMvaClassLayout layout;
+        const std::vector<MvaClassResult> solved =
+            solve_mva_cells(base, service, grid.rates_per_us, cells,
+                            options.fixed_point.cancel, layout);
+        for (std::size_t k = 0; k < cells.size(); ++k) {
+          group[cells[k]] = detail::finish_mva_prediction(
+              *configs[i + cells[k]], p, service, layout, solved[k]);
+        }
+      }
+      for (std::size_t k = 0; k < group.size(); ++k) {
+        if (grid.rates_per_us[k] == 0.0) {
+          group[k] = detail::finish_open_prediction(
+              *configs[i + k], p, service, zero_rate_result(),
+              options.fixed_point.service_cv2);
+        }
+        out.push_back(std::move(group[k]));
+      }
+    } else {
+      const std::vector<FixedPointResult> solved =
+          solve_effective_rate_batch(grid, options.fixed_point, batch);
+      for (std::size_t k = 0; k < solved.size(); ++k) {
+        out.push_back(detail::finish_open_prediction(
+            *configs[i + k], p, service, solved[k],
+            options.fixed_point.service_cv2));
+      }
+    }
+    i = end;
+  }
+  return out;
+}
+
+std::vector<LatencyPrediction> predict_latency_batch(
+    const std::vector<SystemConfig>& configs, const ModelOptions& options,
+    const BatchOptions& batch) {
+  std::vector<const SystemConfig*> pointers;
+  pointers.reserve(configs.size());
+  for (const SystemConfig& config : configs) pointers.push_back(&config);
+  return predict_latency_batch(pointers.data(), pointers.size(), options,
+                               batch);
+}
+
+}  // namespace hmcs::analytic

@@ -8,6 +8,7 @@
 #include "hmcs/analytic/mva.hpp"
 #include "hmcs/analytic/routing_probability.hpp"
 #include "hmcs/obs/metrics.hpp"
+#include "hmcs/util/cancel.hpp"
 #include "hmcs/util/error.hpp"
 
 namespace hmcs::analytic {
@@ -67,6 +68,7 @@ FixedPointResult solve_picard(const SystemConfig& config,
   double current = lambda;
   double queue = 0.0;
   for (std::uint32_t i = 1; i <= options.max_iterations; ++i) {
+    if (options.cancel != nullptr) options.cancel->check("fixed_point");
     queue = total_queue_length(config, service, current, options.queue_rule, options.service_cv2);
     const double candidate = lambda * (n - queue) / n;
     const double next = options.picard_damping * candidate +
@@ -111,6 +113,7 @@ FixedPointResult solve_bisection(const SystemConfig& config,
   std::uint32_t iterations = 0;
   while (iterations < options.max_iterations &&
          (hi - lo) > options.tolerance * lambda) {
+    if (options.cancel != nullptr) options.cancel->check("fixed_point");
     ++iterations;
     const double mid = 0.5 * (lo + hi);
     if (g(mid) > 0.0) {
@@ -131,17 +134,27 @@ FixedPointResult solve_bisection(const SystemConfig& config,
 }
 
 FixedPointResult solve_mva(const SystemConfig& config,
-                           const CenterServiceTimes& service) {
+                           const CenterServiceTimes& service,
+                           const FixedPointOptions& options) {
   if (config.generation_rate_per_us == 0.0) return zero_rate_result();
-  const HmcsMvaLayout layout = build_hmcs_mva_layout(config, service);
+  // Station-class recursion: the C ICN1 (and C ECN1) stations are
+  // identical, so the 2C+1-station network collapses to 3 classes and
+  // the O(N * stations) recursion to O(N * 3) (docs/PERFORMANCE.md).
+  const HmcsMvaClassLayout layout =
+      build_hmcs_mva_class_layout(config, service);
   const double think = 1.0 / config.generation_rate_per_us;
-  const MvaResult mva =
-      solve_closed_mva(layout.stations, think, config.total_nodes());
+  const MvaClassResult mva = solve_closed_mva_classes(
+      layout.classes, think, config.total_nodes(), options.cancel);
   double total_queue = 0.0;
-  for (const double l : mva.queue_length) total_queue += l;
+  for (std::size_t i = 0; i < layout.classes.size(); ++i) {
+    total_queue += static_cast<double>(layout.classes[i].multiplicity) *
+                   mva.queue_length[i];
+  }
+  // The recursion runs one step per customer: report the population as
+  // the iteration count (64-bit — populations >= 2^32 must not wrap).
   return FixedPointResult{
       mva.throughput / static_cast<double>(config.total_nodes()), total_queue,
-      static_cast<std::uint32_t>(config.total_nodes()), true};
+      config.total_nodes(), true};
 }
 
 }  // namespace
@@ -184,7 +197,7 @@ FixedPointResult solve_effective_rate(const SystemConfig& config,
     case SourceThrottling::kBisection:
       return instrumented(solve_bisection(config, service, options));
     case SourceThrottling::kExactMva:
-      return instrumented(solve_mva(config, service));
+      return instrumented(solve_mva(config, service, options));
   }
   ensure(false, "fixed_point: unknown method");
   return {};

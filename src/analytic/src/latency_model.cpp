@@ -22,93 +22,117 @@ CenterPrediction solve_center(double arrival_rate, double service_rate,
   return out;
 }
 
-/// kExactMva path: every per-centre quantity comes from the MVA solution
-/// of the closed network rather than from open M/M/1 formulas.
-LatencyPrediction predict_with_mva(const SystemConfig& config,
-                                   LatencyPrediction out) {
-  const HmcsMvaLayout layout =
-      build_hmcs_mva_layout(config, out.service_times);
-  const MvaResult mva =
-      solve_closed_mva(layout.stations, 1.0 / config.generation_rate_per_us,
-                       config.total_nodes());
-
-  const double x = mva.throughput;  // system-wide cycles per us
-  out.lambda_effective = x / static_cast<double>(config.total_nodes());
-  out.fixed_point_converged = true;
-  out.fixed_point_iterations =
-      static_cast<std::uint32_t>(config.total_nodes());
-
-  auto fill = [&](std::size_t index) {
-    CenterPrediction center{};
-    center.arrival_rate = x * layout.stations[index].visit_ratio;
-    center.service_rate = layout.stations[index].service_rate;
-    center.utilization = center.arrival_rate / center.service_rate;
-    center.response_time_us = mva.response_time_us[index];
-    center.queue_length = mva.queue_length[index];
-    return center;
-  };
-  out.icn1 = fill(layout.icn1_index);
-  out.ecn1 = fill(layout.ecn1_index);
-  out.icn2 = fill(layout.icn2_index);
-
-  out.total_queue_length = 0.0;
-  for (const double l : mva.queue_length) out.total_queue_length += l;
-
-  // eq. (15) with MVA waiting times; identically sum_i v_i W_i.
-  out.mean_latency_us = mva.total_residence_us;
-  return out;
-}
-
 }  // namespace
 
-LatencyPrediction predict_latency(const SystemConfig& config,
-                                  const ModelOptions& options) {
-  config.validate();
+namespace detail {
 
+LatencyPrediction finish_open_prediction(const SystemConfig& config, double p,
+                                         const CenterServiceTimes& service,
+                                         const FixedPointResult& fixed_point,
+                                         double service_cv2) {
   LatencyPrediction out{};
   out.lambda_offered = config.generation_rate_per_us;
-  out.inter_cluster_probability =
-      inter_cluster_probability(config.clusters, config.nodes_per_cluster);
-  out.service_times = center_service_times(config);
-
-  // The MVA path needs a finite think time 1/lambda; at lambda == 0 the
-  // open-network path below degenerates correctly (solve_mva returns the
-  // converged-at-zero fixed point, every centre sees rate 0, and eq. 15
-  // yields the no-load latency), so route zero-rate configs through it.
-  if (options.fixed_point.method == SourceThrottling::kExactMva &&
-      config.generation_rate_per_us > 0.0) {
-    return predict_with_mva(config, std::move(out));
-  }
-
-  const FixedPointResult fp =
-      solve_effective_rate(config, out.service_times, options.fixed_point);
-  out.lambda_effective = fp.lambda_effective;
-  out.total_queue_length = fp.total_queue_length;
-  out.fixed_point_converged = fp.converged;
-  out.fixed_point_iterations = fp.iterations;
+  out.inter_cluster_probability = p;
+  out.service_times = service;
+  out.lambda_effective = fixed_point.lambda_effective;
+  out.total_queue_length = fixed_point.total_queue_length;
+  out.fixed_point_converged = fixed_point.converged;
+  out.fixed_point_iterations = fixed_point.iterations;
 
   const ArrivalRates rates =
-      compute_arrival_rates(config.clusters, config.nodes_per_cluster,
-                            out.inter_cluster_probability, fp.lambda_effective);
-  const double cv2 = options.fixed_point.service_cv2;
-  out.icn1 =
-      solve_center(rates.icn1, out.service_times.icn1.service_rate(), cv2);
-  out.ecn1 =
-      solve_center(rates.ecn1, out.service_times.ecn1.service_rate(), cv2);
-  out.icn2 =
-      solve_center(rates.icn2, out.service_times.icn2.service_rate(), cv2);
+      compute_arrival_rates(config.clusters, config.nodes_per_cluster, p,
+                            fixed_point.lambda_effective);
+  out.icn1 = solve_center(rates.icn1, service.icn1.service_rate(),
+                          service_cv2);
+  out.ecn1 = solve_center(rates.ecn1, service.ecn1.service_rate(),
+                          service_cv2);
+  out.icn2 = solve_center(rates.icn2, service.icn2.service_rate(),
+                          service_cv2);
 
   // eq. (15). When P == 0 (single cluster) the remote centres never see
   // traffic; when N0 == 1 (fully dispersed) no traffic is local. Guard
   // the zero-weight terms so an untraversed centre's W cannot poison the
   // sum even in degenerate setups.
-  const double p = out.inter_cluster_probability;
   const double local_term = (p < 1.0) ? (1.0 - p) * out.icn1.response_time_us : 0.0;
   const double remote_term =
       (p > 0.0) ? p * (out.icn2.response_time_us + 2.0 * out.ecn1.response_time_us)
                 : 0.0;
   out.mean_latency_us = local_term + remote_term;
   return out;
+}
+
+/// kExactMva path: every per-centre quantity comes from the MVA solution
+/// of the closed network — solved over the three station classes of the
+/// HMCS layout (C identical ICN1, C identical ECN1, one ICN2) — rather
+/// than from open M/M/1 formulas.
+LatencyPrediction finish_mva_prediction(const SystemConfig& config, double p,
+                                        const CenterServiceTimes& service,
+                                        const HmcsMvaClassLayout& layout,
+                                        const MvaClassResult& mva) {
+  LatencyPrediction out{};
+  out.lambda_offered = config.generation_rate_per_us;
+  out.inter_cluster_probability = p;
+  out.service_times = service;
+
+  const double x = mva.throughput;  // system-wide cycles per us
+  out.lambda_effective = x / static_cast<double>(config.total_nodes());
+  out.fixed_point_converged = true;
+  out.fixed_point_iterations = config.total_nodes();
+
+  auto fill = [&](std::size_t cls) {
+    CenterPrediction center{};
+    center.arrival_rate = x * layout.classes[cls].visit_ratio;
+    center.service_rate = layout.classes[cls].service_rate;
+    center.utilization = center.arrival_rate / center.service_rate;
+    center.response_time_us = mva.response_time_us[cls];
+    center.queue_length = mva.queue_length[cls];
+    return center;
+  };
+  out.icn1 = fill(layout.icn1_class);
+  out.ecn1 = fill(layout.ecn1_class);
+  out.icn2 = fill(layout.icn2_class);
+
+  out.total_queue_length = 0.0;
+  for (std::size_t cls = 0; cls < layout.classes.size(); ++cls) {
+    out.total_queue_length +=
+        static_cast<double>(layout.classes[cls].multiplicity) *
+        mva.queue_length[cls];
+  }
+
+  // eq. (15) with MVA waiting times; identically sum_k m_k v_k W_k.
+  out.mean_latency_us = mva.total_residence_us;
+  return out;
+}
+
+}  // namespace detail
+
+LatencyPrediction predict_latency(const SystemConfig& config,
+                                  const ModelOptions& options) {
+  config.validate();
+
+  const double p =
+      inter_cluster_probability(config.clusters, config.nodes_per_cluster);
+  const CenterServiceTimes service = center_service_times(config);
+
+  // The MVA path needs a finite think time 1/lambda; at lambda == 0 the
+  // open-network path below degenerates correctly (solve_effective_rate
+  // returns the converged-at-zero fixed point, every centre sees rate 0,
+  // and eq. 15 yields the no-load latency), so route zero-rate configs
+  // through it.
+  if (options.fixed_point.method == SourceThrottling::kExactMva &&
+      config.generation_rate_per_us > 0.0) {
+    const HmcsMvaClassLayout layout =
+        build_hmcs_mva_class_layout(config, service);
+    const MvaClassResult mva = solve_closed_mva_classes(
+        layout.classes, 1.0 / config.generation_rate_per_us,
+        config.total_nodes(), options.fixed_point.cancel);
+    return detail::finish_mva_prediction(config, p, service, layout, mva);
+  }
+
+  const FixedPointResult fp =
+      solve_effective_rate(config, service, options.fixed_point);
+  return detail::finish_open_prediction(config, p, service, fp,
+                                        options.fixed_point.service_cv2);
 }
 
 }  // namespace hmcs::analytic

@@ -6,12 +6,22 @@
 #include "hmcs/analytic/routing_probability.hpp"
 #include "hmcs/analytic/service_time.hpp"
 #include "hmcs/analytic/system_config.hpp"
+#include "hmcs/util/cancel.hpp"
 #include "hmcs/util/error.hpp"
 
 namespace hmcs::analytic {
 
+namespace {
+
+/// Deadline/cancel poll cadence for the O(population) recursions — the
+/// same rare-path granularity the simulators use (every 4096 events).
+constexpr std::uint64_t kMvaCancelPollMask = 4095;
+
+}  // namespace
+
 MvaResult solve_closed_mva(const std::vector<MvaStation>& stations,
-                           double think_time_us, std::uint64_t population) {
+                           double think_time_us, std::uint64_t population,
+                           const util::CancelToken* cancel) {
   require(population >= 1, "mva: population must be >= 1");
   require(std::isfinite(think_time_us) && think_time_us >= 0.0,
           "mva: think time must be >= 0");
@@ -30,6 +40,9 @@ MvaResult solve_closed_mva(const std::vector<MvaStation>& stations,
   // Exact recursion: W_i(n) = (1 + L_i(n-1)) / mu_i;
   // X(n) = n / (Z + sum_i v_i W_i(n)); L_i(n) = X(n) v_i W_i(n).
   for (std::uint64_t n = 1; n <= population; ++n) {
+    if (cancel != nullptr && (n & kMvaCancelPollMask) == 1) {
+      cancel->check("mva");
+    }
     double cycle = think_time_us;
     for (std::size_t i = 0; i < m; ++i) {
       result.response_time_us[i] =
@@ -48,6 +61,110 @@ MvaResult solve_closed_mva(const std::vector<MvaStation>& stations,
   for (std::size_t i = 0; i < m; ++i) {
     result.total_residence_us +=
         stations[i].visit_ratio * result.response_time_us[i];
+  }
+  return result;
+}
+
+MvaClassResult solve_closed_mva_classes(
+    const std::vector<MvaStationClass>& classes, double think_time_us,
+    std::uint64_t population, const util::CancelToken* cancel) {
+  require(population >= 1, "mva: population must be >= 1");
+  require(std::isfinite(think_time_us) && think_time_us >= 0.0,
+          "mva: think time must be >= 0");
+  for (const MvaStationClass& cls : classes) {
+    require(std::isfinite(cls.visit_ratio) && cls.visit_ratio >= 0.0,
+            "mva: visit ratios must be >= 0");
+    require(std::isfinite(cls.service_rate) && cls.service_rate > 0.0,
+            "mva: service rates must be > 0");
+    require(cls.multiplicity >= 1, "mva: class multiplicity must be >= 1");
+  }
+
+  const std::size_t k = classes.size();
+  MvaClassResult result;
+  result.response_time_us.assign(k, 0.0);
+  result.queue_length.assign(k, 0.0);
+
+  // The scalar recursion preserves equality across identical stations
+  // (they start at L = 0 and receive identical updates), so one update
+  // per class is exact; the class's cycle contribution is m_k v_k W_k.
+  std::vector<double> class_visits(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    class_visits[i] =
+        static_cast<double>(classes[i].multiplicity) * classes[i].visit_ratio;
+  }
+
+  // W_i = (1 + L_i) * (1/mu_i) with the reciprocal hoisted: the O(N)
+  // loop then carries one division (n / cycle) instead of k+1, which
+  // shortens its loop-carried dependency chain by a division latency
+  // per class. This is the one place the class path's arithmetic
+  // deviates from the station recursion beyond association — it costs
+  // an ulp on W and stays comfortably inside the <= 1e-12 contract.
+  // The batch lockstep recursion (batch_solver.cpp) hoists the same
+  // reciprocals in the same order, keeping the two paths bit-identical
+  // to each other.
+  std::vector<double> inv_rate(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    inv_rate[i] = 1.0 / classes[i].service_rate;
+  }
+
+  if (k == 3) {
+    // The HMCS layout (ICN1/ECN1/ICN2) always lands here; running the
+    // recursion in registers frees it from vector loads/stores. Same
+    // operations in the same order as the generic loop below, so the
+    // result is bit-identical to it.
+    const double s0 = inv_rate[0], s1 = inv_rate[1], s2 = inv_rate[2];
+    const double v0 = classes[0].visit_ratio;
+    const double v1 = classes[1].visit_ratio;
+    const double v2 = classes[2].visit_ratio;
+    const double cv0 = class_visits[0];
+    const double cv1 = class_visits[1];
+    const double cv2 = class_visits[2];
+    double w0 = 0.0, w1 = 0.0, w2 = 0.0;
+    double l0 = 0.0, l1 = 0.0, l2 = 0.0;
+    double x = 0.0;
+    for (std::uint64_t n = 1; n <= population; ++n) {
+      if (cancel != nullptr && (n & kMvaCancelPollMask) == 1) {
+        cancel->check("mva");
+      }
+      w0 = (1.0 + l0) * s0;
+      w1 = (1.0 + l1) * s1;
+      w2 = (1.0 + l2) * s2;
+      double cycle = think_time_us;
+      cycle += cv0 * w0;
+      cycle += cv1 * w1;
+      cycle += cv2 * w2;
+      ensure(cycle > 0.0, "mva: degenerate zero cycle time");
+      x = static_cast<double>(n) / cycle;
+      l0 = x * v0 * w0;
+      l1 = x * v1 * w1;
+      l2 = x * v2 * w2;
+    }
+    result.response_time_us = {w0, w1, w2};
+    result.queue_length = {l0, l1, l2};
+    result.throughput = x;
+  } else {
+    for (std::uint64_t n = 1; n <= population; ++n) {
+      if (cancel != nullptr && (n & kMvaCancelPollMask) == 1) {
+        cancel->check("mva");
+      }
+      double cycle = think_time_us;
+      for (std::size_t i = 0; i < k; ++i) {
+        result.response_time_us[i] =
+            (1.0 + result.queue_length[i]) * inv_rate[i];
+        cycle += class_visits[i] * result.response_time_us[i];
+      }
+      ensure(cycle > 0.0, "mva: degenerate zero cycle time");
+      result.throughput = static_cast<double>(n) / cycle;
+      for (std::size_t i = 0; i < k; ++i) {
+        result.queue_length[i] = result.throughput * classes[i].visit_ratio *
+                                 result.response_time_us[i];
+      }
+    }
+  }
+
+  result.total_residence_us = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    result.total_residence_us += class_visits[i] * result.response_time_us[i];
   }
   return result;
 }
@@ -159,6 +276,24 @@ HmcsMvaLayout build_hmcs_mva_layout(const SystemConfig& config,
   }
   layout.icn2_index = layout.stations.size();
   layout.stations.push_back(MvaStation{p, service.icn2.service_rate()});
+  return layout;
+}
+
+HmcsMvaClassLayout build_hmcs_mva_class_layout(
+    const SystemConfig& config, const CenterServiceTimes& service) {
+  config.validate();
+  const double p =
+      inter_cluster_probability(config.clusters, config.nodes_per_cluster);
+  const double c = static_cast<double>(config.clusters);
+
+  HmcsMvaClassLayout layout;
+  layout.classes = {
+      MvaStationClass{(1.0 - p) / c, service.icn1.service_rate(),
+                      config.clusters},
+      MvaStationClass{2.0 * p / c, service.ecn1.service_rate(),
+                      config.clusters},
+      MvaStationClass{p, service.icn2.service_rate(), 1},
+  };
   return layout;
 }
 

@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "hmcs/analytic/batch_solver.hpp"
 #include "hmcs/analytic/latency_model.hpp"
 #include "hmcs/analytic/system_config.hpp"
 #include "hmcs/netsim/switch_fabric_sim.hpp"
@@ -99,6 +100,15 @@ struct PointContext {
   const util::CancelToken* cancel = nullptr;
 };
 
+/// Execution context for one evaluate_batch call: the flat index of the
+/// chunk's first point (trace/debug labelling) and a chunk-wide
+/// cancellation token (deadline = per-cell budget × chunk size).
+struct BatchPointContext {
+  std::size_t first_index = 0;
+  std::uint32_t worker = 0;
+  const util::CancelToken* cancel = nullptr;
+};
+
 class Backend {
  public:
   virtual ~Backend() = default;
@@ -111,21 +121,53 @@ class Backend {
   /// any stochastic execution so results are scheduling-independent.
   virtual PointResult predict(const analytic::SystemConfig& config,
                               const PointContext& ctx) const = 0;
+
+  /// Largest chunk one evaluate_batch call accepts; 1 (the default)
+  /// means the backend has no batch path and the runner calls predict()
+  /// per cell. Backends whose per-point work is dominated by shared
+  /// precomputation (the analytic model) return > 1.
+  virtual std::size_t batch_capacity() const { return 1; }
+
+  /// Evaluates `count` configurations into results[0, count). Only
+  /// called when batch_capacity() > 1; the base implementation throws
+  /// hmcs::LogicError. Same const/thread-safety contract as predict().
+  /// A throw fails the whole chunk — the runner then falls back to
+  /// per-cell predict() calls, so partial results must not be written.
+  virtual void evaluate_batch(const analytic::SystemConfig* const* configs,
+                              std::size_t count, const BatchPointContext& ctx,
+                              PointResult* results) const;
 };
 
 /// Wraps analytic::predict_latency. Deterministic; ignores ctx.seed.
+/// Threads the runner's per-cell cancel token into the solver so
+/// deadlines bound even MVA-backed cells, and implements the batched
+/// path through analytic::predict_latency_batch.
+///
+/// The default batch options disable warm starts: a batched sweep is
+/// then bit-identical to the per-cell path cell for cell (values and
+/// statuses), which keeps `hmcs_run --batch` interchangeable with the
+/// scalar run. Pass BatchOptions{true} to trade that for the
+/// continuation warm starts (tolerance-level agreement on converged
+/// cells; see batch_solver.hpp).
 class AnalyticBackend : public Backend {
  public:
   explicit AnalyticBackend(analytic::ModelOptions options = {},
-                           std::string name = "analytic");
+                           std::string name = "analytic",
+                           analytic::BatchOptions batch = {false});
 
   const std::string& name() const override { return name_; }
   PointResult predict(const analytic::SystemConfig& config,
                       const PointContext& ctx) const override;
 
+  std::size_t batch_capacity() const override { return 4096; }
+  void evaluate_batch(const analytic::SystemConfig* const* configs,
+                      std::size_t count, const BatchPointContext& ctx,
+                      PointResult* results) const override;
+
  private:
   analytic::ModelOptions options_;
   std::string name_;
+  analytic::BatchOptions batch_;
 };
 
 /// Wraps sim::MultiClusterSim (optionally through the independent-

@@ -20,6 +20,7 @@
 ///     "max_attempts": 2,                    // per-cell retry budget
 ///     "cell_deadline_ms": 60000,            // 0 = no deadline
 ///     "degraded_utilization": 0.999,        // saturation guardrail
+///     "batch_cells": 256,                   // 0 = per-cell (default)
 ///     "axes": {
 ///       "clusters": [1, 2, 4, 8],
 ///       "message_bytes": [1024, 512],
@@ -57,6 +58,7 @@
 ///   max_attempts  = 2
 ///   cell_deadline_ms = 60000
 ///   degraded_utilization = 0.999
+///   batch_cells   = 256          # 0 = per-cell evaluation (default)
 ///
 /// Unknown keys are rejected at every level so typos fail loudly.
 
@@ -95,6 +97,9 @@ struct SweepRunConfig {
   std::uint32_t max_attempts = 1;
   double cell_deadline_ms = 0.0;
   double degraded_utilization = 1.0;
+  /// RunnerOptions::batch_cells, config key `batch_cells`; hmcs_run's
+  /// --batch flag overrides it.
+  std::uint32_t batch_cells = 0;
 };
 
 /// Loads a sweep config from `path`: `.json` is parsed as the JSON

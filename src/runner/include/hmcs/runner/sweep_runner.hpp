@@ -56,6 +56,17 @@ struct RunnerOptions {
   /// Worker threads; 0 = hardware concurrency. Results are identical
   /// for any value.
   std::uint32_t threads = 0;
+  /// Cells per evaluate_batch call for backends advertising a batch
+  /// path (batch_capacity() > 1); 0 (the default) evaluates every cell
+  /// through predict(), preserving the historical execution exactly.
+  /// Chunk boundaries are fixed in point-index space (independent of
+  /// thread count and resume state), chunks containing resumed cells
+  /// re-evaluate the whole chunk but only write the pending cells, and
+  /// a failing chunk falls back to per-cell predict() with the full
+  /// retry/deadline machinery — so statuses, journals, and resume
+  /// byte-identity are preserved. The chunk deadline is
+  /// cell_deadline_ms × chunk size.
+  std::uint32_t batch_cells = 0;
   /// Optional wall-clock + simulated-time trace session (see above).
   std::shared_ptr<obs::TraceSession> trace;
 

@@ -30,20 +30,48 @@ CellStatus parse_cell_status(const std::string& name) {
                              std::source_location::current());
 }
 
-AnalyticBackend::AnalyticBackend(analytic::ModelOptions options,
-                                 std::string name)
-    : options_(options), name_(std::move(name)) {}
+void Backend::evaluate_batch(const analytic::SystemConfig* const*, std::size_t,
+                             const BatchPointContext&, PointResult*) const {
+  detail::throw_logic_error(
+      "Backend::evaluate_batch: '" + name() + "' has no batch path",
+      std::source_location::current());
+}
 
-PointResult AnalyticBackend::predict(const analytic::SystemConfig& config,
-                                     const PointContext&) const {
-  const analytic::LatencyPrediction prediction =
-      analytic::predict_latency(config, options_);
+namespace {
+
+PointResult from_prediction(const analytic::LatencyPrediction& prediction) {
   PointResult result;
   result.mean_latency_us = prediction.mean_latency_us;
   result.lambda_offered = prediction.lambda_offered;
   result.lambda_effective = prediction.lambda_effective;
   result.converged = prediction.fixed_point_converged;
   return result;
+}
+
+}  // namespace
+
+AnalyticBackend::AnalyticBackend(analytic::ModelOptions options,
+                                 std::string name, analytic::BatchOptions batch)
+    : options_(options), name_(std::move(name)), batch_(batch) {}
+
+PointResult AnalyticBackend::predict(const analytic::SystemConfig& config,
+                                     const PointContext& ctx) const {
+  analytic::ModelOptions options = options_;
+  options.fixed_point.cancel = ctx.cancel;
+  return from_prediction(analytic::predict_latency(config, options));
+}
+
+void AnalyticBackend::evaluate_batch(
+    const analytic::SystemConfig* const* configs, std::size_t count,
+    const BatchPointContext& ctx, PointResult* results) const {
+  analytic::ModelOptions options = options_;
+  options.fixed_point.cancel = ctx.cancel;
+  options.fixed_point.residual_trace = nullptr;  // one buffer, many cells
+  const std::vector<analytic::LatencyPrediction> predictions =
+      analytic::predict_latency_batch(configs, count, options, batch_);
+  for (std::size_t i = 0; i < count; ++i) {
+    results[i] = from_prediction(predictions[i]);
+  }
 }
 
 DesBackend::DesBackend(Options options, std::string name)

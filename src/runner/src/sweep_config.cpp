@@ -229,7 +229,7 @@ SweepRunConfig sweep_config_from_json(std::string_view text,
                           "switch_ports", "switch_latency_us", "seed",
                           "threads", "axes", "backends", "on_error",
                           "max_attempts", "cell_deadline_ms",
-                          "degraded_utilization"},
+                          "degraded_utilization", "batch_cells"},
                          "the sweep config");
 
   SweepRunConfig config;
@@ -257,6 +257,8 @@ SweepRunConfig sweep_config_from_json(std::string_view text,
       number_member(doc, "degraded_utilization", 1.0);
   require(config.degraded_utilization > 0.0,
           "sweep config: degraded_utilization must be > 0");
+  config.batch_cells =
+      static_cast<std::uint32_t>(uint_member(doc, "batch_cells", 0));
 
   if (const JsonValue* axes = doc.find("axes")) {
     require(axes->is_object(), "sweep config: 'axes' must be an object");
@@ -284,7 +286,7 @@ SweepRunConfig sweep_config_from_keyvalue(const KeyValueFile& file,
       "clusters",     "message_bytes", "lambda_per_s", "architecture",
       "technology",   "backends",    "model",        "messages",
       "warmup",       "replications", "on_error",    "max_attempts",
-      "cell_deadline_ms", "degraded_utilization"};
+      "cell_deadline_ms", "degraded_utilization", "batch_cells"};
   const auto unknown = file.unknown_keys(known);
   require(unknown.empty(), "sweep config: unknown key '" +
                                (unknown.empty() ? "" : unknown[0]) + "'");
@@ -317,6 +319,9 @@ SweepRunConfig sweep_config_from_keyvalue(const KeyValueFile& file,
       parse_double(file.get_or("degraded_utilization", "1"));
   require(config.degraded_utilization > 0.0,
           "sweep config: degraded_utilization must be > 0");
+  const long long batch_cells = parse_int(file.get_or("batch_cells", "0"));
+  require(batch_cells >= 0, "sweep config: batch_cells must be >= 0");
+  config.batch_cells = static_cast<std::uint32_t>(batch_cells);
 
   const auto list = [&](const char* key) {
     std::vector<std::string> items;

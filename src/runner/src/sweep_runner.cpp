@@ -58,6 +58,15 @@ struct Lane {
   std::size_t end = 0;
 };
 
+/// One schedulable unit: a contiguous run of points through one
+/// backend. count == 1 is the per-cell path (the historical execution);
+/// count > 1 is a batch chunk for a capacity-advertising backend.
+struct Task {
+  std::size_t first_point = 0;
+  std::size_t count = 1;
+  std::size_t backend = 0;
+};
+
 /// Validity guardrails, applied to a cell that evaluated without
 /// throwing: demote results that would silently poison a figure.
 void apply_guardrails(PointResult& cell, const RunnerOptions& options) {
@@ -245,12 +254,129 @@ SweepResult run_sweep(const SweepSpec& spec,
     return true;
   };
 
+  /// One contiguous point-chunk through a backend's batch path. A chunk
+  /// whose cells are all done (resumed) is skipped outright; a chunk
+  /// with any pending cell re-evaluates *every* cell — warm-start
+  /// composition inside the chunk must not depend on journal state —
+  /// but writes only the pending ones, so merged resume output stays
+  /// byte-identical to an uninterrupted run. Returns false when the
+  /// sweep was cancelled mid-chunk.
+  auto run_batch_task = [&](const Task& task, std::uint32_t worker,
+                            std::exception_ptr& fail_fast_error) -> bool {
+    bool any_pending = false;
+    for (std::size_t k = 0; k < task.count && !any_pending; ++k) {
+      any_pending = !done[(task.first_point + k) * n_backends + task.backend];
+    }
+    if (!any_pending) return true;
+
+    util::CancelToken chunk_token(options.cancel);
+    chunk_token.set_deadline_after_ms(options.cell_deadline_ms *
+                                      static_cast<double>(task.count));
+    BatchPointContext ctx;
+    ctx.first_index = result.points[task.first_point].index;
+    ctx.worker = worker;
+    ctx.cancel = &chunk_token;
+
+    std::vector<const analytic::SystemConfig*> configs(task.count);
+    for (std::size_t k = 0; k < task.count; ++k) {
+      configs[k] = &result.points[task.first_point + k].config;
+    }
+    std::vector<PointResult> chunk(task.count);
+
+    obs::WallClockSpan chunk_span(
+        options.trace.get(),
+        result.points[task.first_point].label + " +" +
+            std::to_string(task.count - 1) + " [" +
+            result.backend_names[task.backend] + "]",
+        "runner.batch", 1, worker + 1);
+    bool evaluated = false;
+    try {
+      backends[task.backend]->evaluate_batch(configs.data(), task.count, ctx,
+                                             chunk.data());
+      evaluated = true;
+    } catch (const hmcs::Cancelled&) {
+      return false;  // sweep cancelled; the cells drain as kSkipped
+    } catch (...) {
+      // Chunk deadline, one bad cell, or a backend bug: isolate it by
+      // degrading to the per-cell path below, which re-applies the full
+      // retry/deadline machinery to each pending cell individually.
+      HMCS_OBS_COUNTER_INC("runner.batch.fallbacks");
+    }
+
+    if (evaluated) {
+      HMCS_OBS_COUNTER_INC("runner.batch.calls");
+      HMCS_OBS_COUNTER_ADD("runner.batch.cells", task.count);
+      for (std::size_t k = 0; k < task.count; ++k) {
+        const std::size_t cell =
+            (task.first_point + k) * n_backends + task.backend;
+        if (done[cell]) continue;
+        PointResult& out = result.cells[cell];
+        out = chunk[k];
+        out.status = CellStatus::kOk;
+        out.attempts = 1;
+        out.error.clear();
+        apply_guardrails(out, options);
+        done[cell] = 1;
+        count_terminal_status(out.status);
+        if (options.journal != nullptr) {
+          options.journal->record(
+              cell, result.points[task.first_point + k].seed, out);
+        }
+      }
+      return true;
+    }
+    for (std::size_t k = 0; k < task.count; ++k) {
+      const std::size_t cell =
+          (task.first_point + k) * n_backends + task.backend;
+      if (done[cell]) continue;
+      if (!run_cell(cell, worker, fail_fast_error)) return false;
+      if (fail_fast_error) return true;
+    }
+    return true;
+  };
+
+  // The schedulable task list. With batching off (or for backends with
+  // no batch path) every task is one cell in point-major order, so the
+  // task indices, lane boundaries, and claim order reproduce the
+  // historical per-cell execution exactly. With batching on, a
+  // capacity-advertising backend's points are chunked on fixed
+  // point-aligned boundaries — independent of thread count and resume
+  // state, which keeps results deterministic.
+  const std::size_t n_points = result.points.size();
+  std::vector<std::size_t> chunk_of(n_backends, 1);
+  if (options.batch_cells > 1) {
+    for (std::size_t b = 0; b < n_backends; ++b) {
+      const std::size_t capacity = backends[b]->batch_capacity();
+      if (capacity > 1) {
+        chunk_of[b] = std::min<std::size_t>(options.batch_cells, capacity);
+      }
+    }
+  }
+  std::vector<Task> tasks;
+  tasks.reserve(n_cells);
+  for (std::size_t p = 0; p < n_points; ++p) {
+    for (std::size_t b = 0; b < n_backends; ++b) {
+      if (p % chunk_of[b] != 0) continue;
+      tasks.push_back(Task{p, std::min(chunk_of[b], n_points - p), b});
+    }
+  }
+
+  auto run_task = [&](const Task& task, std::uint32_t worker,
+                      std::exception_ptr& fail_fast_error) -> bool {
+    if (task.count == 1) {
+      const std::size_t cell = task.first_point * n_backends + task.backend;
+      if (done[cell]) return true;  // completed in the resumed journal
+      return run_cell(cell, worker, fail_fast_error);
+    }
+    return run_batch_task(task, worker, fail_fast_error);
+  };
+
   std::uint32_t threads =
       options.threads != 0
           ? options.threads
           : std::max(1u, std::thread::hardware_concurrency());
   threads = static_cast<std::uint32_t>(
-      std::min<std::size_t>(threads, n_cells));
+      std::min<std::size_t>(threads, tasks.size()));
 
   // Static block partition into per-worker lanes; finished workers
   // steal from the tail of the busiest survivors. The cheap analytic
@@ -258,8 +384,8 @@ SweepResult run_sweep(const SweepSpec& spec,
   // expensive DES/fabric cells.
   std::vector<Lane> lanes(threads);
   for (std::uint32_t w = 0; w < threads; ++w) {
-    lanes[w].next.store(n_cells * w / threads, std::memory_order_relaxed);
-    lanes[w].end = n_cells * (w + 1) / threads;
+    lanes[w].next.store(tasks.size() * w / threads, std::memory_order_relaxed);
+    lanes[w].end = tasks.size() * (w + 1) / threads;
   }
 
   std::atomic<bool> failed{false};
@@ -271,11 +397,10 @@ SweepResult run_sweep(const SweepSpec& spec,
     for (std::uint32_t victim = 0; victim < threads; ++victim) {
       Lane& lane = lanes[(w + victim) % threads];
       while (!failed.load(std::memory_order_relaxed) && !sweep_cancelled()) {
-        const std::size_t cell =
+        const std::size_t task =
             lane.next.fetch_add(1, std::memory_order_relaxed);
-        if (cell >= lane.end) break;
-        if (done[cell]) continue;  // completed in the resumed journal
-        if (!run_cell(cell, w, fail_fast_error)) return;  // cancelled
+        if (task >= lane.end) break;
+        if (!run_task(tasks[task], w, fail_fast_error)) return;  // cancelled
         if (fail_fast_error) {
           const std::scoped_lock lock(error_mutex);
           if (!first_error) first_error = fail_fast_error;

@@ -1,0 +1,279 @@
+// The batched Backend path (Backend::evaluate_batch + RunnerOptions::
+// batch_cells): a batched analytic sweep is bit-identical to the
+// per-cell run — values, statuses, attempts — at any chunk size and
+// thread count; chunks containing resumed cells write only the pending
+// ones; a failing chunk falls back to per-cell predict() with full
+// error isolation; and chunk deadlines bound batched exact-MVA cells.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hmcs/runner/journal.hpp"
+#include "hmcs/runner/sweep_runner.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using namespace hmcs;
+using runner::AnalyticBackend;
+using runner::Backend;
+using runner::BatchPointContext;
+using runner::CellStatus;
+using runner::FailurePolicy;
+using runner::PointContext;
+using runner::PointResult;
+using runner::RunnerOptions;
+using runner::SweepResult;
+using runner::SweepSpec;
+
+/// One cluster size, a rate axis from idle through deep saturation —
+/// the grid where statuses actually vary (kOk and kDegraded cells).
+SweepSpec rate_spec() {
+  SweepSpec spec;
+  spec.id = "batch";
+  spec.axes.clusters = {16};
+  spec.axes.lambda_per_us = {0.0,    1e-4,   2e-4,   4e-4,   6e-4,  8e-4,
+                             1.2e-3, 1.6e-3, 2.4e-3, 3.2e-3, 4e-3,  5e-3};
+  spec.base_seed = 7;
+  return spec;
+}
+
+void expect_identical_cells(const SweepResult& a, const SweepResult& b,
+                            const char* what) {
+  ASSERT_EQ(a.cells.size(), b.cells.size()) << what;
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    const PointResult& x = a.cells[i];
+    const PointResult& y = b.cells[i];
+    EXPECT_EQ(x.mean_latency_us, y.mean_latency_us) << what << " cell " << i;
+    EXPECT_EQ(x.ci_half_us, y.ci_half_us) << what << " cell " << i;
+    EXPECT_EQ(x.lambda_offered, y.lambda_offered) << what << " cell " << i;
+    EXPECT_EQ(x.lambda_effective, y.lambda_effective)
+        << what << " cell " << i;
+    EXPECT_EQ(x.converged, y.converged) << what << " cell " << i;
+    EXPECT_EQ(x.max_center_utilization, y.max_center_utilization)
+        << what << " cell " << i;
+    EXPECT_EQ(x.status, y.status) << what << " cell " << i;
+    EXPECT_EQ(x.attempts, y.attempts) << what << " cell " << i;
+    EXPECT_EQ(x.error, y.error) << what << " cell " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Bit-identity: batching is an execution detail, not a model change.
+// The default AnalyticBackend runs the batch path with warm starts off,
+// so every chunk size reproduces the per-cell sweep exactly — including
+// the kDegraded statuses of the non-converged saturated cells.
+
+TEST(BatchBackend, BatchedSweepIsBitIdenticalToScalarForEveryMethod) {
+  const analytic::SourceThrottling methods[] = {
+      analytic::SourceThrottling::kNone, analytic::SourceThrottling::kPicard,
+      analytic::SourceThrottling::kBisection,
+      analytic::SourceThrottling::kExactMva};
+  for (const analytic::SourceThrottling method : methods) {
+    analytic::ModelOptions model;
+    model.fixed_point.method = method;
+    const auto backend = std::make_shared<AnalyticBackend>(model);
+
+    RunnerOptions scalar;
+    scalar.threads = 2;
+    scalar.on_error = FailurePolicy::kCollectAll;
+    const SweepResult reference = run_sweep(rate_spec(), {backend}, scalar);
+
+    // Chunk sizes that divide the 12 points, leave a ragged tail, and
+    // exceed the grid.
+    for (const std::uint32_t chunk : {2u, 5u, 8u, 64u}) {
+      RunnerOptions batched = scalar;
+      batched.batch_cells = chunk;
+      const SweepResult result = run_sweep(rate_spec(), {backend}, batched);
+      expect_identical_cells(reference, result, "chunk");
+    }
+  }
+}
+
+TEST(BatchBackend, BatchedSweepIsThreadCountInvariant) {
+  // Picard leaves the saturated tail non-converged, so the grid carries
+  // both kOk and kDegraded cells through the comparison.
+  analytic::ModelOptions model;
+  model.fixed_point.method = analytic::SourceThrottling::kPicard;
+  const auto backend = std::make_shared<AnalyticBackend>(model);
+  SweepResult reference;
+  for (const std::uint32_t threads : {1u, 4u}) {
+    RunnerOptions options;
+    options.threads = threads;
+    options.batch_cells = 4;
+    options.on_error = FailurePolicy::kCollectAll;
+    const SweepResult result = run_sweep(rate_spec(), {backend}, options);
+    if (threads == 1u) {
+      reference = result;
+      // The saturated tail must actually exercise the degraded path.
+      EXPECT_GT(result.count_status(CellStatus::kDegraded), 0u);
+    } else {
+      expect_identical_cells(reference, result, "threads");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Resume: chunk boundaries live in point-index space, so a chunk that
+// contains journaled cells re-evaluates but writes only the pending
+// ones — the merged result stays bit-identical to the uninterrupted run.
+
+std::string temp_path(const std::string& leaf) {
+  return ::testing::TempDir() + leaf;
+}
+
+TEST(BatchBackend, ResumedBatchedSweepMergesBitIdentically) {
+  const SweepSpec spec = rate_spec();
+  const auto backend = std::make_shared<AnalyticBackend>();
+
+  RunnerOptions scalar;
+  scalar.threads = 1;
+  scalar.on_error = FailurePolicy::kCollectAll;
+  const SweepResult reference = run_sweep(spec, {backend}, scalar);
+
+  // Journal only the even cells, as an interrupted run would have.
+  const std::string path = temp_path("hmcs_batch_resume.jsonl");
+  runner::JournalWriter::Shape shape;
+  shape.id = spec.id;
+  shape.points = reference.points.size();
+  shape.backend_names = reference.backend_names;
+  {
+    runner::JournalWriter writer(path, shape, /*append=*/false);
+    for (std::size_t p = 0; p < reference.points.size(); p += 2) {
+      writer.record(p, reference.points[p].seed, reference.cells[p]);
+    }
+  }
+  const runner::SweepJournal journal = runner::load_sweep_journal(path);
+  ASSERT_EQ(journal.completed(), (reference.points.size() + 1) / 2);
+
+  RunnerOptions resumed = scalar;
+  resumed.batch_cells = 8;
+  resumed.resume = &journal;
+  const SweepResult merged = run_sweep(spec, {backend}, resumed);
+  expect_identical_cells(reference, merged, "resume");
+}
+
+// ---------------------------------------------------------------------
+// Fallback: a throwing evaluate_batch fails the whole chunk, and the
+// runner re-runs its pending cells through the per-cell machinery —
+// with per-cell error isolation intact.
+
+class FallbackProbeBackend : public Backend {
+ public:
+  explicit FallbackProbeBackend(int poison_index = -1)
+      : poison_(poison_index) {}
+
+  const std::string& name() const override { return name_; }
+  std::size_t batch_capacity() const override { return 64; }
+
+  PointResult predict(const analytic::SystemConfig&,
+                      const PointContext& ctx) const override {
+    if (static_cast<int>(ctx.index) == poison_) {
+      throw hmcs::ConfigError("poisoned point");
+    }
+    PointResult result;
+    result.mean_latency_us = 100.0 + static_cast<double>(ctx.index);
+    return result;
+  }
+
+  void evaluate_batch(const analytic::SystemConfig* const*, std::size_t,
+                      const BatchPointContext&, PointResult*) const override {
+    throw hmcs::LogicError("batch path rejected");
+  }
+
+ private:
+  int poison_;
+  std::string name_ = "probe";
+};
+
+SweepSpec probe_spec() {
+  SweepSpec spec;
+  spec.id = "probe";
+  spec.axes.clusters = {1, 2, 4, 8};
+  spec.axes.message_bytes = {1024.0, 512.0};
+  spec.base_seed = 11;
+  return spec;
+}
+
+TEST(BatchBackend, FailingChunkFallsBackToPerCellEvaluation) {
+  RunnerOptions options;
+  options.threads = 2;
+  options.batch_cells = 4;
+  const SweepResult result =
+      run_sweep(probe_spec(), {std::make_shared<FallbackProbeBackend>()},
+                options);
+  ASSERT_EQ(result.cells.size(), 8u);
+  for (std::size_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(result.at(p, 0).status, CellStatus::kOk) << p;
+    EXPECT_EQ(result.at(p, 0).mean_latency_us,
+              100.0 + static_cast<double>(p));
+    EXPECT_EQ(result.at(p, 0).attempts, 1u);
+  }
+}
+
+TEST(BatchBackend, FallbackPreservesPerCellErrorIsolation) {
+  RunnerOptions options;
+  options.threads = 1;
+  options.batch_cells = 8;  // one chunk holding the poisoned cell
+  options.on_error = FailurePolicy::kCollectAll;
+  const SweepResult result = run_sweep(
+      probe_spec(), {std::make_shared<FallbackProbeBackend>(3)}, options);
+  EXPECT_EQ(result.at(3, 0).status, CellStatus::kFailed);
+  EXPECT_NE(result.at(3, 0).error.find("poisoned point"), std::string::npos);
+  for (const std::size_t p : {0u, 1u, 2u, 4u, 5u, 6u, 7u}) {
+    EXPECT_EQ(result.at(p, 0).status, CellStatus::kOk) << p;
+  }
+}
+
+TEST(BatchBackend, DefaultEvaluateBatchIsALogicError) {
+  // Backends that never advertise batch_capacity() > 1 keep the base
+  // implementation, which refuses to run.
+  class PredictOnlyBackend : public Backend {
+   public:
+    const std::string& name() const override { return name_; }
+    PointResult predict(const analytic::SystemConfig&,
+                        const PointContext&) const override {
+      return {};
+    }
+
+   private:
+    std::string name_ = "predict-only";
+  };
+  PredictOnlyBackend backend;
+  EXPECT_EQ(backend.batch_capacity(), 1u);
+  EXPECT_THROW(backend.evaluate_batch(nullptr, 0, {}, nullptr),
+               hmcs::LogicError);
+}
+
+// ---------------------------------------------------------------------
+// Deadlines: the chunk token (cell budget × chunk size) is threaded
+// into the solver, so even population-2^20 exact-MVA cells unwind as
+// kTimedOut — on the batched path and the per-cell path alike.
+
+TEST(BatchBackend, DeadlineBoundsExactMvaCellsOnBothPaths) {
+  SweepSpec spec;
+  spec.id = "mva-deadline";
+  spec.total_nodes = 1u << 20;
+  spec.axes.clusters = {1024};
+  spec.axes.lambda_per_us = {1e-4, 2e-4, 3e-4, 4e-4};
+  analytic::ModelOptions model;
+  model.fixed_point.method = analytic::SourceThrottling::kExactMva;
+  const auto backend = std::make_shared<AnalyticBackend>(model);
+
+  for (const std::uint32_t chunk : {0u, 3u}) {
+    RunnerOptions options;
+    options.threads = 1;
+    options.batch_cells = chunk;
+    options.cell_deadline_ms = 1e-3;
+    options.on_error = FailurePolicy::kCollectAll;
+    const SweepResult result = run_sweep(spec, {backend}, options);
+    EXPECT_EQ(result.count_status(CellStatus::kTimedOut), 4u)
+        << "batch_cells=" << chunk;
+  }
+}
+
+}  // namespace

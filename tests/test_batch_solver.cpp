@@ -1,0 +1,307 @@
+// Structure-of-arrays batch solver (batch_solver.hpp): cold-path
+// bit-identity with the scalar fixed-point solver for every
+// SourceThrottling method over a dense rate grid (idle, light,
+// saturated cells), the warm-start tolerance contract, topology
+// grouping in predict_latency_batch, and cancellation/deadline
+// unwinding.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hmcs/analytic/batch_solver.hpp"
+#include "hmcs/analytic/fixed_point.hpp"
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/network_tech.hpp"
+#include "hmcs/analytic/service_time.hpp"
+#include "hmcs/util/cancel.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using namespace hmcs::analytic;
+
+SystemConfig make_config(std::uint32_t clusters,
+                         std::uint32_t nodes_per_cluster) {
+  SystemConfig config;
+  config.clusters = clusters;
+  config.nodes_per_cluster = nodes_per_cluster;
+  config.icn1 = gigabit_ethernet();
+  config.ecn1 = fast_ethernet();
+  config.icn2 = gigabit_ethernet();
+  return config;
+}
+
+/// Idle cell, then a ramp from light load through deep saturation of
+/// the ECN1 centre — the mix every equivalence test runs over. The tail
+/// cells are far past saturation, where the Picard recurrence
+/// oscillates and never converges.
+std::vector<double> dense_rates() {
+  std::vector<double> rates{0.0, 1e-5, 2e-5, 5e-5};  // Picard-friendly
+  for (int i = 1; i <= 48; ++i) {
+    rates.push_back(5e-3 * static_cast<double>(i) / 48.0);
+  }
+  return rates;
+}
+
+const SourceThrottling kAllMethods[] = {
+    SourceThrottling::kNone, SourceThrottling::kPicard,
+    SourceThrottling::kBisection, SourceThrottling::kExactMva};
+
+const char* method_name(SourceThrottling method) {
+  switch (method) {
+    case SourceThrottling::kNone: return "none";
+    case SourceThrottling::kPicard: return "picard";
+    case SourceThrottling::kBisection: return "bisection";
+    case SourceThrottling::kExactMva: return "mva";
+  }
+  return "?";
+}
+
+double rel_error(double a, double b) {
+  const double denom = std::max(std::fabs(a), std::fabs(b));
+  return denom > 0.0 ? std::fabs(a - b) / denom : 0.0;
+}
+
+// ---------------------------------------------------------------------
+// Cold path: with warm starts off the batch solver's per-cell iterate
+// sequence is arithmetic-identical to the scalar solver's, so every
+// field matches bitwise — converged or not.
+
+TEST(BatchSolver, ColdPathIsBitIdenticalForEveryMethod) {
+  RateGrid grid;
+  grid.base = make_config(16, 8);
+  grid.rates_per_us = dense_rates();
+  const CenterServiceTimes service = center_service_times(grid.base);
+
+  for (const SourceThrottling method : kAllMethods) {
+    FixedPointOptions options;
+    options.method = method;
+    const std::vector<FixedPointResult> batch =
+        solve_effective_rate_batch(grid, options, BatchOptions{false});
+    ASSERT_EQ(batch.size(), grid.rates_per_us.size());
+
+    for (std::size_t i = 0; i < grid.rates_per_us.size(); ++i) {
+      SystemConfig cell = grid.base;
+      cell.generation_rate_per_us = grid.rates_per_us[i];
+      const FixedPointResult scalar =
+          solve_effective_rate(cell, service, options);
+      EXPECT_EQ(batch[i].lambda_effective, scalar.lambda_effective)
+          << method_name(method) << " cell " << i;
+      EXPECT_EQ(batch[i].total_queue_length, scalar.total_queue_length)
+          << method_name(method) << " cell " << i;
+      EXPECT_EQ(batch[i].iterations, scalar.iterations)
+          << method_name(method) << " cell " << i;
+      EXPECT_EQ(batch[i].converged, scalar.converged)
+          << method_name(method) << " cell " << i;
+    }
+  }
+}
+
+TEST(BatchSolver, ColdPathHonoursNonDefaultSolverKnobs) {
+  RateGrid grid;
+  grid.base = make_config(8, 4);
+  grid.rates_per_us = dense_rates();
+  const CenterServiceTimes service = center_service_times(grid.base);
+
+  FixedPointOptions options;
+  options.method = SourceThrottling::kPicard;
+  options.picard_damping = 1.0;  // the paper's undamped recurrence
+  options.queue_rule = QueueLengthRule::kConsistent;
+  options.service_cv2 = 0.0;  // deterministic service
+  options.tolerance = 1e-9;
+  options.max_iterations = 50;
+
+  const std::vector<FixedPointResult> batch =
+      solve_effective_rate_batch(grid, options, BatchOptions{false});
+  for (std::size_t i = 0; i < grid.rates_per_us.size(); ++i) {
+    SystemConfig cell = grid.base;
+    cell.generation_rate_per_us = grid.rates_per_us[i];
+    const FixedPointResult scalar =
+        solve_effective_rate(cell, service, options);
+    EXPECT_EQ(batch[i].lambda_effective, scalar.lambda_effective) << i;
+    EXPECT_EQ(batch[i].iterations, scalar.iterations) << i;
+    EXPECT_EQ(batch[i].converged, scalar.converged) << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Warm starts change the iterate trajectory, not the fixed point:
+// converged cells agree with the scalar solver within the solver
+// tolerance. (Non-converged cells are trajectory-dependent, by design.)
+
+TEST(BatchSolver, WarmStartAgreesOnConvergedCells) {
+  RateGrid grid;
+  grid.base = make_config(16, 8);
+  grid.rates_per_us = dense_rates();
+  const CenterServiceTimes service = center_service_times(grid.base);
+
+  for (const SourceThrottling method : kAllMethods) {
+    FixedPointOptions options;
+    options.method = method;
+    const std::vector<FixedPointResult> batch =
+        solve_effective_rate_batch(grid, options, BatchOptions{true});
+
+    std::size_t compared = 0;
+    for (std::size_t i = 0; i < grid.rates_per_us.size(); ++i) {
+      SystemConfig cell = grid.base;
+      cell.generation_rate_per_us = grid.rates_per_us[i];
+      const FixedPointResult scalar =
+          solve_effective_rate(cell, service, options);
+      if (!scalar.converged || !batch[i].converged) continue;
+      ++compared;
+      EXPECT_LE(rel_error(batch[i].lambda_effective, scalar.lambda_effective),
+                1e-8)
+          << method_name(method) << " cell " << i;
+    }
+    // Every method converges at least on the idle and light-load cells.
+    EXPECT_GE(compared, 2u) << method_name(method);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Structural cases.
+
+TEST(BatchSolver, ZeroRateCellsShortCircuit) {
+  RateGrid grid;
+  grid.base = make_config(4, 4);
+  grid.rates_per_us = {0.0, 0.0, 1e-4, 0.0};
+  for (const SourceThrottling method : kAllMethods) {
+    FixedPointOptions options;
+    options.method = method;
+    const std::vector<FixedPointResult> batch =
+        solve_effective_rate_batch(grid, options);
+    for (const std::size_t i : {0u, 1u, 3u}) {
+      EXPECT_EQ(batch[i].lambda_effective, 0.0) << method_name(method);
+      EXPECT_EQ(batch[i].total_queue_length, 0.0) << method_name(method);
+      EXPECT_EQ(batch[i].iterations, 0u) << method_name(method);
+      EXPECT_TRUE(batch[i].converged) << method_name(method);
+    }
+    EXPECT_GT(batch[2].lambda_effective, 0.0) << method_name(method);
+  }
+}
+
+TEST(BatchSolver, EmptyGridReturnsEmpty) {
+  RateGrid grid;
+  grid.base = make_config(4, 4);
+  EXPECT_TRUE(solve_effective_rate_batch(grid).empty());
+}
+
+TEST(BatchSolver, RejectsInvalidCellRates) {
+  RateGrid grid;
+  grid.base = make_config(4, 4);
+  grid.rates_per_us = {1e-4, -1e-4};
+  EXPECT_THROW(solve_effective_rate_batch(grid), hmcs::ConfigError);
+  grid.rates_per_us = {std::nan("")};
+  EXPECT_THROW(solve_effective_rate_batch(grid), hmcs::ConfigError);
+}
+
+TEST(BatchSolver, MvaIterationsReportPopulationSteps) {
+  // The exact-MVA path reports one recursion step per customer; the
+  // field is 64-bit so total_nodes >= 2^32 cannot truncate.
+  static_assert(sizeof(FixedPointResult{}.iterations) == 8);
+  RateGrid grid;
+  grid.base = make_config(4, 8);  // 32 nodes
+  grid.rates_per_us = {1e-4, 2e-4};
+  FixedPointOptions options;
+  options.method = SourceThrottling::kExactMva;
+  const std::vector<FixedPointResult> batch =
+      solve_effective_rate_batch(grid, options);
+  EXPECT_EQ(batch[0].iterations, 32u);
+  EXPECT_EQ(batch[1].iterations, 32u);
+}
+
+// ---------------------------------------------------------------------
+// predict_latency_batch: contiguous same-topology runs are grouped; the
+// per-cell epilogue is shared with predict_latency, so the cold batch
+// is bit-identical cell for cell across mixed-topology inputs —
+// including singleton groups and the kExactMva path.
+
+TEST(BatchSolver, PredictBatchMatchesScalarAcrossMixedTopologies) {
+  const SystemConfig small = make_config(4, 8);
+  const SystemConfig large = make_config(16, 8);
+  SystemConfig big_message = small;
+  big_message.message_bytes = 4096.0;
+
+  std::vector<SystemConfig> configs;
+  for (int i = 0; i < 10; ++i) {  // group longer than kWarmStride
+    SystemConfig cell = small;
+    cell.generation_rate_per_us = 1e-4 * static_cast<double>(i);
+    configs.push_back(cell);
+  }
+  for (int i = 0; i < 3; ++i) {
+    SystemConfig cell = large;
+    cell.generation_rate_per_us = 5e-5 * static_cast<double>(i + 1);
+    configs.push_back(cell);
+  }
+  configs.push_back(big_message);  // singleton group
+  configs.push_back(small);       // regrouping after the singleton
+
+  for (const SourceThrottling method : kAllMethods) {
+    ModelOptions options;
+    options.fixed_point.method = method;
+    const std::vector<LatencyPrediction> batch =
+        predict_latency_batch(configs, options, BatchOptions{false});
+    ASSERT_EQ(batch.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const LatencyPrediction scalar = predict_latency(configs[i], options);
+      EXPECT_EQ(batch[i].mean_latency_us, scalar.mean_latency_us)
+          << method_name(method) << " cell " << i;
+      EXPECT_EQ(batch[i].lambda_offered, scalar.lambda_offered);
+      EXPECT_EQ(batch[i].lambda_effective, scalar.lambda_effective);
+      EXPECT_EQ(batch[i].total_queue_length, scalar.total_queue_length);
+      EXPECT_EQ(batch[i].fixed_point_converged,
+                scalar.fixed_point_converged);
+      EXPECT_EQ(batch[i].fixed_point_iterations,
+                scalar.fixed_point_iterations);
+      EXPECT_EQ(batch[i].icn1.response_time_us, scalar.icn1.response_time_us);
+      EXPECT_EQ(batch[i].ecn1.queue_length, scalar.ecn1.queue_length);
+      EXPECT_EQ(batch[i].icn2.utilization, scalar.icn2.utilization);
+    }
+  }
+}
+
+TEST(BatchSolver, PredictBatchValidatesEveryCell) {
+  SystemConfig bad = make_config(4, 4);
+  bad.generation_rate_per_us = -1.0;
+  std::vector<SystemConfig> configs{make_config(4, 4), bad};
+  EXPECT_THROW(predict_latency_batch(configs), hmcs::ConfigError);
+}
+
+// ---------------------------------------------------------------------
+// Cancellation: the batch solvers poll FixedPointOptions::cancel like
+// their scalar counterparts, so per-cell deadlines bound even
+// population-2^20 MVA batches.
+
+TEST(BatchSolver, CancelledTokenUnwindsTheLockstepSolvers) {
+  RateGrid grid;
+  grid.base = make_config(16, 8);
+  grid.rates_per_us = dense_rates();
+  hmcs::util::CancelToken token;
+  token.cancel();
+  for (const SourceThrottling method :
+       {SourceThrottling::kPicard, SourceThrottling::kBisection,
+        SourceThrottling::kExactMva}) {
+    FixedPointOptions options;
+    options.method = method;
+    options.cancel = &token;
+    EXPECT_THROW(solve_effective_rate_batch(grid, options), hmcs::Cancelled)
+        << method_name(method);
+  }
+}
+
+TEST(BatchSolver, DeadlineBoundsTheMvaBatch) {
+  RateGrid grid;
+  grid.base = make_config(1024, 1024);  // total_nodes = 2^20
+  grid.rates_per_us = {1e-4, 2e-4, 3e-4};
+  hmcs::util::CancelToken token;
+  token.set_deadline_after_ms(1e-6);
+  FixedPointOptions options;
+  options.method = SourceThrottling::kExactMva;
+  options.cancel = &token;
+  EXPECT_THROW(solve_effective_rate_batch(grid, options),
+               hmcs::DeadlineExceeded);
+}
+
+}  // namespace

@@ -4,10 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <random>
 
 #include "hmcs/analytic/mva.hpp"
 #include "hmcs/analytic/scenario.hpp"
 #include "hmcs/analytic/service_time.hpp"
+#include "hmcs/util/cancel.hpp"
 #include "hmcs/util/error.hpp"
 
 namespace {
@@ -207,6 +210,130 @@ TEST(Mva, Validation) {
   EXPECT_THROW(solve_closed_mva({{1.0, 1.0}}, 1.0, 0), hmcs::ConfigError);
   EXPECT_THROW(solve_closed_mva({{-1.0, 1.0}}, 1.0, 10), hmcs::ConfigError);
   EXPECT_THROW(solve_closed_mva({{1.0, 0.0}}, 1.0, 10), hmcs::ConfigError);
+}
+
+// --- Station-class collapse ------------------------------------------------
+
+/// Expands a class list into the equivalent flat station list.
+std::vector<MvaStation> expand_classes(
+    const std::vector<MvaStationClass>& classes) {
+  std::vector<MvaStation> stations;
+  for (const MvaStationClass& cls : classes) {
+    for (std::uint64_t i = 0; i < cls.multiplicity; ++i) {
+      stations.push_back(MvaStation{cls.visit_ratio, cls.service_rate});
+    }
+  }
+  return stations;
+}
+
+double rel_diff(double a, double b) {
+  const double denom = std::max(std::fabs(a), std::fabs(b));
+  return denom > 0.0 ? std::fabs(a - b) / denom : 0.0;
+}
+
+TEST(MvaClasses, CollapseMatchesScalarOnRandomizedNetworks) {
+  // Property: the class recursion is the scalar recursion with identical
+  // stations deduplicated, so every observable agrees to rounding
+  // (<= 1e-12 relative; only the cycle-sum association differs).
+  std::mt19937_64 rng(20260807);
+  std::uniform_real_distribution<double> visit(0.05, 2.0);
+  std::uniform_real_distribution<double> mu(0.005, 1.0);
+  std::uniform_real_distribution<double> think(0.0, 200.0);
+  std::uniform_int_distribution<int> n_classes(1, 4);
+  std::uniform_int_distribution<std::uint64_t> multiplicity(1, 6);
+  std::uniform_int_distribution<std::uint64_t> population(1, 80);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<MvaStationClass> classes;
+    const int k = n_classes(rng);
+    for (int c = 0; c < k; ++c) {
+      classes.push_back(
+          MvaStationClass{visit(rng), mu(rng), multiplicity(rng)});
+    }
+    const double z = think(rng);
+    const std::uint64_t n = population(rng);
+
+    const MvaResult scalar = solve_closed_mva(expand_classes(classes), z, n);
+    const MvaClassResult collapsed = solve_closed_mva_classes(classes, z, n);
+
+    EXPECT_LE(rel_diff(scalar.throughput, collapsed.throughput), 1e-12);
+    EXPECT_LE(rel_diff(scalar.total_residence_us,
+                       collapsed.total_residence_us),
+              1e-12);
+    std::size_t station = 0;
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      for (std::uint64_t i = 0; i < classes[c].multiplicity; ++i, ++station) {
+        EXPECT_LE(rel_diff(scalar.response_time_us[station],
+                           collapsed.response_time_us[c]),
+                  1e-12);
+        EXPECT_LE(rel_diff(scalar.queue_length[station],
+                           collapsed.queue_length[c]),
+                  1e-12);
+      }
+    }
+  }
+}
+
+TEST(MvaClasses, HmcsClassLayoutMatchesStationLayout) {
+  const SystemConfig config =
+      paper_scenario(HeterogeneityCase::kCase1, 8,
+                     NetworkArchitecture::kNonBlocking, 1024.0);
+  const CenterServiceTimes service = center_service_times(config);
+  const double think = 1.0 / config.generation_rate_per_us;
+
+  const HmcsMvaLayout stations = build_hmcs_mva_layout(config, service);
+  const HmcsMvaClassLayout classes =
+      build_hmcs_mva_class_layout(config, service);
+  ASSERT_EQ(classes.classes.size(), 3u);
+  EXPECT_EQ(classes.classes[classes.icn1_class].multiplicity,
+            config.clusters);
+  EXPECT_EQ(classes.classes[classes.ecn1_class].multiplicity,
+            config.clusters);
+  EXPECT_EQ(classes.classes[classes.icn2_class].multiplicity, 1u);
+
+  const MvaResult by_station =
+      solve_closed_mva(stations.stations, think, config.total_nodes());
+  const MvaClassResult by_class = solve_closed_mva_classes(
+      classes.classes, think, config.total_nodes());
+
+  EXPECT_LE(rel_diff(by_station.throughput, by_class.throughput), 1e-12);
+  EXPECT_LE(rel_diff(by_station.response_time_us[stations.icn1_index],
+                     by_class.response_time_us[classes.icn1_class]),
+            1e-12);
+  EXPECT_LE(rel_diff(by_station.response_time_us[stations.ecn1_index],
+                     by_class.response_time_us[classes.ecn1_class]),
+            1e-12);
+  EXPECT_LE(rel_diff(by_station.response_time_us[stations.icn2_index],
+                     by_class.response_time_us[classes.icn2_class]),
+            1e-12);
+}
+
+TEST(MvaClasses, CancelTokenUnwindsTheRecursion) {
+  const std::vector<MvaStationClass> classes{{1.0, 0.5, 4}};
+  hmcs::util::CancelToken token;
+  token.cancel();
+  EXPECT_THROW(solve_closed_mva_classes(classes, 10.0, 100000, &token),
+               hmcs::Cancelled);
+
+  hmcs::util::CancelToken deadline;
+  deadline.set_deadline_after_ms(1e-6);
+  EXPECT_THROW(solve_closed_mva_classes(classes, 10.0, 1u << 24, &deadline),
+               hmcs::DeadlineExceeded);
+  // The scalar recursion polls the same token.
+  EXPECT_THROW(
+      solve_closed_mva(expand_classes(classes), 10.0, 1u << 24, &deadline),
+      hmcs::DeadlineExceeded);
+}
+
+TEST(MvaClasses, Validation) {
+  EXPECT_THROW(solve_closed_mva_classes({{1.0, 1.0, 0}}, 1.0, 10),
+               hmcs::ConfigError);
+  EXPECT_THROW(solve_closed_mva_classes({{1.0, 0.0, 1}}, 1.0, 10),
+               hmcs::ConfigError);
+  EXPECT_THROW(solve_closed_mva_classes({{-1.0, 1.0, 1}}, 1.0, 10),
+               hmcs::ConfigError);
+  EXPECT_THROW(solve_closed_mva_classes({{1.0, 1.0, 1}}, 1.0, 0),
+               hmcs::ConfigError);
 }
 
 }  // namespace

@@ -66,6 +66,8 @@ int main(int argc, char** argv) {
                             "config when given)", "");
   cli.add_option("deadline-ms", "per-cell wall-clock budget in ms, 0 = "
                                 "none (overrides the config when given)", "");
+  cli.add_option("batch", "cells per batched backend call, 0 = per-cell "
+                          "(overrides the config when given)", "");
   cli.add_option("obs-out", "directory for observability artifacts "
                             "(metrics.json, metrics.csv, trace.json)", "");
   cli.add_option("obs-sample-us",
@@ -95,6 +97,7 @@ int main(int argc, char** argv) {
     options.max_attempts = run.max_attempts;
     options.cell_deadline_ms = run.cell_deadline_ms;
     options.degraded_utilization = run.degraded_utilization;
+    options.batch_cells = run.batch_cells;
     if (!cli.get_string("threads").empty()) {
       options.threads = static_cast<std::uint32_t>(cli.get_uint("threads"));
     }
@@ -111,6 +114,9 @@ int main(int argc, char** argv) {
       options.cell_deadline_ms = cli.get_double("deadline-ms");
       require(options.cell_deadline_ms >= 0.0,
               "hmcs_run: --deadline-ms must be >= 0");
+    }
+    if (!cli.get_string("batch").empty()) {
+      options.batch_cells = static_cast<std::uint32_t>(cli.get_uint("batch"));
     }
     std::shared_ptr<obs::TraceSession> trace;
     if (!obs_dir.empty()) {
