@@ -168,8 +168,12 @@ int main(int argc, char** argv) try {
   json.key("model").value(model);
   json.key("cold_p50_us").value(cold_p50);
   json.key("cold_p95_us").value(percentile(cold_us, 0.95));
+  json.key("cold_p99_us").value(percentile(cold_us, 0.99));
+  json.key("cold_max_us").value(percentile(cold_us, 1.0));
   json.key("warm_p50_us").value(warm_p50);
   json.key("warm_p95_us").value(percentile(warm_us, 0.95));
+  json.key("warm_p99_us").value(percentile(warm_us, 0.99));
+  json.key("warm_max_us").value(percentile(warm_us, 1.0));
   json.key("warm_speedup_p50").value(speedup);
   json.key("warm_requests_per_second").value(warm_per_second);
   json.key("cache_hits").value(cache.hits);

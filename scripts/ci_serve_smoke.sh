@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the model-as-a-service daemon (docs/SERVING.md):
-# start hmcs_serve on an ephemeral port, drive a mixed cold/warm/
-# malformed workload with hmcs_loadgen asserting the cache hit rate,
-# the warm/cold speedup, and cold/cached byte-identity, then SIGINT the
-# daemon and require a clean drain (exit 130).
+# start hmcs_serve on an ephemeral port with a structured access log,
+# drive a mixed cold/warm/malformed workload with hmcs_loadgen asserting
+# the cache hit rate, the warm/cold speedup, and cold/cached
+# byte-identity, scrape one Prometheus exposition with hmcs_top and
+# check it is well-formed, then SIGINT the daemon, require a clean drain
+# (exit 130), and verify the access log captured the workload.
 #
-# Usage: scripts/ci_serve_smoke.sh [path/to/hmcs_serve] [path/to/hmcs_loadgen]
+# Usage: scripts/ci_serve_smoke.sh [hmcs_serve] [hmcs_loadgen] [hmcs_top]
 set -euo pipefail
 
 HMCS_SERVE=${1:-./build/tools/hmcs_serve}
 HMCS_LOADGEN=${2:-./build/tools/hmcs_loadgen}
+HMCS_TOP=${3:-./build/tools/hmcs_top}
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
 echo "== starting daemon =="
-"$HMCS_SERVE" --port 0 --queue-limit 256 \
+"$HMCS_SERVE" --port 0 --queue-limit 256 --access-log "$WORK/access.log" \
   > "$WORK/serve.out" 2> "$WORK/serve.err" &
 serve_pid=$!
 
@@ -42,6 +45,32 @@ echo "== mixed cold/warm/malformed workload =="
   --malformed 4 --min-hit-rate 0.85 --min-warm-speedup 50 \
   | tee "$WORK/loadgen.json"
 
+echo "== prometheus exposition =="
+"$HMCS_TOP" --port "$port" --metrics > "$WORK/metrics.txt"
+grep -q '^# TYPE serve_cache_hits counter$' "$WORK/metrics.txt" || {
+  echo "FAIL: exposition is missing the serve_cache_hits TYPE line" >&2
+  head -40 "$WORK/metrics.txt" >&2
+  exit 1
+}
+hits=$(awk '$1 == "serve_cache_hits" {print $2}' "$WORK/metrics.txt")
+if [ -z "$hits" ] || [ "$hits" -le 0 ]; then
+  echo "FAIL: serve_cache_hits is '$hits', expected > 0 after warm rounds" >&2
+  exit 1
+fi
+grep -q 'serve_request_wall_time_seconds_bucket{le="+Inf"}' \
+  "$WORK/metrics.txt" || {
+  echo "FAIL: request-latency histogram has no +Inf bucket" >&2
+  exit 1
+}
+echo "exposition ok: serve_cache_hits=$hits"
+
+echo "== live dashboard snapshot =="
+"$HMCS_TOP" --port "$port" --iterations 1 | tee "$WORK/top.txt"
+grep -q '^latency ' "$WORK/top.txt" || {
+  echo "FAIL: hmcs_top snapshot is missing the latency row" >&2
+  exit 1
+}
+
 echo "== SIGINT drain =="
 kill -INT "$serve_pid"
 set +e
@@ -58,4 +87,29 @@ grep -q "drained" "$WORK/serve.err" || {
   cat "$WORK/serve.err" >&2
   exit 1
 }
-echo "PASS: warm cache served byte-identical replies and the daemon drained cleanly"
+echo "== access log =="
+# The daemon flushes the log on shutdown; every loadgen model request
+# (cold + warm, not the admin ops or malformed-counted errors) appears
+# as one JSON line with an outcome and a total.
+if [ ! -s "$WORK/access.log" ]; then
+  echo "FAIL: access log is empty" >&2
+  exit 1
+fi
+lines=$(wc -l < "$WORK/access.log")
+hits_logged=$(grep -c '"outcome":"hit"' "$WORK/access.log")
+if [ "$hits_logged" -le 0 ]; then
+  echo "FAIL: access log has no cache-hit lines" >&2
+  head -5 "$WORK/access.log" >&2
+  exit 1
+fi
+grep -q '"outcome":"miss"' "$WORK/access.log" || {
+  echo "FAIL: access log has no cache-miss lines" >&2
+  exit 1
+}
+grep -q '"total_ns":' "$WORK/access.log" || {
+  echo "FAIL: access log lines carry no total_ns" >&2
+  exit 1
+}
+echo "access log ok: $lines lines, $hits_logged hits"
+
+echo "PASS: warm cache served byte-identical replies, metrics exposed, access log written, daemon drained cleanly"

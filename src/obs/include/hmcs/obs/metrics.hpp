@@ -42,6 +42,8 @@
 #include <string_view>
 #include <vector>
 
+#include "hmcs/obs/hdr_histogram.hpp"
+
 namespace hmcs::obs {
 
 #if defined(HMCS_OBS_DISABLED)
@@ -97,10 +99,14 @@ class alignas(64) Stat {
 
 /// Wall-clock duration histogram: Stat semantics over nanoseconds plus
 /// power-of-two buckets (bucket b counts durations with bit_width(ns) == b,
-/// i.e. [2^(b-1), 2^b) ns; bucket 0 is exactly 0 ns).
+/// i.e. [2^(b-1), 2^b) ns; bucket 0 is exactly 0 ns) plus a log-linear
+/// HDR histogram (hdr_histogram.hpp) for quantile extraction within
+/// ~2^-5 relative precision instead of the power-of-two 2x.
 class alignas(64) Timer {
  public:
   static constexpr std::size_t kBuckets = 64;
+  /// Precision of the embedded HDR histogram (~3.1% bucket width).
+  static constexpr unsigned kHdrSubBits = 5;
 
   void observe_ns(std::uint64_t ns);
 
@@ -112,6 +118,9 @@ class alignas(64) Timer {
   std::uint64_t max_ns() const;
   double mean_ns() const;
   std::uint64_t bucket_count(std::size_t bucket) const;
+  /// Quantile over the HDR histogram; see HdrSnapshot::quantile.
+  std::uint64_t quantile_ns(double q) const { return hdr_.quantile(q); }
+  const HdrHistogram& hdr() const { return hdr_; }
   void reset();
 
  private:
@@ -120,6 +129,7 @@ class alignas(64) Timer {
   std::atomic<std::uint64_t> min_ns_{~0ull};
   std::atomic<std::uint64_t> max_ns_{0};
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  HdrHistogram hdr_{kHdrSubBits};
 };
 
 /// RAII span feeding a Timer with the elapsed steady-clock nanoseconds.
@@ -167,6 +177,8 @@ struct MetricsSnapshot {
     std::uint64_t max_ns = 0;
     /// (upper-bound-exclusive ns, count) for each non-empty bucket.
     std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+    /// Fine-grained log-linear histogram (quantiles, Prometheus export).
+    HdrSnapshot hdr;
   };
 
   std::vector<CounterRow> counters;

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file prometheus.hpp
+/// Prometheus text exposition (format 0.0.4) over a MetricsSnapshot.
+///
+/// Mapping from registry kinds:
+///   Counter -> `# TYPE <name> counter`, one sample.
+///   Gauge   -> `# TYPE <name> gauge`, one sample.
+///   Stat    -> `# TYPE <name> summary` with `<name>_sum`/`<name>_count`,
+///              plus `<name>_min`/`<name>_max` gauges (Prometheus has no
+///              native min/max, and dropping them loses information).
+///   Timer   -> `# TYPE <name>_seconds histogram`: cumulative
+///              `_bucket{le="..."}` series from the Timer's HDR
+///              histogram (bucket edges converted ns -> s), closing
+///              `le="+Inf"`, then `_sum` and `_count`.
+///
+/// Dotted registry names are sanitised to the Prometheus charset
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*) by mapping every illegal byte to '_'
+/// (e.g. `serve.request.wall_time` -> `serve_request_wall_time`).
+/// Optional constant labels are attached to every sample with proper
+/// value escaping (`\\`, `\"`, `\n`).
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hmcs::obs {
+
+class Registry;
+struct MetricsSnapshot;
+
+struct PrometheusOptions {
+  /// Constant labels stamped on every exported sample, e.g.
+  /// {{"instance", "hmcs_serve:9090"}}. Names are sanitised like metric
+  /// names; values are escaped, arbitrary UTF-8 allowed.
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+/// `name` mapped onto the Prometheus metric-name charset: every byte
+/// outside [a-zA-Z0-9_:] becomes '_', a leading digit gets a '_'
+/// prefix, and an empty input becomes "_".
+std::string prometheus_metric_name(std::string_view name);
+
+/// Label-value escaping per the text format: backslash, double quote,
+/// and newline are escaped; everything else (including UTF-8) passes
+/// through.
+std::string prometheus_escape_label(std::string_view value);
+
+/// Renders every metric in the snapshot; "" for an empty snapshot.
+std::string render_prometheus(const MetricsSnapshot& snapshot,
+                              const PrometheusOptions& options = {});
+
+/// Convenience: snapshot + render in one call.
+std::string render_prometheus(Registry& registry,
+                              const PrometheusOptions& options = {});
+
+}  // namespace hmcs::obs

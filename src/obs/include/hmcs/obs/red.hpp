@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file red.hpp
+/// Rolling-window RED aggregator: request Rate, Error rate, and
+/// Duration quantiles over the last N seconds, built on atomically
+/// rotated one-second epochs.
+///
+/// Design: a ring of `window_seconds + 2` epoch slots, each holding an
+/// epoch id, request/error counters, an exact max, and an HDR duration
+/// histogram. A recorder computes its epoch from the steady clock and
+/// claims the slot by CAS-ing the slot's id from the stale value to a
+/// kResetting marker, zeroing the counters, then publishing the new id.
+/// Recorders that lose the race spin briefly for the winner; on timeout
+/// (or when the slot has already advanced past their epoch — a
+/// straggler more than a full ring behind) the sample is *dropped* and
+/// counted in dropped(). This is monitoring-grade accounting: the hot
+/// path never blocks, at the cost of losing a bounded handful of
+/// samples around epoch boundaries under extreme contention.
+///
+/// summarize() merges the epochs covering (now - window, now] into one
+/// dense array and reads quantiles from the merged histogram. The
+/// current (partial) epoch contributes its fraction of wall time to the
+/// rate denominator, so qps is not underestimated at window start.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hmcs/obs/hdr_histogram.hpp"
+
+namespace hmcs::obs {
+
+class RedWindow {
+ public:
+  struct Options {
+    /// Width of the rolling window, in whole seconds (>= 1).
+    unsigned window_seconds = 60;
+    /// Precision of the per-epoch duration histograms.
+    unsigned sub_bits = 5;
+  };
+
+  struct Summary {
+    double window_s = 0.0;      ///< Seconds of wall time actually covered.
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    double rate_per_s = 0.0;
+    double error_rate = 0.0;    ///< errors / requests; 0 when idle.
+    std::uint64_t p50_ns = 0;
+    std::uint64_t p90_ns = 0;
+    std::uint64_t p99_ns = 0;
+    std::uint64_t p999_ns = 0;
+    std::uint64_t max_ns = 0;   ///< Exact (not bucket-rounded) maximum.
+  };
+
+  RedWindow();  // default Options
+  explicit RedWindow(const Options& options);
+  ~RedWindow();  // out of line: Epoch is incomplete here
+  RedWindow(const RedWindow&) = delete;
+  RedWindow& operator=(const RedWindow&) = delete;
+
+  /// Records one finished request into the current wall-clock epoch.
+  void record(std::uint64_t duration_ns, bool error);
+
+  /// Summary over the trailing window ending now.
+  Summary summarize() const;
+
+  /// Samples dropped at epoch boundaries (see file comment). A healthy
+  /// service keeps this at or near zero.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  unsigned window_seconds() const { return options_.window_seconds; }
+
+  // -- Deterministic entry points (tests drive the epoch explicitly) --
+
+  /// record() with an explicit epoch number instead of the clock.
+  void record_at(std::int64_t epoch, std::uint64_t duration_ns, bool error);
+
+  /// summarize() as of `elapsed_in_epoch` seconds into `epoch`.
+  Summary summarize_at(std::int64_t epoch, double elapsed_in_epoch) const;
+
+ private:
+  struct Epoch;
+
+  std::int64_t current_epoch() const;
+  double elapsed_in_current_epoch() const;
+  Epoch* claim(std::int64_t epoch);
+
+  Options options_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::unique_ptr<Epoch>> ring_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace hmcs::obs

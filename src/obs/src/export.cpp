@@ -59,6 +59,10 @@ std::string metrics_json(const MetricsSnapshot& snapshot,
                              static_cast<double>(row.count));
     json.key("min_ns").value(row.min_ns);
     json.key("max_ns").value(row.max_ns);
+    json.key("p50_ns").value(row.hdr.quantile(0.50));
+    json.key("p90_ns").value(row.hdr.quantile(0.90));
+    json.key("p99_ns").value(row.hdr.quantile(0.99));
+    json.key("p999_ns").value(row.hdr.quantile(0.999));
     json.key("buckets").begin_array();
     for (const auto& [upper_ns, count] : row.buckets) {
       json.begin_object();

@@ -1,0 +1,107 @@
+#include "hmcs/obs/hdr_histogram.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::obs {
+
+std::uint64_t HdrSnapshot::quantile(double q) const {
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cumulative = 0;
+  for (const auto& [upper, count] : buckets) {
+    cumulative += count;
+    if (cumulative >= rank) return upper;
+  }
+  return buckets.empty() ? 0 : buckets.back().first;
+}
+
+std::uint64_t HdrSnapshot::max_value() const {
+  return buckets.empty() ? 0 : buckets.back().first;
+}
+
+HdrHistogram::HdrHistogram(unsigned sub_bits) : sub_bits_(sub_bits) {
+  require(sub_bits >= 1 && sub_bits <= 12,
+          "HdrHistogram: sub_bits must be in [1, 12]");
+  counts_ = std::vector<std::atomic<std::uint64_t>>(array_size(sub_bits));
+}
+
+std::size_t HdrHistogram::array_size(unsigned sub_bits) {
+  const std::uint64_t half = 1ull << sub_bits;
+  // Shifts s run 1 .. 64 - sub_bits - 1; the top index is
+  // half * s_max + (2*half - 1), see index_for().
+  return static_cast<std::size_t>(half * (65 - sub_bits));
+}
+
+std::size_t HdrHistogram::index_for(std::uint64_t value, unsigned sub_bits) {
+  const std::uint64_t half = 1ull << sub_bits;
+  if (value < 2 * half) return static_cast<std::size_t>(value);
+  const unsigned shift =
+      static_cast<unsigned>(std::bit_width(value)) - sub_bits - 1;
+  return static_cast<std::size_t>(half * shift + (value >> shift));
+}
+
+std::uint64_t HdrHistogram::bucket_upper_bound(std::size_t index,
+                                               unsigned sub_bits) {
+  const std::uint64_t half = 1ull << sub_bits;
+  const std::uint64_t i = static_cast<std::uint64_t>(index);
+  if (i < 2 * half) return i;
+  const std::uint64_t shift = i / half - 1;  // >= 1 here
+  const std::uint64_t top = i - half * shift + 1;  // in (half, 2*half]
+  // ((top << shift) - 1) can reach past 2^64 only in the very last
+  // bucket; saturate instead of wrapping.
+  if (shift >= 64 || (top >> (64 - shift)) != 0) return ~0ull;
+  return (top << shift) - 1;
+}
+
+void HdrHistogram::record(std::uint64_t value) {
+  counts_[index_for(value, sub_bits_)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void HdrHistogram::reset() {
+  for (auto& bucket : counts_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+}
+
+HdrSnapshot HdrHistogram::snapshot() const {
+  HdrSnapshot snap;
+  snap.sub_bits = sub_bits_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t n = counts_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    snap.buckets.emplace_back(bucket_upper_bound(i, sub_bits_), n);
+    snap.total += n;
+  }
+  return snap;
+}
+
+void HdrHistogram::accumulate(std::vector<std::uint64_t>& dense) const {
+  require(dense.size() == counts_.size(),
+          "HdrHistogram::accumulate: dense array size mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    dense[i] += counts_[i].load(std::memory_order_relaxed);
+  }
+}
+
+HdrSnapshot HdrHistogram::snapshot_from_dense(
+    unsigned sub_bits, const std::vector<std::uint64_t>& dense) {
+  HdrSnapshot snap;
+  snap.sub_bits = sub_bits;
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    if (dense[i] == 0) continue;
+    snap.buckets.emplace_back(bucket_upper_bound(i, sub_bits), dense[i]);
+    snap.total += dense[i];
+  }
+  return snap;
+}
+
+}  // namespace hmcs::obs

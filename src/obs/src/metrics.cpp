@@ -65,6 +65,7 @@ void Timer::observe_ns(std::uint64_t ns) {
   std::size_t bucket = static_cast<std::size_t>(std::bit_width(ns));
   if (bucket >= kBuckets) bucket = kBuckets - 1;
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  hdr_.record(ns);
 }
 
 std::uint64_t Timer::min_ns() const {
@@ -92,6 +93,7 @@ void Timer::reset() {
   min_ns_.store(~0ull, std::memory_order_relaxed);
   max_ns_.store(0, std::memory_order_relaxed);
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  hdr_.reset();
 }
 
 // ---------------------------------------------------------------------------
@@ -251,9 +253,13 @@ MetricsSnapshot Registry::snapshot() const {
   snap.timers.reserve(impl_->timers.size());
   for (std::size_t i = 0; i < impl_->timers.size(); ++i) {
     const Timer& t = impl_->timers[i];
-    MetricsSnapshot::TimerRow row{impl_->timer_names[i], t.count(),
-                                  t.total_ns(),          t.min_ns(),
-                                  t.max_ns(),            {}};
+    MetricsSnapshot::TimerRow row;
+    row.name = impl_->timer_names[i];
+    row.count = t.count();
+    row.total_ns = t.total_ns();
+    row.min_ns = t.min_ns();
+    row.max_ns = t.max_ns();
+    row.hdr = t.hdr().snapshot();
     for (std::size_t b = 0; b < Timer::kBuckets; ++b) {
       const std::uint64_t n = t.bucket_count(b);
       if (n == 0) continue;

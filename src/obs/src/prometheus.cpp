@@ -1,0 +1,195 @@
+#include "hmcs/obs/prometheus.hpp"
+
+#include <charconv>
+#include <cstdint>
+
+#include "hmcs/obs/metrics.hpp"
+
+namespace hmcs::obs {
+
+namespace {
+
+bool legal_name_byte(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+/// Shortest round-trip decimal for a double (to_chars), matching how
+/// Prometheus client libraries print sample values.
+void append_double(std::string& out, double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+/// Pre-rendered `{k="v",...}` block (possibly empty) applied to plain
+/// samples; histogram buckets splice their `le` in before the '}'.
+std::string render_label_block(const PrometheusOptions& options) {
+  if (options.labels.empty()) return "";
+  std::string block = "{";
+  bool first = true;
+  for (const auto& [name, value] : options.labels) {
+    if (!first) block += ',';
+    first = false;
+    block += prometheus_metric_name(name);
+    block += "=\"";
+    block += prometheus_escape_label(value);
+    block += '"';
+  }
+  block += '}';
+  return block;
+}
+
+void append_sample(std::string& out, const std::string& name,
+                   const char* suffix, const std::string& labels, double v) {
+  out += name;
+  out += suffix;
+  out += labels;
+  out += ' ';
+  append_double(out, v);
+  out += '\n';
+}
+
+void append_sample_u64(std::string& out, const std::string& name,
+                       const char* suffix, const std::string& labels,
+                       std::uint64_t v) {
+  out += name;
+  out += suffix;
+  out += labels;
+  out += ' ';
+  append_u64(out, v);
+  out += '\n';
+}
+
+void append_type(std::string& out, const std::string& name, const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+/// `le` label value for a bucket edge: ns scaled to seconds.
+void append_bucket(std::string& out, const std::string& name,
+                   const std::string& labels, const char* le,
+                   std::uint64_t cumulative) {
+  out += name;
+  out += "_bucket";
+  if (labels.empty()) {
+    out += "{le=\"";
+    out += le;
+    out += "\"}";
+  } else {
+    out.append(labels, 0, labels.size() - 1);  // drop trailing '}'
+    out += ",le=\"";
+    out += le;
+    out += "\"}";
+  }
+  out += ' ';
+  append_u64(out, cumulative);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_metric_name(std::string_view name) {
+  if (name.empty()) return "_";
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (name.front() >= '0' && name.front() <= '9') out += '_';
+  for (const char c : name) {
+    out += legal_name_byte(c, out.empty()) ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snapshot,
+                              const PrometheusOptions& options) {
+  const std::string labels = render_label_block(options);
+  std::string out;
+
+  for (const auto& row : snapshot.counters) {
+    const std::string name = prometheus_metric_name(row.name);
+    append_type(out, name, "counter");
+    append_sample_u64(out, name, "", labels, row.value);
+  }
+
+  for (const auto& row : snapshot.gauges) {
+    const std::string name = prometheus_metric_name(row.name);
+    append_type(out, name, "gauge");
+    append_sample(out, name, "", labels, row.value);
+  }
+
+  for (const auto& row : snapshot.stats) {
+    const std::string name = prometheus_metric_name(row.name);
+    append_type(out, name, "summary");
+    append_sample(out, name, "_sum", labels, row.sum);
+    append_sample_u64(out, name, "_count", labels, row.count);
+    append_type(out, name + "_min", "gauge");
+    append_sample(out, name, "_min", labels, row.min);
+    append_type(out, name + "_max", "gauge");
+    append_sample(out, name, "_max", labels, row.max);
+  }
+
+  for (const auto& row : snapshot.timers) {
+    // Registry timers record nanoseconds; Prometheus convention is base
+    // units, so the exported histogram is in seconds.
+    const std::string name = prometheus_metric_name(row.name) + "_seconds";
+    append_type(out, name, "histogram");
+    std::uint64_t cumulative = 0;
+    for (const auto& [upper_ns, count] : row.hdr.buckets) {
+      cumulative += count;
+      std::string le;
+      append_double(le, static_cast<double>(upper_ns) * 1e-9);
+      append_bucket(out, name, labels, le.c_str(), cumulative);
+    }
+    // The Timer count and the HDR total are updated by separate relaxed
+    // atomics; under concurrent recording they can differ by the events
+    // in flight. Keep the exposition internally consistent: +Inf ==
+    // _count >= every bucket.
+    const std::uint64_t total = row.count > cumulative ? row.count : cumulative;
+    append_bucket(out, name, labels, "+Inf", total);
+    append_sample(out, name, "_sum", labels,
+                  static_cast<double>(row.total_ns) * 1e-9);
+    append_sample_u64(out, name, "_count", labels, total);
+  }
+
+  return out;
+}
+
+std::string render_prometheus(Registry& registry,
+                              const PrometheusOptions& options) {
+  return render_prometheus(registry.snapshot(), options);
+}
+
+}  // namespace hmcs::obs

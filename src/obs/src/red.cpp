@@ -1,0 +1,138 @@
+#include "hmcs/obs/red.hpp"
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::obs {
+
+namespace {
+/// Slot id while the claiming thread zeroes the counters. Real epoch
+/// ids start at 0, empty slots hold -1, so -2 never collides.
+constexpr std::int64_t kResetting = -2;
+constexpr int kClaimSpins = 1024;
+}  // namespace
+
+struct RedWindow::Epoch {
+  explicit Epoch(unsigned sub_bits) : hist(sub_bits) {}
+
+  std::atomic<std::int64_t> id{-1};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> max_ns{0};
+  HdrHistogram hist;
+};
+
+RedWindow::RedWindow() : RedWindow(Options()) {}
+
+RedWindow::~RedWindow() = default;
+
+RedWindow::RedWindow(const Options& options)
+    : options_(options), start_(std::chrono::steady_clock::now()) {
+  require(options.window_seconds >= 1,
+          "RedWindow: window_seconds must be >= 1");
+  // +2 slots: one for the epoch currently being written, one of slack
+  // so a summarize() racing a rotation never reads a slot that is being
+  // recycled for an epoch still inside the window.
+  ring_.reserve(options.window_seconds + 2);
+  for (unsigned i = 0; i < options.window_seconds + 2; ++i) {
+    ring_.push_back(std::make_unique<Epoch>(options.sub_bits));
+  }
+}
+
+std::int64_t RedWindow::current_epoch() const {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration_cast<std::chrono::seconds>(elapsed).count();
+}
+
+double RedWindow::elapsed_in_current_epoch() const {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const double s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  return s - static_cast<double>(current_epoch());
+}
+
+RedWindow::Epoch* RedWindow::claim(std::int64_t epoch) {
+  Epoch& slot = *ring_[static_cast<std::size_t>(epoch) % ring_.size()];
+  for (int spin = 0; spin < kClaimSpins; ++spin) {
+    std::int64_t seen = slot.id.load(std::memory_order_acquire);
+    if (seen == epoch) return &slot;
+    if (seen > epoch) return nullptr;  // straggler: slot already recycled
+    if (seen == kResetting) continue;  // another thread is zeroing it
+    if (slot.id.compare_exchange_strong(seen, kResetting,
+                                        std::memory_order_acq_rel)) {
+      slot.requests.store(0, std::memory_order_relaxed);
+      slot.errors.store(0, std::memory_order_relaxed);
+      slot.max_ns.store(0, std::memory_order_relaxed);
+      slot.hist.reset();
+      slot.id.store(epoch, std::memory_order_release);
+      return &slot;
+    }
+  }
+  return nullptr;  // contended past the spin budget: drop the sample
+}
+
+void RedWindow::record_at(std::int64_t epoch, std::uint64_t duration_ns,
+                          bool error) {
+  Epoch* slot = claim(epoch);
+  if (slot == nullptr) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slot->requests.fetch_add(1, std::memory_order_relaxed);
+  if (error) slot->errors.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t cur = slot->max_ns.load(std::memory_order_relaxed);
+  while (duration_ns > cur &&
+         !slot->max_ns.compare_exchange_weak(cur, duration_ns,
+                                             std::memory_order_relaxed)) {
+  }
+  slot->hist.record(duration_ns);
+}
+
+void RedWindow::record(std::uint64_t duration_ns, bool error) {
+  record_at(current_epoch(), duration_ns, error);
+}
+
+RedWindow::Summary RedWindow::summarize_at(std::int64_t epoch,
+                                           double elapsed_in_epoch) const {
+  Summary out;
+  if (elapsed_in_epoch < 0.0) elapsed_in_epoch = 0.0;
+  if (elapsed_in_epoch > 1.0) elapsed_in_epoch = 1.0;
+
+  std::vector<std::uint64_t> dense(
+      HdrHistogram::array_size(options_.sub_bits), 0);
+  const std::int64_t oldest =
+      epoch - static_cast<std::int64_t>(options_.window_seconds) + 1;
+  double covered = 0.0;
+  for (const auto& slot : ring_) {
+    const std::int64_t id = slot->id.load(std::memory_order_acquire);
+    if (id < oldest || id > epoch || id < 0) continue;
+    covered += id == epoch ? elapsed_in_epoch : 1.0;
+    out.requests += slot->requests.load(std::memory_order_relaxed);
+    out.errors += slot->errors.load(std::memory_order_relaxed);
+    const std::uint64_t m = slot->max_ns.load(std::memory_order_relaxed);
+    if (m > out.max_ns) out.max_ns = m;
+    slot->hist.accumulate(dense);
+  }
+  // A service younger than the window has only lived `covered` seconds;
+  // clamping the denominator up to the full window would dilute qps.
+  out.window_s = covered;
+  if (out.requests > 0) {
+    const double denom = covered > 1e-9 ? covered : 1e-9;
+    out.rate_per_s = static_cast<double>(out.requests) / denom;
+    out.error_rate =
+        static_cast<double>(out.errors) / static_cast<double>(out.requests);
+  }
+  const HdrSnapshot merged =
+      HdrHistogram::snapshot_from_dense(options_.sub_bits, dense);
+  out.p50_ns = merged.quantile(0.50);
+  out.p90_ns = merged.quantile(0.90);
+  out.p99_ns = merged.quantile(0.99);
+  out.p999_ns = merged.quantile(0.999);
+  return out;
+}
+
+RedWindow::Summary RedWindow::summarize() const {
+  return summarize_at(current_epoch(), elapsed_in_current_epoch());
+}
+
+}  // namespace hmcs::obs

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file access_log.hpp
+/// Structured JSON-lines access log for hmcs_serve: one line per
+/// finished request, written by a dedicated consumer thread behind a
+/// lock-free bounded MPMC ring (Vyukov's algorithm — per-cell sequence
+/// numbers, a CAS to claim a slot, no mutex anywhere on the producer
+/// side). When the ring is full the line is *shed* and counted, never
+/// blocking the request path: the log is an observability aid, and an
+/// observability aid that can stall the service under load would be
+/// worse than none.
+///
+/// Line schema (docs/SERVING.md):
+///
+///   {"ts_ms":<unix epoch ms>,"trace":"r<seq>","id":...,
+///    "outcome":"hit|miss|coalesced|shed|error|deadline",
+///    "key":"<16-hex>","backend":"analytic",
+///    "parse_ns":...,"cache_probe_ns":...,"coalesce_wait_ns":...,
+///    "evaluate_ns":...,"serialize_ns":...,"total_ns":...}
+///
+/// The service composes the line; this class only moves bytes.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hmcs::serve {
+
+class AccessLog {
+ public:
+  struct Options {
+    std::string path;
+    /// Ring capacity in lines; rounded up to a power of two, min 8.
+    std::size_t capacity = 4096;
+    /// How long the writer sleeps when the ring drains empty.
+    unsigned flush_interval_ms = 50;
+  };
+
+  struct Stats {
+    std::uint64_t appended = 0;  ///< lines accepted into the ring
+    std::uint64_t written = 0;   ///< lines flushed to the file
+    std::uint64_t shed = 0;      ///< lines dropped on a full ring
+  };
+
+  /// Opens `path` for append and starts the writer thread. Throws
+  /// hmcs::ConfigError when the file cannot be opened.
+  explicit AccessLog(const Options& options);
+
+  /// Drains the ring, flushes, and joins the writer.
+  ~AccessLog();
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  /// Lock-free from any thread: enqueues one line (no trailing
+  /// newline). Returns false — and counts a shed — when the ring is
+  /// full. Never blocks.
+  bool try_append(std::string line);
+
+  /// Blocks until every line appended before the call is on disk.
+  /// Test/shutdown aid, not for the request path.
+  void flush();
+
+  Stats stats() const;
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    std::string line;
+  };
+
+  void writer_loop();
+
+  std::vector<Cell> ring_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+  alignas(64) std::atomic<std::uint64_t> appended_{0};
+  std::atomic<std::uint64_t> written_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<bool> stopping_{false};
+
+  std::ofstream out_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::thread writer_;
+};
+
+}  // namespace hmcs::serve

@@ -40,6 +40,9 @@ class ShardedResultCache {
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
     std::size_t entries = 0;
+    /// Per-shard entry counts, in shard order (occupancy skew shows a
+    /// hot shard before eviction rates do).
+    std::vector<std::size_t> shard_entries;
   };
 
   explicit ShardedResultCache(const Options& options);

@@ -48,6 +48,10 @@ struct ServeRequest {
   std::uint64_t seed = 1;
   double deadline_ms = 0.0;  ///< 0 = use the server default
   bool no_cache = false;
+  /// When true the reply carries a "timing" member with the per-stage
+  /// breakdown (docs/SERVING.md). Not part of the canonical key: the
+  /// cached body never contains timing, it is spliced per reply.
+  bool timing = false;
 
   std::string canonical_key;     ///< full canonical JSON key document
   std::uint64_t key_hash = 0;    ///< FNV-1a 64 of canonical_key

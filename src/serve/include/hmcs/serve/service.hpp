@@ -17,16 +17,33 @@
 /// the bounded queue refuses work — "shed". The cached unit is the
 /// body *without* the "id" member: identical configurations produce
 /// byte-identical bodies whether answered cold or from cache, and the
-/// caller's id is spliced in per reply.
+/// caller's id is spliced in per reply. A request carrying
+/// `"timing": true` additionally gets a "timing" member (also spliced,
+/// never cached) with the per-stage breakdown.
+///
+/// Observability (this PR's tentpole): every request is timed through
+/// named stages (parse, cache_probe, coalesce_wait, evaluate,
+/// serialize), classified into an outcome ∈ {hit, miss, coalesced,
+/// shed, error, deadline}, and fed into (a) a rolling RED window and a
+/// lifetime HDR latency histogram served by the `stats` op, (b) the
+/// optional TraceSession as a per-request span tree, and (c) the
+/// optional structured access log — one JSON line per request, written
+/// off-thread, shed-not-block. The `metrics` op renders the global
+/// registry as Prometheus text.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 
+#include "hmcs/obs/hdr_histogram.hpp"
+#include "hmcs/obs/red.hpp"
 #include "hmcs/obs/trace.hpp"
 #include "hmcs/runner/sweep_config.hpp"
+#include "hmcs/serve/access_log.hpp"
 #include "hmcs/serve/cache.hpp"
 #include "hmcs/serve/request.hpp"
 #include "hmcs/serve/single_flight.hpp"
@@ -42,12 +59,16 @@ class ServeService {
     double default_deadline_ms = 0.0;
     /// Execution-time backend knobs (obs sampling); not in cache keys.
     runner::SweepLoadOptions load;
-    /// Optional trace session: each evaluation records a wall-clock
-    /// span named after the backend kind.
+    /// Optional trace session: each request records a span tree (the
+    /// request span plus one child per stage), named "req r<seq>".
     std::shared_ptr<obs::TraceSession> trace;
     /// Optional hard-stop parent for in-flight evaluations (a drain
     /// deliberately does NOT cancel them — it waits for the replies).
     const util::CancelToken* hard_cancel = nullptr;
+    /// Optional structured access log (one JSON line per request).
+    std::shared_ptr<AccessLog> access_log;
+    /// Width of the rolling RED window behind the `stats` op.
+    unsigned red_window_seconds = 60;
   };
 
   struct Counters {
@@ -61,6 +82,14 @@ class ServeService {
     std::uint64_t shed = 0;         ///< refused by the bounded queue
   };
 
+  /// Live queue depth reported by the `stats` op; the owning server
+  /// installs the callback (the service itself has no pool).
+  struct PoolStatus {
+    std::size_t queued = 0;
+    std::size_t queue_limit = 0;
+    std::size_t threads = 0;
+  };
+
   explicit ServeService(const Options& options);
 
   /// Handles one request line and returns the reply line (no trailing
@@ -72,9 +101,17 @@ class ServeService {
   static std::string shed_reply();
   void note_shed();
 
+  void set_pool_status_fn(std::function<PoolStatus()> fn) {
+    pool_status_ = std::move(fn);
+  }
+
   Counters counters() const;
   ShardedResultCache::Stats cache_stats() const { return cache_.stats(); }
   const ShardedResultCache& cache() const { return cache_; }
+  /// RED summary over the trailing window (the `stats` op's "red").
+  obs::RedWindow::Summary red_summary() const { return red_.summarize(); }
+  /// Lifetime request-latency histogram (the `stats` op's "latency").
+  const obs::HdrHistogram& latency_histogram() const { return latency_; }
 
  private:
   struct EvalOutcome {
@@ -82,13 +119,58 @@ class ServeService {
     bool cacheable = false;  ///< only "ok" bodies are cached
   };
 
-  std::string handle_request(const ServeRequest& request);
+  /// Per-request measurement context threaded through the pipeline.
+  struct RequestTrace {
+    static constexpr std::size_t kMaxStages = 5;
+    struct Stage {
+      const char* name = nullptr;
+      std::uint64_t start_ns = 0;  ///< offset from request start
+      std::uint64_t duration_ns = 0;
+    };
+
+    std::chrono::steady_clock::time_point start;
+    double trace_start_us = 0.0;  ///< TraceSession timestamp base
+    std::uint64_t seq = 0;        ///< process-unique request number
+    const char* outcome = "error";
+    bool error = false;  ///< counts toward the RED error rate
+    std::string id_json;
+    std::string key_hex;
+    std::string backend;
+    Stage stages[kMaxStages];
+    std::size_t stage_count = 0;
+  };
+
+  /// Returns the id-free reply body and classifies trace.outcome.
+  std::string handle_request_body(const ServeRequest& request,
+                                  RequestTrace& trace);
   std::string handle_op(const std::string& op, const std::string& id_json);
-  EvalOutcome evaluate(const ServeRequest& request);
+  std::string metrics_reply(const std::string& id_json) const;
+  std::string stats_reply(const std::string& id_json) const;
+  EvalOutcome evaluate(const ServeRequest& request, RequestTrace& trace);
+
+  /// Records one stage covering [begin, now); returns now.
+  std::chrono::steady_clock::time_point add_stage(
+      RequestTrace& trace, const char* name,
+      std::chrono::steady_clock::time_point begin) const;
+
+  /// RED/histogram/trace/access-log fan-out for one finished request.
+  void finish(const RequestTrace& trace, std::uint64_t total_ns);
+  std::string access_line(const RequestTrace& trace,
+                          std::uint64_t total_ns) const;
+  /// Splices id and (optionally) the timing breakdown into a stored
+  /// id-free body.
+  std::string compose_reply(const ServeRequest& request,
+                            const RequestTrace& trace,
+                            const std::string& body,
+                            std::uint64_t total_ns) const;
 
   Options options_;
   ShardedResultCache cache_;
   SingleFlight flights_;
+  obs::RedWindow red_;
+  obs::HdrHistogram latency_;
+  std::function<PoolStatus()> pool_status_;
+  std::chrono::steady_clock::time_point started_;
   std::atomic<std::uint64_t> sequence_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> ok_{0};

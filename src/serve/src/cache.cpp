@@ -53,6 +53,7 @@ void ShardedResultCache::put(std::uint64_t hash, std::string_view key,
 
 ShardedResultCache::Stats ShardedResultCache::stats() const {
   Stats total;
+  total.shard_entries.reserve(shards_.size());
   for (const auto& shard : shards_) {
     const std::scoped_lock lock(shard->mutex);
     total.hits += shard->hits;
@@ -60,6 +61,7 @@ ShardedResultCache::Stats ShardedResultCache::stats() const {
     total.insertions += shard->insertions;
     total.evictions += shard->evictions;
     total.entries += shard->lru.size();
+    total.shard_entries.push_back(shard->lru.size());
   }
   return total;
 }

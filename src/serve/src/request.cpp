@@ -181,9 +181,10 @@ std::string key_hash_hex(std::uint64_t hash) {
 ServeRequest parse_request(const JsonValue& doc,
                            const runner::SweepLoadOptions& load) {
   require(doc.is_object(), "serve: a request must be a JSON object");
-  reject_unknown_members(
-      doc, {"id", "backend", "config", "seed", "deadline_ms", "no_cache"},
-      "the request");
+  reject_unknown_members(doc,
+                         {"id", "backend", "config", "seed", "deadline_ms",
+                          "no_cache", "timing"},
+                         "the request");
 
   ServeRequest request;
   if (const JsonValue* id = doc.find("id")) request.id_json = render_id(*id);
@@ -206,6 +207,9 @@ ServeRequest parse_request(const JsonValue& doc,
   require(request.deadline_ms >= 0.0, "serve: 'deadline_ms' must be >= 0");
   if (const JsonValue* no_cache = doc.find("no_cache")) {
     request.no_cache = no_cache->as_bool();
+  }
+  if (const JsonValue* timing = doc.find("timing")) {
+    request.timing = timing->as_bool();
   }
 
   // Canonical key: version tag + normalised backend + the built config

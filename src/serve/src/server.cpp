@@ -30,7 +30,15 @@ ServeServer::Connection::~Connection() {
 ServeServer::ServeServer(const Options& options)
     : options_(options),
       service_(options.service),
-      pool_(options.threads, options.queue_limit) {}
+      pool_(options.threads, options.queue_limit) {
+  service_.set_pool_status_fn([this] {
+    ServeService::PoolStatus status;
+    status.queued = pool_.queued();
+    status.queue_limit = options_.queue_limit;
+    status.threads = pool_.thread_count();
+    return status;
+  });
+}
 
 ServeServer::~ServeServer() {
   shutdown();

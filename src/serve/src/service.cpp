@@ -1,9 +1,11 @@
 #include "hmcs/serve/service.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <exception>
 
 #include "hmcs/obs/metrics.hpp"
+#include "hmcs/obs/prometheus.hpp"
 #include "hmcs/util/error.hpp"
 #include "hmcs/util/json.hpp"
 
@@ -72,15 +74,59 @@ std::string status_body(const char* status, const std::string& message,
   return json.str();
 }
 
+/// "r<seq>": the process-unique request tag shared by the reply
+/// timing, the access log, and trace span names. (Built with += —
+/// gcc 12's -Wrestrict misfires on `"r" + std::to_string(...)`.)
+std::string trace_tag(std::uint64_t seq) {
+  std::string tag = "r";
+  tag += std::to_string(seq);
+  return tag;
+}
+
+obs::RedWindow::Options red_options(unsigned window_seconds) {
+  obs::RedWindow::Options options;
+  options.window_seconds = window_seconds == 0 ? 1 : window_seconds;
+  return options;
+}
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
+                         std::chrono::steady_clock::time_point to) {
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count();
+  return ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+}
+
 }  // namespace
 
 ServeService::ServeService(const Options& options)
-    : options_(options), cache_(options.cache) {}
+    : options_(options),
+      cache_(options.cache),
+      red_(red_options(options.red_window_seconds)),
+      started_(std::chrono::steady_clock::now()) {}
+
+std::chrono::steady_clock::time_point ServeService::add_stage(
+    RequestTrace& trace, const char* name,
+    std::chrono::steady_clock::time_point begin) const {
+  const auto now = std::chrono::steady_clock::now();
+  if (trace.stage_count < RequestTrace::kMaxStages) {
+    RequestTrace::Stage& stage = trace.stages[trace.stage_count++];
+    stage.name = name;
+    stage.start_ns = elapsed_ns(trace.start, begin);
+    stage.duration_ns = elapsed_ns(begin, now);
+  }
+  return now;
+}
 
 std::string ServeService::handle_line(std::string_view line) {
   HMCS_OBS_COUNTER_INC("serve.requests.received");
   HMCS_OBS_TIMER_SCOPE("serve.request.wall_time");
   requests_.fetch_add(1, std::memory_order_relaxed);
+
+  RequestTrace trace;
+  trace.start = std::chrono::steady_clock::now();
+  trace.seq = sequence_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.trace) trace.trace_start_us = options_.trace->wall_now_us();
+
   std::string id_json;
   try {
     const JsonValue doc = parse_json(line);
@@ -98,14 +144,33 @@ std::string ServeService::handle_line(std::string_view line) {
         }
       }
       if (const JsonValue* op = doc.find("op")) {
+        // Admin ops are not traced or access-logged: a dashboard
+        // polling `stats` once a second must not pollute the very
+        // latency distribution it reports.
         return handle_op(op->as_string(), id_json);
       }
     }
     const ServeRequest request = parse_request(doc, options_.load);
-    return handle_request(request);
+    add_stage(trace, "parse", trace.start);
+    trace.id_json = request.id_json;
+    trace.key_hex = key_hash_hex(request.key_hash);
+    trace.backend = request.backend_kind;
+
+    const std::string body = handle_request_body(request, trace);
+    const std::uint64_t total_ns =
+        elapsed_ns(trace.start, std::chrono::steady_clock::now());
+    std::string reply = compose_reply(request, trace, body, total_ns);
+    finish(trace, total_ns);
+    return reply;
   } catch (const hmcs::Error& error) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
     HMCS_OBS_COUNTER_INC("serve.requests.bad_request");
+    trace.outcome = "error";
+    trace.error = true;
+    trace.id_json = id_json;
+    const std::uint64_t total_ns =
+        elapsed_ns(trace.start, std::chrono::steady_clock::now());
+    finish(trace, total_ns);
     return with_id(id_json, status_body("error", error.what(), nullptr));
   }
 }
@@ -120,45 +185,118 @@ std::string ServeService::handle_op(const std::string& op,
     json.end_object();
     return with_id(id_json, json.str());
   }
-  if (op == "stats") {
-    const Counters counters = this->counters();
-    const ShardedResultCache::Stats cache = cache_.stats();
-    JsonWriter json;
-    json.begin_object();
-    json.key("status").value("ok");
-    json.key("op").value("stats");
-    json.key("serve").begin_object();
-    json.key("requests").value(counters.requests);
-    json.key("ok").value(counters.ok);
-    json.key("errors").value(counters.errors);
-    json.key("timed_out").value(counters.timed_out);
-    json.key("bad_requests").value(counters.bad_requests);
-    json.key("coalesced").value(counters.coalesced);
-    json.key("evaluations").value(counters.evaluations);
-    json.key("shed").value(counters.shed);
-    json.end_object();
-    json.key("cache").begin_object();
-    json.key("hits").value(cache.hits);
-    json.key("misses").value(cache.misses);
-    json.key("insertions").value(cache.insertions);
-    json.key("evictions").value(cache.evictions);
-    json.key("entries").value(static_cast<std::uint64_t>(cache.entries));
-    json.end_object();
-    json.end_object();
-    return with_id(id_json, json.str());
-  }
+  if (op == "stats") return stats_reply(id_json);
+  if (op == "metrics") return metrics_reply(id_json);
   detail::throw_config_error("serve: unknown op '" + op +
-                                 "' (expected ping|stats)",
+                                 "' (expected ping|stats|metrics)",
                              std::source_location::current());
 }
 
-std::string ServeService::handle_request(const ServeRequest& request) {
-  if (request.no_cache) {
-    return with_id(request.id_json, evaluate(request).body);
+std::string ServeService::metrics_reply(const std::string& id_json) const {
+  JsonWriter json;
+  json.begin_object();
+  json.key("status").value("ok");
+  json.key("op").value("metrics");
+  json.key("content_type").value("text/plain; version=0.0.4");
+  json.key("body").value(
+      obs::render_prometheus(obs::Registry::global()));
+  json.end_object();
+  return with_id(id_json, json.str());
+}
+
+std::string ServeService::stats_reply(const std::string& id_json) const {
+  const Counters counters = this->counters();
+  const ShardedResultCache::Stats cache = cache_.stats();
+  const obs::RedWindow::Summary red = red_.summarize();
+  const obs::HdrSnapshot latency = latency_.snapshot();
+  const auto ns_to_us = [](std::uint64_t ns) {
+    return static_cast<double>(ns) / 1000.0;
+  };
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("status").value("ok");
+  json.key("op").value("stats");
+  json.key("serve").begin_object();
+  json.key("requests").value(counters.requests);
+  json.key("ok").value(counters.ok);
+  json.key("errors").value(counters.errors);
+  json.key("timed_out").value(counters.timed_out);
+  json.key("bad_requests").value(counters.bad_requests);
+  json.key("coalesced").value(counters.coalesced);
+  json.key("evaluations").value(counters.evaluations);
+  json.key("shed").value(counters.shed);
+  json.end_object();
+  json.key("cache").begin_object();
+  json.key("hits").value(cache.hits);
+  json.key("misses").value(cache.misses);
+  json.key("insertions").value(cache.insertions);
+  json.key("evictions").value(cache.evictions);
+  json.key("entries").value(static_cast<std::uint64_t>(cache.entries));
+  json.key("shard_entries").begin_array();
+  for (const std::size_t entries : cache.shard_entries) {
+    json.value(static_cast<std::uint64_t>(entries));
   }
-  if (auto hit = cache_.get(request.key_hash, request.canonical_key)) {
+  json.end_array();
+  json.end_object();
+  json.key("red").begin_object();
+  json.key("window_s").value(red.window_s);
+  json.key("requests").value(red.requests);
+  json.key("errors").value(red.errors);
+  json.key("rate_per_s").value(red.rate_per_s);
+  json.key("error_rate").value(red.error_rate);
+  json.key("p50_us").value(ns_to_us(red.p50_ns));
+  json.key("p90_us").value(ns_to_us(red.p90_ns));
+  json.key("p99_us").value(ns_to_us(red.p99_ns));
+  json.key("p999_us").value(ns_to_us(red.p999_ns));
+  json.key("max_us").value(ns_to_us(red.max_ns));
+  json.key("dropped").value(red_.dropped());
+  json.end_object();
+  json.key("latency").begin_object();
+  json.key("count").value(latency.total);
+  json.key("p50_us").value(ns_to_us(latency.quantile(0.50)));
+  json.key("p90_us").value(ns_to_us(latency.quantile(0.90)));
+  json.key("p99_us").value(ns_to_us(latency.quantile(0.99)));
+  json.key("p999_us").value(ns_to_us(latency.quantile(0.999)));
+  json.key("max_us").value(ns_to_us(latency.max_value()));
+  json.end_object();
+  const PoolStatus pool = pool_status_ ? pool_status_() : PoolStatus{};
+  json.key("pool").begin_object();
+  json.key("queued").value(static_cast<std::uint64_t>(pool.queued));
+  json.key("queue_limit").value(static_cast<std::uint64_t>(pool.queue_limit));
+  json.key("threads").value(static_cast<std::uint64_t>(pool.threads));
+  json.end_object();
+  json.key("inflight_keys")
+      .value(static_cast<std::uint64_t>(flights_.in_flight()));
+  if (options_.access_log) {
+    const AccessLog::Stats log = options_.access_log->stats();
+    json.key("access_log").begin_object();
+    json.key("appended").value(log.appended);
+    json.key("written").value(log.written);
+    json.key("shed").value(log.shed);
+    json.end_object();
+  }
+  json.key("uptime_s").value(
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - started_)
+          .count());
+  json.end_object();
+  return with_id(id_json, json.str());
+}
+
+std::string ServeService::handle_request_body(const ServeRequest& request,
+                                              RequestTrace& trace) {
+  if (request.no_cache) {
+    trace.outcome = "miss";
+    return evaluate(request, trace).body;
+  }
+  const auto probe_begin = std::chrono::steady_clock::now();
+  auto hit = cache_.get(request.key_hash, request.canonical_key);
+  add_stage(trace, "cache_probe", probe_begin);
+  if (hit) {
     HMCS_OBS_COUNTER_INC("serve.cache.hits");
-    return with_id(request.id_json, *hit);
+    trace.outcome = "hit";
+    return *hit;
   }
   HMCS_OBS_COUNTER_INC("serve.cache.misses");
 
@@ -166,12 +304,17 @@ std::string ServeService::handle_request(const ServeRequest& request) {
   if (!leader) {
     coalesced_.fetch_add(1, std::memory_order_relaxed);
     HMCS_OBS_COUNTER_INC("serve.requests.coalesced");
-    return with_id(request.id_json, SingleFlight::wait(flight));
+    const auto wait_begin = std::chrono::steady_clock::now();
+    std::string body = SingleFlight::wait(flight);
+    add_stage(trace, "coalesce_wait", wait_begin);
+    trace.outcome = "coalesced";
+    return body;
   }
 
+  trace.outcome = "miss";
   EvalOutcome outcome;
   try {
-    outcome = evaluate(request);
+    outcome = evaluate(request, trace);
   } catch (...) {
     // evaluate() converts all failures to bodies; this path exists so
     // an unexpected throw can never strand the followers.
@@ -185,15 +328,14 @@ std::string ServeService::handle_request(const ServeRequest& request) {
     cache_.put(request.key_hash, request.canonical_key, outcome.body);
   }
   flights_.complete(request.canonical_key, flight, outcome.body);
-  return with_id(request.id_json, outcome.body);
+  return outcome.body;
 }
 
-ServeService::EvalOutcome ServeService::evaluate(const ServeRequest& request) {
+ServeService::EvalOutcome ServeService::evaluate(const ServeRequest& request,
+                                                 RequestTrace& trace) {
   evaluations_.fetch_add(1, std::memory_order_relaxed);
   HMCS_OBS_COUNTER_INC("serve.backend.evaluations");
   HMCS_OBS_TIMER_SCOPE("serve.backend.eval_time");
-  obs::WallClockSpan span(options_.trace.get(),
-                          "serve " + request.backend_kind, "serve");
 
   util::CancelToken token(options_.hard_cancel);
   const double budget = request.deadline_ms > 0.0
@@ -201,14 +343,18 @@ ServeService::EvalOutcome ServeService::evaluate(const ServeRequest& request) {
                             : options_.default_deadline_ms;
   token.set_deadline_after_ms(budget);
 
+  // The request number rides along in the point label, so backend spans
+  // and journal labels correlate with the access log and reply timing.
+  const std::string label =
+      "serve " + request.backend_kind + " " + trace_tag(trace.seq);
   runner::PointContext ctx;
-  ctx.index = static_cast<std::size_t>(
-      sequence_.fetch_add(1, std::memory_order_relaxed));
+  ctx.index = static_cast<std::size_t>(trace.seq);
   ctx.seed = request.seed;
-  ctx.label = "serve " + request.backend_kind;
+  ctx.label = label;
   ctx.trace = options_.trace;
   ctx.cancel = &token;
 
+  const auto eval_begin = std::chrono::steady_clock::now();
   try {
     // A deadline that expired while the request sat in the queue must
     // yield timed_out even when the backend finishes too quickly to
@@ -218,19 +364,105 @@ ServeService::EvalOutcome ServeService::evaluate(const ServeRequest& request) {
         request.backend->predict(request.config, ctx);
     ok_.fetch_add(1, std::memory_order_relaxed);
     HMCS_OBS_COUNTER_INC("serve.requests.ok");
-    return {ok_body(request, result), true};
+    const auto serialize_begin = add_stage(trace, "evaluate", eval_begin);
+    std::string body = ok_body(request, result);
+    add_stage(trace, "serialize", serialize_begin);
+    return {std::move(body), true};
   } catch (const hmcs::DeadlineExceeded& error) {
     timed_out_.fetch_add(1, std::memory_order_relaxed);
     HMCS_OBS_COUNTER_INC("serve.requests.timed_out");
-    return {status_body("timed_out", error.what(), &request), false};
+    trace.outcome = "deadline";
+    trace.error = true;
+    const auto serialize_begin = add_stage(trace, "evaluate", eval_begin);
+    std::string body = status_body("timed_out", error.what(), &request);
+    add_stage(trace, "serialize", serialize_begin);
+    return {std::move(body), false};
   } catch (const hmcs::Cancelled& error) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     HMCS_OBS_COUNTER_INC("serve.requests.cancelled");
-    return {status_body("cancelled", error.what(), &request), false};
+    trace.outcome = "error";
+    trace.error = true;
+    const auto serialize_begin = add_stage(trace, "evaluate", eval_begin);
+    std::string body = status_body("cancelled", error.what(), &request);
+    add_stage(trace, "serialize", serialize_begin);
+    return {std::move(body), false};
   } catch (const std::exception& error) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     HMCS_OBS_COUNTER_INC("serve.requests.error");
-    return {status_body("error", error.what(), &request), false};
+    trace.outcome = "error";
+    trace.error = true;
+    const auto serialize_begin = add_stage(trace, "evaluate", eval_begin);
+    std::string body = status_body("error", error.what(), &request);
+    add_stage(trace, "serialize", serialize_begin);
+    return {std::move(body), false};
+  }
+}
+
+std::string ServeService::compose_reply(const ServeRequest& request,
+                                        const RequestTrace& trace,
+                                        const std::string& body,
+                                        std::uint64_t total_ns) const {
+  if (!request.timing) return with_id(trace.id_json, body);
+  JsonWriter json;
+  json.begin_object();
+  json.key("trace").value(trace_tag(trace.seq));
+  json.key("total_ns").value(total_ns);
+  for (std::size_t i = 0; i < trace.stage_count; ++i) {
+    json.key(std::string(trace.stages[i].name) + "_ns")
+        .value(trace.stages[i].duration_ns);
+  }
+  json.end_object();
+  std::string prefix = "{";
+  if (!trace.id_json.empty()) prefix += "\"id\":" + trace.id_json + ",";
+  prefix += "\"timing\":" + json.str() + ",";
+  return prefix + body.substr(1);
+}
+
+std::string ServeService::access_line(const RequestTrace& trace,
+                                      std::uint64_t total_ns) const {
+  char head[48];
+  const double ts_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::snprintf(head, sizeof head, "{\"ts_ms\":%.3f", ts_ms);
+  std::string line = head;
+  line += ",\"trace\":\"" + trace_tag(trace.seq) + "\"";
+  if (!trace.id_json.empty()) line += ",\"id\":" + trace.id_json;
+  line += ",\"outcome\":\"";
+  line += trace.outcome;
+  line += '"';
+  if (!trace.key_hex.empty()) line += ",\"key\":\"" + trace.key_hex + "\"";
+  if (!trace.backend.empty()) {
+    line += ",\"backend\":\"" + trace.backend + "\"";
+  }
+  for (std::size_t i = 0; i < trace.stage_count; ++i) {
+    line += ",\"";
+    line += trace.stages[i].name;
+    line += "_ns\":" + std::to_string(trace.stages[i].duration_ns);
+  }
+  line += ",\"total_ns\":" + std::to_string(total_ns) + "}";
+  return line;
+}
+
+void ServeService::finish(const RequestTrace& trace, std::uint64_t total_ns) {
+  red_.record(total_ns, trace.error);
+  latency_.record(total_ns);
+  if (options_.trace) {
+    options_.trace->complete("req " + trace_tag(trace.seq),
+                             "serve.request", trace.trace_start_us,
+                             static_cast<double>(total_ns) / 1000.0);
+    for (std::size_t i = 0; i < trace.stage_count; ++i) {
+      const RequestTrace::Stage& stage = trace.stages[i];
+      options_.trace->complete(
+          stage.name, "serve.stage",
+          trace.trace_start_us +
+              static_cast<double>(stage.start_ns) / 1000.0,
+          static_cast<double>(stage.duration_ns) / 1000.0);
+    }
+  }
+  if (options_.access_log) {
+    options_.access_log->try_append(access_line(trace, total_ns));
   }
 }
 
@@ -241,6 +473,14 @@ std::string ServeService::shed_reply() {
 void ServeService::note_shed() {
   shed_.fetch_add(1, std::memory_order_relaxed);
   HMCS_OBS_COUNTER_INC("serve.requests.shed");
+  if (options_.access_log) {
+    const std::uint64_t seq =
+        sequence_.fetch_add(1, std::memory_order_relaxed);
+    RequestTrace trace;
+    trace.seq = seq;
+    trace.outcome = "shed";
+    options_.access_log->try_append(access_line(trace, 0));
+  }
 }
 
 ServeService::Counters ServeService::counters() const {

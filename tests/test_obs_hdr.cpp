@@ -1,0 +1,272 @@
+// Tests for the log-linear HDR histogram (index math, precision bound,
+// quantiles, concurrency) and the rolling RED window (epoch rotation,
+// eviction, error accounting, straggler drops).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "hmcs/obs/hdr_histogram.hpp"
+#include "hmcs/obs/red.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using hmcs::obs::HdrHistogram;
+using hmcs::obs::HdrSnapshot;
+using hmcs::obs::RedWindow;
+
+TEST(HdrHistogram, SmallValuesAreExact) {
+  // Below 2^(sub_bits+1) every value has its own bucket.
+  for (unsigned sub_bits : {1u, 5u, 8u}) {
+    const std::uint64_t exact_limit = 2ull << sub_bits;
+    for (std::uint64_t v = 0; v < exact_limit; ++v) {
+      const std::size_t index = HdrHistogram::index_for(v, sub_bits);
+      EXPECT_EQ(index, static_cast<std::size_t>(v));
+      EXPECT_EQ(HdrHistogram::bucket_upper_bound(index, sub_bits), v);
+    }
+  }
+}
+
+TEST(HdrHistogram, IndexIsMonotoneAndContiguousAcrossOctaves) {
+  const unsigned sub_bits = 5;
+  std::size_t previous = HdrHistogram::index_for(0, sub_bits);
+  // Walk bucket boundaries: each upper bound + 1 must land in the next
+  // bucket, with no gaps or reversals.
+  for (std::size_t i = 0; i + 1 < HdrHistogram::array_size(sub_bits); ++i) {
+    const std::uint64_t upper = HdrHistogram::bucket_upper_bound(i, sub_bits);
+    if (upper == ~0ull) break;  // saturated top bucket
+    EXPECT_EQ(HdrHistogram::index_for(upper, sub_bits), i);
+    EXPECT_EQ(HdrHistogram::index_for(upper + 1, sub_bits), i + 1);
+  }
+  (void)previous;
+}
+
+TEST(HdrHistogram, RelativeErrorBoundedBySubBits) {
+  // The bucket upper bound overshoots the recorded value by at most a
+  // factor of 1 + 2^-sub_bits.
+  for (unsigned sub_bits : {3u, 5u, 7u}) {
+    const double max_rel = 1.0 / static_cast<double>(1ull << sub_bits);
+    std::uint64_t v = 1;
+    for (int i = 0; i < 60; ++i, v = v * 3 + 7) {
+      const std::size_t index = HdrHistogram::index_for(v, sub_bits);
+      const std::uint64_t upper =
+          HdrHistogram::bucket_upper_bound(index, sub_bits);
+      ASSERT_GE(upper, v);
+      const double rel = (static_cast<double>(upper) - static_cast<double>(v)) /
+                         static_cast<double>(v);
+      EXPECT_LE(rel, max_rel + 1e-12) << "v=" << v << " sub_bits=" << sub_bits;
+    }
+  }
+}
+
+TEST(HdrHistogram, ExtremeValuesMapInRange) {
+  const unsigned sub_bits = 5;
+  const std::size_t size = HdrHistogram::array_size(sub_bits);
+  EXPECT_LT(HdrHistogram::index_for(~0ull, sub_bits), size);
+  EXPECT_EQ(HdrHistogram::bucket_upper_bound(size - 1, sub_bits), ~0ull);
+  HdrHistogram hist(sub_bits);
+  hist.record(~0ull);
+  hist.record(0);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_EQ(hist.snapshot().max_value(), ~0ull);
+}
+
+TEST(HdrHistogram, QuantilesMatchExactDatasetWithinPrecision) {
+  HdrHistogram hist(5);
+  std::vector<std::uint64_t> values;
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 10000; ++i) {
+    // SplitMix-ish scramble for a deterministic spread over ~3 decades.
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    const std::uint64_t v = 1000 + x % 1000000;
+    values.push_back(v);
+    hist.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    const std::uint64_t exact = values[rank - 1];
+    const std::uint64_t approx = hist.quantile(q);
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(static_cast<double>(approx),
+              static_cast<double>(exact) * (1.0 + 1.0 / 32.0) + 1.0)
+        << "q=" << q;
+  }
+  EXPECT_EQ(hist.quantile(0.0), hist.snapshot().buckets.front().first);
+  EXPECT_EQ(hist.quantile(1.0), hist.snapshot().max_value());
+}
+
+TEST(HdrHistogram, EmptyHistogram) {
+  HdrHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.quantile(0.5), 0u);
+  const HdrSnapshot snap = hist.snapshot();
+  EXPECT_TRUE(snap.empty());
+  EXPECT_EQ(snap.max_value(), 0u);
+}
+
+TEST(HdrHistogram, ConcurrentRecordingConservesCount) {
+  HdrHistogram hist(5);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.record(static_cast<std::uint64_t>(t * 1000 + i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(hist.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const HdrSnapshot snap = hist.snapshot();
+  std::uint64_t total = 0;
+  for (const auto& [upper, count] : snap.buckets) total += count;
+  EXPECT_EQ(total, hist.count());
+}
+
+TEST(HdrHistogram, ResetClears) {
+  HdrHistogram hist;
+  hist.record(42);
+  hist.record(1u << 20);
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_TRUE(hist.snapshot().empty());
+}
+
+TEST(HdrHistogram, RejectsBadSubBits) {
+  EXPECT_THROW(HdrHistogram(0), hmcs::Error);
+  EXPECT_THROW(HdrHistogram(13), hmcs::Error);
+}
+
+TEST(HdrHistogram, DenseMergeMatchesPerHistogramTotals) {
+  HdrHistogram a(5);
+  HdrHistogram b(5);
+  for (std::uint64_t v = 1; v < 1000; v += 7) a.record(v);
+  for (std::uint64_t v = 500; v < 5000; v += 11) b.record(v);
+  std::vector<std::uint64_t> dense(HdrHistogram::array_size(5), 0);
+  a.accumulate(dense);
+  b.accumulate(dense);
+  const HdrSnapshot merged = HdrHistogram::snapshot_from_dense(5, dense);
+  EXPECT_EQ(merged.total, a.count() + b.count());
+  EXPECT_EQ(merged.max_value(),
+            std::max(a.snapshot().max_value(), b.snapshot().max_value()));
+}
+
+// ---------------------------------------------------------------------------
+// RedWindow
+// ---------------------------------------------------------------------------
+
+TEST(RedWindow, SingleEpochSummary) {
+  RedWindow::Options options;
+  options.window_seconds = 10;
+  RedWindow red(options);
+  for (int i = 0; i < 100; ++i) {
+    red.record_at(0, 1000, /*error=*/i < 5);
+  }
+  const RedWindow::Summary sum = red.summarize_at(0, 0.5);
+  EXPECT_EQ(sum.requests, 100u);
+  EXPECT_EQ(sum.errors, 5u);
+  EXPECT_DOUBLE_EQ(sum.error_rate, 0.05);
+  // Only 0.5 s of wall time covered: 100 requests -> 200/s.
+  EXPECT_NEAR(sum.rate_per_s, 200.0, 1e-9);
+  EXPECT_GE(sum.p50_ns, 1000u);
+  EXPECT_EQ(sum.max_ns, 1000u);
+}
+
+TEST(RedWindow, OldEpochsFallOutOfTheWindow) {
+  RedWindow::Options options;
+  options.window_seconds = 3;
+  RedWindow red(options);
+  red.record_at(0, 100, false);
+  red.record_at(1, 200, false);
+  red.record_at(4, 300, false);
+
+  // As of epoch 4, (1, 4] covers epochs 2..4: only the epoch-4 sample.
+  const RedWindow::Summary now = red.summarize_at(4, 1.0);
+  EXPECT_EQ(now.requests, 1u);
+  EXPECT_EQ(now.max_ns, 300u);
+
+  // As of epoch 1 the first two samples are both in range. (The ring
+  // still holds them; nothing recycled their slots yet.)
+  const RedWindow::Summary then = red.summarize_at(1, 1.0);
+  EXPECT_EQ(then.requests, 2u);
+}
+
+TEST(RedWindow, SlotRecyclingResetsCounts) {
+  RedWindow::Options options;
+  options.window_seconds = 2;  // ring of 4 slots
+  RedWindow red(options);
+  red.record_at(0, 100, true);
+  // Epoch 4 reuses slot 0 (4 % 4 == 0); the old epoch-0 data must not
+  // leak into the new epoch's counts.
+  red.record_at(4, 900, false);
+  const RedWindow::Summary sum = red.summarize_at(4, 1.0);
+  EXPECT_EQ(sum.requests, 1u);
+  EXPECT_EQ(sum.errors, 0u);
+  EXPECT_EQ(sum.max_ns, 900u);
+}
+
+TEST(RedWindow, StragglersAreDroppedNotMisfiled) {
+  RedWindow::Options options;
+  options.window_seconds = 2;  // ring of 4 slots
+  RedWindow red(options);
+  red.record_at(6, 100, false);  // slot 2 now owned by epoch 6
+  // A recorder more than a full ring behind finds its slot recycled for
+  // a newer epoch; the sample must be dropped, not counted against 6.
+  red.record_at(2, 999, true);
+  EXPECT_EQ(red.dropped(), 1u);
+  const RedWindow::Summary sum = red.summarize_at(6, 1.0);
+  EXPECT_EQ(sum.requests, 1u);
+  EXPECT_EQ(sum.errors, 0u);
+}
+
+TEST(RedWindow, EmptyWindow) {
+  RedWindow red;
+  const RedWindow::Summary sum = red.summarize();
+  EXPECT_EQ(sum.requests, 0u);
+  EXPECT_DOUBLE_EQ(sum.rate_per_s, 0.0);
+  EXPECT_DOUBLE_EQ(sum.error_rate, 0.0);
+  EXPECT_EQ(sum.p99_ns, 0u);
+}
+
+TEST(RedWindow, WallClockRecordLandsInSummary) {
+  RedWindow red;
+  red.record(5000, false);
+  red.record(7000, true);
+  const RedWindow::Summary sum = red.summarize();
+  EXPECT_EQ(sum.requests, 2u);
+  EXPECT_EQ(sum.errors, 1u);
+  EXPECT_EQ(sum.max_ns, 7000u);
+  EXPECT_GT(sum.rate_per_s, 0.0);
+}
+
+TEST(RedWindow, ConcurrentRecordingConservesRequests) {
+  RedWindow::Options options;
+  options.window_seconds = 4;
+  RedWindow red(options);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&red] {
+      for (int i = 0; i < kPerThread; ++i) {
+        red.record_at(i % 3, 100 + static_cast<std::uint64_t>(i), false);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const RedWindow::Summary sum = red.summarize_at(3, 1.0);
+  EXPECT_EQ(sum.requests + red.dropped(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace

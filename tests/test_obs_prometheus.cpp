@@ -1,0 +1,163 @@
+// Tests for the Prometheus text exposition writer: metric-name
+// sanitisation, histogram bucket cumulativity, label escaping (incl.
+// UTF-8 pass-through), and empty-registry output.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "hmcs/obs/metrics.hpp"
+#include "hmcs/obs/prometheus.hpp"
+
+namespace {
+
+using hmcs::obs::MetricsSnapshot;
+using hmcs::obs::PrometheusOptions;
+using hmcs::obs::prometheus_escape_label;
+using hmcs::obs::prometheus_metric_name;
+using hmcs::obs::Registry;
+using hmcs::obs::render_prometheus;
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Prometheus, MetricNameSanitisation) {
+  EXPECT_EQ(prometheus_metric_name("serve.request.wall_time"),
+            "serve_request_wall_time");
+  EXPECT_EQ(prometheus_metric_name("sim.center.icn-1.utilization"),
+            "sim_center_icn_1_utilization");
+  EXPECT_EQ(prometheus_metric_name("already_legal:name"),
+            "already_legal:name");
+  EXPECT_EQ(prometheus_metric_name("7seas"), "_7seas");
+  EXPECT_EQ(prometheus_metric_name(""), "_");
+  EXPECT_EQ(prometheus_metric_name("sp ace/slash"), "sp_ace_slash");
+}
+
+TEST(Prometheus, LabelEscaping) {
+  EXPECT_EQ(prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_label("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prometheus_escape_label("line\nbreak"), "line\\nbreak");
+  // UTF-8 passes through untouched.
+  EXPECT_EQ(prometheus_escape_label("caf\xc3\xa9 \xe2\x9c\x93"),
+            "caf\xc3\xa9 \xe2\x9c\x93");
+}
+
+TEST(Prometheus, EmptySnapshotRendersEmpty) {
+  const MetricsSnapshot empty;
+  EXPECT_EQ(render_prometheus(empty), "");
+}
+
+TEST(Prometheus, CounterAndGaugeSamples) {
+  Registry registry;
+  registry.counter("serve.requests.ok")->inc(41);
+  registry.gauge("sweep.warmup.cutoff")->set(2.5);
+  const std::string text = render_prometheus(registry);
+  EXPECT_NE(text.find("# TYPE serve_requests_ok counter\n"
+                      "serve_requests_ok 41\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sweep_warmup_cutoff gauge\n"
+                      "sweep_warmup_cutoff 2.5\n"),
+            std::string::npos);
+}
+
+TEST(Prometheus, ConstantLabelsOnEverySample) {
+  Registry registry;
+  registry.counter("c.one")->inc();
+  registry.gauge("g.two")->set(1.0);
+  PrometheusOptions options;
+  options.labels = {{"instance", "hmcs:7777"}, {"quote", "a\"b"}};
+  const std::string text = render_prometheus(registry, options);
+  EXPECT_NE(text.find("c_one{instance=\"hmcs:7777\",quote=\"a\\\"b\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("g_two{instance=\"hmcs:7777\",quote=\"a\\\"b\"} 1"),
+            std::string::npos);
+}
+
+TEST(Prometheus, StatRendersAsSummaryWithMinMax) {
+  Registry registry;
+  auto* stat = registry.stat("sim.center.utilization");
+  stat->observe(0.25);
+  stat->observe(0.75);
+  const std::string text = render_prometheus(registry);
+  EXPECT_NE(text.find("# TYPE sim_center_utilization summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("sim_center_utilization_sum 1\n"), std::string::npos);
+  EXPECT_NE(text.find("sim_center_utilization_count 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sim_center_utilization_min 0.25\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sim_center_utilization_max 0.75\n"),
+            std::string::npos);
+}
+
+TEST(Prometheus, TimerHistogramIsCumulativeAndClosed) {
+  Registry registry;
+  auto* timer = registry.timer("serve.request.wall_time");
+  // A spread of durations across several octaves.
+  for (std::uint64_t ns = 100; ns <= 100000; ns = ns * 3 / 2) {
+    timer->observe_ns(ns);
+  }
+  const std::string text = render_prometheus(registry);
+  EXPECT_NE(text.find("# TYPE serve_request_wall_time_seconds histogram"),
+            std::string::npos);
+
+  // Bucket counts must be non-decreasing in le order, close with +Inf,
+  // and +Inf must equal _count.
+  std::uint64_t previous = 0;
+  std::uint64_t inf_value = 0;
+  std::uint64_t count_value = 0;
+  bool saw_inf = false;
+  for (const std::string& line : lines_of(text)) {
+    const std::string bucket_prefix = "serve_request_wall_time_seconds_bucket";
+    if (line.compare(0, bucket_prefix.size(), bucket_prefix) == 0) {
+      const std::size_t space = line.rfind(' ');
+      const std::uint64_t value = std::stoull(line.substr(space + 1));
+      EXPECT_GE(value, previous) << line;
+      previous = value;
+      if (line.find("le=\"+Inf\"") != std::string::npos) {
+        saw_inf = true;
+        inf_value = value;
+      }
+    }
+    const std::string count_prefix = "serve_request_wall_time_seconds_count";
+    if (line.compare(0, count_prefix.size(), count_prefix) == 0) {
+      count_value = std::stoull(line.substr(line.rfind(' ') + 1));
+    }
+  }
+  EXPECT_TRUE(saw_inf);
+  EXPECT_EQ(inf_value, timer->count());
+  EXPECT_EQ(count_value, timer->count());
+}
+
+TEST(Prometheus, TimerBucketsScaleToSeconds) {
+  Registry registry;
+  registry.timer("t")->observe_ns(1000000000ull);  // exactly 1 s
+  const std::string text = render_prometheus(registry);
+  // The 1 s sample lands in a bucket whose upper edge is >= 1.0 s and
+  // the _sum is 1 second.
+  EXPECT_NE(text.find("t_seconds_sum 1\n"), std::string::npos);
+  EXPECT_NE(text.find("t_seconds_count 1\n"), std::string::npos);
+}
+
+TEST(Prometheus, TimerHdrQuantileAgreesWithExposition) {
+  Registry registry;
+  auto* timer = registry.timer("q");
+  for (std::uint64_t i = 1; i <= 1000; ++i) timer->observe_ns(i * 1000);
+  // p50 within the HDR precision of the exact 500 us median.
+  const std::uint64_t p50 = timer->quantile_ns(0.5);
+  EXPECT_GE(p50, 500000u);
+  EXPECT_LE(static_cast<double>(p50), 500000.0 * (1.0 + 1.0 / 32.0) + 1.0);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.timers.size(), 1u);
+  EXPECT_EQ(snap.timers[0].hdr.quantile(0.5), p50);
+}
+
+}  // namespace

@@ -1,0 +1,274 @@
+// Tests for the serve tier's observability surface: the `metrics` and
+// extended `stats` admin ops, the unknown-op error, the per-request
+// `timing` breakdown, the structured access log (ring semantics and
+// on-disk lines), and the TraceSession span tree.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hmcs/obs/trace.hpp"
+#include "hmcs/serve/access_log.hpp"
+#include "hmcs/serve/service.hpp"
+#include "hmcs/util/json.hpp"
+
+namespace {
+
+using namespace hmcs;
+
+constexpr const char* kTinyRequest =
+    R"({"id":"r1","config":{"clusters":2,"total_nodes":32}})";
+
+std::string temp_log_path(const char* tag) {
+  return ::testing::TempDir() + "hmcs_access_" + tag + "_" +
+         std::to_string(::getpid()) + ".log";
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Admin ops
+
+TEST(ServeObservability, MetricsOpReturnsPrometheusText) {
+  serve::ServeService service({});
+  service.handle_line(kTinyRequest);
+  service.handle_line(kTinyRequest);  // one hit
+
+  const JsonValue reply =
+      parse_json(service.handle_line(R"({"op":"metrics","id":"m"})"));
+  EXPECT_EQ(reply.at("status").as_string(), "ok");
+  EXPECT_EQ(reply.at("op").as_string(), "metrics");
+  EXPECT_EQ(reply.at("id").as_string(), "m");
+  EXPECT_NE(reply.at("content_type").as_string().find("0.0.4"),
+            std::string::npos);
+
+  const std::string body = reply.at("body").as_string();
+  EXPECT_NE(body.find("# TYPE serve_cache_hits counter"), std::string::npos);
+  EXPECT_NE(body.find("serve_cache_hits 1"), std::string::npos);
+  // The request timer renders as a cumulative seconds histogram.
+  EXPECT_NE(body.find("_seconds_bucket{le=\"+Inf\"}"), std::string::npos);
+}
+
+TEST(ServeObservability, StatsOpCarriesRedLatencyPoolAndUptime) {
+  serve::ServeService service({});
+  service.set_pool_status_fn([] {
+    return serve::ServeService::PoolStatus{.queued = 3,
+                                           .queue_limit = 64,
+                                           .threads = 4};
+  });
+  service.handle_line(kTinyRequest);
+  service.handle_line(kTinyRequest);
+
+  const JsonValue stats =
+      parse_json(service.handle_line(R"({"op":"stats"})"));
+  // Pre-existing contract (loadgen depends on these) is untouched.
+  EXPECT_EQ(stats.at("serve").at("evaluations").as_number(), 1.0);
+  EXPECT_EQ(stats.at("cache").at("hits").as_number(), 1.0);
+
+  const JsonValue& red = stats.at("red");
+  EXPECT_EQ(red.at("requests").as_number(), 2.0);
+  EXPECT_EQ(red.at("errors").as_number(), 0.0);
+  EXPECT_GT(red.at("rate_per_s").as_number(), 0.0);
+  EXPECT_GE(red.at("p99_us").as_number(), red.at("p50_us").as_number());
+
+  const JsonValue& latency = stats.at("latency");
+  EXPECT_EQ(latency.at("count").as_number(), 2.0);
+  EXPECT_GT(latency.at("max_us").as_number(), 0.0);
+
+  const JsonValue& pool = stats.at("pool");
+  EXPECT_EQ(pool.at("queued").as_number(), 3.0);
+  EXPECT_EQ(pool.at("queue_limit").as_number(), 64.0);
+  EXPECT_EQ(pool.at("threads").as_number(), 4.0);
+
+  // Per-shard occupancy sums to the entry count.
+  const JsonValue& shards = stats.at("cache").at("shard_entries");
+  double total = 0.0;
+  for (const JsonValue& entry : shards.items) total += entry.as_number();
+  EXPECT_EQ(total, stats.at("cache").at("entries").as_number());
+
+  EXPECT_GE(stats.at("uptime_s").as_number(), 0.0);
+  EXPECT_EQ(stats.at("inflight_keys").as_number(), 0.0);
+}
+
+TEST(ServeObservability, UnknownOpEnumeratesOpsAndEchoesId) {
+  serve::ServeService service({});
+  const std::string reply =
+      service.handle_line(R"({"op":"scrape","id":"u7"})");
+  EXPECT_NE(reply.find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(reply.find("\"id\":\"u7\""), std::string::npos);
+  EXPECT_NE(reply.find("unknown op 'scrape'"), std::string::npos);
+  EXPECT_NE(reply.find("ping|stats|metrics"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Per-request timing breakdown
+
+TEST(ServeObservability, TimingFieldBreaksDownTheRequest) {
+  serve::ServeService service({});
+  const std::string reply = service.handle_line(
+      R"({"id":"t","timing":true,
+          "backend":{"type":"analytic","model":"mva"},
+          "config":{"clusters":8,"total_nodes":65536}})");
+  const JsonValue doc = parse_json(reply);
+  EXPECT_EQ(doc.at("status").as_string(), "ok");
+  const JsonValue& timing = doc.at("timing");
+  EXPECT_EQ(timing.at("trace").as_string().substr(0, 1), "r");
+
+  const double total = timing.at("total_ns").as_number();
+  const double parse = timing.at("parse_ns").as_number();
+  const double probe = timing.at("cache_probe_ns").as_number();
+  const double evaluate = timing.at("evaluate_ns").as_number();
+  const double serialize = timing.at("serialize_ns").as_number();
+  EXPECT_GT(total, 0.0);
+  const double staged = parse + probe + evaluate + serialize;
+  EXPECT_LE(staged, total);
+  // For a heavy evaluation the stages dominate the wall time.
+  EXPECT_GE(staged, 0.5 * total);
+  EXPECT_GT(evaluate, parse);
+}
+
+TEST(ServeObservability, TimingIsNotPartOfTheCacheKey) {
+  serve::ServeService service({});
+  const std::string plain = service.handle_line(kTinyRequest);
+  const std::string timed = service.handle_line(
+      R"({"id":"r1","timing":true,"config":{"clusters":2,"total_nodes":32}})");
+  // Same canonical key: the timed request is a cache hit...
+  EXPECT_EQ(service.counters().evaluations, 1u);
+  EXPECT_EQ(service.cache_stats().hits, 1u);
+  // ...whose reply adds the timing member but shares the cached body.
+  EXPECT_EQ(plain.find("\"timing\""), std::string::npos);
+  EXPECT_NE(timed.find("\"timing\""), std::string::npos);
+  const JsonValue doc = parse_json(timed);
+  EXPECT_TRUE(doc.find("timing")->find("cache_probe_ns") != nullptr);
+  // Same canonical key hash in both replies — one shared cache entry.
+  EXPECT_EQ(doc.at("key").as_string(),
+            parse_json(plain).at("key").as_string());
+}
+
+// ---------------------------------------------------------------------------
+// Access log
+
+TEST(AccessLogRing, WritesEveryAppendedLineInOrder) {
+  const std::string path = temp_log_path("order");
+  {
+    serve::AccessLog::Options options;
+    options.path = path;
+    options.capacity = 64;
+    serve::AccessLog log(options);
+    for (int i = 0; i < 200; ++i) {
+      while (!log.try_append("line " + std::to_string(i))) {
+        std::this_thread::yield();  // ring full: wait for the writer
+      }
+    }
+    log.flush();
+    const serve::AccessLog::Stats stats = log.stats();
+    EXPECT_EQ(stats.appended, 200u);
+    EXPECT_EQ(stats.written, 200u);
+  }
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(lines[static_cast<std::size_t>(i)],
+              "line " + std::to_string(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(AccessLogRing, ShedsInsteadOfBlockingWhenFull) {
+  const std::string path = temp_log_path("shed");
+  {
+    serve::AccessLog::Options options;
+    options.path = path;
+    options.capacity = 8;
+    options.flush_interval_ms = 1000;  // keep the writer asleep
+    serve::AccessLog log(options);
+    std::uint64_t refused = 0;
+    for (int i = 0; i < 64; ++i) {
+      if (!log.try_append("x")) ++refused;
+    }
+    EXPECT_GT(refused, 0u);
+    EXPECT_EQ(log.stats().shed, refused);
+    EXPECT_EQ(log.stats().appended + refused, 64u);
+  }  // dtor drains whatever the ring still holds
+  std::remove(path.c_str());
+}
+
+TEST(ServeObservability, AccessLogRecordsOutcomesPerRequest) {
+  const std::string path = temp_log_path("outcomes");
+  {
+    serve::ServeService::Options options;
+    serve::AccessLog::Options log_options;
+    log_options.path = path;
+    options.access_log = std::make_shared<serve::AccessLog>(log_options);
+    serve::ServeService service(options);
+
+    service.handle_line(kTinyRequest);              // miss
+    service.handle_line(kTinyRequest);              // hit
+    service.handle_line("not json");                // error
+    service.handle_line(R"({"op":"stats"})");       // op: NOT logged
+    options.access_log->flush();
+  }
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+
+  const JsonValue miss = parse_json(lines[0]);
+  EXPECT_EQ(miss.at("outcome").as_string(), "miss");
+  EXPECT_EQ(miss.at("id").as_string(), "r1");
+  EXPECT_EQ(miss.at("key").as_string().size(), 16u);
+  EXPECT_EQ(miss.at("backend").as_string(), "analytic");
+  EXPECT_GT(miss.at("total_ns").as_number(), 0.0);
+  EXPECT_GT(miss.at("evaluate_ns").as_number(), 0.0);
+  EXPECT_GT(miss.at("ts_ms").as_number(), 0.0);
+
+  const JsonValue hit = parse_json(lines[1]);
+  EXPECT_EQ(hit.at("outcome").as_string(), "hit");
+  EXPECT_TRUE(hit.find("evaluate_ns") == nullptr);  // no evaluation ran
+
+  const JsonValue error = parse_json(lines[2]);
+  EXPECT_EQ(error.at("outcome").as_string(), "error");
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+
+TEST(ServeObservability, TraceSessionGetsRequestAndStageSpans) {
+  serve::ServeService::Options options;
+  options.trace = std::make_shared<obs::TraceSession>();
+  serve::ServeService service(options);
+  service.handle_line(kTinyRequest);
+
+  const std::vector<obs::SpanEvent> events = options.trace->events();
+  const obs::SpanEvent* request_span = nullptr;
+  std::vector<const obs::SpanEvent*> stage_spans;
+  for (const obs::SpanEvent& event : events) {
+    if (event.category == "serve.request") request_span = &event;
+    if (event.category == "serve.stage") stage_spans.push_back(&event);
+  }
+  ASSERT_NE(request_span, nullptr);
+  EXPECT_EQ(request_span->name.substr(0, 5), "req r");
+  ASSERT_GE(stage_spans.size(), 3u);  // parse, cache_probe, evaluate, ...
+  for (const obs::SpanEvent* stage : stage_spans) {
+    // Every stage nests inside the request span.
+    EXPECT_GE(stage->timestamp_us, request_span->timestamp_us);
+    EXPECT_LE(stage->timestamp_us + stage->duration_us,
+              request_span->timestamp_us + request_span->duration_us + 1.0);
+  }
+}
+
+}  // namespace

@@ -1,7 +1,7 @@
 // hmcs_loadgen — closed-loop load generator and checker for hmcs_serve.
 // Drives a cold pass (every key once, cache empty), then warm passes
 // (the same keys repeated), over N parallel connections, and reports
-// p50/p95 reply latencies plus the warm/cold speedup. Because warm
+// p50/p95/p99/max reply latencies plus the warm/cold speedup. Because warm
 // requests reuse the cold ids, replies must be byte-identical to the
 // cold ones — the daemon's cache contract — and any mismatch fails the
 // run. Optional assertions (--min-hit-rate, --min-warm-speedup) turn it
@@ -267,18 +267,37 @@ int main(int argc, char** argv) {
 
     const double cold_p50 = percentile(cold_us, 0.50);
     const double cold_p95 = percentile(cold_us, 0.95);
+    const double cold_p99 = percentile(cold_us, 0.99);
+    const double cold_max = percentile(cold_us, 1.0);
     const double warm_p50 = percentile(warm_us, 0.50);
     const double warm_p95 = percentile(warm_us, 0.95);
+    const double warm_p99 = percentile(warm_us, 0.99);
+    const double warm_max = percentile(warm_us, 1.0);
     const double speedup = warm_p50 > 0.0 ? cold_p50 / warm_p50 : 0.0;
 
     std::fprintf(stderr,
                  "loadgen: %zu keys x %zu warm iterations over %zu "
-                 "connections\n  cold p50 %.1f us, p95 %.1f us\n  warm p50 "
-                 "%.1f us, p95 %.1f us\n  warm speedup (p50) %.1fx, hit rate "
-                 "%.3f, byte-identical %s\n",
+                 "connections\n  cold p50 %.1f us, p95 %.1f us, p99 %.1f us, "
+                 "max %.1f us\n  warm p50 %.1f us, p95 %.1f us, p99 %.1f us, "
+                 "max %.1f us\n  warm speedup (p50) %.1fx, hit rate %.3f, "
+                 "byte-identical %s\n",
                  keys, warm_iterations, connections, cold_p50, cold_p95,
-                 warm_p50, warm_p95, speedup, hit_rate,
-                 byte_identical ? "yes" : "no");
+                 cold_p99, cold_max, warm_p50, warm_p95, warm_p99, warm_max,
+                 speedup, hit_rate, byte_identical ? "yes" : "no");
+
+    // The server keeps its own HDR latency view (the `stats` op); print
+    // it for comparison. Server quantiles exclude client/network time,
+    // so they bound ours from below.
+    if (const JsonValue* latency = stats.find("latency")) {
+      std::fprintf(stderr,
+                   "  server-side p50 %.1f us, p90 %.1f us, p99 %.1f us, "
+                   "max %.1f us over %.0f requests\n",
+                   latency->at("p50_us").as_number(),
+                   latency->at("p90_us").as_number(),
+                   latency->at("p99_us").as_number(),
+                   latency->at("max_us").as_number(),
+                   latency->at("count").as_number());
+    }
 
     JsonWriter json;
     json.begin_object();
@@ -288,8 +307,12 @@ int main(int argc, char** argv) {
         .value(static_cast<std::uint64_t>(warm_iterations));
     json.key("cold_p50_us").value(cold_p50);
     json.key("cold_p95_us").value(cold_p95);
+    json.key("cold_p99_us").value(cold_p99);
+    json.key("cold_max_us").value(cold_max);
     json.key("warm_p50_us").value(warm_p50);
     json.key("warm_p95_us").value(warm_p95);
+    json.key("warm_p99_us").value(warm_p99);
+    json.key("warm_max_us").value(warm_max);
     json.key("warm_speedup_p50").value(speedup);
     json.key("hit_rate").value(hit_rate);
     json.key("byte_identical").value(byte_identical);

@@ -51,6 +51,11 @@ int main(int argc, char** argv) {
                  "none)", "0");
   cli.add_option("obs-out", "directory for observability artifacts "
                             "written at shutdown", "");
+  cli.add_option("access-log",
+                 "structured JSON-lines access log path (one line per "
+                 "request; off-thread, shed-not-block)", "");
+  cli.add_option("red-window",
+                 "rolling RED window width in seconds (stats op)", "60");
   try {
     if (!cli.parse(argc, argv)) {
       std::cout << cli.help_text();
@@ -73,11 +78,24 @@ int main(int argc, char** argv) {
             "hmcs_serve: --default-deadline-ms must be >= 0");
     options.stop = &g_interrupt;
 
+    options.service.red_window_seconds =
+        static_cast<unsigned>(cli.get_uint("red-window"));
+    require(options.service.red_window_seconds >= 1,
+            "hmcs_serve: --red-window must be >= 1");
+
     const std::string obs_dir = cli.get_string("obs-out");
     std::shared_ptr<obs::TraceSession> trace;
     if (!obs_dir.empty()) {
       trace = std::make_shared<obs::TraceSession>();
       options.service.trace = trace;
+    }
+
+    const std::string access_log_path = cli.get_string("access-log");
+    if (!access_log_path.empty()) {
+      serve::AccessLog::Options log_options;
+      log_options.path = access_log_path;
+      options.service.access_log =
+          std::make_shared<serve::AccessLog>(log_options);
     }
 
     serve::ServeServer server(options);
@@ -99,6 +117,13 @@ int main(int argc, char** argv) {
               << counters.shed << " shed), cache " << cache.hits << " hits / "
               << cache.misses << " misses, " << counters.coalesced
               << " coalesced\n";
+
+    if (options.service.access_log) {
+      options.service.access_log->flush();
+      const serve::AccessLog::Stats log = options.service.access_log->stats();
+      std::cerr << "access log: " << log.written << " lines written, "
+                << log.shed << " shed\n";
+    }
 
     if (!obs_dir.empty()) {
       obs::write_run_artifacts(obs_dir, obs::Registry::global().snapshot(),
