@@ -21,6 +21,14 @@
 /// With identical clusters this model reduces exactly to the
 /// Super-Cluster model (QueueLengthRule::kConsistent); the test suite
 /// pins that reduction.
+///
+/// Since the recursive-tree refactor this config is a thin *view*: it
+/// lowers onto a depth-2 ModelTree (model_tree.hpp) and
+/// predict_cluster_of_clusters delegates to predict_model_tree
+/// (tree_model.hpp), which owns the derivation above as its depth-2
+/// special case. Homogeneous instances dispatch further down to the
+/// scalar SystemConfig pipeline, making the Super-Cluster reduction
+/// exact. See docs/COMPOSITION.md.
 
 #include <cstdint>
 #include <vector>

@@ -10,7 +10,9 @@
 
 #include "hmcs/analytic/cluster_of_clusters.hpp"
 #include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/model_tree.hpp"
 #include "hmcs/analytic/system_config.hpp"
+#include "hmcs/analytic/tree_model.hpp"
 #include "hmcs/util/json.hpp"
 
 namespace hmcs::analytic {
@@ -23,11 +25,21 @@ void write_json(JsonWriter& json, const CenterPrediction& center);
 void write_json(JsonWriter& json, const LatencyPrediction& prediction);
 void write_json(JsonWriter& json, const ClusterOfClustersConfig& config);
 void write_json(JsonWriter& json, const HeteroLatencyPrediction& prediction);
+/// Canonical recursive schema (docs/COMPOSITION.md): keys in declaration
+/// order, node names emitted only when non-empty, rates spelled as
+/// lambda_per_s — the same schema tree_io.hpp parses, so
+/// parse -> write -> parse round-trips and hmcs_serve can use the writer
+/// as a canonical cache key for nested configs.
+void write_json(JsonWriter& json, const ModelNode& node, bool root);
+void write_json(JsonWriter& json, const ModelTree& tree);
+void write_json(JsonWriter& json, const TreeLatencyPrediction& prediction);
 
 /// Convenience: a standalone document.
 std::string to_json(const SystemConfig& config);
 std::string to_json(const LatencyPrediction& prediction);
 std::string to_json(const ClusterOfClustersConfig& config);
 std::string to_json(const HeteroLatencyPrediction& prediction);
+std::string to_json(const ModelTree& tree);
+std::string to_json(const TreeLatencyPrediction& prediction);
 
 }  // namespace hmcs::analytic

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file tree_io.hpp
+/// Parsing a recursive ModelTree from the nested JSON config schema
+/// (docs/COMPOSITION.md), used by hmcs_serve request bodies and by
+/// sweep configs:
+///
+///   {
+///     "tree": {
+///       "network": "fast-ethernet",          // or {"name","latency_us",
+///       "children": [                        //     "bandwidth_mb_per_s"}
+///         {
+///           "network": "gigabit-ethernet",
+///           "egress": "custom:Uplink,25,120",
+///           "children": [{"processors": 32, "lambda_per_s": 250}]
+///         },
+///         ...
+///       ]
+///     },
+///     "architecture": "non-blocking",        // optional (default)
+///     "message_bytes": 1024,                 // optional
+///     "switch_ports": 24,                    // optional
+///     "switch_latency_us": 10                // optional
+///   }
+///
+/// Internal nodes carry "network", "children", and (except at the root)
+/// "egress"; leaves carry "processors" and "lambda_per_s". Every level
+/// accepts an optional "name" and rejects unknown members, mirroring the
+/// flat serve schema, so typos fail loudly in both. Technology strings
+/// use the config_io vocabulary (presets or "custom:Name,lat_us,MB/s").
+
+#include <string>
+
+#include "hmcs/analytic/model_tree.hpp"
+#include "hmcs/util/json.hpp"
+
+namespace hmcs::analytic {
+
+/// True when `config` is an object carrying a "tree" member — the
+/// discriminator between the nested and the flat config schemas.
+bool is_tree_config(const JsonValue& config);
+
+/// Parses the nested schema above. `where` names the enclosing context
+/// in error messages (e.g. "'config'"). Validates the parsed tree.
+ModelTree model_tree_from_json(const JsonValue& config,
+                               const std::string& where = "'config'");
+
+/// Parses a complete JSON document with the same schema.
+ModelTree load_model_tree(const std::string& text,
+                          const std::string& where = "'config'");
+
+}  // namespace hmcs::analytic

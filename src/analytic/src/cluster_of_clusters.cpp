@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
-#include "hmcs/analytic/mm1.hpp"
-#include "hmcs/analytic/mva.hpp"
-#include "hmcs/analytic/service_time.hpp"
+#include "hmcs/analytic/model_tree.hpp"
+#include "hmcs/analytic/tree_model.hpp"
 #include "hmcs/util/error.hpp"
 
 namespace hmcs::analytic {
@@ -36,187 +36,22 @@ void ClusterOfClustersConfig::validate() const {
 
 ClusterOfClustersConfig ClusterOfClustersConfig::from_super_cluster(
     const SystemConfig& config) {
-  config.validate();
-  ClusterOfClustersConfig out;
-  out.clusters.assign(config.clusters,
-                      ClusterSpec{config.nodes_per_cluster, config.icn1,
-                                  config.ecn1, config.generation_rate_per_us});
-  out.icn2 = config.icn2;
-  out.switch_params = config.switch_params;
-  out.architecture = config.architecture;
-  out.message_bytes = config.message_bytes;
-  return out;
+  const auto lowered = ModelTree::from_system(config).as_cluster_of_clusters();
+  ensure(lowered.has_value(),
+         "ClusterOfClusters: from_system must lower to the two-stage shape");
+  return *lowered;
 }
 
 namespace {
 
-struct SolvedState {
-  std::vector<double> icn1_rates;
-  std::vector<double> ecn1_rates;
-  double icn2_rate;
-  double total_queue_length;
-  bool saturated;
-};
-
-/// Arrival rates and queue lengths at throttle factor `phi`.
-SolvedState evaluate(const ClusterOfClustersConfig& config,
-                     const std::vector<ServiceTimeBreakdown>& icn1_service,
-                     const std::vector<ServiceTimeBreakdown>& ecn1_service,
-                     const ServiceTimeBreakdown& icn2_service, double phi) {
-  const std::size_t c = config.clusters.size();
-  const double n = static_cast<double>(config.total_nodes());
-
-  SolvedState state{};
-  state.icn1_rates.resize(c);
-  state.ecn1_rates.resize(c);
-
-  double icn2_rate = 0.0;
-  std::vector<double> out_rate(c);
-  std::vector<double> generated(c);
-  for (std::size_t i = 0; i < c; ++i) {
-    const auto& cluster = config.clusters[i];
-    const double ni = static_cast<double>(cluster.nodes);
-    const double pi = (n <= 1.0) ? 0.0 : (n - ni) / (n - 1.0);
-    generated[i] = ni * cluster.generation_rate_per_us * phi;
-    state.icn1_rates[i] = generated[i] * (1.0 - pi);
-    out_rate[i] = generated[i] * pi;
-    icn2_rate += out_rate[i];
-  }
-  // Ingress to cluster i: every remote message from j lands in i with
-  // probability N_i/(N-1) (uniform over the N-1 non-self nodes; by
-  // symmetry this sums to N_i * P_i * lam_i for homogeneous rates).
-  for (std::size_t i = 0; i < c; ++i) {
-    const double ni = static_cast<double>(config.clusters[i].nodes);
-    double ingress = 0.0;
-    for (std::size_t j = 0; j < c; ++j) {
-      if (j == i) continue;
-      ingress += generated[j] * ni / (n - 1.0);
-    }
-    state.ecn1_rates[i] = out_rate[i] + ingress;
-  }
-  state.icn2_rate = icn2_rate;
-
-  double total = 0.0;
-  bool saturated = false;
-  auto accumulate = [&](double rate, const ServiceTimeBreakdown& service) {
-    const double l = mm1::number_in_system(rate, service.service_rate());
-    if (std::isinf(l)) {
-      saturated = true;
-    } else {
-      total += l;
-    }
-  };
-  for (std::size_t i = 0; i < c; ++i) {
-    accumulate(state.icn1_rates[i], icn1_service[i]);
-    accumulate(state.ecn1_rates[i], ecn1_service[i]);
-  }
-  accumulate(state.icn2_rate, icn2_service);
-  state.saturated = saturated;
-  state.total_queue_length = saturated ? n : std::min(total, n);
+HeteroCenterState center_state(const TreeCenterPrediction& center) {
+  HeteroCenterState state{};
+  state.arrival_rate = center.arrival_rate;
+  state.service_rate = center.service_rate;
+  state.utilization = center.utilization;
+  state.response_time_us = center.response_time_us;
+  state.queue_length = center.queue_length;
   return state;
-}
-
-HeteroCenterState solve_center(double rate, const ServiceTimeBreakdown& service) {
-  HeteroCenterState out{};
-  out.arrival_rate = rate;
-  out.service_rate = service.service_rate();
-  out.utilization = mm1::utilization(rate, out.service_rate);
-  out.response_time_us = mm1::response_time(rate, out.service_rate);
-  out.queue_length = mm1::number_in_system(rate, out.service_rate);
-  return out;
-}
-
-/// Multi-class AMVA path: stations [ICN1_0..ICN1_{C-1}, ECN1_0..,
-/// ICN2]; one class per cluster. See HeteroSolver::kApproxMva.
-HeteroLatencyPrediction predict_amva(
-    const ClusterOfClustersConfig& config,
-    const std::vector<ServiceTimeBreakdown>& icn1_service,
-    const std::vector<ServiceTimeBreakdown>& ecn1_service,
-    const ServiceTimeBreakdown& icn2_service) {
-  const std::size_t c = config.clusters.size();
-  const double n = static_cast<double>(config.total_nodes());
-  const std::size_t stations = 2 * c + 1;
-  const std::size_t icn2_index = 2 * c;
-
-  std::vector<double> rates(stations);
-  for (std::size_t i = 0; i < c; ++i) {
-    rates[i] = icn1_service[i].service_rate();
-    rates[c + i] = ecn1_service[i].service_rate();
-  }
-  rates[icn2_index] = icn2_service.service_rate();
-
-  std::vector<MvaClass> classes(c);
-  for (std::size_t src = 0; src < c; ++src) {
-    const auto& cluster = config.clusters[src];
-    const double ni = static_cast<double>(cluster.nodes);
-    const double pi = (n <= 1.0) ? 0.0 : (n - ni) / (n - 1.0);
-    MvaClass& cls = classes[src];
-    cls.population = cluster.nodes;
-    cls.think_time_us = 1.0 / cluster.generation_rate_per_us;
-    cls.visit_ratios.assign(stations, 0.0);
-    cls.visit_ratios[src] = 1.0 - pi;        // own ICN1
-    cls.visit_ratios[c + src] += pi;         // own ECN1, outbound
-    if (pi > 0.0) {
-      for (std::size_t dst = 0; dst < c; ++dst) {
-        if (dst == src) continue;
-        const double nd = static_cast<double>(config.clusters[dst].nodes);
-        cls.visit_ratios[c + dst] += pi * nd / (n - ni);  // landing ECN1
-      }
-      cls.visit_ratios[icn2_index] = pi;
-    }
-  }
-
-  const MultiClassMvaResult mva = solve_multiclass_amva(rates, classes);
-
-  HeteroLatencyPrediction out{};
-  out.fixed_point_converged = mva.converged;
-  out.fixed_point_iterations = mva.iterations;
-  out.total_queue_length = 0.0;
-  for (const double l : mva.queue_length) out.total_queue_length += l;
-
-  auto center_state = [&](std::size_t index) {
-    HeteroCenterState state{};
-    state.service_rate = rates[index];
-    double weighted_response = 0.0;
-    for (std::size_t cls = 0; cls < c; ++cls) {
-      const double arrival =
-          mva.throughput[cls] * classes[cls].visit_ratios[index];
-      state.arrival_rate += arrival;
-      weighted_response += arrival * mva.response_time_us[cls][index];
-    }
-    state.utilization = state.arrival_rate / state.service_rate;
-    state.response_time_us = state.arrival_rate > 0.0
-                                 ? weighted_response / state.arrival_rate
-                                 : 1.0 / state.service_rate;
-    state.queue_length = mva.queue_length[index];
-    return state;
-  };
-  out.icn1.reserve(c);
-  out.ecn1.reserve(c);
-  for (std::size_t i = 0; i < c; ++i) {
-    out.icn1.push_back(center_state(i));
-    out.ecn1.push_back(center_state(c + i));
-  }
-  out.icn2 = center_state(icn2_index);
-
-  out.per_cluster_latency_us.resize(c);
-  double delivered = 0.0;
-  double offered = 0.0;
-  double weighted_latency = 0.0;
-  for (std::size_t cls = 0; cls < c; ++cls) {
-    // Per-message latency = cycle residence = N_c/X_c - Z_c.
-    const double latency =
-        static_cast<double>(classes[cls].population) / mva.throughput[cls] -
-        classes[cls].think_time_us;
-    out.per_cluster_latency_us[cls] = latency;
-    weighted_latency += mva.throughput[cls] * latency;
-    delivered += mva.throughput[cls];
-    offered += static_cast<double>(config.clusters[cls].nodes) *
-               config.clusters[cls].generation_rate_per_us;
-  }
-  out.mean_latency_us = weighted_latency / delivered;
-  out.effective_rate_scale = delivered / offered;
-  return out;
 }
 
 }  // namespace
@@ -224,99 +59,41 @@ HeteroLatencyPrediction predict_amva(
 HeteroLatencyPrediction predict_cluster_of_clusters(
     const ClusterOfClustersConfig& config, HeteroSolver solver) {
   config.validate();
-  const std::size_t c = config.clusters.size();
-  const double n = static_cast<double>(config.total_nodes());
 
-  std::vector<ServiceTimeBreakdown> icn1_service(c);
-  std::vector<ServiceTimeBreakdown> ecn1_service(c);
-  for (std::size_t i = 0; i < c; ++i) {
-    icn1_service[i] = network_service_time(
-        config.clusters[i].icn1, config.clusters[i].nodes,
-        config.switch_params, config.architecture, config.message_bytes);
-    ecn1_service[i] = network_service_time(
-        config.clusters[i].ecn1, config.clusters[i].nodes,
-        config.switch_params, config.architecture, config.message_bytes);
-  }
-  const ServiceTimeBreakdown icn2_service =
-      network_service_time(config.icn2, c, config.switch_params,
-                           config.architecture, config.message_bytes);
-
+  // The whole derivation lives in the recursive tree solver now
+  // (tree_model.cpp); this config is its depth-2 special case. The
+  // solver dispatches homogeneous instances to the scalar SystemConfig
+  // pipeline, which is what makes the Super-Cluster reduction exact.
+  TreeModelOptions options;
   if (solver == HeteroSolver::kApproxMva) {
-    return predict_amva(config, icn1_service, ecn1_service, icn2_service);
+    options.fixed_point.method = SourceThrottling::kExactMva;
+  } else {
+    options.fixed_point.method = SourceThrottling::kBisection;
+    options.fixed_point.queue_rule = QueueLengthRule::kConsistent;
   }
+  const TreeLatencyPrediction tree = predict_model_tree(
+      ModelTree::from_cluster_of_clusters(config), options);
 
-  // Bisection on phi in (0, 1]: g(phi) = (N - L(phi))/N - phi is
-  // decreasing with g(0+) > 0.
-  auto g = [&](double phi) {
-    const SolvedState s =
-        evaluate(config, icn1_service, ecn1_service, icn2_service, phi);
-    return (n - s.total_queue_length) / n - phi;
-  };
-
-  constexpr double kTolerance = 1e-12;
-  constexpr std::uint32_t kMaxIterations = 200;
-  double phi = 1.0;
-  std::uint32_t iterations = 0;
-  bool converged = true;
-  if (g(1.0) < 0.0) {
-    double lo = 0.0;
-    double hi = 1.0;
-    while (iterations < kMaxIterations && (hi - lo) > kTolerance) {
-      ++iterations;
-      const double mid = 0.5 * (lo + hi);
-      if (g(mid) > 0.0) {
-        lo = mid;
-      } else {
-        hi = mid;
-      }
-    }
-    phi = lo;
-    converged = (hi - lo) <= kTolerance;
-  }
-
-  const SolvedState state =
-      evaluate(config, icn1_service, ecn1_service, icn2_service, phi);
+  const std::size_t c = config.clusters.size();
+  ensure(tree.centers.size() == 1 + 2 * c && tree.per_leaf_latency_us.size() == c,
+         "ClusterOfClusters: unexpected tree centre layout");
 
   HeteroLatencyPrediction out{};
-  out.effective_rate_scale = phi;
-  out.total_queue_length = state.total_queue_length;
-  out.fixed_point_converged = converged;
-  out.fixed_point_iterations = iterations;
+  out.mean_latency_us = tree.mean_latency_us;
+  out.per_cluster_latency_us = tree.per_leaf_latency_us;
+  out.effective_rate_scale = tree.effective_rate_scale;
+  out.total_queue_length = tree.total_queue_length;
+  out.fixed_point_converged = tree.fixed_point_converged;
+  out.fixed_point_iterations = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(tree.fixed_point_iterations,
+                              std::numeric_limits<std::uint32_t>::max()));
+  out.icn2 = center_state(tree.centers[0]);
   out.icn1.reserve(c);
   out.ecn1.reserve(c);
   for (std::size_t i = 0; i < c; ++i) {
-    out.icn1.push_back(solve_center(state.icn1_rates[i], icn1_service[i]));
-    out.ecn1.push_back(solve_center(state.ecn1_rates[i], ecn1_service[i]));
+    out.icn1.push_back(center_state(tree.centers[1 + 2 * i]));
+    out.ecn1.push_back(center_state(tree.centers[2 + 2 * i]));
   }
-  out.icn2 = solve_center(state.icn2_rate, icn2_service);
-
-  // Latency of a message from cluster j: local with probability 1-P_j,
-  // else to cluster i with conditional probability N_i/(N-N_j).
-  out.per_cluster_latency_us.resize(c);
-  double weighted_sum = 0.0;
-  double weight_total = 0.0;
-  for (std::size_t j = 0; j < c; ++j) {
-    const double nj = static_cast<double>(config.clusters[j].nodes);
-    const double pj = (n <= 1.0) ? 0.0 : (n - nj) / (n - 1.0);
-    double latency = (pj < 1.0) ? (1.0 - pj) * out.icn1[j].response_time_us : 0.0;
-    if (pj > 0.0) {
-      double remote = 0.0;
-      for (std::size_t i = 0; i < c; ++i) {
-        if (i == j) continue;
-        const double ni = static_cast<double>(config.clusters[i].nodes);
-        const double q = ni / (n - nj);
-        remote += q * (out.ecn1[j].response_time_us + out.icn2.response_time_us +
-                       out.ecn1[i].response_time_us);
-      }
-      latency += pj * remote;
-    }
-    out.per_cluster_latency_us[j] = latency;
-    const double weight = nj * config.clusters[j].generation_rate_per_us;
-    weighted_sum += weight * latency;
-    weight_total += weight;
-  }
-  ensure(weight_total > 0.0, "ClusterOfClusters: zero total generation rate");
-  out.mean_latency_us = weighted_sum / weight_total;
   return out;
 }
 

@@ -1,0 +1,155 @@
+#include "hmcs/analytic/tree_io.hpp"
+
+#include <cmath>
+#include <initializer_list>
+#include <limits>
+
+#include "hmcs/analytic/config_io.hpp"
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/util/error.hpp"
+#include "hmcs/util/units.hpp"
+
+namespace hmcs::analytic {
+
+bool is_tree_config(const JsonValue& config) {
+  return config.is_object() && config.find("tree") != nullptr;
+}
+
+namespace {
+
+void reject_unknown(const JsonValue& object,
+                    std::initializer_list<std::string_view> known,
+                    const std::string& where) {
+  for (const auto& [key, value] : object.members) {
+    (void)value;
+    bool recognised = false;
+    for (const std::string_view candidate : known) {
+      if (key == candidate) {
+        recognised = true;
+        break;
+      }
+    }
+    require(recognised,
+            "tree config: unknown key '" + key + "' in " + where);
+  }
+}
+
+double number_member(const JsonValue& object, std::string_view key,
+                     double fallback) {
+  const JsonValue* member = object.find(key);
+  return member == nullptr ? fallback : member->as_number();
+}
+
+std::uint32_t uint_member(const JsonValue& object, std::string_view key,
+                          std::uint32_t fallback, const std::string& where) {
+  const JsonValue* member = object.find(key);
+  if (member == nullptr) return fallback;
+  const double number = member->as_number();
+  require(number >= 0.0 && number == std::floor(number) &&
+              number <= static_cast<double>(
+                            std::numeric_limits<std::uint32_t>::max()),
+          "tree config: '" + std::string(key) + "' in " + where +
+              " must be a non-negative integer");
+  return static_cast<std::uint32_t>(number);
+}
+
+NetworkTechnology technology_entry(const JsonValue& entry,
+                                   const std::string& where) {
+  if (entry.is_string()) return parse_technology(entry.as_string());
+  require(entry.is_object(),
+          "tree config: a technology at " + where +
+              " must be a preset/custom string or an object");
+  reject_unknown(entry, {"name", "latency_us", "bandwidth_mb_per_s"}, where);
+  NetworkTechnology tech;
+  const JsonValue* name = entry.find("name");
+  tech.name = name != nullptr ? name->as_string() : "custom";
+  tech.latency_us = entry.at("latency_us").as_number();
+  tech.bandwidth_bytes_per_us = entry.at("bandwidth_mb_per_s").as_number();
+  return tech;
+}
+
+ModelNode node_from_json(const JsonValue& entry, bool root,
+                         const std::string& path) {
+  require(entry.is_object(),
+          "tree config: node at " + path + " must be an object");
+  const bool internal = entry.find("network") != nullptr ||
+                        entry.find("egress") != nullptr ||
+                        entry.find("children") != nullptr;
+  ModelNode node;
+  if (const JsonValue* name = entry.find("name")) {
+    node.name = name->as_string();
+  }
+
+  if (!internal) {
+    reject_unknown(entry, {"name", "processors", "lambda_per_s"}, path);
+    node.processors =
+        uint_member(entry, "processors", 0, path);
+    require(node.processors >= 1,
+            "tree config: leaf at " + path + " needs 'processors' >= 1");
+    node.generation_rate_per_us = units::per_s_to_per_us(
+        number_member(entry, "lambda_per_s",
+                      units::per_us_to_per_s(kPaperRatePerUs)));
+    return node;
+  }
+
+  reject_unknown(entry, {"name", "network", "egress", "children"}, path);
+  const JsonValue* network = entry.find("network");
+  require(network != nullptr,
+          "tree config: internal node at " + path + " needs a 'network'");
+  node.network = technology_entry(*network, path + ".network");
+
+  const JsonValue* egress = entry.find("egress");
+  if (root) {
+    require(egress == nullptr,
+            "tree config: the root has no parent, so no 'egress'");
+  } else {
+    require(egress != nullptr,
+            "tree config: internal node at " + path + " needs an 'egress'");
+    node.egress = technology_entry(*egress, path + ".egress");
+  }
+
+  const JsonValue* children = entry.find("children");
+  require(children != nullptr && children->is_array() &&
+              children->size() >= 1,
+          "tree config: internal node at " + path +
+              " needs a non-empty 'children' array");
+  node.children.reserve(children->size());
+  for (std::size_t i = 0; i < children->size(); ++i) {
+    node.children.push_back(
+        node_from_json(children->at(i), /*root=*/false,
+                       path + ".children[" + std::to_string(i) + "]"));
+  }
+  return node;
+}
+
+}  // namespace
+
+ModelTree model_tree_from_json(const JsonValue& config,
+                               const std::string& where) {
+  require(config.is_object(), "tree config: " + where + " must be an object");
+  reject_unknown(config,
+                 {"tree", "architecture", "message_bytes", "switch_ports",
+                  "switch_latency_us"},
+                 where);
+  const JsonValue* root = config.find("tree");
+  require(root != nullptr, "tree config: " + where + " needs a 'tree'");
+
+  ModelTree tree;
+  tree.root = node_from_json(*root, /*root=*/true, "root");
+  if (const JsonValue* architecture = config.find("architecture")) {
+    tree.architecture = parse_architecture(architecture->as_string());
+  }
+  tree.message_bytes = number_member(config, "message_bytes", 1024.0);
+  tree.switch_params.ports =
+      uint_member(config, "switch_ports", kPaperSwitchPorts, where);
+  tree.switch_params.latency_us =
+      number_member(config, "switch_latency_us", kPaperSwitchLatencyUs);
+  tree.validate();
+  return tree;
+}
+
+ModelTree load_model_tree(const std::string& text, const std::string& where) {
+  return model_tree_from_json(parse_json(text), where);
+}
+
+}  // namespace hmcs::analytic

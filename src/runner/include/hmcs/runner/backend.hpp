@@ -20,6 +20,7 @@
 
 #include "hmcs/analytic/batch_solver.hpp"
 #include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/model_tree.hpp"
 #include "hmcs/analytic/system_config.hpp"
 #include "hmcs/netsim/switch_fabric_sim.hpp"
 #include "hmcs/obs/trace.hpp"
@@ -122,6 +123,15 @@ class Backend {
   virtual PointResult predict(const analytic::SystemConfig& config,
                               const PointContext& ctx) const = 0;
 
+  /// Evaluates one recursive topology (docs/COMPOSITION.md). The base
+  /// implementation lowers flat-shaped trees through as_system_config()
+  /// onto predict(), so every backend handles depth-2 trees for free;
+  /// genuinely nested trees throw hmcs::ConfigError unless a backend
+  /// overrides this (AnalyticBackend, DesBackend). Same const and
+  /// thread-safety contract as predict().
+  virtual PointResult predict_tree(const analytic::ModelTree& tree,
+                                   const PointContext& ctx) const;
+
   /// Largest chunk one evaluate_batch call accepts; 1 (the default)
   /// means the backend has no batch path and the runner calls predict()
   /// per cell. Backends whose per-point work is dominated by shared
@@ -158,6 +168,10 @@ class AnalyticBackend : public Backend {
   const std::string& name() const override { return name_; }
   PointResult predict(const analytic::SystemConfig& config,
                       const PointContext& ctx) const override;
+  /// predict_model_tree with this backend's fixed-point options; flat
+  /// shapes take the exact-lowering path and match predict() exactly.
+  PointResult predict_tree(const analytic::ModelTree& tree,
+                           const PointContext& ctx) const override;
 
   std::size_t batch_capacity() const override { return 4096; }
   void evaluate_batch(const analytic::SystemConfig* const* configs,
@@ -191,6 +205,11 @@ class DesBackend : public Backend {
   const std::string& name() const override { return name_; }
   PointResult predict(const analytic::SystemConfig& config,
                       const PointContext& ctx) const override;
+  /// Flat-shaped trees lower onto predict() (same replication harness);
+  /// nested trees run sim::TreeSim with per-replication seeds derived
+  /// from ctx.seed by the replication harness's SplitMix64 protocol.
+  PointResult predict_tree(const analytic::ModelTree& tree,
+                           const PointContext& ctx) const override;
 
  private:
   Options options_;

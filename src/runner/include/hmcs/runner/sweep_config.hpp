@@ -38,6 +38,27 @@
 ///     ]
 ///   }
 ///
+/// Tree sweeps (JSON only): a top-level "tree" member holds a complete
+/// nested topology config (the docs/COMPOSITION.md schema, as accepted
+/// by hmcs_serve), and the axes sweep node fields by path instead of
+/// the flat shape axes:
+///
+///   {
+///     "id": "smoke_tree",
+///     "tree": {"tree": {"network": "fast-ethernet", "children": [...]},
+///              "message_bytes": 1024},
+///     "axes": {
+///       "paths": [{"path": "root.children[0].icn.bandwidth",
+///                  "values": [125, 1250]}],
+///       "message_bytes": [512, 1024]
+///     },
+///     "backends": [{"type": "analytic"}]
+///   }
+///
+/// The technology/lambda/clusters axes do not combine with "tree"
+/// (the topology owns those properties); message_bytes and
+/// architecture still apply.
+///
 /// Key=value (flat; lists are comma-separated; technology entries are
 /// case1|case2 or a single preset applied to all three roles):
 ///

@@ -22,9 +22,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "hmcs/analytic/model_tree.hpp"
 #include "hmcs/analytic/scenario.hpp"
 #include "hmcs/analytic/system_config.hpp"
 
@@ -47,12 +49,26 @@ enum class AxisMode {
   kZipped,     ///< lockstep walk; non-singleton axes share one length
 };
 
+/// One axis over a node-path field of a tree sweep's base topology
+/// (analytic::set_tree_path grammar, e.g.
+/// "root.children[1].icn.bandwidth"). Only meaningful when
+/// SweepSpec::base_tree is set.
+struct PathAxis {
+  std::string path;
+  std::vector<double> values;
+};
+
 struct SweepAxes {
   std::vector<TechnologyCase> technologies;  ///< empty = Case 1
   std::vector<double> lambda_per_us;         ///< empty = paper rate
   std::vector<std::uint32_t> clusters;       ///< empty = paper sweep
   std::vector<double> message_bytes;         ///< empty = {1024}
   std::vector<analytic::NetworkArchitecture> architectures;  ///< empty = {non-blocking}
+  /// Tree sweeps only: per-point overrides applied to copies of
+  /// base_tree. Cartesian mode nests them outermost (declaration-order
+  /// major) over message_bytes then architectures; zipped mode walks
+  /// them in lockstep with the other axes.
+  std::vector<PathAxis> node_paths;
 };
 
 struct SweepPoint {
@@ -72,6 +88,12 @@ struct SweepPoint {
   /// tracks and error messages.
   std::string label;
   analytic::SystemConfig config;  ///< fully built and validated
+  /// Tree sweeps: the point's topology with this point's node-path
+  /// overrides applied; null for flat sweeps. When set, `config` holds
+  /// the equivalent flat config if the tree lowers (as_system_config)
+  /// and a default-constructed placeholder otherwise — backends are
+  /// dispatched through predict_tree for these points.
+  std::shared_ptr<const analytic::ModelTree> tree;
 };
 
 struct SweepSpec {
@@ -84,6 +106,13 @@ struct SweepSpec {
   analytic::SwitchParams switch_params{analytic::kPaperSwitchPorts,
                                        analytic::kPaperSwitchLatencyUs};
   std::uint64_t base_seed = 1;
+  /// When set, the sweep is a *tree sweep*: every point is a copy of
+  /// this topology with the node_paths overrides applied. The flat
+  /// shape axes (technologies/lambda/clusters) must stay empty — the
+  /// topology owns those properties — while message_bytes and
+  /// architectures still apply (they are ModelTree fields).
+  /// total_nodes/switch_params are ignored; the tree carries its own.
+  std::shared_ptr<const analytic::ModelTree> base_tree;
   /// Per-point seed override for studies with historical hand-rolled
   /// seeding (the point's seed field is unset when called); null = the
   /// default_point_seed chain, the figure harness protocol.

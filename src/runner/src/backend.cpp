@@ -2,8 +2,12 @@
 
 #include <algorithm>
 
+#include "hmcs/analytic/tree_model.hpp"
 #include "hmcs/netsim/hmcs_fabric.hpp"
 #include "hmcs/runner/replication.hpp"
+#include "hmcs/sim/tree_sim.hpp"
+#include "hmcs/simcore/rng.hpp"
+#include "hmcs/simcore/tally.hpp"
 #include "hmcs/util/error.hpp"
 
 namespace hmcs::runner {
@@ -37,6 +41,14 @@ void Backend::evaluate_batch(const analytic::SystemConfig* const*, std::size_t,
       std::source_location::current());
 }
 
+PointResult Backend::predict_tree(const analytic::ModelTree& tree,
+                                  const PointContext& ctx) const {
+  if (const auto flat = tree.as_system_config()) return predict(*flat, ctx);
+  detail::throw_config_error(
+      "backend '" + name() + "' cannot evaluate nested model trees",
+      std::source_location::current());
+}
+
 namespace {
 
 PointResult from_prediction(const analytic::LatencyPrediction& prediction) {
@@ -59,6 +71,26 @@ PointResult AnalyticBackend::predict(const analytic::SystemConfig& config,
   analytic::ModelOptions options = options_;
   options.fixed_point.cancel = ctx.cancel;
   return from_prediction(analytic::predict_latency(config, options));
+}
+
+PointResult AnalyticBackend::predict_tree(const analytic::ModelTree& tree,
+                                          const PointContext& ctx) const {
+  analytic::TreeModelOptions options;
+  options.fixed_point = options_.fixed_point;
+  options.fixed_point.cancel = ctx.cancel;
+  const analytic::TreeLatencyPrediction prediction =
+      analytic::predict_model_tree(tree, options);
+
+  PointResult result;
+  result.mean_latency_us = prediction.mean_latency_us;
+  const double processors =
+      static_cast<double>(tree.total_processors());
+  result.lambda_offered =
+      processors > 0.0 ? prediction.lambda_offered_total / processors : 0.0;
+  result.lambda_effective =
+      result.lambda_offered * prediction.effective_rate_scale;
+  result.converged = prediction.fixed_point_converged;
+  return result;
 }
 
 void AnalyticBackend::evaluate_batch(
@@ -128,6 +160,60 @@ PointResult DesBackend::predict(const analytic::SystemConfig& config,
     result.max_center_utilization = std::max(
         result.max_center_utilization, max_role_utilization(replication));
   }
+  return result;
+}
+
+PointResult DesBackend::predict_tree(const analytic::ModelTree& tree,
+                                     const PointContext& ctx) const {
+  if (const auto flat = tree.as_system_config()) return predict(*flat, ctx);
+
+  sim::TreeSimOptions tree_options;
+  tree_options.measured_messages = options_.sim.measured_messages;
+  tree_options.warmup_messages = options_.sim.warmup_messages;
+  tree_options.target_relative_ci = options_.sim.target_relative_ci;
+  tree_options.message_cap = options_.sim.message_cap;
+  tree_options.max_events = options_.sim.max_events;
+  tree_options.cancel = ctx.cancel;
+
+  PointResult result;
+  if (options_.direct_seed) {
+    tree_options.seed = ctx.seed;
+    sim::TreeSim simulator(tree, tree_options);
+    const sim::TreeSimResult run = simulator.run();
+    result.mean_latency_us = run.mean_latency_us;
+    result.ci_half_us = run.latency_ci.half_width;
+    result.effective_rate_per_us = run.effective_rate_per_us;
+    result.messages_measured = run.messages_measured;
+    result.max_center_utilization = run.max_center_utilization;
+    return result;
+  }
+
+  // The replication harness's seeding protocol (replication.cpp):
+  // per-replication seeds pre-derived from the point seed, replications
+  // serial inside a point.
+  simcore::SplitMix64 seeder(ctx.seed);
+  std::vector<std::uint64_t> seeds(options_.replications);
+  for (auto& seed : seeds) seed = seeder.next();
+
+  simcore::Tally means;
+  simcore::Tally rates;
+  simcore::ConfidenceInterval single_ci{0.0, 0.0, 0.0};
+  for (std::uint32_t r = 0; r < options_.replications; ++r) {
+    tree_options.seed = seeds[r];
+    sim::TreeSim simulator(tree, tree_options);
+    const sim::TreeSimResult run = simulator.run();
+    means.add(run.mean_latency_us);
+    rates.add(run.effective_rate_per_us);
+    single_ci = run.latency_ci;
+    result.messages_measured += run.messages_measured;
+    result.max_center_utilization =
+        std::max(result.max_center_utilization, run.max_center_utilization);
+  }
+  result.mean_latency_us = means.mean();
+  result.effective_rate_per_us = rates.mean();
+  result.ci_half_us = options_.replications >= 2
+                          ? means.confidence_interval().half_width
+                          : single_ci.half_width;
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "hmcs/analytic/config_io.hpp"
+#include "hmcs/analytic/tree_io.hpp"
 #include "hmcs/util/error.hpp"
 #include "hmcs/util/string_util.hpp"
 #include "hmcs/util/units.hpp"
@@ -78,7 +79,7 @@ AxisMode parse_mode(const std::string& mode) {
 void load_axes_json(const JsonValue& axes, SweepAxes& out) {
   reject_unknown_members(axes,
                          {"clusters", "message_bytes", "lambda_per_s",
-                          "architecture", "technology"},
+                          "architecture", "technology", "paths"},
                          "'axes'");
   if (const JsonValue* clusters = axes.find("clusters")) {
     require(clusters->is_array(),
@@ -118,6 +119,24 @@ void load_axes_json(const JsonValue& axes, SweepAxes& out) {
             "sweep config: 'technology' must be an array");
     for (const JsonValue& item : tech->items) {
       out.technologies.push_back(technology_from_json(item));
+    }
+  }
+  if (const JsonValue* paths = axes.find("paths")) {
+    require(paths->is_array(), "sweep config: 'paths' must be an array");
+    for (const JsonValue& item : paths->items) {
+      require(item.is_object(),
+              "sweep config: 'paths' entries must be objects");
+      reject_unknown_members(item, {"path", "values"}, "a path axis");
+      PathAxis axis;
+      axis.path = item.at("path").as_string();
+      const JsonValue& values = item.at("values");
+      require(values.is_array() && values.size() >= 1,
+              "sweep config: path axis '" + axis.path +
+                  "' needs a non-empty 'values' array");
+      for (const JsonValue& value : values.items) {
+        axis.values.push_back(value.as_number());
+      }
+      out.node_paths.push_back(std::move(axis));
     }
   }
 }
@@ -229,7 +248,7 @@ SweepRunConfig sweep_config_from_json(std::string_view text,
                           "switch_ports", "switch_latency_us", "seed",
                           "threads", "axes", "backends", "on_error",
                           "max_attempts", "cell_deadline_ms",
-                          "degraded_utilization", "batch_cells"},
+                          "degraded_utilization", "batch_cells", "tree"},
                          "the sweep config");
 
   SweepRunConfig config;
@@ -259,6 +278,14 @@ SweepRunConfig sweep_config_from_json(std::string_view text,
           "sweep config: degraded_utilization must be > 0");
   config.batch_cells =
       static_cast<std::uint32_t>(uint_member(doc, "batch_cells", 0));
+
+  if (const JsonValue* tree = doc.find("tree")) {
+    // The member is a complete nested topology config (the same
+    // docs/COMPOSITION.md document hmcs_serve accepts), so the topology
+    // carries its own switch/message parameters.
+    config.spec.base_tree = std::make_shared<const analytic::ModelTree>(
+        analytic::model_tree_from_json(*tree, "'tree'"));
+  }
 
   if (const JsonValue* axes = doc.find("axes")) {
     require(axes->is_object(), "sweep config: 'axes' must be an object");

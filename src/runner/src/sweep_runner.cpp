@@ -207,7 +207,9 @@ SweepResult run_sweep(const SweepSpec& spec,
           point.label + " [" + result.backend_names[backend] + "]",
           "runner.point", 1, worker + 1);
       try {
-        out = backends[backend]->predict(point.config, ctx);
+        out = point.tree != nullptr
+                  ? backends[backend]->predict_tree(*point.tree, ctx)
+                  : backends[backend]->predict(point.config, ctx);
         out.status = CellStatus::kOk;
         out.attempts = attempt;
         out.error.clear();
@@ -343,8 +345,18 @@ SweepResult run_sweep(const SweepSpec& spec,
   // point-aligned boundaries — independent of thread count and resume
   // state, which keeps results deterministic.
   const std::size_t n_points = result.points.size();
+  // Tree points cannot ride the batched path: evaluate_batch takes
+  // SystemConfig pointers, and a tree point's config is only a lowered
+  // view (or a placeholder). Force per-cell tasks for such sweeps.
+  bool any_tree_point = false;
+  for (const SweepPoint& point : result.points) {
+    if (point.tree != nullptr) {
+      any_tree_point = true;
+      break;
+    }
+  }
   std::vector<std::size_t> chunk_of(n_backends, 1);
-  if (options.batch_cells > 1) {
+  if (options.batch_cells > 1 && !any_tree_point) {
     for (std::size_t b = 0; b < n_backends; ++b) {
       const std::size_t capacity = backends[b]->batch_capacity();
       if (capacity > 1) {

@@ -135,9 +135,150 @@ SweepPoint make_point(const SweepSpec& spec, const ResolvedAxes& axes,
   return point;
 }
 
+/// One point of a tree sweep: a copy of the base topology with this
+/// point's node-path overrides and message/architecture coordinates.
+SweepPoint make_tree_point(
+    const SweepSpec& spec, const std::vector<double>& bytes_axis,
+    const std::vector<analytic::NetworkArchitecture>& arch_axis,
+    const std::vector<std::size_t>& path_choice, std::size_t bytes,
+    std::size_t arch, std::size_t index) {
+  SweepPoint point;
+  point.index = index;
+
+  analytic::ModelTree tree = *spec.base_tree;
+  tree.message_bytes = bytes_axis[bytes];
+  tree.architecture = arch_axis[arch];
+  for (std::size_t p = 0; p < spec.axes.node_paths.size(); ++p) {
+    const PathAxis& axis = spec.axes.node_paths[p];
+    analytic::set_tree_path(tree, axis.path, axis.values[path_choice[p]]);
+  }
+  tree.validate();
+
+  point.clusters = static_cast<std::uint32_t>(tree.root.children.size());
+  point.message_bytes = tree.message_bytes;
+  point.architecture = tree.architecture;
+  point.technology_label = "tree";
+
+  point.label = spec.id + " tree M=" + format_compact(point.message_bytes, 6);
+  for (std::size_t p = 0; p < spec.axes.node_paths.size(); ++p) {
+    const PathAxis& axis = spec.axes.node_paths[p];
+    if (axis.values.size() <= 1) continue;
+    point.label += ' ';
+    point.label += axis.path;
+    point.label += '=';
+    point.label += format_compact(axis.values[path_choice[p]], 6);
+  }
+  if (arch_axis.size() > 1) {
+    point.label += ' ';
+    point.label += analytic::to_string(point.architecture);
+  }
+
+  // Flat-shaped trees also carry the equivalent SystemConfig so
+  // reporting code that reads point.config keeps working; genuinely
+  // nested points leave the placeholder and are dispatched through
+  // Backend::predict_tree.
+  if (const auto flat = tree.as_system_config()) {
+    point.config = *flat;
+    point.lambda_per_us = flat->generation_rate_per_us;
+  }
+  point.tree = std::make_shared<const analytic::ModelTree>(std::move(tree));
+
+  point.seed = spec.seed_fn ? spec.seed_fn(point)
+                            : default_point_seed(
+                                  spec.base_seed,
+                                  static_cast<std::uint32_t>(index),
+                                  point.message_bytes);
+  return point;
+}
+
+std::vector<SweepPoint> expand_tree_sweep(const SweepSpec& spec) {
+  require(spec.axes.technologies.empty() && spec.axes.lambda_per_us.empty() &&
+              spec.axes.clusters.empty(),
+          "sweep '" + spec.id +
+              "': a tree sweep owns its shape — the technology/lambda/"
+              "clusters axes do not apply (sweep node fields via 'paths')");
+  for (const PathAxis& axis : spec.axes.node_paths) {
+    require(!axis.values.empty(), "sweep '" + spec.id + "': path axis '" +
+                                      axis.path + "' has no values");
+  }
+  std::vector<double> bytes_axis = spec.axes.message_bytes;
+  if (bytes_axis.empty()) bytes_axis = {spec.base_tree->message_bytes};
+  std::vector<analytic::NetworkArchitecture> arch_axis =
+      spec.axes.architectures;
+  if (arch_axis.empty()) arch_axis = {spec.base_tree->architecture};
+
+  const std::size_t n_paths = spec.axes.node_paths.size();
+  std::vector<SweepPoint> points;
+
+  if (spec.mode == AxisMode::kCartesian) {
+    // Path axes nest outermost, declaration-order major, then
+    // message_bytes, then architectures — mirroring the flat sweep's
+    // fixed nesting with the topology axes in the technology slot.
+    std::size_t combos = 1;
+    for (const PathAxis& axis : spec.axes.node_paths) {
+      combos *= axis.values.size();
+    }
+    std::vector<std::size_t> path_choice(n_paths, 0);
+    for (std::size_t k = 0; k < combos; ++k) {
+      std::size_t rest = k;
+      for (std::size_t p = n_paths; p > 0; --p) {
+        const std::size_t size = spec.axes.node_paths[p - 1].values.size();
+        path_choice[p - 1] = rest % size;
+        rest /= size;
+      }
+      for (std::size_t m = 0; m < bytes_axis.size(); ++m) {
+        for (std::size_t a = 0; a < arch_axis.size(); ++a) {
+          points.push_back(make_tree_point(spec, bytes_axis, arch_axis,
+                                           path_choice, m, a, points.size()));
+        }
+      }
+    }
+    return points;
+  }
+
+  // Zipped: every non-singleton axis (path, bytes, architecture) shares
+  // one length; singletons broadcast.
+  std::size_t length = 1;
+  const auto fold = [&](std::size_t axis_size, const std::string& axis_name) {
+    if (axis_size == 1) return;
+    if (length == 1) {
+      length = axis_size;
+      return;
+    }
+    require(axis_size == length,
+            "sweep '" + spec.id + "': zipped axis '" + axis_name + "' has " +
+                std::to_string(axis_size) + " values but another axis has " +
+                std::to_string(length));
+  };
+  for (const PathAxis& axis : spec.axes.node_paths) {
+    fold(axis.values.size(), axis.path);
+  }
+  fold(bytes_axis.size(), "message_bytes");
+  fold(arch_axis.size(), "architecture");
+
+  const auto pick = [](std::size_t axis_size, std::size_t i) {
+    return axis_size == 1 ? 0 : i;
+  };
+  points.reserve(length);
+  std::vector<std::size_t> path_choice(n_paths, 0);
+  for (std::size_t i = 0; i < length; ++i) {
+    for (std::size_t p = 0; p < n_paths; ++p) {
+      path_choice[p] = pick(spec.axes.node_paths[p].values.size(), i);
+    }
+    points.push_back(make_tree_point(
+        spec, bytes_axis, arch_axis, path_choice, pick(bytes_axis.size(), i),
+        pick(arch_axis.size(), i), points.size()));
+  }
+  return points;
+}
+
 }  // namespace
 
 std::vector<SweepPoint> expand_sweep(const SweepSpec& spec) {
+  if (spec.base_tree != nullptr) return expand_tree_sweep(spec);
+  require(spec.axes.node_paths.empty(),
+          "sweep '" + spec.id +
+              "': path axes need a base tree (set 'tree' in the config)");
   const ResolvedAxes axes = resolve(spec.axes);
   std::vector<SweepPoint> points;
 

@@ -17,18 +17,25 @@
 ///    "deadline_ms": 500,                 // 0/absent = server default
 ///    "no_cache": false}
 ///
+/// "config" may instead be a nested topology document (a "tree" member;
+/// docs/COMPOSITION.md) — tree requests that describe the flat
+/// two-stage shape are lowered to the SystemConfig they denote, so the
+/// nested and flat spellings of one system share a canonical key.
+///
 /// The canonical cache key is rendered from the *built* SystemConfig
 /// (via analytic::write_json, stable declaration-order keys) plus the
 /// normalised backend options — so member order, "case1" vs the
 /// equivalent explicit technology object, and omitted-vs-explicit
-/// defaults all map to one key. The seed participates only for
-/// stochastic backends (des/fabric); the analytic model ignores it.
+/// defaults all map to one key. Genuinely nested trees render through
+/// the canonical recursive writer instead. The seed participates only
+/// for stochastic backends (des/fabric); the analytic model ignores it.
 
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
 
+#include "hmcs/analytic/model_tree.hpp"
 #include "hmcs/analytic/system_config.hpp"
 #include "hmcs/runner/backend.hpp"
 #include "hmcs/runner/sweep_config.hpp"
@@ -45,6 +52,10 @@ struct ServeRequest {
   std::string backend_kind;  ///< analytic|des|fabric
   std::shared_ptr<runner::Backend> backend;
   analytic::SystemConfig config;
+  /// Set only for genuinely nested tree requests (flat-shaped trees are
+  /// lowered into `config` at parse time); evaluated through
+  /// Backend::predict_tree.
+  std::shared_ptr<const analytic::ModelTree> tree;
   std::uint64_t seed = 1;
   double deadline_ms = 0.0;  ///< 0 = use the server default
   bool no_cache = false;

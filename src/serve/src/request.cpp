@@ -10,6 +10,7 @@
 #include "hmcs/analytic/config_io.hpp"
 #include "hmcs/analytic/scenario.hpp"
 #include "hmcs/analytic/serialize.hpp"
+#include "hmcs/analytic/tree_io.hpp"
 #include "hmcs/util/error.hpp"
 #include "hmcs/util/units.hpp"
 
@@ -200,7 +201,20 @@ ServeRequest parse_request(const JsonValue& doc,
 
   const JsonValue* config_entry = doc.find("config");
   require(config_entry != nullptr, "serve: a request needs a 'config'");
-  request.config = config_from_json(*config_entry);
+  if (analytic::is_tree_config(*config_entry)) {
+    analytic::ModelTree tree =
+        analytic::model_tree_from_json(*config_entry, "'config'");
+    if (const auto flat = tree.as_system_config()) {
+      // A nested spelling of the flat two-stage system: lower it so the
+      // request shares the flat schema's canonical key (and cache line).
+      request.config = *flat;
+    } else {
+      request.tree =
+          std::make_shared<const analytic::ModelTree>(std::move(tree));
+    }
+  } else {
+    request.config = config_from_json(*config_entry);
+  }
 
   request.seed = u64_member(doc, "seed", 1);
   request.deadline_ms = number_member(doc, "deadline_ms", 0.0);
@@ -221,7 +235,11 @@ ServeRequest parse_request(const JsonValue& doc,
   json.key("backend");
   write_backend_key(json, backend_entry, request.backend_kind);
   json.key("config");
-  analytic::write_json(json, request.config);
+  if (request.tree != nullptr) {
+    analytic::write_json(json, *request.tree);
+  } else {
+    analytic::write_json(json, request.config);
+  }
   if (request.backend_kind != "analytic") {
     json.key("seed").value(std::to_string(request.seed));
   }

@@ -361,7 +361,9 @@ ServeService::EvalOutcome ServeService::evaluate(const ServeRequest& request,
     // poll the token (analytic solves are microseconds).
     token.check("serve");
     const runner::PointResult result =
-        request.backend->predict(request.config, ctx);
+        request.tree != nullptr
+            ? request.backend->predict_tree(*request.tree, ctx)
+            : request.backend->predict(request.config, ctx);
     ok_.fetch_add(1, std::memory_order_relaxed);
     HMCS_OBS_COUNTER_INC("serve.requests.ok");
     const auto serialize_begin = add_stage(trace, "evaluate", eval_begin);

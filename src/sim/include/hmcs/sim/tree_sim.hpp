@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file tree_sim.hpp
+/// Validation DES for the recursive ModelTree (docs/COMPOSITION.md):
+/// closed-loop processors over the tree's queueing centres, one FIFO
+/// station per centre from analytic::tree_centers so the simulator and
+/// the analytic solver share node numbering and service times exactly.
+///
+/// A message from a processor in leaf group `a` to one in leaf group `b`
+/// climbs the egress centres from a's parent up to (exclusive) the
+/// lowest common ancestor, crosses the LCA's internal network once, and
+/// descends the egress centres down to b's parent — the stochastic
+/// counterpart of the tree model's LCA routing. Destinations are uniform
+/// over the other N-1 processors (assumption 2 generalised), sources
+/// block while their message is in flight (assumption 4), think times
+/// and service times are exponential (assumptions 1 and 3).
+///
+/// Depth-2 trees reduce to the MultiClusterSim topology; the point of
+/// this simulator is depth >= 3, where no flat validation path exists.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hmcs/analytic/model_tree.hpp"
+#include "hmcs/simcore/tally.hpp"
+#include "hmcs/util/cancel.hpp"
+
+namespace hmcs::sim {
+
+struct TreeSimOptions {
+  /// Deliveries measured after warm-up (minimum when a CI target is set).
+  std::uint64_t measured_messages = 10000;
+  /// Deliveries discarded before statistics start.
+  std::uint64_t warmup_messages = 2000;
+  /// Precision-driven stopping as in SimOptions: keep measuring until
+  /// the batch-means 95% CI half-width is below this fraction of the
+  /// mean, or message_cap is reached. 0 disables the rule.
+  double target_relative_ci = 0.0;
+  std::uint64_t message_cap = 400000;
+  std::uint64_t seed = 1;
+  /// Safety valve against configuration mistakes (0 = no limit).
+  std::uint64_t max_events = 200'000'000;
+  /// Cooperative cancellation, polled every few thousand events; the
+  /// token must outlive run(). Null = never interrupted.
+  const util::CancelToken* cancel = nullptr;
+};
+
+/// Per-centre observations, in analytic::tree_centers order so entries
+/// line up index-for-index with TreeLatencyPrediction::centers.
+struct TreeCenterStats {
+  std::string path;  ///< node path + ".icn" or ".egress"
+  bool egress = false;
+  double utilization = 0.0;
+  double avg_queue_length = 0.0;
+  double mean_response_us = 0.0;
+  std::uint64_t departures = 0;
+};
+
+struct TreeSimResult {
+  std::uint64_t messages_measured = 0;
+  double mean_latency_us = 0.0;
+  simcore::ConfidenceInterval latency_ci{0.0, 0.0, 0.0};
+  /// Measured per-processor delivery rate over the window — the
+  /// simulated counterpart of lambda * effective_rate_scale.
+  double effective_rate_per_us = 0.0;
+  /// Busiest centre's busy fraction (saturation diagnostic).
+  double max_center_utilization = 0.0;
+  /// Time-averaged customers over all centres (fixed point's L).
+  double total_avg_queue_length = 0.0;
+  double window_duration_us = 0.0;
+  std::uint64_t events_executed = 0;
+  std::vector<TreeCenterStats> centers;
+};
+
+class TreeSim {
+ public:
+  /// Validates the tree; requires every leaf generation rate > 0 (a
+  /// silent source would never release its processor in a closed loop).
+  TreeSim(const analytic::ModelTree& tree, TreeSimOptions options);
+  ~TreeSim();
+
+  TreeSim(const TreeSim&) = delete;
+  TreeSim& operator=(const TreeSim&) = delete;
+
+  /// Executes one complete run. May be called once per instance.
+  TreeSimResult run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hmcs::sim

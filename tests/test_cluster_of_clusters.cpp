@@ -8,7 +8,9 @@
 
 #include "hmcs/analytic/cluster_of_clusters.hpp"
 #include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/model_tree.hpp"
 #include "hmcs/analytic/scenario.hpp"
+#include "hmcs/analytic/tree_model.hpp"
 #include "hmcs/util/error.hpp"
 
 namespace {
@@ -155,6 +157,29 @@ TEST(ClusterOfClusters, Validation) {
   config = hetero_config();
   config.message_bytes = 0.0;
   EXPECT_THROW(predict_cluster_of_clusters(config), hmcs::ConfigError);
+}
+
+TEST(ClusterOfClusters, AgreesWithTreeApiOnDepth2Lowering) {
+  // The CoC entry point is now a thin view over the tree solver; calling
+  // the tree API directly on the lowered depth-2 tree must agree exactly.
+  const ClusterOfClustersConfig config = hetero_config();
+  const HeteroLatencyPrediction via_coc =
+      predict_cluster_of_clusters(config);
+
+  const ModelTree tree = ModelTree::from_cluster_of_clusters(config);
+  TreeModelOptions options;
+  options.fixed_point.method = SourceThrottling::kBisection;
+  options.fixed_point.queue_rule = QueueLengthRule::kConsistent;
+  const TreeLatencyPrediction via_tree = predict_model_tree(tree, options);
+
+  EXPECT_EQ(via_tree.mean_latency_us, via_coc.mean_latency_us);
+  EXPECT_EQ(via_tree.effective_rate_scale, via_coc.effective_rate_scale);
+  ASSERT_EQ(via_tree.per_leaf_latency_us.size(),
+            via_coc.per_cluster_latency_us.size());
+  for (std::size_t i = 0; i < via_tree.per_leaf_latency_us.size(); ++i) {
+    EXPECT_EQ(via_tree.per_leaf_latency_us[i],
+              via_coc.per_cluster_latency_us[i]);
+  }
 }
 
 TEST(ClusterOfClusters, FromSuperClusterCopiesShape) {

@@ -1,0 +1,438 @@
+// Recursive model trees: lowering round-trips, bit-identical flat
+// dispatch, generic-recursion agreement, uniform-tree MVA, node-path
+// targeting, and the nested JSON schema.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hmcs/analytic/cluster_of_clusters.hpp"
+#include "hmcs/analytic/latency_model.hpp"
+#include "hmcs/analytic/model_tree.hpp"
+#include "hmcs/analytic/scenario.hpp"
+#include "hmcs/analytic/serialize.hpp"
+#include "hmcs/analytic/tree_io.hpp"
+#include "hmcs/analytic/tree_model.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using namespace hmcs::analytic;
+
+/// A genuinely three-level topology: a fast-ethernet backbone over two
+/// campuses, each a gigabit spine over heterogeneous leaf groups.
+ModelTree nested_tree() {
+  ModelNode campus_a = ModelNode::internal(
+      gigabit_ethernet(), fast_ethernet(),
+      {ModelNode::leaf(16, 1e-4), ModelNode::leaf(8, 0.5e-4)}, "campus-a");
+  ModelNode campus_b = ModelNode::internal(
+      gigabit_ethernet(), fast_ethernet(),
+      {ModelNode::leaf(32, 0.75e-4)}, "campus-b");
+  ModelTree tree;
+  tree.root = ModelNode::internal(fast_ethernet(), {campus_a, campus_b});
+  tree.switch_params = {24, 10.0};
+  tree.message_bytes = 1024.0;
+  return tree;
+}
+
+/// Depth-3 with every internal node's children identical: exchangeable
+/// processors, the exact station-class MVA precondition.
+ModelTree uniform_depth3_tree(std::uint32_t groups = 2,
+                              std::uint32_t leaves_per_group = 2,
+                              std::uint32_t procs = 8,
+                              double rate = 1e-4) {
+  std::vector<ModelNode> leaves(leaves_per_group,
+                                ModelNode::leaf(procs, rate));
+  ModelNode group =
+      ModelNode::internal(gigabit_ethernet(), fast_ethernet(),
+                          {leaves.begin(), leaves.end()});
+  ModelTree tree;
+  tree.root = ModelNode::internal(
+      fast_ethernet(), std::vector<ModelNode>(groups, group));
+  tree.switch_params = {24, 10.0};
+  return tree;
+}
+
+TEST(ModelTree, FromSystemRoundTripsThroughAsSystemConfig) {
+  const SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase2, 8, NetworkArchitecture::kBlocking, 512.0);
+  const ModelTree tree = ModelTree::from_system(config);
+  EXPECT_EQ(tree.total_processors(), config.total_nodes());
+  EXPECT_EQ(tree.depth(), 2u);
+
+  const auto back = tree.as_system_config();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->clusters, config.clusters);
+  EXPECT_EQ(back->nodes_per_cluster, config.nodes_per_cluster);
+  EXPECT_EQ(back->icn1.name, config.icn1.name);
+  EXPECT_EQ(back->ecn1.bandwidth_bytes_per_us,
+            config.ecn1.bandwidth_bytes_per_us);
+  EXPECT_EQ(back->icn2.latency_us, config.icn2.latency_us);
+  EXPECT_EQ(back->architecture, config.architecture);
+  EXPECT_EQ(back->message_bytes, config.message_bytes);
+  EXPECT_EQ(back->generation_rate_per_us, config.generation_rate_per_us);
+}
+
+TEST(ModelTree, FromClusterOfClustersRoundTrips) {
+  ClusterOfClustersConfig config;
+  ClusterSpec fast{32, gigabit_ethernet(), fast_ethernet(), 1e-4};
+  ClusterSpec slow{8, fast_ethernet(), fast_ethernet(), 0.5e-4};
+  config.clusters = {fast, slow};
+  config.icn2 = fast_ethernet();
+  config.switch_params = {24, 10.0};
+  config.message_bytes = 1024.0;
+
+  const ModelTree tree = ModelTree::from_cluster_of_clusters(config);
+  EXPECT_EQ(tree.total_processors(), 40u);
+  // Heterogeneous children: not a SystemConfig, still a CoC shape.
+  EXPECT_FALSE(tree.as_system_config().has_value());
+  const auto back = tree.as_cluster_of_clusters();
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->clusters.size(), 2u);
+  EXPECT_EQ(back->clusters[0].nodes, 32u);
+  EXPECT_EQ(back->clusters[1].generation_rate_per_us, 0.5e-4);
+  EXPECT_EQ(back->icn2.name, config.icn2.name);
+}
+
+TEST(ModelTree, NestedTreeDoesNotLower) {
+  const ModelTree tree = nested_tree();
+  // Two network levels, but campus-a joins two leaf groups: neither the
+  // flat HMCS nor the Cluster-of-Clusters shape can express it.
+  EXPECT_EQ(tree.depth(), 2u);
+  EXPECT_FALSE(tree.as_system_config().has_value());
+  EXPECT_FALSE(tree.as_cluster_of_clusters().has_value());
+}
+
+TEST(ModelTree, ThreeNetworkLevelsSolve) {
+  // root -> region -> rack -> leaves: one level deeper than anything the
+  // flat pipeline can express.
+  ModelNode rack = ModelNode::internal(
+      gigabit_ethernet(), gigabit_ethernet(),
+      {ModelNode::leaf(8, 1e-4), ModelNode::leaf(8, 1e-4)}, "rack");
+  ModelNode region = ModelNode::internal(
+      gigabit_ethernet(), fast_ethernet(), {rack, rack}, "region");
+  ModelTree tree;
+  tree.root = ModelNode::internal(fast_ethernet(), {region, region});
+  tree.switch_params = {24, 10.0};
+  EXPECT_EQ(tree.depth(), 3u);
+  EXPECT_EQ(tree.total_processors(), 64u);
+  EXPECT_TRUE(is_uniform_tree(tree));
+
+  for (const SourceThrottling method :
+       {SourceThrottling::kBisection, SourceThrottling::kExactMva}) {
+    TreeModelOptions options;
+    options.fixed_point.method = method;
+    const TreeLatencyPrediction prediction =
+        predict_model_tree(tree, options);
+    EXPECT_TRUE(prediction.fixed_point_converged);
+    EXPECT_TRUE(std::isfinite(prediction.mean_latency_us));
+    EXPECT_GT(prediction.mean_latency_us, 0.0);
+    // 1 root icn + 2 x (region icn+egress) + 4 x (rack icn+egress).
+    EXPECT_EQ(prediction.centers.size(), 13u);
+    ASSERT_EQ(prediction.per_leaf_latency_us.size(), 8u);
+    for (const double per_leaf : prediction.per_leaf_latency_us) {
+      EXPECT_NEAR(per_leaf, prediction.per_leaf_latency_us[0],
+                  1e-9 * prediction.per_leaf_latency_us[0]);
+    }
+  }
+}
+
+TEST(ModelTree, FlatShapeBitIdenticalAcrossFigureGrids) {
+  // The exact-lowering dispatch must reproduce the scalar pipeline
+  // bit-for-bit on the pinned figure grids, for every throttling method.
+  for (const SourceThrottling method :
+       {SourceThrottling::kNone, SourceThrottling::kPicard,
+        SourceThrottling::kBisection, SourceThrottling::kExactMva}) {
+    for (const std::uint32_t clusters : {1u, 2u, 4u, 8u, 16u}) {
+      for (const double bytes : {512.0, 1024.0}) {
+        const SystemConfig config =
+            paper_scenario(HeterogeneityCase::kCase1, clusters,
+                           NetworkArchitecture::kNonBlocking, bytes);
+        ModelOptions scalar;
+        scalar.fixed_point.method = method;
+        const LatencyPrediction expected = predict_latency(config, scalar);
+
+        TreeModelOptions options;
+        options.fixed_point = scalar.fixed_point;
+        const TreeLatencyPrediction actual =
+            predict_model_tree(ModelTree::from_system(config), options);
+
+        EXPECT_TRUE(actual.lowered_to_flat);
+        EXPECT_EQ(actual.mean_latency_us, expected.mean_latency_us)
+            << "method=" << static_cast<int>(method) << " C=" << clusters
+            << " M=" << bytes;
+        EXPECT_EQ(actual.lambda_offered_total,
+                  expected.lambda_offered *
+                      static_cast<double>(config.total_nodes()));
+        EXPECT_EQ(actual.effective_rate_scale,
+                  expected.lambda_offered > 0.0
+                      ? expected.lambda_effective / expected.lambda_offered
+                      : 1.0);
+        EXPECT_EQ(actual.fixed_point_converged,
+                  expected.fixed_point_converged);
+        for (const double per_leaf : actual.per_leaf_latency_us) {
+          EXPECT_EQ(per_leaf, expected.mean_latency_us);
+        }
+      }
+    }
+  }
+}
+
+TEST(ModelTree, GenericRecursionMatchesScalarToRounding) {
+  // With exact lowering disabled the generic tree recursion must agree
+  // with the scalar pipeline to numerical tolerance (the consistent
+  // queue rule is the one the generalised arrival algebra reproduces).
+  for (const std::uint32_t clusters : {2u, 4u, 8u}) {
+    const SystemConfig config = paper_scenario(
+        HeterogeneityCase::kCase1, clusters,
+        NetworkArchitecture::kNonBlocking, 1024.0, 64, 1e-4);
+    ModelOptions scalar;
+    scalar.fixed_point.queue_rule = QueueLengthRule::kConsistent;
+    const LatencyPrediction expected = predict_latency(config, scalar);
+
+    TreeModelOptions options;
+    options.fixed_point = scalar.fixed_point;
+    options.exact_lowering = false;
+    const TreeLatencyPrediction actual =
+        predict_model_tree(ModelTree::from_system(config), options);
+
+    EXPECT_FALSE(actual.lowered_to_flat);
+    EXPECT_NEAR(actual.mean_latency_us, expected.mean_latency_us,
+                1e-6 * expected.mean_latency_us)
+        << "C=" << clusters;
+    EXPECT_NEAR(actual.effective_rate_scale,
+                expected.lambda_effective / expected.lambda_offered, 1e-6);
+  }
+}
+
+TEST(ModelTree, UniformMvaMatchesScalarExactMva) {
+  // Uniform flat shape through the generic station-class MVA path vs
+  // the scalar exact MVA: same queueing network, same answer.
+  const SystemConfig config = paper_scenario(
+      HeterogeneityCase::kCase1, 4, NetworkArchitecture::kNonBlocking,
+      1024.0, 128, 2e-4);
+  ModelOptions scalar;
+  scalar.fixed_point.method = SourceThrottling::kExactMva;
+  const LatencyPrediction expected = predict_latency(config, scalar);
+
+  TreeModelOptions options;
+  options.fixed_point.method = SourceThrottling::kExactMva;
+  options.exact_lowering = false;
+  const TreeLatencyPrediction actual =
+      predict_model_tree(ModelTree::from_system(config), options);
+  EXPECT_NEAR(actual.mean_latency_us, expected.mean_latency_us,
+              1e-6 * expected.mean_latency_us);
+}
+
+TEST(ModelTree, UniformDepth3TreeSolvesWithExactMva) {
+  const ModelTree tree = uniform_depth3_tree();
+  EXPECT_TRUE(is_uniform_tree(tree));
+
+  TreeModelOptions options;
+  options.fixed_point.method = SourceThrottling::kExactMva;
+  const TreeLatencyPrediction prediction =
+      predict_model_tree(tree, options);
+  EXPECT_TRUE(prediction.fixed_point_converged);
+  EXPECT_TRUE(std::isfinite(prediction.mean_latency_us));
+  EXPECT_GT(prediction.mean_latency_us, 0.0);
+  EXPECT_GT(prediction.effective_rate_scale, 0.0);
+  EXPECT_LE(prediction.effective_rate_scale, 1.0 + 1e-12);
+  // centers: root network + 2 x (group network + group egress).
+  ASSERT_EQ(prediction.centers.size(), 5u);
+  ASSERT_EQ(prediction.per_leaf_latency_us.size(), 4u);
+  // Exchangeable leaves: identical per-leaf latencies.
+  for (const double per_leaf : prediction.per_leaf_latency_us) {
+    EXPECT_NEAR(per_leaf, prediction.per_leaf_latency_us[0],
+                1e-9 * prediction.per_leaf_latency_us[0]);
+  }
+}
+
+TEST(ModelTree, NestedTreeOpenAndAmvaSolve) {
+  const ModelTree tree = nested_tree();
+  EXPECT_FALSE(is_uniform_tree(tree));
+
+  for (const SourceThrottling method :
+       {SourceThrottling::kBisection, SourceThrottling::kExactMva}) {
+    TreeModelOptions options;
+    options.fixed_point.method = method;
+    options.fixed_point.queue_rule = QueueLengthRule::kConsistent;
+    const TreeLatencyPrediction prediction =
+        predict_model_tree(tree, options);
+    EXPECT_TRUE(prediction.fixed_point_converged)
+        << "method=" << static_cast<int>(method);
+    EXPECT_TRUE(std::isfinite(prediction.mean_latency_us));
+    EXPECT_GT(prediction.mean_latency_us, 0.0);
+    ASSERT_EQ(prediction.per_leaf_latency_us.size(), 3u);
+    // The generation-weighted mean lies inside the per-leaf range.
+    double lo = prediction.per_leaf_latency_us[0];
+    double hi = lo;
+    for (const double v : prediction.per_leaf_latency_us) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    EXPECT_GE(prediction.mean_latency_us, lo - 1e-12);
+    EXPECT_LE(prediction.mean_latency_us, hi + 1e-12);
+  }
+}
+
+TEST(ModelTree, FasterBackboneLowersLatency) {
+  ModelTree slow = nested_tree();
+  ModelTree fast = nested_tree();
+  fast.root.network = gigabit_ethernet();
+  const double slow_mean = predict_model_tree(slow).mean_latency_us;
+  const double fast_mean = predict_model_tree(fast).mean_latency_us;
+  EXPECT_LT(fast_mean, slow_mean);
+}
+
+TEST(ModelTree, PathTargetingReadsAndWrites) {
+  ModelTree tree = nested_tree();
+  EXPECT_EQ(tree_path_value(tree, "root.icn.bandwidth"),
+            fast_ethernet().bandwidth_bytes_per_us);
+  EXPECT_EQ(tree_path_value(tree, "root.children[0].egress.latency_us"),
+            fast_ethernet().latency_us);
+  EXPECT_EQ(tree_path_value(tree, "root.children[0].children[1].processors"),
+            8.0);
+
+  set_tree_path(tree, "root.children[1].icn.bandwidth", 250.0);
+  EXPECT_EQ(tree.root.children[1].network.bandwidth_bytes_per_us, 250.0);
+  set_tree_path(tree, "root.children[0].children[0].lambda_per_s", 500.0);
+  EXPECT_NEAR(tree.root.children[0].children[0].generation_rate_per_us,
+              5e-4, 1e-15);
+
+  EXPECT_THROW(tree_path_value(tree, "root.children[9].icn.bandwidth"),
+               hmcs::ConfigError);
+  EXPECT_THROW(tree_path_value(tree, "root.egress.latency_us"),
+               hmcs::ConfigError);  // the root has no egress
+  EXPECT_THROW(tree_path_value(tree, "root.processors"),
+               hmcs::ConfigError);  // internal node, leaf field
+  EXPECT_THROW(set_tree_path(tree, "root.children[0].children[0].processors",
+                             2.5),
+               hmcs::ConfigError);  // non-integer processor count
+  EXPECT_THROW(set_tree_path(tree, "nonsense", 1.0), hmcs::ConfigError);
+}
+
+TEST(ModelTree, Validation) {
+  ModelTree tree;  // default root is a leaf
+  EXPECT_THROW(tree.validate(), hmcs::ConfigError);
+
+  tree = nested_tree();
+  tree.root.children[0].children[0].processors = 0;
+  EXPECT_THROW(tree.validate(), hmcs::ConfigError);
+
+  tree = nested_tree();
+  tree.root.children[0].children[0].generation_rate_per_us = -1.0;
+  EXPECT_THROW(tree.validate(), hmcs::ConfigError);
+
+  tree = nested_tree();
+  tree.message_bytes = 0.0;
+  EXPECT_THROW(predict_model_tree(tree), hmcs::ConfigError);
+}
+
+TEST(ModelTree, TreeIoParsesNestedSchema) {
+  const ModelTree tree = load_model_tree(R"({
+    "tree": {
+      "network": "fast-ethernet",
+      "children": [
+        {"name": "campus-a",
+         "network": "gigabit-ethernet", "egress": "fast-ethernet",
+         "children": [{"processors": 16, "lambda_per_s": 100},
+                      {"processors": 8, "lambda_per_s": 50}]},
+        {"name": "campus-b",
+         "network": "gigabit-ethernet", "egress": "fast-ethernet",
+         "children": [{"processors": 32, "lambda_per_s": 75}]}
+      ]
+    },
+    "message_bytes": 1024,
+    "switch_ports": 24,
+    "switch_latency_us": 10
+  })");
+  EXPECT_EQ(tree.total_processors(), 56u);
+  EXPECT_EQ(tree.depth(), 2u);
+  EXPECT_EQ(tree.root.children[0].name, "campus-a");
+  EXPECT_EQ(tree.root.children[1].children[0].processors, 32u);
+  EXPECT_NEAR(tree.root.children[0].children[0].generation_rate_per_us,
+              1e-4, 1e-15);
+}
+
+TEST(ModelTree, TreeIoRejectsUnknownMembersAtEveryLevel) {
+  // Top level.
+  EXPECT_THROW(load_model_tree(
+                   R"({"tree": {"network": "fast-ethernet",
+                                "children": [{"processors": 2}]},
+                       "bogus": 1})"),
+               hmcs::ConfigError);
+  // Internal node.
+  EXPECT_THROW(load_model_tree(
+                   R"({"tree": {"network": "fast-ethernet", "bogus": 1,
+                                "children": [{"processors": 2}]}})"),
+               hmcs::ConfigError);
+  // Leaf.
+  EXPECT_THROW(load_model_tree(
+                   R"({"tree": {"network": "fast-ethernet",
+                                "children": [{"processors": 2,
+                                              "bogus": 1}]}})"),
+               hmcs::ConfigError);
+  // Root must not carry an egress.
+  EXPECT_THROW(load_model_tree(
+                   R"({"tree": {"network": "fast-ethernet",
+                                "egress": "fast-ethernet",
+                                "children": [{"processors": 2}]}})"),
+               hmcs::ConfigError);
+  // Non-root internal nodes must.
+  EXPECT_THROW(load_model_tree(
+                   R"({"tree": {"network": "fast-ethernet",
+                                "children": [{"network": "fast-ethernet",
+                                              "children": [{"processors": 2}]}]}})"),
+               hmcs::ConfigError);
+}
+
+TEST(ModelTree, CanonicalWriterRoundTrips) {
+  const ModelTree tree = nested_tree();
+  const std::string first = to_json(tree);
+  const ModelTree reparsed = load_model_tree(first);
+  EXPECT_EQ(to_json(reparsed), first);
+  // And the re-parsed tree predicts identically.
+  EXPECT_EQ(predict_model_tree(reparsed).mean_latency_us,
+            predict_model_tree(tree).mean_latency_us);
+}
+
+TEST(ModelTree, IsTreeConfigDiscriminates) {
+  EXPECT_TRUE(is_tree_config(hmcs::parse_json(
+      R"({"tree": {"network": "fast-ethernet",
+                   "children": [{"processors": 2}]}})")));
+  EXPECT_FALSE(is_tree_config(hmcs::parse_json(R"({"clusters": 4})")));
+}
+
+TEST(ModelTree, IsUniformTreeDetectsAsymmetry) {
+  EXPECT_TRUE(is_uniform_tree(uniform_depth3_tree()));
+  ModelTree tree = uniform_depth3_tree();
+  tree.root.children[1].children[0].processors = 9;
+  EXPECT_FALSE(is_uniform_tree(tree));
+  tree = uniform_depth3_tree();
+  tree.root.children[0].egress = gigabit_ethernet();
+  EXPECT_FALSE(is_uniform_tree(tree));
+}
+
+TEST(ModelTree, FlattenExposesSubtreeAggregates) {
+  // The view holds pointers into the tree: keep it alive.
+  const ModelTree tree = nested_tree();
+  const FlatTreeView view = flatten(tree);
+  ASSERT_EQ(view.nodes.size(), 3u);  // root + two campuses
+  ASSERT_EQ(view.leaves.size(), 3u);
+  EXPECT_EQ(view.nodes[0].path, "root");
+  EXPECT_EQ(view.total_processors, 56u);
+  EXPECT_EQ(view.nodes[0].subtree_processors, 56u);
+  // Root network joins two internal children -> 2 endpoints.
+  EXPECT_EQ(view.nodes[0].attached_endpoints, 2u);
+  // campus-a joins two leaf groups of 16 and 8 processors.
+  EXPECT_EQ(view.nodes[1].attached_endpoints, 24u);
+
+  const std::vector<TreeCenter> centers = tree_centers(tree, view);
+  ASSERT_EQ(centers.size(), 5u);
+  EXPECT_EQ(centers[0].path, "root.icn");
+  EXPECT_EQ(centers[1].path, "root.children[0].icn");
+  EXPECT_TRUE(centers[2].egress);
+  EXPECT_EQ(centers[2].path, "root.children[0].egress");
+}
+
+}  // namespace

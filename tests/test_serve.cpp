@@ -127,6 +127,63 @@ TEST(ServeRequestKey, RejectsUnknownMembers) {
   EXPECT_THROW(parse_line(R"({"config":{"bogus":1}})"), ConfigError);
 }
 
+TEST(ServeRequestKey, NestedFlatShapeCollidesWithFlatSchema) {
+  // A depth-2 tree spelling the exact two-stage case-1 system must be
+  // lowered at parse time and share the flat schema's canonical key
+  // (and therefore its cache line).
+  const serve::ServeRequest flat = parse_line(
+      R"({"config":{"clusters":2,"nodes_per_cluster":32,
+                    "technology":"case1","message_bytes":1024,
+                    "lambda_per_s":250,
+                    "switch_ports":24,"switch_latency_us":10}})");
+  const serve::ServeRequest nested = parse_line(
+      R"({"config":{"tree":{
+            "network":"fast-ethernet",
+            "children":[
+              {"network":"gigabit-ethernet","egress":"fast-ethernet",
+               "children":[{"processors":32,"lambda_per_s":250}]},
+              {"network":"gigabit-ethernet","egress":"fast-ethernet",
+               "children":[{"processors":32,"lambda_per_s":250}]}]},
+          "message_bytes":1024,
+          "switch_ports":24,"switch_latency_us":10}})");
+  EXPECT_EQ(nested.tree, nullptr);  // lowered, not kept as a tree
+  EXPECT_EQ(nested.canonical_key, flat.canonical_key);
+  EXPECT_EQ(nested.key_hash, flat.key_hash);
+}
+
+TEST(ServeRequestKey, GenuinelyNestedTreeGetsItsOwnKey) {
+  // Unequal children cannot lower; the request keeps the tree and keys
+  // on the canonical recursive document.
+  const serve::ServeRequest request = parse_line(
+      R"({"config":{"tree":{
+            "network":"fast-ethernet",
+            "children":[
+              {"network":"gigabit-ethernet","egress":"fast-ethernet",
+               "children":[{"processors":32,"lambda_per_s":250},
+                           {"processors":8,"lambda_per_s":100}]}]}}})");
+  ASSERT_NE(request.tree, nullptr);
+  EXPECT_NE(request.canonical_key.find("\"tree\""), std::string::npos);
+}
+
+TEST(ServeRequestKey, NestedSchemaRejectsUnknownMembersUniformly) {
+  // Typos fail loudly in the nested schema exactly as in the flat one.
+  EXPECT_THROW(parse_line(
+                   R"({"config":{"tree":{"network":"fast-ethernet",
+                        "children":[{"processors":2,"lambda_per_s":1}]},
+                        "bogus":1}})"),
+               ConfigError);
+  EXPECT_THROW(parse_line(
+                   R"({"config":{"tree":{"network":"fast-ethernet",
+                        "bogus":1,
+                        "children":[{"processors":2,"lambda_per_s":1}]}}})"),
+               ConfigError);
+  EXPECT_THROW(parse_line(
+                   R"({"config":{"tree":{"network":"fast-ethernet",
+                        "children":[{"processors":2,"lambda_per_s":1,
+                                     "bogus":1}]}}})"),
+               ConfigError);
+}
+
 // ---------------------------------------------------------------------------
 // ServeService
 
@@ -232,6 +289,37 @@ TEST(ServeService, NoCacheBypassesTheCache) {
       R"({"config":{"clusters":2,"total_nodes":32},"no_cache":true})");
   EXPECT_EQ(service.counters().evaluations, 2u);
   EXPECT_EQ(service.cache_stats().entries, 0u);
+}
+
+TEST(ServeService, EvaluatesNestedTreeRequests) {
+  serve::ServeService service({});
+  const std::string reply = service.handle_line(
+      R"({"id":"t1","config":{"tree":{
+            "network":"fast-ethernet",
+            "children":[
+              {"network":"gigabit-ethernet","egress":"fast-ethernet",
+               "children":[{"processors":16,"lambda_per_s":100},
+                           {"processors":8,"lambda_per_s":50}]},
+              {"network":"gigabit-ethernet","egress":"fast-ethernet",
+               "children":[{"processors":32,"lambda_per_s":75}]}]},
+          "message_bytes":1024}})");
+  EXPECT_NE(reply.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(reply.find("\"id\":\"t1\""), std::string::npos);
+  EXPECT_NE(reply.find("mean_latency_us"), std::string::npos);
+
+  // The warm path replays the cached body byte-for-byte.
+  const std::string warm = service.handle_line(
+      R"({"id":"t1","config":{"tree":{
+            "network":"fast-ethernet",
+            "children":[
+              {"network":"gigabit-ethernet","egress":"fast-ethernet",
+               "children":[{"processors":16,"lambda_per_s":100},
+                           {"processors":8,"lambda_per_s":50}]},
+              {"network":"gigabit-ethernet","egress":"fast-ethernet",
+               "children":[{"processors":32,"lambda_per_s":75}]}]},
+          "message_bytes":1024}})");
+  EXPECT_EQ(warm, reply);
+  EXPECT_EQ(service.counters().evaluations, 1u);
 }
 
 // ---------------------------------------------------------------------------

@@ -112,6 +112,76 @@ TEST(SweepConfig, JsonRejectsBadValues) {
                ConfigError);
 }
 
+TEST(SweepConfig, JsonTreeSweepExpandsPathAxes) {
+  const SweepRunConfig config = sweep_config_from_json(R"({
+    "id": "smoke_tree",
+    "tree": {
+      "tree": {
+        "network": "fast-ethernet",
+        "children": [
+          {"network": "gigabit-ethernet", "egress": "fast-ethernet",
+           "children": [{"processors": 16, "lambda_per_s": 100},
+                        {"processors": 8, "lambda_per_s": 50}]},
+          {"network": "gigabit-ethernet", "egress": "fast-ethernet",
+           "children": [{"processors": 32, "lambda_per_s": 75}]}
+        ]
+      },
+      "message_bytes": 1024
+    },
+    "axes": {
+      "paths": [{"path": "root.children[1].icn.bandwidth",
+                 "values": [125, 1250]}],
+      "message_bytes": [512, 1024]
+    },
+    "backends": [{"type": "analytic"}]
+  })");
+  ASSERT_NE(config.spec.base_tree, nullptr);
+  ASSERT_EQ(config.spec.axes.node_paths.size(), 1u);
+  EXPECT_EQ(config.spec.axes.node_paths[0].path,
+            "root.children[1].icn.bandwidth");
+
+  const std::vector<runner::SweepPoint> points =
+      runner::expand_sweep(config.spec);
+  ASSERT_EQ(points.size(), 4u);  // 2 path values x 2 message sizes
+  for (const auto& point : points) {
+    ASSERT_NE(point.tree, nullptr);
+    EXPECT_EQ(point.tree->total_processors(), 56u);
+  }
+  // Path axis is outermost; message_bytes varies fastest.
+  EXPECT_EQ(analytic::tree_path_value(*points[0].tree,
+                                      "root.children[1].icn.bandwidth"),
+            125.0);
+  EXPECT_EQ(points[0].tree->message_bytes, 512.0);
+  EXPECT_EQ(points[1].tree->message_bytes, 1024.0);
+  EXPECT_EQ(analytic::tree_path_value(*points[2].tree,
+                                      "root.children[1].icn.bandwidth"),
+            1250.0);
+}
+
+TEST(SweepConfig, TreeSweepRejectsShapeAxesAndOrphanPaths) {
+  // The topology owns technology/lambda/clusters; those axes cannot
+  // combine with a "tree", and path axes are meaningless without one.
+  // The combination rules apply at expansion (the loader only parses).
+  const SweepRunConfig tree_with_clusters = sweep_config_from_json(R"({
+    "tree": {"tree": {"network": "fast-ethernet",
+                      "children": [{"processors": 4, "lambda_per_s": 100},
+                                   {"processors": 4, "lambda_per_s": 100}]}},
+    "axes": {"clusters": [2, 4]}
+  })");
+  EXPECT_THROW(runner::expand_sweep(tree_with_clusters.spec), ConfigError);
+
+  const SweepRunConfig paths_without_tree = sweep_config_from_json(R"({
+    "axes": {"paths": [{"path": "root.icn.bandwidth", "values": [125]}]}
+  })");
+  EXPECT_THROW(runner::expand_sweep(paths_without_tree.spec), ConfigError);
+
+  // A path axis without values is malformed at parse time.
+  EXPECT_THROW(sweep_config_from_json(R"({
+    "axes": {"paths": [{"path": "root.icn.bandwidth"}]}
+  })"),
+               ConfigError);
+}
+
 TEST(SweepConfig, JsonFaultTolerancePolicy) {
   const SweepRunConfig config = sweep_config_from_json(R"({
     "id": "s",

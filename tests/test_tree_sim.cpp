@@ -1,0 +1,157 @@
+// Discrete-event cross-validation of the recursive tree solver on
+// genuinely nested (depth >= 2 network levels beyond the root)
+// heterogeneous topologies — the shapes the flat pipeline cannot
+// express, so TreeSim is the only independent check.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hmcs/analytic/model_tree.hpp"
+#include "hmcs/analytic/network_tech.hpp"
+#include "hmcs/analytic/tree_model.hpp"
+#include "hmcs/sim/tree_sim.hpp"
+#include "hmcs/util/error.hpp"
+
+namespace {
+
+using namespace hmcs;
+
+double relative_error(double observed, double expected) {
+  return std::abs(observed - expected) / expected;
+}
+
+analytic::TreeLatencyPrediction analytic_prediction(
+    const analytic::ModelTree& tree) {
+  analytic::TreeModelOptions options;
+  options.fixed_point.method = analytic::SourceThrottling::kBisection;
+  options.fixed_point.queue_rule = analytic::QueueLengthRule::kConsistent;
+  return analytic::predict_model_tree(tree, options);
+}
+
+sim::TreeSimResult simulate(const analytic::ModelTree& tree,
+                            std::uint64_t seed) {
+  sim::TreeSimOptions options;
+  options.measured_messages = 8000;
+  options.warmup_messages = 2000;
+  options.seed = seed;
+  sim::TreeSim sim(tree, options);
+  return sim.run();
+}
+
+/// Depth-3 heterogeneous topology #1: fast-ethernet backbone over two
+/// unequal gigabit campuses, each with unequal leaf groups.
+analytic::ModelTree campuses_tree() {
+  using analytic::ModelNode;
+  ModelNode campus_a = ModelNode::internal(
+      analytic::gigabit_ethernet(), analytic::fast_ethernet(),
+      {ModelNode::leaf(12, 1e-4), ModelNode::leaf(6, 0.5e-4)}, "campus-a");
+  ModelNode campus_b = ModelNode::internal(
+      analytic::gigabit_ethernet(), analytic::fast_ethernet(),
+      {ModelNode::leaf(20, 0.75e-4)}, "campus-b");
+  analytic::ModelTree tree;
+  tree.root =
+      ModelNode::internal(analytic::fast_ethernet(), {campus_a, campus_b});
+  tree.switch_params = {24, 10.0};
+  tree.message_bytes = 1024.0;
+  return tree;
+}
+
+/// Depth-3 heterogeneous topology #2: three subtrees with different
+/// egress technologies and rates — heterogeneity at every level.
+analytic::ModelTree mixed_egress_tree() {
+  using analytic::ModelNode;
+  ModelNode left = ModelNode::internal(
+      analytic::gigabit_ethernet(), analytic::gigabit_ethernet(),
+      {ModelNode::leaf(16, 0.5e-4)}, "left");
+  ModelNode mid = ModelNode::internal(
+      analytic::fast_ethernet(), analytic::fast_ethernet(),
+      {ModelNode::leaf(8, 1e-4), ModelNode::leaf(8, 1e-4)}, "mid");
+  ModelNode right = ModelNode::internal(
+      analytic::gigabit_ethernet(), analytic::fast_ethernet(),
+      {ModelNode::leaf(10, 0.25e-4)}, "right");
+  analytic::ModelTree tree;
+  tree.root = ModelNode::internal(analytic::gigabit_ethernet(),
+                                  {left, mid, right});
+  tree.switch_params = {24, 10.0};
+  tree.message_bytes = 512.0;
+  return tree;
+}
+
+TEST(TreeSim, MatchesAnalyticOnHeterogeneousCampuses) {
+  const analytic::ModelTree tree = campuses_tree();
+  const analytic::TreeLatencyPrediction model = analytic_prediction(tree);
+  ASSERT_TRUE(model.fixed_point_converged);
+
+  const sim::TreeSimResult sim_result = simulate(tree, 20240615);
+  EXPECT_EQ(sim_result.messages_measured, 8000u);
+  EXPECT_LT(relative_error(sim_result.mean_latency_us, model.mean_latency_us),
+            0.15)
+      << "sim " << sim_result.mean_latency_us << "us vs model "
+      << model.mean_latency_us << "us";
+
+  // Per-processor delivered rate agrees with the throttled offered rate.
+  const double model_rate =
+      model.lambda_offered_total * model.effective_rate_scale /
+      static_cast<double>(tree.total_processors());
+  EXPECT_LT(relative_error(sim_result.effective_rate_per_us, model_rate),
+            0.15);
+}
+
+TEST(TreeSim, MatchesAnalyticOnMixedEgressTree) {
+  const analytic::ModelTree tree = mixed_egress_tree();
+  const analytic::TreeLatencyPrediction model = analytic_prediction(tree);
+  ASSERT_TRUE(model.fixed_point_converged);
+
+  const sim::TreeSimResult sim_result = simulate(tree, 20240616);
+  EXPECT_LT(relative_error(sim_result.mean_latency_us, model.mean_latency_us),
+            0.15)
+      << "sim " << sim_result.mean_latency_us << "us vs model "
+      << model.mean_latency_us << "us";
+}
+
+TEST(TreeSim, CenterStatsLineUpWithAnalyticCenters) {
+  const analytic::ModelTree tree = campuses_tree();
+  const analytic::TreeLatencyPrediction model = analytic_prediction(tree);
+  const sim::TreeSimResult sim_result = simulate(tree, 20240617);
+
+  ASSERT_EQ(sim_result.centers.size(), model.centers.size());
+  for (std::size_t c = 0; c < model.centers.size(); ++c) {
+    EXPECT_EQ(sim_result.centers[c].path, model.centers[c].path);
+    EXPECT_EQ(sim_result.centers[c].egress, model.centers[c].egress);
+    // Busy centres agree on utilisation to simulation tolerance.
+    if (model.centers[c].utilization > 0.05) {
+      EXPECT_LT(relative_error(sim_result.centers[c].utilization,
+                               model.centers[c].utilization),
+                0.25)
+          << model.centers[c].path;
+    }
+  }
+}
+
+TEST(TreeSim, DeterministicForFixedSeed) {
+  const analytic::ModelTree tree = mixed_egress_tree();
+  const sim::TreeSimResult a = simulate(tree, 7);
+  const sim::TreeSimResult b = simulate(tree, 7);
+  EXPECT_EQ(a.mean_latency_us, b.mean_latency_us);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+
+  const sim::TreeSimResult c = simulate(tree, 8);
+  EXPECT_NE(a.mean_latency_us, c.mean_latency_us);
+}
+
+TEST(TreeSim, RejectsDegenerateTrees) {
+  analytic::ModelTree tree;
+  tree.root = analytic::ModelNode::internal(
+      analytic::fast_ethernet(), {analytic::ModelNode::leaf(1, 1e-4)});
+  // One processor: no destinations to send to.
+  EXPECT_THROW(sim::TreeSim(tree, {}), hmcs::ConfigError);
+
+  tree.root = analytic::ModelNode::internal(
+      analytic::fast_ethernet(),
+      {analytic::ModelNode::leaf(4, 0.0), analytic::ModelNode::leaf(4, 1e-4)});
+  // A zero-rate leaf never releases its closed-loop sources.
+  EXPECT_THROW(sim::TreeSim(tree, {}), hmcs::ConfigError);
+}
+
+}  // namespace
