@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke for the serve tier's durable warm restarts
+# (docs/SERVING.md "Durable restarts", docs/ROBUSTNESS.md):
+#
+#   1. start hmcs_serve with a cache snapshot and a short periodic
+#      spill interval, warm the cache with hmcs_loadgen (recording the
+#      cold replies), and wait for a completed snapshot,
+#   2. kill -9 the daemon — no drain, no final spill — and restart it
+#      from the snapshot: the warm pass must hit the restored cache
+#      (hit rate ~1) and every reply must be byte-identical to the
+#      recording from before the crash,
+#   3. corrupt the snapshot (garbage + a bit-flipped entry) and restart
+#      again: the daemon must report skipped lines and still serve —
+#      a damaged snapshot degrades to a (partially) cold start, never
+#      a startup failure — then drain cleanly on SIGINT (exit 130).
+#
+# Usage: scripts/ci_crash_recovery_smoke.sh [hmcs_serve] [hmcs_loadgen]
+set -euo pipefail
+
+HMCS_SERVE=${1:-./build/tools/hmcs_serve}
+HMCS_LOADGEN=${2:-./build/tools/hmcs_loadgen}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+SNAPSHOT="$WORK/cache.snap"
+KEYS=8
+
+# Starts the daemon ($1 = log tag, rest = extra flags); sets the
+# globals $port and $serve_pid. (No command substitution: a subshell
+# would strand the pid.)
+start_daemon() {
+  local tag=$1
+  shift
+  "$HMCS_SERVE" --port 0 --cache-snapshot "$SNAPSHOT" "$@" \
+    > "$WORK/$tag.out" 2> "$WORK/$tag.err" &
+  serve_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    if [ -s "$WORK/$tag.out" ]; then
+      port=$(head -1 "$WORK/$tag.out" | sed 's/.*://')
+      break
+    fi
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "FAIL: daemon ($tag) never reported its port" >&2
+    cat "$WORK/$tag.err" >&2
+    exit 1
+  fi
+  echo "daemon ($tag) is listening on port $port"
+}
+
+echo "== daemon A: warm the cache, snapshot periodically =="
+start_daemon first --snapshot-interval-ms 50
+"$HMCS_LOADGEN" --port "$port" --keys "$KEYS" --warm-iterations 2 \
+  --replies-out "$WORK/replies.txt" > "$WORK/loadgen_a.json"
+test "$(wc -l < "$WORK/replies.txt")" -eq "$KEYS"
+
+# Wait for a snapshot that holds every key (header + KEYS entry lines).
+snapshot_ready=""
+for _ in $(seq 1 100); do
+  if [ -s "$SNAPSHOT" ] && \
+     [ "$(wc -l < "$SNAPSHOT")" -ge $((KEYS + 1)) ]; then
+    snapshot_ready=yes
+    break
+  fi
+  sleep 0.1
+done
+if [ -z "$snapshot_ready" ]; then
+  echo "FAIL: periodic snapshot never captured all $KEYS entries" >&2
+  exit 1
+fi
+
+echo "== kill -9 mid-flight =="
+kill -9 "$serve_pid"
+set +e
+wait "$serve_pid" 2>/dev/null
+set -e
+
+echo "== daemon B: restart from the snapshot =="
+start_daemon second
+grep -q "cache snapshot loaded" "$WORK/second.err" || {
+  echo "FAIL: restarted daemon did not report loading the snapshot" >&2
+  cat "$WORK/second.err" >&2
+  exit 1
+}
+# The "cold" pass replays the same keys: every one must hit the
+# restored cache, and every reply must be byte-identical to the
+# recording made before the crash.
+"$HMCS_LOADGEN" --port "$port" --keys "$KEYS" --warm-iterations 0 \
+  --replies-expect "$WORK/replies.txt" --min-hit-rate 0.99 \
+  > "$WORK/loadgen_b.json"
+kill -INT "$serve_pid"
+set +e
+wait "$serve_pid"
+status=$?
+set -e
+test "$status" -eq 130 || {
+  echo "FAIL: daemon B exited $status on SIGINT, expected 130" >&2
+  exit 1
+}
+echo "warm restart served byte-identical replies from the snapshot"
+
+echo "== daemon C: corrupted snapshot degrades, does not crash =="
+# Garbage where an entry was, plus a flipped byte in another entry
+# (caught by the per-line checksum).
+awk 'NR == 2 {print "}{ definitely not json"; next}
+     NR == 3 {gsub(/"value":"/, "\"value\":\"X"); print; next}
+     {print}' "$SNAPSHOT" > "$SNAPSHOT.corrupt"
+mv "$SNAPSHOT.corrupt" "$SNAPSHOT"
+
+start_daemon third
+grep -Eq "cache snapshot loaded from .*: [0-9]+ entries, [1-9][0-9]* lines skipped" \
+  "$WORK/third.err" || {
+  echo "FAIL: daemon C did not report skipped snapshot lines" >&2
+  cat "$WORK/third.err" >&2
+  exit 1
+}
+# Still serves: the same workload completes (cold for damaged keys).
+"$HMCS_LOADGEN" --port "$port" --keys "$KEYS" --warm-iterations 1 \
+  > "$WORK/loadgen_c.json"
+kill -INT "$serve_pid"
+set +e
+wait "$serve_pid"
+status=$?
+set -e
+test "$status" -eq 130 || {
+  echo "FAIL: daemon C exited $status on SIGINT, expected 130" >&2
+  exit 1
+}
+
+echo "PASS: kill -9 -> warm restart with byte-identical replies; corrupted snapshot -> tolerated cold start"

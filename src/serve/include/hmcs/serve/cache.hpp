@@ -14,6 +14,7 @@
 /// numeric tolerance (docs/SERVING.md).
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -55,6 +56,15 @@ class ShardedResultCache {
   /// used entries beyond its capacity. Idempotent on duplicate puts
   /// (single-flight races re-store the identical body).
   void put(std::uint64_t hash, std::string_view key, std::string value);
+
+  /// Visits every entry, shard by shard, from least- to most-recently
+  /// used — the order a snapshot reload should replay so the restored
+  /// LRU discipline matches the saved one. Each shard's lock is held
+  /// while its entries are visited; `fn` must not call back into the
+  /// cache.
+  void for_each_lru_to_mru(
+      const std::function<void(const std::string& key,
+                               const std::string& value)>& fn) const;
 
   Stats stats() const;
   std::size_t shard_count() const { return shards_.size(); }

@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file chaos.hpp
+/// Deterministic fault injection for the serve tier. A FaultPlan names
+/// per-stage failure probabilities; a ChaosInjector rolls them with a
+/// seeded splitmix64 stream per decision site, so a given (seed, plan,
+/// arrival order) replays the same faults — failure paths become
+/// testable rather than theoretical (docs/ROBUSTNESS.md). The daemon
+/// configures it from `--chaos-*` flags and the `chaos` admin op can
+/// swap the plan at runtime; every injected fault is counted both here
+/// and in the global metrics registry as `serve.chaos.*`.
+///
+/// Injection sites:
+///   - forced sheds: the request is answered "shed" without touching
+///     the cache or the pool (exercises client retry paths),
+///   - evaluate latency: a fixed delay before the backend runs
+///     (exercises deadlines and queue growth),
+///   - evaluate errors: the backend "fails" with a tagged error reply
+///     (exercises error accounting and the access log),
+///   - snapshot-write failures: save_cache_snapshot() aborts as if the
+///     disk failed (exercises warm-restart degradation).
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "hmcs/util/json.hpp"
+
+namespace hmcs::serve {
+
+/// The injection probabilities, all in [0, 1]; an all-zero plan (the
+/// default) injects nothing. `seed` makes the decision streams
+/// reproducible across runs.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double shed_prob = 0.0;            ///< forced "shed" replies
+  double eval_delay_prob = 0.0;      ///< inject latency before evaluate
+  double eval_delay_ms = 0.0;        ///< the injected latency
+  double eval_error_prob = 0.0;      ///< forced evaluate failures
+  double snapshot_fail_prob = 0.0;   ///< forced snapshot-write failures
+
+  bool enabled() const {
+    return shed_prob > 0.0 || eval_delay_prob > 0.0 ||
+           eval_error_prob > 0.0 || snapshot_fail_prob > 0.0;
+  }
+};
+
+/// Parses a plan document ({"seed":..,"shed_prob":..,...}); unknown
+/// members and out-of-range probabilities throw hmcs::ConfigError.
+FaultPlan fault_plan_from_json(const JsonValue& doc);
+
+/// Renders `plan` as the canonical JSON object (the `chaos` op reply).
+void write_json(JsonWriter& json, const FaultPlan& plan);
+
+class ChaosInjector {
+ public:
+  struct Counters {
+    std::uint64_t forced_sheds = 0;
+    std::uint64_t eval_delays = 0;
+    std::uint64_t eval_errors = 0;
+    std::uint64_t snapshot_failures = 0;
+  };
+
+  ChaosInjector() = default;
+  explicit ChaosInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  ChaosInjector(const ChaosInjector&) = delete;
+  ChaosInjector& operator=(const ChaosInjector&) = delete;
+
+  /// Swaps the live plan (the `chaos` admin op). Decision streams
+  /// restart: each site's ticket counter keeps running, but the seed
+  /// and probabilities take effect on the next roll.
+  void set_plan(const FaultPlan& plan);
+  FaultPlan plan() const;
+
+  /// Decision rolls. Each consumes one ticket on its site's stream and
+  /// bumps the matching counter (and serve.chaos.* metric) when it
+  /// fires.
+  bool should_force_shed();
+  /// Returns the injected delay in ms, or 0.0 for "no delay".
+  double eval_delay_ms();
+  bool should_fail_eval();
+  bool should_fail_snapshot();
+
+  Counters counters() const;
+
+ private:
+  enum Site : std::uint64_t {
+    kShed = 0,
+    kEvalDelay = 1,
+    kEvalError = 2,
+    kSnapshot = 3,
+    kSiteCount = 4,
+  };
+
+  /// One deterministic uniform draw on `site`'s stream against `prob`.
+  bool roll(Site site, double prob);
+
+  mutable std::mutex mutex_;
+  FaultPlan plan_;
+  std::atomic<std::uint64_t> tickets_[kSiteCount] = {};
+  std::atomic<std::uint64_t> forced_sheds_{0};
+  std::atomic<std::uint64_t> eval_delays_{0};
+  std::atomic<std::uint64_t> eval_errors_{0};
+  std::atomic<std::uint64_t> snapshot_failures_{0};
+};
+
+}  // namespace hmcs::serve

@@ -45,6 +45,7 @@
 #include "hmcs/runner/sweep_config.hpp"
 #include "hmcs/serve/access_log.hpp"
 #include "hmcs/serve/cache.hpp"
+#include "hmcs/serve/chaos.hpp"
 #include "hmcs/serve/request.hpp"
 #include "hmcs/serve/single_flight.hpp"
 #include "hmcs/util/cancel.hpp"
@@ -69,6 +70,11 @@ class ServeService {
     std::shared_ptr<AccessLog> access_log;
     /// Width of the rolling RED window behind the `stats` op.
     unsigned red_window_seconds = 60;
+    /// Fault-injection layer (docs/ROBUSTNESS.md). When null the
+    /// service creates its own (all-zero plan) so the `chaos` admin op
+    /// always works; the daemon passes a shared injector so the
+    /// snapshot writer rolls on the same streams.
+    std::shared_ptr<ChaosInjector> chaos;
   };
 
   struct Counters {
@@ -108,6 +114,9 @@ class ServeService {
   Counters counters() const;
   ShardedResultCache::Stats cache_stats() const { return cache_.stats(); }
   const ShardedResultCache& cache() const { return cache_; }
+  /// Mutable access for the daemon's snapshot reload at startup.
+  ShardedResultCache& cache() { return cache_; }
+  ChaosInjector& chaos() { return *chaos_; }
   /// RED summary over the trailing window (the `stats` op's "red").
   obs::RedWindow::Summary red_summary() const { return red_.summarize(); }
   /// Lifetime request-latency histogram (the `stats` op's "latency").
@@ -143,7 +152,9 @@ class ServeService {
   /// Returns the id-free reply body and classifies trace.outcome.
   std::string handle_request_body(const ServeRequest& request,
                                   RequestTrace& trace);
-  std::string handle_op(const std::string& op, const std::string& id_json);
+  std::string handle_op(const std::string& op, const JsonValue& doc,
+                        const std::string& id_json);
+  std::string chaos_reply(const std::string& id_json) const;
   std::string metrics_reply(const std::string& id_json) const;
   std::string stats_reply(const std::string& id_json) const;
   EvalOutcome evaluate(const ServeRequest& request, RequestTrace& trace);
@@ -166,6 +177,7 @@ class ServeService {
 
   Options options_;
   ShardedResultCache cache_;
+  std::shared_ptr<ChaosInjector> chaos_;
   SingleFlight flights_;
   obs::RedWindow red_;
   obs::HdrHistogram latency_;

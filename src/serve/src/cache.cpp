@@ -51,6 +51,17 @@ void ShardedResultCache::put(std::uint64_t hash, std::string_view key,
   }
 }
 
+void ShardedResultCache::for_each_lru_to_mru(
+    const std::function<void(const std::string& key,
+                             const std::string& value)>& fn) const {
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
+      fn(it->key, it->value);
+    }
+  }
+}
+
 ShardedResultCache::Stats ShardedResultCache::stats() const {
   Stats total;
   total.shard_entries.reserve(shards_.size());

@@ -7,19 +7,41 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "hmcs/obs/metrics.hpp"
 #include "hmcs/util/error.hpp"
+#include "hmcs/util/json.hpp"
+#include "hmcs/util/net.hpp"
 
 namespace hmcs::serve {
 
 namespace {
 
-/// Poll interval for the accept/read loops: how quickly a drain or a
-/// stop token is noticed. The sockets stay blocking; poll() just makes
-/// every blocking point interruptible.
+/// Poll interval for the accept/read loops: how quickly a drain, a
+/// stop token, an eviction flag, or a timeout is noticed. The sockets
+/// stay blocking; poll() just makes every blocking point interruptible.
 constexpr int kPollMs = 50;
+
+std::uint64_t steady_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// A structured single-line error reply for connection-level
+/// rejections (timeouts, eviction, oversized lines): the client hears
+/// why it is being dropped instead of seeing a bare FIN.
+std::string error_line(const std::string& message) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("status").value("error");
+  json.key("error").value(message);
+  json.end_object();
+  return json.str();
+}
 
 }  // namespace
 
@@ -46,8 +68,8 @@ ServeServer::~ServeServer() {
   // start()-only lifetimes.
   {
     const std::scoped_lock lock(connections_mutex_);
-    for (std::thread& reader : reader_threads_) {
-      if (reader.joinable()) reader.join();
+    for (Reader& reader : readers_) {
+      if (reader.thread.joinable()) reader.thread.join();
     }
   }
   pool_.drain();
@@ -99,9 +121,18 @@ void ServeServer::serve() {
     connections_.fetch_add(1, std::memory_order_relaxed);
     HMCS_OBS_COUNTER_INC("serve.connections.accepted");
     auto connection = std::make_shared<Connection>(fd);
+    connection->last_activity_ms.store(steady_now_ms(),
+                                       std::memory_order_relaxed);
+    auto done = std::make_shared<std::atomic<bool>>(false);
     const std::scoped_lock lock(connections_mutex_);
-    reader_threads_.emplace_back(
-        [this, connection] { connection_loop(connection); });
+    enforce_connection_limit_locked();
+    live_connections_.push_back(connection);
+    readers_.push_back(Reader{
+        std::thread([this, connection, done] {
+          connection_loop(connection);
+          done->store(true, std::memory_order_release);
+        }),
+        done});
   }
 
   // Graceful drain: stop accepting, let every reader flush the lines
@@ -113,12 +144,58 @@ void ServeServer::serve() {
   listen_fd_ = -1;
   {
     const std::scoped_lock lock(connections_mutex_);
-    for (std::thread& reader : reader_threads_) {
-      if (reader.joinable()) reader.join();
+    for (Reader& reader : readers_) {
+      if (reader.thread.joinable()) reader.thread.join();
     }
-    reader_threads_.clear();
+    readers_.clear();
+    live_connections_.clear();
   }
   pool_.drain();
+}
+
+void ServeServer::enforce_connection_limit_locked() {
+  // Reap readers whose loops have exited so a long-lived daemon does
+  // not accumulate one joinable thread per connection ever served.
+  for (std::size_t i = 0; i < readers_.size();) {
+    if (readers_[i].done->load(std::memory_order_acquire)) {
+      readers_[i].thread.join();
+      readers_[i] = std::move(readers_.back());
+      readers_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  std::vector<std::shared_ptr<Connection>> live;
+  live.reserve(live_connections_.size());
+  for (std::size_t i = 0; i < live_connections_.size();) {
+    if (auto connection = live_connections_[i].lock()) {
+      live.push_back(std::move(connection));
+      ++i;
+    } else {
+      live_connections_[i] = std::move(live_connections_.back());
+      live_connections_.pop_back();
+    }
+  }
+  if (options_.max_connections == 0 ||
+      live.size() < options_.max_connections) {
+    return;
+  }
+  // Over the cap: flag the connection idle longest (skipping ones
+  // already being evicted) and let its reader announce the eviction.
+  std::shared_ptr<Connection> oldest;
+  std::uint64_t oldest_ms = ~0ull;
+  for (const auto& connection : live) {
+    if (connection->evict.load(std::memory_order_relaxed)) continue;
+    const std::uint64_t last =
+        connection->last_activity_ms.load(std::memory_order_relaxed);
+    if (last < oldest_ms) {
+      oldest_ms = last;
+      oldest = connection;
+    }
+  }
+  if (oldest != nullptr) {
+    oldest->evict.store(true, std::memory_order_relaxed);
+  }
 }
 
 void ServeServer::connection_loop(
@@ -126,6 +203,31 @@ void ServeServer::connection_loop(
   std::string buffer;
   char chunk[4096];
   while (!stopping_.load(std::memory_order_relaxed)) {
+    if (connection->evict.load(std::memory_order_relaxed)) {
+      limit_evicted_.fetch_add(1, std::memory_order_relaxed);
+      HMCS_OBS_COUNTER_INC("serve.connections.limit_evicted");
+      write_line(*connection,
+                 error_line("evicted: connection limit reached and this "
+                            "connection was idle longest"));
+      return;
+    }
+    // Read/idle deadlines: silence between requests is policed by
+    // idle_timeout_ms, a stalled half-sent line by read_timeout_ms.
+    const unsigned timeout_ms =
+        buffer.empty() ? options_.idle_timeout_ms : options_.read_timeout_ms;
+    if (timeout_ms > 0) {
+      const std::uint64_t last =
+          connection->last_activity_ms.load(std::memory_order_relaxed);
+      if (steady_now_ms() - last >= timeout_ms) {
+        timeout_evicted_.fetch_add(1, std::memory_order_relaxed);
+        HMCS_OBS_COUNTER_INC("serve.connections.timeout_evicted");
+        write_line(*connection,
+                   error_line(buffer.empty()
+                                  ? "idle timeout: no request received"
+                                  : "read timeout: request incomplete"));
+        return;
+      }
+    }
     pollfd entry{connection->fd, POLLIN, 0};
     const int ready = ::poll(&entry, 1, kPollMs);
     if (ready < 0) {
@@ -134,17 +236,27 @@ void ServeServer::connection_loop(
     }
     if (ready == 0) continue;
     const ssize_t received =
-        ::recv(connection->fd, chunk, sizeof chunk, 0);
+        util::recv_some(connection->fd, chunk, sizeof chunk);
     if (received == 0) break;  // client EOF
     if (received < 0) {
-      if (errno == EINTR || errno == EAGAIN) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return;
     }
     buffer.append(chunk, static_cast<std::size_t>(received));
+    connection->last_activity_ms.store(steady_now_ms(),
+                                       std::memory_order_relaxed);
     dispatch_lines(connection, buffer);
     if (buffer.size() > options_.max_line_bytes) {
-      write_line(*connection, ServeService::shed_reply());
-      return;  // an over-long line can never complete; drop the link
+      // An over-long line can never complete; answer with a structured
+      // error (not a silent close, not a misleading "shed") and drop
+      // the link.
+      oversized_.fetch_add(1, std::memory_order_relaxed);
+      HMCS_OBS_COUNTER_INC("serve.requests.oversized");
+      write_line(*connection,
+                 error_line("request line exceeds " +
+                            std::to_string(options_.max_line_bytes) +
+                            " bytes"));
+      return;
     }
   }
   if (stopping_.load(std::memory_order_relaxed)) {
@@ -154,6 +266,7 @@ void ServeServer::connection_loop(
     for (;;) {
       const ssize_t received =
           ::recv(connection->fd, chunk, sizeof chunk, MSG_DONTWAIT);
+      if (received < 0 && errno == EINTR) continue;
       if (received <= 0) break;
       buffer.append(chunk, static_cast<std::size_t>(received));
     }
@@ -195,18 +308,9 @@ void ServeServer::write_line(Connection& connection, std::string_view reply) {
   const std::scoped_lock lock(connection.write_mutex);
   std::string frame(reply);
   frame.push_back('\n');
-  std::size_t written = 0;
-  while (written < frame.size()) {
-    const ssize_t sent =
-        ::send(connection.fd, frame.data() + written, frame.size() - written,
-               MSG_NOSIGNAL);
-    if (sent < 0) {
-      if (errno == EINTR) continue;
-      // The client hung up; the request was still fully served.
-      HMCS_OBS_COUNTER_INC("serve.replies.write_failed");
-      return;
-    }
-    written += static_cast<std::size_t>(sent);
+  if (!util::send_all(connection.fd, frame)) {
+    // The client hung up; the request was still fully served.
+    HMCS_OBS_COUNTER_INC("serve.replies.write_failed");
   }
 }
 
@@ -215,6 +319,9 @@ ServeServer::Stats ServeServer::stats() const {
   stats.connections = connections_.load(std::memory_order_relaxed);
   stats.lines = lines_.load(std::memory_order_relaxed);
   stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.timeout_evicted = timeout_evicted_.load(std::memory_order_relaxed);
+  stats.limit_evicted = limit_evicted_.load(std::memory_order_relaxed);
+  stats.oversized = oversized_.load(std::memory_order_relaxed);
   return stats;
 }
 

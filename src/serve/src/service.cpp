@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <exception>
+#include <thread>
 
 #include "hmcs/obs/metrics.hpp"
 #include "hmcs/obs/prometheus.hpp"
@@ -101,6 +102,8 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
 ServeService::ServeService(const Options& options)
     : options_(options),
       cache_(options.cache),
+      chaos_(options.chaos ? options.chaos
+                           : std::make_shared<ChaosInjector>()),
       red_(red_options(options.red_window_seconds)),
       started_(std::chrono::steady_clock::now()) {}
 
@@ -147,7 +150,7 @@ std::string ServeService::handle_line(std::string_view line) {
         // Admin ops are not traced or access-logged: a dashboard
         // polling `stats` once a second must not pollute the very
         // latency distribution it reports.
-        return handle_op(op->as_string(), id_json);
+        return handle_op(op->as_string(), doc, id_json);
       }
     }
     const ServeRequest request = parse_request(doc, options_.load);
@@ -176,6 +179,7 @@ std::string ServeService::handle_line(std::string_view line) {
 }
 
 std::string ServeService::handle_op(const std::string& op,
+                                    const JsonValue& doc,
                                     const std::string& id_json) {
   if (op == "ping") {
     JsonWriter json;
@@ -187,9 +191,35 @@ std::string ServeService::handle_op(const std::string& op,
   }
   if (op == "stats") return stats_reply(id_json);
   if (op == "metrics") return metrics_reply(id_json);
+  if (op == "chaos") {
+    // {"op":"chaos"} reports; {"op":"chaos","plan":{...}} installs the
+    // plan first (an all-zero plan disables injection).
+    if (const JsonValue* plan = doc.find("plan")) {
+      chaos_->set_plan(fault_plan_from_json(*plan));
+    }
+    return chaos_reply(id_json);
+  }
   detail::throw_config_error("serve: unknown op '" + op +
-                                 "' (expected ping|stats|metrics)",
+                                 "' (expected ping|stats|metrics|chaos)",
                              std::source_location::current());
+}
+
+std::string ServeService::chaos_reply(const std::string& id_json) const {
+  const ChaosInjector::Counters counters = chaos_->counters();
+  JsonWriter json;
+  json.begin_object();
+  json.key("status").value("ok");
+  json.key("op").value("chaos");
+  json.key("plan");
+  write_json(json, chaos_->plan());
+  json.key("counters").begin_object();
+  json.key("forced_sheds").value(counters.forced_sheds);
+  json.key("eval_delays").value(counters.eval_delays);
+  json.key("eval_errors").value(counters.eval_errors);
+  json.key("snapshot_failures").value(counters.snapshot_failures);
+  json.end_object();
+  json.end_object();
+  return with_id(id_json, json.str());
 }
 
 std::string ServeService::metrics_reply(const std::string& id_json) const {
@@ -286,6 +316,16 @@ std::string ServeService::stats_reply(const std::string& id_json) const {
 
 std::string ServeService::handle_request_body(const ServeRequest& request,
                                               RequestTrace& trace) {
+  if (chaos_->should_force_shed()) {
+    // The chaos shed takes the normal pipeline exit (RED, access log,
+    // histogram) rather than the server's queue-refusal fast path, so
+    // it is indistinguishable from real overload to the client.
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    HMCS_OBS_COUNTER_INC("serve.requests.shed");
+    trace.outcome = "shed";
+    trace.error = true;
+    return shed_reply();
+  }
   if (request.no_cache) {
     trace.outcome = "miss";
     return evaluate(request, trace).body;
@@ -356,6 +396,14 @@ ServeService::EvalOutcome ServeService::evaluate(const ServeRequest& request,
 
   const auto eval_begin = std::chrono::steady_clock::now();
   try {
+    const double injected_delay_ms = chaos_->eval_delay_ms();
+    if (injected_delay_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(injected_delay_ms));
+    }
+    if (chaos_->should_fail_eval()) {
+      throw hmcs::Error("chaos: injected evaluate failure");
+    }
     // A deadline that expired while the request sat in the queue must
     // yield timed_out even when the backend finishes too quickly to
     // poll the token (analytic solves are microseconds).

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file net.hpp
+/// EINTR- and partial-transfer-safe wrappers over the blocking socket
+/// calls shared by the serve tier's TCP server and its clients
+/// (hmcs_loadgen, hmcs_top). POSIX allows send()/recv() to transfer
+/// fewer bytes than asked and to fail spuriously with EINTR when a
+/// signal lands; every call site must loop, and a call site that
+/// doesn't is a latent bug that only fires under signal load (exactly
+/// when a drain is in progress). Centralising the loops makes the
+/// hardening auditable in one place.
+
+#include <cstddef>
+#include <string_view>
+
+#include <sys/types.h>
+
+namespace hmcs::util {
+
+/// Writes all of `data` to `fd` (MSG_NOSIGNAL; a dead peer yields an
+/// error return, never SIGPIPE). Retries EINTR and short writes.
+/// Returns true when every byte was accepted by the kernel, false on
+/// any other error (errno is preserved from the failing call).
+bool send_all(int fd, std::string_view data);
+
+/// Reads up to `capacity` bytes into `buffer`, retrying EINTR.
+/// Returns the byte count (> 0), 0 on orderly peer shutdown, or -1 on
+/// error (errno preserved; EAGAIN/EWOULDBLOCK are returned as -1 and
+/// left for the caller's poll loop to interpret).
+ssize_t recv_some(int fd, char* buffer, std::size_t capacity);
+
+}  // namespace hmcs::util

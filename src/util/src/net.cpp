@@ -1,0 +1,31 @@
+#include "hmcs/util/net.hpp"
+
+#include <cerrno>
+
+#include <sys/socket.h>
+
+namespace hmcs::util {
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t sent = ::send(fd, data.data() + written,
+                                data.size() - written, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+ssize_t recv_some(int fd, char* buffer, std::size_t capacity) {
+  for (;;) {
+    const ssize_t received = ::recv(fd, buffer, capacity, 0);
+    if (received < 0 && errno == EINTR) continue;
+    return received;
+  }
+}
+
+}  // namespace hmcs::util

@@ -484,7 +484,13 @@ TEST(ServeServer, ServesColdAndWarmOverTcp) {
     EXPECT_EQ(ok, 2);
     EXPECT_EQ(errors, 1);
   }
-  EXPECT_EQ(server.service().cache_stats().hits, 1u);
+  // Under load (e.g. sanitizer builds) the second identical request can
+  // land while the first is still evaluating, in which case it
+  // coalesces onto the in-flight evaluation instead of hitting the
+  // cache. Either way it must have been served without recomputation.
+  EXPECT_EQ(server.service().cache_stats().hits +
+                server.service().counters().coalesced,
+            1u);
 }
 
 }  // namespace

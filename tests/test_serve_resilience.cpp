@@ -1,0 +1,612 @@
+// Tests for the serve tier's resilience layer: the sharded cache under
+// concurrent mixed load, durable snapshot save/load (including the
+// tolerant handling of corrupt, stale, and oversized snapshots),
+// deterministic chaos fault injection, and the server's connection
+// hardening (idle/read deadlines, connection cap with oldest-idle
+// eviction, oversized-request rejection) over real sockets.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hmcs/serve/access_log.hpp"
+#include "hmcs/serve/cache.hpp"
+#include "hmcs/serve/chaos.hpp"
+#include "hmcs/serve/request.hpp"
+#include "hmcs/serve/server.hpp"
+#include "hmcs/serve/service.hpp"
+#include "hmcs/serve/snapshot.hpp"
+#include "hmcs/util/json.hpp"
+
+namespace {
+
+using namespace hmcs;
+
+constexpr const char* kTinyRequest =
+    R"({"id":"r1","config":{"clusters":2,"total_nodes":32}})";
+
+std::string temp_path(const std::string& tag) {
+  return testing::TempDir() + "hmcs_resilience_" + tag + "_" +
+         std::to_string(::getpid()) + ".snap";
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+void write_lines(const std::string& path,
+                 const std::vector<std::string>& lines) {
+  std::ofstream out(path, std::ios::trunc);
+  for (const std::string& line : lines) out << line << "\n";
+}
+
+/// Inserts `key` with its real canonical hash, the way the service
+/// does — a reloaded snapshot recomputes hashes from the keys, so
+/// round-trip tests must hash the same way.
+void put_keyed(serve::ShardedResultCache& cache, const std::string& key,
+               const std::string& value) {
+  cache.put(serve::fnv1a64(key), key, value);
+}
+
+std::optional<std::string> get_keyed(serve::ShardedResultCache& cache,
+                                     const std::string& key) {
+  return cache.get(serve::fnv1a64(key), key);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedResultCache under concurrency (run under TSan in CI)
+
+TEST(ServeCacheConcurrency, MixedInsertLookupEvictIsRaceFree) {
+  // Capacity far below the key universe so eviction churns constantly
+  // while other threads look the same keys up.
+  serve::ShardedResultCache cache({.shards = 4, .capacity = 64});
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  constexpr int kKeyUniverse = 512;
+
+  std::atomic<std::uint64_t> wrong_value{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int k = (t * 131 + i * 7) % kKeyUniverse;
+        const std::string key = "key-" + std::to_string(k);
+        if (i % 3 == 0) {
+          put_keyed(cache, key, "value-" + std::to_string(k));
+        } else {
+          const std::optional<std::string> hit = get_keyed(cache, key);
+          // A hit must always carry the value written for that key —
+          // eviction may make it vanish, but never change it.
+          if (hit.has_value() && *hit != "value-" + std::to_string(k)) {
+            wrong_value.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(wrong_value.load(), 0u);
+  const serve::ShardedResultCache::Stats stats = cache.stats();
+  EXPECT_LE(stats.entries, 64u);
+  EXPECT_GT(stats.insertions, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads * kOpsPerThread -
+                                       kThreads * ((kOpsPerThread + 2) / 3)));
+}
+
+TEST(ServeCacheConcurrency, SnapshotSaveRacesWithWrites) {
+  // save_cache_snapshot walks the shards while writers mutate them: the
+  // shard locks must make that safe, and every line written must still
+  // checksum-verify on reload.
+  serve::ShardedResultCache cache({.shards = 4, .capacity = 256});
+  const std::string path = temp_path("save_race");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      std::string key = "k";
+      key += std::to_string(i % 300);
+      std::string value = "v";
+      value += std::to_string(i);
+      put_keyed(cache, key, value);
+    }
+  });
+  serve::SnapshotSaveReport last;
+  for (int i = 0; i < 20; ++i) {
+    last = serve::save_cache_snapshot(cache, path);
+    EXPECT_TRUE(last.ok) << last.error;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+
+  serve::ShardedResultCache reloaded({.shards = 4, .capacity = 256});
+  const serve::SnapshotLoadReport report =
+      serve::load_cache_snapshot(reloaded, path);
+  EXPECT_TRUE(report.found);
+  EXPECT_EQ(report.skipped, 0u) << report.warning;
+  EXPECT_EQ(report.loaded, last.entries);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot save/load
+
+TEST(ServeSnapshot, RoundTripRestoresEntriesAndLruOrder) {
+  serve::ShardedResultCache cache({.shards = 1, .capacity = 8});
+  for (int i = 0; i < 5; ++i) {
+    put_keyed(cache, "k" + std::to_string(i), "v" + std::to_string(i));
+  }
+  // Touch k0 so it is MRU; k1 becomes the eviction candidate.
+  EXPECT_TRUE(get_keyed(cache, "k0").has_value());
+
+  const std::string path = temp_path("roundtrip");
+  const serve::SnapshotSaveReport saved = serve::save_cache_snapshot(
+      cache, path);
+  ASSERT_TRUE(saved.ok) << saved.error;
+  EXPECT_EQ(saved.entries, 5u);
+  EXPECT_GT(saved.bytes, 0u);
+
+  serve::ShardedResultCache restored({.shards = 1, .capacity = 5});
+  const serve::SnapshotLoadReport report =
+      serve::load_cache_snapshot(restored, path);
+  EXPECT_TRUE(report.found);
+  EXPECT_EQ(report.loaded, 5u);
+  EXPECT_EQ(report.skipped, 0u) << report.warning;
+
+  // The snapshot replays LRU -> MRU, so the restored recency order is
+  // the saved one (lookups would perturb it; walk the list instead).
+  std::vector<std::string> original_order, restored_order;
+  cache.for_each_lru_to_mru(
+      [&](const std::string& key, const std::string&) {
+        original_order.push_back(key);
+      });
+  restored.for_each_lru_to_mru(
+      [&](const std::string& key, const std::string& value) {
+        restored_order.push_back(key);
+        EXPECT_EQ(value, "v" + key.substr(1));  // values intact
+      });
+  EXPECT_EQ(restored_order, original_order);
+
+  // ...so the restored cache evicts what the original would have
+  // evicted: k1 (the LRU after k0 was touched), not k0.
+  put_keyed(restored, "fresh", "F");
+  EXPECT_FALSE(get_keyed(restored, "k1").has_value());
+  EXPECT_EQ(get_keyed(restored, "k0"), std::optional<std::string>("v0"));
+  std::remove(path.c_str());
+}
+
+TEST(ServeSnapshot, MissingFileIsACleanColdStart) {
+  serve::ShardedResultCache cache({.shards = 1, .capacity = 4});
+  const serve::SnapshotLoadReport report = serve::load_cache_snapshot(
+      cache, temp_path("does_not_exist"));
+  EXPECT_FALSE(report.found);
+  EXPECT_EQ(report.loaded, 0u);
+  EXPECT_EQ(report.skipped, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ServeSnapshot, CorruptLinesAreSkippedAndCounted) {
+  serve::ShardedResultCache cache({.shards = 1, .capacity = 8});
+  for (int i = 0; i < 4; ++i) {
+    put_keyed(cache, "k" + std::to_string(i), "v" + std::to_string(i));
+  }
+  const std::string path = temp_path("corrupt");
+  ASSERT_TRUE(serve::save_cache_snapshot(cache, path).ok);
+
+  // Damage the file the three ways a crash or disk fault would:
+  // garbage bytes, a truncated entry, and a bit-flipped value (which
+  // only the checksum can catch).
+  std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 5u);  // header + 4 entries
+  lines[1] = "}{ not json at all";
+  lines[2] = lines[2].substr(0, lines[2].size() / 2);
+  const std::size_t v = lines[3].find("\"value\":\"v");
+  ASSERT_NE(v, std::string::npos);
+  lines[3][v + 10] = 'X';  // flips the value byte; check no longer matches
+  write_lines(path, lines);
+
+  serve::ShardedResultCache restored({.shards = 1, .capacity = 8});
+  const serve::SnapshotLoadReport report =
+      serve::load_cache_snapshot(restored, path);
+  EXPECT_TRUE(report.found);
+  EXPECT_EQ(report.loaded, 1u);   // only the untouched entry survives
+  EXPECT_EQ(report.skipped, 3u);
+  EXPECT_FALSE(report.warning.empty());
+  EXPECT_EQ(restored.stats().entries, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ServeSnapshot, UnknownVersionDegradesToColdStart) {
+  serve::ShardedResultCache cache({.shards = 1, .capacity = 8});
+  put_keyed(cache, "k", "v");
+  const std::string path = temp_path("version");
+  ASSERT_TRUE(serve::save_cache_snapshot(cache, path).ok);
+  std::vector<std::string> lines = read_lines(path);
+  lines[0] = R"({"hmcs_cache_snapshot":99,"ts_ms":0})";
+  write_lines(path, lines);
+
+  serve::ShardedResultCache restored({.shards = 1, .capacity = 8});
+  const serve::SnapshotLoadReport report =
+      serve::load_cache_snapshot(restored, path);
+  EXPECT_TRUE(report.found);
+  EXPECT_EQ(report.loaded, 0u);
+  EXPECT_EQ(report.skipped, 2u);  // header + the entry behind it
+  EXPECT_NE(report.warning.find("version"), std::string::npos)
+      << report.warning;
+  std::remove(path.c_str());
+}
+
+TEST(ServeSnapshot, OversizedLinesAreSkipped) {
+  serve::ShardedResultCache cache({.shards = 1, .capacity = 8});
+  put_keyed(cache, "small", "s");
+  put_keyed(cache, "huge", std::string(4096, 'x'));
+  const std::string path = temp_path("oversized");
+  ASSERT_TRUE(serve::save_cache_snapshot(cache, path).ok);
+
+  serve::ShardedResultCache restored({.shards = 1, .capacity = 8});
+  const serve::SnapshotLoadReport report = serve::load_cache_snapshot(
+      restored, path, {.max_line_bytes = 512});
+  EXPECT_EQ(report.loaded, 1u);
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_TRUE(get_keyed(restored, "small").has_value());
+  EXPECT_FALSE(get_keyed(restored, "huge").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(ServeSnapshot, SaveIsAtomicOverThePreviousSnapshot) {
+  serve::ShardedResultCache cache({.shards = 1, .capacity = 8});
+  put_keyed(cache, "a", "1");
+  const std::string path = temp_path("atomic");
+  ASSERT_TRUE(serve::save_cache_snapshot(cache, path).ok);
+
+  // An injected write failure must leave the previous snapshot intact
+  // and remove the temp file — exactly the crash-mid-save contract.
+  serve::FaultPlan plan;
+  plan.snapshot_fail_prob = 1.0;
+  serve::ChaosInjector chaos(plan);
+  const serve::SnapshotSaveReport failed =
+      serve::save_cache_snapshot(cache, path, &chaos);
+  EXPECT_FALSE(failed.ok);
+  EXPECT_NE(failed.error.find("chaos"), std::string::npos) << failed.error;
+  EXPECT_EQ(chaos.counters().snapshot_failures, 1u);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+  serve::ShardedResultCache restored({.shards = 1, .capacity = 8});
+  const serve::SnapshotLoadReport report =
+      serve::load_cache_snapshot(restored, path);
+  EXPECT_EQ(report.loaded, 1u);
+  EXPECT_EQ(report.skipped, 0u) << report.warning;
+  std::remove(path.c_str());
+}
+
+TEST(ServeSnapshot, PeriodicWriterSpillsOnItsOwn) {
+  serve::ShardedResultCache cache({.shards = 1, .capacity = 8});
+  put_keyed(cache, "k", "v");
+  const std::string path = temp_path("periodic");
+  {
+    serve::SnapshotWriter::Options options;
+    options.path = path;
+    options.interval_ms = 5;
+    serve::SnapshotWriter writer(cache, options);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (writer.saves() == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_GT(writer.saves(), 0u);
+  }  // dtor stops the thread
+  serve::ShardedResultCache restored({.shards = 1, .capacity = 8});
+  EXPECT_EQ(serve::load_cache_snapshot(restored, path).loaded, 1u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Chaos injection
+
+TEST(ServeChaos, SameSeedReplaysTheSameDecisions) {
+  serve::FaultPlan plan;
+  plan.seed = 42;
+  plan.shed_prob = 0.5;
+  serve::ChaosInjector a(plan), b(plan);
+  std::vector<bool> fired_a, fired_b;
+  for (int i = 0; i < 200; ++i) {
+    fired_a.push_back(a.should_force_shed());
+    fired_b.push_back(b.should_force_shed());
+  }
+  EXPECT_EQ(fired_a, fired_b);
+  // A fair coin over 200 draws lands strictly inside (0, 200).
+  const auto fired = static_cast<std::size_t>(
+      std::count(fired_a.begin(), fired_a.end(), true));
+  EXPECT_GT(fired, 0u);
+  EXPECT_LT(fired, fired_a.size());
+  EXPECT_EQ(a.counters().forced_sheds, fired);
+
+  plan.seed = 43;
+  serve::ChaosInjector c(plan);
+  std::vector<bool> fired_c;
+  for (int i = 0; i < 200; ++i) fired_c.push_back(c.should_force_shed());
+  EXPECT_NE(fired_a, fired_c);  // different seed, different stream
+}
+
+TEST(ServeChaos, ZeroPlanInjectsNothing) {
+  serve::ChaosInjector chaos;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(chaos.should_force_shed());
+    EXPECT_EQ(chaos.eval_delay_ms(), 0.0);
+    EXPECT_FALSE(chaos.should_fail_eval());
+    EXPECT_FALSE(chaos.should_fail_snapshot());
+  }
+  const serve::ChaosInjector::Counters counters = chaos.counters();
+  EXPECT_EQ(counters.forced_sheds, 0u);
+  EXPECT_EQ(counters.eval_delays, 0u);
+  EXPECT_EQ(counters.eval_errors, 0u);
+  EXPECT_EQ(counters.snapshot_failures, 0u);
+}
+
+TEST(ServeChaos, ForcedShedTakesTheNormalShedPath) {
+  serve::FaultPlan plan;
+  plan.shed_prob = 1.0;
+  serve::ServeService::Options options;
+  options.chaos = std::make_shared<serve::ChaosInjector>(plan);
+  serve::ServeService service(options);
+
+  const std::string reply = service.handle_line(kTinyRequest);
+  EXPECT_NE(reply.find("\"status\":\"shed\""), std::string::npos) << reply;
+  EXPECT_EQ(service.counters().shed, 1u);
+  EXPECT_EQ(service.counters().ok, 0u);
+  EXPECT_EQ(options.chaos->counters().forced_sheds, 1u);
+  // The shed request must not have polluted the cache.
+  EXPECT_EQ(service.cache_stats().entries, 0u);
+}
+
+TEST(ServeChaos, InjectedEvalErrorSurfacesAsTaggedErrorReply) {
+  serve::FaultPlan plan;
+  plan.eval_error_prob = 1.0;
+  serve::ServeService::Options options;
+  options.chaos = std::make_shared<serve::ChaosInjector>(plan);
+  serve::ServeService service(options);
+
+  const std::string reply = service.handle_line(kTinyRequest);
+  EXPECT_NE(reply.find("\"status\":\"error\""), std::string::npos) << reply;
+  EXPECT_NE(reply.find("chaos"), std::string::npos) << reply;
+  EXPECT_EQ(service.counters().errors, 1u);
+  EXPECT_EQ(options.chaos->counters().eval_errors, 1u);
+}
+
+TEST(ServeChaos, ShedsAndErrorsLandInTheAccessLog) {
+  const std::string path = temp_path("chaos_log");
+  {
+    serve::FaultPlan plan;
+    plan.shed_prob = 1.0;
+    serve::ServeService::Options options;
+    options.chaos = std::make_shared<serve::ChaosInjector>(plan);
+    serve::AccessLog::Options log_options;
+    log_options.path = path;
+    options.access_log = std::make_shared<serve::AccessLog>(log_options);
+    serve::ServeService service(options);
+
+    service.handle_line(kTinyRequest);            // forced shed
+    plan.shed_prob = 0.0;
+    plan.eval_error_prob = 1.0;
+    options.chaos->set_plan(plan);
+    service.handle_line(kTinyRequest);            // injected error
+    options.access_log->flush();
+  }
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(parse_json(lines[0]).at("outcome").as_string(), "shed");
+  EXPECT_EQ(parse_json(lines[1]).at("outcome").as_string(), "error");
+  std::remove(path.c_str());
+}
+
+TEST(ServeChaos, ChaosOpInstallsAndReportsThePlan) {
+  serve::ServeService service({});
+  const std::string installed = service.handle_line(
+      R"({"op":"chaos","plan":{"seed":7,"shed_prob":1}})");
+  EXPECT_NE(installed.find("\"status\":\"ok\""), std::string::npos)
+      << installed;
+  EXPECT_NE(installed.find("\"shed_prob\":1"), std::string::npos)
+      << installed;
+
+  const std::string shed = service.handle_line(kTinyRequest);
+  EXPECT_NE(shed.find("\"status\":\"shed\""), std::string::npos) << shed;
+
+  const JsonValue report = parse_json(service.handle_line(
+      R"({"op":"chaos"})"));
+  EXPECT_EQ(report.at("counters").at("forced_sheds").as_number(), 1.0);
+
+  // An all-zero plan turns injection back off.
+  service.handle_line(R"({"op":"chaos","plan":{}})");
+  EXPECT_NE(service.handle_line(kTinyRequest).find("\"status\":\"ok\""),
+            std::string::npos);
+}
+
+TEST(ServeChaos, ChaosOpRejectsBadPlans) {
+  serve::ServeService service({});
+  const std::string unknown = service.handle_line(
+      R"({"op":"chaos","plan":{"not_a_knob":1}})");
+  EXPECT_NE(unknown.find("\"status\":\"error\""), std::string::npos)
+      << unknown;
+  const std::string out_of_range = service.handle_line(
+      R"({"op":"chaos","plan":{"shed_prob":1.5}})");
+  EXPECT_NE(out_of_range.find("\"status\":\"error\""), std::string::npos)
+      << out_of_range;
+}
+
+// ---------------------------------------------------------------------------
+// Connection hardening over real sockets
+
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                        sizeof address),
+              0)
+        << std::strerror(errno);
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_raw(const std::string& bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  void send_line(const std::string& line) { send_raw(line + "\n"); }
+
+  /// Reads reply lines until EOF (the server closing the socket).
+  std::vector<std::string> read_until_eof() {
+    std::vector<std::string> lines;
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t received = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (received < 0 && errno == EINTR) continue;
+      if (received <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(received));
+      for (;;) {
+        const std::size_t newline = buffer.find('\n');
+        if (newline == std::string::npos) break;
+        lines.push_back(buffer.substr(0, newline));
+        buffer.erase(0, newline + 1);
+      }
+    }
+    return lines;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(ServeServerHardening, IdleTimeoutEvictsSilentClient) {
+  serve::ServeServer::Options options;
+  options.threads = 1;
+  options.idle_timeout_ms = 120;
+  serve::ServeServer server(options);
+  const std::uint16_t port = server.start();
+  std::thread accept_thread([&] { server.serve(); });
+
+  TestClient client(port);  // connects, then says nothing
+  const std::vector<std::string> replies = client.read_until_eof();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_NE(replies[0].find("\"status\":\"error\""), std::string::npos)
+      << replies[0];
+  EXPECT_NE(replies[0].find("idle timeout"), std::string::npos)
+      << replies[0];
+  EXPECT_EQ(server.stats().timeout_evicted, 1u);
+
+  server.shutdown();
+  accept_thread.join();
+}
+
+TEST(ServeServerHardening, ReadTimeoutEvictsStalledPartialRequest) {
+  serve::ServeServer::Options options;
+  options.threads = 1;
+  options.read_timeout_ms = 120;  // idle stays unlimited: only a
+                                  // half-sent line is policed
+  serve::ServeServer server(options);
+  const std::uint16_t port = server.start();
+  std::thread accept_thread([&] { server.serve(); });
+
+  TestClient client(port);
+  client.send_raw(R"({"config":{"clu)");  // ...and never finishes
+  const std::vector<std::string> replies = client.read_until_eof();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_NE(replies[0].find("read timeout"), std::string::npos)
+      << replies[0];
+  EXPECT_EQ(server.stats().timeout_evicted, 1u);
+
+  server.shutdown();
+  accept_thread.join();
+}
+
+TEST(ServeServerHardening, OversizedRequestGetsStructuredError) {
+  serve::ServeServer::Options options;
+  options.threads = 1;
+  options.max_line_bytes = 256;
+  serve::ServeServer server(options);
+  const std::uint16_t port = server.start();
+  std::thread accept_thread([&] { server.serve(); });
+
+  TestClient client(port);
+  client.send_raw(std::string(1024, 'x'));  // no newline: can't complete
+  const std::vector<std::string> replies = client.read_until_eof();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_NE(replies[0].find("\"status\":\"error\""), std::string::npos)
+      << replies[0];
+  EXPECT_NE(replies[0].find("exceeds 256 bytes"), std::string::npos)
+      << replies[0];
+  EXPECT_EQ(server.stats().oversized, 1u);
+
+  server.shutdown();
+  accept_thread.join();
+}
+
+TEST(ServeServerHardening, ConnectionLimitEvictsOldestIdle) {
+  serve::ServeServer::Options options;
+  options.threads = 1;
+  options.max_connections = 2;
+  serve::ServeServer server(options);
+  const std::uint16_t port = server.start();
+  std::thread accept_thread([&] { server.serve(); });
+
+  TestClient first(port);
+  while (server.stats().connections < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  TestClient second(port);
+  while (server.stats().connections < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  TestClient third(port);  // over the cap: `first` has been idle longest
+
+  const std::vector<std::string> evicted = first.read_until_eof();
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_NE(evicted[0].find("evicted"), std::string::npos) << evicted[0];
+  EXPECT_EQ(server.stats().limit_evicted, 1u);
+
+  // The survivors still serve requests.
+  second.send_line(kTinyRequest);
+  third.send_line(kTinyRequest);
+  while (server.service().counters().requests < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.shutdown();
+  accept_thread.join();
+  for (TestClient* client : {&second, &third}) {
+    const std::vector<std::string> replies = client->read_until_eof();
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_NE(replies[0].find("\"status\":\"ok\""), std::string::npos)
+        << replies[0];
+  }
+}
+
+}  // namespace

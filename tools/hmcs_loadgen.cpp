@@ -11,8 +11,17 @@
 //   $ ./hmcs_loadgen --port 7777 --keys 32 --warm-iterations 16
 //   $ ./hmcs_loadgen --port 7777 --min-hit-rate 0.9 --min-warm-speedup 50
 //
-// Exit codes: 0 success, 1 usage/connection errors, 2 a reply was
-// wrong or an assertion failed.
+// Resilience knobs: --retries/--backoff-ms retry transient replies
+// ("shed", "timed_out") with exponential backoff and full jitter —
+// the client half of the serve tier's backpressure contract.
+// --replies-out records the cold replies; --replies-expect asserts
+// byte-identity against such a recording, which is how the crash-
+// recovery smoke proves a snapshot-restored daemon serves the same
+// bytes across a kill -9 (scripts/ci_crash_recovery_smoke.sh).
+//
+// Exit codes: 0 success, 1 usage errors or unreachable server, 2 a
+// reply was wrong or an assertion failed. An unreachable server fails
+// fast with a clear message instead of hanging.
 //
 // The default workload is deliberately heavy for the analytic model —
 // exact MVA over a million-node closed network — so a cold evaluation
@@ -24,9 +33,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -34,9 +45,11 @@
 #include <thread>
 #include <vector>
 
+#include "hmcs/simcore/rng.hpp"
 #include "hmcs/util/cli.hpp"
 #include "hmcs/util/error.hpp"
 #include "hmcs/util/json.hpp"
+#include "hmcs/util/net.hpp"
 
 namespace {
 
@@ -53,10 +66,15 @@ class Client {
     address.sin_port = htons(port);
     require(::inet_pton(AF_INET, host.c_str(), &address.sin_addr) == 1,
             "loadgen: bad host '" + host + "'");
-    require(::connect(fd_, reinterpret_cast<sockaddr*>(&address),
-                      sizeof address) == 0,
-            "loadgen: connect to " + host + ":" + std::to_string(port) +
-                " failed: " + std::strerror(errno));
+    // errno must be read after connect(), not while building a message
+    // argument (unsequenced with the call itself).
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                  sizeof address) != 0) {
+      const std::string reason = std::strerror(errno);
+      require(false, "loadgen: cannot reach server at " + host + ":" +
+                         std::to_string(port) + ": " + reason +
+                         " (is hmcs_serve running?)");
+    }
   }
   ~Client() {
     if (fd_ >= 0) ::close(fd_);
@@ -64,16 +82,14 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Sends one request line and blocks for one reply line.
+  /// Sends one request line and blocks for one reply line. EINTR- and
+  /// partial-transfer-safe (util::send_all / util::recv_some).
   std::string round_trip(const std::string& line) {
     std::string frame = line;
     frame.push_back('\n');
-    std::size_t written = 0;
-    while (written < frame.size()) {
-      const ssize_t sent = ::send(fd_, frame.data() + written,
-                                  frame.size() - written, MSG_NOSIGNAL);
-      require(sent > 0, "loadgen: send failed");
-      written += static_cast<std::size_t>(sent);
+    if (!util::send_all(fd_, frame)) {
+      const std::string reason = std::strerror(errno);
+      require(false, "loadgen: send failed: " + reason);
     }
     for (;;) {
       const std::size_t newline = buffer_.find('\n');
@@ -83,7 +99,7 @@ class Client {
         return reply;
       }
       char chunk[4096];
-      const ssize_t received = ::recv(fd_, chunk, sizeof chunk, 0);
+      const ssize_t received = util::recv_some(fd_, chunk, sizeof chunk);
       require(received > 0, "loadgen: server closed the connection");
       buffer_.append(chunk, static_cast<std::size_t>(received));
     }
@@ -132,6 +148,14 @@ double now_us() {
       .count();
 }
 
+/// Replies worth retrying: the server explicitly said "back off"
+/// (overload shed, chaos shed, or a deadline-driven timeout) rather
+/// than "your request is wrong".
+bool is_transient(const std::string& reply) {
+  return reply.find("\"status\":\"shed\"") != std::string::npos ||
+         reply.find("\"status\":\"timed_out\"") != std::string::npos;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -154,6 +178,16 @@ int main(int argc, char** argv) {
                                  "ends below this", "-1");
   cli.add_option("min-warm-speedup", "fail (exit 2) when cold_p50/warm_p50 "
                                      "is below this", "-1");
+  cli.add_option("retries", "bounded retries per request on transient "
+                            "replies (shed, timed_out)", "0");
+  cli.add_option("backoff-ms", "retry backoff base: attempt n sleeps "
+                               "uniform(0, base * 2^n) ms (full jitter)",
+                 "50");
+  cli.add_option("replies-out", "record the cold replies to this file "
+                                "(one line per key, in key order)", "");
+  cli.add_option("replies-expect", "fail (exit 2) unless the cold replies "
+                                   "are byte-identical to this recording",
+                 "");
   try {
     if (!cli.parse(argc, argv)) {
       std::cout << cli.help_text();
@@ -170,6 +204,11 @@ int main(int argc, char** argv) {
     const std::uint64_t total_nodes = cli.get_uint("total-nodes");
     const std::string model = cli.get_string("model");
     const double deadline_ms = cli.get_double("deadline-ms");
+    const std::size_t retries = cli.get_uint("retries");
+    const double backoff_ms = cli.get_double("backoff-ms");
+    require(backoff_ms >= 0.0, "loadgen: --backoff-ms must be >= 0");
+    const std::string replies_out = cli.get_string("replies-out");
+    const std::string replies_expect = cli.get_string("replies-expect");
 
     std::vector<std::string> requests;
     requests.reserve(keys);
@@ -188,6 +227,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> cold_replies(keys);
     std::vector<std::vector<double>> lane_latencies(connections);
     bool byte_identical = true;
+    std::atomic<std::uint64_t> total_retries{0};
     std::mutex failure_mutex;
     std::string failure;
 
@@ -197,12 +237,27 @@ int main(int argc, char** argv) {
       for (std::size_t c = 0; c < connections; ++c) {
         threads.emplace_back([&, c] {
           try {
+            // Per-lane deterministic jitter stream: retries back off by
+            // uniform(0, backoff_ms * 2^attempt) — full jitter, so
+            // retrying lanes decorrelate instead of re-colliding.
+            simcore::Rng jitter(0x6c0adbe11ce5u ^ (c + 1));
             const std::size_t rounds = cold ? 1 : warm_iterations;
             for (std::size_t round = 0; round < rounds; ++round) {
               for (std::size_t key = c; key < keys; key += connections) {
                 const double start = now_us();
-                const std::string reply =
-                    clients[c]->round_trip(requests[key]);
+                std::string reply = clients[c]->round_trip(requests[key]);
+                for (std::size_t attempt = 0;
+                     attempt < retries && is_transient(reply); ++attempt) {
+                  const double cap_ms =
+                      backoff_ms *
+                      static_cast<double>(
+                          1ull << std::min<std::size_t>(attempt, 16));
+                  std::this_thread::sleep_for(
+                      std::chrono::duration<double, std::milli>(
+                          jitter.uniform(0.0, cap_ms)));
+                  total_retries.fetch_add(1, std::memory_order_relaxed);
+                  reply = clients[c]->round_trip(requests[key]);
+                }
                 lane_latencies[c].push_back(now_us() - start);
                 if (reply.find("\"status\":\"ok\"") == std::string::npos) {
                   const std::scoped_lock lock(failure_mutex);
@@ -239,6 +294,42 @@ int main(int argc, char** argv) {
       std::cerr << "loadgen: cold pass failed: " << failure << "\n";
       return 2;
     }
+
+    // Cross-process byte-identity: --replies-out records this run's
+    // cold replies, --replies-expect asserts against a prior recording.
+    // Ids are deterministic ("k<i>"), so a warm-restarted daemon must
+    // reproduce the recorded bytes exactly.
+    if (!replies_out.empty()) {
+      std::ofstream out(replies_out, std::ios::trunc);
+      require(out.good(),
+              "loadgen: cannot open --replies-out file " + replies_out);
+      for (const std::string& reply : cold_replies) out << reply << "\n";
+      out.flush();
+      require(out.good(),
+              "loadgen: failed writing --replies-out file " + replies_out);
+    }
+    if (!replies_expect.empty()) {
+      std::ifstream in(replies_expect);
+      require(in.good(),
+              "loadgen: cannot open --replies-expect file " + replies_expect);
+      std::string expected;
+      for (std::size_t key = 0; key < keys; ++key) {
+        if (!std::getline(in, expected)) {
+          std::cerr << "loadgen: --replies-expect file has only " << key
+                    << " lines for " << keys << " keys\n";
+          return 2;
+        }
+        if (expected != cold_replies[key]) {
+          byte_identical = false;
+          std::cerr << "loadgen: reply for key " << key
+                    << " differs from the recorded reply\n  expected: "
+                    << expected << "\n  got:      " << cold_replies[key]
+                    << "\n";
+          return 2;
+        }
+      }
+    }
+
     const std::vector<double> warm_us =
         warm_iterations > 0 ? run_pass(/*cold=*/false) : std::vector<double>{};
     if (!failure.empty()) {
@@ -280,10 +371,12 @@ int main(int argc, char** argv) {
                  "connections\n  cold p50 %.1f us, p95 %.1f us, p99 %.1f us, "
                  "max %.1f us\n  warm p50 %.1f us, p95 %.1f us, p99 %.1f us, "
                  "max %.1f us\n  warm speedup (p50) %.1fx, hit rate %.3f, "
-                 "byte-identical %s\n",
+                 "byte-identical %s, retries %llu\n",
                  keys, warm_iterations, connections, cold_p50, cold_p95,
                  cold_p99, cold_max, warm_p50, warm_p95, warm_p99, warm_max,
-                 speedup, hit_rate, byte_identical ? "yes" : "no");
+                 speedup, hit_rate, byte_identical ? "yes" : "no",
+                 static_cast<unsigned long long>(
+                     total_retries.load(std::memory_order_relaxed)));
 
     // The server keeps its own HDR latency view (the `stats` op); print
     // it for comparison. Server quantiles exclude client/network time,
@@ -316,6 +409,7 @@ int main(int argc, char** argv) {
     json.key("warm_speedup_p50").value(speedup);
     json.key("hit_rate").value(hit_rate);
     json.key("byte_identical").value(byte_identical);
+    json.key("retries").value(total_retries.load(std::memory_order_relaxed));
     json.end_object();
     std::cout << json.str() << "\n";
 
