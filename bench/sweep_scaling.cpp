@@ -5,7 +5,11 @@
 // sizes) at a ladder of thread counts, checks every parallel grid is
 // bitwise identical to the serial one, and records wall time + speedup
 // per rung. hardware_concurrency is recorded too: on a 1-core host a
-// flat curve is the expected result, not a regression.
+// flat curve is the expected result, not a regression. A second record
+// ("scenario_sweep") times the same grid under a heavy-traffic workload
+// (G/G/1 cv^2 = 4 service, MMPP bursty arrivals) once per backend, so
+// the analytic-vs-DES cell-cost gap for non-exponential scenarios is
+// tracked alongside the exponential baseline.
 
 #include <chrono>
 #include <cstdint>
@@ -47,11 +51,74 @@ runner::SweepSpec make_spec(std::uint64_t seed) {
   return spec;
 }
 
+/// Bitwise equality per field. A whole-struct memcmp is wrong here:
+/// PointResult::error is a std::string whose small-string buffer
+/// pointer refers into the object itself, so two identical grids at
+/// different addresses never compare byte-equal. Doubles are compared
+/// through memcmp (not ==) so the check stays a bit-identity claim,
+/// distinguishing -0.0 from 0.0 and never treating NaN as unequal to
+/// its own bit pattern.
+bool cells_identical(const runner::PointResult& a,
+                     const runner::PointResult& b) {
+  const auto bits = [](double x, double y) {
+    return std::memcmp(&x, &y, sizeof(double)) == 0;
+  };
+  return bits(a.mean_latency_us, b.mean_latency_us) &&
+         bits(a.ci_half_us, b.ci_half_us) &&
+         bits(a.lambda_offered, b.lambda_offered) &&
+         bits(a.lambda_effective, b.lambda_effective) &&
+         a.converged == b.converged &&
+         bits(a.effective_rate_per_us, b.effective_rate_per_us) &&
+         a.messages_measured == b.messages_measured &&
+         bits(a.mean_switch_hops, b.mean_switch_hops) &&
+         bits(a.max_switch_utilization, b.max_switch_utilization) &&
+         bits(a.max_center_utilization, b.max_center_utilization) &&
+         a.status == b.status && a.attempts == b.attempts &&
+         a.error == b.error;
+}
+
 bool grids_identical(const runner::SweepResult& a,
                      const runner::SweepResult& b) {
   if (a.cells.size() != b.cells.size()) return false;
-  return std::memcmp(a.cells.data(), b.cells.data(),
-                     a.cells.size() * sizeof(runner::PointResult)) == 0;
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    if (!cells_identical(a.cells[i], b.cells[i])) return false;
+  }
+  return true;
+}
+
+/// Heavy-traffic variant of the same grid: G/G/1 service (cv^2 = 4)
+/// under 2-state MMPP bursty arrivals (docs/WORKLOADS.md), timed per
+/// backend so the analytic-vs-DES cell-cost gap is tracked like for
+/// like with the exponential sweep above.
+runner::SweepSpec make_scenario_spec(std::uint64_t seed) {
+  runner::SweepSpec spec = make_spec(seed);
+  spec.id = "sweep_scaling_gg1_mmpp";
+  spec.workload.service_cv2 = 4.0;
+  spec.workload.mmpp = analytic::MmppArrivals{4.0, 0.1, 1000.0};
+  return spec;
+}
+
+struct ScenarioCost {
+  double wall_seconds = 0.0;
+  double cell_seconds = 0.0;
+  std::size_t points = 0;
+};
+
+ScenarioCost time_backend(const runner::SweepSpec& spec,
+                          const std::shared_ptr<runner::Backend>& backend) {
+  runner::RunnerOptions options;
+  options.threads = 1;  // serial: cost per cell, not pool throughput
+  const auto start = std::chrono::steady_clock::now();
+  const runner::SweepResult result =
+      runner::run_sweep(spec, {backend}, options);
+  const auto finish = std::chrono::steady_clock::now();
+  ScenarioCost cost;
+  cost.wall_seconds = std::chrono::duration<double>(finish - start).count();
+  cost.points = result.points.size();
+  cost.cell_seconds =
+      cost.points > 0 ? cost.wall_seconds / static_cast<double>(cost.points)
+                      : 0.0;
+  return cost;
 }
 
 }  // namespace
@@ -102,6 +169,15 @@ int main(int argc, char** argv) try {
     runs.push_back(run);
   }
 
+  // Like-for-like heavy-traffic sweep: same grid, G/G/1 cv^2 = 4 service
+  // + MMPP bursty arrivals, each backend timed serially so the record
+  // carries the analytic-vs-DES cell-cost gap for scenario workloads.
+  const runner::SweepSpec scenario_spec = make_scenario_spec(seed);
+  const auto analytic_backend = std::make_shared<runner::AnalyticBackend>();
+  const ScenarioCost analytic_cost =
+      time_backend(scenario_spec, analytic_backend);
+  const ScenarioCost des_cost = time_backend(scenario_spec, backends.front());
+
   JsonWriter json;
   json.begin_object();
   json.key("benchmark").value("sweep_scaling");
@@ -127,6 +203,21 @@ int main(int argc, char** argv) try {
     json.end_object();
   }
   json.end_array();
+  json.key("scenario_sweep").begin_object();
+  json.key("workload").value("gg1_cv2_4_mmpp");
+  json.key("service_cv2").value(4.0);
+  json.key("mmpp_burst_ratio").value(4.0);
+  json.key("points").value(static_cast<std::uint64_t>(analytic_cost.points));
+  json.key("analytic").begin_object();
+  json.key("wall_seconds").value(analytic_cost.wall_seconds);
+  json.key("cell_seconds").value(analytic_cost.cell_seconds);
+  json.end_object();
+  json.key("des").begin_object();
+  json.key("messages").value(messages);
+  json.key("wall_seconds").value(des_cost.wall_seconds);
+  json.key("cell_seconds").value(des_cost.cell_seconds);
+  json.end_object();
+  json.end_object();
   json.end_object();
 
   std::ofstream out(out_path);
@@ -148,6 +239,10 @@ int main(int argc, char** argv) try {
     }
     all_identical = all_identical && run.bit_identical;
   }
+  std::printf("scenario sweep (cv2=4 + MMPP, %zu cells): analytic %.3e s/cell, "
+              "des %.3e s/cell\n",
+              analytic_cost.points, analytic_cost.cell_seconds,
+              des_cost.cell_seconds);
   std::printf("hardware_concurrency=%u\nrecord written to %s\n", cores,
               out_path.c_str());
   return all_identical ? 0 : 1;

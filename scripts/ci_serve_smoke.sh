@@ -64,6 +64,27 @@ grep -q 'serve_request_wall_time_seconds_bucket{le="+Inf"}' \
 }
 echo "exposition ok: serve_cache_hits=$hits"
 
+echo "== non-default workload keys (G/G/1 service_cv2) =="
+# 4 keys sharing base parameters with the default-cv2 set above, but
+# carrying "workload":{"service_cv2":4}: each must mint a distinct
+# canonical cache key (4 fresh cold misses), then warm-hit its own line
+# (hit rate 4/8 = 0.5 for this run). Exact MVA is product-form-only and
+# rejects non-exponential service, so this pass drives the G/G/1
+# bisection solver.
+misses_before=$(awk '$1 == "serve_cache_misses" {print $2}' "$WORK/metrics.txt")
+"$HMCS_LOADGEN" --port "$port" --keys 4 --warm-iterations 1 \
+  --model bisection --service-cv2 4 --min-hit-rate 0.49 \
+  | tee "$WORK/loadgen_cv2.json"
+"$HMCS_TOP" --port "$port" --metrics > "$WORK/metrics_cv2.txt"
+misses_after=$(awk '$1 == "serve_cache_misses" {print $2}' "$WORK/metrics_cv2.txt")
+if [ -z "$misses_before" ] || [ -z "$misses_after" ] \
+   || [ $((misses_after - misses_before)) -ne 4 ]; then
+  echo "FAIL: cv^2=4 requests did not mint 4 fresh cache keys" \
+       "(misses $misses_before -> $misses_after)" >&2
+  exit 1
+fi
+echo "workload keys ok: serve_cache_misses $misses_before -> $misses_after"
+
 echo "== live dashboard snapshot =="
 "$HMCS_TOP" --port "$port" --iterations 1 | tee "$WORK/top.txt"
 grep -q '^latency ' "$WORK/top.txt" || {

@@ -26,6 +26,7 @@
 
 #include "hmcs/analytic/service_time.hpp"
 #include "hmcs/analytic/system_config.hpp"
+#include "hmcs/analytic/workload.hpp"
 
 namespace hmcs::util {
 class CancelToken;  // util/cancel.hpp
@@ -58,6 +59,19 @@ struct FixedPointOptions {
   /// solver requires exponential service (product form) and rejects
   /// other values.
   double service_cv2 = 1.0;
+  /// Squared coefficient of variation of the interarrival times
+  /// (Allen–Cunneen, gg1 in mm1.hpp): 1 = Poisson (the paper's
+  /// assumption). Like service_cv2, the MVA solver rejects non-default
+  /// values. Usually derived from a WorkloadScenario via with_scenario.
+  double arrival_ca2 = 1.0;
+  /// Failure/repair performability (workload.hpp): when failure_mtbf_us
+  /// > 0, every centre suffers Poisson breakdowns at rate 1/mtbf during
+  /// service, each costing an exponential repair with mean mttr, with
+  /// preemptive resume. The open-network solvers fold this into an
+  /// effective completion-time distribution (effective_service below);
+  /// the MVA solver rejects it. 0 = disabled.
+  double failure_mtbf_us = 0.0;
+  double failure_mttr_us = 0.0;
   /// Convergence tolerance on lambda_eff, relative to lambda.
   double tolerance = 1e-12;
   std::uint32_t max_iterations = 200;
@@ -99,8 +113,49 @@ double total_queue_length(const SystemConfig& config,
                           double lambda_effective, QueueLengthRule rule,
                           double service_cv2 = 1.0);
 
+/// Same, driven by the full distribution parameters in `options`
+/// (queue rule, service cs^2, arrival ca^2, failure/repair).
+double total_queue_length(const SystemConfig& config,
+                          const CenterServiceTimes& service,
+                          double lambda_effective,
+                          const FixedPointOptions& options);
+
 FixedPointResult solve_effective_rate(const SystemConfig& config,
                                       const CenterServiceTimes& service,
                                       const FixedPointOptions& options = {});
+
+/// A centre's effective completion-time distribution once breakdowns
+/// are folded in (workload.hpp FailureRepair, preemptive resume):
+/// completion rate mu*A (A = mtbf/(mtbf+mttr)) and inflated cs^2. The
+/// exact two-moment composition — DES cross-validation inflates each
+/// service draw by its Poisson repair cost, realising this very
+/// distribution. Identity when failures are disabled.
+struct EffectiveService {
+  double mu;
+  double cs2;
+};
+
+inline EffectiveService effective_service(double mu, double cs2,
+                                          const FixedPointOptions& options) {
+  if (options.failure_mtbf_us <= 0.0 || options.failure_mttr_us <= 0.0) {
+    return {mu, cs2};
+  }
+  const double availability =
+      options.failure_mtbf_us /
+      (options.failure_mtbf_us + options.failure_mttr_us);
+  return {mu * availability,
+          cs2 + 2.0 * availability * availability * options.failure_mttr_us *
+                    options.failure_mttr_us * mu / options.failure_mtbf_us};
+}
+
+/// Folds a WorkloadScenario (workload.hpp) into solver options. Each
+/// scenario field overrides the corresponding options field only when
+/// the scenario's is non-default, so callers that set service_cv2 etc.
+/// directly on the options keep working under a default scenario. An
+/// engaged MMPP resolves to an effective arrival ca^2 at the given
+/// per-source mean rate (held fixed through the fixed point).
+FixedPointOptions with_scenario(const FixedPointOptions& options,
+                                const WorkloadScenario& scenario,
+                                double mean_rate_per_us);
 
 }  // namespace hmcs::analytic

@@ -69,10 +69,12 @@ namespace detail {
 /// already-solved open-network fixed point. Keeping one implementation
 /// guarantees the batch path's per-cell post-processing is bit-identical
 /// to the scalar path's.
+/// `options` carries the distribution parameters (service cs^2, arrival
+/// ca^2, failure/repair) applied to every centre.
 LatencyPrediction finish_open_prediction(const SystemConfig& config, double p,
                                          const CenterServiceTimes& service,
                                          const FixedPointResult& fixed_point,
-                                         double service_cv2);
+                                         const FixedPointOptions& options);
 
 /// Same, for the kExactMva path: assembles the prediction from the
 /// solved station-class MVA recursion.

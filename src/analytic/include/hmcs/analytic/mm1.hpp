@@ -54,26 +54,51 @@ inline double number_in_queue(double lambda, double mu) {
 
 }  // namespace hmcs::analytic::mm1
 
-/// M/G/1 generalisation via Pollaczek-Khinchine: the service time has
+/// G/G/1 approximation via Allen–Cunneen: both the arrival process
+/// (squared coefficient of variation ca2 of the interarrival times) and
+/// the service time (cs2) are general. The queueing term scales with
+/// (ca2+cs2)/2; it is exact for M/G/1 (ca2 = 1, Pollaczek–Khinchine)
+/// and therefore for M/M/1 (ca2 = cs2 = 1), and a well-tested heavy-
+/// traffic approximation elsewhere (error vanishes as rho -> 1).
+namespace hmcs::analytic::gg1 {
+
+/// Mean response time W = S + rho*S*(ca2+cs2) / (2(1-rho)). Infinite
+/// when the centre is saturated — the effective-rate fixed point relies
+/// on this growing without bound rather than throwing.
+inline double response_time(double lambda, double mu, double ca2,
+                            double cs2) {
+  require(ca2 >= 0.0, "gg1: arrival ca^2 must be >= 0");
+  require(cs2 >= 0.0, "gg1: service cs^2 must be >= 0");
+  const double rho = mm1::utilization(lambda, mu);
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  const double service = 1.0 / mu;
+  return service + rho * service * (ca2 + cs2) / (2.0 * (1.0 - rho));
+}
+
+/// Mean number in system by Little's law.
+inline double number_in_system(double lambda, double mu, double ca2,
+                               double cs2) {
+  const double w = response_time(lambda, mu, ca2, cs2);
+  return std::isinf(w) ? w : lambda * w;
+}
+
+}  // namespace hmcs::analytic::gg1
+
+/// M/G/1 specialisation via Pollaczek-Khinchine: the service time has
 /// squared coefficient of variation cv2 (1 = exponential, recovering
-/// M/M/1; 0 = deterministic, M/D/1, halving the queueing term). The
-/// paper assumes exponential service; this is the knob behind the
-/// service-distribution ablation's analytical column.
+/// M/M/1; 0 = deterministic, M/D/1, halving the queueing term). This is
+/// Allen–Cunneen at ca2 = 1 — (1+cv2) and (ca2+cv2) are the same
+/// floating-point sum there, so the delegation is bit-identical.
 namespace hmcs::analytic::mg1 {
 
 /// Mean response time W = S + rho*S*(1+cv2) / (2(1-rho)).
 inline double response_time(double lambda, double mu, double cv2) {
-  require(cv2 >= 0.0, "mg1: cv^2 must be >= 0");
-  const double rho = mm1::utilization(lambda, mu);
-  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
-  const double service = 1.0 / mu;
-  return service + rho * service * (1.0 + cv2) / (2.0 * (1.0 - rho));
+  return gg1::response_time(lambda, mu, 1.0, cv2);
 }
 
 /// Mean number in system by Little's law.
 inline double number_in_system(double lambda, double mu, double cv2) {
-  const double w = response_time(lambda, mu, cv2);
-  return std::isinf(w) ? w : lambda * w;
+  return gg1::number_in_system(lambda, mu, 1.0, cv2);
 }
 
 }  // namespace hmcs::analytic::mg1

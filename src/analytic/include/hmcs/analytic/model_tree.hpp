@@ -81,6 +81,10 @@ struct ModelTree {
   NetworkArchitecture architecture = NetworkArchitecture::kNonBlocking;
   /// M: fixed message length in bytes (assumption 6).
   double message_bytes = 1024.0;
+  /// Heavy-traffic workload scenario (workload.hpp), tree-wide: applies
+  /// to every centre and every leaf source. from_cluster_of_clusters
+  /// leaves it default (the CoC surface stays exponential-only).
+  WorkloadScenario scenario;
 
   /// N: all processors in the tree.
   std::uint64_t total_processors() const;

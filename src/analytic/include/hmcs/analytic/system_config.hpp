@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "hmcs/analytic/network_tech.hpp"
+#include "hmcs/analytic/workload.hpp"
 
 namespace hmcs::analytic {
 
@@ -43,10 +44,15 @@ struct SystemConfig {
   /// M: fixed message length in bytes (assumption 6).
   double message_bytes = 1024.0;
 
-  /// lambda: per-processor Poisson message generation rate, in messages
-  /// per microsecond (assumption 1). See DESIGN.md on the paper's
-  /// "0.25 msg/sec" unit reconciliation.
+  /// lambda: per-processor message generation rate, in messages per
+  /// microsecond (assumption 1; Poisson under the default scenario).
+  /// See DESIGN.md on the paper's "0.25 msg/sec" unit reconciliation.
   double generation_rate_per_us = 0.25e-3;
+
+  /// Heavy-traffic workload scenario (workload.hpp): service-time cv^2,
+  /// arrival burstiness, failure/repair. Defaults reproduce the paper's
+  /// exponential model exactly.
+  WorkloadScenario scenario;
 
   /// N = C * N0.
   std::uint64_t total_nodes() const {

@@ -29,8 +29,10 @@ struct GroupConstants {
   double mu_icn1 = 0.0;
   double mu_ecn1 = 0.0;
   double mu_icn2 = 0.0;
+  double cs2_icn1 = 1.0;  ///< effective completion-time cs^2 (failures in)
+  double cs2_ecn1 = 1.0;
+  double cs2_icn2 = 1.0;
   double ecn1_weight = 0.0;  ///< 2 for kPaperEq6, 1 for kConsistent
-  double cv2 = 1.0;
 };
 
 GroupConstants make_constants(const SystemConfig& base,
@@ -44,26 +46,58 @@ GroupConstants make_constants(const SystemConfig& base,
   g.a_icn1 = n0 * (1.0 - g.p);
   g.a_ecn1f = n0 * g.p;
   g.a_icn2 = (g.c * n0) * g.p;
-  g.mu_icn1 = service.icn1.service_rate();
-  g.mu_ecn1 = service.ecn1.service_rate();
-  g.mu_icn2 = service.icn2.service_rate();
+  // The failure/repair fold is the same effective_service call the
+  // scalar path makes per evaluation, hoisted once per group — pure in
+  // its inputs, so the hoist is bit-identical.
+  const EffectiveService icn1 = effective_service(
+      service.icn1.service_rate(), options.service_cv2, options);
+  const EffectiveService ecn1 = effective_service(
+      service.ecn1.service_rate(), options.service_cv2, options);
+  const EffectiveService icn2 = effective_service(
+      service.icn2.service_rate(), options.service_cv2, options);
+  g.mu_icn1 = icn1.mu;
+  g.mu_ecn1 = ecn1.mu;
+  g.mu_icn2 = icn2.mu;
+  g.cs2_icn1 = icn1.cs2;
+  g.cs2_ecn1 = ecn1.cs2;
+  g.cs2_icn2 = icn2.cs2;
   g.ecn1_weight =
       (options.queue_rule == QueueLengthRule::kPaperEq6) ? 2.0 : 1.0;
-  g.cv2 = options.service_cv2;
   return g;
+}
+
+/// Group-level scenario fold: service cv^2, failure/repair and a fixed
+/// arrival ca^2 are rate-independent; an engaged MMPP's effective ca^2
+/// depends on the cell's rate and is resolved per cell below.
+FixedPointOptions fold_scenario(const FixedPointOptions& options,
+                                const WorkloadScenario& scenario) {
+  WorkloadScenario fixed = scenario;
+  fixed.mmpp.reset();
+  return with_scenario(options, fixed, 0.0);
+}
+
+/// The cell's effective arrival ca^2 — the same mmpp_arrival_scv call
+/// the scalar with_scenario makes at this rate.
+double cell_arrival_ca2(const FixedPointOptions& folded,
+                        const WorkloadScenario& scenario, double rate) {
+  return scenario.mmpp.has_value() ? mmpp_arrival_scv(*scenario.mmpp, rate)
+                                   : folded.arrival_ca2;
 }
 
 /// eq. (6) at iterate x — bit-identical to total_queue_length(base with
 /// rate x): same arrival-rate products, same M/G/1 calls, same sum
 /// order, same saturation cap.
-double queue_at(const GroupConstants& g, double x) {
+double queue_at(const GroupConstants& g, double ca2, double x) {
   const double rate_icn1 = g.a_icn1 * x;
   const double rate_icn2 = g.a_icn2 * x;
   const double rate_ecn1 = g.a_ecn1f * x + rate_icn2 / g.c;
 
-  const double l_icn1 = mg1::number_in_system(rate_icn1, g.mu_icn1, g.cv2);
-  const double l_ecn1 = mg1::number_in_system(rate_ecn1, g.mu_ecn1, g.cv2);
-  const double l_icn2 = mg1::number_in_system(rate_icn2, g.mu_icn2, g.cv2);
+  const double l_icn1 =
+      gg1::number_in_system(rate_icn1, g.mu_icn1, ca2, g.cs2_icn1);
+  const double l_ecn1 =
+      gg1::number_in_system(rate_ecn1, g.mu_ecn1, ca2, g.cs2_ecn1);
+  const double l_icn2 =
+      gg1::number_in_system(rate_icn2, g.mu_icn2, ca2, g.cs2_icn2);
   if (std::isinf(l_icn1) || std::isinf(l_ecn1) || std::isinf(l_icn2)) {
     return g.n;  // a saturated centre eventually blocks every source
   }
@@ -72,8 +106,8 @@ double queue_at(const GroupConstants& g, double x) {
 }
 
 /// eq. (7) root function g(x); same expression as the scalar bisection.
-double root_fn(const GroupConstants& g, double lambda, double x) {
-  return lambda * (g.n - queue_at(g, x)) / g.n - x;
+double root_fn(const GroupConstants& g, double ca2, double lambda, double x) {
+  return lambda * (g.n - queue_at(g, ca2, x)) / g.n - x;
 }
 
 FixedPointResult zero_rate_result() {
@@ -90,6 +124,7 @@ void require_cell_rate(double rate) {
 struct PicardSlot {
   std::size_t cell = 0;
   double lambda = 0.0;
+  double ca2 = 1.0;
   double current = 0.0;
   double queue = 0.0;
 };
@@ -106,14 +141,14 @@ void picard_lockstep(const GroupConstants& g, const FixedPointOptions& options,
     if (options.cancel != nullptr) options.cancel->check("fixed_point");
     std::size_t keep = 0;
     for (PicardSlot& slot : slots) {
-      slot.queue = queue_at(g, slot.current);
+      slot.queue = queue_at(g, slot.ca2, slot.current);
       const double candidate = slot.lambda * (g.n - slot.queue) / g.n;
       const double next = options.picard_damping * candidate +
                           (1.0 - options.picard_damping) * slot.current;
       if (std::fabs(next - slot.current) <=
           options.tolerance * slot.lambda) {
         out[slot.cell] =
-            FixedPointResult{next, queue_at(g, next), iter, true};
+            FixedPointResult{next, queue_at(g, slot.ca2, next), iter, true};
       } else {
         slot.current = next;
         slots[keep++] = slot;
@@ -130,6 +165,7 @@ void picard_lockstep(const GroupConstants& g, const FixedPointOptions& options,
 void solve_picard_batch(const GroupConstants& g,
                         const FixedPointOptions& options, bool warm_start,
                         const std::vector<double>& rates,
+                        const std::vector<double>& ca2s,
                         FixedPointResult* out) {
   // Cells that iterate (rate > 0), in grid order.
   std::vector<std::size_t> active;
@@ -147,6 +183,7 @@ void solve_picard_batch(const GroupConstants& g,
     PicardSlot slot;
     slot.cell = cell;
     slot.lambda = rates[cell];
+    slot.ca2 = ca2s[cell];
     slot.current = start;
     return slot;
   };
@@ -189,6 +226,7 @@ void solve_picard_batch(const GroupConstants& g,
 struct BisectionSlot {
   std::size_t cell = 0;
   double lambda = 0.0;
+  double ca2 = 1.0;
   double lo = 0.0;
   double hi = 0.0;
   std::uint32_t iterations = 0;
@@ -206,13 +244,13 @@ void bisection_lockstep(const GroupConstants& g,
           (slot.hi - slot.lo) <= options.tolerance * slot.lambda) {
         // Report the stable side of the bracket (queue length finite).
         out[slot.cell] = FixedPointResult{
-            slot.lo, queue_at(g, slot.lo), slot.iterations,
+            slot.lo, queue_at(g, slot.ca2, slot.lo), slot.iterations,
             (slot.hi - slot.lo) <= options.tolerance * slot.lambda};
         continue;
       }
       ++slot.iterations;
       const double mid = 0.5 * (slot.lo + slot.hi);
-      if (root_fn(g, slot.lambda, mid) > 0.0) {
+      if (root_fn(g, slot.ca2, slot.lambda, mid) > 0.0) {
         slot.lo = mid;
       } else {
         slot.hi = mid;
@@ -226,6 +264,7 @@ void bisection_lockstep(const GroupConstants& g,
 void solve_bisection_batch(const GroupConstants& g,
                            const FixedPointOptions& options, bool warm_start,
                            const std::vector<double>& rates,
+                           const std::vector<double>& ca2s,
                            FixedPointResult* out) {
   std::vector<std::size_t> active;
   active.reserve(rates.size());
@@ -237,8 +276,8 @@ void solve_bisection_batch(const GroupConstants& g,
     }
     // g(lambda) <= 0 always; g(lambda) == 0 means the system is
     // load-free — same short-circuit (and iteration count) as scalar.
-    if (root_fn(g, lambda, lambda) >= 0.0) {
-      out[i] = FixedPointResult{lambda, queue_at(g, lambda), 1, true};
+    if (root_fn(g, ca2s[i], lambda, lambda) >= 0.0) {
+      out[i] = FixedPointResult{lambda, queue_at(g, ca2s[i], lambda), 1, true};
       continue;
     }
     active.push_back(i);
@@ -249,6 +288,7 @@ void solve_bisection_batch(const GroupConstants& g,
     BisectionSlot slot;
     slot.cell = cell;
     slot.lambda = rates[cell];
+    slot.ca2 = ca2s[cell];
     slot.lo = 0.0;  // g(0+) = lambda > 0
     slot.hi = rates[cell];
     return slot;
@@ -283,9 +323,11 @@ void solve_bisection_batch(const GroupConstants& g,
     if (warm > 0.0 && warm < slot.lambda) {
       const double probe_lo = warm * (1.0 - 1e-3);
       const double probe_hi = std::min(slot.lambda, warm * (1.0 + 1e-3));
-      if (probe_lo > 0.0 && root_fn(g, slot.lambda, probe_lo) > 0.0) {
+      if (probe_lo > 0.0 && root_fn(g, slot.ca2, slot.lambda, probe_lo) > 0.0) {
         slot.lo = probe_lo;
-        if (root_fn(g, slot.lambda, probe_hi) <= 0.0) slot.hi = probe_hi;
+        if (root_fn(g, slot.ca2, slot.lambda, probe_hi) <= 0.0) {
+          slot.hi = probe_hi;
+        }
       } else if (probe_lo > 0.0) {
         slot.hi = probe_lo;
       }
@@ -398,9 +440,18 @@ void validate_options(const FixedPointOptions& options) {
   require(options.picard_damping > 0.0 && options.picard_damping <= 1.0,
           "fixed_point: damping must be in (0, 1]");
   require(options.service_cv2 >= 0.0, "fixed_point: cv^2 must be >= 0");
+  require(options.arrival_ca2 >= 0.0, "fixed_point: ca^2 must be >= 0");
+  require(options.failure_mtbf_us >= 0.0 && options.failure_mttr_us >= 0.0,
+          "fixed_point: failure mtbf/mttr must be >= 0");
   require(options.method != SourceThrottling::kExactMva ||
               options.service_cv2 == 1.0,
           "fixed_point: exact MVA requires exponential service (cv^2 = 1)");
+  require(options.method != SourceThrottling::kExactMva ||
+              (options.arrival_ca2 == 1.0 &&
+               (options.failure_mtbf_us <= 0.0 ||
+                options.failure_mttr_us <= 0.0)),
+          "fixed_point: exact MVA requires Poisson arrivals and no "
+          "failure/repair (product form)");
 }
 
 void record_batch_obs(const FixedPointResult* results, std::size_t count) {
@@ -434,7 +485,7 @@ bool same_topology(const SystemConfig& a, const SystemConfig& b) {
          a.switch_params.ports == b.switch_params.ports &&
          a.switch_params.latency_us == b.switch_params.latency_us &&
          a.architecture == b.architecture &&
-         a.message_bytes == b.message_bytes;
+         a.message_bytes == b.message_bytes && a.scenario == b.scenario;
 }
 
 }  // namespace
@@ -445,28 +496,42 @@ std::vector<FixedPointResult> solve_effective_rate_batch(
   SystemConfig base = grid.base;
   base.generation_rate_per_us = 0.0;  // cell rates are validated below
   base.validate();
-  validate_options(options);
+  // Fold the base config's workload scenario into the group's options;
+  // an MMPP resolves to one effective ca^2 per cell (rate-dependent).
+  const FixedPointOptions fp = fold_scenario(options, base.scenario);
+  validate_options(fp);
+  require(fp.method != SourceThrottling::kExactMva ||
+              !base.scenario.mmpp.has_value(),
+          "fixed_point: exact MVA requires Poisson arrivals and no "
+          "failure/repair (product form)");
   for (const double rate : grid.rates_per_us) require_cell_rate(rate);
 
   std::vector<FixedPointResult> results(grid.rates_per_us.size());
   if (results.empty()) return results;
 
   const CenterServiceTimes service = center_service_times(base);
-  const GroupConstants g = make_constants(base, service, options);
+  const GroupConstants g = make_constants(base, service, fp);
+  std::vector<double> ca2s(grid.rates_per_us.size(), fp.arrival_ca2);
+  if (base.scenario.mmpp.has_value()) {
+    for (std::size_t i = 0; i < grid.rates_per_us.size(); ++i) {
+      ca2s[i] = cell_arrival_ca2(fp, base.scenario, grid.rates_per_us[i]);
+    }
+  }
 
-  switch (options.method) {
+  switch (fp.method) {
     case SourceThrottling::kNone:
       for (std::size_t i = 0; i < grid.rates_per_us.size(); ++i) {
         const double lambda = grid.rates_per_us[i];
-        results[i] = FixedPointResult{lambda, queue_at(g, lambda), 0, true};
+        results[i] =
+            FixedPointResult{lambda, queue_at(g, ca2s[i], lambda), 0, true};
       }
       break;
     case SourceThrottling::kPicard:
-      solve_picard_batch(g, options, batch.warm_start, grid.rates_per_us,
+      solve_picard_batch(g, fp, batch.warm_start, grid.rates_per_us, ca2s,
                          results.data());
       break;
     case SourceThrottling::kBisection:
-      solve_bisection_batch(g, options, batch.warm_start, grid.rates_per_us,
+      solve_bisection_batch(g, fp, batch.warm_start, grid.rates_per_us, ca2s,
                             results.data());
       break;
     case SourceThrottling::kExactMva: {
@@ -481,7 +546,7 @@ std::vector<FixedPointResult> solve_effective_rate_batch(
       if (!cells.empty()) {
         HmcsMvaClassLayout layout;
         const std::vector<MvaClassResult> solved = solve_mva_cells(
-            base, service, grid.rates_per_us, cells, options.cancel, layout);
+            base, service, grid.rates_per_us, cells, fp.cancel, layout);
         for (std::size_t k = 0; k < cells.size(); ++k) {
           results[cells[k]] =
               mva_fixed_point(layout, solved[k], base.total_nodes());
@@ -519,12 +584,23 @@ std::vector<LatencyPrediction> predict_latency_batch(
     const double p =
         inter_cluster_probability(base.clusters, base.nodes_per_cluster);
     const CenterServiceTimes service = center_service_times(base);
+    const FixedPointOptions group_fp =
+        fold_scenario(options.fixed_point, base.scenario);
+    // Per-cell epilogue options: only the MMPP-derived ca^2 varies.
+    const auto cell_fp = [&](double rate) {
+      FixedPointOptions fp = group_fp;
+      fp.arrival_ca2 = cell_arrival_ca2(group_fp, base.scenario, rate);
+      return fp;
+    };
 
     if (options.fixed_point.method == SourceThrottling::kExactMva) {
       // Positive-rate cells take the closed-network MVA solution;
       // zero-rate cells route through the open-network epilogue with the
       // converged-at-zero fixed point — exactly predict_latency's split.
-      validate_options(options.fixed_point);
+      validate_options(group_fp);
+      require(!base.scenario.mmpp.has_value(),
+              "fixed_point: exact MVA requires Poisson arrivals and no "
+              "failure/repair (product form)");
       for (const double rate : grid.rates_per_us) require_cell_rate(rate);
       std::vector<std::size_t> cells;
       for (std::size_t k = 0; k < grid.rates_per_us.size(); ++k) {
@@ -545,7 +621,7 @@ std::vector<LatencyPrediction> predict_latency_batch(
         if (grid.rates_per_us[k] == 0.0) {
           group[k] = detail::finish_open_prediction(
               *configs[i + k], p, service, zero_rate_result(),
-              options.fixed_point.service_cv2);
+              cell_fp(0.0));
         }
         out.push_back(std::move(group[k]));
       }
@@ -555,7 +631,7 @@ std::vector<LatencyPrediction> predict_latency_batch(
       for (std::size_t k = 0; k < solved.size(); ++k) {
         out.push_back(detail::finish_open_prediction(
             *configs[i + k], p, service, solved[k],
-            options.fixed_point.service_cv2));
+            cell_fp(grid.rates_per_us[k])));
       }
     }
     i = end;

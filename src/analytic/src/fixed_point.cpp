@@ -17,6 +17,16 @@ double total_queue_length(const SystemConfig& config,
                           const CenterServiceTimes& service,
                           double lambda_effective, QueueLengthRule rule,
                           double service_cv2) {
+  FixedPointOptions options;
+  options.queue_rule = rule;
+  options.service_cv2 = service_cv2;
+  return total_queue_length(config, service, lambda_effective, options);
+}
+
+double total_queue_length(const SystemConfig& config,
+                          const CenterServiceTimes& service,
+                          double lambda_effective,
+                          const FixedPointOptions& options) {
   require(lambda_effective >= 0.0, "total_queue_length: rate must be >= 0");
   const double n = static_cast<double>(config.total_nodes());
   const double p =
@@ -24,20 +34,50 @@ double total_queue_length(const SystemConfig& config,
   const ArrivalRates rates = compute_arrival_rates(
       config.clusters, config.nodes_per_cluster, p, lambda_effective);
 
-  const double l_icn1 = mg1::number_in_system(
-      rates.icn1, service.icn1.service_rate(), service_cv2);
-  const double l_ecn1 = mg1::number_in_system(
-      rates.ecn1, service.ecn1.service_rate(), service_cv2);
-  const double l_icn2 = mg1::number_in_system(
-      rates.icn2, service.icn2.service_rate(), service_cv2);
+  // Breakdowns inflate every centre's completion time (same cv^2 knob
+  // the samplers realise); identity when failures are disabled.
+  const EffectiveService icn1 = effective_service(
+      service.icn1.service_rate(), options.service_cv2, options);
+  const EffectiveService ecn1 = effective_service(
+      service.ecn1.service_rate(), options.service_cv2, options);
+  const EffectiveService icn2 = effective_service(
+      service.icn2.service_rate(), options.service_cv2, options);
+  const double ca2 = options.arrival_ca2;
+  const double l_icn1 =
+      gg1::number_in_system(rates.icn1, icn1.mu, ca2, icn1.cs2);
+  const double l_ecn1 =
+      gg1::number_in_system(rates.ecn1, ecn1.mu, ca2, ecn1.cs2);
+  const double l_icn2 =
+      gg1::number_in_system(rates.icn2, icn2.mu, ca2, icn2.cs2);
   if (std::isinf(l_icn1) || std::isinf(l_ecn1) || std::isinf(l_icn2)) {
     return n;  // a saturated centre eventually blocks every source
   }
 
   const double c = static_cast<double>(config.clusters);
-  const double ecn1_weight = (rule == QueueLengthRule::kPaperEq6) ? 2.0 : 1.0;
+  const double ecn1_weight =
+      (options.queue_rule == QueueLengthRule::kPaperEq6) ? 2.0 : 1.0;
   const double total = c * (ecn1_weight * l_ecn1 + l_icn1) + l_icn2;
   return std::min(total, n);
+}
+
+FixedPointOptions with_scenario(const FixedPointOptions& options,
+                                const WorkloadScenario& scenario,
+                                double mean_rate_per_us) {
+  FixedPointOptions out = options;
+  if (scenario.service_cv2 != 1.0) out.service_cv2 = scenario.service_cv2;
+  if (scenario.mmpp.has_value()) {
+    // Evaluated once at the offered per-source rate and held fixed
+    // through the fixed point: the modulation is a property of the
+    // sources, not of the throttled throughput.
+    out.arrival_ca2 = mmpp_arrival_scv(*scenario.mmpp, mean_rate_per_us);
+  } else if (scenario.arrival_ca2 != 1.0) {
+    out.arrival_ca2 = scenario.arrival_ca2;
+  }
+  if (scenario.failure.has_value()) {
+    out.failure_mtbf_us = scenario.failure->mtbf_us;
+    out.failure_mttr_us = scenario.failure->mttr_us;
+  }
+  return out;
 }
 
 namespace {
@@ -48,7 +88,7 @@ FixedPointResult solve_none(const SystemConfig& config,
   return FixedPointResult{
       config.generation_rate_per_us,
       total_queue_length(config, service, config.generation_rate_per_us,
-                         options.queue_rule, options.service_cv2),
+                         options),
       0, true};
 }
 
@@ -69,7 +109,7 @@ FixedPointResult solve_picard(const SystemConfig& config,
   double queue = 0.0;
   for (std::uint32_t i = 1; i <= options.max_iterations; ++i) {
     if (options.cancel != nullptr) options.cancel->check("fixed_point");
-    queue = total_queue_length(config, service, current, options.queue_rule, options.service_cv2);
+    queue = total_queue_length(config, service, current, options);
     const double candidate = lambda * (n - queue) / n;
     const double next = options.picard_damping * candidate +
                         (1.0 - options.picard_damping) * current;
@@ -79,7 +119,7 @@ FixedPointResult solve_picard(const SystemConfig& config,
     if (std::fabs(next - current) <= options.tolerance * lambda) {
       return FixedPointResult{next,
                               total_queue_length(config, service, next,
-                                                 options.queue_rule, options.service_cv2),
+                                                 options),
                               i, true};
     }
     current = next;
@@ -94,8 +134,7 @@ FixedPointResult solve_bisection(const SystemConfig& config,
   if (lambda == 0.0) return zero_rate_result();
   const double n = static_cast<double>(config.total_nodes());
   auto g = [&](double x) {
-    return lambda * (n - total_queue_length(config, service, x,
-                                            options.queue_rule, options.service_cv2)) /
+    return lambda * (n - total_queue_length(config, service, x, options)) /
                n -
            x;
   };
@@ -104,8 +143,7 @@ FixedPointResult solve_bisection(const SystemConfig& config,
   if (g(lambda) >= 0.0) {
     return FixedPointResult{
         lambda,
-        total_queue_length(config, service, lambda, options.queue_rule, options.service_cv2), 1,
-        true};
+        total_queue_length(config, service, lambda, options), 1, true};
   }
 
   double lo = 0.0;  // g(0+) = lambda > 0
@@ -129,7 +167,7 @@ FixedPointResult solve_bisection(const SystemConfig& config,
   const double solution = lo;
   return FixedPointResult{
       solution,
-      total_queue_length(config, service, solution, options.queue_rule, options.service_cv2),
+      total_queue_length(config, service, solution, options),
       iterations, (hi - lo) <= options.tolerance * lambda};
 }
 
@@ -168,9 +206,18 @@ FixedPointResult solve_effective_rate(const SystemConfig& config,
   require(options.picard_damping > 0.0 && options.picard_damping <= 1.0,
           "fixed_point: damping must be in (0, 1]");
   require(options.service_cv2 >= 0.0, "fixed_point: cv^2 must be >= 0");
+  require(options.arrival_ca2 >= 0.0, "fixed_point: ca^2 must be >= 0");
+  require(options.failure_mtbf_us >= 0.0 && options.failure_mttr_us >= 0.0,
+          "fixed_point: failure mtbf/mttr must be >= 0");
   require(options.method != SourceThrottling::kExactMva ||
               options.service_cv2 == 1.0,
           "fixed_point: exact MVA requires exponential service (cv^2 = 1)");
+  require(options.method != SourceThrottling::kExactMva ||
+              (options.arrival_ca2 == 1.0 &&
+               (options.failure_mtbf_us <= 0.0 ||
+                options.failure_mttr_us <= 0.0)),
+          "fixed_point: exact MVA requires Poisson arrivals and no "
+          "failure/repair (product form)");
   if (options.residual_trace != nullptr) options.residual_trace->clear();
 
   const auto instrumented = [&options](FixedPointResult result) {

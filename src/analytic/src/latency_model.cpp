@@ -10,15 +10,20 @@ namespace hmcs::analytic {
 namespace {
 
 CenterPrediction solve_center(double arrival_rate, double service_rate,
-                              double service_cv2) {
+                              const FixedPointOptions& options) {
+  // Failure/repair inflates the completion-time distribution; the
+  // reported service rate and utilization are the effective ones (the
+  // same rates a breakdown-suffering DES measures).
+  const EffectiveService effective =
+      effective_service(service_rate, options.service_cv2, options);
   CenterPrediction out{};
   out.arrival_rate = arrival_rate;
-  out.service_rate = service_rate;
-  out.utilization = mm1::utilization(arrival_rate, service_rate);
-  out.response_time_us = mg1::response_time(arrival_rate, service_rate,
-                                            service_cv2);
-  out.queue_length = mg1::number_in_system(arrival_rate, service_rate,
-                                           service_cv2);
+  out.service_rate = effective.mu;
+  out.utilization = mm1::utilization(arrival_rate, effective.mu);
+  out.response_time_us = gg1::response_time(
+      arrival_rate, effective.mu, options.arrival_ca2, effective.cs2);
+  out.queue_length = gg1::number_in_system(
+      arrival_rate, effective.mu, options.arrival_ca2, effective.cs2);
   return out;
 }
 
@@ -29,7 +34,7 @@ namespace detail {
 LatencyPrediction finish_open_prediction(const SystemConfig& config, double p,
                                          const CenterServiceTimes& service,
                                          const FixedPointResult& fixed_point,
-                                         double service_cv2) {
+                                         const FixedPointOptions& options) {
   LatencyPrediction out{};
   out.lambda_offered = config.generation_rate_per_us;
   out.inter_cluster_probability = p;
@@ -42,12 +47,9 @@ LatencyPrediction finish_open_prediction(const SystemConfig& config, double p,
   const ArrivalRates rates =
       compute_arrival_rates(config.clusters, config.nodes_per_cluster, p,
                             fixed_point.lambda_effective);
-  out.icn1 = solve_center(rates.icn1, service.icn1.service_rate(),
-                          service_cv2);
-  out.ecn1 = solve_center(rates.ecn1, service.ecn1.service_rate(),
-                          service_cv2);
-  out.icn2 = solve_center(rates.icn2, service.icn2.service_rate(),
-                          service_cv2);
+  out.icn1 = solve_center(rates.icn1, service.icn1.service_rate(), options);
+  out.ecn1 = solve_center(rates.ecn1, service.ecn1.service_rate(), options);
+  out.icn2 = solve_center(rates.icn2, service.icn2.service_rate(), options);
 
   // eq. (15). When P == 0 (single cluster) the remote centres never see
   // traffic; when N0 == 1 (fully dispersed) no traffic is local. Guard
@@ -114,25 +116,37 @@ LatencyPrediction predict_latency(const SystemConfig& config,
       inter_cluster_probability(config.clusters, config.nodes_per_cluster);
   const CenterServiceTimes service = center_service_times(config);
 
+  // Fold the config's workload scenario (non-exponential service, MMPP
+  // burstiness, failure/repair) into the solver options; the default
+  // scenario leaves them untouched.
+  const FixedPointOptions fp_options = with_scenario(
+      options.fixed_point, config.scenario, config.generation_rate_per_us);
+
   // The MVA path needs a finite think time 1/lambda; at lambda == 0 the
   // open-network path below degenerates correctly (solve_effective_rate
   // returns the converged-at-zero fixed point, every centre sees rate 0,
   // and eq. 15 yields the no-load latency), so route zero-rate configs
   // through it.
-  if (options.fixed_point.method == SourceThrottling::kExactMva &&
+  if (fp_options.method == SourceThrottling::kExactMva &&
       config.generation_rate_per_us > 0.0) {
+    // Mirror solve_effective_rate's product-form preconditions — this
+    // branch bypasses that validation.
+    require(fp_options.service_cv2 == 1.0 && fp_options.arrival_ca2 == 1.0 &&
+                (fp_options.failure_mtbf_us <= 0.0 ||
+                 fp_options.failure_mttr_us <= 0.0),
+            "fixed_point: exact MVA requires exponential service, Poisson "
+            "arrivals and no failure/repair (product form)");
     const HmcsMvaClassLayout layout =
         build_hmcs_mva_class_layout(config, service);
     const MvaClassResult mva = solve_closed_mva_classes(
         layout.classes, 1.0 / config.generation_rate_per_us,
-        config.total_nodes(), options.fixed_point.cancel);
+        config.total_nodes(), fp_options.cancel);
     return detail::finish_mva_prediction(config, p, service, layout, mva);
   }
 
   const FixedPointResult fp =
-      solve_effective_rate(config, service, options.fixed_point);
-  return detail::finish_open_prediction(config, p, service, fp,
-                                        options.fixed_point.service_cv2);
+      solve_effective_rate(config, service, fp_options);
+  return detail::finish_open_prediction(config, p, service, fp, fp_options);
 }
 
 }  // namespace hmcs::analytic

@@ -142,6 +142,7 @@ void ModelTree::validate() const {
   require(switch_params.latency_us >= 0.0,
           "ModelTree: switch latency must be >= 0");
   require(message_bytes > 0.0, "ModelTree: message size must be > 0");
+  scenario.validate();
 }
 
 ModelTree ModelTree::from_system(const SystemConfig& config) {
@@ -160,6 +161,7 @@ ModelTree ModelTree::from_system(const SystemConfig& config) {
   tree.switch_params = config.switch_params;
   tree.architecture = config.architecture;
   tree.message_bytes = config.message_bytes;
+  tree.scenario = config.scenario;
   return tree;
 }
 
@@ -231,6 +233,7 @@ std::optional<SystemConfig> ModelTree::as_system_config() const {
   config.architecture = architecture;
   config.message_bytes = message_bytes;
   config.generation_rate_per_us = first.generation_rate_per_us;
+  config.scenario = scenario;
   return config;
 }
 

@@ -27,6 +27,14 @@ void write_json(JsonWriter& json, const SystemConfig& config) {
   json.key("architecture").value(to_string(config.architecture));
   json.key("message_bytes").value(config.message_bytes);
   json.key("generation_rate_per_us").value(config.generation_rate_per_us);
+  // Emitted only when non-default: this document is the canonical cache
+  // key body, and default-scenario configs must keep producing the exact
+  // bytes they produced before workloads existed (warm caches, serve
+  // snapshots).
+  if (!config.scenario.is_default()) {
+    json.key("workload");
+    write_json(json, config.scenario);
+  }
   json.end_object();
 }
 
@@ -153,6 +161,11 @@ void write_json(JsonWriter& json, const ModelTree& tree) {
                  ? "non-blocking"
                  : "blocking");
   json.key("message_bytes").value(tree.message_bytes);
+  // Same canonical-key compatibility rule as the flat writer above.
+  if (!tree.scenario.is_default()) {
+    json.key("workload");
+    write_json(json, tree.scenario);
+  }
   json.end_object();
 }
 

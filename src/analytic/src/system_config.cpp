@@ -37,6 +37,7 @@ void SystemConfig::validate() const {
   require(std::isfinite(generation_rate_per_us) &&
               generation_rate_per_us >= 0.0,
           "SystemConfig: generation rate must be >= 0");
+  scenario.validate();
 }
 
 }  // namespace hmcs::analytic

@@ -129,7 +129,7 @@ ModelTree model_tree_from_json(const JsonValue& config,
   require(config.is_object(), "tree config: " + where + " must be an object");
   reject_unknown(config,
                  {"tree", "architecture", "message_bytes", "switch_ports",
-                  "switch_latency_us"},
+                  "switch_latency_us", "workload"},
                  where);
   const JsonValue* root = config.find("tree");
   require(root != nullptr, "tree config: " + where + " needs a 'tree'");
@@ -144,6 +144,9 @@ ModelTree model_tree_from_json(const JsonValue& config,
       uint_member(config, "switch_ports", kPaperSwitchPorts, where);
   tree.switch_params.latency_us =
       number_member(config, "switch_latency_us", kPaperSwitchLatencyUs);
+  if (const JsonValue* workload = config.find("workload")) {
+    tree.scenario = workload_from_json(*workload);
+  }
   tree.validate();
   return tree;
 }

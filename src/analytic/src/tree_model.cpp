@@ -84,8 +84,10 @@ double queue_length_at(const FlatTreeView& view,
   double total = 0.0;
   bool saturated = false;
   for (std::size_t c = 0; c < centers.size(); ++c) {
-    const double l = mg1::number_in_system(
-        rates[c], centers[c].service.service_rate(), fp.service_cv2);
+    const EffectiveService eff = effective_service(
+        centers[c].service.service_rate(), fp.service_cv2, fp);
+    const double l =
+        gg1::number_in_system(rates[c], eff.mu, fp.arrival_ca2, eff.cs2);
     if (std::isinf(l)) {
       saturated = true;
     } else {
@@ -273,12 +275,14 @@ TreeLatencyPrediction predict_open(const FlatTreeView& view,
     center.path = centers[c].path;
     center.egress = centers[c].egress;
     center.arrival_rate = rates[c];
-    center.service_rate = centers[c].service.service_rate();
-    center.utilization = mm1::utilization(rates[c], center.service_rate);
+    const EffectiveService eff = effective_service(
+        centers[c].service.service_rate(), fp.service_cv2, fp);
+    center.service_rate = eff.mu;
+    center.utilization = mm1::utilization(rates[c], eff.mu);
     center.response_time_us =
-        mg1::response_time(rates[c], center.service_rate, fp.service_cv2);
+        gg1::response_time(rates[c], eff.mu, fp.arrival_ca2, eff.cs2);
     center.queue_length =
-        mg1::number_in_system(rates[c], center.service_rate, fp.service_cv2);
+        gg1::number_in_system(rates[c], eff.mu, fp.arrival_ca2, eff.cs2);
     response[c] = center.response_time_us;
     out.centers.push_back(std::move(center));
   }
@@ -516,10 +520,22 @@ TreeLatencyPrediction predict_model_tree(const ModelTree& tree,
   const FlatTreeView view = flatten(tree);
   const std::vector<TreeCenter> centers = tree_centers(tree, view);
   const CenterIndex index = index_centers(view, centers);
-  const FixedPointOptions& fp = options.fixed_point;
+  // Fold the tree-wide workload scenario into the solver options; the
+  // MMPP ca^2 is resolved at the processor-weighted mean source rate.
+  const double mean_rate =
+      view.total_processors > 0
+          ? view.total_generation_rate /
+                static_cast<double>(view.total_processors)
+          : 0.0;
+  const FixedPointOptions fp =
+      with_scenario(options.fixed_point, tree.scenario, mean_rate);
 
   if (fp.method == SourceThrottling::kExactMva &&
       view.total_generation_rate > 0.0) {
+    require(fp.service_cv2 == 1.0 && fp.arrival_ca2 == 1.0 &&
+                (fp.failure_mtbf_us <= 0.0 || fp.failure_mttr_us <= 0.0),
+            "tree_model: exact MVA requires exponential service, Poisson "
+            "arrivals and no failure/repair (product form)");
     if (is_uniform_tree(tree)) {
       return predict_uniform_mva(view, centers, index, fp);
     }

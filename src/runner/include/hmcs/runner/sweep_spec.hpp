@@ -64,6 +64,12 @@ struct SweepAxes {
   std::vector<std::uint32_t> clusters;       ///< empty = paper sweep
   std::vector<double> message_bytes;         ///< empty = {1024}
   std::vector<analytic::NetworkArchitecture> architectures;  ///< empty = {non-blocking}
+  /// Flat sweeps only: sweepable workload-distribution axes, nested
+  /// innermost (after architectures) in cartesian mode. Empty = the
+  /// SweepSpec workload's value. Tree sweeps reject them — set the
+  /// topology-wide scenario through SweepSpec::workload instead.
+  std::vector<double> service_cv2;
+  std::vector<double> arrival_ca2;
   /// Tree sweeps only: per-point overrides applied to copies of
   /// base_tree. Cartesian mode nests them outermost (declaration-order
   /// major) over message_bytes then architectures; zipped mode walks
@@ -106,6 +112,10 @@ struct SweepSpec {
   analytic::SwitchParams switch_params{analytic::kPaperSwitchPorts,
                                        analytic::kPaperSwitchLatencyUs};
   std::uint64_t base_seed = 1;
+  /// Fixed workload scenario applied to every point (flat: the config's
+  /// scenario; tree: the topology-wide scenario when non-default). The
+  /// service_cv2/arrival_ca2 axes override their fields per point.
+  analytic::WorkloadScenario workload;
   /// When set, the sweep is a *tree sweep*: every point is a copy of
   /// this topology with the node_paths overrides applied. The flat
   /// shape axes (technologies/lambda/clusters) must stay empty — the

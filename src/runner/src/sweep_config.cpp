@@ -79,7 +79,8 @@ AxisMode parse_mode(const std::string& mode) {
 void load_axes_json(const JsonValue& axes, SweepAxes& out) {
   reject_unknown_members(axes,
                          {"clusters", "message_bytes", "lambda_per_s",
-                          "architecture", "technology", "paths"},
+                          "architecture", "technology", "paths",
+                          "service_cv2", "arrival_ca2"},
                          "'axes'");
   if (const JsonValue* clusters = axes.find("clusters")) {
     require(clusters->is_array(),
@@ -119,6 +120,20 @@ void load_axes_json(const JsonValue& axes, SweepAxes& out) {
             "sweep config: 'technology' must be an array");
     for (const JsonValue& item : tech->items) {
       out.technologies.push_back(technology_from_json(item));
+    }
+  }
+  if (const JsonValue* cv2 = axes.find("service_cv2")) {
+    require(cv2->is_array(),
+            "sweep config: 'service_cv2' must be an array");
+    for (const JsonValue& item : cv2->items) {
+      out.service_cv2.push_back(item.as_number());
+    }
+  }
+  if (const JsonValue* ca2 = axes.find("arrival_ca2")) {
+    require(ca2->is_array(),
+            "sweep config: 'arrival_ca2' must be an array");
+    for (const JsonValue& item : ca2->items) {
+      out.arrival_ca2.push_back(item.as_number());
     }
   }
   if (const JsonValue* paths = axes.find("paths")) {
@@ -248,7 +263,8 @@ SweepRunConfig sweep_config_from_json(std::string_view text,
                           "switch_ports", "switch_latency_us", "seed",
                           "threads", "axes", "backends", "on_error",
                           "max_attempts", "cell_deadline_ms",
-                          "degraded_utilization", "batch_cells", "tree"},
+                          "degraded_utilization", "batch_cells", "tree",
+                          "workload"},
                          "the sweep config");
 
   SweepRunConfig config;
@@ -287,6 +303,10 @@ SweepRunConfig sweep_config_from_json(std::string_view text,
         analytic::model_tree_from_json(*tree, "'tree'"));
   }
 
+  if (const JsonValue* workload = doc.find("workload")) {
+    config.spec.workload = analytic::workload_from_json(*workload);
+  }
+
   if (const JsonValue* axes = doc.find("axes")) {
     require(axes->is_object(), "sweep config: 'axes' must be an object");
     load_axes_json(*axes, config.spec.axes);
@@ -311,6 +331,7 @@ SweepRunConfig sweep_config_from_keyvalue(const KeyValueFile& file,
       "id",           "title",       "mode",         "total_nodes",
       "switch_ports", "switch_latency_us", "seed",   "threads",
       "clusters",     "message_bytes", "lambda_per_s", "architecture",
+      "service_cv2",  "arrival_ca2",
       "technology",   "backends",    "model",        "messages",
       "warmup",       "replications", "on_error",    "max_attempts",
       "cell_deadline_ms", "degraded_utilization", "batch_cells"};
@@ -375,6 +396,12 @@ SweepRunConfig sweep_config_from_keyvalue(const KeyValueFile& file,
   }
   for (const std::string& item : list("technology")) {
     config.spec.axes.technologies.push_back(technology_from_string(item));
+  }
+  for (const std::string& item : list("service_cv2")) {
+    config.spec.axes.service_cv2.push_back(parse_double(item));
+  }
+  for (const std::string& item : list("arrival_ca2")) {
+    config.spec.axes.arrival_ca2.push_back(parse_double(item));
   }
 
   const auto messages =

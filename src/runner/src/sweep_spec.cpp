@@ -49,9 +49,12 @@ struct ResolvedAxes {
   std::vector<std::uint32_t> clusters;
   std::vector<double> message_bytes;
   std::vector<analytic::NetworkArchitecture> architectures;
+  std::vector<double> service_cv2;
+  std::vector<double> arrival_ca2;
 };
 
-ResolvedAxes resolve(const SweepAxes& axes) {
+ResolvedAxes resolve(const SweepSpec& spec) {
+  const SweepAxes& axes = spec.axes;
   ResolvedAxes resolved;
   resolved.technologies = axes.technologies;
   if (resolved.technologies.empty()) {
@@ -74,13 +77,22 @@ ResolvedAxes resolve(const SweepAxes& axes) {
   if (resolved.architectures.empty()) {
     resolved.architectures = {analytic::NetworkArchitecture::kNonBlocking};
   }
+  resolved.service_cv2 = axes.service_cv2;
+  if (resolved.service_cv2.empty()) {
+    resolved.service_cv2 = {spec.workload.service_cv2};
+  }
+  resolved.arrival_ca2 = axes.arrival_ca2;
+  if (resolved.arrival_ca2.empty()) {
+    resolved.arrival_ca2 = {spec.workload.arrival_ca2};
+  }
   return resolved;
 }
 
 SweepPoint make_point(const SweepSpec& spec, const ResolvedAxes& axes,
                       std::size_t tech, std::size_t lambda,
                       std::size_t clusters, std::size_t bytes,
-                      std::size_t arch, std::size_t index) {
+                      std::size_t arch, std::size_t cv2, std::size_t ca2,
+                      std::size_t index) {
   SweepPoint point;
   point.index = index;
   point.clusters = axes.clusters[clusters];
@@ -108,6 +120,9 @@ SweepPoint make_point(const SweepSpec& spec, const ResolvedAxes& axes,
   config.architecture = point.architecture;
   config.message_bytes = point.message_bytes;
   config.generation_rate_per_us = point.lambda_per_us;
+  config.scenario = spec.workload;
+  config.scenario.service_cv2 = axes.service_cv2[cv2];
+  config.scenario.arrival_ca2 = axes.arrival_ca2[ca2];
   config.validate();
   point.config = config;
 
@@ -126,6 +141,14 @@ SweepPoint make_point(const SweepSpec& spec, const ResolvedAxes& axes,
   if (axes.architectures.size() > 1) {
     point.label += ' ';
     point.label += analytic::to_string(point.architecture);
+  }
+  if (axes.service_cv2.size() > 1) {
+    point.label += " cv2=";
+    point.label += format_compact(axes.service_cv2[cv2], 6);
+  }
+  if (axes.arrival_ca2.size() > 1) {
+    point.label += " ca2=";
+    point.label += format_compact(axes.arrival_ca2[ca2], 6);
   }
 
   point.seed = spec.seed_fn
@@ -148,6 +171,9 @@ SweepPoint make_tree_point(
   analytic::ModelTree tree = *spec.base_tree;
   tree.message_bytes = bytes_axis[bytes];
   tree.architecture = arch_axis[arch];
+  // A non-default sweep workload overrides whatever the topology config
+  // carried; the default leaves the tree's own scenario in place.
+  if (!spec.workload.is_default()) tree.scenario = spec.workload;
   for (std::size_t p = 0; p < spec.axes.node_paths.size(); ++p) {
     const PathAxis& axis = spec.axes.node_paths[p];
     analytic::set_tree_path(tree, axis.path, axis.values[path_choice[p]]);
@@ -197,6 +223,10 @@ std::vector<SweepPoint> expand_tree_sweep(const SweepSpec& spec) {
           "sweep '" + spec.id +
               "': a tree sweep owns its shape — the technology/lambda/"
               "clusters axes do not apply (sweep node fields via 'paths')");
+  require(spec.axes.service_cv2.empty() && spec.axes.arrival_ca2.empty(),
+          "sweep '" + spec.id +
+              "': the service_cv2/arrival_ca2 axes do not apply to tree "
+              "sweeps — set a fixed 'workload' instead");
   for (const PathAxis& axis : spec.axes.node_paths) {
     require(!axis.values.empty(), "sweep '" + spec.id + "': path axis '" +
                                       axis.path + "' has no values");
@@ -279,20 +309,25 @@ std::vector<SweepPoint> expand_sweep(const SweepSpec& spec) {
   require(spec.axes.node_paths.empty(),
           "sweep '" + spec.id +
               "': path axes need a base tree (set 'tree' in the config)");
-  const ResolvedAxes axes = resolve(spec.axes);
+  const ResolvedAxes axes = resolve(spec);
   std::vector<SweepPoint> points;
 
   if (spec.mode == AxisMode::kCartesian) {
     points.reserve(axes.technologies.size() * axes.lambda_per_us.size() *
                    axes.clusters.size() * axes.message_bytes.size() *
-                   axes.architectures.size());
+                   axes.architectures.size() * axes.service_cv2.size() *
+                   axes.arrival_ca2.size());
     for (std::size_t t = 0; t < axes.technologies.size(); ++t) {
       for (std::size_t l = 0; l < axes.lambda_per_us.size(); ++l) {
         for (std::size_t c = 0; c < axes.clusters.size(); ++c) {
           for (std::size_t m = 0; m < axes.message_bytes.size(); ++m) {
             for (std::size_t a = 0; a < axes.architectures.size(); ++a) {
-              points.push_back(
-                  make_point(spec, axes, t, l, c, m, a, points.size()));
+              for (std::size_t v = 0; v < axes.service_cv2.size(); ++v) {
+                for (std::size_t b = 0; b < axes.arrival_ca2.size(); ++b) {
+                  points.push_back(make_point(spec, axes, t, l, c, m, a, v, b,
+                                              points.size()));
+                }
+              }
             }
           }
         }
@@ -319,6 +354,8 @@ std::vector<SweepPoint> expand_sweep(const SweepSpec& spec) {
   fold(axes.clusters.size(), "clusters");
   fold(axes.message_bytes.size(), "message_bytes");
   fold(axes.architectures.size(), "architecture");
+  fold(axes.service_cv2.size(), "service_cv2");
+  fold(axes.arrival_ca2.size(), "arrival_ca2");
 
   const auto pick = [](std::size_t axis_size, std::size_t i) {
     return axis_size == 1 ? 0 : i;
@@ -329,7 +366,8 @@ std::vector<SweepPoint> expand_sweep(const SweepSpec& spec) {
         spec, axes, pick(axes.technologies.size(), i),
         pick(axes.lambda_per_us.size(), i), pick(axes.clusters.size(), i),
         pick(axes.message_bytes.size(), i),
-        pick(axes.architectures.size(), i), points.size()));
+        pick(axes.architectures.size(), i), pick(axes.service_cv2.size(), i),
+        pick(axes.arrival_ca2.size(), i), points.size()));
   }
   return points;
 }

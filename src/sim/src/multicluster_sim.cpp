@@ -8,6 +8,7 @@
 
 #include "hmcs/obs/metrics.hpp"
 #include "hmcs/simcore/batch_means.hpp"
+#include "hmcs/simcore/distributions.hpp"
 #include "hmcs/util/error.hpp"
 
 namespace hmcs::sim {
@@ -80,6 +81,9 @@ struct MultiClusterSim::Impl {
   double fixed_message_bytes = 0.0;
   workload::NodeSpace space;
   SimOptions options;
+  /// Workload scenario from the flat SystemConfig (the CoC constructor
+  /// leaves it default — that surface stays exponential-only).
+  analytic::WorkloadScenario scenario;
 
   // --- engine --------------------------------------------------------------
   simcore::Simulator simulator;
@@ -90,6 +94,8 @@ struct MultiClusterSim::Impl {
   simcore::Rng think_rng{0};
   simcore::Rng traffic_rng{0};
   simcore::Rng size_rng{0};
+  /// Per-node MMPP modulators; empty when arrivals are plain Poisson.
+  std::vector<simcore::Mmpp2> modulators;
 
   std::shared_ptr<const workload::TrafficPattern> traffic;
 
@@ -144,13 +150,35 @@ struct MultiClusterSim::Impl {
 
   simcore::FifoStation::ServiceSampler make_sampler(CenterModel model,
                                                     simcore::Rng& rng) {
-    const bool exponential =
-        options.service_distribution == ServiceDistribution::kExponential;
-    return [this, model, &rng, exponential](const simcore::FifoStation::Job& job) {
+    // The legacy kDeterministic option wins over the scenario's cv^2;
+    // otherwise the scenario picks the distribution. The default
+    // (exponential, cv^2 = 1) makes exactly one rng.exponential draw —
+    // bit-identical to the pre-scenario sampler, which the fixed-seed
+    // regression tests rely on.
+    return [this, model, &rng](const simcore::FifoStation::Job& job) {
       const MessageState& msg = messages[static_cast<std::size_t>(job.id)];
       const double mean = model.mean_service_us(msg.bytes);
       if (mean <= 0.0) return 0.0;
-      return exponential ? rng.exponential(mean) : mean;
+      // variate_cv2 at cv^2 = 0 draws nothing, so the legacy
+      // kDeterministic option and the cv^2 = 0 scenario share one path.
+      const double cv2 =
+          options.service_distribution == ServiceDistribution::kDeterministic
+              ? 0.0
+              : scenario.service_cv2;
+      double service = simcore::variate_cv2(rng, mean, cv2);
+      if (scenario.failure.has_value()) {
+        // Preemptive-resume breakdowns: failures arrive Poisson over the
+        // work requirement and each adds an exponential repair.
+        const analytic::FailureRepair& f = *scenario.failure;
+        if (f.mttr_us > 0.0) {
+          const std::uint64_t failures =
+              simcore::poisson(rng, service / f.mtbf_us);
+          for (std::uint64_t i = 0; i < failures; ++i) {
+            service += rng.exponential(f.mttr_us);
+          }
+        }
+      }
+      return service;
     };
   }
 
@@ -204,6 +232,21 @@ struct MultiClusterSim::Impl {
       free_slots.push_back(static_cast<std::uint32_t>(i - 1));
     }
 
+    if (scenario.mmpp.has_value()) {
+      modulators.reserve(n);
+      for (std::uint64_t node = 0; node < n; ++node) {
+        const analytic::MmppRates rates =
+            analytic::resolve_mmpp(*scenario.mmpp, node_rate(node));
+        simcore::Mmpp2 modulator(rates.base_rate, rates.burst_rate,
+                                 rates.leave_base, rates.leave_burst);
+        // Seed each source's modulator from the stationary distribution
+        // so the arrival stream starts in equilibrium.
+        modulator.set_bursty(
+            think_rng.bernoulli(scenario.mmpp->burst_fraction));
+        modulators.push_back(modulator);
+      }
+    }
+
     if (options.warmup_messages == 0) measuring = true;
 
     init_observability();
@@ -253,9 +296,11 @@ struct MultiClusterSim::Impl {
   }
 
   void schedule_think(std::uint64_t node) {
-    const double mean_think = 1.0 / node_rate(node);
-    simulator.schedule_after(think_rng.exponential(mean_think),
-                             [this, node] { generate(node); });
+    const double wait =
+        modulators.empty()
+            ? think_rng.exponential(1.0 / node_rate(node))
+            : modulators[node].next_interarrival_us(think_rng);
+    simulator.schedule_after(wait, [this, node] { generate(node); });
   }
 
   void generate(std::uint64_t node) {
@@ -579,6 +624,7 @@ MultiClusterSim::MultiClusterSim(const analytic::SystemConfig& config,
       workload::NodeSpace::uniform(config.clusters, config.nodes_per_cluster);
   impl_->icn2_model =
       CenterModel::from_breakdown(services.icn2, config.message_bytes);
+  impl_->scenario = config.scenario;
   impl_->traffic = impl_->options.traffic;
   impl_->build(impl_->options.seed);
 }

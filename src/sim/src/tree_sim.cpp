@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "hmcs/simcore/batch_means.hpp"
+#include "hmcs/simcore/distributions.hpp"
 #include "hmcs/simcore/fifo_station.hpp"
 #include "hmcs/simcore/rng.hpp"
 #include "hmcs/simcore/simulation.hpp"
@@ -44,6 +45,8 @@ struct TreeSim::Impl {
   std::deque<simcore::Rng> service_rngs;
   simcore::Rng think_rng{0};
   simcore::Rng traffic_rng{0};
+  /// Per-processor MMPP modulators; empty when sources are Poisson.
+  std::vector<simcore::Mmpp2> modulators;
 
   std::vector<MessageState> messages;  ///< indexed by source processor
 
@@ -84,19 +87,49 @@ struct TreeSim::Impl {
     simcore::Rng master(seed);
     think_rng = master.split();
     traffic_rng = master.split();
+    // The default scenario (cv^2 = 1, no failures) draws exactly one
+    // exponential per service — bit-identical to the pre-scenario
+    // sampler, which the fixed-seed regression tests rely on.
+    const double cv2 = tree.scenario.service_cv2;
+    const double mtbf =
+        tree.scenario.failure ? tree.scenario.failure->mtbf_us : 0.0;
+    const double mttr =
+        tree.scenario.failure ? tree.scenario.failure->mttr_us : 0.0;
     for (std::size_t c = 0; c < centers.size(); ++c) {
       service_rngs.push_back(master.split());
       const double mean = centers[c].service.total_us();
       simcore::Rng& rng = service_rngs.back();
       stations.emplace_back(
           simulator, centers[c].path,
-          [mean, &rng](const simcore::FifoStation::Job&) {
-            return mean > 0.0 ? rng.exponential(mean) : 0.0;
+          [mean, &rng, cv2, mtbf, mttr](const simcore::FifoStation::Job&) {
+            if (mean <= 0.0) return 0.0;
+            double service = simcore::variate_cv2(rng, mean, cv2);
+            if (mtbf > 0.0 && mttr > 0.0) {
+              const std::uint64_t failures =
+                  simcore::poisson(rng, service / mtbf);
+              for (std::uint64_t i = 0; i < failures; ++i) {
+                service += rng.exponential(mttr);
+              }
+            }
+            return service;
           });
       stations.back().set_departure_callback(
           [this](const simcore::FifoStation::Departure& d) {
             advance(d.job.id);
           });
+    }
+
+    if (tree.scenario.mmpp.has_value()) {
+      modulators.reserve(total_processors());
+      for (std::uint64_t proc = 0; proc < total_processors(); ++proc) {
+        const analytic::MmppRates rates =
+            analytic::resolve_mmpp(*tree.scenario.mmpp, proc_rate(proc));
+        simcore::Mmpp2 modulator(rates.base_rate, rates.burst_rate,
+                                 rates.leave_base, rates.leave_burst);
+        modulator.set_bursty(
+            think_rng.bernoulli(tree.scenario.mmpp->burst_fraction));
+        modulators.push_back(modulator);
+      }
     }
 
     messages.resize(total_processors());
@@ -108,8 +141,11 @@ struct TreeSim::Impl {
   }
 
   void schedule_think(std::uint64_t proc) {
-    simulator.schedule_after(think_rng.exponential(1.0 / proc_rate(proc)),
-                             [this, proc] { generate(proc); });
+    const double wait =
+        modulators.empty()
+            ? think_rng.exponential(1.0 / proc_rate(proc))
+            : modulators[proc].next_interarrival_us(think_rng);
+    simulator.schedule_after(wait, [this, proc] { generate(proc); });
   }
 
   /// Route: egress chain from the source's parent up to (exclusive) the

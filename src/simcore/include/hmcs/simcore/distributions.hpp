@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file distributions.hpp
+/// Service and arrival processes beyond the exponential: cv^2-matched
+/// service samplers (deterministic, mixed Erlang, balanced-means H2) and
+/// a 2-state Markov-modulated Poisson arrival process. These realise the
+/// workload scenarios the analytic layer approximates with Allen-Cunneen
+/// (hmcs/analytic/workload.hpp), so the DES can cross-validate them.
+///
+/// All samplers draw from the deterministic Rng (rng.hpp); regression
+/// tests pin exact sequences, so the draw pattern per variate is part of
+/// the contract: variate_cv2 at cv2 == 1 makes exactly one exponential
+/// draw, bit-identical to calling rng.exponential(mean) directly.
+
+#include <cstdint>
+
+#include "hmcs/simcore/rng.hpp"
+
+namespace hmcs::simcore {
+
+/// Draws a non-negative variate with the given mean and squared
+/// coefficient of variation:
+///
+///   cv2 == 0      deterministic (no draw)
+///   0 < cv2 < 1   Tijms' mixed Erlang(k-1, k) moment match
+///   cv2 == 1      exponential — exactly one rng.exponential(mean) draw
+///   cv2 > 1       balanced-means two-phase hyperexponential (H2)
+///
+/// mean must be >= 0 (a zero mean returns 0 without drawing, matching
+/// the zero-service fast path in the station samplers); cv2 must be >= 0.
+double variate_cv2(Rng& rng, double mean, double cv2);
+
+/// Poisson(mean) sample via Knuth's product-of-uniforms method. Exact
+/// for the small means it is used with (expected failures during one
+/// service time, mean = S/mtbf << 1); cost is O(mean) draws.
+std::uint64_t poisson(Rng& rng, double mean);
+
+/// Two-state Markov-modulated Poisson process: arrivals are Poisson at
+/// `base_rate` in state 0 and `burst_rate` in state 1; the modulator
+/// leaves state i at rate `leave[i]`. Sampled by competing exponentials,
+/// so each interarrival makes one exponential + one bernoulli draw per
+/// dwell segment. Per-source modulator state lives in this object.
+class Mmpp2 {
+ public:
+  /// Rates are per microsecond; arrival rates may be 0, leave rates must
+  /// be > 0 (the analytic resolver guarantees both).
+  Mmpp2(double base_rate, double burst_rate, double leave_base,
+        double leave_burst)
+      : rate_{base_rate, burst_rate}, leave_{leave_base, leave_burst} {}
+
+  /// Starts the modulator in the burst state (used to seed sources from
+  /// the stationary distribution: bernoulli(burst_fraction)).
+  void set_bursty(bool bursty) { state_ = bursty ? 1 : 0; }
+  bool bursty() const { return state_ == 1; }
+
+  /// Time to the next arrival from now, advancing the modulator through
+  /// however many state changes occur first.
+  double next_interarrival_us(Rng& rng);
+
+ private:
+  double rate_[2];
+  double leave_[2];
+  int state_ = 0;
+};
+
+}  // namespace hmcs::simcore

@@ -1,0 +1,69 @@
+#include "hmcs/simcore/distributions.hpp"
+
+#include <cmath>
+
+#include "hmcs/util/error.hpp"
+
+namespace hmcs::simcore {
+
+double variate_cv2(Rng& rng, double mean, double cv2) {
+  require(mean >= 0.0, "distributions: mean must be >= 0");
+  require(cv2 >= 0.0, "distributions: cv^2 must be >= 0");
+  if (mean == 0.0) return 0.0;
+  if (cv2 == 1.0) return rng.exponential(mean);
+  if (cv2 == 0.0) return mean;
+  if (cv2 < 1.0) {
+    // Tijms' mixed Erlang: with probability p use k-1 phases, else k,
+    // each phase exponential with rate mu. Matches mean and cv^2 exactly
+    // for 1/k <= cv^2 < 1/(k-1).
+    const double k = std::ceil(1.0 / cv2);
+    const double p =
+        (1.0 / (1.0 + cv2)) *
+        (k * cv2 - std::sqrt(k * (1.0 + cv2) - k * k * cv2));
+    const double mu = (k - p) / mean;  // per-phase rate
+    const double phases = rng.bernoulli(p) ? k - 1.0 : k;
+    double sum = 0.0;
+    for (double i = 0.0; i < phases; i += 1.0) {
+      sum += rng.exponential(1.0 / mu);
+    }
+    return sum;
+  }
+  // Balanced-means H2: branch i has probability p_i and mean m/(2 p_i),
+  // so both branches carry half the mean. Matches mean and cv^2 exactly
+  // for any cv^2 > 1.
+  const double p1 = 0.5 * (1.0 + std::sqrt((cv2 - 1.0) / (cv2 + 1.0)));
+  const bool first = rng.bernoulli(p1);
+  const double branch_mean = mean / (2.0 * (first ? p1 : 1.0 - p1));
+  return rng.exponential(branch_mean);
+}
+
+std::uint64_t poisson(Rng& rng, double mean) {
+  require(mean >= 0.0, "distributions: poisson mean must be >= 0");
+  if (mean == 0.0) return 0;
+  // Knuth: count uniforms until their product drops below e^-mean.
+  const double limit = std::exp(-mean);
+  std::uint64_t count = 0;
+  double product = rng.uniform();
+  while (product >= limit) {
+    ++count;
+    product *= rng.uniform();
+  }
+  return count;
+}
+
+double Mmpp2::next_interarrival_us(Rng& rng) {
+  double elapsed = 0.0;
+  for (;;) {
+    const double arrival = rate_[state_];
+    const double leave = leave_[state_];
+    const double total = arrival + leave;
+    // leave rates are > 0, so total > 0 and the dwell is finite even
+    // when the state's arrival rate is 0.
+    const double wait = rng.exponential(1.0 / total);
+    elapsed += wait;
+    if (rng.bernoulli(arrival / total)) return elapsed;
+    state_ = 1 - state_;  // the competing event was a state change
+  }
+}
+
+}  // namespace hmcs::simcore

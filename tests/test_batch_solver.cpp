@@ -262,6 +262,91 @@ TEST(BatchSolver, PredictBatchMatchesScalarAcrossMixedTopologies) {
   }
 }
 
+TEST(BatchSolver, ScenarioCellsMatchScalarBitwise) {
+  // A non-default workload scenario (G/G/1 cs^2 and ca^2 plus the
+  // failure/repair fold) threads through the SoA group constants; the
+  // cold batch path must still be arithmetic-identical to the scalar
+  // solver, cell by cell.
+  SystemConfig base = make_config(8, 8);
+  base.scenario.service_cv2 = 4.0;
+  base.scenario.arrival_ca2 = 2.0;
+  base.scenario.failure = FailureRepair{5e5, 2e3};
+
+  std::vector<SystemConfig> configs;
+  for (int i = 0; i < 12; ++i) {
+    SystemConfig cell = base;
+    cell.generation_rate_per_us = 1e-4 * static_cast<double>(i);
+    configs.push_back(cell);
+  }
+
+  for (const SourceThrottling method :
+       {SourceThrottling::kNone, SourceThrottling::kPicard,
+        SourceThrottling::kBisection}) {
+    ModelOptions options;
+    options.fixed_point.method = method;
+    const std::vector<LatencyPrediction> batch =
+        predict_latency_batch(configs, options, BatchOptions{false});
+    ASSERT_EQ(batch.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const LatencyPrediction scalar = predict_latency(configs[i], options);
+      EXPECT_EQ(batch[i].mean_latency_us, scalar.mean_latency_us)
+          << method_name(method) << " cell " << i;
+      EXPECT_EQ(batch[i].lambda_effective, scalar.lambda_effective);
+      EXPECT_EQ(batch[i].total_queue_length, scalar.total_queue_length);
+      EXPECT_EQ(batch[i].fixed_point_iterations,
+                scalar.fixed_point_iterations);
+    }
+  }
+}
+
+TEST(BatchSolver, MmppCellsResolvePerCellArrivalScv) {
+  // The MMPP effective ca^2 is rate-dependent, so the batch solver must
+  // resolve it per cell — matching the scalar path at every rate.
+  SystemConfig base = make_config(4, 8);
+  base.scenario.mmpp = MmppArrivals{6.0, 0.15, 5e3};
+
+  std::vector<SystemConfig> configs;
+  for (int i = 0; i < 10; ++i) {
+    SystemConfig cell = base;
+    cell.generation_rate_per_us = 5e-5 * static_cast<double>(i);
+    configs.push_back(cell);
+  }
+
+  const std::vector<LatencyPrediction> batch =
+      predict_latency_batch(configs, ModelOptions{}, BatchOptions{false});
+  ASSERT_EQ(batch.size(), configs.size());
+  double previous_scv = 0.0;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const LatencyPrediction scalar = predict_latency(configs[i]);
+    EXPECT_EQ(batch[i].mean_latency_us, scalar.mean_latency_us) << i;
+    EXPECT_EQ(batch[i].lambda_effective, scalar.lambda_effective) << i;
+    // And the per-cell SCV really varies across the grid.
+    const double scv = mmpp_arrival_scv(*base.scenario.mmpp,
+                                        configs[i].generation_rate_per_us);
+    if (i > 1) {
+      EXPECT_GT(scv, previous_scv) << i;
+    }
+    previous_scv = scv;
+  }
+}
+
+TEST(BatchSolver, MvaRejectsNonProductFormScenarios) {
+  // Exact MVA is product-form only: the batch path refuses the same
+  // scenarios the scalar path refuses, rather than mispricing them.
+  SystemConfig base = make_config(4, 4);
+  base.scenario.service_cv2 = 2.0;
+  base.generation_rate_per_us = 1e-4;
+  ModelOptions mva;
+  mva.fixed_point.method = SourceThrottling::kExactMva;
+  std::vector<SystemConfig> configs{base};
+  EXPECT_THROW(predict_latency_batch(configs, mva), hmcs::ConfigError);
+
+  base.scenario = WorkloadScenario{};
+  base.scenario.mmpp = MmppArrivals{};
+  configs = {base};
+  EXPECT_THROW(predict_latency_batch(configs, mva), hmcs::ConfigError);
+}
+
 TEST(BatchSolver, PredictBatchValidatesEveryCell) {
   SystemConfig bad = make_config(4, 4);
   bad.generation_rate_per_us = -1.0;

@@ -104,4 +104,62 @@ TEST(Mg1, SaturationAndValidation) {
   EXPECT_THROW(mg1::response_time(0.5, 1.0, -0.5), hmcs::ConfigError);
 }
 
+// ------------------------------------------- G/G/1 (Allen–Cunneen)
+
+namespace gg1 = hmcs::analytic::gg1;
+
+TEST(Gg1, ReducesToPollaczekKhinchineAtPoissonArrivals) {
+  // ca^2 = 1 is M/G/1 exactly — and bit-identically, since (1+cv2) and
+  // (ca2+cv2) are the same floating-point sum at ca2 = 1.
+  for (double rho : {0.1, 0.5, 0.9, 0.99}) {
+    for (double cv2 : {0.0, 0.25, 1.0, 4.0}) {
+      EXPECT_EQ(gg1::response_time(rho, 1.0, 1.0, cv2),
+                mg1::response_time(rho, 1.0, cv2));
+      EXPECT_EQ(gg1::number_in_system(rho, 1.0, 1.0, cv2),
+                mg1::number_in_system(rho, 1.0, cv2));
+    }
+  }
+}
+
+TEST(Gg1, ReducesToMm1AtBothOne) {
+  for (double rho : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(gg1::response_time(rho, 1.0, 1.0, 1.0),
+                mm1::response_time(rho, 1.0), 1e-12);
+  }
+}
+
+TEST(Gg1, DeterministicEverythingRemovesTheQueueingTerm) {
+  // ca^2 = cs^2 = 0: W = S at any stable load (D/D/1 never queues).
+  EXPECT_DOUBLE_EQ(gg1::response_time(0.9, 1.0, 0.0, 0.0), 1.0);
+}
+
+TEST(Gg1, QueueingTermScalesWithVariabilitySum) {
+  // The waiting term is linear in (ca2 + cs2); slices through the plane
+  // with the same sum coincide.
+  const double lambda = 0.7;
+  const double mu = 1.0;
+  const double service = 1.0 / mu;
+  EXPECT_NEAR(gg1::response_time(lambda, mu, 2.0, 0.5),
+              gg1::response_time(lambda, mu, 0.5, 2.0), 1e-12);
+  const double wait_mm1 = mm1::waiting_time(lambda, mu);
+  EXPECT_NEAR(gg1::response_time(lambda, mu, 3.0, 1.0) - service,
+              2.0 * wait_mm1, 1e-12);
+}
+
+TEST(Gg1, ZeroArrivalRateIsPureService) {
+  EXPECT_DOUBLE_EQ(gg1::response_time(0.0, 4.0, 9.0, 9.0), 0.25);
+  EXPECT_DOUBLE_EQ(gg1::number_in_system(0.0, 4.0, 9.0, 9.0), 0.0);
+}
+
+TEST(Gg1, SaturationYieldsInfinityNotThrow) {
+  EXPECT_TRUE(std::isinf(gg1::response_time(1.0, 1.0, 0.0, 0.0)));
+  EXPECT_TRUE(std::isinf(gg1::response_time(2.0, 1.0, 4.0, 4.0)));
+  EXPECT_TRUE(std::isinf(gg1::number_in_system(1.0, 1.0, 1.0, 1.0)));
+}
+
+TEST(Gg1, Validation) {
+  EXPECT_THROW(gg1::response_time(0.5, 1.0, -1.0, 1.0), hmcs::ConfigError);
+  EXPECT_THROW(gg1::response_time(0.5, 1.0, 1.0, -1.0), hmcs::ConfigError);
+}
+
 }  // namespace

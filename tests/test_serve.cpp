@@ -127,6 +127,48 @@ TEST(ServeRequestKey, RejectsUnknownMembers) {
   EXPECT_THROW(parse_line(R"({"config":{"bogus":1}})"), ConfigError);
 }
 
+TEST(ServeRequestKey, DefaultWorkloadCollapsesOntoLegacyKey) {
+  // The workload extension must not perturb existing cache lines: a
+  // request spelling out the default scenario keys byte-identically to
+  // one that never mentions "workload" — and neither key contains the
+  // member at all, so pre-workload caches and snapshots stay warm.
+  const serve::ServeRequest legacy =
+      parse_line(R"({"config":{"clusters":8,"total_nodes":256}})");
+  const serve::ServeRequest spelled = parse_line(
+      R"({"config":{"clusters":8,"total_nodes":256,
+                    "workload":{"service_cv2":1.0,"arrival_ca2":1.0}}})");
+  EXPECT_EQ(legacy.canonical_key, spelled.canonical_key);
+  EXPECT_EQ(legacy.canonical_key.find("workload"), std::string::npos);
+}
+
+TEST(ServeRequestKey, NonDefaultWorkloadGetsItsOwnKey) {
+  const serve::ServeRequest legacy =
+      parse_line(R"({"config":{"clusters":8,"total_nodes":256}})");
+  const serve::ServeRequest hyper = parse_line(
+      R"({"config":{"clusters":8,"total_nodes":256,
+                    "workload":{"service_cv2":4.0}}})");
+  EXPECT_NE(legacy.canonical_key, hyper.canonical_key);
+  EXPECT_NE(hyper.canonical_key.find("workload"), std::string::npos);
+
+  // Distinct scenarios key distinctly too.
+  const serve::ServeRequest mmpp = parse_line(
+      R"({"config":{"clusters":8,"total_nodes":256,
+                    "workload":{"mmpp":{"burst_ratio":4.0}}}})");
+  EXPECT_NE(hyper.canonical_key, mmpp.canonical_key);
+  const serve::ServeRequest failure = parse_line(
+      R"({"config":{"clusters":8,"total_nodes":256,
+                    "workload":{"failure":{"mtbf_us":1e6,"mttr_us":1e3}}}})");
+  EXPECT_NE(mmpp.canonical_key, failure.canonical_key);
+}
+
+TEST(ServeRequestKey, WorkloadRejectsUnknownAndConflictingMembers) {
+  EXPECT_THROW(
+      parse_line(R"({"config":{"workload":{"cv2":2.0}}})"), ConfigError);
+  EXPECT_THROW(parse_line(R"({"config":{"workload":{
+      "arrival_ca2":2.0,"mmpp":{"burst_ratio":2.0}}}})"),
+               ConfigError);
+}
+
 TEST(ServeRequestKey, NestedFlatShapeCollidesWithFlatSchema) {
   // A depth-2 tree spelling the exact two-stage case-1 system must be
   // lowered at parse time and share the flat schema's canonical key
@@ -202,6 +244,23 @@ TEST(ServeService, CachedReplyIsByteIdenticalToCold) {
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(service.counters().evaluations, 1u);
+}
+
+TEST(ServeService, EvaluatesNonDefaultWorkloadRequests) {
+  // End-to-end: a cv^2 = 4 request misses the default request's cache
+  // line, evaluates through the G/G/1 path, and prices higher latency.
+  serve::ServeService service({});
+  const std::string base = service.handle_line(
+      R"({"config":{"clusters":2,"total_nodes":32,"lambda_per_s":250}})");
+  const std::string hyper = service.handle_line(
+      R"({"config":{"clusters":2,"total_nodes":32,"lambda_per_s":250,
+                    "workload":{"service_cv2":4.0}}})");
+  EXPECT_EQ(service.counters().evaluations, 2u);  // distinct cache lines
+  const auto latency_of = [](const std::string& reply) {
+    const JsonValue doc = parse_json(reply);
+    return doc.at("result").at("mean_latency_us").as_number();
+  };
+  EXPECT_GT(latency_of(hyper), latency_of(base));
 }
 
 TEST(ServeService, DifferentIdSameConfigSharesTheCacheEntry) {

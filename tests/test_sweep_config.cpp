@@ -182,6 +182,108 @@ TEST(SweepConfig, TreeSweepRejectsShapeAxesAndOrphanPaths) {
                ConfigError);
 }
 
+TEST(SweepConfig, JsonWorkloadAndDistributionAxes) {
+  const SweepRunConfig config = sweep_config_from_json(R"({
+    "id": "heavy",
+    "total_nodes": 32,
+    "workload": {"failure": {"mtbf_us": 1e6, "mttr_us": 1e3}},
+    "axes": {
+      "clusters": [2],
+      "service_cv2": [0.0, 1.0, 4.0],
+      "arrival_ca2": [1.0, 2.0]
+    }
+  })");
+  ASSERT_TRUE(config.spec.workload.failure.has_value());
+  EXPECT_DOUBLE_EQ(config.spec.workload.failure->mtbf_us, 1e6);
+  EXPECT_EQ(config.spec.axes.service_cv2,
+            (std::vector<double>{0.0, 1.0, 4.0}));
+  EXPECT_EQ(config.spec.axes.arrival_ca2, (std::vector<double>{1.0, 2.0}));
+
+  const auto points = runner::expand_sweep(config.spec);
+  ASSERT_EQ(points.size(), 6u);  // 3 cv2 x 2 ca2, nested innermost
+  // ca2 varies fastest; every point keeps the fixed failure scenario.
+  EXPECT_DOUBLE_EQ(points[0].config.scenario.service_cv2, 0.0);
+  EXPECT_DOUBLE_EQ(points[0].config.scenario.arrival_ca2, 1.0);
+  EXPECT_DOUBLE_EQ(points[1].config.scenario.arrival_ca2, 2.0);
+  EXPECT_DOUBLE_EQ(points[5].config.scenario.service_cv2, 4.0);
+  for (const auto& point : points) {
+    ASSERT_TRUE(point.config.scenario.failure.has_value());
+    EXPECT_DOUBLE_EQ(point.config.scenario.failure->mttr_us, 1e3);
+  }
+  // Multi-valued axes label their coordinates.
+  EXPECT_NE(points[0].label.find("cv2="), std::string::npos);
+  EXPECT_NE(points[0].label.find("ca2="), std::string::npos);
+}
+
+TEST(SweepConfig, JsonWorkloadMmppAppliesToEveryPoint) {
+  const SweepRunConfig config = sweep_config_from_json(R"({
+    "id": "bursty",
+    "total_nodes": 32,
+    "workload": {"mmpp": {"burst_ratio": 6.0, "burst_fraction": 0.2,
+                          "burst_dwell_us": 500.0}},
+    "axes": {"clusters": [2, 4]}
+  })");
+  const auto points = runner::expand_sweep(config.spec);
+  ASSERT_EQ(points.size(), 2u);
+  for (const auto& point : points) {
+    ASSERT_TRUE(point.config.scenario.mmpp.has_value());
+    EXPECT_DOUBLE_EQ(point.config.scenario.mmpp->burst_ratio, 6.0);
+  }
+}
+
+TEST(SweepConfig, KeyValueDistributionAxes) {
+  const KeyValueFile file = KeyValueFile::parse(
+      "id = kvheavy\n"
+      "clusters = 2\n"
+      "total_nodes = 32\n"
+      "service_cv2 = 0, 4\n"
+      "arrival_ca2 = 2\n");
+  const SweepRunConfig config = sweep_config_from_keyvalue(file);
+  EXPECT_EQ(config.spec.axes.service_cv2, (std::vector<double>{0.0, 4.0}));
+  EXPECT_EQ(config.spec.axes.arrival_ca2, (std::vector<double>{2.0}));
+  const auto points = runner::expand_sweep(config.spec);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[1].config.scenario.service_cv2, 4.0);
+  EXPECT_DOUBLE_EQ(points[1].config.scenario.arrival_ca2, 2.0);
+}
+
+TEST(SweepConfig, TreeSweepRejectsDistributionAxesButTakesFixedWorkload) {
+  // The axes are flat-only; a tree sweep takes the topology-wide
+  // scenario through the fixed "workload" instead.
+  const SweepRunConfig with_axis = sweep_config_from_json(R"({
+    "tree": {"tree": {"network": "fast-ethernet",
+                      "children": [{"processors": 4, "lambda_per_s": 100},
+                                   {"processors": 4, "lambda_per_s": 100}]}},
+    "axes": {"service_cv2": [0.0, 4.0]}
+  })");
+  EXPECT_THROW(runner::expand_sweep(with_axis.spec), ConfigError);
+
+  const SweepRunConfig fixed = sweep_config_from_json(R"({
+    "tree": {"tree": {"network": "fast-ethernet",
+                      "children": [{"processors": 4, "lambda_per_s": 100},
+                                   {"processors": 4, "lambda_per_s": 100}]}},
+    "workload": {"service_cv2": 4.0}
+  })");
+  const auto points = runner::expand_sweep(fixed.spec);
+  ASSERT_FALSE(points.empty());
+  ASSERT_NE(points[0].tree, nullptr);
+  EXPECT_DOUBLE_EQ(points[0].tree->scenario.service_cv2, 4.0);
+}
+
+TEST(SweepConfig, JsonRejectsBadWorkloadValues) {
+  EXPECT_THROW(sweep_config_from_json(R"({"workload": {"service_cv2": -1}})"),
+               ConfigError);
+  EXPECT_THROW(sweep_config_from_json(
+                   R"({"workload": {"arrival_ca2": 2.0,
+                                    "mmpp": {"burst_ratio": 2.0}}})"),
+               ConfigError);
+  // Axis values are validated when points are built, like every axis.
+  const SweepRunConfig bad_axis = sweep_config_from_json(
+      R"({"total_nodes": 32, "axes": {"clusters": [2],
+                                      "service_cv2": [-1]}})");
+  EXPECT_THROW(runner::expand_sweep(bad_axis.spec), ConfigError);
+}
+
 TEST(SweepConfig, JsonFaultTolerancePolicy) {
   const SweepRunConfig config = sweep_config_from_json(R"({
     "id": "s",

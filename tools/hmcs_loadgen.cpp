@@ -35,10 +35,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -112,7 +114,7 @@ class Client {
 
 std::string make_request(std::size_t key, std::uint32_t clusters,
                          std::uint64_t total_nodes, const std::string& model,
-                         double deadline_ms) {
+                         double deadline_ms, double service_cv2) {
   JsonWriter json;
   json.begin_object();
   std::string id = "k";
@@ -128,18 +130,40 @@ std::string make_request(std::size_t key, std::uint32_t clusters,
   // Distinct message sizes make distinct cache keys.
   json.key("message_bytes").value(1024.0 + 16.0 * static_cast<double>(key));
   json.key("lambda_per_s").value(250.0);
+  // cv^2 = 1 is the canonical default; omitting it keeps the request
+  // (and its cache key) identical to a pre-workload one.
+  if (service_cv2 != 1.0) {
+    json.key("workload").begin_object();
+    json.key("service_cv2").value(service_cv2);
+    json.end_object();
+  }
   json.end_object();
   if (deadline_ms > 0.0) json.key("deadline_ms").value(deadline_ms);
   json.end_object();
   return json.str();
 }
 
-double percentile(std::vector<double> sorted_us, double q) {
-  if (sorted_us.empty()) return 0.0;
-  std::sort(sorted_us.begin(), sorted_us.end());
+/// Pre-sorted for percentile(); one sort serves every quantile query.
+std::vector<double> sorted_copy(std::vector<double> us) {
+  std::sort(us.begin(), us.end());
+  return us;
+}
+
+/// q-th percentile of an ascending-sorted sample; NaN when the sample
+/// is empty (e.g. a warm pass that never ran), printed as "--".
+double percentile(const std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return std::numeric_limits<double>::quiet_NaN();
   const std::size_t index = static_cast<std::size_t>(
       q * static_cast<double>(sorted_us.size() - 1) + 0.5);
   return sorted_us[std::min(index, sorted_us.size() - 1)];
+}
+
+/// "%.1f" rendering with "--" for NaN (empty-sample percentiles).
+std::string fmt_us(double value) {
+  if (std::isnan(value)) return "--";
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.1f", value);
+  return buffer;
 }
 
 double now_us() {
@@ -171,6 +195,9 @@ int main(int argc, char** argv) {
                                 "(big = expensive cold evaluation)",
                  "1048576");
   cli.add_option("model", "analytic throttling model", "mva");
+  cli.add_option("service-cv2", "service-time cv^2 for the generated "
+                                "configs (1 = default workload, omitted "
+                                "from the request)", "1");
   cli.add_option("deadline-ms", "per-request deadline (0 = none)", "0");
   cli.add_option("malformed", "malformed lines to send (expect error "
                               "replies)", "0");
@@ -203,6 +230,7 @@ int main(int argc, char** argv) {
     const auto clusters = static_cast<std::uint32_t>(cli.get_uint("clusters"));
     const std::uint64_t total_nodes = cli.get_uint("total-nodes");
     const std::string model = cli.get_string("model");
+    const double service_cv2 = cli.get_double("service-cv2");
     const double deadline_ms = cli.get_double("deadline-ms");
     const std::size_t retries = cli.get_uint("retries");
     const double backoff_ms = cli.get_double("backoff-ms");
@@ -213,8 +241,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> requests;
     requests.reserve(keys);
     for (std::size_t key = 0; key < keys; ++key) {
-      requests.push_back(
-          make_request(key, clusters, total_nodes, model, deadline_ms));
+      requests.push_back(make_request(key, clusters, total_nodes, model,
+                                      deadline_ms, service_cv2));
     }
 
     std::vector<std::unique_ptr<Client>> clients;
@@ -356,25 +384,30 @@ int main(int argc, char** argv) {
     const double hit_rate =
         hits + misses > 0.0 ? hits / (hits + misses) : 0.0;
 
-    const double cold_p50 = percentile(cold_us, 0.50);
-    const double cold_p95 = percentile(cold_us, 0.95);
-    const double cold_p99 = percentile(cold_us, 0.99);
-    const double cold_max = percentile(cold_us, 1.0);
-    const double warm_p50 = percentile(warm_us, 0.50);
-    const double warm_p95 = percentile(warm_us, 0.95);
-    const double warm_p99 = percentile(warm_us, 0.99);
-    const double warm_max = percentile(warm_us, 1.0);
+    const std::vector<double> cold_sorted = sorted_copy(cold_us);
+    const std::vector<double> warm_sorted = sorted_copy(warm_us);
+    const double cold_p50 = percentile(cold_sorted, 0.50);
+    const double cold_p95 = percentile(cold_sorted, 0.95);
+    const double cold_p99 = percentile(cold_sorted, 0.99);
+    const double cold_max = percentile(cold_sorted, 1.0);
+    const double warm_p50 = percentile(warm_sorted, 0.50);
+    const double warm_p95 = percentile(warm_sorted, 0.95);
+    const double warm_p99 = percentile(warm_sorted, 0.99);
+    const double warm_max = percentile(warm_sorted, 1.0);
     const double speedup = warm_p50 > 0.0 ? cold_p50 / warm_p50 : 0.0;
 
     std::fprintf(stderr,
                  "loadgen: %zu keys x %zu warm iterations over %zu "
-                 "connections\n  cold p50 %.1f us, p95 %.1f us, p99 %.1f us, "
-                 "max %.1f us\n  warm p50 %.1f us, p95 %.1f us, p99 %.1f us, "
-                 "max %.1f us\n  warm speedup (p50) %.1fx, hit rate %.3f, "
+                 "connections\n  cold p50 %s us, p95 %s us, p99 %s us, "
+                 "max %s us\n  warm p50 %s us, p95 %s us, p99 %s us, "
+                 "max %s us\n  warm speedup (p50) %.1fx, hit rate %.3f, "
                  "byte-identical %s, retries %llu\n",
-                 keys, warm_iterations, connections, cold_p50, cold_p95,
-                 cold_p99, cold_max, warm_p50, warm_p95, warm_p99, warm_max,
-                 speedup, hit_rate, byte_identical ? "yes" : "no",
+                 keys, warm_iterations, connections, fmt_us(cold_p50).c_str(),
+                 fmt_us(cold_p95).c_str(), fmt_us(cold_p99).c_str(),
+                 fmt_us(cold_max).c_str(), fmt_us(warm_p50).c_str(),
+                 fmt_us(warm_p95).c_str(), fmt_us(warm_p99).c_str(),
+                 fmt_us(warm_max).c_str(), speedup, hit_rate,
+                 byte_identical ? "yes" : "no",
                  static_cast<unsigned long long>(
                      total_retries.load(std::memory_order_relaxed)));
 
